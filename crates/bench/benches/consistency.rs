@@ -1,0 +1,28 @@
+//! Criterion bench for E2: exact consistency (exponential in k) vs
+//! approximate propagation (polynomial) on the SUBSET-SUM gadget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tgm_core::exact::check_with;
+use tgm_core::propagate::propagate;
+use tgm_core::reductions::{subset_sum_options, subset_sum_structure};
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        let values: Vec<u64> = (0..k).map(|i| 2 + (i as u64 % 3)).collect();
+        let target = values.iter().sum::<u64>() / 2 + 1;
+        let s = subset_sum_structure(&values, target);
+        let opts = subset_sum_options(&values, target);
+        group.bench_with_input(BenchmarkId::new("exact_subset_sum", k), &k, |b, _| {
+            b.iter(|| check_with(&s, &opts).expect("within budget"))
+        });
+        group.bench_with_input(BenchmarkId::new("propagate_subset_sum", k), &k, |b, _| {
+            b.iter(|| propagate(&s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consistency);
+criterion_main!(benches);

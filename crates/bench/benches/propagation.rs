@@ -1,0 +1,54 @@
+//! Criterion bench for E3: propagation scaling in n, |M| and w.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tgm_core::propagate::propagate;
+use tgm_core::{EventStructure, StructureBuilder, Tcg};
+use tgm_granularity::{Calendar, Gran};
+
+fn chain(n: usize, grans: &[Gran], w: u64) -> EventStructure {
+    let mut b = StructureBuilder::new();
+    let vars: Vec<_> = (0..n).map(|i| b.var(format!("X{i}"))).collect();
+    for i in 1..n {
+        let g = grans[i % grans.len()].clone();
+        b.constrain(vars[i - 1], vars[i], Tcg::new(0, w, g));
+        let g2 = grans[(i + 1) % grans.len()].clone();
+        b.constrain(vars[i - 1], vars[i], Tcg::new(0, w * 8, g2));
+    }
+    b.build().expect("valid chain")
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let cal = Calendar::standard();
+    let grans: Vec<Gran> = ["hour", "day", "week", "month"]
+        .iter()
+        .map(|n| cal.get(n).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("propagation");
+    for n in [4usize, 8, 16, 32] {
+        let s = chain(n, &grans, 6);
+        // Warm the size-table caches so the bench isolates propagation.
+        let _ = propagate(&s);
+        group.bench_with_input(BenchmarkId::new("vars", n), &n, |b, _| {
+            b.iter(|| propagate(&s))
+        });
+    }
+    for m in [1usize, 2, 4] {
+        let s = chain(16, &grans[..m], 6);
+        let _ = propagate(&s);
+        group.bench_with_input(BenchmarkId::new("granularities", m), &m, |b, _| {
+            b.iter(|| propagate(&s))
+        });
+    }
+    for w in [4u64, 64, 1024] {
+        let s = chain(16, &grans, w);
+        let _ = propagate(&s);
+        group.bench_with_input(BenchmarkId::new("range", w), &w, |b, _| {
+            b.iter(|| propagate(&s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for E6: TAG matching over event streams (Theorem 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tgm_bench::workloads::planted_stock_workload;
+use tgm_tag::{build_tag, Matcher};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag_matching");
+    for days in [30i64, 120, 480] {
+        let w = planted_stock_workload(days, &[], (days / 30) as usize, 42);
+        let tag = build_tag(&w.cet);
+        let events = w.sequence.events();
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("example1_full_scan", events.len()),
+            &events.len(),
+            |b, _| {
+                let m = Matcher::new(&tag);
+                b.iter(|| m.run(events, false).accepted)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

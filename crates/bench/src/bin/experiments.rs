@@ -1,0 +1,58 @@
+//! Regenerates every figure and quantitative claim of the paper (E1–E10).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p tgm-bench --bin experiments --release            # all
+//! cargo run -p tgm-bench --bin experiments --release -- e2 e7   # subset
+//! cargo run -p tgm-bench --bin experiments --release -- quick   # smaller E2
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| a.starts_with('e'))
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.contains(&id);
+
+    println!("# tgm experiments — Bettini, Wang & Jajodia (PODS 1996) reproduction");
+
+    if want("e1") {
+        tgm_bench::e01_figures::run();
+    }
+    if want("e2") {
+        tgm_bench::e02_nphardness::run(if quick { 6 } else { 9 });
+    }
+    if want("e3") {
+        tgm_bench::e03_propagation::run();
+    }
+    if want("e4") {
+        tgm_bench::e04_conversion::run();
+    }
+    if want("e5") {
+        tgm_bench::e05_tag_construction::run();
+    }
+    if want("e6") {
+        tgm_bench::e06_matching::run();
+    }
+    if want("e7") {
+        tgm_bench::e07_pipeline::run();
+    }
+    if want("e8") {
+        tgm_bench::e08_episodes::run();
+    }
+    if want("e9") {
+        tgm_bench::e09_semantics::run();
+    }
+    if want("e10") {
+        tgm_bench::e10_scaling::run();
+    }
+    if want("e11") {
+        tgm_bench::e11_ablations::run();
+    }
+    if want("e12") {
+        tgm_bench::e12_tightness::run();
+    }
+}

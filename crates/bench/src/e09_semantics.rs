@@ -1,0 +1,69 @@
+//! E9 — §3's headline semantic point: `[0,0] day` is not expressible as any
+//! `[m,n] second` constraint. Counts, over a stock stream, the rise→fall
+//! pairs satisfying "same day" vs "within 86399 seconds" and exhibits the
+//! paper's 11pm/4am counterexample.
+
+use tgm_core::Tcg;
+use tgm_granularity::Calendar;
+
+use crate::print_table;
+use crate::workloads::planted_stock_workload;
+
+/// Runs E9 and prints its tables.
+pub fn run() {
+    println!("\n## E9 — 'One day is not 24 hours' (§3)");
+    let cal = Calendar::standard();
+    let same_day = Tcg::new(0, 0, cal.get("day").unwrap());
+    let within_24h = Tcg::new(0, 86_399, cal.get("second").unwrap());
+
+    // The paper's counterexample: 11 pm and 4 am the next day.
+    let t1 = 23 * 3_600;
+    let t2 = 86_400 + 4 * 3_600;
+    print_table(
+        "Paper counterexample: e1 at 23:00, e2 at 04:00 next day",
+        &["constraint", "satisfied"],
+        &[
+            vec!["[0,0] day".into(), same_day.satisfied(t1, t2).to_string()],
+            vec!["[0,86399] second".into(), within_24h.satisfied(t1, t2).to_string()],
+        ],
+    );
+
+    // Population counts over a stock stream (rise -> fall pairs).
+    let w = planted_stock_workload(120, &[], 0, 9);
+    let rise = w.types.ibm_rise;
+    let fall = w.types.ibm_fall;
+    let rises: Vec<i64> = w.sequence.occurrences_of(rise).map(|e| e.time).collect();
+    let falls: Vec<i64> = w.sequence.occurrences_of(fall).map(|e| e.time).collect();
+    let mut both = 0u64;
+    let mut sec_only = 0u64;
+    let mut day_only = 0u64;
+    for &t1 in &rises {
+        for &t2 in &falls {
+            if t2 < t1 || t2 - t1 > 2 * 86_400 {
+                continue;
+            }
+            let d = same_day.satisfied(t1, t2);
+            let s = within_24h.satisfied(t1, t2);
+            match (d, s) {
+                (true, true) => both += 1,
+                (false, true) => sec_only += 1,
+                (true, false) => day_only += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    print_table(
+        "IBM rise → IBM fall pairs on a 120-day stream",
+        &["region", "pairs"],
+        &[
+            vec!["same day AND within 86399 s".into(), both.to_string()],
+            vec!["within 86399 s but NOT same day (cross-midnight)".into(), sec_only.to_string()],
+            vec!["same day but NOT within 86399 s (must be 0)".into(), day_only.to_string()],
+        ],
+    );
+    println!(
+        "\nNo `[m,n] second` constraint equals `[0,0] day`: the {sec_only} \
+         cross-midnight pairs satisfy every seconds-range that admits the \
+         same-day pairs."
+    );
+}

@@ -1,0 +1,128 @@
+//! E11 — ablations of this implementation's own design choices (DESIGN.md
+//! §3): clock-reading saturation in the matcher, and minimal (min-flow)
+//! vs greedy chain covers in the TAG construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
+use tgm_events::TypeRegistry;
+use tgm_granularity::Calendar;
+use tgm_tag::{
+    build_tag, build_tag_with_cover, greedy_chain_cover, minimal_chain_cover, MatchOptions,
+    Matcher,
+};
+
+use crate::workloads::planted_stock_workload;
+use crate::{print_table, timed};
+
+/// Runs E11 and prints its tables.
+pub fn run() {
+    println!("\n## E11 — Implementation ablations");
+
+    // (1) Saturation: with it the frontier is bounded by the guard
+    // constants; without it, configurations differing only in
+    // indistinguishable clock readings accumulate.
+    let mut rows = Vec::new();
+    for days in [30i64, 90, 270] {
+        let w = planted_stock_workload(days, &[], (days / 30) as usize, 42);
+        let tag = build_tag(&w.cet);
+        let events = w.sequence.events();
+        let on = Matcher::new(&tag);
+        let off = Matcher::with_options(
+            &tag,
+            MatchOptions {
+                saturate: false,
+                ..MatchOptions::default()
+            },
+        );
+        let (s_on, ms_on) = timed(|| on.run(events, false));
+        let (s_off, ms_off) = timed(|| off.run(events, false));
+        assert_eq!(s_on.accepted, s_off.accepted, "saturation is semantics-preserving");
+        rows.push(vec![
+            events.len().to_string(),
+            format!("{ms_on:.1}"),
+            s_on.peak_configs.to_string(),
+            format!("{ms_off:.1}"),
+            s_off.peak_configs.to_string(),
+        ]);
+    }
+    print_table(
+        "Clock-reading saturation (Example 1 TAG over stock streams)",
+        &["events", "saturated ms", "saturated frontier", "unsaturated ms", "unsaturated frontier"],
+        &rows,
+    );
+
+    // (2) Chain covers: random layered DAGs; min-flow vs greedy cover
+    // sizes and the resulting automaton sizes.
+    let cal = Calendar::standard();
+    let day = cal.get("day").unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC07E);
+    let mut rows = Vec::new();
+    for (layers, width) in [(2usize, 2usize), (2, 3), (3, 2), (3, 3)] {
+        let mut min_chains_total = 0usize;
+        let mut greedy_chains_total = 0usize;
+        let mut min_states_total = 0usize;
+        let mut greedy_states_total = 0usize;
+        const TRIALS: usize = 8;
+        for _ in 0..TRIALS {
+            // Random layered DAG: root -> layer1 -> ... -> layer_k, plus
+            // random skip arcs.
+            let mut b = StructureBuilder::new();
+            let root = b.var("R");
+            let mut prev = vec![root];
+            for l in 0..layers {
+                let cur: Vec<_> = (0..width).map(|i| b.var(format!("L{l}N{i}"))).collect();
+                for &c in &cur {
+                    // Each node gets 1..=2 random parents from the previous
+                    // layer (ensures reachability).
+                    let n_parents = rng.gen_range(1..=2.min(prev.len()));
+                    let mut parents = prev.clone();
+                    for _ in 0..n_parents {
+                        let k = rng.gen_range(0..parents.len());
+                        let p = parents.swap_remove(k);
+                        b.constrain(p, c, Tcg::new(0, 3, day.clone()));
+                    }
+                }
+                prev = cur;
+            }
+            let s = match b.build() {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let minimal = minimal_chain_cover(&s);
+            let greedy = greedy_chain_cover(&s);
+            min_chains_total += minimal.len();
+            greedy_chains_total += greedy.len();
+            let mut reg = TypeRegistry::new();
+            let phi: Vec<_> = s
+                .vars()
+                .map(|v| reg.intern(&format!("T{}", v.index())))
+                .collect();
+            let cet = ComplexEventType::new(s.clone(), phi);
+            let t_min =
+                build_tag_with_cover(cet.structure(), |v| cet.event_type(v), minimal);
+            let t_greedy =
+                build_tag_with_cover(cet.structure(), |v| cet.event_type(v), greedy);
+            min_states_total += t_min.n_states();
+            greedy_states_total += t_greedy.n_states();
+        }
+        rows.push(vec![
+            format!("{layers}x{width}"),
+            format!("{:.1}", min_chains_total as f64 / TRIALS as f64),
+            format!("{:.1}", greedy_chains_total as f64 / TRIALS as f64),
+            format!("{:.1}", min_states_total as f64 / TRIALS as f64),
+            format!("{:.1}", greedy_states_total as f64 / TRIALS as f64),
+        ]);
+    }
+    print_table(
+        "Chain cover: min-flow vs greedy (random layered DAGs, 8 trials each)",
+        &[
+            "layers x width",
+            "chains (minimal)",
+            "chains (greedy)",
+            "TAG states (minimal)",
+            "TAG states (greedy)",
+        ],
+        &rows,
+    );
+}

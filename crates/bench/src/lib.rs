@@ -1,0 +1,37 @@
+//! Experiment harness for the PODS'96 reproduction: each module regenerates
+//! one figure or quantitative claim of the paper (see DESIGN.md §4 for the
+//! E1–E12 index, and EXPERIMENTS.md for recorded paper-vs-measured output).
+//!
+//! Run everything with `cargo run -p tgm-bench --bin experiments --release`.
+
+pub mod workloads;
+
+pub mod e01_figures;
+pub mod e02_nphardness;
+pub mod e03_propagation;
+pub mod e04_conversion;
+pub mod e05_tag_construction;
+pub mod e06_matching;
+pub mod e07_pipeline;
+pub mod e08_episodes;
+pub mod e09_semantics;
+pub mod e10_scaling;
+pub mod e11_ablations;
+pub mod e12_tightness;
+
+/// Milliseconds elapsed while running `f`, along with its result.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Prints a markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}

@@ -1,0 +1,299 @@
+//! Conversion of constraints between granularities: the algorithm of the
+//! paper's Appendix A.1 (Figure 3), adapted to discrete time.
+//!
+//! Given a constraint `Y − X ∈ [m, n] μ1` we derive an *implied* constraint
+//! `Y − X ∈ [m', n'] μ2`:
+//!
+//! * any satisfying pair is at most `D_max = maxsize(μ1, n+1) − 1` seconds
+//!   apart, so the `μ2` tick distance `d` must satisfy
+//!   `mingap(μ2, d) ≤ D_max` — `n'` is the largest such `d` (`mingap` is
+//!   strictly increasing);
+//! * any satisfying pair is at least `D_min = mingap(μ1, m)` seconds apart
+//!   (0 when `m = 0`), so `d` must satisfy `maxsize(μ2, d+1) − 1 ≥ D_min` —
+//!   `m'` is the smallest such `d` (`maxsize` is increasing).
+//!
+//! The conversion requires the target to *cover* the span of the source
+//! (paper: "the target type covers a span of time equal or larger"); we
+//! enforce the simple sufficient condition that the target is gap-free, so
+//! the covering ticks `⌈t⌉μ2` are always defined and the derived constraint
+//! is unconditional. As the paper notes, the result is an approximation —
+//! sound but not necessarily the tightest constraint.
+
+use tgm_granularity::{Gran, Granularity};
+
+use crate::tcg::Tcg;
+
+/// Converts `[m, n] μ1` into an implied `[m', n'] μ2`.
+///
+/// Returns `None` when the conversion is infeasible: the target has gaps
+/// (so implied-constraint definedness cannot be guaranteed), or the bound
+/// search fails inside the target's supported horizon.
+///
+/// ```
+/// use tgm_core::{convert_constraint, Tcg};
+/// use tgm_granularity::Calendar;
+///
+/// let cal = Calendar::standard();
+/// let same_day = Tcg::new(0, 0, cal.get("day").unwrap());
+/// let hours = convert_constraint(&same_day, &cal.get("hour").unwrap()).unwrap();
+/// assert_eq!((hours.lo(), hours.hi()), (0, 24));
+/// ```
+pub fn convert_constraint(source: &Tcg, target: &Gran) -> Option<Tcg> {
+    if target.has_gaps() {
+        return None;
+    }
+    convert_constraint_for_defined_ticks(source, target)
+}
+
+/// Like [`convert_constraint`] but also accepts *gapped* targets.
+///
+/// The derived bounds are sound **only for timestamp pairs whose covering
+/// ticks in the target granularity are defined** — the caller must
+/// guarantee that (the propagator does so via its per-variable definedness
+/// masks: a variable carrying an explicit TCG in the target granularity has
+/// a defined tick in every matching event). With a gap-free target this is
+/// unconditional and equivalent to [`convert_constraint`].
+pub fn convert_constraint_for_defined_ticks(source: &Tcg, target: &Gran) -> Option<Tcg> {
+    if source.gran() == target {
+        return Some(source.clone());
+    }
+    let src = source.gran().sizes();
+    let dst = target.sizes();
+
+    let d_max = src.max_size(source.hi() + 1) - 1;
+    let d_min = if source.lo() == 0 {
+        0
+    } else {
+        src.min_gap(source.lo()).max(0)
+    };
+
+    // n' = largest d >= 0 with mingap(μ2, d) <= D_max. `mingap` is strictly
+    // increasing and mingap(d) >= d, so the predicate flips within
+    // [0, D_max].
+    let hi = largest_true(|d| dst.min_gap(d) <= d_max)?;
+    // m' = smallest d >= 0 with maxsize(μ2, d+1) - 1 >= D_min. `maxsize` is
+    // increasing and maxsize(k) >= k, so the flip lies within [0, D_min].
+    let lo = smallest_true(|d| dst.max_size(d + 1) > d_min)?;
+    (lo <= hi).then(|| Tcg::new(lo, hi, target.clone()))
+}
+
+/// The *literal* conversion formulas of the paper's Figure 3, kept for
+/// comparison with the (tighter) discrete derivation in
+/// [`convert_constraint`]:
+///
+/// * `n' = min { s : minsize(μ2, s) ≥ maxsize(μ1, n+1) − 1 }`
+/// * `m' = min { r : maxsize(μ2, r) > mingap(μ1, m) } − 1`
+///
+/// Both versions are sound; the experiment harness (E12) quantifies the
+/// difference. Returns `None` under the same feasibility condition
+/// (gap-free target) or if a bound search fails.
+pub fn convert_constraint_paper(source: &Tcg, target: &Gran) -> Option<Tcg> {
+    if target.has_gaps() {
+        return None;
+    }
+    if source.gran() == target {
+        return Some(source.clone());
+    }
+    let src = source.gran().sizes();
+    let dst = target.sizes();
+    let d_max = src.max_size(source.hi() + 1) - 1;
+    let hi = smallest_true(|s| dst.min_size(s.max(1)) >= d_max)?;
+    let d_min = if source.lo() == 0 {
+        0
+    } else {
+        src.min_gap(source.lo()).max(0)
+    };
+    let lo = smallest_true(|r| dst.max_size(r.max(1)) > d_min)?.saturating_sub(1);
+    (lo <= hi).then(|| Tcg::new(lo, hi, target.clone()))
+}
+
+/// Largest `d ≥ 0` with `pred(d)` true, for a monotone (true-then-false)
+/// predicate with `pred(0)` true. `None` if `pred(0)` is false.
+fn largest_true(pred: impl Fn(u64) -> bool) -> Option<u64> {
+    if !pred(0) {
+        return None;
+    }
+    // Exponential probe for an upper bracket.
+    let mut hi = 1u64;
+    while pred(hi) {
+        hi = hi.checked_mul(2)?;
+        if hi > (1 << 40) {
+            // Pathologically wide: give up rather than loop on a broken
+            // granularity.
+            return None;
+        }
+    }
+    // Invariant: pred(lo) true, pred(hi) false.
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Smallest `d ≥ 0` with `pred(d)` true, for a monotone (false-then-true)
+/// predicate. `None` if no `d ≤ 2^40` satisfies it.
+fn smallest_true(pred: impl Fn(u64) -> bool) -> Option<u64> {
+    if pred(0) {
+        return Some(0);
+    }
+    let mut hi = 1u64;
+    while !pred(hi) {
+        hi = hi.checked_mul(2)?;
+        if hi > (1 << 40) {
+            return None;
+        }
+    }
+    let mut lo = hi / 2; // pred(lo) false, pred(hi) true
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_granularity::Calendar;
+
+    use super::*;
+
+    fn cal() -> Calendar {
+        Calendar::standard()
+    }
+
+    #[test]
+    fn same_day_to_seconds() {
+        let c = cal();
+        let tcg = Tcg::new(0, 0, c.get("day").unwrap());
+        let s = convert_constraint(&tcg, &c.get("second").unwrap()).unwrap();
+        // The weakest seconds constraint implied by "same day" is
+        // [0, 86399] second — exactly the paper's §3 discussion.
+        assert_eq!((s.lo(), s.hi()), (0, 86_399));
+    }
+
+    #[test]
+    fn same_day_to_hours() {
+        let c = cal();
+        let tcg = Tcg::new(0, 0, c.get("day").unwrap());
+        let h = convert_constraint(&tcg, &c.get("hour").unwrap()).unwrap();
+        assert_eq!(h.lo(), 0);
+        // 24 rather than the tight 23: the algorithm is a sound
+        // approximation (mingap(hour,24) = 23h+1s <= 86399s).
+        assert_eq!(h.hi(), 24);
+    }
+
+    #[test]
+    fn next_month_to_days() {
+        let c = cal();
+        let tcg = Tcg::new(1, 1, c.get("month").unwrap());
+        let d = convert_constraint(&tcg, &c.get("day").unwrap()).unwrap();
+        // Adjacent-month timestamps can be 1 second apart (day distance 0
+        // or 1) and at most 61 days+ apart.
+        assert_eq!(d.lo(), 0);
+        assert_eq!(d.hi(), 62);
+    }
+
+    #[test]
+    fn gapped_target_rejected() {
+        let c = cal();
+        let tcg = Tcg::new(0, 3, c.get("day").unwrap());
+        assert!(convert_constraint(&tcg, &c.get("business-day").unwrap()).is_none());
+        assert!(convert_constraint(&tcg, &c.get("weekend").unwrap()).is_none());
+    }
+
+    #[test]
+    fn business_day_to_week_and_hour() {
+        let c = cal();
+        // [1,1] b-day: the next business day.
+        let tcg = Tcg::new(1, 1, c.get("business-day").unwrap());
+        let w = convert_constraint(&tcg, &c.get("week").unwrap()).unwrap();
+        // Next business day is same week (Mon->Tue) or next (Fri->Mon).
+        assert_eq!((w.lo(), w.hi()), (0, 1));
+        let h = convert_constraint(&tcg, &c.get("hour").unwrap()).unwrap();
+        assert_eq!(h.lo(), 0);
+        // Fri..Mon with a holiday-free calendar: up to 4-day span.
+        assert!(h.hi() >= 4 * 24 && h.hi() <= 4 * 24 + 1, "got {}", h.hi());
+    }
+
+    #[test]
+    fn identity_conversion() {
+        let c = cal();
+        let tcg = Tcg::new(2, 5, c.get("day").unwrap());
+        let same = convert_constraint(&tcg, &c.get("day").unwrap()).unwrap();
+        assert_eq!(same, tcg);
+    }
+
+    #[test]
+    fn paper_variant_is_sound_but_looser_or_equal() {
+        let c = cal();
+        let day = c.get("day").unwrap();
+        let hour = c.get("hour").unwrap();
+        let week = c.get("week").unwrap();
+        let month = c.get("month").unwrap();
+        for (src, dst) in [
+            (Tcg::new(0, 0, day.clone()), &hour),
+            (Tcg::new(1, 1, month.clone()), &day),
+            (Tcg::new(0, 1, week.clone()), &hour),
+            (Tcg::new(2, 4, week.clone()), &day),
+        ] {
+            let ours = convert_constraint(&src, dst).unwrap();
+            let paper = convert_constraint_paper(&src, dst).unwrap();
+            // The paper bound must contain every pair our (verified-sound)
+            // bound admits at the extremes we know are achievable; at
+            // minimum the intervals must overlap and the paper's upper
+            // bound must not be below ours by more than its stated
+            // approximation... concretely: paper ⊇ empirical-tight holds
+            // because ours ⊇ tight and the formulas only widen. Check the
+            // containment direction that is always provable:
+            assert!(paper.hi() + 1 >= ours.hi(), "{src:?} -> {dst:?}: {paper:?} vs {ours:?}");
+            assert!(paper.lo() <= ours.lo() + 1, "{src:?} -> {dst:?}: {paper:?} vs {ours:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_searches() {
+        assert_eq!(largest_true(|d| d <= 17), Some(17));
+        assert_eq!(largest_true(|d| d == 0), Some(0));
+        assert_eq!(largest_true(|_| false), None);
+        assert_eq!(smallest_true(|d| d >= 9), Some(9));
+        assert_eq!(smallest_true(|_| true), Some(0));
+    }
+
+    #[test]
+    fn conversion_soundness_spot_checks() {
+        // For randomish satisfying pairs of the source constraint, the
+        // converted constraint must hold.
+        let c = cal();
+        let day = c.get("day").unwrap();
+        let week = c.get("week").unwrap();
+        let hour = c.get("hour").unwrap();
+        let src = Tcg::new(1, 4, day.clone());
+        for target in [&week, &hour] {
+            let conv = convert_constraint(&src, target).unwrap();
+            let mut t1 = 3_217;
+            while t1 < 40 * 86_400 {
+                let mut t2 = t1;
+                while t2 < t1 + 6 * 86_400 {
+                    if src.satisfied(t1, t2) {
+                        assert!(
+                            conv.satisfied(t1, t2),
+                            "{src:?} holds for ({t1},{t2}) but {conv:?} does not"
+                        );
+                    }
+                    t2 += 7_901;
+                }
+                t1 += 86_400 * 3 + 13;
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Graphviz DOT export for event structures (handy for documentation and
+//! for eyeballing reconstructed paper figures).
+
+use std::fmt::Write as _;
+
+use crate::structure::EventStructure;
+
+/// Renders the structure as a Graphviz `digraph`.
+pub fn structure_to_dot(s: &EventStructure, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in s.vars() {
+        let shape = if v == s.root() { "doublecircle" } else { "circle" };
+        let _ = writeln!(out, "  {} [label=\"{}\", shape={shape}];", v.index(), s.name(v));
+    }
+    for (a, b, cs) in s.arcs() {
+        let label = cs
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("\\n");
+        let _ = writeln!(out, "  {} -> {} [label=\"{label}\"];", a.index(), b.index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::examples::figure_1a;
+
+    #[test]
+    fn dot_contains_all_arcs_and_labels() {
+        let cal = Calendar::standard();
+        let (s, _) = figure_1a(&cal);
+        let dot = structure_to_dot(&s, "figure-1a");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("doublecircle")); // root highlighted
+        assert!(dot.contains("[1,1]business-day"));
+        assert!(dot.contains("[0,8]hour"));
+        assert_eq!(dot.matches(" -> ").count(), 4);
+    }
+}

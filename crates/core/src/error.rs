@@ -1,0 +1,42 @@
+//! Errors for event-structure construction and reasoning.
+
+use std::fmt;
+
+/// Validation errors from [`StructureBuilder::build`](crate::StructureBuilder::build).
+#[derive(Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// The structure has no variables.
+    Empty,
+    /// A constraint references an unknown variable id.
+    UnknownVariable,
+    /// A variable is constrained against itself.
+    SelfLoop(String),
+    /// The graph contains a directed cycle.
+    Cyclic,
+    /// The first variable does not reach this variable.
+    Unreachable(String),
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::Empty => write!(f, "event structure has no variables"),
+            StructureError::UnknownVariable => {
+                write!(f, "constraint references an unknown variable")
+            }
+            StructureError::SelfLoop(v) => write!(f, "variable {v} is constrained against itself"),
+            StructureError::Cyclic => write!(f, "event structure graph is cyclic"),
+            StructureError::Unreachable(v) => {
+                write!(f, "variable {v} is not reachable from the root")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for StructureError {}

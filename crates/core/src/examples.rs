@@ -1,0 +1,245 @@
+//! The event structures of the paper's Figure 1 and the complex event type
+//! of Example 1, used by tests, examples, and the experiment harness.
+//!
+//! Figure 1(a) (reconstructed from Example 1 and the TAG of Figure 2):
+//!
+//! ```text
+//!        [1,1] b-day          [0,1] week
+//!   X0 ---------------> X1 ---------------> X3
+//!    \                                      ^
+//!     \  [0,5] b-day          [0,8] hour   /
+//!      +--------------> X2 ---------------+
+//! ```
+//!
+//! Figure 1(b) (the granularity-encoded disjunction of §3.1):
+//!
+//! ```text
+//!   X0 --[11,11] month & [0,0] year--> X1
+//!   X0 --[0,12] month--> X2
+//!   X2 --[11,11] month & [0,0] year--> X3
+//! ```
+//!
+//! In (b), the `X1` arc pins `X0` to the first month of a year and the `X3`
+//! arc pins `X2` likewise, so the distance between `X0` and `X2` must be
+//! 0 or 12 months — a disjunction expressed purely by granularities.
+
+use tgm_events::{EventType, TypeRegistry};
+use tgm_granularity::Calendar;
+
+use crate::structure::{ComplexEventType, EventStructure, StructureBuilder, VarId};
+use crate::tcg::Tcg;
+
+/// Variable handles for [`figure_1a`].
+#[derive(Clone, Copy, Debug)]
+pub struct Figure1aVars {
+    /// The root (IBM-rise in Example 1).
+    pub x0: VarId,
+    /// One business day after `x0` (IBM-earnings-report).
+    pub x1: VarId,
+    /// Within 5 business days after `x0` (HP-rise).
+    pub x2: VarId,
+    /// Same/next week of `x1`, within 8 hours after `x2` (IBM-fall).
+    pub x3: VarId,
+}
+
+/// Builds the event structure of Figure 1(a).
+pub fn figure_1a(cal: &Calendar) -> (EventStructure, Figure1aVars) {
+    let bday = cal.get("business-day").expect("standard calendar");
+    let week = cal.get("week").expect("standard calendar");
+    let hour = cal.get("hour").expect("standard calendar");
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("X0");
+    let x1 = b.var("X1");
+    let x2 = b.var("X2");
+    let x3 = b.var("X3");
+    b.constrain(x0, x1, Tcg::new(1, 1, bday.clone()));
+    b.constrain(x1, x3, Tcg::new(0, 1, week));
+    b.constrain(x0, x2, Tcg::new(0, 5, bday));
+    b.constrain(x2, x3, Tcg::new(0, 8, hour));
+    let s = b.build().expect("Figure 1(a) is a valid structure");
+    (s, Figure1aVars { x0, x1, x2, x3 })
+}
+
+/// Variable handles for [`figure_1b`].
+#[derive(Clone, Copy, Debug)]
+pub struct Figure1bVars {
+    /// The root.
+    pub x0: VarId,
+    /// Pins `x0` to the first month of a year.
+    pub x1: VarId,
+    /// 0–12 months after `x0`.
+    pub x2: VarId,
+    /// Pins `x2` to the first month of a year.
+    pub x3: VarId,
+}
+
+/// Builds the event structure of Figure 1(b).
+pub fn figure_1b(cal: &Calendar) -> (EventStructure, Figure1bVars) {
+    let month = cal.get("month").expect("standard calendar");
+    let year = cal.get("year").expect("standard calendar");
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("X0");
+    let x1 = b.var("X1");
+    let x2 = b.var("X2");
+    let x3 = b.var("X3");
+    b.constrain(x0, x1, Tcg::new(11, 11, month.clone()));
+    b.constrain(x0, x1, Tcg::new(0, 0, year.clone()));
+    b.constrain(x0, x2, Tcg::new(0, 12, month.clone()));
+    b.constrain(x2, x3, Tcg::new(11, 11, month));
+    b.constrain(x2, x3, Tcg::new(0, 0, year));
+    let s = b.build().expect("Figure 1(b) is a valid structure");
+    (s, Figure1bVars { x0, x1, x2, x3 })
+}
+
+/// Event types of Example 1 (interned into `reg`).
+#[derive(Clone, Copy, Debug)]
+pub struct Example1Types {
+    /// `IBM-rise` (assigned to X0).
+    pub ibm_rise: EventType,
+    /// `IBM-earnings-report` (assigned to X1).
+    pub ibm_report: EventType,
+    /// `HP-rise` (assigned to X2).
+    pub hp_rise: EventType,
+    /// `IBM-fall` (assigned to X3).
+    pub ibm_fall: EventType,
+}
+
+/// Builds the complex event type of Example 1: Figure 1(a) with
+/// `φ = {X0 ↦ IBM-rise, X1 ↦ IBM-earnings-report, X2 ↦ HP-rise,
+/// X3 ↦ IBM-fall}`.
+pub fn example_1(cal: &Calendar, reg: &mut TypeRegistry) -> (ComplexEventType, Example1Types) {
+    let (s, _) = figure_1a(cal);
+    let tys = Example1Types {
+        ibm_rise: reg.intern("IBM-rise"),
+        ibm_report: reg.intern("IBM-earnings-report"),
+        hp_rise: reg.intern("HP-rise"),
+        ibm_fall: reg.intern("IBM-fall"),
+    };
+    let cet = ComplexEventType::new(
+        s,
+        vec![tys.ibm_rise, tys.ibm_report, tys.hp_rise, tys.ibm_fall],
+    );
+    (cet, tys)
+}
+
+/// The discovery problem of the paper's Example 2 in structural form:
+/// Figure 1(a) with the root fixed to `IBM-rise`, `X3` pinned to
+/// `IBM-fall`, and `X1`, `X2` free — returned as the pieces
+/// `(structure, reference, pinned-leaf)` so callers can build a
+/// `DiscoveryProblem` without this crate depending on the mining layer.
+pub fn example_2_pieces(
+    cal: &Calendar,
+    reg: &mut TypeRegistry,
+) -> (EventStructure, EventType, (VarId, EventType)) {
+    let (s, v) = figure_1a(cal);
+    let rise = reg.intern("IBM-rise");
+    let fall = reg.intern("IBM-fall");
+    (s, rise, (v.x3, fall))
+}
+
+/// A timestamp witness for Figure 1(a) anchored on Monday 2000-01-03:
+/// rise Monday 10:00, report Tuesday 09:00, HP rise Thursday 06:00,
+/// fall Thursday 11:00.
+pub fn figure_1a_witness() -> [i64; 4] {
+    const DAY: i64 = 86_400;
+    let monday = 2 * DAY;
+    [
+        monday + 10 * 3_600,           // X0: Mon 10:00
+        monday + DAY + 9 * 3_600,      // X1: Tue 09:00 (next business day)
+        monday + 3 * DAY + 6 * 3_600,  // X2: Thu 06:00 (4th b-day window)
+        monday + 3 * DAY + 11 * 3_600, // X3: Thu 11:00 (same week, 5h after X2)
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgm_granularity::Granularity as _;
+
+    #[test]
+    fn figure_1a_witness_matches() {
+        let cal = Calendar::standard();
+        let (s, _) = figure_1a(&cal);
+        assert!(s.satisfied_by(&figure_1a_witness()));
+    }
+
+    #[test]
+    fn figure_1a_rejects_bad_assignments() {
+        const DAY: i64 = 86_400;
+        let cal = Calendar::standard();
+        let (s, _) = figure_1a(&cal);
+        let mut w = figure_1a_witness();
+        // Move the report two business days out.
+        w[1] += DAY;
+        assert!(!s.satisfied_by(&w));
+        // Weekend rise: business-day tick undefined.
+        let mut w2 = figure_1a_witness();
+        w2[0] = 10 * 3_600; // Saturday 2000-01-01
+        assert!(!s.satisfied_by(&w2));
+    }
+
+    #[test]
+    fn example_1_occurrence() {
+        let cal = Calendar::standard();
+        let mut reg = TypeRegistry::new();
+        let (cet, tys) = example_1(&cal, &mut reg);
+        let w = figure_1a_witness();
+        let inst = [
+            (tys.ibm_rise, w[0]),
+            (tys.ibm_report, w[1]),
+            (tys.hp_rise, w[2]),
+            (tys.ibm_fall, w[3]),
+        ];
+        assert!(cet.occurred_by(&inst));
+        // Swapping the types breaks the occurrence.
+        let bad = [
+            (tys.ibm_fall, w[0]),
+            (tys.ibm_report, w[1]),
+            (tys.hp_rise, w[2]),
+            (tys.ibm_rise, w[3]),
+        ];
+        assert!(!cet.occurred_by(&bad));
+    }
+
+    #[test]
+    fn figure_1b_builds_and_has_disjunction_shape() {
+        let cal = Calendar::standard();
+        let (s, v) = figure_1b(&cal);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.constraint_count(), 5);
+        // January 2000 / December 2000 / January 2001 / December 2001.
+        let month = cal.get("month").unwrap();
+        let jan00 = month.tick_intervals(1).unwrap().min();
+        let dec00 = month.tick_intervals(12).unwrap().min();
+        let jan01 = month.tick_intervals(13).unwrap().min();
+        let dec01 = month.tick_intervals(24).unwrap().min();
+        let mut times = [0i64; 4];
+        times[v.x0.index()] = jan00;
+        times[v.x1.index()] = dec00;
+        times[v.x2.index()] = jan01; // 12 months after X0: allowed
+        times[v.x3.index()] = dec01;
+        assert!(s.satisfied_by(&times));
+        // X2 in July 2000 (6 months): pinning constraint fails.
+        let jul00 = month.tick_intervals(7).unwrap().min();
+        let jun01 = month.tick_intervals(18).unwrap().min();
+        times[v.x2.index()] = jul00;
+        times[v.x3.index()] = jun01;
+        assert!(!s.satisfied_by(&times));
+    }
+}
+
+#[cfg(test)]
+mod example_2_tests {
+    use super::*;
+
+    #[test]
+    fn example_2_pieces_shape() {
+        let cal = Calendar::standard();
+        let mut reg = TypeRegistry::new();
+        let (s, reference, (pinned_var, pinned_ty)) = example_2_pieces(&cal, &mut reg);
+        assert_eq!(s.len(), 4);
+        assert_eq!(reg.name(reference), "IBM-rise");
+        assert_eq!(pinned_var.index(), 3);
+        assert_eq!(reg.name(pinned_ty), "IBM-fall");
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's primary contribution: *temporal constraints with
+//! granularities* (TCGs), *event structures*, and the reasoning machinery
+//! around them.
+//!
+//! From Bettini, Wang & Jajodia, *Testing Complex Temporal Relationships
+//! Involving Multiple Granularities and Its Application to Data Mining*
+//! (PODS 1996):
+//!
+//! * [`Tcg`] — a constraint `[m, n] μ` relating two timestamps by the
+//!   distance of their covering ticks in granularity `μ` (§3). Note the
+//!   paper's headline observation: `[0,0] day` is *not* `[0, 86399] second`.
+//! * [`EventStructure`] — a rooted DAG of event variables with sets of TCGs
+//!   on its arcs (§3); [`ComplexEventType`] instantiates variables with
+//!   event types.
+//! * [`convert_constraint`] — the granularity-conversion algorithm of
+//!   Appendix A.1 (Figure 3), built on `minsize`/`maxsize`/`mingap` tables.
+//! * [`propagate`] — the approximate constraint-propagation algorithm of
+//!   §3.2 (sound, polynomial; Theorem 2): per-granularity STP path
+//!   consistency interleaved with cross-granularity conversion, iterated to
+//!   a fixpoint.
+//! * [`exact`] — a horizon-bounded *exact* consistency checker (consistency
+//!   is NP-hard; Theorem 1), searching overlay-cell representatives.
+//! * [`reductions`] — the SUBSET SUM gadget of the Theorem 1 proof.
+//! * [`substructure`] — induced approximated sub-structures (§5.1) used to
+//!   prune the data-mining hypothesis space.
+//! * [`examples`] — the structures of Figure 1 and Example 1, used by tests
+//!   and by the experiment harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod structure;
+mod tcg;
+
+pub mod convert;
+pub mod dot;
+pub mod exact;
+pub mod examples;
+pub mod propagate;
+pub mod reductions;
+pub mod repeat;
+pub mod substructure;
+
+pub use convert::{convert_constraint, convert_constraint_for_defined_ticks, convert_constraint_paper};
+pub use error::StructureError;
+pub use structure::{ComplexEventType, EventStructure, StructureBuilder, VarId};
+pub use tcg::Tcg;

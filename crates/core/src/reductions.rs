@@ -1,0 +1,353 @@
+//! The SUBSET SUM reduction of Theorem 1 (paper Appendix A.2): a
+//! polynomial-time transformation of a subset-sum instance into an event
+//! structure that is consistent iff the instance is solvable.
+//!
+//! Given positive integers `n_1 … n_k` and a target `s`, the gadget uses
+//! variables `X_1 … X_{k+1}`, `V_1 … V_k`, `U_1 … U_k` and the `n_i-month`
+//! granularities (each tick groups `n_i` consecutive months):
+//!
+//! * `(X_i, X_{i+1}) ∈ [0, n_i] month`
+//! * `(X_1, X_{k+1}) ∈ [s, s] month`
+//! * `(V_i, X_i) ∈ [0,0] n_i-month` and `(V_i, X_i) ∈ [n_i−1, n_i−1] month`
+//! * `(U_i, X_{i+1}) ∈ [0,0] n_i-month` and `(U_i, X_{i+1}) ∈ [n_i−1, n_i−1] month`
+//!
+//! The `V_i`/`U_i` constraints pin `X_i` and `X_{i+1}` to the *last* month
+//! of an `n_i`-month tick, so their month distance is a multiple of `n_i`;
+//! combined with `[0, n_i] month` it is 0 or `n_i` — a disjunction encoded
+//! purely by granularity interaction (cf. Figure 1(b)). The `[s, s] month`
+//! constraint then demands that the chosen `n_i` sum to `s`.
+//!
+//! The paper's gadget has no root (its consistency question does not need
+//! one); to satisfy the event-structure definition we add a super-root `R`
+//! with slack `[0, H] month` arcs to every parentless variable, which does
+//! not affect satisfiability for a sufficiently large `H` (`H` covers the
+//! least common multiple of the values so that every residue class of the
+//! `n_i-month` grids is reachable for `X_1`).
+//!
+//! # Erratum (discovered by this reproduction)
+//!
+//! The paper's reduction, taken literally, is **incomplete**: the pins
+//! place each `X_i` in the last month of a tick of the *globally anchored*
+//! `n_i`-month grid, i.e. they impose congruences
+//! `m_1 ≡ n_i − 1 − D_i (mod n_i)` on the start month `m_1`, where `D_i` is
+//! the partial sum of the chosen distances. When values repeat, these
+//! congruences can conflict even though the subset-sum instance is
+//! solvable — e.g. `values = [3, 1, 3, 2]`, `target = 7`: the only
+//! qualifying subset forces `m_1 ≡ 2 (mod 3)` *and* `m_1 ≡ 1 (mod 3)`.
+//! So `consistent ⇒ subset sums to target` holds, but not the converse.
+//! With **pairwise-coprime** values the congruence system is always CRT-
+//! solvable and the reduction is faithful (SUBSET SUM remains NP-hard under
+//! that restriction, e.g. for sets of distinct primes). The function
+//! [`gadget_ground_truth`] decides the *actual* encoded problem (subset sum
+//! plus congruence side-conditions) by brute force, and the tests verify
+//! the exact checker against it on arbitrary values, and against plain
+//! subset sum on coprime values.
+
+use std::collections::HashMap;
+
+use tgm_granularity::{builtin, Gran};
+
+use crate::exact::ExactOptions;
+use crate::structure::{EventStructure, StructureBuilder};
+use crate::tcg::Tcg;
+
+/// Builds the Theorem 1 gadget for the instance `(values, target)`.
+///
+/// Panics if `values` is empty or contains zeros.
+///
+/// ```
+/// use tgm_core::reductions::{subset_sum_dp, subset_sum_structure};
+///
+/// let s = subset_sum_structure(&[2, 3], 5);
+/// assert_eq!(s.len(), 8); // R + X1..X3 + V1,V2 + U1,U2
+/// assert!(subset_sum_dp(&[2, 3], 5));
+/// ```
+pub fn subset_sum_structure(values: &[u64], target: u64) -> EventStructure {
+    assert!(!values.is_empty(), "subset-sum instance must be non-empty");
+    assert!(values.iter().all(|&v| v > 0), "values must be positive");
+    let k = values.len();
+    let month = Gran::new(builtin::month());
+    let mut n_months: HashMap<u64, Gran> = HashMap::new();
+    let mut n_month = |n: u64| -> Gran {
+        n_months
+            .entry(n)
+            .or_insert_with(|| Gran::new(builtin::n_month(n as i64)))
+            .clone()
+    };
+
+    let slack = gadget_slack_months(values, target);
+
+    let mut b = StructureBuilder::new();
+    let r = b.var("R");
+    let xs: Vec<_> = (1..=k + 1).map(|i| b.var(format!("X{i}"))).collect();
+    let vs: Vec<_> = (1..=k).map(|i| b.var(format!("V{i}"))).collect();
+    let us: Vec<_> = (1..=k).map(|i| b.var(format!("U{i}"))).collect();
+
+    // Super-root slack arcs to every parentless variable.
+    b.constrain(r, xs[0], Tcg::new(0, slack, month.clone()));
+    for i in 0..k {
+        b.constrain(r, vs[i], Tcg::new(0, slack, month.clone()));
+        b.constrain(r, us[i], Tcg::new(0, slack, month.clone()));
+    }
+
+    b.constrain(xs[0], xs[k], Tcg::new(target, target, month.clone()));
+    for (i, &ni) in values.iter().enumerate() {
+        let nm = n_month(ni);
+        b.constrain(xs[i], xs[i + 1], Tcg::new(0, ni, month.clone()));
+        b.constrain(vs[i], xs[i], Tcg::new(0, 0, nm.clone()));
+        b.constrain(vs[i], xs[i], Tcg::new(ni - 1, ni - 1, month.clone()));
+        b.constrain(us[i], xs[i + 1], Tcg::new(0, 0, nm));
+        b.constrain(us[i], xs[i + 1], Tcg::new(ni - 1, ni - 1, month.clone()));
+    }
+    b.build().expect("gadget is a valid rooted DAG")
+}
+
+/// Months of super-root slack: enough to reach every residue class of the
+/// `n_i`-month grids (one full lcm) plus the chain span.
+fn gadget_slack_months(values: &[u64], target: u64) -> u64 {
+    let l = lcm_of(values);
+    assert!(
+        l <= 200_000,
+        "value lcm {l} too large for the month horizon"
+    );
+    l + values.iter().sum::<u64>() + target + 2 * values.len() as u64 + 16
+}
+
+fn lcm_of(values: &[u64]) -> u64 {
+    values.iter().fold(1u64, |acc, &v| {
+        let g = gcd(acc, v);
+        acc / g * v
+    })
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Exact-checker options sized to the gadget. The super-root may sit
+/// anywhere in the first couple of months; the slack arcs inside the
+/// structure cover the full search span.
+pub fn subset_sum_options(_values: &[u64], _target: u64) -> ExactOptions {
+    ExactOptions {
+        horizon_start: 0,
+        horizon_end: 70 * 86_400,
+        max_candidates_per_var: 2_000_000,
+        ..ExactOptions::default()
+    }
+}
+
+/// Ground truth for what the gadget *actually* encodes (see the module-level
+/// erratum): does a subset with the given sum exist whose congruence
+/// side-conditions `m_1 ≡ n_i − 1 − D_i (mod n_i)` are simultaneously
+/// solvable? Brute force over the `2^k` subsets with incremental CRT.
+pub fn gadget_ground_truth(values: &[u64], target: u64) -> bool {
+    let k = values.len();
+    assert!(k <= 24, "brute-force ground truth limited to small k");
+    'subsets: for mask in 0u32..(1 << k) {
+        let mut sum = 0u64;
+        let mut d = 0i64; // partial sum D_i of chosen distances
+        // Incremental CRT state: m1 ≡ r (mod m).
+        let (mut r, mut m) = (0i64, 1i64);
+        for (i, &ni) in values.iter().enumerate() {
+            let ni_i = ni as i64;
+            // Congruence for X_i: m1 ≡ n_i - 1 - D_i (mod n_i).
+            let want = (ni_i - 1 - d).rem_euclid(ni_i);
+            match crt_combine(r, m, want, ni_i) {
+                Some((nr, nm)) => {
+                    r = nr;
+                    m = nm;
+                }
+                None => continue 'subsets,
+            }
+            if mask & (1 << i) != 0 {
+                sum += ni;
+                d += ni_i;
+            }
+        }
+        // Final congruence for X_{k+1} (pinned by U_k): same modulus as the
+        // last value with the full distance sum.
+        if let Some(&nk) = values.last() {
+            let nk_i = nk as i64;
+            let want = (nk_i - 1 - d).rem_euclid(nk_i);
+            if crt_combine(r, m, want, nk_i).is_none() {
+                continue 'subsets;
+            }
+        }
+        if sum == target {
+            return true;
+        }
+    }
+    false
+}
+
+/// Combines `x ≡ r1 (mod m1)` with `x ≡ r2 (mod m2)`; `None` if conflicting.
+fn crt_combine(r1: i64, m1: i64, r2: i64, m2: i64) -> Option<(i64, i64)> {
+    let g = gcd(m1 as u64, m2 as u64) as i64;
+    if (r2 - r1).rem_euclid(g) != 0 {
+        return None;
+    }
+    let l = m1 / g * m2;
+    // Step r1 by m1 until congruent to r2 mod m2 (moduli here are tiny).
+    let mut x = r1;
+    while x.rem_euclid(m2) != r2.rem_euclid(m2) {
+        x += m1;
+    }
+    Some((x.rem_euclid(l), l))
+}
+
+/// Whether the reduction is faithful for these values (pairwise coprime).
+pub fn values_pairwise_coprime(values: &[u64]) -> bool {
+    for i in 0..values.len() {
+        for j in i + 1..values.len() {
+            if gcd(values[i], values[j]) != 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Ground-truth dynamic-programming subset-sum solver.
+pub fn subset_sum_dp(values: &[u64], target: u64) -> bool {
+    let t = target as usize;
+    let mut reach = vec![false; t + 1];
+    reach[0] = true;
+    for &v in values {
+        let v = v as usize;
+        if v > t {
+            continue;
+        }
+        for x in (v..=t).rev() {
+            if reach[x - v] {
+                reach[x] = true;
+            }
+        }
+    }
+    reach[t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{check_with, ExactOutcome};
+    use crate::propagate::propagate;
+
+    #[test]
+    fn dp_solver_basics() {
+        assert!(subset_sum_dp(&[3, 5, 7], 8));
+        assert!(subset_sum_dp(&[3, 5, 7], 15));
+        assert!(subset_sum_dp(&[3, 5, 7], 0));
+        assert!(!subset_sum_dp(&[3, 5, 7], 4));
+        assert!(!subset_sum_dp(&[2, 4, 6], 9));
+    }
+
+    #[test]
+    fn gadget_shape() {
+        let s = subset_sum_structure(&[2, 3], 5);
+        // R + 3 X's + 2 V's + 2 U's.
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.name(s.root()), "R");
+        // months + 2-month + 3-month granularities.
+        assert_eq!(s.granularities().len(), 3);
+    }
+
+    #[test]
+    fn gadget_consistency_matches_dp_small() {
+        for (values, target) in [
+            (vec![2u64, 3], 5u64),
+            (vec![2, 3], 4),
+            (vec![2, 3], 3),
+            (vec![2, 4], 3),
+            (vec![3, 5, 2], 7),
+            (vec![3, 5, 2], 9),
+        ] {
+            let want = subset_sum_dp(&values, target);
+            let s = subset_sum_structure(&values, target);
+            let opts = subset_sum_options(&values, target);
+            let got = match check_with(&s, &opts).expect("within budget") {
+                ExactOutcome::Consistent(times) => {
+                    assert!(s.satisfied_by(&times));
+                    true
+                }
+                ExactOutcome::InconsistentWithinHorizon => false,
+            };
+            assert_eq!(
+                got, want,
+                "gadget consistency for {values:?} target {target} should be {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erratum_instance_repeated_values() {
+        // values [3,1,3,2], target 7: subset-sum solvable (3+1+3) but the
+        // congruence side-conditions conflict, so the paper's literal
+        // gadget is inconsistent. The exact checker agrees with the
+        // ground-truth solver, not with plain subset sum.
+        let values = [3u64, 1, 3, 2];
+        let target = 7u64;
+        assert!(subset_sum_dp(&values, target));
+        assert!(!gadget_ground_truth(&values, target));
+        let s = subset_sum_structure(&values, target);
+        let opts = subset_sum_options(&values, target);
+        assert_eq!(
+            check_with(&s, &opts).expect("within budget"),
+            ExactOutcome::InconsistentWithinHorizon
+        );
+    }
+
+    #[test]
+    fn ground_truth_equals_dp_for_coprime_values() {
+        for (values, targets) in [
+            (vec![2u64, 3], vec![1u64, 2, 3, 4, 5]),
+            (vec![2, 3, 5], vec![4, 6, 7, 9, 11]),
+            (vec![3, 4, 5], vec![2, 7, 8, 12]),
+        ] {
+            assert!(values_pairwise_coprime(&values));
+            for t in targets {
+                assert_eq!(
+                    gadget_ground_truth(&values, t),
+                    subset_sum_dp(&values, t),
+                    "coprime values {values:?} target {t}"
+                );
+            }
+        }
+        assert!(!values_pairwise_coprime(&[2, 4]));
+        assert!(!values_pairwise_coprime(&[3, 1, 3, 2]));
+        // NB: singleton/with-1 sets are trivially pairwise coprime.
+        assert!(values_pairwise_coprime(&[1, 1, 7]));
+    }
+
+    #[test]
+    fn exact_checker_matches_ground_truth_on_repeated_values() {
+        for (values, target) in [
+            (vec![2u64, 2], 2u64),
+            (vec![2, 2], 4),
+            (vec![2, 2], 3),
+            (vec![3, 3, 2], 5),
+            (vec![3, 1, 3, 2], 7),
+        ] {
+            let want = gadget_ground_truth(&values, target);
+            let s = subset_sum_structure(&values, target);
+            let opts = subset_sum_options(&values, target);
+            let got = matches!(
+                check_with(&s, &opts).expect("within budget"),
+                ExactOutcome::Consistent(_)
+            );
+            assert_eq!(got, want, "values {values:?} target {target}");
+        }
+    }
+
+    #[test]
+    fn approximate_propagation_cannot_refute_gadget() {
+        // The gadget's inconsistency (when the instance is unsolvable) comes
+        // from the granularity-encoded disjunction, which the sound
+        // polynomial propagator cannot detect — it must NOT refute.
+        let s = subset_sum_structure(&[2, 4], 3); // unsolvable
+        assert!(propagate(&s).is_consistent());
+    }
+}

@@ -1,0 +1,146 @@
+//! Repetitive event structures (paper §6): "the 'repetitive' kind of
+//! frequent events cannot be expressed using such structures. It is not
+//! difficult to extend event structures to include such repetitive types."
+//!
+//! This module realizes the extension by *unrolling*: `k` copies of a base
+//! structure chained root-to-root by user-supplied linking TCGs. The result
+//! is an ordinary event structure, so every algorithm of this crate and the
+//! automaton/mining layers applies unchanged.
+
+use tgm_events::EventType;
+
+use crate::error::StructureError;
+use crate::structure::{EventStructure, StructureBuilder, VarId};
+use crate::tcg::Tcg;
+
+/// Unrolls `base` into `k` chained copies.
+///
+/// Copy `i`'s variables are named `"<name>#<i>"`; for each `i > 0`, arcs
+/// with the `link` TCGs connect copy `i−1`'s root to copy `i`'s root (so
+/// e.g. `link = [[1,1] week]` expresses "the pattern repeats in `k`
+/// consecutive weeks"). `link` must be non-empty and `k ≥ 1`.
+pub fn unrolled(
+    base: &EventStructure,
+    k: usize,
+    link: &[Tcg],
+) -> Result<EventStructure, StructureError> {
+    assert!(k >= 1, "at least one repetition");
+    assert!(!link.is_empty(), "linking constraints required to chain copies");
+    let n = base.len();
+    let mut b = StructureBuilder::new();
+    let var_of = |copy: usize, v: VarId| VarId(copy * n + v.index());
+    for copy in 0..k {
+        for v in base.vars() {
+            let id = b.var(format!("{}#{copy}", base.name(v)));
+            debug_assert_eq!(id, var_of(copy, v));
+        }
+    }
+    for copy in 0..k {
+        for (a, to, cs) in base.arcs() {
+            for c in cs {
+                b.constrain(var_of(copy, a), var_of(copy, to), c.clone());
+            }
+        }
+        if copy > 0 {
+            for c in link {
+                b.constrain(
+                    var_of(copy - 1, base.root()),
+                    var_of(copy, base.root()),
+                    c.clone(),
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Repeats a per-copy type assignment `phi` (indexed by the base
+/// structure's variables) across `k` copies, matching the variable layout
+/// of [`unrolled`].
+pub fn unrolled_assignment(phi: &[EventType], k: usize) -> Vec<EventType> {
+    let mut out = Vec::with_capacity(phi.len() * k);
+    for _ in 0..k {
+        out.extend_from_slice(phi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::propagate::propagate;
+    use crate::structure::ComplexEventType;
+
+    const DAY: i64 = 86_400;
+    const HOUR: i64 = 3_600;
+
+    fn base() -> EventStructure {
+        // A -> B within 2 hours.
+        let cal = Calendar::standard();
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("A");
+        let x1 = b.var("B");
+        b.constrain(x0, x1, Tcg::new(0, 2, cal.get("hour").unwrap()));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unrolled_shape() {
+        let cal = Calendar::standard();
+        let link = [Tcg::new(1, 1, cal.get("day").unwrap())];
+        let s = unrolled(&base(), 3, &link).unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.name(s.root()), "A#0");
+        assert_eq!(s.name(VarId(5)), "B#2");
+        // Arcs: 3 copies x 1 + 2 links.
+        assert_eq!(s.constraint_count(), 5);
+        assert!(s.has_arc(VarId(0), VarId(2)));
+        assert!(s.has_arc(VarId(2), VarId(4)));
+        assert!(propagate(&s).is_consistent());
+    }
+
+    #[test]
+    fn unrolled_matches_daily_repetition() {
+        let cal = Calendar::standard();
+        let link = [Tcg::new(1, 1, cal.get("day").unwrap())];
+        let s = unrolled(&base(), 3, &link).unwrap();
+        // Witness: the A/B pair on three consecutive days.
+        let times: Vec<i64> = (0..3)
+            .flat_map(|d| [d * DAY + 9 * HOUR, d * DAY + 10 * HOUR])
+            .collect();
+        assert!(s.satisfied_by(&times));
+        // Skipping a day breaks the link.
+        let mut broken = times.clone();
+        broken[4] += DAY;
+        broken[5] += DAY;
+        assert!(!s.satisfied_by(&broken));
+    }
+
+    #[test]
+    fn unrolled_complex_event_type_through_tag_layerless_check() {
+        // The unrolled structure composes with ComplexEventType.
+        let cal = Calendar::standard();
+        let link = [Tcg::new(1, 1, cal.get("day").unwrap())];
+        let s = unrolled(&base(), 2, &link).unwrap();
+        let phi = unrolled_assignment(&[EventType(0), EventType(1)], 2);
+        let cet = ComplexEventType::new(s, phi);
+        let inst = [
+            (EventType(0), 9 * HOUR),
+            (EventType(1), 10 * HOUR),
+            (EventType(0), DAY + 9 * HOUR),
+            (EventType(1), DAY + 10 * HOUR),
+        ];
+        assert!(cet.occurred_by(&inst));
+    }
+
+    #[test]
+    fn single_copy_is_isomorphic_to_base() {
+        let cal = Calendar::standard();
+        let link = [Tcg::new(1, 1, cal.get("day").unwrap())];
+        let s = unrolled(&base(), 1, &link).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.constraint_count(), 1);
+    }
+}

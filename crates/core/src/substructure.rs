@@ -1,0 +1,118 @@
+//! Induced approximated sub-structures (paper §5.1).
+//!
+//! Not every subset of variables induces a faithful sub-structure (the
+//! example in §5.1: `{X0, X3}` of Figure 1(a) cannot carry the original
+//! four constraints precisely), so the paper *approximates*: after running
+//! the sound propagation of §3.2, the arc set of the induced sub-structure
+//! connects `(X, Y)` whenever a path `X → Y` exists in the original
+//! structure and some (original or derived) constraint relates them, and
+//! its `Γ'` sets collect every finite derived constraint.
+//!
+//! The key property (inherited from propagation soundness): if a complex
+//! event matches `S`, its restriction to the kept variables matches the
+//! induced sub-structure — which is what makes the Apriori-style candidate
+//! screening of §5.1 safe.
+
+use crate::propagate::Propagated;
+use crate::structure::{EventStructure, StructureBuilder, VarId};
+
+/// Builds the approximated sub-structure of `s` induced by `keep`
+/// (deduplicated, root added automatically if absent — the paper's usage
+/// always keeps the root).
+///
+/// Returns the sub-structure together with the mapping from its variable
+/// ids to the original ids.
+pub fn induced_substructure(
+    s: &EventStructure,
+    p: &Propagated,
+    keep: &[VarId],
+) -> (EventStructure, Vec<VarId>) {
+    assert!(p.is_consistent(), "cannot induce from a refuted structure");
+    let mut kept: Vec<VarId> = Vec::new();
+    if !keep.contains(&s.root()) {
+        kept.push(s.root());
+    }
+    for &v in keep {
+        if !kept.contains(&v) {
+            kept.push(v);
+        }
+    }
+    // Keep original relative order so the root stays first.
+    kept.sort_by_key(|v| {
+        if *v == s.root() {
+            (0, v.index())
+        } else {
+            (1, v.index())
+        }
+    });
+
+    let mut b = StructureBuilder::new();
+    let new_ids: Vec<VarId> = kept.iter().map(|&v| b.var(s.name(v))).collect();
+    for (ai, &a) in kept.iter().enumerate() {
+        for (bi, &bv) in kept.iter().enumerate() {
+            if a == bv || !s.has_path(a, bv) {
+                continue;
+            }
+            for tcg in p.derived_tcgs(a, bv) {
+                b.constrain(new_ids[ai], new_ids[bi], tcg);
+            }
+        }
+    }
+    let sub = b
+        .build()
+        .expect("induced sub-structure of a rooted DAG is a rooted DAG");
+    (sub, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::examples::{figure_1a, figure_1a_witness};
+    use crate::propagate::propagate;
+
+    #[test]
+    fn figure_1a_root_leaf_substructure() {
+        let cal = Calendar::standard();
+        let (s, v) = figure_1a(&cal);
+        let p = propagate(&s);
+        assert!(p.is_consistent());
+        let (sub, kept) = induced_substructure(&s, &p, &[v.x3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(kept, vec![v.x0, v.x3]);
+        // The paper derives both a week and an hour constraint on (X0, X3).
+        let tcgs = sub.constraints(VarId(0), VarId(1));
+        let grans: Vec<&str> = tcgs.iter().map(|t| t.gran().name()).collect();
+        assert!(grans.contains(&"week"), "expected a week constraint: {grans:?}");
+        assert!(grans.contains(&"hour"), "expected an hour constraint: {grans:?}");
+        // Soundness: the witness restriction matches the sub-structure.
+        let w = figure_1a_witness();
+        assert!(sub.satisfied_by(&[w[0], w[3]]));
+    }
+
+    #[test]
+    fn substructure_adds_root_automatically() {
+        let cal = Calendar::standard();
+        let (s, v) = figure_1a(&cal);
+        let p = propagate(&s);
+        let (sub, kept) = induced_substructure(&s, &p, &[v.x1, v.x3]);
+        assert_eq!(kept[0], v.x0);
+        assert_eq!(sub.len(), 3);
+        let w = figure_1a_witness();
+        assert!(sub.satisfied_by(&[w[0], w[1], w[3]]));
+    }
+
+    #[test]
+    fn unordered_pairs_get_no_arc() {
+        let cal = Calendar::standard();
+        let (s, v) = figure_1a(&cal);
+        let p = propagate(&s);
+        // X1 and X2 are not path-ordered: keeping both must not create an
+        // arc between them.
+        let (sub, kept) = induced_substructure(&s, &p, &[v.x1, v.x2]);
+        assert_eq!(kept, vec![v.x0, v.x1, v.x2]);
+        assert!(!sub.has_arc(VarId(1), VarId(2)));
+        assert!(!sub.has_arc(VarId(2), VarId(1)));
+    }
+}

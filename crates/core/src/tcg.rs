@@ -1,0 +1,178 @@
+//! Temporal constraints with granularities (paper §3).
+
+use std::fmt;
+
+use tgm_granularity::{Gran, Granularity, Second};
+
+/// A temporal constraint with granularity `[m, n] μ` (§3):
+///
+/// timestamps `t1 ≤ t2` satisfy it iff `⌈t1⌉μ` and `⌈t2⌉μ` are both defined
+/// and `m ≤ ⌈t2⌉μ − ⌈t1⌉μ ≤ n`.
+///
+/// ```
+/// use tgm_core::Tcg;
+/// use tgm_granularity::Calendar;
+///
+/// let cal = Calendar::standard();
+/// let same_day = Tcg::new(0, 0, cal.get("day").unwrap());
+/// // 11 pm on 2000-01-01 and 4 am on 2000-01-02: within 24 hours but NOT
+/// // the same day (the paper's "one day is not 24 hours" example).
+/// let t1 = 23 * 3_600;
+/// let t2 = 86_400 + 4 * 3_600;
+/// assert!(!same_day.satisfied(t1, t2));
+/// let within_24h = Tcg::new(0, 86_399, cal.get("second").unwrap());
+/// assert!(within_24h.satisfied(t1, t2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tcg {
+    lo: u64,
+    hi: u64,
+    gran: Gran,
+}
+
+impl Tcg {
+    /// Largest representable bound (~10^12 ticks): keeps all downstream
+    /// integer arithmetic (STP distance sums, size-table spans) far from
+    /// overflow while covering any physically meaningful constraint
+    /// (a trillion seconds is over 31,000 years).
+    pub const MAX_BOUND: u64 = 1 << 40;
+
+    /// Creates `[lo, hi] gran`; panics if `lo > hi` or `hi` exceeds
+    /// [`MAX_BOUND`](Self::MAX_BOUND).
+    pub fn new(lo: u64, hi: u64, gran: Gran) -> Self {
+        assert!(lo <= hi, "empty TCG [{lo}, {hi}]");
+        assert!(
+            hi <= Self::MAX_BOUND,
+            "TCG bound {hi} exceeds the supported maximum {}",
+            Self::MAX_BOUND
+        );
+        Tcg { lo, hi, gran }
+    }
+
+    /// The lower bound `m` on the tick distance.
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// The upper bound `n` on the tick distance.
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// The granularity `μ`.
+    pub fn gran(&self) -> &Gran {
+        &self.gran
+    }
+
+    /// The tick distance `⌈t2⌉μ − ⌈t1⌉μ`, if both covering ticks exist.
+    pub fn tick_distance(&self, t1: Second, t2: Second) -> Option<i64> {
+        let z1 = self.gran.covering_tick(t1)?;
+        let z2 = self.gran.covering_tick(t2)?;
+        Some(z2 - z1)
+    }
+
+    /// Whether `(t1, t2)` satisfies the constraint (requires `t1 ≤ t2`,
+    /// defined covering ticks, and the tick distance within `[lo, hi]`).
+    pub fn satisfied(&self, t1: Second, t2: Second) -> bool {
+        if t1 > t2 {
+            return false;
+        }
+        match self.tick_distance(t1, t2) {
+            Some(d) => d >= 0 && (self.lo as i64) <= d && d <= self.hi as i64,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for Tcg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]{}", self.lo, self.hi, self.gran.name())
+    }
+}
+
+impl fmt::Display for Tcg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_granularity::Calendar;
+
+    use super::*;
+
+    const DAY: i64 = 86_400;
+
+    fn cal() -> Calendar {
+        Calendar::standard()
+    }
+
+    #[test]
+    fn same_day_vs_24_hours() {
+        let c = cal();
+        let same_day = Tcg::new(0, 0, c.get("day").unwrap());
+        let day_secs = Tcg::new(0, 86_399, c.get("second").unwrap());
+        // 23:00 day 0 and 04:00 day 1.
+        let (t1, t2) = (23 * 3_600, DAY + 4 * 3_600);
+        assert!(!same_day.satisfied(t1, t2));
+        assert!(day_secs.satisfied(t1, t2));
+        // 01:00 and 22:00 of day 0: both hold.
+        let (t3, t4) = (3_600, 22 * 3_600);
+        assert!(same_day.satisfied(t3, t4));
+        assert!(day_secs.satisfied(t3, t4));
+    }
+
+    #[test]
+    fn within_two_hours_example() {
+        // Paper: e1, e2 satisfy [0,2] hour iff e2 in the same second or
+        // within two (hour-tick distances of) hours after e1.
+        let c = cal();
+        let tcg = Tcg::new(0, 2, c.get("hour").unwrap());
+        assert!(tcg.satisfied(100, 100));
+        assert!(tcg.satisfied(100, 3_600 * 2 + 50)); // two hour-ticks later
+        assert!(!tcg.satisfied(100, 3_600 * 3 + 1)); // three ticks later
+        assert!(!tcg.satisfied(200, 100)); // order violated
+    }
+
+    #[test]
+    fn next_month_example() {
+        let c = cal();
+        let tcg = Tcg::new(1, 1, c.get("month").unwrap());
+        // Jan 31 and Feb 1 2000 are in consecutive months.
+        assert!(tcg.satisfied(30 * DAY, 31 * DAY));
+        // Jan 1 and Jan 31 are the same month.
+        assert!(!tcg.satisfied(0, 30 * DAY));
+    }
+
+    #[test]
+    fn undefined_tick_fails() {
+        let c = cal();
+        let bday = Tcg::new(0, 1, c.get("business-day").unwrap());
+        // Epoch is a Saturday: no covering business day.
+        assert!(!bday.satisfied(0, 3 * DAY));
+        assert!(bday.satisfied(2 * DAY, 3 * DAY)); // Mon -> Tue
+    }
+
+    #[test]
+    fn order_required_even_with_equal_ticks() {
+        let c = cal();
+        let same_day = Tcg::new(0, 0, c.get("day").unwrap());
+        assert!(same_day.satisfied(100, 100));
+        assert!(!same_day.satisfied(200, 100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_bounds() {
+        let c = cal();
+        let _ = Tcg::new(0, u64::MAX, c.get("second").unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_bounds() {
+        let c = cal();
+        let _ = Tcg::new(3, 2, c.get("day").unwrap());
+    }
+}

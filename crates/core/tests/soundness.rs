@@ -1,0 +1,220 @@
+//! Property tests for the soundness contracts of the core reasoning layer:
+//!
+//! * conversion (Appendix A.1): every pair satisfying the source TCG
+//!   satisfies the converted TCG;
+//! * propagation (Theorem 2): a structure built around a witness is never
+//!   refuted, and the witness satisfies every derived constraint;
+//! * exact checking: agrees with propagation-refutation and returns real
+//!   witnesses.
+
+use proptest::prelude::*;
+use tgm_core::exact::{check_with, ExactOptions, ExactOutcome};
+use tgm_core::propagate::propagate;
+use tgm_core::{convert_constraint, StructureBuilder, Tcg, VarId};
+use tgm_granularity::{Calendar, Gran, Granularity};
+
+const DAY: i64 = 86_400;
+
+fn calendar() -> Calendar {
+    Calendar::with_holidays(vec![3, 17, 45])
+}
+
+fn all_grans() -> Vec<Gran> {
+    calendar().iter().cloned().collect()
+}
+
+fn gapless_grans() -> Vec<Gran> {
+    all_grans().into_iter().filter(|g| !g.has_gaps()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conversion soundness: satisfying pairs of the source constraint
+    /// satisfy the converted constraint.
+    #[test]
+    fn conversion_sound(
+        src_idx in 0..12usize,
+        dst_idx in 0..7usize,
+        m in 0u64..6,
+        width in 0u64..6,
+        t1 in 0i64..200 * DAY,
+        d_frac in 0.0f64..1.0,
+        within in 0.0f64..1.0,
+    ) {
+        let grans = all_grans();
+        let gapless = gapless_grans();
+        let src_g = grans[src_idx % grans.len()].clone();
+        let dst_g = gapless[dst_idx % gapless.len()].clone();
+        let tcg = Tcg::new(m, m + width, src_g.clone());
+        let Some(conv) = convert_constraint(&tcg, &dst_g) else {
+            // Only gapped targets are refused; dst is gapless.
+            prop_assert!(false, "conversion to gapless target must succeed");
+            return Ok(());
+        };
+        // Construct a satisfying pair: t1 in a tick, t2 in the tick d away.
+        let Some(z1) = src_g.covering_tick(t1) else { return Ok(()) };
+        let d = m + ((width as f64 + 0.999) * d_frac) as u64;
+        let z2 = z1 + d as i64;
+        let Some(set2) = src_g.tick_intervals(z2) else { return Ok(()) };
+        // Pick an instant in tick z2 not before t1.
+        let lo = set2.min().max(t1);
+        if lo > set2.max() { return Ok(()); }
+        let t2 = lo + ((set2.max() - lo) as f64 * within) as i64;
+        let t2 = if set2.contains(t2) { t2 } else { set2.max() };
+        if !tcg.satisfied(t1, t2) { return Ok(()); }
+        prop_assert!(
+            conv.satisfied(t1, t2),
+            "{tcg} holds for ({t1},{t2}) but converted {conv} does not"
+        );
+    }
+
+    /// Propagation soundness on randomly generated witness-backed chains
+    /// with cross-links: never refuted; witness inside all derived TCGs and
+    /// seconds windows.
+    #[test]
+    fn propagation_never_refutes_witnessed_structures(
+        n_vars in 2usize..6,
+        seed_times in proptest::collection::vec(0i64..120 * DAY, 6),
+        gran_picks in proptest::collection::vec(0usize..12, 16),
+        slacks in proptest::collection::vec((0u64..3, 0u64..3), 16),
+        extra_arcs in proptest::collection::vec((0usize..6, 0usize..6), 0..6),
+    ) {
+        let grans = all_grans();
+        // Witness: sorted distinct-ish times, variable i at times[i].
+        let mut times: Vec<i64> = seed_times[..n_vars].to_vec();
+        times.sort_unstable();
+
+        let mut b = StructureBuilder::new();
+        let vars: Vec<VarId> = (0..n_vars).map(|i| b.var(format!("X{i}"))).collect();
+        let mut gp = gran_picks.iter().cycle();
+        let mut sp = slacks.iter().cycle();
+        let mut added = 0usize;
+
+        // Backbone: root -> each var, using a constraint compatible with
+        // the witness in some granularity with both ticks defined.
+        let mut arcs: Vec<(usize, usize)> = (1..n_vars).map(|j| (0, j)).collect();
+        for &(a, b_) in &extra_arcs {
+            let (a, b_) = (a % n_vars, b_ % n_vars);
+            if a < b_ {
+                arcs.push((a, b_));
+            }
+        }
+        for (i, j) in arcs {
+            let (ti, tj) = (times[i], times[j]);
+            // Try granularities until one has both ticks defined.
+            let mut placed = false;
+            for _ in 0..grans.len() {
+                let g = grans[gp.next().unwrap() % grans.len()].clone();
+                let (Some(zi), Some(zj)) = (g.covering_tick(ti), g.covering_tick(tj)) else {
+                    continue;
+                };
+                let d = (zj - zi) as u64;
+                let &(s_lo, s_hi) = sp.next().unwrap();
+                let lo = d.saturating_sub(s_lo);
+                b.constrain(vars[i], vars[j], Tcg::new(lo, d + s_hi, g));
+                added += 1;
+                placed = true;
+                break;
+            }
+            if !placed && i == 0 {
+                // Guarantee rootedness with the primitive type.
+                let sec = grans.iter().find(|g| g.name() == "second").unwrap().clone();
+                let d = (tj - ti) as u64;
+                b.constrain(vars[i], vars[j], Tcg::new(d, d, sec));
+                added += 1;
+            }
+        }
+        prop_assume!(added > 0);
+        let s = match b.build() {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(s.satisfied_by(&times), "witness must match by construction");
+
+        let p = propagate(&s);
+        prop_assert!(p.is_consistent(), "sound propagation refuted a satisfiable structure:\n{s:?}witness {times:?}");
+
+        for i in s.vars() {
+            for j in s.vars() {
+                if i == j { continue; }
+                for t in p.derived_tcgs(i, j) {
+                    prop_assert!(
+                        t.satisfied(times[i.index()], times[j.index()]),
+                        "derived {t} on ({i:?},{j:?}) violated by witness {times:?}\n{s:?}"
+                    );
+                }
+                if let Some(w) = p.seconds_window(i, j) {
+                    let diff = times[j.index()] - times[i.index()];
+                    prop_assert!(
+                        w.contains(diff),
+                        "seconds window {w:?} on ({i:?},{j:?}) excludes witness diff {diff}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The exact checker finds a witness for small witnessed structures and
+    /// the witness really matches.
+    #[test]
+    fn exact_finds_witness_for_small_structures(
+        t1_day in 0i64..40,
+        gap_days in 0u64..5,
+        use_week in any::<bool>(),
+    ) {
+        let cal = calendar();
+        let day = cal.get("day").unwrap();
+        let week = cal.get("week").unwrap();
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let x1 = b.var("X1");
+        b.constrain(x0, x1, Tcg::new(gap_days, gap_days + 1, day));
+        if use_week {
+            b.constrain(x0, x1, Tcg::new(0, 1, week));
+        }
+        let s = b.build().unwrap();
+        let opts = ExactOptions {
+            horizon_start: t1_day * DAY,
+            horizon_end: (t1_day + 30) * DAY,
+            ..ExactOptions::default()
+        };
+        match check_with(&s, &opts).unwrap() {
+            ExactOutcome::Consistent(times) => {
+                prop_assert!(s.satisfied_by(&times));
+                prop_assert!(times[0] >= opts.horizon_start && times[0] <= opts.horizon_end);
+            }
+            ExactOutcome::InconsistentWithinHorizon => {
+                // [gap, gap+1] day with optional [0,1] week is always
+                // satisfiable for gap <= 5 in a 30-day horizon.
+                prop_assert!(gap_days > 7, "should have found a witness");
+            }
+        }
+    }
+}
+
+#[test]
+fn propagation_detects_planted_contradictions() {
+    // Systematic small grid of contradictory same-granularity triangles.
+    let cal = calendar();
+    let day = cal.get("day").unwrap();
+    for a in 0..4u64 {
+        for b_ in 0..4u64 {
+            let mut b = StructureBuilder::new();
+            let x0 = b.var("X0");
+            let x1 = b.var("X1");
+            let x2 = b.var("X2");
+            b.constrain(x0, x1, Tcg::new(a, a, day.clone()));
+            b.constrain(x1, x2, Tcg::new(b_, b_, day.clone()));
+            // Direct constraint incompatible with the sum.
+            b.constrain(x0, x2, Tcg::new(a + b_ + 1, a + b_ + 2, day.clone()));
+            let s = b.build().unwrap();
+            assert!(
+                !propagate(&s).is_consistent(),
+                "triangle {a}+{b_} vs [{},{}] must be refuted",
+                a + b_ + 1,
+                a + b_ + 2
+            );
+        }
+    }
+}

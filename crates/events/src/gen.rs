@@ -1,0 +1,355 @@
+//! Seeded synthetic workload generators for the application domains of the
+//! paper's introduction: stock tickers, ATM transaction streams, and
+//! industrial-plant telemetry, plus generic Poisson background noise.
+//!
+//! All generators are deterministic given their seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tgm_granularity::{weekday_from_days, Second, Weekday};
+
+use crate::{Event, EventSequence, EventType, SequenceBuilder, TypeRegistry};
+
+const DAY: i64 = 86_400;
+
+fn is_weekday(day: i64) -> bool {
+    !matches!(weekday_from_days(day), Weekday::Sat | Weekday::Sun)
+}
+
+/// Poisson background noise: events of random types with exponential
+/// inter-arrival gaps of the given mean, over `[start, end]`.
+pub fn poisson_noise(
+    types: &[EventType],
+    mean_gap_secs: f64,
+    start: Second,
+    end: Second,
+    seed: u64,
+) -> EventSequence {
+    assert!(!types.is_empty() && mean_gap_secs > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SequenceBuilder::new();
+    let mut t = start;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += (-u.ln() * mean_gap_secs).ceil() as i64;
+        if t > end {
+            break;
+        }
+        let ty = *types.choose(&mut rng).expect("non-empty");
+        b.push(ty, t);
+    }
+    b.build()
+}
+
+/// Configuration for the stock-ticker workload (paper Examples 1–2).
+#[derive(Clone, Debug)]
+pub struct StockMarketConfig {
+    /// Ticker symbols, e.g. `["IBM", "HP"]`.
+    pub symbols: Vec<String>,
+    /// Number of calendar days to simulate, starting at the epoch.
+    pub days: i64,
+    /// Minutes between price observations during trading hours.
+    pub tick_minutes: i64,
+    /// Probability that a price observation is a rise (vs. a fall).
+    pub rise_probability: f64,
+    /// Mean business days between earnings reports per symbol.
+    pub report_period_bdays: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StockMarketConfig {
+    fn default() -> Self {
+        StockMarketConfig {
+            symbols: vec!["IBM".into(), "HP".into()],
+            days: 120,
+            tick_minutes: 15,
+            rise_probability: 0.5,
+            report_period_bdays: 63, // quarterly
+            seed: 0xACE1,
+        }
+    }
+}
+
+/// Generates a stock-ticker event sequence: `<sym>-rise` / `<sym>-fall`
+/// every `tick_minutes` during trading hours (09:30–16:00) on weekdays, and
+/// `<sym>-earnings-report` events at roughly the configured period.
+///
+/// This mirrors the sequence of paper Example 1, which "records stock-price
+/// fluctuations (rise and fall) every 15 minutes … as well as the time of
+/// the release of company earnings reports".
+pub fn stock_market(
+    cfg: &StockMarketConfig,
+    reg: &mut TypeRegistry,
+) -> EventSequence {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = SequenceBuilder::new();
+    let open = 9 * 3_600 + 30 * 60;
+    let close = 16 * 3_600;
+    for sym in &cfg.symbols {
+        let rise = reg.intern(&format!("{sym}-rise"));
+        let fall = reg.intern(&format!("{sym}-fall"));
+        let report = reg.intern(&format!("{sym}-earnings-report"));
+        let mut bdays_to_report = rng.gen_range(1..=cfg.report_period_bdays);
+        for day in 0..cfg.days {
+            if !is_weekday(day) {
+                continue;
+            }
+            let base = day * DAY;
+            let mut t = base + open;
+            while t <= base + close {
+                let ty = if rng.gen_bool(cfg.rise_probability) {
+                    rise
+                } else {
+                    fall
+                };
+                b.push(ty, t);
+                t += cfg.tick_minutes * 60;
+            }
+            bdays_to_report -= 1;
+            if bdays_to_report == 0 {
+                // Reports land in the morning before the open.
+                b.push(report, base + 8 * 3_600 + rng.gen_range(0..1_800));
+                bdays_to_report = cfg.report_period_bdays
+                    + rng.gen_range(-5..=5).max(1 - cfg.report_period_bdays);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Configuration for the ATM transaction workload.
+#[derive(Clone, Debug)]
+pub struct AtmConfig {
+    /// Number of simulated customers.
+    pub customers: usize,
+    /// Number of calendar days.
+    pub days: i64,
+    /// Mean transactions per customer per day.
+    pub txns_per_day: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AtmConfig {
+    fn default() -> Self {
+        AtmConfig {
+            customers: 20,
+            days: 90,
+            txns_per_day: 1.2,
+            seed: 0xA7A7,
+        }
+    }
+}
+
+/// Generates an ATM transaction stream with the type alphabet
+/// `deposit`, `withdrawal`, `large-withdrawal`, `balance-check`,
+/// `pin-failure` and a weekly `salary-deposit` regularity (every Friday for
+/// each customer) — the "events occurring in the same day / within k weeks"
+/// motif of the paper's introduction.
+pub fn atm_transactions(cfg: &AtmConfig, reg: &mut TypeRegistry) -> EventSequence {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let deposit = reg.intern("deposit");
+    let withdrawal = reg.intern("withdrawal");
+    let large = reg.intern("large-withdrawal");
+    let check = reg.intern("balance-check");
+    let pin_fail = reg.intern("pin-failure");
+    let salary = reg.intern("salary-deposit");
+    let weights = [
+        (withdrawal, 0.45),
+        (deposit, 0.2),
+        (check, 0.2),
+        (large, 0.1),
+        (pin_fail, 0.05),
+    ];
+    let mut b = SequenceBuilder::new();
+    for _customer in 0..cfg.customers {
+        for day in 0..cfg.days {
+            if weekday_from_days(day) == Weekday::Fri {
+                b.push(salary, day * DAY + rng.gen_range(6 * 3_600..10 * 3_600));
+            }
+            let n = poisson_count(&mut rng, cfg.txns_per_day);
+            for _ in 0..n {
+                let r: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut ty = withdrawal;
+                for &(cand, w) in &weights {
+                    acc += w;
+                    if r < acc {
+                        ty = cand;
+                        break;
+                    }
+                }
+                b.push(ty, day * DAY + rng.gen_range(7 * 3_600..22 * 3_600));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Configuration for the industrial-plant telemetry workload.
+#[derive(Clone, Debug)]
+pub struct PlantConfig {
+    /// Number of calendar days.
+    pub days: i64,
+    /// Mean days between malfunction cascades.
+    pub cascade_period_days: f64,
+    /// Mean spurious sensor events per day.
+    pub noise_per_day: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantConfig {
+    fn default() -> Self {
+        PlantConfig {
+            days: 180,
+            cascade_period_days: 7.0,
+            noise_per_day: 3.0,
+            seed: 0x50_1A,
+        }
+    }
+}
+
+/// Generates plant telemetry with an embedded causal cascade:
+/// `temp-spike` → `pressure-drop` (2–6 hours later) → `valve-fault`
+/// (the next day) → occasionally `shutdown`, on top of spurious sensor
+/// noise. Mirrors the "events related to malfunctions in an industrial
+/// plant" example of the paper's introduction.
+pub fn plant_telemetry(cfg: &PlantConfig, reg: &mut TypeRegistry) -> EventSequence {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let temp = reg.intern("temp-spike");
+    let pressure = reg.intern("pressure-drop");
+    let valve = reg.intern("valve-fault");
+    let shutdown = reg.intern("shutdown");
+    let noise_types = [
+        reg.intern("sensor-ping"),
+        reg.intern("filter-change"),
+        reg.intern("operator-login"),
+    ];
+    let mut b = SequenceBuilder::new();
+    for day in 0..cfg.days {
+        let n = poisson_count(&mut rng, cfg.noise_per_day);
+        for _ in 0..n {
+            let ty = *noise_types.choose(&mut rng).unwrap();
+            b.push(ty, day * DAY + rng.gen_range(0..DAY));
+        }
+        if rng.gen_bool((1.0 / cfg.cascade_period_days).min(1.0)) {
+            let t0 = day * DAY + rng.gen_range(0..18 * 3_600);
+            b.push(temp, t0);
+            let t1 = t0 + rng.gen_range(2 * 3_600..6 * 3_600);
+            b.push(pressure, t1);
+            let t2 = (day + 1) * DAY + rng.gen_range(8 * 3_600..16 * 3_600);
+            b.push(valve, t2);
+            if rng.gen_bool(0.3) {
+                b.push(shutdown, t2 + rng.gen_range(600..7_200));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Plants explicit event groups into a sequence: each group is a list of
+/// `(type, timestamp)` pairs (e.g. a witness of a complex event type).
+pub fn with_planted(seq: &EventSequence, groups: &[Vec<(EventType, Second)>]) -> EventSequence {
+    let mut all: Vec<Event> = seq.events().to_vec();
+    for g in groups {
+        all.extend(g.iter().map(|&(ty, t)| Event::new(ty, t)));
+    }
+    EventSequence::from_events(all)
+}
+
+fn poisson_count(rng: &mut StdRng, mean: f64) -> usize {
+    // Knuth's algorithm; fine for the small means used here.
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // safety valve for absurd means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_market_is_deterministic_and_weekday_only() {
+        let mut reg1 = TypeRegistry::new();
+        let cfg = StockMarketConfig {
+            days: 30,
+            ..Default::default()
+        };
+        let s1 = stock_market(&cfg, &mut reg1);
+        let mut reg2 = TypeRegistry::new();
+        let s2 = stock_market(&cfg, &mut reg2);
+        assert_eq!(s1, s2, "same seed must give same sequence");
+        assert!(!s1.is_empty());
+        for e in &s1 {
+            assert!(is_weekday(e.time.div_euclid(DAY)), "event on weekend: {e:?}");
+        }
+        // Alphabet: rise/fall/report for both symbols.
+        assert_eq!(reg1.len(), 6);
+    }
+
+    #[test]
+    fn stock_market_has_reports() {
+        let mut reg = TypeRegistry::new();
+        let cfg = StockMarketConfig {
+            days: 365,
+            ..Default::default()
+        };
+        let s = stock_market(&cfg, &mut reg);
+        let rep = reg.get("IBM-earnings-report").unwrap();
+        assert!(s.count_of(rep) >= 2, "expected a few quarterly reports");
+    }
+
+    #[test]
+    fn atm_has_friday_salaries() {
+        let mut reg = TypeRegistry::new();
+        let s = atm_transactions(&AtmConfig::default(), &mut reg);
+        let salary = reg.get("salary-deposit").unwrap();
+        assert!(s.count_of(salary) > 0);
+        for e in s.occurrences_of(salary) {
+            assert_eq!(weekday_from_days(e.time.div_euclid(DAY)), Weekday::Fri);
+        }
+    }
+
+    #[test]
+    fn plant_cascades_are_ordered() {
+        let mut reg = TypeRegistry::new();
+        let s = plant_telemetry(&PlantConfig::default(), &mut reg);
+        let temp = reg.get("temp-spike").unwrap();
+        let pressure = reg.get("pressure-drop").unwrap();
+        assert!(s.count_of(temp) > 0);
+        assert_eq!(s.count_of(temp), s.count_of(pressure));
+    }
+
+    #[test]
+    fn poisson_noise_respects_span() {
+        let types = [EventType(0), EventType(1)];
+        let s = poisson_noise(&types, 600.0, 1_000, 100_000, 42);
+        assert!(!s.is_empty());
+        assert!(s.start().unwrap() > 1_000);
+        assert!(s.end().unwrap() <= 100_000);
+    }
+
+    #[test]
+    fn with_planted_merges() {
+        let base = EventSequence::from_events(vec![Event::new(EventType(0), 10)]);
+        let out = with_planted(
+            &base,
+            &[vec![(EventType(1), 5), (EventType(2), 20)]],
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.events()[0].time, 5);
+    }
+}

@@ -1,0 +1,186 @@
+//! JSON import/export of event sequences (types stored by name).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Event, EventSequence, TypeRegistry};
+
+#[derive(Serialize, Deserialize)]
+struct JsonEvent {
+    /// Event-type name.
+    ty: String,
+    /// Timestamp in seconds since the epoch.
+    time: i64,
+}
+
+/// Serializes a sequence to a JSON array of `{ty, time}` records.
+pub fn to_json(seq: &EventSequence, reg: &TypeRegistry) -> String {
+    let recs: Vec<JsonEvent> = seq
+        .events()
+        .iter()
+        .map(|e| JsonEvent {
+            ty: reg.name(e.ty).to_owned(),
+            time: e.time,
+        })
+        .collect();
+    serde_json::to_string(&recs).expect("event records always serialize")
+}
+
+/// Parses a JSON array of `{ty, time}` records, interning type names into a
+/// fresh registry.
+pub fn from_json(json: &str) -> Result<(TypeRegistry, EventSequence), serde_json::Error> {
+    let recs: Vec<JsonEvent> = serde_json::from_str(json)?;
+    let mut reg = TypeRegistry::new();
+    let events = recs
+        .into_iter()
+        .map(|r| Event::new(reg.intern(&r.ty), r.time))
+        .collect();
+    Ok((reg, EventSequence::from_events(events)))
+}
+
+/// Parses records into an *existing* registry (types shared with other
+/// sequences).
+pub fn from_json_into(
+    json: &str,
+    reg: &mut TypeRegistry,
+) -> Result<EventSequence, serde_json::Error> {
+    let recs: Vec<JsonEvent> = serde_json::from_str(json)?;
+    let events = recs
+        .into_iter()
+        .map(|r| Event::new(reg.intern(&r.ty), r.time))
+        .collect();
+    Ok(EventSequence::from_events(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("IBM-rise");
+        let b = reg.intern("IBM-fall");
+        let seq = EventSequence::from_events(vec![Event::new(a, 100), Event::new(b, 200)]);
+        let json = to_json(&seq, &reg);
+        let (reg2, seq2) = from_json(&json).unwrap();
+        assert_eq!(seq2.len(), 2);
+        assert_eq!(reg2.name(seq2.events()[0].ty), "IBM-rise");
+        assert_eq!(seq2.events()[1].time, 200);
+    }
+
+    #[test]
+    fn from_json_into_shares_registry() {
+        let mut reg = TypeRegistry::new();
+        let pre = reg.intern("IBM-rise");
+        let seq =
+            from_json_into(r#"[{"ty":"IBM-rise","time":5},{"ty":"HP-rise","time":6}]"#, &mut reg)
+                .unwrap();
+        assert_eq!(seq.events()[0].ty, pre);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"[{"ty": 3}]"#).is_err());
+    }
+}
+
+/// Serializes a sequence as CSV lines `type,time` with a header.
+pub fn to_csv(seq: &EventSequence, reg: &TypeRegistry) -> String {
+    let mut out = String::from("ty,time\n");
+    for e in seq.events() {
+        out.push_str(&format!("{},{}\n", reg.name(e.ty), e.time));
+    }
+    out
+}
+
+/// Error from CSV parsing.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses `type,time` CSV (optional `ty,time` header, `#` comments,
+/// blank lines ignored), interning type names into a fresh registry.
+pub fn from_csv(csv: &str) -> Result<(TypeRegistry, EventSequence), CsvError> {
+    let mut reg = TypeRegistry::new();
+    let mut events = Vec::new();
+    for (i, raw) in csv.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || (i == 0 && line == "ty,time") {
+            continue;
+        }
+        let (ty, time) = line.rsplit_once(',').ok_or_else(|| CsvError {
+            line: i + 1,
+            message: "expected `type,time`".into(),
+        })?;
+        let ty = ty.trim();
+        if ty.is_empty() {
+            return Err(CsvError {
+                line: i + 1,
+                message: "empty type name".into(),
+            });
+        }
+        let time: i64 = time.trim().parse().map_err(|e| CsvError {
+            line: i + 1,
+            message: format!("bad timestamp: {e}"),
+        })?;
+        events.push(Event::new(reg.intern(ty), time));
+    }
+    Ok((reg, EventSequence::from_events(events)))
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("IBM-rise");
+        let b = reg.intern("IBM-fall");
+        let seq = EventSequence::from_events(vec![Event::new(a, 100), Event::new(b, 200)]);
+        let csv = to_csv(&seq, &reg);
+        assert!(csv.starts_with("ty,time\n"));
+        let (reg2, seq2) = from_csv(&csv).unwrap();
+        assert_eq!(seq2.len(), 2);
+        assert_eq!(reg2.name(seq2.events()[0].ty), "IBM-rise");
+    }
+
+    #[test]
+    fn csv_tolerates_comments_and_blank_lines() {
+        let (reg, seq) = from_csv("# data\nalpha,5\n\nbeta,10 # trailing\n").unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn csv_errors_carry_line_numbers() {
+        let err = from_csv("ty,time\nok,1\nbroken-line\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = from_csv("x,notanumber").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = from_csv(",5").unwrap_err();
+        assert!(err.message.contains("empty type"));
+    }
+
+    #[test]
+    fn csv_type_names_may_contain_commas_not() {
+        // rsplit_once means the LAST comma separates the timestamp, so a
+        // type name containing commas still parses.
+        let (reg, seq) = from_csv("weird,name,42").unwrap();
+        assert_eq!(reg.name(seq.events()[0].ty), "weird,name");
+    }
+}

@@ -1,0 +1,17 @@
+//! Event model for temporal-pattern mining (paper §2): event types, events
+//! `(E, t)` with integer-second timestamps, finite event sequences, and
+//! seeded synthetic workload generators for the application domains the
+//! paper motivates (stock tickers, ATM transactions, industrial plants).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod registry;
+mod sequence;
+
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use registry::{EventType, TypeRegistry};
+pub use sequence::{Event, EventSequence, SequenceBuilder};

@@ -1,0 +1,99 @@
+//! Interned event types.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned event type (e.g. `IBM-rise`), cheap to copy and compare.
+///
+/// Obtained from a [`TypeRegistry`]; the numeric id is only meaningful
+/// relative to the registry that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventType(pub u32);
+
+impl fmt::Debug for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl EventType {
+    /// The raw id (index into the owning registry).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping event-type names to [`EventType`] ids.
+#[derive(Default, Clone, Debug)]
+pub struct TypeRegistry {
+    names: Vec<String>,
+    ids: HashMap<String, EventType>,
+}
+
+impl TypeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> EventType {
+        if let Some(&ty) = self.ids.get(name) {
+            return ty;
+        }
+        let ty = EventType(u32::try_from(self.names.len()).expect("too many event types"));
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), ty);
+        ty
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<EventType> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of an interned type. Panics on a foreign id.
+    pub fn name(&self, ty: EventType) -> &str {
+        &self.names[ty.index()]
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no types are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned types in id order.
+    pub fn all(&self) -> impl Iterator<Item = EventType> + '_ {
+        (0..self.names.len() as u32).map(EventType)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut r = TypeRegistry::new();
+        let a = r.intern("IBM-rise");
+        let b = r.intern("IBM-fall");
+        assert_ne!(a, b);
+        assert_eq!(r.intern("IBM-rise"), a);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.name(a), "IBM-rise");
+        assert_eq!(r.get("IBM-fall"), Some(b));
+        assert_eq!(r.get("HP-rise"), None);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let mut r = TypeRegistry::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|n| r.intern(n)).collect();
+        assert_eq!(r.all().collect::<Vec<_>>(), ids);
+    }
+}

@@ -1,0 +1,258 @@
+//! Timestamped events and time-ordered event sequences.
+
+use std::fmt;
+use std::ops::RangeInclusive;
+
+use tgm_granularity::Second;
+
+use crate::registry::EventType;
+
+/// An event `(E, t)`: an occurrence of event type `E` at timestamp `t`
+/// (integer seconds).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Event {
+    /// Timestamp in seconds (ordered first so derived `Ord` is by time).
+    pub time: Second,
+    /// The event type.
+    pub ty: EventType,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(ty: EventType, time: Second) -> Self {
+        Event { time, ty }
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}@{})", self.ty, self.time)
+    }
+}
+
+/// A finite event sequence: events sorted by timestamp (ties broken by type
+/// id), possibly with several events per instant.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct EventSequence {
+    events: Vec<Event>,
+}
+
+impl EventSequence {
+    /// The empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sequence from arbitrary events (sorts and deduplicates).
+    pub fn from_events(mut events: Vec<Event>) -> Self {
+        events.sort_unstable();
+        events.dedup();
+        EventSequence { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the first event.
+    pub fn start(&self) -> Option<Second> {
+        self.events.first().map(|e| e.time)
+    }
+
+    /// Timestamp of the last event.
+    pub fn end(&self) -> Option<Second> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Index of the first event with `time >= t`.
+    pub fn first_at_or_after(&self, t: Second) -> usize {
+        self.events.partition_point(|e| e.time < t)
+    }
+
+    /// The sub-slice of events with timestamps in `range` (inclusive).
+    pub fn window(&self, range: RangeInclusive<Second>) -> &[Event] {
+        let lo = self.first_at_or_after(*range.start());
+        let hi = self.events.partition_point(|e| e.time <= *range.end());
+        &self.events[lo..hi]
+    }
+
+    /// Iterates the events of the given type.
+    pub fn occurrences_of(&self, ty: EventType) -> impl Iterator<Item = Event> + '_ {
+        self.events.iter().copied().filter(move |e| e.ty == ty)
+    }
+
+    /// Number of occurrences of the given type.
+    pub fn count_of(&self, ty: EventType) -> usize {
+        self.occurrences_of(ty).count()
+    }
+
+    /// Whether the given type occurs at all.
+    pub fn contains_type(&self, ty: EventType) -> bool {
+        self.events.iter().any(|e| e.ty == ty)
+    }
+
+    /// The distinct types occurring in the sequence, ascending by id.
+    pub fn types_present(&self) -> Vec<EventType> {
+        let mut tys: Vec<EventType> = self.events.iter().map(|e| e.ty).collect();
+        tys.sort_unstable();
+        tys.dedup();
+        tys
+    }
+
+    /// A new sequence keeping only events satisfying `pred`.
+    pub fn filtered(&self, mut pred: impl FnMut(&Event) -> bool) -> EventSequence {
+        EventSequence {
+            events: self.events.iter().copied().filter(|e| pred(e)).collect(),
+        }
+    }
+
+    /// Merges two sequences.
+    pub fn merge(&self, other: &EventSequence) -> EventSequence {
+        let mut all = self.events.clone();
+        all.extend_from_slice(&other.events);
+        EventSequence::from_events(all)
+    }
+}
+
+impl fmt::Debug for EventSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventSequence(len={})", self.events.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a EventSequence {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// Incremental builder for [`EventSequence`].
+#[derive(Default, Debug)]
+pub struct SequenceBuilder {
+    events: Vec<Event>,
+}
+
+impl SequenceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (any order).
+    pub fn push(&mut self, ty: EventType, time: Second) -> &mut Self {
+        self.events.push(Event::new(ty, time));
+        self
+    }
+
+    /// Appends many events.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = Event>) -> &mut Self {
+        self.events.extend(events);
+        self
+    }
+
+    /// Number of events buffered so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finalizes into a sorted, deduplicated sequence.
+    pub fn build(self) -> EventSequence {
+        EventSequence::from_events(self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    #[test]
+    fn from_events_sorts_and_dedups() {
+        let s = EventSequence::from_events(vec![
+            Event::new(ty(1), 30),
+            Event::new(ty(0), 10),
+            Event::new(ty(1), 30), // duplicate
+            Event::new(ty(0), 30),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.start(), Some(10));
+        assert_eq!(s.end(), Some(30));
+        // Tie at t=30 broken by type id.
+        assert_eq!(s.events()[1], Event::new(ty(0), 30));
+        assert_eq!(s.events()[2], Event::new(ty(1), 30));
+    }
+
+    #[test]
+    fn window_is_inclusive() {
+        let s = EventSequence::from_events(
+            (0..10).map(|i| Event::new(ty(0), i * 10)).collect(),
+        );
+        let w = s.window(20..=40);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].time, 20);
+        assert_eq!(w[2].time, 40);
+        assert!(s.window(41..=49).is_empty());
+    }
+
+    #[test]
+    fn occurrences_and_counts() {
+        let s = EventSequence::from_events(vec![
+            Event::new(ty(0), 1),
+            Event::new(ty(1), 2),
+            Event::new(ty(0), 3),
+        ]);
+        assert_eq!(s.count_of(ty(0)), 2);
+        assert_eq!(s.count_of(ty(2)), 0);
+        assert!(s.contains_type(ty(1)));
+        assert_eq!(s.types_present(), vec![ty(0), ty(1)]);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = SequenceBuilder::new();
+        b.push(ty(2), 5).push(ty(1), 1);
+        assert_eq!(b.len(), 2);
+        let s = b.build();
+        assert_eq!(s.events()[0].time, 1);
+    }
+
+    #[test]
+    fn filtered_and_merge() {
+        let a = EventSequence::from_events(vec![Event::new(ty(0), 1), Event::new(ty(1), 2)]);
+        let b = EventSequence::from_events(vec![Event::new(ty(2), 3)]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 3);
+        let f = m.filtered(|e| e.ty != ty(1));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_queries() {
+        let s = EventSequence::new();
+        assert!(s.is_empty());
+        assert_eq!(s.start(), None);
+        assert_eq!(s.end(), None);
+        assert!(s.window(0..=100).is_empty());
+    }
+}

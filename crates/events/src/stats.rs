@@ -1,0 +1,141 @@
+//! Descriptive statistics and granularity-aware grouping over event
+//! sequences — the exploratory companion to mining: before hypothesizing a
+//! structure, look at what the stream contains.
+
+use std::collections::BTreeMap;
+
+use tgm_granularity::{Gran, Granularity, Tick};
+
+use crate::{EventSequence, EventType, TypeRegistry};
+
+/// Per-type counts and timing summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeStats {
+    /// The event type.
+    pub ty: EventType,
+    /// Number of occurrences.
+    pub count: usize,
+    /// Minimum inter-arrival gap in seconds (`None` with < 2 occurrences).
+    pub min_gap: Option<i64>,
+    /// Maximum inter-arrival gap in seconds.
+    pub max_gap: Option<i64>,
+    /// Mean inter-arrival gap in seconds.
+    pub mean_gap: Option<f64>,
+}
+
+/// Computes per-type statistics, ordered by descending count.
+pub fn type_stats(seq: &EventSequence) -> Vec<TypeStats> {
+    let mut times: BTreeMap<EventType, Vec<i64>> = BTreeMap::new();
+    for e in seq.events() {
+        times.entry(e.ty).or_default().push(e.time);
+    }
+    let mut out: Vec<TypeStats> = times
+        .into_iter()
+        .map(|(ty, ts)| {
+            let gaps: Vec<i64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+            TypeStats {
+                ty,
+                count: ts.len(),
+                min_gap: gaps.iter().copied().min(),
+                max_gap: gaps.iter().copied().max(),
+                mean_gap: (!gaps.is_empty())
+                    .then(|| gaps.iter().sum::<i64>() as f64 / gaps.len() as f64),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.count.cmp(&a.count).then(a.ty.cmp(&b.ty)));
+    out
+}
+
+/// Groups events by the tick of a granularity covering their timestamp.
+/// Events in gaps of the granularity are returned separately.
+pub fn group_by_tick(
+    seq: &EventSequence,
+    gran: &Gran,
+) -> (BTreeMap<Tick, Vec<crate::Event>>, Vec<crate::Event>) {
+    let mut groups: BTreeMap<Tick, Vec<crate::Event>> = BTreeMap::new();
+    let mut uncovered = Vec::new();
+    for e in seq.events() {
+        match gran.covering_tick(e.time) {
+            Some(z) => groups.entry(z).or_default().push(*e),
+            None => uncovered.push(*e),
+        }
+    }
+    (groups, uncovered)
+}
+
+/// Renders a per-type summary table (for CLIs and examples).
+pub fn render_summary(seq: &EventSequence, reg: &TypeRegistry) -> String {
+    let mut out = format!("{} events, {} types\n", seq.len(), seq.types_present().len());
+    for s in type_stats(seq) {
+        let gap = match (s.min_gap, s.mean_gap, s.max_gap) {
+            (Some(lo), Some(mean), Some(hi)) => {
+                format!("gaps {lo}s / {:.0}s / {hi}s (min/mean/max)", mean)
+            }
+            _ => "single occurrence".to_owned(),
+        };
+        out.push_str(&format!("  {:<24} x{:<6} {}\n", reg.name(s.ty), s.count, gap));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::Event;
+
+    const DAY: i64 = 86_400;
+
+    #[test]
+    fn type_stats_counts_and_gaps() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("a");
+        let b = reg.intern("b");
+        let seq = EventSequence::from_events(vec![
+            Event::new(a, 0),
+            Event::new(a, 100),
+            Event::new(a, 400),
+            Event::new(b, 50),
+        ]);
+        let stats = type_stats(&seq);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].ty, a); // most frequent first
+        assert_eq!(stats[0].count, 3);
+        assert_eq!(stats[0].min_gap, Some(100));
+        assert_eq!(stats[0].max_gap, Some(300));
+        assert!((stats[0].mean_gap.unwrap() - 200.0).abs() < 1e-9);
+        assert_eq!(stats[1].count, 1);
+        assert_eq!(stats[1].min_gap, None);
+    }
+
+    #[test]
+    fn group_by_business_day() {
+        let cal = Calendar::standard();
+        let bday = cal.get("business-day").unwrap();
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("a");
+        let seq = EventSequence::from_events(vec![
+            Event::new(a, 100),               // Saturday: uncovered
+            Event::new(a, 2 * DAY + 100),     // Monday: tick 1
+            Event::new(a, 2 * DAY + 200),     // Monday again
+            Event::new(a, 3 * DAY + 100),     // Tuesday: tick 2
+        ]);
+        let (groups, uncovered) = group_by_tick(&seq, &bday);
+        assert_eq!(uncovered.len(), 1);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&1].len(), 2);
+        assert_eq!(groups[&2].len(), 1);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("alpha");
+        let seq = EventSequence::from_events(vec![Event::new(a, 0), Event::new(a, 60)]);
+        let s = render_summary(&seq, &reg);
+        assert!(s.contains("alpha"));
+        assert!(s.contains("x2"));
+    }
+}

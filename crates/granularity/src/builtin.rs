@@ -1,0 +1,808 @@
+//! Builtin granularities: uniform units, calendar months/years, filtered day
+//! granularities (business days, weekend days), and grouped granularities
+//! (business weeks, business months, weekends).
+//!
+//! All builtins anchor tick `1` at or immediately after the crate epoch
+//! (2000-01-01T00:00:00).
+
+use std::sync::Arc;
+
+use crate::calendar_math::{civil_from_days, month_start_day, months_from_civil, weekday_from_days};
+use crate::granularity::{Granularity, Second, Tick};
+use crate::interval::{Interval, IntervalSet};
+use crate::size_table::SizeBounds;
+
+/// Seconds per day.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// Months horizon: month indices (0 = January 2000) supported by
+/// month-based granularities, roughly ±10 000 years.
+const MONTH_HORIZON: i64 = 120_000;
+
+/// Day horizon for filtered/grouped day granularities, roughly ±4 000 years.
+const DAY_HORIZON: i64 = 1_500_000;
+
+// ---------------------------------------------------------------------------
+// Uniform granularities
+// ---------------------------------------------------------------------------
+
+/// A granularity whose ticks are contiguous, equal-length blocks of seconds:
+/// seconds, minutes, hours, days, weeks, or any fixed period.
+///
+/// Tick `z` covers `[anchor + (z-1)·period, anchor + z·period - 1]`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    name: String,
+    period: i64,
+    anchor: Second,
+}
+
+impl Uniform {
+    /// Creates a uniform granularity. `period` must be positive; `anchor` is
+    /// the first instant of tick 1.
+    pub fn new(name: impl Into<String>, period: i64, anchor: Second) -> Self {
+        assert!(period > 0, "period must be positive");
+        Uniform {
+            name: name.into(),
+            period,
+            anchor,
+        }
+    }
+
+    /// The tick length in seconds.
+    pub fn period(&self) -> i64 {
+        self.period
+    }
+}
+
+impl Granularity for Uniform {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn covering_tick(&self, t: Second) -> Option<Tick> {
+        Some((t - self.anchor).div_euclid(self.period) + 1)
+    }
+
+    fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
+        let start = self.anchor + (z - 1) * self.period;
+        Some(IntervalSet::single(Interval::new(
+            start,
+            start + self.period - 1,
+        )))
+    }
+
+    fn has_gaps(&self) -> bool {
+        false
+    }
+
+    fn exact_sizes(&self, k: u64) -> Option<SizeBounds> {
+        let k = k as i64;
+        let span = k * self.period;
+        Some(SizeBounds {
+            // Span of k consecutive ticks is exactly k periods.
+            min_span: span,
+            max_span: span,
+            // min(tick i+k) - max(tick i) = (k-1)·period + 1.
+            min_gap: (k - 1) * self.period + 1,
+        })
+    }
+
+    fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
+        self.covering_tick(t)
+    }
+}
+
+/// The primitive type: one tick per second, tick 1 at the epoch.
+pub fn second() -> Uniform {
+    Uniform::new("second", 1, 0)
+}
+
+/// Minutes (60 s), tick 1 at the epoch.
+pub fn minute() -> Uniform {
+    Uniform::new("minute", 60, 0)
+}
+
+/// Hours (3600 s), tick 1 at the epoch.
+pub fn hour() -> Uniform {
+    Uniform::new("hour", 3_600, 0)
+}
+
+/// Civil days, tick 1 = 2000-01-01.
+pub fn day() -> Uniform {
+    Uniform::new("day", SECONDS_PER_DAY, 0)
+}
+
+/// ISO weeks (Monday–Sunday). Tick 1 is the week containing the epoch,
+/// starting Monday 1999-12-27.
+pub fn week() -> Uniform {
+    Uniform::new("week", 7 * SECONDS_PER_DAY, -5 * SECONDS_PER_DAY)
+}
+
+// ---------------------------------------------------------------------------
+// Month-based granularities
+// ---------------------------------------------------------------------------
+
+/// Calendar months grouped `per_tick` at a time: `per_tick = 1` is `month`,
+/// `12` is `year`, and arbitrary `n` gives the `n-month` types used in the
+/// paper's NP-hardness reduction (Appendix A.2).
+///
+/// Tick 1 starts at the epoch month (January 2000).
+#[derive(Debug, Clone)]
+pub struct Months {
+    name: String,
+    per_tick: i64,
+    /// Month index (0 = January 2000) where tick 1 starts — e.g. 3 for a
+    /// fiscal year running April..March.
+    anchor: i64,
+}
+
+impl Months {
+    /// Creates a month-grouping granularity; `per_tick ≥ 1`.
+    pub fn new(name: impl Into<String>, per_tick: i64) -> Self {
+        Self::with_anchor(name, per_tick, 0)
+    }
+
+    /// Creates a month-grouping granularity whose tick 1 starts at the
+    /// given month index (0 = January 2000) — fiscal years, off-cycle
+    /// quarters, etc.
+    pub fn with_anchor(name: impl Into<String>, per_tick: i64, anchor: i64) -> Self {
+        assert!(per_tick >= 1, "per_tick must be >= 1");
+        Months {
+            name: name.into(),
+            per_tick,
+            anchor,
+        }
+    }
+
+    /// First month index (0 = January 2000) of tick `z`.
+    fn first_month(&self, z: Tick) -> i64 {
+        (z - 1) * self.per_tick + self.anchor
+    }
+
+    fn in_horizon(&self, m_lo: i64, m_hi: i64) -> bool {
+        m_lo >= -MONTH_HORIZON && m_hi <= MONTH_HORIZON
+    }
+}
+
+impl Granularity for Months {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn covering_tick(&self, t: Second) -> Option<Tick> {
+        let day = t.div_euclid(SECONDS_PER_DAY);
+        if day.abs() > DAY_HORIZON * 3 {
+            return None;
+        }
+        let date = civil_from_days(day);
+        let m = months_from_civil(date.year, date.month);
+        if !self.in_horizon(m, m) {
+            return None;
+        }
+        Some((m - self.anchor).div_euclid(self.per_tick) + 1)
+    }
+
+    fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
+        let m0 = self.first_month(z);
+        let m1 = m0 + self.per_tick;
+        if !self.in_horizon(m0, m1) {
+            return None;
+        }
+        let start = month_start_day(m0) * SECONDS_PER_DAY;
+        let end = month_start_day(m1) * SECONDS_PER_DAY - 1;
+        Some(IntervalSet::single(Interval::new(start, end)))
+    }
+
+    fn has_gaps(&self) -> bool {
+        false
+    }
+
+    fn scan_window(&self, k: u64) -> (Tick, Tick) {
+        // Month lengths repeat exactly with the 400-year (4800-month)
+        // Gregorian cycle; scanning one full cycle of ticks observes every
+        // span pattern.
+        let cycle_ticks = 4_800 / self.per_tick + 2;
+        let k = k as Tick;
+        (-cycle_ticks - k, cycle_ticks + k)
+    }
+
+    fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
+        self.covering_tick(t)
+    }
+}
+
+/// Calendar months, tick 1 = January 2000.
+pub fn month() -> Months {
+    Months::new("month", 1)
+}
+
+/// Calendar years, tick 1 = year 2000.
+pub fn year() -> Months {
+    Months::new("year", 12)
+}
+
+/// Groups of `n` consecutive months (the `n-month` types of the paper's
+/// NP-hardness reduction).
+pub fn n_month(n: i64) -> Months {
+    Months::new(format!("{n}-month"), n)
+}
+
+// ---------------------------------------------------------------------------
+// Filtered day granularities (business day, weekend day, …)
+// ---------------------------------------------------------------------------
+
+/// Days filtered by a weekday mask minus an explicit holiday list: the
+/// `business-day` (`b-day`) type of the paper, and its weekend complement.
+///
+/// Ticks are renumbered consecutively over the kept days; tick 1 is the first
+/// kept day on or after the epoch. The granularity has *gaps*: filtered-out
+/// days are covered by no tick (so `⌈z⌉ᵇ⁻ᵈᵃʸ_day` is undefined for a
+/// Saturday, as in the paper).
+#[derive(Debug, Clone)]
+pub struct FilteredDays {
+    name: String,
+    /// keep[w] == true ⇒ weekday w (Monday = 0) is kept.
+    keep: [bool; 7],
+    kept_per_week: i64,
+    /// Sorted, deduplicated day indices removed in addition to the mask.
+    /// Invariant: every listed day matches the weekday mask.
+    holidays: Arc<Vec<i64>>,
+    /// Cumulative kept-day count offset so that tick 1 is the first kept day
+    /// >= day 0: `index(d) = kept_in(0, d)` for kept d >= 0.
+    base: i64,
+}
+
+impl FilteredDays {
+    /// Creates a filtered-day granularity. `keep` is indexed Monday = 0;
+    /// `holidays` are day indices (0 = 2000-01-01) removed in addition to
+    /// the mask. At least one weekday must be kept.
+    pub fn new(name: impl Into<String>, keep: [bool; 7], holidays: Vec<i64>) -> Self {
+        let kept_per_week = keep.iter().filter(|&&b| b).count() as i64;
+        assert!(kept_per_week > 0, "at least one weekday must be kept");
+        let mut hs: Vec<i64> = holidays
+            .into_iter()
+            .filter(|&d| keep[weekday_from_days(d).index()])
+            .collect();
+        hs.sort_unstable();
+        hs.dedup();
+        let mut g = FilteredDays {
+            name: name.into(),
+            keep,
+            kept_per_week,
+            holidays: Arc::new(hs),
+            base: 0,
+        };
+        // index(d) should be kept_in(0, d) for d >= 0; cum-based index is
+        // cum(d) - cum(-1), so base = cum(-1).
+        g.base = g.cum(-1);
+        g
+    }
+
+    /// Number of kept days in `(-inf, d]`, counted from an arbitrary fixed
+    /// origin (only differences are meaningful). Monotone in `d`.
+    fn cum(&self, d: i64) -> i64 {
+        // Count mask-kept days in [0, d] analytically (negative for d < 0),
+        // then subtract holidays <= d.
+        let mask_kept = if d >= 0 {
+            self.mask_kept_in(0, d)
+        } else {
+            -self.mask_kept_in(d + 1, -1)
+        };
+        let hols = self.holidays.partition_point(|&h| h <= d) as i64;
+        mask_kept - hols
+    }
+
+    /// Number of mask-kept (ignoring holidays) days in `[lo, hi]`, `lo <= hi`.
+    fn mask_kept_in(&self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi + 1);
+        if lo > hi {
+            return 0;
+        }
+        let n = hi - lo + 1;
+        let full_weeks = n / 7;
+        let mut count = full_weeks * self.kept_per_week;
+        for d in (lo + full_weeks * 7)..=hi {
+            if self.keep[weekday_from_days(d).index()] {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn is_kept(&self, d: i64) -> bool {
+        self.keep[weekday_from_days(d).index()] && self.holidays.binary_search(&d).is_err()
+    }
+
+    /// Tick index of kept day `d`.
+    fn index_of(&self, d: i64) -> Tick {
+        debug_assert!(self.is_kept(d));
+        self.cum(d) - self.base
+    }
+
+    /// Day index of tick `z` (inverse of `index_of`), or `None` outside the
+    /// horizon.
+    fn day_of(&self, z: Tick) -> Option<i64> {
+        let target = z + self.base;
+        // Binary search the smallest d with cum(d) >= target; cum jumps by 1
+        // exactly at kept days, so that d is kept and has index z.
+        let (mut lo, mut hi) = (-DAY_HORIZON, DAY_HORIZON);
+        if self.cum(hi) < target || self.cum(lo) >= target {
+            return None;
+        }
+        // Invariant: cum(lo) < target <= cum(hi).
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cum(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        debug_assert!(self.is_kept(hi));
+        Some(hi)
+    }
+
+    /// The sorted holiday list.
+    pub fn holidays(&self) -> &[i64] {
+        &self.holidays
+    }
+}
+
+impl Granularity for FilteredDays {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn covering_tick(&self, t: Second) -> Option<Tick> {
+        let d = t.div_euclid(SECONDS_PER_DAY);
+        if d.abs() > DAY_HORIZON {
+            return None;
+        }
+        self.is_kept(d).then(|| self.index_of(d))
+    }
+
+    fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
+        let d = self.day_of(z)?;
+        let start = d * SECONDS_PER_DAY;
+        Some(IntervalSet::single(Interval::new(
+            start,
+            start + SECONDS_PER_DAY - 1,
+        )))
+    }
+
+    fn scan_window(&self, k: u64) -> (Tick, Tick) {
+        // Away from holidays the pattern is exactly 7-day periodic. Scan the
+        // holiday-affected tick range plus clean weeks on both sides.
+        let k = k as i64;
+        let margin = 2 * k + 64;
+        let lo_tick = self
+            .holidays
+            .first()
+            .map_or(0, |&d| self.cum(d) - self.base);
+        let hi_tick = self
+            .holidays
+            .last()
+            .map_or(0, |&d| self.cum(d) - self.base);
+        (lo_tick - margin, hi_tick + margin)
+    }
+
+    fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
+        let d = t.div_euclid(SECONDS_PER_DAY);
+        if d.abs() > DAY_HORIZON {
+            return None;
+        }
+        if self.is_kept(d) {
+            return Some(self.index_of(d));
+        }
+        // First kept day after d: its index is cum(d) - base + 1.
+        let z = self.cum(d) - self.base + 1;
+        self.day_of(z).map(|_| z)
+    }
+}
+
+/// Business days (Monday–Friday minus `holidays`): the paper's `b-day`.
+pub fn business_day(holidays: Vec<i64>) -> FilteredDays {
+    FilteredDays::new(
+        "business-day",
+        [true, true, true, true, true, false, false],
+        holidays,
+    )
+}
+
+/// Weekend days (Saturday and Sunday).
+pub fn weekend_day() -> FilteredDays {
+    FilteredDays::new(
+        "weekend-day",
+        [false, false, false, false, false, true, true],
+        Vec::new(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Grouped granularities (business week / business month / weekend)
+// ---------------------------------------------------------------------------
+
+/// Groups the ticks of `inner` that fall inside each tick of `frame` into a
+/// single (generally non-convex) tick: `business-month` is the business days
+/// grouped by `month`, `business-week` by `week`, `weekend` is weekend days
+/// grouped by `week`.
+///
+/// Tick indices follow the frame's numbering. Every frame tick in the
+/// supported horizon must contain at least one inner tick (months always
+/// contain business days for sane holiday sets); a frame tick with no inner
+/// ticks is reported as out-of-horizon.
+#[derive(Debug, Clone)]
+pub struct GroupInto {
+    name: String,
+    inner: Arc<dyn Granularity>,
+    frame: Arc<dyn Granularity>,
+}
+
+impl GroupInto {
+    /// Creates a grouped granularity from `inner` ticks framed by `frame`.
+    pub fn new(
+        name: impl Into<String>,
+        inner: Arc<dyn Granularity>,
+        frame: Arc<dyn Granularity>,
+    ) -> Self {
+        GroupInto {
+            name: name.into(),
+            inner,
+            frame,
+        }
+    }
+}
+
+impl Granularity for GroupInto {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn covering_tick(&self, t: Second) -> Option<Tick> {
+        let zi = self.inner.covering_tick(t)?;
+        let zf = self.frame.covering_tick(t)?;
+        // The inner tick must lie entirely within the frame tick, otherwise
+        // the instant belongs to no grouped tick.
+        let inner_set = self.inner.tick_intervals(zi)?;
+        let frame_set = self.frame.tick_intervals(zf)?;
+        inner_set.is_subset_of(&frame_set).then_some(zf)
+    }
+
+    fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
+        let frame_set = self.frame.tick_intervals(z)?;
+        let mut parts: Vec<Interval> = Vec::new();
+        let mut zi = self.inner.next_tick_at_or_after(frame_set.min())?;
+        while let Some(set) = self.inner.tick_intervals(zi) {
+            if set.min() > frame_set.max() {
+                break;
+            }
+            if set.is_subset_of(&frame_set) {
+                parts.extend_from_slice(set.intervals());
+            }
+            zi += 1;
+        }
+        (!parts.is_empty()).then(|| IntervalSet::from_intervals(parts))
+    }
+
+    fn scan_window(&self, k: u64) -> (Tick, Tick) {
+        // The extreme patterns of the grouped type are driven by both the
+        // frame's cycle and the inner type's perturbations; take the union
+        // of both windows expressed in frame ticks (inner windows are at
+        // least as fine as frame ticks, so they translate conservatively).
+        let (flo, fhi) = self.frame.scan_window(k);
+        let (ilo, ihi) = self.inner.scan_window(k * 31);
+        // Translate inner ticks to frame ticks by locating their instants.
+        let to_frame = |zi: Tick| -> Option<Tick> {
+            let set = self.inner.tick_intervals(zi)?;
+            self.frame.covering_tick(set.min())
+        };
+        let lo = to_frame(ilo).unwrap_or(flo).min(flo);
+        let hi = to_frame(ihi).unwrap_or(fhi).max(fhi);
+        (lo, hi)
+    }
+
+    fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
+        if let Some(z) = self.covering_tick(t) {
+            return Some(z);
+        }
+        let zf = self.frame.covering_tick(t)?;
+        // Scan forward over frame ticks; bail out after a generous bound so
+        // a frame with pathologically many empty ticks cannot hang us.
+        (zf..zf + 1_000).find(|&z| self.tick_intervals(z).is_some_and(|s| s.max() >= t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert_tick;
+
+    #[test]
+    fn uniform_day_ticks() {
+        let d = day();
+        // Tick 1 = 2000-01-01 = seconds [0, 86399].
+        assert_eq!(d.covering_tick(0), Some(1));
+        assert_eq!(d.covering_tick(86_399), Some(1));
+        assert_eq!(d.covering_tick(86_400), Some(2));
+        assert_eq!(d.covering_tick(-1), Some(0));
+        let set = d.tick_intervals(1).unwrap();
+        assert_eq!((set.min(), set.max()), (0, 86_399));
+    }
+
+    #[test]
+    fn week_starts_monday() {
+        let w = week();
+        // Week tick 1 starts Monday 1999-12-27 (day -5).
+        let set = w.tick_intervals(1).unwrap();
+        assert_eq!(set.min(), -5 * SECONDS_PER_DAY);
+        assert_eq!(set.max(), 2 * SECONDS_PER_DAY - 1); // through Sunday 2000-01-02
+        assert_eq!(w.covering_tick(0), Some(1)); // epoch Saturday in week 1
+        assert_eq!(w.covering_tick(2 * SECONDS_PER_DAY), Some(2)); // Monday 2000-01-03
+    }
+
+    #[test]
+    fn month_ticks() {
+        let m = month();
+        // Tick 1 = January 2000 (31 days), tick 2 = February 2000 (29 days).
+        let jan = m.tick_intervals(1).unwrap();
+        assert_eq!(jan.min(), 0);
+        assert_eq!(jan.max(), 31 * SECONDS_PER_DAY - 1);
+        let feb = m.tick_intervals(2).unwrap();
+        assert_eq!(feb.count(), 29 * SECONDS_PER_DAY);
+        assert_eq!(m.covering_tick(jan.max()), Some(1));
+        assert_eq!(m.covering_tick(feb.min()), Some(2));
+        // December 1999 is tick 0.
+        assert_eq!(m.covering_tick(-1), Some(0));
+    }
+
+    #[test]
+    fn year_ticks() {
+        let y = year();
+        let t2000 = y.tick_intervals(1).unwrap();
+        assert_eq!(t2000.count(), 366 * SECONDS_PER_DAY); // 2000 is leap
+        let t2001 = y.tick_intervals(2).unwrap();
+        assert_eq!(t2001.count(), 365 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn n_month_groups() {
+        let g = n_month(3);
+        let q1 = g.tick_intervals(1).unwrap();
+        // Q1 2000: Jan(31) + Feb(29) + Mar(31) = 91 days.
+        assert_eq!(q1.count(), 91 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn business_day_skips_weekends_and_holidays() {
+        // Day 0 = Sat, 1 = Sun, 2 = Mon (2000-01-03).
+        let b = business_day(vec![2]); // declare Monday 2000-01-03 a holiday
+        assert_eq!(b.covering_tick(0), None); // Saturday
+        assert_eq!(b.covering_tick(SECONDS_PER_DAY), None); // Sunday
+        assert_eq!(b.covering_tick(2 * SECONDS_PER_DAY), None); // holiday
+        assert_eq!(b.covering_tick(3 * SECONDS_PER_DAY), Some(1)); // Tue 2000-01-04
+        assert_eq!(b.covering_tick(4 * SECONDS_PER_DAY), Some(2));
+    }
+
+    #[test]
+    fn business_day_tick_one_without_holidays() {
+        let b = business_day(Vec::new());
+        // First business day >= epoch is Monday 2000-01-03 (day 2).
+        let set = b.tick_intervals(1).unwrap();
+        assert_eq!(set.min(), 2 * SECONDS_PER_DAY);
+        // Tick 5 = Friday 2000-01-07; tick 6 = Monday 2000-01-10.
+        assert_eq!(b.tick_intervals(5).unwrap().min(), 6 * SECONDS_PER_DAY);
+        assert_eq!(b.tick_intervals(6).unwrap().min(), 9 * SECONDS_PER_DAY);
+        // Negative side: tick 0 = Friday 1999-12-31 (day -1).
+        assert_eq!(b.tick_intervals(0).unwrap().min(), -SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn business_day_index_day_round_trip() {
+        let b = business_day(vec![2, 10, 259]);
+        for z in -600..600 {
+            let d = b.day_of(z).unwrap();
+            assert!(b.is_kept(d));
+            assert_eq!(b.index_of(d), z, "round trip failed at tick {z}");
+        }
+    }
+
+    #[test]
+    fn convert_day_to_business_day_undefined_on_weekend() {
+        let d = day();
+        let b = business_day(Vec::new());
+        // Day tick 1 (Saturday 2000-01-01) has no covering business day.
+        assert_eq!(convert_tick(&d, 1, &b), None);
+        // Day tick 3 (Monday 2000-01-03) is business day 1.
+        assert_eq!(convert_tick(&d, 3, &b), Some(1));
+    }
+
+    #[test]
+    fn convert_week_to_month_undefined_when_straddling() {
+        let w = week();
+        let m = month();
+        // Week 1 (1999-12-27..2000-01-02) straddles Dec 1999 / Jan 2000.
+        assert_eq!(convert_tick(&w, 1, &m), None);
+        // Week 2 (2000-01-03..09) is inside January 2000 = month tick 1.
+        assert_eq!(convert_tick(&w, 2, &m), Some(1));
+    }
+
+    #[test]
+    fn business_month_is_non_convex() {
+        let b: Arc<dyn Granularity> = Arc::new(business_day(Vec::new()));
+        let m: Arc<dyn Granularity> = Arc::new(month());
+        let bm = GroupInto::new("business-month", b, m);
+        let jan = bm.tick_intervals(1).unwrap();
+        // January 2000: 21 business days (Sat 1st/Sun 2nd excluded, etc.)
+        assert_eq!(jan.count(), 21 * SECONDS_PER_DAY);
+        assert!(jan.intervals().len() > 1, "business month must be non-convex");
+        // A Saturday in January is not covered.
+        assert_eq!(bm.covering_tick(0), None);
+        // Monday 2000-01-03 is in business-month tick 1.
+        assert_eq!(bm.covering_tick(2 * SECONDS_PER_DAY), Some(1));
+    }
+
+    #[test]
+    fn weekend_groups_sat_sun() {
+        let wd: Arc<dyn Granularity> = Arc::new(weekend_day());
+        let w: Arc<dyn Granularity> = Arc::new(week());
+        let we = GroupInto::new("weekend", wd, w);
+        // Weekend of week 1 = Sat 2000-01-01 + Sun 2000-01-02 = days 0..1.
+        let set = we.tick_intervals(1).unwrap();
+        assert_eq!((set.min(), set.max()), (0, 2 * SECONDS_PER_DAY - 1));
+        assert_eq!(we.covering_tick(0), Some(1));
+        assert_eq!(we.covering_tick(2 * SECONDS_PER_DAY), None); // Monday
+    }
+
+    #[test]
+    fn convert_business_day_to_business_month() {
+        let b: Arc<dyn Granularity> = Arc::new(business_day(Vec::new()));
+        let m: Arc<dyn Granularity> = Arc::new(month());
+        let bm = GroupInto::new("business-month", Arc::clone(&b), m);
+        // Business day 1 (Mon 2000-01-03) is in business-month 1.
+        assert_eq!(convert_tick(b.as_ref(), 1, &bm), Some(1));
+        // Business day 22 (Feb 1, 2000, Tuesday) is in business-month 2.
+        assert_eq!(convert_tick(b.as_ref(), 22, &bm), Some(2));
+    }
+
+    #[test]
+    fn next_tick_at_or_after_business_day() {
+        let b = business_day(Vec::new());
+        // From Saturday epoch, next business day is tick 1 (Monday).
+        assert_eq!(b.next_tick_at_or_after(0), Some(1));
+        // From within Monday, it is tick 1 itself.
+        assert_eq!(b.next_tick_at_or_after(2 * SECONDS_PER_DAY + 5), Some(1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Intra-day window granularities (trading hours, office hours, ...)
+// ---------------------------------------------------------------------------
+
+/// The part of each kept day between two times of day — e.g. trading hours
+/// 09:30–16:00 on business days. Tick `z` is the window inside the `z`-th
+/// kept day (sharing [`FilteredDays`]' tick numbering), so "2 trading-hour
+/// ticks apart" means "two trading days apart".
+#[derive(Debug, Clone)]
+pub struct DayWindow {
+    name: String,
+    days: FilteredDays,
+    /// Window start, seconds from midnight (inclusive).
+    start_tod: i64,
+    /// Window end, seconds from midnight (inclusive).
+    end_tod: i64,
+}
+
+impl DayWindow {
+    /// Creates a day-window granularity; `0 <= start <= end < 86400`.
+    pub fn new(name: impl Into<String>, days: FilteredDays, start_tod: i64, end_tod: i64) -> Self {
+        assert!(
+            (0..SECONDS_PER_DAY).contains(&start_tod)
+                && (0..SECONDS_PER_DAY).contains(&end_tod)
+                && start_tod <= end_tod,
+            "invalid time-of-day window [{start_tod}, {end_tod}]"
+        );
+        DayWindow {
+            name: name.into(),
+            days,
+            start_tod,
+            end_tod,
+        }
+    }
+}
+
+impl Granularity for DayWindow {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn covering_tick(&self, t: Second) -> Option<Tick> {
+        let tod = t.rem_euclid(SECONDS_PER_DAY);
+        if tod < self.start_tod || tod > self.end_tod {
+            return None;
+        }
+        self.days.covering_tick(t)
+    }
+
+    fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
+        let day = self.days.tick_intervals(z)?;
+        let day_start = day.min();
+        Some(IntervalSet::single(Interval::new(
+            day_start + self.start_tod,
+            day_start + self.end_tod,
+        )))
+    }
+
+    fn scan_window(&self, k: u64) -> (Tick, Tick) {
+        self.days.scan_window(k)
+    }
+
+    fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
+        let z = self.days.next_tick_at_or_after(t)?;
+        // If t is past this day's window, the next tick's window applies.
+        if self.tick_intervals(z).is_some_and(|s| s.max() >= t) {
+            Some(z)
+        } else {
+            Some(z + 1)
+        }
+    }
+}
+
+/// NYSE-style trading hours: 09:30–16:00 on business days minus `holidays`.
+pub fn trading_hours(holidays: Vec<i64>) -> DayWindow {
+    DayWindow::new(
+        "trading-hours",
+        business_day(holidays),
+        9 * 3_600 + 30 * 60,
+        16 * 3_600,
+    )
+}
+
+#[cfg(test)]
+mod day_window_tests {
+    use super::*;
+
+    #[test]
+    fn trading_hours_ticks() {
+        let th = trading_hours(Vec::new());
+        // Monday 2000-01-03 (day 2) is trading day 1.
+        let open = 2 * SECONDS_PER_DAY + 9 * 3_600 + 30 * 60;
+        let close = 2 * SECONDS_PER_DAY + 16 * 3_600;
+        assert_eq!(th.covering_tick(open), Some(1));
+        assert_eq!(th.covering_tick(close), Some(1));
+        assert_eq!(th.covering_tick(open - 1), None); // pre-market
+        assert_eq!(th.covering_tick(close + 1), None); // after-hours
+        assert_eq!(th.covering_tick(9 * 3_600 + 30 * 60), None); // Saturday
+        let set = th.tick_intervals(1).unwrap();
+        assert_eq!((set.min(), set.max()), (open, close));
+    }
+
+    #[test]
+    fn trading_hours_tick_distance_counts_trading_days() {
+        let th = trading_hours(Vec::new());
+        // Friday 2000-01-07 (day 6) is trading day 5; next Monday is 6.
+        let fri = 6 * SECONDS_PER_DAY + 10 * 3_600;
+        let mon = 9 * SECONDS_PER_DAY + 10 * 3_600;
+        assert_eq!(th.covering_tick(fri), Some(5));
+        assert_eq!(th.covering_tick(mon), Some(6));
+    }
+
+    #[test]
+    fn next_tick_skips_closed_periods() {
+        let th = trading_hours(Vec::new());
+        // From Saturday, the next trading window is Monday's (tick 1).
+        assert_eq!(th.next_tick_at_or_after(0), Some(1));
+        // From Monday 18:00 (after close), the next is Tuesday (tick 2).
+        let mon_evening = 2 * SECONDS_PER_DAY + 18 * 3_600;
+        assert_eq!(th.next_tick_at_or_after(mon_evening), Some(2));
+        // From Monday 12:00 (inside), it is Monday itself.
+        let mon_noon = 2 * SECONDS_PER_DAY + 12 * 3_600;
+        assert_eq!(th.next_tick_at_or_after(mon_noon), Some(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_window() {
+        let _ = DayWindow::new("bad", business_day(Vec::new()), 3_600, 60);
+    }
+}

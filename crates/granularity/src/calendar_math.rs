@@ -1,0 +1,220 @@
+//! Proleptic Gregorian calendar arithmetic, written from scratch.
+//!
+//! The epoch of the whole crate is **2000-01-01T00:00:00** (day 0, a
+//! Saturday). Conversions use Howard Hinnant's `days_from_civil` algorithm
+//! shifted to this epoch.
+
+/// The calendar year containing the epoch (day 0 = 2000-01-01).
+pub const EPOCH_YEAR: i32 = 2000;
+
+/// Days between 1970-01-01 and 2000-01-01.
+const EPOCH_OFFSET_1970: i64 = 10_957;
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CivilDate {
+    /// Gregorian year (astronomical numbering: 0 = 1 BC).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Creates a date, validating month and day-of-month ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "invalid month {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "invalid day {day} for {year}-{month:02}"
+        );
+        CivilDate { year, month, day }
+    }
+}
+
+/// Whether `year` is a leap year in the Gregorian calendar.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Days since the epoch (2000-01-01 = 0) of the given civil date.
+pub fn days_from_civil(date: CivilDate) -> i64 {
+    let y = i64::from(date.year) - i64::from(date.month <= 2);
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(date.month);
+    let d = i64::from(date.day);
+    let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468 - EPOCH_OFFSET_1970
+}
+
+/// Civil date of the given day index (0 = 2000-01-01).
+pub fn civil_from_days(days: i64) -> CivilDate {
+    let z = days + 719_468 + EPOCH_OFFSET_1970;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    CivilDate {
+        year: (y + i64::from(m <= 2)) as i32,
+        month: m as u8,
+        day: d as u8,
+    }
+}
+
+/// Day of week.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Weekday {
+    /// Monday.
+    Mon,
+    /// Tuesday.
+    Tue,
+    /// Wednesday.
+    Wed,
+    /// Thursday.
+    Thu,
+    /// Friday.
+    Fri,
+    /// Saturday.
+    Sat,
+    /// Sunday.
+    Sun,
+}
+
+impl Weekday {
+    /// Index with Monday = 0 … Sunday = 6.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Weekday from a Monday-based index 0–6.
+    pub fn from_index(i: usize) -> Self {
+        use Weekday::*;
+        [Mon, Tue, Wed, Thu, Fri, Sat, Sun][i % 7]
+    }
+}
+
+/// Weekday of a day index (0 = 2000-01-01, a Saturday).
+pub fn weekday_from_days(days: i64) -> Weekday {
+    // Day 0 is Saturday = Monday-based index 5.
+    Weekday::from_index((days + 5).rem_euclid(7) as usize)
+}
+
+/// Months since the epoch month (January 2000 = 0) of the given date.
+pub fn months_from_civil(year: i32, month: u8) -> i64 {
+    (i64::from(year) - i64::from(EPOCH_YEAR)) * 12 + i64::from(month) - 1
+}
+
+/// (year, month) of a month index (0 = January 2000).
+pub fn civil_from_months(m: i64) -> (i32, u8) {
+    let year = i64::from(EPOCH_YEAR) + m.div_euclid(12);
+    let month = m.rem_euclid(12) + 1;
+    (year as i32, month as u8)
+}
+
+/// First day index of a month index (0 = January 2000).
+pub fn month_start_day(m: i64) -> i64 {
+    let (y, mo) = civil_from_months(m);
+    days_from_civil(CivilDate::new(y, mo, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(CivilDate::new(2000, 1, 1)), 0);
+        assert_eq!(civil_from_days(0), CivilDate::new(2000, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 1970-01-01 is 10957 days before the epoch.
+        assert_eq!(days_from_civil(CivilDate::new(1970, 1, 1)), -10_957);
+        // 2000-03-01: Jan (31) + Feb 2000 is leap (29) = 60.
+        assert_eq!(days_from_civil(CivilDate::new(2000, 3, 1)), 60);
+        // 2001-01-01: 2000 is a leap year, 366 days.
+        assert_eq!(days_from_civil(CivilDate::new(2001, 1, 1)), 366);
+        assert_eq!(days_from_civil(CivilDate::new(2100, 3, 1)), 36_584);
+    }
+
+    #[test]
+    fn round_trip_wide_range() {
+        for days in (-200_000..200_000).step_by(373) {
+            let c = civil_from_days(days);
+            assert_eq!(days_from_civil(c), days, "round trip failed at {days}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1999));
+        assert!(!is_leap_year(2100));
+        assert!(is_leap_year(2400));
+    }
+
+    #[test]
+    fn month_lengths() {
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(2001, 2), 28);
+        assert_eq!(days_in_month(2001, 12), 31);
+        assert_eq!(days_in_month(2001, 11), 30);
+    }
+
+    #[test]
+    fn weekdays() {
+        assert_eq!(weekday_from_days(0), Weekday::Sat); // 2000-01-01
+        assert_eq!(weekday_from_days(2), Weekday::Mon); // 2000-01-03
+        assert_eq!(weekday_from_days(-1), Weekday::Fri); // 1999-12-31
+        // 1996-06-03 (PODS'96 week) was a Monday.
+        assert_eq!(
+            weekday_from_days(days_from_civil(CivilDate::new(1996, 6, 3))),
+            Weekday::Mon
+        );
+    }
+
+    #[test]
+    fn month_indexing_round_trip() {
+        for m in -5000..5000 {
+            let (y, mo) = civil_from_months(m);
+            assert_eq!(months_from_civil(y, mo), m);
+        }
+        assert_eq!(month_start_day(0), 0);
+        assert_eq!(month_start_day(1), 31);
+        assert_eq!(month_start_day(2), 60); // leap February 2000
+        assert_eq!(month_start_day(-1), -31); // December 1999
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_feb_30() {
+        let _ = CivilDate::new(2001, 2, 29);
+    }
+}

@@ -1,0 +1,40 @@
+//! Tick conversion between granularities: the paper's `⌈z⌉ᵘᵥ` operator (§2).
+//!
+//! For a tick `z` of granularity `ν` and a target granularity `μ`, the
+//! conversion is defined iff there is a (necessarily unique, by monotonicity)
+//! tick `z'` of `μ` whose instant set *contains* the whole instant set of
+//! `ν(z)`. Containment is checked on the full interval sets, so e.g. a `day`
+//! tick that is a Saturday converts to no `business-day` tick, and a `week`
+//! straddling two months converts to no `month` tick.
+
+use crate::granularity::{Granularity, Tick};
+
+/// Computes `⌈z⌉ᵘᵥ`: the tick of `target` covering tick `z` of `source`.
+///
+/// Returns `None` when undefined — either because no target tick contains
+/// the source tick, or because `z` is outside `source`'s horizon.
+pub fn convert_tick<S, T>(source: &S, z: Tick, target: &T) -> Option<Tick>
+where
+    S: Granularity + ?Sized,
+    T: Granularity + ?Sized,
+{
+    let set = source.tick_intervals(z)?;
+    // Candidate: the target tick covering the first instant. By monotonicity
+    // of temporal types it is the only possible container.
+    let candidate = target.covering_tick(set.min())?;
+    let target_set = target.tick_intervals(candidate)?;
+    set.is_subset_of(&target_set).then_some(candidate)
+}
+
+/// Whether tick `z_target` of `target` fully covers tick `z_source` of
+/// `source`.
+pub fn tick_covers<S, T>(target: &T, z_target: Tick, source: &S, z_source: Tick) -> bool
+where
+    S: Granularity + ?Sized,
+    T: Granularity + ?Sized,
+{
+    match (source.tick_intervals(z_source), target.tick_intervals(z_target)) {
+        (Some(s), Some(t)) => s.is_subset_of(&t),
+        _ => false,
+    }
+}

@@ -1,0 +1,126 @@
+//! Human-readable conversions between epoch seconds and civil date-times,
+//! for building test fixtures and rendering results.
+
+use crate::calendar_math::{
+    civil_from_days, days_from_civil, weekday_from_days, CivilDate, Weekday,
+};
+use crate::granularity::Second;
+
+const SECONDS_PER_DAY: i64 = 86_400;
+
+/// A civil date-time (proleptic Gregorian, no time zone — the crate's
+/// absolute timeline is naive local time).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct DateTime {
+    /// The calendar date.
+    pub date: CivilDate,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+}
+
+impl DateTime {
+    /// Creates a date-time, validating all components.
+    pub fn new(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Self {
+        assert!(hour < 24 && minute < 60 && second < 60, "invalid time of day");
+        DateTime {
+            date: CivilDate::new(year, month, day),
+            hour,
+            minute,
+            second,
+        }
+    }
+
+    /// The weekday of the date.
+    pub fn weekday(&self) -> Weekday {
+        weekday_from_days(days_from_civil(self.date))
+    }
+}
+
+/// Epoch seconds of a civil date-time.
+pub fn instant(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Second {
+    let dt = DateTime::new(year, month, day, hour, minute, second);
+    days_from_civil(dt.date) * SECONDS_PER_DAY
+        + i64::from(dt.hour) * 3_600
+        + i64::from(dt.minute) * 60
+        + i64::from(dt.second)
+}
+
+/// Civil date-time of an epoch second.
+pub fn datetime_of(t: Second) -> DateTime {
+    let days = t.div_euclid(SECONDS_PER_DAY);
+    let tod = t.rem_euclid(SECONDS_PER_DAY);
+    DateTime {
+        date: civil_from_days(days),
+        hour: (tod / 3_600) as u8,
+        minute: (tod % 3_600 / 60) as u8,
+        second: (tod % 60) as u8,
+    }
+}
+
+/// Renders an epoch second as `YYYY-MM-DD HH:MM:SS Www`.
+pub fn format_instant(t: Second) -> String {
+    let dt = datetime_of(t);
+    format!(
+        "{:04}-{:02}-{:02} {:02}:{:02}:{:02} {:?}",
+        dt.date.year, dt.date.month, dt.date.day, dt.hour, dt.minute, dt.second,
+        dt.weekday()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_formatting() {
+        assert_eq!(format_instant(0), "2000-01-01 00:00:00 Sat");
+        assert_eq!(format_instant(86_399), "2000-01-01 23:59:59 Sat");
+        assert_eq!(format_instant(2 * 86_400 + 9 * 3_600), "2000-01-03 09:00:00 Mon");
+    }
+
+    #[test]
+    fn instant_round_trip() {
+        for t in [
+            0i64,
+            -1,
+            86_400,
+            instant(1996, 6, 3, 12, 30, 15), // PODS'96 week
+            instant(2100, 2, 28, 23, 59, 59),
+            instant(1969, 12, 31, 0, 0, 1),
+        ] {
+            let dt = datetime_of(t);
+            let back = instant(
+                dt.date.year,
+                dt.date.month,
+                dt.date.day,
+                dt.hour,
+                dt.minute,
+                dt.second,
+            );
+            assert_eq!(back, t, "round trip failed for {t}");
+        }
+    }
+
+    #[test]
+    fn negative_instants() {
+        assert_eq!(format_instant(-1), "1999-12-31 23:59:59 Fri");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_time_rejected() {
+        let _ = DateTime::new(2000, 1, 1, 24, 0, 0);
+    }
+
+    #[test]
+    fn pods_96_dates() {
+        // PODS'96 was held in Montreal, June 1996.
+        let t = instant(1996, 6, 4, 9, 0, 0);
+        assert_eq!(datetime_of(t).weekday(), Weekday::Tue);
+        assert!(t < 0, "1996 precedes the epoch");
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for granularity operations.
+
+use std::fmt;
+
+/// Errors arising from granularity registry operations and conversions.
+#[derive(Clone, PartialEq, Eq)]
+pub enum GranularityError {
+    /// A granularity with this name is already registered.
+    DuplicateName(String),
+    /// No granularity with this name is registered.
+    UnknownName(String),
+    /// A tick index lies outside a granularity's supported horizon.
+    OutOfHorizon {
+        /// Name of the granularity.
+        granularity: String,
+        /// The offending tick index.
+        tick: i64,
+    },
+}
+
+impl fmt::Display for GranularityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GranularityError::DuplicateName(n) => {
+                write!(f, "granularity `{n}` is already registered")
+            }
+            GranularityError::UnknownName(n) => write!(f, "unknown granularity `{n}`"),
+            GranularityError::OutOfHorizon { granularity, tick } => {
+                write!(f, "tick {tick} of `{granularity}` is outside the supported horizon")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for GranularityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for GranularityError {}

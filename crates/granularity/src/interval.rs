@@ -1,0 +1,221 @@
+//! Closed integer intervals and sorted disjoint interval sets.
+//!
+//! Tick extents are interval *sets* because ticks of derived granularities
+//! (e.g. business month) are non-convex unions of seconds.
+
+use std::fmt;
+
+use crate::granularity::Second;
+
+/// A non-empty closed interval `[start, end]` of seconds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Interval {
+    /// First instant of the interval (inclusive).
+    pub start: Second,
+    /// Last instant of the interval (inclusive).
+    pub end: Second,
+}
+
+impl Interval {
+    /// Creates `[start, end]`. Panics if `start > end`.
+    pub fn new(start: Second, end: Second) -> Self {
+        assert!(start <= end, "empty interval [{start}, {end}]");
+        Interval { start, end }
+    }
+
+    /// Number of seconds in the interval.
+    pub fn len(&self) -> i64 {
+        self.end - self.start + 1
+    }
+
+    /// Always false: intervals are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `t` lies inside the interval.
+    pub fn contains(&self, t: Second) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// The intersection with `other`, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        (s <= e).then(|| Interval::new(s, e))
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+/// A non-empty set of instants represented as sorted, disjoint,
+/// non-adjacent closed intervals.
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// A set consisting of one interval.
+    pub fn single(iv: Interval) -> Self {
+        IntervalSet { ivs: vec![iv] }
+    }
+
+    /// A set consisting of the single instant `t`.
+    pub fn point(t: Second) -> Self {
+        Self::single(Interval::new(t, t))
+    }
+
+    /// Builds a set from arbitrary intervals, normalizing (sorting and
+    /// coalescing overlapping/adjacent intervals). Panics if `ivs` is empty.
+    pub fn from_intervals(mut ivs: Vec<Interval>) -> Self {
+        assert!(!ivs.is_empty(), "IntervalSet must be non-empty");
+        ivs.sort();
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match out.last_mut() {
+                Some(last) if iv.start <= last.end.saturating_add(1) => {
+                    last.end = last.end.max(iv.end);
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// The normalized intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// Earliest instant of the set.
+    pub fn min(&self) -> Second {
+        self.ivs[0].start
+    }
+
+    /// Latest instant of the set.
+    pub fn max(&self) -> Second {
+        self.ivs[self.ivs.len() - 1].end
+    }
+
+    /// Total number of instants in the set.
+    pub fn count(&self) -> i64 {
+        self.ivs.iter().map(Interval::len).sum()
+    }
+
+    /// Whether `t` belongs to the set.
+    pub fn contains(&self, t: Second) -> bool {
+        // Binary search over sorted disjoint intervals.
+        let idx = self.ivs.partition_point(|iv| iv.end < t);
+        self.ivs.get(idx).is_some_and(|iv| iv.contains(t))
+    }
+
+    /// Whether every instant of `self` belongs to `other`.
+    pub fn is_subset_of(&self, other: &IntervalSet) -> bool {
+        self.ivs.iter().all(|iv| {
+            let idx = other.ivs.partition_point(|o| o.end < iv.start);
+            other
+                .ivs
+                .get(idx)
+                .is_some_and(|o| o.start <= iv.start && iv.end <= o.end)
+        })
+    }
+
+    /// Intersection with a single interval, if non-empty.
+    pub fn intersect_interval(&self, iv: &Interval) -> Option<IntervalSet> {
+        let out: Vec<Interval> = self
+            .ivs
+            .iter()
+            .filter_map(|x| x.intersect(iv))
+            .collect();
+        (!out.is_empty()).then_some(IntervalSet { ivs: out })
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(&self.ivs).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(3, 7);
+        assert_eq!(iv.len(), 5);
+        assert!(iv.contains(3) && iv.contains(7));
+        assert!(!iv.contains(2) && !iv.contains(8));
+        assert_eq!(
+            iv.intersect(&Interval::new(6, 10)),
+            Some(Interval::new(6, 7))
+        );
+        assert_eq!(iv.intersect(&Interval::new(8, 10)), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn interval_rejects_inverted_bounds() {
+        let _ = Interval::new(5, 4);
+    }
+
+    #[test]
+    fn set_normalizes_overlaps_and_adjacency() {
+        let s = IntervalSet::from_intervals(vec![
+            Interval::new(10, 12),
+            Interval::new(1, 3),
+            Interval::new(4, 6), // adjacent to [1,3] -> coalesce
+            Interval::new(11, 15),
+        ]);
+        assert_eq!(
+            s.intervals(),
+            &[Interval::new(1, 6), Interval::new(10, 15)]
+        );
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 15);
+        assert_eq!(s.count(), 12);
+    }
+
+    #[test]
+    fn set_contains_binary_search() {
+        let s = IntervalSet::from_intervals(vec![Interval::new(0, 2), Interval::new(10, 10)]);
+        for t in [0, 1, 2, 10] {
+            assert!(s.contains(t), "expected {t} in set");
+        }
+        for t in [-1, 3, 9, 11] {
+            assert!(!s.contains(t), "expected {t} not in set");
+        }
+    }
+
+    #[test]
+    fn subset_checks_each_component() {
+        let big = IntervalSet::from_intervals(vec![Interval::new(0, 10), Interval::new(20, 30)]);
+        let inside =
+            IntervalSet::from_intervals(vec![Interval::new(2, 4), Interval::new(25, 30)]);
+        let straddling = IntervalSet::from_intervals(vec![Interval::new(8, 12)]);
+        let in_gap = IntervalSet::from_intervals(vec![Interval::new(12, 15)]);
+        assert!(inside.is_subset_of(&big));
+        assert!(!straddling.is_subset_of(&big));
+        assert!(!in_gap.is_subset_of(&big));
+        assert!(big.is_subset_of(&big));
+    }
+
+    #[test]
+    fn intersect_interval_clips() {
+        let s = IntervalSet::from_intervals(vec![Interval::new(0, 5), Interval::new(10, 15)]);
+        let clipped = s.intersect_interval(&Interval::new(4, 11)).unwrap();
+        assert_eq!(
+            clipped.intervals(),
+            &[Interval::new(4, 5), Interval::new(10, 11)]
+        );
+        assert!(s.intersect_interval(&Interval::new(6, 9)).is_none());
+    }
+}

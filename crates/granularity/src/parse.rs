@@ -1,0 +1,560 @@
+//! A small text DSL for defining granularities, so calendars can be
+//! configured from strings (CLI flags, config files) instead of code.
+//!
+//! Grammar (whitespace-insensitive between tokens):
+//!
+//! ```text
+//! spec     := atom [ "into" atom ]
+//! atom     := base | counted | filtered
+//! base     := second | minute | hour | day | week | month | year
+//!           | business-day | weekend-day
+//! counted  := <n> <unit> [ "@" <anchor> ]
+//!             unit   := second|minute|hour|day|week|month|year
+//!             anchor := YYYY-MM-DD (uniform units) | YYYY-MM (month units)
+//! filtered := days( wd [, wd]* ) [ "except" date [, date]* ]
+//!             wd := mon|tue|wed|thu|fri|sat|sun
+//! ```
+//!
+//! Examples: `"day"`, `"3 month"` (quarters), `"12 month @ 2000-04"`
+//! (fiscal years from April), `"90 minute"`, `"days(mon,wed,fri)"`,
+//! `"days(mon,tue,wed,thu,fri) except 2000-01-03"` (business days with a
+//! holiday), `"days(sat,sun) into week"` (weekends).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::builtin::{self, FilteredDays, GroupInto, Months, Uniform, SECONDS_PER_DAY};
+use crate::calendar_math::{days_from_civil, months_from_civil, CivilDate};
+use crate::granularity::Granularity;
+use crate::registry::Gran;
+
+/// Errors from [`parse_granularity`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "granularity spec error: {}", self.message)
+    }
+}
+
+impl fmt::Debug for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a granularity spec. The resulting granularity is named by the
+/// normalized spec text.
+///
+/// ```
+/// use tgm_granularity::{parse_granularity, Granularity as _};
+///
+/// let fiscal_year = parse_granularity("12 month @ 2000-04").unwrap();
+/// assert!(!fiscal_year.has_gaps());
+/// let weekend = parse_granularity("days(sat,sun) into week").unwrap();
+/// assert!(weekend.has_gaps());
+/// ```
+pub fn parse_granularity(spec: &str) -> Result<Gran, ParseError> {
+    let spec = spec.trim();
+    if let Some((inner, frame)) = split_keyword(spec, " into ") {
+        let inner_g = parse_atom(inner.trim())?;
+        let frame_g = parse_atom(frame.trim())?;
+        let name = format!("{} into {}", inner_g.name(), frame_g.name());
+        let inner_arc: Arc<dyn Granularity> = Arc::new(GranErased(inner_g));
+        let frame_arc: Arc<dyn Granularity> = Arc::new(GranErased(frame_g));
+        return Ok(Gran::new(GroupInto::new(name, inner_arc, frame_arc)));
+    }
+    parse_atom(spec)
+}
+
+/// Adapter so a `Gran` handle can be boxed as a plain granularity.
+#[derive(Debug)]
+struct GranErased(Gran);
+
+impl Granularity for GranErased {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn covering_tick(&self, t: crate::Second) -> Option<crate::Tick> {
+        self.0.covering_tick(t)
+    }
+    fn tick_intervals(&self, z: crate::Tick) -> Option<crate::IntervalSet> {
+        self.0.tick_intervals(z)
+    }
+    fn has_gaps(&self) -> bool {
+        self.0.has_gaps()
+    }
+    fn exact_sizes(&self, k: u64) -> Option<crate::size_table::SizeBounds> {
+        self.0.exact_sizes(k)
+    }
+    fn scan_window(&self, k: u64) -> (crate::Tick, crate::Tick) {
+        self.0.scan_window(k)
+    }
+    fn next_tick_at_or_after(&self, t: crate::Second) -> Option<crate::Tick> {
+        self.0.next_tick_at_or_after(t)
+    }
+}
+
+fn split_keyword<'a>(s: &'a str, kw: &str) -> Option<(&'a str, &'a str)> {
+    s.find(kw).map(|i| (&s[..i], &s[i + kw.len()..]))
+}
+
+fn parse_atom(spec: &str) -> Result<Gran, ParseError> {
+    let spec = spec.trim();
+    // Intra-day window: "HH:MM-HH:MM of <day-spec>".
+    if let Some((window, days_spec)) = split_keyword(spec, " of ") {
+        if window.contains(':') {
+            return parse_day_window(window.trim(), days_spec.trim());
+        }
+    }
+    // Filtered days.
+    if spec.starts_with("days(") || spec.starts_with("business-day except") {
+        return parse_filtered(spec);
+    }
+    // Base names.
+    match spec {
+        "second" => return Ok(Gran::new(builtin::second())),
+        "minute" => return Ok(Gran::new(builtin::minute())),
+        "hour" => return Ok(Gran::new(builtin::hour())),
+        "day" => return Ok(Gran::new(builtin::day())),
+        "week" => return Ok(Gran::new(builtin::week())),
+        "month" => return Ok(Gran::new(builtin::month())),
+        "year" => return Ok(Gran::new(builtin::year())),
+        "business-day" => return Ok(Gran::new(builtin::business_day(Vec::new()))),
+        "weekend-day" => return Ok(Gran::new(builtin::weekend_day())),
+        _ => {}
+    }
+    // Counted: "<n> <unit> [@ anchor]".
+    let (count_part, rest) = spec
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| ParseError::new(format!("unknown granularity `{spec}`")))?;
+    let n: i64 = count_part
+        .parse()
+        .map_err(|_| ParseError::new(format!("unknown granularity `{spec}`")))?;
+    if n < 1 {
+        return Err(ParseError::new("count must be >= 1"));
+    }
+    let (unit, anchor) = match split_keyword(rest, "@") {
+        Some((u, a)) => (u.trim(), Some(a.trim())),
+        None => (rest.trim(), None),
+    };
+    let name = match anchor {
+        Some(a) => format!("{n} {unit} @ {a}"),
+        None => format!("{n} {unit}"),
+    };
+    let seconds_per = |unit: &str| -> Option<i64> {
+        Some(match unit {
+            "second" => 1,
+            "minute" => 60,
+            "hour" => 3_600,
+            "day" => SECONDS_PER_DAY,
+            "week" => 7 * SECONDS_PER_DAY,
+            _ => return None,
+        })
+    };
+    if let Some(per) = seconds_per(unit) {
+        let anchor_secs = match anchor {
+            Some(a) => parse_date(a)? * SECONDS_PER_DAY,
+            // Weeks anchor on Monday like the builtin; others at the epoch.
+            None if unit == "week" => -5 * SECONDS_PER_DAY,
+            None => 0,
+        };
+        return Ok(Gran::new(Uniform::new(name, n * per, anchor_secs)));
+    }
+    match unit {
+        "month" => {
+            let anchor_month = match anchor {
+                Some(a) => parse_month(a)?,
+                None => 0,
+            };
+            Ok(Gran::new(Months::with_anchor(name, n, anchor_month)))
+        }
+        "year" => {
+            let anchor_month = match anchor {
+                Some(a) => parse_month(a)?,
+                None => 0,
+            };
+            Ok(Gran::new(Months::with_anchor(name, 12 * n, anchor_month)))
+        }
+        other => Err(ParseError::new(format!("unknown unit `{other}`"))),
+    }
+}
+
+fn parse_filtered(spec: &str) -> Result<Gran, ParseError> {
+    let (head, except) = match split_keyword(spec, "except") {
+        Some((h, e)) => (h.trim(), Some(e.trim())),
+        None => (spec.trim(), None),
+    };
+    let keep: [bool; 7] = if head == "business-day" {
+        [true, true, true, true, true, false, false]
+    } else {
+        let inner = head
+            .strip_prefix("days(")
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| ParseError::new(format!("bad day filter `{head}`")))?;
+        let mut keep = [false; 7];
+        for wd in inner.split(',') {
+            let idx = match wd.trim() {
+                "mon" => 0,
+                "tue" => 1,
+                "wed" => 2,
+                "thu" => 3,
+                "fri" => 4,
+                "sat" => 5,
+                "sun" => 6,
+                other => return Err(ParseError::new(format!("unknown weekday `{other}`"))),
+            };
+            keep[idx] = true;
+        }
+        if !keep.iter().any(|&b| b) {
+            return Err(ParseError::new("day filter keeps no weekdays"));
+        }
+        keep
+    };
+    let holidays: Vec<i64> = match except {
+        Some(list) => list
+            .split(',')
+            .map(|d| parse_date(d.trim()))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let name = match except {
+        Some(list) => format!("{head} except {list}"),
+        None => head.to_owned(),
+    };
+    Ok(Gran::new(FilteredDays::new(name, keep, holidays)))
+}
+
+/// Parses an intra-day window spec: `HH:MM-HH:MM of <day spec>` where the
+/// day spec is `day`, `business-day [except ...]`, `weekend-day`, or
+/// `days(...) [except ...]`.
+fn parse_day_window(window: &str, days_spec: &str) -> Result<Gran, ParseError> {
+    let (start_s, end_s) = window
+        .split_once('-')
+        .ok_or_else(|| ParseError::new(format!("bad window `{window}` (want HH:MM-HH:MM)")))?;
+    let tod = |s: &str| -> Result<i64, ParseError> {
+        let (h, m) = s
+            .split_once(':')
+            .ok_or_else(|| ParseError::new(format!("bad time `{s}` (want HH:MM)")))?;
+        let h: i64 = h.parse().map_err(|_| ParseError::new(format!("bad hour in `{s}`")))?;
+        let m: i64 = m.parse().map_err(|_| ParseError::new(format!("bad minute in `{s}`")))?;
+        if !(0..24).contains(&h) || !(0..60).contains(&m) {
+            return Err(ParseError::new(format!("time `{s}` out of range")));
+        }
+        Ok(h * 3_600 + m * 60)
+    };
+    let start = tod(start_s.trim())?;
+    // The end is exclusive-of-minute in common usage ("09:30-16:00"), so
+    // include through the last second before the end minute.
+    let end = tod(end_s.trim())? - 1;
+    if start > end {
+        return Err(ParseError::new(format!("empty window `{window}`")));
+    }
+    let days: FilteredDays = match days_spec {
+        "day" => FilteredDays::new("day", [true; 7], Vec::new()),
+        "business-day" => builtin::business_day(Vec::new()),
+        "weekend-day" => builtin::weekend_day(),
+        other => {
+            // Reuse the filtered-day parser but unwrap to FilteredDays by
+            // reparsing the components.
+            return parse_filtered_window(window, other, start, end);
+        }
+    };
+    let name = format!("{window} of {days_spec}");
+    Ok(Gran::new(builtin::DayWindow::new(name, days, start, end)))
+}
+
+fn parse_filtered_window(
+    window: &str,
+    days_spec: &str,
+    start: i64,
+    end: i64,
+) -> Result<Gran, ParseError> {
+    // Parse the filtered-day spec into mask + holidays by delegating to
+    // parse_filtered's grammar, then rebuild a FilteredDays directly.
+    let (head, except) = match split_keyword(days_spec, "except") {
+        Some((h, e)) => (h.trim(), Some(e.trim())),
+        None => (days_spec.trim(), None),
+    };
+    let keep: [bool; 7] = if head == "business-day" {
+        [true, true, true, true, true, false, false]
+    } else {
+        let inner = head
+            .strip_prefix("days(")
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| ParseError::new(format!("bad day filter `{head}`")))?;
+        let mut keep = [false; 7];
+        for wd in inner.split(',') {
+            let idx = match wd.trim() {
+                "mon" => 0,
+                "tue" => 1,
+                "wed" => 2,
+                "thu" => 3,
+                "fri" => 4,
+                "sat" => 5,
+                "sun" => 6,
+                other => return Err(ParseError::new(format!("unknown weekday `{other}`"))),
+            };
+            keep[idx] = true;
+        }
+        if !keep.iter().any(|&b| b) {
+            return Err(ParseError::new("day filter keeps no weekdays"));
+        }
+        keep
+    };
+    let holidays: Vec<i64> = match except {
+        Some(list) => list
+            .split(',')
+            .map(|d| parse_date(d.trim()))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let name = format!("{window} of {days_spec}");
+    let days = FilteredDays::new(name.clone(), keep, holidays);
+    Ok(Gran::new(builtin::DayWindow::new(name, days, start, end)))
+}
+
+/// Parses `YYYY-MM-DD` into a day index (0 = 2000-01-01).
+fn parse_date(s: &str) -> Result<i64, ParseError> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let [y, m, d] = parts.as_slice() else {
+        return Err(ParseError::new(format!("bad date `{s}` (want YYYY-MM-DD)")));
+    };
+    let year: i32 = y.parse().map_err(|_| ParseError::new(format!("bad year in `{s}`")))?;
+    let month: u8 = m.parse().map_err(|_| ParseError::new(format!("bad month in `{s}`")))?;
+    let day: u8 = d.parse().map_err(|_| ParseError::new(format!("bad day in `{s}`")))?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return Err(ParseError::new(format!("date `{s}` out of range")));
+    }
+    Ok(days_from_civil(CivilDate::new(year, month, day)))
+}
+
+/// Parses `YYYY-MM` into a month index (0 = January 2000).
+fn parse_month(s: &str) -> Result<i64, ParseError> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let [y, m] = parts.as_slice() else {
+        return Err(ParseError::new(format!("bad month `{s}` (want YYYY-MM)")));
+    };
+    let year: i32 = y.parse().map_err(|_| ParseError::new(format!("bad year in `{s}`")))?;
+    let month: u8 = m.parse().map_err(|_| ParseError::new(format!("bad month in `{s}`")))?;
+    if !(1..=12).contains(&month) {
+        return Err(ParseError::new(format!("month `{s}` out of range")));
+    }
+    Ok(months_from_civil(year, month))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datetime::format_instant;
+
+    const DAY: i64 = 86_400;
+
+    #[test]
+    fn base_names() {
+        for name in [
+            "second",
+            "minute",
+            "hour",
+            "day",
+            "week",
+            "month",
+            "year",
+            "business-day",
+            "weekend-day",
+        ] {
+            let g = parse_granularity(name).unwrap();
+            assert_eq!(g.name(), name);
+            assert!(g.tick_intervals(1).is_some());
+        }
+    }
+
+    #[test]
+    fn counted_uniform() {
+        let g = parse_granularity("90 minute").unwrap();
+        let t1 = g.tick_intervals(1).unwrap();
+        assert_eq!(t1.count(), 90 * 60);
+        let g2 = parse_granularity("2 week").unwrap();
+        assert_eq!(g2.tick_intervals(1).unwrap().count(), 14 * DAY);
+        // Weeks stay Monday-anchored.
+        assert_eq!(
+            format_instant(g2.tick_intervals(1).unwrap().min()),
+            "1999-12-27 00:00:00 Mon"
+        );
+    }
+
+    #[test]
+    fn counted_months_and_fiscal_anchors() {
+        let q = parse_granularity("3 month").unwrap();
+        assert_eq!(q.tick_intervals(1).unwrap().count(), 91 * DAY); // Q1 2000
+        let fy = parse_granularity("12 month @ 2000-04").unwrap();
+        assert_eq!(
+            format_instant(fy.tick_intervals(1).unwrap().min()),
+            "2000-04-01 00:00:00 Sat"
+        );
+        let fy2 = parse_granularity("1 year @ 2000-04").unwrap();
+        assert_eq!(
+            fy2.tick_intervals(1).unwrap().count(),
+            fy.tick_intervals(1).unwrap().count()
+        );
+    }
+
+    #[test]
+    fn anchored_uniform() {
+        let g = parse_granularity("1 day @ 2000-01-03").unwrap();
+        assert_eq!(
+            format_instant(g.tick_intervals(1).unwrap().min()),
+            "2000-01-03 00:00:00 Mon"
+        );
+    }
+
+    #[test]
+    fn filtered_days() {
+        let mwf = parse_granularity("days(mon,wed,fri)").unwrap();
+        // Tick 1 = Mon 2000-01-03, tick 2 = Wed 2000-01-05.
+        assert_eq!(mwf.tick_intervals(1).unwrap().min(), 2 * DAY);
+        assert_eq!(mwf.tick_intervals(2).unwrap().min(), 4 * DAY);
+        assert!(mwf.has_gaps());
+
+        let bd = parse_granularity("business-day except 2000-01-03").unwrap();
+        // First business day at/after the epoch is now Tuesday the 4th.
+        assert_eq!(bd.tick_intervals(1).unwrap().min(), 3 * DAY);
+    }
+
+    #[test]
+    fn grouped_spec() {
+        let weekend = parse_granularity("days(sat,sun) into week").unwrap();
+        let t1 = weekend.tick_intervals(1).unwrap();
+        assert_eq!(t1.count(), 2 * DAY);
+        assert_eq!(weekend.covering_tick(0), Some(1)); // Sat 2000-01-01
+        assert_eq!(weekend.covering_tick(2 * DAY), None); // Monday
+
+        let bmonth = parse_granularity("business-day into month").unwrap();
+        assert_eq!(bmonth.tick_intervals(1).unwrap().count(), 21 * DAY);
+    }
+
+    #[test]
+    fn day_window_specs() {
+        let th = parse_granularity("09:30-16:00 of business-day").unwrap();
+        // Monday 2000-01-03 10:00 is inside trading hours.
+        assert_eq!(th.covering_tick(2 * DAY + 10 * 3_600), Some(1));
+        assert_eq!(th.covering_tick(2 * DAY + 17 * 3_600), None); // after close
+        assert_eq!(th.covering_tick(10 * 3_600), None); // Saturday
+        // End is exclusive at the minute: 16:00:00 itself is outside.
+        assert_eq!(th.covering_tick(2 * DAY + 16 * 3_600), None);
+        assert_eq!(th.covering_tick(2 * DAY + 16 * 3_600 - 1), Some(1));
+
+        let night = parse_granularity("00:00-06:00 of day").unwrap();
+        assert_eq!(night.covering_tick(3_600), Some(1));
+        assert_eq!(night.covering_tick(12 * 3_600), None);
+
+        let mwf_morning = parse_granularity("08:00-12:00 of days(mon,wed,fri)").unwrap();
+        assert_eq!(mwf_morning.covering_tick(2 * DAY + 9 * 3_600), Some(1)); // Mon
+        assert_eq!(mwf_morning.covering_tick(3 * DAY + 9 * 3_600), None); // Tue
+
+        assert!(parse_granularity("16:00-09:30 of business-day").is_err());
+        assert!(parse_granularity("25:00-26:00 of day").is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_granularity("fortnight").is_err());
+        assert!(parse_granularity("0 day").is_err());
+        assert!(parse_granularity("3 parsec").is_err());
+        assert!(parse_granularity("days()").is_err());
+        assert!(parse_granularity("days(funday)").is_err());
+        assert!(parse_granularity("1 day @ 2000-13-01").is_err());
+        assert!(parse_granularity("1 month @ 2000-01-01").is_err()); // want YYYY-MM
+    }
+
+    #[test]
+    fn parsed_specs_compose_with_calendars() {
+        let mut cal = crate::Calendar::standard();
+        cal.register(parse_granularity("3 month").unwrap()).unwrap();
+        assert!(cal.get("3 month").is_ok());
+    }
+}
+
+/// Builds a calendar from a config text: one directive per line, `#`
+/// comments. Directives:
+///
+/// ```text
+/// holiday YYYY-MM-DD      # removes the day from the business types
+/// gran <spec>             # registers a granularity from the DSL
+/// ```
+///
+/// Holidays apply to the standard `business-day`/`business-week`/
+/// `business-month` types regardless of directive order.
+pub fn calendar_from_config(text: &str) -> Result<crate::Calendar, ParseError> {
+    let mut holidays: Vec<i64> = Vec::new();
+    let mut specs: Vec<&str> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(date) = line.strip_prefix("holiday ") {
+            holidays.push(parse_date(date.trim())?);
+        } else if let Some(spec) = line.strip_prefix("gran ") {
+            specs.push(spec.trim());
+        } else {
+            return Err(ParseError::new(format!(
+                "line {}: unknown directive `{line}`",
+                lineno + 1
+            )));
+        }
+    }
+    let mut cal = crate::Calendar::with_holidays(holidays);
+    for spec in specs {
+        let g = parse_granularity(spec)?;
+        cal.register(g)
+            .map_err(|e| ParseError::new(e.to_string()))?;
+    }
+    Ok(cal)
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trip() {
+        let cal = calendar_from_config(
+            "# trading calendar\n\
+             holiday 2000-01-03   # observed New Year\n\
+             gran 3 month\n\
+             gran 09:30-16:00 of business-day\n",
+        )
+        .unwrap();
+        // The holiday removed Monday 2000-01-03 from business days.
+        let bd = cal.get("business-day").unwrap();
+        assert_eq!(bd.covering_tick(2 * 86_400 + 100), None);
+        assert!(cal.get("3 month").is_ok());
+        assert!(cal.get("09:30-16:00 of business-day").is_ok());
+    }
+
+    #[test]
+    fn config_errors() {
+        assert!(calendar_from_config("holiday not-a-date").is_err());
+        assert!(calendar_from_config("frobnicate day").is_err());
+        assert!(calendar_from_config("gran lightyear").is_err());
+        // Duplicate registration.
+        assert!(calendar_from_config("gran 3 month\ngran 3 month").is_err());
+        // Empty config is the standard calendar.
+        let cal = calendar_from_config("").unwrap();
+        assert!(cal.get("second").is_ok());
+    }
+}

@@ -1,0 +1,285 @@
+//! A registry of named granularities and the shared [`Gran`] handle used
+//! throughout the constraint and automaton layers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::builtin;
+use crate::error::GranularityError;
+use crate::granularity::{Granularity, Second, Tick};
+use crate::interval::IntervalSet;
+use crate::size_table::SizeTable;
+
+/// A cheap-to-clone handle to a registered granularity, carrying its
+/// memoized [`SizeTable`]. Equality and hashing are by name (names are
+/// unique within a [`Calendar`]).
+#[derive(Clone)]
+pub struct Gran {
+    inner: Arc<GranInner>,
+}
+
+struct GranInner {
+    gran: Arc<dyn Granularity>,
+    sizes: SizeTable,
+}
+
+impl Gran {
+    /// Wraps a granularity into a standalone handle (outside any calendar).
+    pub fn from_arc(gran: Arc<dyn Granularity>) -> Self {
+        Gran {
+            inner: Arc::new(GranInner {
+                sizes: SizeTable::new(Arc::clone(&gran)),
+                gran,
+            }),
+        }
+    }
+
+    /// Wraps a concrete granularity value.
+    pub fn new(gran: impl Granularity + 'static) -> Self {
+        Self::from_arc(Arc::new(gran))
+    }
+
+    /// The granularity's name.
+    pub fn name(&self) -> &str {
+        self.inner.gran.name()
+    }
+
+    /// The underlying granularity.
+    pub fn granularity(&self) -> &dyn Granularity {
+        self.inner.gran.as_ref()
+    }
+
+    /// The memoized size table for this granularity.
+    pub fn sizes(&self) -> &SizeTable {
+        &self.inner.sizes
+    }
+}
+
+impl Granularity for Gran {
+    fn name(&self) -> &str {
+        self.inner.gran.name()
+    }
+    fn covering_tick(&self, t: Second) -> Option<Tick> {
+        self.inner.gran.covering_tick(t)
+    }
+    fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
+        self.inner.gran.tick_intervals(z)
+    }
+    fn has_gaps(&self) -> bool {
+        self.inner.gran.has_gaps()
+    }
+    fn exact_sizes(&self, k: u64) -> Option<crate::size_table::SizeBounds> {
+        self.inner.gran.exact_sizes(k)
+    }
+    fn scan_window(&self, k: u64) -> (Tick, Tick) {
+        self.inner.gran.scan_window(k)
+    }
+    fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
+        self.inner.gran.next_tick_at_or_after(t)
+    }
+}
+
+impl PartialEq for Gran {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.name() == other.name()
+    }
+}
+impl Eq for Gran {}
+
+impl std::hash::Hash for Gran {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+    }
+}
+
+impl PartialOrd for Gran {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Gran {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.name().cmp(other.name())
+    }
+}
+
+impl fmt::Debug for Gran {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gran({})", self.name())
+    }
+}
+
+impl fmt::Display for Gran {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of named granularities sharing one clock domain.
+///
+/// [`Calendar::standard`] preloads the types used throughout the paper:
+/// `second`, `minute`, `hour`, `day`, `week`, `month`, `year`,
+/// `business-day`, `business-week`, `business-month`, `weekend-day` and
+/// `weekend`.
+pub struct Calendar {
+    grans: BTreeMap<String, Gran>,
+}
+
+impl Calendar {
+    /// An empty calendar.
+    pub fn empty() -> Self {
+        Calendar {
+            grans: BTreeMap::new(),
+        }
+    }
+
+    /// The standard calendar with no holidays.
+    pub fn standard() -> Self {
+        Self::with_holidays(Vec::new())
+    }
+
+    /// The standard calendar whose business types exclude the given holiday
+    /// day indices (0 = 2000-01-01).
+    pub fn with_holidays(holidays: Vec<i64>) -> Self {
+        let mut cal = Calendar::empty();
+        let reg = |cal: &mut Calendar, g: Gran| {
+            cal.register(g).expect("standard names are unique");
+        };
+        reg(&mut cal, Gran::new(builtin::second()));
+        reg(&mut cal, Gran::new(builtin::minute()));
+        reg(&mut cal, Gran::new(builtin::hour()));
+        reg(&mut cal, Gran::new(builtin::day()));
+        reg(&mut cal, Gran::new(builtin::week()));
+        reg(&mut cal, Gran::new(builtin::month()));
+        reg(&mut cal, Gran::new(builtin::year()));
+
+        let bday: Arc<dyn Granularity> = Arc::new(builtin::business_day(holidays));
+        let wday: Arc<dyn Granularity> = Arc::new(builtin::weekend_day());
+        let week: Arc<dyn Granularity> = Arc::new(builtin::week());
+        let month: Arc<dyn Granularity> = Arc::new(builtin::month());
+
+        reg(&mut cal, Gran::from_arc(Arc::clone(&bday)));
+        reg(&mut cal, Gran::from_arc(Arc::clone(&wday)));
+        reg(
+            &mut cal,
+            Gran::new(builtin::GroupInto::new(
+                "business-week",
+                Arc::clone(&bday),
+                Arc::clone(&week),
+            )),
+        );
+        reg(
+            &mut cal,
+            Gran::new(builtin::GroupInto::new("business-month", bday, month)),
+        );
+        reg(
+            &mut cal,
+            Gran::new(builtin::GroupInto::new("weekend", wday, week)),
+        );
+        cal
+    }
+
+    /// Registers a granularity; fails on duplicate names.
+    pub fn register(&mut self, gran: Gran) -> Result<(), GranularityError> {
+        let name = gran.name().to_owned();
+        if self.grans.contains_key(&name) {
+            return Err(GranularityError::DuplicateName(name));
+        }
+        self.grans.insert(name, gran);
+        Ok(())
+    }
+
+    /// Looks up a granularity by name.
+    pub fn get(&self, name: &str) -> Result<Gran, GranularityError> {
+        self.grans
+            .get(name)
+            .cloned()
+            .ok_or_else(|| GranularityError::UnknownName(name.to_owned()))
+    }
+
+    /// Iterates all registered granularities in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Gran> {
+        self.grans.values()
+    }
+
+    /// Number of registered granularities.
+    pub fn len(&self) -> usize {
+        self.grans.len()
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grans.is_empty()
+    }
+}
+
+impl fmt::Debug for Calendar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.grans.keys()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_calendar_contents() {
+        let cal = Calendar::standard();
+        for name in [
+            "second",
+            "minute",
+            "hour",
+            "day",
+            "week",
+            "month",
+            "year",
+            "business-day",
+            "business-week",
+            "business-month",
+            "weekend-day",
+            "weekend",
+        ] {
+            assert!(cal.get(name).is_ok(), "missing standard granularity {name}");
+        }
+        assert_eq!(cal.len(), 12);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut cal = Calendar::standard();
+        let err = cal.register(Gran::new(builtin::second())).unwrap_err();
+        assert_eq!(err, GranularityError::DuplicateName("second".into()));
+    }
+
+    #[test]
+    fn unknown_lookup_fails() {
+        let cal = Calendar::standard();
+        assert!(matches!(
+            cal.get("fortnight"),
+            Err(GranularityError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn gran_equality_by_name() {
+        let cal = Calendar::standard();
+        let a = cal.get("day").unwrap();
+        let b = cal.get("day").unwrap();
+        let c = cal.get("hour").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let standalone = Gran::new(builtin::day());
+        assert_eq!(a, standalone);
+    }
+
+    #[test]
+    fn business_week_in_calendar() {
+        let cal = Calendar::standard();
+        let bw = cal.get("business-week").unwrap();
+        // Business week tick 2 (week of Mon 2000-01-03) covers Mon-Fri.
+        let set = bw.tick_intervals(2).unwrap();
+        assert_eq!(set.count(), 5 * builtin::SECONDS_PER_DAY);
+    }
+}

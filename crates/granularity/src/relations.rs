@@ -1,0 +1,169 @@
+//! Relationships between temporal types, after the granularity-systems
+//! literature the paper builds on (Wang–Bettini–Brodsky–Jajodia):
+//!
+//! * `ν` **groups into** `μ` — every tick of `μ` is a union of ticks of
+//!   `ν` (e.g. `day` groups into `month`, `business-day` groups into
+//!   `business-week`);
+//! * `ν` is **finer than** `μ` — every tick of `ν` is contained in some
+//!   tick of `μ` (e.g. `day` is finer than `month`; `week` is *not* finer
+//!   than `month`).
+//!
+//! General granularities are black-box tick functions, so these checks are
+//! *sampled* over a tick window: exact whenever the window covers the
+//! types' joint period (the builtin calendar types repeat with the
+//! 400-year Gregorian cycle), and a falsifying tick is returned when the
+//! relation fails on the sample.
+
+use crate::convert::convert_tick;
+use crate::granularity::{Granularity, Tick};
+
+/// Outcome of a sampled relation check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelationCheck {
+    /// The relation held on every sampled tick.
+    HoldsOnSample,
+    /// A counterexample tick (of the finer/partitioning type).
+    FailsAt(Tick),
+}
+
+impl RelationCheck {
+    /// Whether the relation held on the sample.
+    pub fn holds(self) -> bool {
+        matches!(self, RelationCheck::HoldsOnSample)
+    }
+}
+
+/// Checks that every tick of `fine` within the window is covered by a tick
+/// of `coarse` ("finer than", sampled).
+pub fn finer_than<F, C>(fine: &F, coarse: &C, window: (Tick, Tick)) -> RelationCheck
+where
+    F: Granularity + ?Sized,
+    C: Granularity + ?Sized,
+{
+    for z in window.0..=window.1 {
+        if fine.tick_intervals(z).is_some() && convert_tick(fine, z, coarse).is_none() {
+            return RelationCheck::FailsAt(z);
+        }
+    }
+    RelationCheck::HoldsOnSample
+}
+
+/// Checks that every tick of `coarse` within the window is exactly a union
+/// of ticks of `fine` ("groups into", sampled).
+pub fn groups_into<F, C>(fine: &F, coarse: &C, window: (Tick, Tick)) -> RelationCheck
+where
+    F: Granularity + ?Sized,
+    C: Granularity + ?Sized,
+{
+    for z in window.0..=window.1 {
+        let Some(big) = coarse.tick_intervals(z) else {
+            continue;
+        };
+        // Walk the fine ticks overlapping the coarse tick and check they
+        // tile it exactly.
+        let mut covered: i64 = 0;
+        let Some(mut zf) = fine.next_tick_at_or_after(big.min()) else {
+            return RelationCheck::FailsAt(z);
+        };
+        while let Some(small) = fine.tick_intervals(zf) {
+            if small.min() > big.max() {
+                break;
+            }
+            if !small.is_subset_of(&big) {
+                return RelationCheck::FailsAt(z);
+            }
+            covered += small.count();
+            zf += 1;
+        }
+        if covered != big.count() {
+            return RelationCheck::FailsAt(z);
+        }
+    }
+    RelationCheck::HoldsOnSample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use crate::registry::Calendar;
+
+    const W: (Tick, Tick) = (-600, 600);
+
+    #[test]
+    fn day_finer_than_month_and_week() {
+        let day = builtin::day();
+        assert!(finer_than(&day, &builtin::month(), W).holds());
+        assert!(finer_than(&day, &builtin::week(), W).holds());
+        assert!(finer_than(&day, &builtin::year(), W).holds());
+    }
+
+    #[test]
+    fn week_not_finer_than_month() {
+        // Some week straddles a month boundary.
+        let check = finer_than(&builtin::week(), &builtin::month(), W);
+        assert!(matches!(check, RelationCheck::FailsAt(_)));
+        // ... but week IS finer than a large uniform block.
+        let big = builtin::Uniform::new("huge", 400 * 7 * 86_400, -5 * 86_400);
+        assert!(finer_than(&builtin::week(), &big, (-5, 5)).holds());
+    }
+
+    #[test]
+    fn day_not_finer_than_business_day() {
+        // Saturdays are uncovered.
+        assert!(!finer_than(&builtin::day(), &builtin::business_day(Vec::new()), W).holds());
+        // Business days ARE finer than days (each b-day is a day).
+        assert!(finer_than(&builtin::business_day(Vec::new()), &builtin::day(), W).holds());
+    }
+
+    #[test]
+    fn groups_into_relations() {
+        let day = builtin::day();
+        // Days tile months, weeks, years exactly.
+        assert!(groups_into(&day, &builtin::month(), (-60, 60)).holds());
+        assert!(groups_into(&day, &builtin::week(), (-60, 60)).holds());
+        // Hours tile days.
+        assert!(groups_into(&builtin::hour(), &day, (-60, 60)).holds());
+        // Days do NOT tile business weeks (weekends are not days of the
+        // business week)... actually business-week ticks ARE unions of
+        // (business) days, and also unions of day-granularity days.
+        let cal = Calendar::standard();
+        let bw = cal.get("business-week").unwrap();
+        assert!(groups_into(&day, &bw, (-60, 60)).holds());
+        // But weeks do not tile months.
+        assert!(!groups_into(&builtin::week(), &builtin::month(), (-60, 60)).holds());
+    }
+
+    #[test]
+    fn business_day_groups_into_business_month() {
+        let cal = Calendar::standard();
+        let bday = cal.get("business-day").unwrap();
+        let bmonth = cal.get("business-month").unwrap();
+        assert!(groups_into(&bday, &bmonth, (-40, 40)).holds());
+        // Plain days do not tile business months (weekend days poke out of
+        // the non-convex tick).
+        assert!(!groups_into(&builtin::day(), &bmonth, (-40, 40)).holds());
+    }
+
+    #[test]
+    fn fiscal_year_anchor() {
+        // Fiscal year starting April 2000 (month index 3).
+        let fiscal = builtin::Months::with_anchor("fiscal-year", 12, 3);
+        use crate::granularity::Granularity as _;
+        let t1 = fiscal.tick_intervals(1).unwrap();
+        // Tick 1 = Apr 2000 .. Mar 2001.
+        assert_eq!(
+            crate::datetime::format_instant(t1.min()),
+            "2000-04-01 00:00:00 Sat"
+        );
+        assert_eq!(
+            crate::datetime::format_instant(t1.max()),
+            "2001-03-31 23:59:59 Sat"
+        );
+        // Months are finer than fiscal years; quarters anchored off-cycle
+        // are not finer than calendar years.
+        assert!(finer_than(&builtin::month(), &fiscal, (-300, 300)).holds());
+        let odd_quarter = builtin::Months::with_anchor("odd-quarter", 3, 2);
+        assert!(!finer_than(&odd_quarter, &builtin::year(), (-100, 100)).holds());
+    }
+}

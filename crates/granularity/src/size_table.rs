@@ -1,0 +1,246 @@
+//! `minsize` / `maxsize` / `mingap` tables (paper, Appendix A.1).
+//!
+//! For a granularity `μ` and `k ≥ 1`:
+//!
+//! * `minsize(μ, k)` / `maxsize(μ, k)` — the minimum / maximum *span* of `k`
+//!   consecutive ticks in primitive seconds, i.e.
+//!   `max(μ(i+k-1)) − min(μ(i)) + 1` extremized over `i`
+//!   (e.g. `maxsize(b-day, 2) = 4` days: Friday through Monday).
+//! * `mingap(μ, k)` — the minimum of `min(μ(i+k)) − max(μ(i))` over `i`
+//!   (for `k = 0` this is `1 − maxsize(μ, 1) ≤ 0`).
+//!
+//! The constraint-conversion algorithm needs these as *sound global bounds*:
+//! `minsize`/`mingap` must never over-estimate and `maxsize` must never
+//! under-estimate. Values are computed by scanning the granularity's
+//! [`scan_window`](crate::Granularity::scan_window) — exact for the builtin
+//! periodic types — with an O(1) fast path when the granularity provides
+//! [`exact_sizes`](crate::Granularity::exact_sizes). Results are memoized.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::granularity::{Granularity, Tick};
+
+/// Span and gap bounds for `k` consecutive ticks of a granularity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SizeBounds {
+    /// Minimum span (in seconds) of `k` consecutive ticks.
+    pub min_span: i64,
+    /// Maximum span (in seconds) of `k` consecutive ticks.
+    pub max_span: i64,
+    /// Minimum of `min(μ(i+k)) − max(μ(i))`.
+    pub min_gap: i64,
+}
+
+/// Memoized `minsize`/`maxsize`/`mingap` bounds for one granularity.
+///
+/// ```
+/// use tgm_granularity::{builtin, SizeTable};
+///
+/// let months = SizeTable::new(std::sync::Arc::new(builtin::month()));
+/// let b = months.bounds(1);
+/// assert_eq!(b.min_span, 28 * 86_400); // shortest month
+/// assert_eq!(b.max_span, 31 * 86_400); // longest month
+/// ```
+pub struct SizeTable {
+    gran: std::sync::Arc<dyn Granularity>,
+    cache: Mutex<HashMap<u64, SizeBounds>>,
+}
+
+impl std::fmt::Debug for SizeTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SizeTable")
+            .field("granularity", &self.gran.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SizeTable {
+    /// Creates a table for the given granularity.
+    pub fn new(gran: std::sync::Arc<dyn Granularity>) -> Self {
+        SizeTable {
+            gran,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The granularity this table describes.
+    pub fn granularity(&self) -> &dyn Granularity {
+        self.gran.as_ref()
+    }
+
+    /// Bounds for `k` consecutive ticks. For `k = 0`, `min_span`/`max_span`
+    /// are 0 and `min_gap = 1 − maxsize(1)`.
+    pub fn bounds(&self, k: u64) -> SizeBounds {
+        if let Some(b) = self.cache.lock().get(&k) {
+            return *b;
+        }
+        let b = self.compute(k);
+        self.cache.lock().insert(k, b);
+        b
+    }
+
+    /// `minsize(μ, k)`.
+    pub fn min_size(&self, k: u64) -> i64 {
+        self.bounds(k).min_span
+    }
+
+    /// `maxsize(μ, k)`.
+    pub fn max_size(&self, k: u64) -> i64 {
+        self.bounds(k).max_span
+    }
+
+    /// `mingap(μ, k)`.
+    pub fn min_gap(&self, k: u64) -> i64 {
+        self.bounds(k).min_gap
+    }
+
+    fn compute(&self, k: u64) -> SizeBounds {
+        if k == 0 {
+            let one = self.bounds(1);
+            return SizeBounds {
+                min_span: 0,
+                max_span: 0,
+                min_gap: 1 - one.max_span,
+            };
+        }
+        if let Some(b) = self.gran.exact_sizes(k) {
+            return b;
+        }
+        self.scan(k)
+    }
+
+    /// Scans every run of `k` consecutive ticks whose start lies in the
+    /// granularity's scan window.
+    fn scan(&self, k: u64) -> SizeBounds {
+        let (lo, hi) = self.gran.scan_window(k);
+        let k = k as Tick;
+        let mut min_span = i64::MAX;
+        let mut max_span = i64::MIN;
+        let mut min_gap = i64::MAX;
+        // Maintain a small ring of tick extents to avoid recomputing
+        // tick_intervals for every offset.
+        let mut extents: Vec<Option<(i64, i64)>> = Vec::new();
+        let ext = |z: Tick| -> Option<(i64, i64)> {
+            let s = self.gran.tick_intervals(z)?;
+            Some((s.min(), s.max()))
+        };
+        for z in lo..=(hi + k) {
+            extents.push(ext(z));
+        }
+        let at = |z: Tick| -> Option<(i64, i64)> { extents[(z - lo) as usize] };
+        for i in lo..=hi {
+            if let (Some((start_min, _)), Some((_, end_max))) = (at(i), at(i + k - 1)) {
+                let span = end_max - start_min + 1;
+                min_span = min_span.min(span);
+                max_span = max_span.max(span);
+            }
+            if let (Some((_, i_max)), Some((next_min, _))) = (at(i), at(i + k)) {
+                min_gap = min_gap.min(next_min - i_max);
+            }
+        }
+        assert!(
+            min_span != i64::MAX && min_gap != i64::MAX,
+            "scan window of `{}` contained no valid run of {k} ticks",
+            self.gran.name()
+        );
+        SizeBounds {
+            min_span,
+            max_span,
+            min_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::builtin::{self, SECONDS_PER_DAY};
+
+    fn table(g: impl Granularity + 'static) -> SizeTable {
+        SizeTable::new(Arc::new(g))
+    }
+
+    #[test]
+    fn uniform_exact_path() {
+        let t = table(builtin::hour());
+        assert_eq!(t.min_size(1), 3_600);
+        assert_eq!(t.max_size(1), 3_600);
+        assert_eq!(t.min_gap(1), 1);
+        assert_eq!(t.min_size(24), 24 * 3_600);
+        assert_eq!(t.min_gap(2), 3_601);
+    }
+
+    #[test]
+    fn month_spans_match_paper_examples() {
+        let t = table(builtin::month());
+        // Paper: minsize(month, 1) = 28 days, maxsize(month, 1) = 31 days.
+        assert_eq!(t.min_size(1), 28 * SECONDS_PER_DAY);
+        assert_eq!(t.max_size(1), 31 * SECONDS_PER_DAY);
+        // Two consecutive months: min Feb+Mar non-leap = 59, max Jul+Aug = 62.
+        assert_eq!(t.min_size(2), 59 * SECONDS_PER_DAY);
+        assert_eq!(t.max_size(2), 62 * SECONDS_PER_DAY);
+        // Gap of one month ahead: shortest intervening is nothing (adjacent).
+        assert_eq!(t.min_gap(1), 1);
+        // Gap of two: shortest intervening month is 28 days.
+        assert_eq!(t.min_gap(2), 28 * SECONDS_PER_DAY + 1);
+    }
+
+    #[test]
+    fn year_spans() {
+        let t = table(builtin::year());
+        assert_eq!(t.min_size(1), 365 * SECONDS_PER_DAY);
+        assert_eq!(t.max_size(1), 366 * SECONDS_PER_DAY);
+        // Four consecutive years always contain exactly one leap year,
+        // except runs crossing skipped century leap years (e.g. 2100).
+        assert_eq!(t.max_size(4), (4 * 365 + 1) * SECONDS_PER_DAY);
+        assert_eq!(t.min_size(4), 4 * 365 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn business_day_spans_match_paper_example() {
+        let t = table(builtin::business_day(Vec::new()));
+        // Paper: maxsize(b-day, 2) = 4 (Friday..Monday), in day units.
+        assert_eq!(t.max_size(2), 4 * SECONDS_PER_DAY);
+        assert_eq!(t.min_size(2), 2 * SECONDS_PER_DAY);
+        // A run of 6 business days must cross a weekend: span 8 days.
+        assert_eq!(t.min_size(6), 8 * SECONDS_PER_DAY);
+        assert_eq!(t.max_size(6), 8 * SECONDS_PER_DAY);
+        // mingap(b-day, 1): adjacent business days touch (gap 1 second).
+        assert_eq!(t.min_gap(1), 1);
+    }
+
+    #[test]
+    fn business_day_holidays_extend_max_span() {
+        // Make Friday 2000-01-07 (day 6) a holiday: Thu 6th .. Mon 10th
+        // becomes a 5-day span of 2 consecutive business days.
+        let t = table(builtin::business_day(vec![6]));
+        assert_eq!(t.max_size(2), 5 * SECONDS_PER_DAY);
+        // min side unaffected.
+        assert_eq!(t.min_size(2), 2 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn k_zero_bounds() {
+        let t = table(builtin::month());
+        let b = t.bounds(0);
+        assert_eq!(b.min_span, 0);
+        assert_eq!(b.max_span, 0);
+        assert_eq!(b.min_gap, 1 - 31 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn business_month_scan() {
+        let b: Arc<dyn Granularity> = Arc::new(builtin::business_day(Vec::new()));
+        let m: Arc<dyn Granularity> = Arc::new(builtin::month());
+        let t = table(builtin::GroupInto::new("business-month", b, m));
+        // A business month spans at least 26 days (Feb starting Monday)
+        // and at most 31; expressed as span of first..last business day.
+        assert!(t.min_size(1) >= 25 * SECONDS_PER_DAY);
+        assert!(t.max_size(1) <= 31 * SECONDS_PER_DAY);
+        assert!(t.min_size(1) < t.max_size(1));
+    }
+}

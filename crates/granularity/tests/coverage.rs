@@ -1,0 +1,122 @@
+//! Coverage tests for the smaller public surfaces: tick_covers, handles,
+//! error displays, registry behaviour, size-table edge cases.
+
+use std::sync::Arc;
+
+use tgm_granularity::{
+    builtin, convert_tick, datetime_of, format_instant, instant, tick_covers, Calendar,
+    CivilDate, DateTime, Gran, Granularity, GranularityError, Interval, IntervalSet, SizeTable,
+    Weekday,
+};
+
+const DAY: i64 = 86_400;
+
+#[test]
+fn tick_covers_checks_containment() {
+    let day = builtin::day();
+    let week = builtin::week();
+    // Week 2 = Mon 2000-01-03 .. Sun 09 covers day ticks 3..9.
+    assert!(tick_covers(&week, 2, &day, 3));
+    assert!(tick_covers(&week, 2, &day, 9));
+    assert!(!tick_covers(&week, 2, &day, 10));
+    assert!(!tick_covers(&day, 3, &week, 2)); // a day cannot cover a week
+}
+
+#[test]
+fn gran_handle_traits() {
+    let cal = Calendar::standard();
+    let day = cal.get("day").unwrap();
+    assert_eq!(format!("{day}"), "day");
+    assert_eq!(format!("{day:?}"), "Gran(day)");
+    // Ordering is by name.
+    let hour = cal.get("hour").unwrap();
+    assert!(day < hour);
+    // Hashing by name: same-named handles collide. (`Gran` hashes by its
+    // immutable name; clippy's interior-mutability lint sees only the
+    // memoized size-table cache.)
+    #[allow(clippy::mutable_key_type)]
+    let mut set = std::collections::HashSet::new();
+    set.insert(day.clone());
+    set.insert(cal.get("day").unwrap());
+    assert_eq!(set.len(), 1);
+    // Calendar debug lists names.
+    assert!(format!("{cal:?}").contains("business-day"));
+}
+
+#[test]
+fn error_displays() {
+    let cal = Calendar::standard();
+    let err = cal.get("parsec").unwrap_err();
+    assert!(err.to_string().contains("parsec"));
+    assert!(matches!(err, GranularityError::UnknownName(_)));
+    let mut cal = Calendar::standard();
+    let dup = cal.register(Gran::new(builtin::day())).unwrap_err();
+    assert!(dup.to_string().contains("already registered"));
+    let ooh = GranularityError::OutOfHorizon {
+        granularity: "month".into(),
+        tick: 999_999,
+    };
+    assert!(ooh.to_string().contains("horizon"));
+}
+
+#[test]
+fn datetime_surface() {
+    let dt = DateTime::new(1996, 6, 3, 14, 30, 0);
+    assert_eq!(dt.weekday(), Weekday::Mon);
+    assert_eq!(dt.date, CivilDate::new(1996, 6, 3));
+    let t = instant(1996, 6, 3, 14, 30, 0);
+    assert_eq!(datetime_of(t), dt);
+    assert!(format_instant(t).starts_with("1996-06-03 14:30:00"));
+    assert_eq!(Weekday::from_index(7), Weekday::Mon); // wraps
+}
+
+#[test]
+fn size_table_standalone() {
+    let t = SizeTable::new(Arc::new(builtin::week()));
+    assert_eq!(t.granularity().name(), "week");
+    assert_eq!(t.min_size(3), 21 * DAY);
+    assert_eq!(t.max_size(3), 21 * DAY);
+    assert!(format!("{t:?}").contains("week"));
+}
+
+#[test]
+fn months_horizon_boundaries() {
+    let m = builtin::month();
+    // Far outside the supported horizon: None rather than nonsense.
+    assert!(m.tick_intervals(10_000_000).is_none());
+    assert!(m.covering_tick(i64::MAX / 2).is_none());
+    // Deep past within horizon still works.
+    assert!(m.tick_intervals(-50_000).is_some());
+}
+
+#[test]
+fn interval_set_apis() {
+    let s = IntervalSet::point(42);
+    assert_eq!((s.min(), s.max(), s.count()), (42, 42, 1));
+    let s2 = IntervalSet::from_intervals(vec![Interval::new(0, 4), Interval::new(10, 14)]);
+    assert!(!s2.is_subset_of(&s));
+    assert!(s2.intersect_interval(&Interval::new(3, 11)).is_some());
+    assert!(!Interval::new(1, 1).is_empty());
+}
+
+#[test]
+fn convert_between_custom_anchored_types() {
+    let fiscal_q = builtin::Months::with_anchor("fq", 3, 3); // Apr-anchored quarters
+    let month = builtin::month();
+    // April 2000 is month tick 4 and fiscal-quarter tick 1.
+    assert_eq!(convert_tick(&month, 4, &fiscal_q), Some(1));
+    assert_eq!(convert_tick(&month, 7, &fiscal_q), Some(2)); // July
+    // An April-anchored quarter grid coincides with calendar quarters
+    // (3 ≡ 0 mod 3), but a February-anchored one straddles them.
+    let cal_q = builtin::n_month(3);
+    assert_eq!(convert_tick(&cal_q, 1, &fiscal_q), Some(0));
+    let feb_q = builtin::Months::with_anchor("feb-q", 3, 1);
+    assert_eq!(convert_tick(&cal_q, 1, &feb_q), None);
+}
+
+#[test]
+fn weekday_roundtrip_and_eq() {
+    for i in 0..7 {
+        assert_eq!(Weekday::from_index(i).index(), i);
+    }
+}

@@ -1,0 +1,596 @@
+//! A WINEPI-style frequent-episode miner — the paper's closest related work
+//! (Mannila, Toivonen & Verkamo, *Discovering frequent episodes in
+//! sequences*, KDD 1995) reimplemented as a single-granularity baseline.
+//!
+//! An episode is a collection of event types, either *serial* (ordered) or
+//! *parallel* (unordered); its frequency is the fraction of fixed-width
+//! sliding windows (stepping by `shift` seconds) that contain an occurrence.
+//! Candidate episodes are generated level-wise Apriori style: an episode can
+//! only be frequent if all of its sub-episodes are.
+//!
+//! Unlike TCG event structures, episodes constrain only the *total span*
+//! (one window width, in one implicit granularity) — they cannot express
+//! "same business day" or "next calendar month", which is exactly the gap
+//! the paper's experiments E8/E9 quantify.
+
+use std::collections::BTreeSet;
+
+use tgm_events::{EventSequence, EventType};
+
+/// An episode: an ordered (serial) or unordered (parallel) multiset of
+/// event types.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Episode {
+    /// Types must occur in the given order within a window.
+    Serial(Vec<EventType>),
+    /// Types must all occur (any order) within a window; stored sorted.
+    Parallel(Vec<EventType>),
+}
+
+impl Episode {
+    /// Episode length (number of events required).
+    pub fn len(&self) -> usize {
+        match self {
+            Episode::Serial(v) | Episode::Parallel(v) => v.len(),
+        }
+    }
+
+    /// Whether the episode is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The event types of the episode.
+    pub fn types(&self) -> &[EventType] {
+        match self {
+            Episode::Serial(v) | Episode::Parallel(v) => v,
+        }
+    }
+}
+
+/// WINEPI parameters.
+///
+/// ```
+/// use tgm_events::{Event, EventSequence, EventType};
+/// use tgm_mining::episodes::{Episode, EpisodeMiner};
+///
+/// let a = EventType(0);
+/// let b = EventType(1);
+/// let seq = EventSequence::from_events(vec![
+///     Event::new(a, 0), Event::new(b, 1_800),
+///     Event::new(a, 36_000), Event::new(b, 37_800),
+/// ]);
+/// let miner = EpisodeMiner::new(3_600, 0.01); // 1-hour windows
+/// let found = miner.mine_serial(&seq);
+/// assert!(found.iter().any(|(e, _)| *e == Episode::Serial(vec![a, b])));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EpisodeMiner {
+    /// Window width in seconds.
+    pub window: i64,
+    /// Step between window start positions, in seconds.
+    pub shift: i64,
+    /// Minimum window frequency for an episode to be frequent.
+    pub min_frequency: f64,
+    /// Maximum episode length explored.
+    pub max_len: usize,
+}
+
+impl EpisodeMiner {
+    /// A miner with the given window, stepping one minute, threshold
+    /// `min_frequency`, exploring episodes up to length 4.
+    pub fn new(window: i64, min_frequency: f64) -> Self {
+        EpisodeMiner {
+            window,
+            shift: 60,
+            min_frequency,
+            max_len: 4,
+        }
+    }
+
+    /// Total number of window positions over the sequence (windows that
+    /// overlap the data at all).
+    pub fn total_windows(&self, seq: &EventSequence) -> u64 {
+        match (seq.start(), seq.end()) {
+            (Some(lo), Some(hi)) => {
+                // Starts from lo - window + shift ..= hi, stepping by shift.
+                let span = hi - (lo - self.window + self.shift);
+                (span / self.shift + 1).max(0) as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// The frequency of an episode: windows containing it / total windows.
+    pub fn frequency(&self, seq: &EventSequence, episode: &Episode) -> f64 {
+        let total = self.total_windows(seq);
+        if total == 0 || episode.is_empty() {
+            return 0.0;
+        }
+        let valid = match episode {
+            Episode::Serial(types) => self.serial_window_starts(seq, types),
+            Episode::Parallel(types) => self.parallel_window_starts(seq, types),
+        };
+        let count = self.count_grid_points(seq, &valid);
+        count as f64 / total as f64
+    }
+
+    /// Intervals `[a, b]` of window-start positions whose window contains a
+    /// serial occurrence.
+    fn serial_window_starts(&self, seq: &EventSequence, types: &[EventType]) -> Vec<(i64, i64)> {
+        let events = seq.events();
+        // Per-type event indices in time order.
+        let mut out: Vec<(i64, i64)> = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            if e.ty != types[0] {
+                continue;
+            }
+            // Greedy earliest completion starting at index i.
+            let mut cur = i;
+            let mut ok = true;
+            for &ty in &types[1..] {
+                match events[cur + 1..].iter().position(|x| x.ty == ty) {
+                    Some(off) => cur = cur + 1 + off,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                break; // no later start can complete either
+            }
+            let (ts, te) = (events[i].time, events[cur].time);
+            // Window [w, w + window) contains it iff w <= ts and
+            // te < w + window, i.e. w in (te - window, ts].
+            let lo = te - self.window + 1;
+            if lo <= ts {
+                out.push((lo, ts));
+            }
+        }
+        merge_intervals(out)
+    }
+
+    /// Intervals of window-start positions whose window contains all types
+    /// of a parallel episode (with multiplicity).
+    fn parallel_window_starts(
+        &self,
+        seq: &EventSequence,
+        types: &[EventType],
+    ) -> Vec<(i64, i64)> {
+        let events = seq.events();
+        // Required multiplicity per type.
+        let mut required: Vec<(EventType, usize)> = Vec::new();
+        for &t in types {
+            match required.iter_mut().find(|(ty, _)| *ty == t) {
+                Some((_, c)) => *c += 1,
+                None => required.push((t, 1)),
+            }
+        }
+        // Sweep window starts: content of [w, w + window) changes at
+        // critical points w = e.time (event enters as w reaches its time
+        // ... actually leaves) and w = e.time - window + 1 (enters).
+        let mut boundaries: BTreeSet<i64> = BTreeSet::new();
+        for e in events {
+            if required.iter().any(|&(ty, _)| ty == e.ty) {
+                boundaries.insert(e.time - self.window + 1); // enters
+                boundaries.insert(e.time + 1); // left the window
+            }
+        }
+        let pts: Vec<i64> = boundaries.into_iter().collect();
+        let mut out = Vec::new();
+        for (k, &w) in pts.iter().enumerate() {
+            let w_end = if k + 1 < pts.len() { pts[k + 1] - 1 } else { w };
+            // Count required types inside [w, w + window).
+            let inside = seq.window(w..=(w + self.window - 1));
+            let satisfied = required.iter().all(|&(ty, need)| {
+                inside.iter().filter(|e| e.ty == ty).count() >= need
+            });
+            if satisfied {
+                out.push((w, w_end));
+            }
+        }
+        merge_intervals(out)
+    }
+
+    /// Counts window-start grid points falling inside the intervals.
+    fn count_grid_points(&self, seq: &EventSequence, intervals: &[(i64, i64)]) -> u64 {
+        let Some(lo) = seq.start() else { return 0 };
+        let Some(hi) = seq.end() else { return 0 };
+        let first = lo - self.window + self.shift;
+        let mut count = 0u64;
+        for &(a, b) in intervals {
+            let a = a.max(first);
+            let b = b.min(hi);
+            if a > b {
+                continue;
+            }
+            // Grid points w = first + k*shift within [a, b].
+            let k_lo = (a - first).div_euclid(self.shift)
+                + i64::from((a - first).rem_euclid(self.shift) != 0);
+            let k_hi = (b - first).div_euclid(self.shift);
+            if k_hi >= k_lo {
+                count += (k_hi - k_lo + 1) as u64;
+            }
+        }
+        count
+    }
+
+    /// Level-wise mining of frequent serial episodes.
+    pub fn mine_serial(&self, seq: &EventSequence) -> Vec<(Episode, f64)> {
+        self.mine(seq, true)
+    }
+
+    /// Level-wise mining of frequent parallel episodes.
+    pub fn mine_parallel(&self, seq: &EventSequence) -> Vec<(Episode, f64)> {
+        self.mine(seq, false)
+    }
+
+    fn mine(&self, seq: &EventSequence, serial: bool) -> Vec<(Episode, f64)> {
+        let mut results: Vec<(Episode, f64)> = Vec::new();
+        let mk = |v: Vec<EventType>| {
+            if serial {
+                Episode::Serial(v)
+            } else {
+                let mut v = v;
+                v.sort_unstable();
+                Episode::Parallel(v)
+            }
+        };
+        // Level 1.
+        let mut frequent_prev: Vec<Vec<EventType>> = Vec::new();
+        let mut frequent_types: Vec<EventType> = Vec::new();
+        for ty in seq.types_present() {
+            let ep = mk(vec![ty]);
+            let f = self.frequency(seq, &ep);
+            if f >= self.min_frequency {
+                results.push((ep, f));
+                frequent_prev.push(vec![ty]);
+                frequent_types.push(ty);
+            }
+        }
+        // Levels 2..max_len.
+        for _level in 2..=self.max_len {
+            let mut next: Vec<Vec<EventType>> = Vec::new();
+            let mut seen: BTreeSet<Vec<EventType>> = BTreeSet::new();
+            for base in &frequent_prev {
+                for &ty in &frequent_types {
+                    let mut cand = base.clone();
+                    cand.push(ty);
+                    if !serial {
+                        cand.sort_unstable();
+                    }
+                    if seen.contains(&cand) {
+                        continue;
+                    }
+                    seen.insert(cand.clone());
+                    // Apriori: all (l-1)-sub-episodes must be frequent.
+                    let all_subs_frequent = (0..cand.len()).all(|skip| {
+                        let mut sub: Vec<EventType> = cand
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != skip)
+                            .map(|(_, &t)| t)
+                            .collect();
+                        if !serial {
+                            sub.sort_unstable();
+                        }
+                        frequent_prev.contains(&sub)
+                    });
+                    if !all_subs_frequent {
+                        continue;
+                    }
+                    let ep = mk(cand.clone());
+                    let f = self.frequency(seq, &ep);
+                    if f >= self.min_frequency {
+                        results.push((ep, f));
+                        next.push(cand);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frequent_prev = next;
+        }
+        results.sort_by(|a, b| a.0.cmp(&b.0));
+        results
+    }
+}
+
+fn merge_intervals(mut ivs: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+    ivs.sort_unstable();
+    let mut out: Vec<(i64, i64)> = Vec::new();
+    for (a, b) in ivs {
+        match out.last_mut() {
+            Some((_, pb)) if a <= *pb + 1 => *pb = (*pb).max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_events::Event;
+
+    use super::*;
+
+    const HOUR: i64 = 3_600;
+
+    fn ty(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn seq(events: &[(u32, i64)]) -> EventSequence {
+        EventSequence::from_events(
+            events.iter().map(|&(t, at)| Event::new(ty(t), at)).collect(),
+        )
+    }
+
+    #[test]
+    fn serial_episode_frequency_brute_force_check() {
+        // A at 0, B at 2h, A at 10h. Window 3h, shift 1h.
+        let s = seq(&[(0, 0), (1, 2 * HOUR), (0, 10 * HOUR)]);
+        let miner = EpisodeMiner {
+            window: 3 * HOUR,
+            shift: HOUR,
+            min_frequency: 0.0,
+            max_len: 3,
+        };
+        let ep = Episode::Serial(vec![ty(0), ty(1)]);
+        // Brute force over the window grid.
+        let total = miner.total_windows(&s);
+        let mut contained = 0;
+        let first = s.start().unwrap() - miner.window + miner.shift;
+        for k in 0..total {
+            let w = first + k as i64 * miner.shift;
+            let in_w: Vec<_> = s.window(w..=(w + miner.window - 1)).to_vec();
+            let a = in_w.iter().position(|e| e.ty == ty(0));
+            let ok = a.is_some_and(|i| in_w[i + 1..].iter().any(|e| e.ty == ty(1)));
+            if ok {
+                contained += 1;
+            }
+        }
+        let f = miner.frequency(&s, &ep);
+        assert!((f - contained as f64 / total as f64).abs() < 1e-12);
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn parallel_ignores_order() {
+        let s = seq(&[(1, 0), (0, HOUR)]); // B then A
+        let miner = EpisodeMiner {
+            window: 2 * HOUR,
+            shift: HOUR,
+            min_frequency: 0.0,
+            max_len: 2,
+        };
+        let serial = Episode::Serial(vec![ty(0), ty(1)]);
+        let parallel = Episode::Parallel(vec![ty(0), ty(1)]);
+        assert_eq!(miner.frequency(&s, &serial), 0.0);
+        assert!(miner.frequency(&s, &parallel) > 0.0);
+    }
+
+    #[test]
+    fn parallel_respects_multiplicity() {
+        let s = seq(&[(0, 0), (0, HOUR), (1, 2 * HOUR)]);
+        let miner = EpisodeMiner {
+            window: 3 * HOUR,
+            shift: HOUR,
+            min_frequency: 0.0,
+            max_len: 3,
+        };
+        let two = Episode::Parallel(vec![ty(0), ty(0)]);
+        assert!(miner.frequency(&s, &two) > 0.0);
+        let three = Episode::Parallel(vec![ty(0), ty(0), ty(0)]);
+        assert_eq!(miner.frequency(&s, &three), 0.0);
+    }
+
+    #[test]
+    fn mining_is_levelwise_and_antimonotone() {
+        // AB pairs repeated: A..B within an hour, every 4 hours.
+        let mut events = Vec::new();
+        for k in 0..20 {
+            events.push((0, k * 4 * HOUR));
+            events.push((1, k * 4 * HOUR + 1800));
+        }
+        let s = seq(&events);
+        let miner = EpisodeMiner {
+            window: HOUR,
+            shift: 600,
+            min_frequency: 0.05,
+            max_len: 3,
+        };
+        let found = miner.mine_serial(&s);
+        let freq_of = |e: &Episode| found.iter().find(|(x, _)| x == e).map(|(_, f)| *f);
+        let ab = Episode::Serial(vec![ty(0), ty(1)]);
+        let a = Episode::Serial(vec![ty(0)]);
+        assert!(freq_of(&ab).is_some(), "AB should be frequent: {found:?}");
+        // Anti-monotonicity: freq(A) >= freq(AB).
+        assert!(freq_of(&a).unwrap() >= freq_of(&ab).unwrap());
+        // BA never occurs within a window.
+        assert!(freq_of(&Episode::Serial(vec![ty(1), ty(0)])).is_none());
+    }
+
+    #[test]
+    fn total_windows_counts_grid() {
+        let s = seq(&[(0, 0), (0, 10 * HOUR)]);
+        let miner = EpisodeMiner {
+            window: 2 * HOUR,
+            shift: HOUR,
+            min_frequency: 0.0,
+            max_len: 1,
+        };
+        // Starts from -1h to 10h stepping 1h: 12 windows.
+        assert_eq!(miner.total_windows(&s), 12);
+    }
+
+    #[test]
+    fn empty_sequence_zero_frequency() {
+        let s = EventSequence::new();
+        let miner = EpisodeMiner::new(HOUR, 0.1);
+        assert_eq!(miner.total_windows(&s), 0);
+        assert_eq!(
+            miner.frequency(&s, &Episode::Serial(vec![ty(0)])),
+            0.0
+        );
+        assert!(miner.mine_serial(&s).is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MINEPI: minimal occurrences
+// ---------------------------------------------------------------------------
+
+/// A minimal occurrence of an episode: a time interval `[start, end]`
+/// containing an occurrence such that no proper sub-interval does
+/// (Mannila–Toivonen–Verkamo's MINEPI semantics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MinimalOccurrence {
+    /// Timestamp of the first constituent event.
+    pub start: i64,
+    /// Timestamp of the last constituent event.
+    pub end: i64,
+}
+
+impl MinimalOccurrence {
+    /// The occurrence span in seconds (inclusive of both endpoints).
+    pub fn span(&self) -> i64 {
+        self.end - self.start
+    }
+}
+
+/// Computes the minimal occurrences of a *serial* episode.
+///
+/// For each possible start event, the earliest completion is found greedily;
+/// an occurrence is minimal iff no later start completes by the same end.
+pub fn minimal_occurrences_serial(
+    seq: &EventSequence,
+    types: &[EventType],
+) -> Vec<MinimalOccurrence> {
+    assert!(!types.is_empty());
+    let events = seq.events();
+    let mut raw: Vec<MinimalOccurrence> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.ty != types[0] {
+            continue;
+        }
+        let mut cur = i;
+        let mut ok = true;
+        for &ty in &types[1..] {
+            match events[cur + 1..].iter().position(|x| x.ty == ty) {
+                Some(off) => cur = cur + 1 + off,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            break;
+        }
+        raw.push(MinimalOccurrence {
+            start: events[i].time,
+            end: events[cur].time,
+        });
+    }
+    // Keep only minimal ones: drop an occurrence if a later-starting one
+    // finishes no later (its interval is contained).
+    let mut out: Vec<MinimalOccurrence> = Vec::new();
+    for occ in raw {
+        while let Some(last) = out.last() {
+            if last.start <= occ.start && occ.end <= last.end && *last != occ {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        if out.last() != Some(&occ) {
+            out.push(occ);
+        }
+    }
+    out
+}
+
+/// MINEPI-style support: the number of minimal occurrences whose span is at
+/// most `max_span` seconds.
+pub fn minepi_support(seq: &EventSequence, types: &[EventType], max_span: i64) -> usize {
+    minimal_occurrences_serial(seq, types)
+        .into_iter()
+        .filter(|o| o.span() <= max_span)
+        .count()
+}
+
+#[cfg(test)]
+mod minepi_tests {
+    use tgm_events::Event;
+
+    use super::*;
+
+    const HOUR: i64 = 3_600;
+
+    fn ty(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn seq(events: &[(u32, i64)]) -> EventSequence {
+        EventSequence::from_events(
+            events.iter().map(|&(t, at)| Event::new(ty(t), at)).collect(),
+        )
+    }
+
+    #[test]
+    fn minimal_occurrences_basic() {
+        // A(0) A(1h) B(2h): the minimal occurrence of A->B is [1h, 2h];
+        // [0, 2h] is not minimal (contains it).
+        let s = seq(&[(0, 0), (0, HOUR), (1, 2 * HOUR)]);
+        let occs = minimal_occurrences_serial(&s, &[ty(0), ty(1)]);
+        assert_eq!(
+            occs,
+            vec![MinimalOccurrence { start: HOUR, end: 2 * HOUR }]
+        );
+    }
+
+    #[test]
+    fn multiple_disjoint_occurrences() {
+        let s = seq(&[(0, 0), (1, HOUR), (0, 10 * HOUR), (1, 11 * HOUR)]);
+        let occs = minimal_occurrences_serial(&s, &[ty(0), ty(1)]);
+        assert_eq!(occs.len(), 2);
+        assert_eq!(occs[0].span(), HOUR);
+        assert_eq!(occs[1].span(), HOUR);
+    }
+
+    #[test]
+    fn support_with_span_bound() {
+        let s = seq(&[(0, 0), (1, HOUR), (0, 10 * HOUR), (1, 14 * HOUR)]);
+        assert_eq!(minepi_support(&s, &[ty(0), ty(1)], 2 * HOUR), 1);
+        assert_eq!(minepi_support(&s, &[ty(0), ty(1)], 5 * HOUR), 2);
+    }
+
+    #[test]
+    fn single_type_episode() {
+        let s = seq(&[(0, 0), (0, HOUR)]);
+        let occs = minimal_occurrences_serial(&s, &[ty(0)]);
+        assert_eq!(occs.len(), 2);
+        assert!(occs.iter().all(|o| o.span() == 0));
+    }
+
+    #[test]
+    fn no_occurrence() {
+        let s = seq(&[(0, 0)]);
+        assert!(minimal_occurrences_serial(&s, &[ty(0), ty(1)]).is_empty());
+        assert!(minimal_occurrences_serial(&s, &[ty(2)]).is_empty());
+    }
+
+    #[test]
+    fn overlapping_minimality() {
+        // A(0) B(1h) A(2h) B(3h): minimal occurrences are [0,1h] and
+        // [2h,3h] (the cross pair [0,3h] contains both).
+        let s = seq(&[(0, 0), (1, HOUR), (0, 2 * HOUR), (1, 3 * HOUR)]);
+        let occs = minimal_occurrences_serial(&s, &[ty(0), ty(1)]);
+        assert_eq!(occs.len(), 2);
+        assert_eq!(occs[0], MinimalOccurrence { start: 0, end: HOUR });
+        assert_eq!(occs[1], MinimalOccurrence { start: 2 * HOUR, end: 3 * HOUR });
+    }
+}

@@ -1,0 +1,33 @@
+//! Event discovery: mining frequent complex event types (paper §5).
+//!
+//! An *event-discovery problem* `(S, ϑ, E₀, δ)` asks for every complex
+//! event type derived from the event structure `S` — root variable
+//! instantiated with the reference type `E₀`, other variables with types
+//! from `δ` — that occurs in a given event sequence with frequency greater
+//! than `ϑ`, where frequency is counted per *distinct occurrence of `E₀`*.
+//!
+//! * [`DiscoveryProblem`] — the problem statement.
+//! * [`naive`] — the paper's baseline: enumerate every candidate type, run
+//!   one TAG per reference occurrence. `O(nˢ · |σ_{E₀}| · T_tag)`.
+//! * [`pipeline`] — the optimized procedure (§5 steps 1–5): consistency
+//!   screening by sound propagation, sequence reduction by granularity
+//!   coverage, reference-occurrence pruning by derived windows,
+//!   Apriori-style candidate reduction through induced discovery problems
+//!   (§5.1), and a final anchored TAG scan (parallelized over candidates).
+//!   Every step can be toggled for ablation studies.
+//! * [`episodes`] — a WINEPI-style frequent-episode miner (serial and
+//!   parallel episodes under a sliding window), reimplementing the paper's
+//!   closest related work \[MTV95\] as a single-granularity baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod problem;
+
+pub mod episodes;
+pub mod naive;
+pub mod pipeline;
+pub mod reference;
+
+pub use problem::{CandidateMap, DiscoveryProblem, Solution, TypeConstraint};
+pub use reference::{materialize_reference, mine_with_reference, Reference};

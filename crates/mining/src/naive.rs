@@ -1,0 +1,193 @@
+//! The naive discovery algorithm (paper §5): enumerate every candidate
+//! complex type and start one TAG per reference occurrence.
+
+use tgm_core::ComplexEventType;
+use tgm_events::{Event, EventSequence, EventType};
+use tgm_tag::{build_tag, MatchOptions, Matcher, Tag};
+
+use crate::problem::{DiscoveryProblem, Solution};
+
+/// Instrumentation from a naive run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveStats {
+    /// Candidate complex types enumerated (`n^s` in the paper's analysis).
+    pub candidates: usize,
+    /// Anchored TAG runs performed (candidates × reference occurrences).
+    pub tag_runs: usize,
+    /// Solutions found.
+    pub solutions: usize,
+}
+
+/// Runs the naive algorithm.
+pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, NaiveStats) {
+    let mut stats = NaiveStats::default();
+    let denominator = problem.reference_count(seq);
+    if denominator == 0 {
+        return (Vec::new(), stats);
+    }
+    let occurring = seq.types_present();
+    let refs: Vec<usize> = seq
+        .events()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.ty == problem.reference_type)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut solutions = Vec::new();
+    let mut assignment: Vec<EventType> = vec![problem.reference_type; problem.structure.len()];
+    enumerate(problem, &occurring, 1, &mut assignment, &mut |phi| {
+        if !problem.assignment_admissible(phi) {
+            return;
+        }
+        stats.candidates += 1;
+        let cet = ComplexEventType::new(problem.structure.clone(), phi.to_vec());
+        let tag = build_tag(&cet);
+        let support = count_support(&tag, seq.events(), &refs, None, &mut stats.tag_runs);
+        let frequency = support as f64 / denominator as f64;
+        if frequency > problem.min_confidence {
+            solutions.push(Solution {
+                assignment: phi.to_vec(),
+                frequency,
+                support,
+            });
+        }
+    });
+    stats.solutions = solutions.len();
+    solutions.sort_by(|a, b| a.assignment.cmp(&b.assignment));
+    (solutions, stats)
+}
+
+/// Recursively enumerates candidate assignments (root fixed to `E₀`).
+fn enumerate(
+    problem: &DiscoveryProblem,
+    occurring: &[EventType],
+    var: usize,
+    assignment: &mut Vec<EventType>,
+    f: &mut impl FnMut(&[EventType]),
+) {
+    if var == problem.structure.len() {
+        f(assignment);
+        return;
+    }
+    let cands = problem
+        .candidates
+        .resolve(tgm_core::VarId(var), occurring);
+    for ty in cands {
+        assignment[var] = ty;
+        enumerate(problem, occurring, var + 1, assignment, f);
+    }
+}
+
+/// Counts distinct reference occurrences from which the TAG accepts,
+/// running one anchored matcher per occurrence. `window` optionally bounds
+/// the scanned suffix to `ref_time + window` seconds.
+pub(crate) fn count_support(
+    tag: &Tag,
+    events: &[Event],
+    refs: &[usize],
+    window: Option<i64>,
+    tag_runs: &mut usize,
+) -> usize {
+    let matcher = Matcher::with_options(
+        tag,
+        MatchOptions {
+            anchored: true,
+            strict_updates: false,
+            saturate: true,
+        },
+    );
+    let mut support = 0;
+    for &idx in refs {
+        let slice = match window {
+            Some(w) => {
+                let t0 = events[idx].time;
+                let end = events.partition_point(|e| e.time <= t0.saturating_add(w));
+                &events[idx..end]
+            }
+            None => &events[idx..],
+        };
+        *tag_runs += 1;
+        if matcher.matches_within(slice) {
+            support += 1;
+        }
+    }
+    support
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_core::{StructureBuilder, Tcg};
+    use tgm_events::{Event, TypeRegistry};
+    use tgm_granularity::Calendar;
+
+    use super::*;
+
+    const DAY: i64 = 86_400;
+
+    /// A: reference; B follows A the next day in 2 of 3 cases; C never.
+    fn small_world() -> (TypeRegistry, EventSequence, DiscoveryProblem) {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("A");
+        let b = reg.intern("B");
+        let c = reg.intern("C");
+        let events = vec![
+            Event::new(a, 2 * DAY),             // Mon
+            Event::new(b, 3 * DAY),             // Tue: match
+            Event::new(c, 3 * DAY + 10),
+            Event::new(a, 4 * DAY),             // Wed
+            Event::new(b, 5 * DAY),             // Thu: match
+            Event::new(a, 9 * DAY),             // Mon
+            Event::new(b, 11 * DAY),            // Wed: 2 days, no match
+        ];
+        let seq = EventSequence::from_events(events);
+        let cal = Calendar::standard();
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        sb.constrain(x0, x1, Tcg::new(1, 1, cal.get("day").unwrap()));
+        let s = sb.build().unwrap();
+        let p = DiscoveryProblem::new(s, 0.5, a);
+        (reg, seq, p)
+    }
+
+    #[test]
+    fn finds_frequent_next_day_pattern() {
+        let (_reg, seq, p) = small_world();
+        let (sols, stats) = mine(&p, &seq);
+        // Only the assignment X1 = B has frequency 2/3 > 0.5.
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].support, 2);
+        assert!((sols[0].frequency - 2.0 / 3.0).abs() < 1e-9);
+        // Candidates: 3 occurring types for X1.
+        assert_eq!(stats.candidates, 3);
+        assert_eq!(stats.tag_runs, 9); // 3 candidates x 3 refs
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let (_reg, seq, mut p) = small_world();
+        p.min_confidence = 2.0 / 3.0; // frequency must be STRICTLY greater
+        let (sols, _) = mine(&p, &seq);
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn empty_when_reference_absent() {
+        let (_reg, seq, mut p) = small_world();
+        p.reference_type = EventType(99);
+        let (sols, stats) = mine(&p, &seq);
+        assert!(sols.is_empty());
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let (reg, seq, p) = small_world();
+        let c = reg.get("C").unwrap();
+        let p = p.with_candidates(tgm_core::VarId(1), [c]);
+        let (sols, stats) = mine(&p, &seq);
+        assert!(sols.is_empty());
+        assert_eq!(stats.candidates, 1);
+    }
+}

@@ -1,0 +1,848 @@
+//! The optimized discovery pipeline (paper §5, steps 1–5).
+//!
+//! 1. **Consistency screening** — run the sound propagation of §3.2;
+//!    an inconsistent structure has no solutions at all.
+//! 2. **Sequence reduction** — drop events that cannot bind to any
+//!    variable: wrong type for every candidate set, or not covered by a
+//!    gapped granularity that explicitly constrains every variable they
+//!    could bind to (the paper's business-day example).
+//! 3. **Reference pruning** — a reference occurrence can only root a match
+//!    if every variable's derived window (from propagation, in seconds)
+//!    contains at least one eligible event; otherwise no automaton is
+//!    started for it.
+//! 4. **Candidate reduction** — the induced discovery problems of §5.1:
+//!    for each variable, a type survives only if it appears, often enough
+//!    (w.r.t. *all* reference occurrences), inside the variable's window
+//!    satisfying all derived root-to-variable TCGs; optionally extended to
+//!    variable *pairs* along chains (`k = 2`).
+//! 5. **Final scan** — enumerate the surviving assignments and run one
+//!    anchored TAG per (candidate, reference occurrence), with the scan
+//!    bounded by the derived windows and parallelized over candidates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tgm_core::propagate::propagate;
+use tgm_core::{ComplexEventType, Tcg, VarId};
+use tgm_events::{Event, EventSequence, EventType};
+use tgm_granularity::{Gran, Granularity as _};
+use tgm_stp::INF;
+use tgm_tag::build_tag;
+
+use crate::naive::count_support;
+use crate::problem::{DiscoveryProblem, Solution};
+
+/// Ablation switches for the pipeline; all enabled by default (`k = 2`
+/// pair screening is opt-in, as the paper presents it as an extension).
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Step 1: consistency screening by propagation.
+    pub consistency_screen: bool,
+    /// Step 2: sequence reduction.
+    pub sequence_reduction: bool,
+    /// Step 3: reference-occurrence pruning.
+    pub reference_pruning: bool,
+    /// Step 4: per-variable candidate screening (`k = 1`).
+    pub candidate_screening: bool,
+    /// Step 4 extension: pair screening along chains (`k = 2`), using the
+    /// derived windows (cheap, no automata).
+    pub pair_screening: bool,
+    /// Step 4 extension, the paper's full form: solve *induced discovery
+    /// problems* on root-anchored sub-chains of up to this many non-root
+    /// variables with anchored TAGs, banning infrequent tuples
+    /// ("for each integer k = 2, 3, …" in §5.1). `0` disables; screened-out
+    /// tuples from smaller `k` are never reconsidered at larger `k`.
+    pub chain_screening_k: usize,
+    /// Step 5: bound each anchored scan by the derived window.
+    pub window_limit: bool,
+    /// Step 5: parallelize over candidates with crossbeam.
+    pub parallel: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            consistency_screen: true,
+            sequence_reduction: true,
+            reference_pruning: true,
+            candidate_screening: true,
+            pair_screening: false,
+            chain_screening_k: 0,
+            window_limit: true,
+            parallel: true,
+        }
+    }
+}
+
+/// Per-step instrumentation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineStats {
+    /// Whether step 1 refuted the structure outright.
+    pub refuted: bool,
+    /// Events in the input / after step 2.
+    pub events_total: usize,
+    /// Events surviving sequence reduction.
+    pub events_kept: usize,
+    /// Reference occurrences in the input (frequency denominator).
+    pub refs_total: usize,
+    /// Reference occurrences surviving step 3.
+    pub refs_kept: usize,
+    /// Candidate assignments before any screening (`∏ |δ(X)|`).
+    pub candidates_initial: u64,
+    /// Candidate assignments after per-variable screening.
+    pub candidates_after_var_screen: u64,
+    /// Candidate assignments actually scanned in step 5 (after pair
+    /// screening).
+    pub candidates_scanned: u64,
+    /// Anchored TAG runs in step 5.
+    pub tag_runs: usize,
+    /// Anchored TAG runs spent on induced chain screening (step 4, k >= 2).
+    pub screening_tag_runs: usize,
+    /// Candidate tuples banned by induced chain screening.
+    pub banned_tuples: usize,
+    /// Solutions found.
+    pub solutions: usize,
+}
+
+/// Runs the optimized pipeline with default options.
+///
+/// ```
+/// use tgm_core::{StructureBuilder, Tcg};
+/// use tgm_events::{Event, EventSequence, TypeRegistry};
+/// use tgm_granularity::Calendar;
+/// use tgm_mining::{pipeline, DiscoveryProblem};
+///
+/// let cal = Calendar::standard();
+/// let mut reg = TypeRegistry::new();
+/// let (a, b) = (reg.intern("A"), reg.intern("B"));
+/// let mut sb = StructureBuilder::new();
+/// let x0 = sb.var("X0");
+/// let x1 = sb.var("X1");
+/// sb.constrain(x0, x1, Tcg::new(1, 1, cal.get("day").unwrap()));
+/// let s = sb.build().unwrap();
+///
+/// const DAY: i64 = 86_400;
+/// let seq = EventSequence::from_events(vec![
+///     Event::new(a, 2 * DAY), Event::new(b, 3 * DAY),
+///     Event::new(a, 9 * DAY), Event::new(b, 10 * DAY),
+/// ]);
+/// let (solutions, _) = pipeline::mine(&DiscoveryProblem::new(s, 0.9, a), &seq);
+/// assert_eq!(solutions.len(), 1);
+/// assert_eq!(solutions[0].assignment, vec![a, b]);
+/// ```
+pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, PipelineStats) {
+    mine_with(problem, seq, &PipelineOptions::default())
+}
+
+/// Runs the optimized pipeline.
+pub fn mine_with(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &PipelineOptions,
+) -> (Vec<Solution>, PipelineStats) {
+    let mut stats = PipelineStats {
+        events_total: seq.len(),
+        ..PipelineStats::default()
+    };
+    let s = &problem.structure;
+    let n = s.len();
+    assert!(n <= 64, "pipeline supports at most 64 variables");
+    let denominator = problem.reference_count(seq);
+    stats.refs_total = denominator;
+    if denominator == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Step 1: consistency screening.
+    let p = propagate(s);
+    if opts.consistency_screen && !p.is_consistent() {
+        stats.refuted = true;
+        return (Vec::new(), stats);
+    }
+
+    let occurring = seq.types_present();
+    let mut candidates: Vec<Vec<EventType>> = s
+        .vars()
+        .map(|v| {
+            if v == s.root() {
+                vec![problem.reference_type]
+            } else {
+                problem.candidates.resolve(v, &occurring)
+            }
+        })
+        .collect();
+    stats.candidates_initial = candidates.iter().map(|c| c.len() as u64).product();
+
+    // Per-variable gapped granularities that must cover a bound event.
+    let var_gapped_grans: Vec<Vec<Gran>> = s
+        .vars()
+        .map(|v| {
+            let mut gs: Vec<Gran> = Vec::new();
+            for (a, b, cs) in s.arcs() {
+                if a != v && b != v {
+                    continue;
+                }
+                for c in cs {
+                    if c.gran().has_gaps() && !gs.contains(c.gran()) {
+                        gs.push(c.gran().clone());
+                    }
+                }
+            }
+            gs
+        })
+        .collect();
+
+    // Eligibility bitmask per event: which variables it could bind.
+    let eligible = |e: &Event| -> u64 {
+        let mut mask = 0u64;
+        for v in s.vars() {
+            let type_ok = if v == s.root() {
+                e.ty == problem.reference_type
+            } else {
+                candidates[v.index()].contains(&e.ty)
+            };
+            if !type_ok {
+                continue;
+            }
+            if var_gapped_grans[v.index()]
+                .iter()
+                .all(|g| g.covering_tick(e.time).is_some())
+            {
+                mask |= 1 << v.index();
+            }
+        }
+        mask
+    };
+
+    // Step 2: sequence reduction.
+    let (events, masks): (Vec<Event>, Vec<u64>) = {
+        let mut evs = Vec::new();
+        let mut ms = Vec::new();
+        for e in seq.events() {
+            let m = eligible(e);
+            if !opts.sequence_reduction || m != 0 {
+                evs.push(*e);
+                ms.push(m);
+            }
+        }
+        (evs, ms)
+    };
+    stats.events_kept = events.len();
+
+    // Reference occurrences within the (possibly reduced) event list. A
+    // reference event whose own mask lacks the root bit can never match;
+    // it stays in the denominator but is not scanned.
+    let root_bit = 1u64 << s.root().index();
+    let refs: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| e.ty == problem.reference_type && masks[*i] & root_bit != 0)
+        .map(|(i, _)| i)
+        .collect();
+
+    // Derived windows (seconds) from the root to each variable.
+    let windows: Vec<(i64, i64)> = s
+        .vars()
+        .map(|v| {
+            if v == s.root() {
+                return (0, 0);
+            }
+            match p.seconds_window(s.root(), v) {
+                Some(r) => (r.lo.max(0), if r.hi >= INF { i64::MAX / 2 } else { r.hi }),
+                None => (0, i64::MAX / 2),
+            }
+        })
+        .collect();
+    let max_window = windows.iter().map(|&(_, hi)| hi).max().unwrap_or(0);
+
+    // Derived TCGs from the root to each variable (for step 4 screening).
+    let root_tcgs: Vec<Vec<Tcg>> = s
+        .vars()
+        .map(|v| {
+            if v == s.root() {
+                Vec::new()
+            } else {
+                p.derived_tcgs(s.root(), v)
+            }
+        })
+        .collect();
+
+    // Step 3 + 4 bookkeeping in one pass over references.
+    let mut kept_refs: Vec<usize> = Vec::new();
+    let mut var_type_support: BTreeMap<(VarId, EventType), usize> = BTreeMap::new();
+    for &ridx in &refs {
+        let t0 = events[ridx].time;
+        let mut ok = true;
+        let mut seen_types: BTreeSet<(VarId, EventType)> = BTreeSet::new();
+        for v in s.vars() {
+            if v == s.root() {
+                continue;
+            }
+            let (lo, hi) = windows[v.index()];
+            let (wlo, whi) = (t0.saturating_add(lo), t0.saturating_add(hi));
+            let start = events.partition_point(|e| e.time < wlo);
+            let bit = 1u64 << v.index();
+            let mut any = false;
+            for (e, &m) in events[start..].iter().zip(&masks[start..]) {
+                if e.time > whi {
+                    break;
+                }
+                if m & bit == 0 {
+                    continue;
+                }
+                // Step 4 screening requires the pair to satisfy every
+                // derived root->v TCG.
+                if root_tcgs[v.index()].iter().all(|c| c.satisfied(t0, e.time)) {
+                    any = true;
+                    seen_types.insert((v, e.ty));
+                }
+            }
+            if !any {
+                ok = false;
+                if opts.reference_pruning && !opts.candidate_screening {
+                    break;
+                }
+            }
+        }
+        if ok || !opts.reference_pruning {
+            kept_refs.push(ridx);
+        }
+        if opts.candidate_screening {
+            for key in seen_types {
+                *var_type_support.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    stats.refs_kept = kept_refs.len();
+
+    // Step 4 (k = 1): prune candidate types below the confidence threshold.
+    if opts.candidate_screening {
+        for v in s.vars() {
+            if v == s.root() {
+                continue;
+            }
+            candidates[v.index()].retain(|&ty| {
+                let support = var_type_support.get(&(v, ty)).copied().unwrap_or(0);
+                support as f64 / denominator as f64 > problem.min_confidence
+            });
+        }
+    }
+    stats.candidates_after_var_screen =
+        candidates.iter().map(|c| c.len() as u64).product();
+
+    if candidates.iter().any(Vec::is_empty) || kept_refs.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    // Step 4 (k = 2): screen type pairs along root-to-leaf chains.
+    let mut banned_pairs: BTreeSet<(VarId, EventType, VarId, EventType)> = BTreeSet::new();
+    if opts.pair_screening {
+        let chain_pairs: Vec<(VarId, VarId)> = s
+            .vars()
+            .flat_map(|x| {
+                s.vars()
+                    .filter(move |&y| {
+                        x != y && x != s.root() && y != s.root() && x < y
+                    })
+                    .map(move |y| (x, y))
+            })
+            .filter(|&(x, y)| s.has_path(x, y) || s.has_path(y, x))
+            .map(|(x, y)| if s.has_path(x, y) { (x, y) } else { (y, x) })
+            .collect();
+        for (x, y) in chain_pairs {
+            let xy_tcgs = p.derived_tcgs(x, y);
+            let mut pair_support: BTreeMap<(EventType, EventType), usize> = BTreeMap::new();
+            for &ridx in &kept_refs {
+                let t0 = events[ridx].time;
+                let mut seen: BTreeSet<(EventType, EventType)> = BTreeSet::new();
+                let (xlo, xhi) = windows[x.index()];
+                let xstart = events.partition_point(|e| e.time < t0.saturating_add(xlo));
+                let xbit = 1u64 << x.index();
+                let ybit = 1u64 << y.index();
+                for (ex, &mx) in events[xstart..].iter().zip(&masks[xstart..]) {
+                    if ex.time > t0.saturating_add(xhi) {
+                        break;
+                    }
+                    if mx & xbit == 0
+                        || !root_tcgs[x.index()].iter().all(|c| c.satisfied(t0, ex.time))
+                    {
+                        continue;
+                    }
+                    let (ylo, yhi) = windows[y.index()];
+                    let ystart =
+                        events.partition_point(|e| e.time < t0.saturating_add(ylo));
+                    for (ey, &my) in events[ystart..].iter().zip(&masks[ystart..]) {
+                        if ey.time > t0.saturating_add(yhi) {
+                            break;
+                        }
+                        if my & ybit == 0
+                            || !root_tcgs[y.index()]
+                                .iter()
+                                .all(|c| c.satisfied(t0, ey.time))
+                            || !xy_tcgs.iter().all(|c| c.satisfied(ex.time, ey.time))
+                        {
+                            continue;
+                        }
+                        seen.insert((ex.ty, ey.ty));
+                    }
+                }
+                for k in seen {
+                    *pair_support.entry(k).or_insert(0) += 1;
+                }
+            }
+            for &ex_ty in &candidates[x.index()] {
+                for &ey_ty in &candidates[y.index()] {
+                    let sup = pair_support.get(&(ex_ty, ey_ty)).copied().unwrap_or(0);
+                    if sup as f64 / denominator as f64 <= problem.min_confidence {
+                        banned_pairs.insert((x, ex_ty, y, ey_ty));
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 4 (k >= 2, the paper's full form): induced discovery problems on
+    // root-anchored sub-chains, solved with anchored TAGs over the induced
+    // approximated sub-structure. A tuple whose frequency cannot exceed the
+    // threshold bans every candidate complex type containing it.
+    let mut banned_tuples: Vec<(Vec<VarId>, BTreeSet<Vec<EventType>>)> = Vec::new();
+    if opts.chain_screening_k >= 2 && !kept_refs.is_empty() {
+        // Enumerate root-to-sink paths, then in-order sub-sequences of
+        // non-root variables of each length k.
+        let paths = root_paths(s);
+        let mut done_chains: BTreeSet<Vec<VarId>> = BTreeSet::new();
+        for k in 2..=opts.chain_screening_k.min(n.saturating_sub(1)) {
+            for path in &paths {
+                let tail: Vec<VarId> =
+                    path.iter().copied().filter(|&v| v != s.root()).collect();
+                for combo in in_order_subsets(&tail, k) {
+                    if !done_chains.insert(combo.clone()) {
+                        continue;
+                    }
+                    let (sub, kept_vars) =
+                        tgm_core::substructure::induced_substructure(s, &p, &combo);
+                    // Candidate tuples = product of surviving per-variable
+                    // candidates, minus tuples containing a banned
+                    // sub-tuple from an earlier round.
+                    let mut local_banned: BTreeSet<Vec<EventType>> = BTreeSet::new();
+                    let mut tuple = vec![problem.reference_type; combo.len()];
+                    enumerate_tuples(&candidates, &combo, 0, &mut tuple, &mut |tpl| {
+                        if tuple_contains_banned(&combo, tpl, &banned_tuples) {
+                            return;
+                        }
+                        // φ for the sub-structure, in kept_vars order.
+                        let phi: Vec<EventType> = kept_vars
+                            .iter()
+                            .map(|v| {
+                                if *v == s.root() {
+                                    problem.reference_type
+                                } else {
+                                    let idx = combo.iter().position(|c| c == v).expect("kept");
+                                    tpl[idx]
+                                }
+                            })
+                            .collect();
+                        let cet = ComplexEventType::new(sub.clone(), phi);
+                        let tag = build_tag(&cet);
+                        let support = count_support(
+                            &tag,
+                            &events,
+                            &kept_refs,
+                            opts.window_limit.then_some(max_window),
+                            &mut stats.screening_tag_runs,
+                        );
+                        if (support as f64 / denominator as f64) <= problem.min_confidence {
+                            local_banned.insert(tpl.to_vec());
+                        }
+                    });
+                    stats.banned_tuples += local_banned.len();
+                    if !local_banned.is_empty() {
+                        banned_tuples.push((combo, local_banned));
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 5: final anchored TAG scan over surviving assignments.
+    let mut assignments: Vec<Vec<EventType>> = Vec::new();
+    let mut cur = vec![problem.reference_type; n];
+    collect_assignments(&candidates, s.root(), 0, &mut cur, &banned_pairs, &mut assignments);
+    assignments.retain(|phi| {
+        problem.assignment_admissible(phi)
+            && banned_tuples.iter().all(|(vars, banned)| {
+                let tpl: Vec<EventType> = vars.iter().map(|v| phi[v.index()]).collect();
+                !banned.contains(&tpl)
+            })
+    });
+    stats.candidates_scanned = assignments.len() as u64;
+
+    let window = opts.window_limit.then_some(max_window);
+    let scan = |phi: &[EventType], tag_runs: &mut usize| -> Option<Solution> {
+        let cet = ComplexEventType::new(s.clone(), phi.to_vec());
+        let tag = build_tag(&cet);
+        let support = count_support(&tag, &events, &kept_refs, window, tag_runs);
+        let frequency = support as f64 / denominator as f64;
+        (frequency > problem.min_confidence).then(|| Solution {
+            assignment: phi.to_vec(),
+            frequency,
+            support,
+        })
+    };
+
+    let mut solutions: Vec<Solution>;
+    let mut tag_runs = 0usize;
+    if opts.parallel && assignments.len() > 1 {
+        let n_threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(assignments.len());
+        let chunks: Vec<&[Vec<EventType>]> = assignments
+            .chunks(assignments.len().div_ceil(n_threads))
+            .collect();
+        let scan = &scan;
+        let results: Vec<(Vec<Solution>, usize)> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        let mut runs = 0usize;
+                        for phi in chunk {
+                            if let Some(sol) = scan(phi, &mut runs) {
+                                local.push(sol);
+                            }
+                        }
+                        (local, runs)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        })
+        .expect("crossbeam scope");
+        solutions = Vec::new();
+        for (local, runs) in results {
+            solutions.extend(local);
+            tag_runs += runs;
+        }
+    } else {
+        solutions = Vec::new();
+        for phi in &assignments {
+            if let Some(sol) = scan(phi, &mut tag_runs) {
+                solutions.push(sol);
+            }
+        }
+    }
+    stats.tag_runs = tag_runs;
+    solutions.sort_by(|a, b| a.assignment.cmp(&b.assignment));
+    stats.solutions = solutions.len();
+    (solutions, stats)
+}
+
+/// All root-to-sink variable paths of the structure.
+fn root_paths(s: &tgm_core::EventStructure) -> Vec<Vec<VarId>> {
+    let mut out = Vec::new();
+    let mut stack = vec![s.root()];
+    fn dfs(
+        s: &tgm_core::EventStructure,
+        stack: &mut Vec<VarId>,
+        out: &mut Vec<Vec<VarId>>,
+    ) {
+        let v = *stack.last().expect("non-empty");
+        let children = s.children(v);
+        if children.is_empty() {
+            out.push(stack.clone());
+            return;
+        }
+        for c in children {
+            stack.push(c);
+            dfs(s, stack, out);
+            stack.pop();
+        }
+    }
+    dfs(s, &mut stack, &mut out);
+    out
+}
+
+/// In-order subsets of `items` of exactly `k` elements.
+fn in_order_subsets(items: &[VarId], k: usize) -> Vec<Vec<VarId>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(items: &[VarId], k: usize, start: usize, cur: &mut Vec<VarId>, out: &mut Vec<Vec<VarId>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..items.len() {
+            cur.push(items[i]);
+            rec(items, k, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(items, k, 0, &mut cur, &mut out);
+    out
+}
+
+/// Enumerates candidate type tuples for the given variables.
+fn enumerate_tuples(
+    candidates: &[Vec<EventType>],
+    vars: &[VarId],
+    depth: usize,
+    tuple: &mut Vec<EventType>,
+    f: &mut impl FnMut(&[EventType]),
+) {
+    if depth == vars.len() {
+        f(tuple);
+        return;
+    }
+    for &ty in &candidates[vars[depth].index()] {
+        tuple[depth] = ty;
+        enumerate_tuples(candidates, vars, depth + 1, tuple, f);
+    }
+}
+
+/// Whether the tuple (over `vars`) contains a previously banned sub-tuple.
+fn tuple_contains_banned(
+    vars: &[VarId],
+    tuple: &[EventType],
+    banned: &[(Vec<VarId>, BTreeSet<Vec<EventType>>)],
+) -> bool {
+    for (bvars, set) in banned {
+        // The banned chain must be a subset of `vars` (in-order).
+        let mut projected = Vec::with_capacity(bvars.len());
+        let mut ok = true;
+        for bv in bvars {
+            match vars.iter().position(|v| v == bv) {
+                Some(i) => projected.push(tuple[i]),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && set.contains(&projected) {
+            return true;
+        }
+    }
+    false
+}
+
+fn collect_assignments(
+    candidates: &[Vec<EventType>],
+    root: VarId,
+    var: usize,
+    cur: &mut Vec<EventType>,
+    banned: &BTreeSet<(VarId, EventType, VarId, EventType)>,
+    out: &mut Vec<Vec<EventType>>,
+) {
+    if var == candidates.len() {
+        out.push(cur.clone());
+        return;
+    }
+    if VarId(var) == root {
+        collect_assignments(candidates, root, var + 1, cur, banned, out);
+        return;
+    }
+    'next: for &ty in &candidates[var] {
+        // Pair-screening check against earlier variables.
+        for (earlier, &assigned) in cur.iter().enumerate().take(var) {
+            if VarId(earlier) == root {
+                continue;
+            }
+            let (a, b) = (VarId(earlier), VarId(var));
+            if banned.contains(&(a, assigned, b, ty)) || banned.contains(&(b, ty, a, assigned)) {
+                continue 'next;
+            }
+        }
+        cur[var] = ty;
+        collect_assignments(candidates, root, var + 1, cur, banned, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_core::{StructureBuilder, Tcg};
+    use tgm_events::{Event, TypeRegistry};
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::naive;
+
+    const DAY: i64 = 86_400;
+
+    fn no_opt() -> PipelineOptions {
+        PipelineOptions {
+            consistency_screen: false,
+            sequence_reduction: false,
+            reference_pruning: false,
+            candidate_screening: false,
+            pair_screening: false,
+            chain_screening_k: 0,
+            window_limit: false,
+            parallel: false,
+        }
+    }
+
+    /// Builds a workload where A is the reference and B follows the next
+    /// day with frequency 3/4; C is noise.
+    fn world() -> (TypeRegistry, EventSequence, DiscoveryProblem) {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("A");
+        let b = reg.intern("B");
+        let c = reg.intern("C");
+        let mut events = Vec::new();
+        // Mondays of 4 consecutive weeks (days 2, 9, 16, 23).
+        for (i, d) in [2i64, 9, 16, 23].iter().enumerate() {
+            events.push(Event::new(a, d * DAY + 10_000));
+            if i != 3 {
+                events.push(Event::new(b, (d + 1) * DAY + 5_000));
+            }
+            events.push(Event::new(c, d * DAY + 20_000));
+        }
+        let seq = EventSequence::from_events(events);
+        let cal = Calendar::standard();
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        sb.constrain(x0, x1, Tcg::new(1, 1, cal.get("day").unwrap()));
+        let s = sb.build().unwrap();
+        let p = DiscoveryProblem::new(s, 0.5, a);
+        (reg, seq, p)
+    }
+
+    #[test]
+    fn pipeline_matches_naive() {
+        let (_reg, seq, p) = world();
+        let (naive_sols, _) = naive::mine(&p, &seq);
+        let (pipe_sols, stats) = mine(&p, &seq);
+        assert_eq!(naive_sols, pipe_sols);
+        assert_eq!(stats.solutions, 1);
+        assert!(stats.candidates_after_var_screen <= stats.candidates_initial);
+    }
+
+    #[test]
+    fn all_ablations_agree() {
+        let (_reg, seq, p) = world();
+        let (reference, _) = mine_with(&p, &seq, &no_opt());
+        for bits in 0..128u32 {
+            let opts = PipelineOptions {
+                consistency_screen: bits & 1 != 0,
+                sequence_reduction: bits & 2 != 0,
+                reference_pruning: bits & 4 != 0,
+                candidate_screening: bits & 8 != 0,
+                pair_screening: bits & 16 != 0,
+                chain_screening_k: if bits & 64 != 0 { 2 } else { 0 },
+                window_limit: bits & 32 != 0,
+                parallel: false,
+            };
+            let (sols, _) = mine_with(&p, &seq, &opts);
+            assert_eq!(sols, reference, "ablation {bits:06b} changed results");
+        }
+    }
+
+    #[test]
+    fn candidate_screening_prunes_noise_type() {
+        let (_reg, seq, p) = world();
+        let (_, stats) = mine(&p, &seq);
+        // 3 occurring types initially; B survives screening, C and A are
+        // pruned for X1 (they never appear exactly one day after A...
+        // A does not, C appears same-day only).
+        assert_eq!(stats.candidates_initial, 3);
+        assert_eq!(stats.candidates_after_var_screen, 1);
+    }
+
+    #[test]
+    fn inconsistent_structure_short_circuits() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("A");
+        let cal = Calendar::standard();
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        sb.constrain(x0, x1, Tcg::new(0, 0, cal.get("day").unwrap()));
+        sb.constrain(x0, x1, Tcg::new(26, 30, cal.get("hour").unwrap()));
+        let s = sb.build().unwrap();
+        let p = DiscoveryProblem::new(s, 0.1, a);
+        let seq = EventSequence::from_events(vec![Event::new(a, 0)]);
+        let (sols, stats) = mine(&p, &seq);
+        assert!(sols.is_empty());
+        assert!(stats.refuted);
+        assert_eq!(stats.tag_runs, 0);
+    }
+
+    #[test]
+    fn business_day_structure_drops_weekend_events() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("A");
+        let b = reg.intern("B");
+        let cal = Calendar::standard();
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        sb.constrain(x0, x1, Tcg::new(1, 1, cal.get("business-day").unwrap()));
+        let s = sb.build().unwrap();
+        let p = DiscoveryProblem::new(s, 0.4, a);
+        // A on Friday day 6 & Saturday day 7 (weekend ref can never match),
+        // B on Monday day 9.
+        let seq = EventSequence::from_events(vec![
+            Event::new(a, 6 * DAY + 100),
+            Event::new(a, 7 * DAY + 100),
+            Event::new(b, 9 * DAY + 100),
+        ]);
+        let (sols, stats) = mine(&p, &seq);
+        // Denominator 2 (both A's), support 1 (Friday ref) => 0.5 > 0.4.
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].support, 1);
+        assert!((sols[0].frequency - 0.5).abs() < 1e-9);
+        // The Saturday A was dropped from scanning but kept in denominator.
+        assert_eq!(stats.refs_total, 2);
+        assert!(stats.events_kept < stats.events_total || stats.refs_kept == 1);
+    }
+
+    #[test]
+    fn pair_screening_consistent_with_reference() {
+        // Chain A -> B -> C where only specific pairs co-occur.
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("A");
+        let b1 = reg.intern("B1");
+        let c1 = reg.intern("C1");
+        let cal = Calendar::standard();
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        let x2 = sb.var("X2");
+        sb.constrain(x0, x1, Tcg::new(1, 1, cal.get("day").unwrap()));
+        sb.constrain(x1, x2, Tcg::new(1, 1, cal.get("day").unwrap()));
+        let s = sb.build().unwrap();
+        let p = DiscoveryProblem::new(s, 0.5, a);
+        let seq = EventSequence::from_events(vec![
+            Event::new(a, 2 * DAY),
+            Event::new(b1, 3 * DAY),
+            Event::new(c1, 4 * DAY),
+            Event::new(a, 9 * DAY),
+            Event::new(b1, 10 * DAY),
+            Event::new(c1, 11 * DAY),
+        ]);
+        let with_pairs = PipelineOptions {
+            pair_screening: true,
+            parallel: false,
+            ..PipelineOptions::default()
+        };
+        let (sols_pairs, _) = mine_with(&p, &seq, &with_pairs);
+        let (sols_plain, _) = mine(&p, &seq);
+        assert_eq!(sols_pairs, sols_plain);
+        assert_eq!(sols_pairs.len(), 1);
+        assert_eq!(sols_pairs[0].assignment, vec![a, b1, c1]);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (_reg, seq, p) = world();
+        let serial = PipelineOptions {
+            parallel: false,
+            ..PipelineOptions::default()
+        };
+        let (s1, _) = mine_with(&p, &seq, &serial);
+        let (s2, _) = mine(&p, &seq);
+        assert_eq!(s1, s2);
+    }
+}

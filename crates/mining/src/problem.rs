@@ -1,0 +1,201 @@
+//! The event-discovery problem statement (paper §5, Definition).
+
+use std::collections::BTreeSet;
+
+use tgm_core::{EventStructure, VarId};
+use tgm_events::{EventSequence, EventType};
+
+/// The candidate mapping `δ`: for each non-root variable, the event types
+/// it may be instantiated with. `None` means unrestricted (every type
+/// occurring in the input sequence).
+#[derive(Clone, Debug, Default)]
+pub struct CandidateMap {
+    per_var: Vec<Option<BTreeSet<EventType>>>,
+}
+
+impl CandidateMap {
+    /// Unrestricted candidates for `n_vars` variables.
+    pub fn unrestricted(n_vars: usize) -> Self {
+        CandidateMap {
+            per_var: vec![None; n_vars],
+        }
+    }
+
+    /// Restricts variable `v` to the given types.
+    pub fn restrict(&mut self, v: VarId, types: impl IntoIterator<Item = EventType>) {
+        self.per_var[v.index()] = Some(types.into_iter().collect());
+    }
+
+    /// The restriction on `v`, if any.
+    pub fn get(&self, v: VarId) -> Option<&BTreeSet<EventType>> {
+        self.per_var[v.index()].as_ref()
+    }
+
+    /// Resolves the concrete candidate set for `v` against the types
+    /// occurring in the sequence.
+    pub fn resolve(&self, v: VarId, occurring: &[EventType]) -> Vec<EventType> {
+        match &self.per_var[v.index()] {
+            Some(set) => occurring
+                .iter()
+                .copied()
+                .filter(|t| set.contains(t))
+                .collect(),
+            None => occurring.to_vec(),
+        }
+    }
+}
+
+/// Constraints on the event types assigned to variables (the paper's §6
+/// extension: "two or more variables could be constrained to be assigned
+/// to the same (or different) event types").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeConstraint {
+    /// All listed variables must receive the same event type.
+    Same(Vec<VarId>),
+    /// All listed variables must receive pairwise distinct event types.
+    Distinct(Vec<VarId>),
+}
+
+impl TypeConstraint {
+    /// Whether a full assignment (indexed by variable id) satisfies the
+    /// constraint.
+    pub fn admits(&self, assignment: &[EventType]) -> bool {
+        match self {
+            TypeConstraint::Same(vars) => vars
+                .windows(2)
+                .all(|w| assignment[w[0].index()] == assignment[w[1].index()]),
+            TypeConstraint::Distinct(vars) => {
+                for (i, &a) in vars.iter().enumerate() {
+                    for &b in &vars[i + 1..] {
+                        if assignment[a.index()] == assignment[b.index()] {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// An event-discovery problem `(S, ϑ, E₀, δ)`.
+#[derive(Clone, Debug)]
+pub struct DiscoveryProblem {
+    /// The event structure `S`.
+    pub structure: EventStructure,
+    /// The minimal confidence `ϑ ∈ [0, 1]`; solutions must occur with
+    /// frequency strictly greater than this.
+    pub min_confidence: f64,
+    /// The reference type `E₀` assigned to the root.
+    pub reference_type: EventType,
+    /// The candidate mapping `δ` for non-root variables.
+    pub candidates: CandidateMap,
+    /// Same/distinct type constraints across variables (§6 extension).
+    pub type_constraints: Vec<TypeConstraint>,
+}
+
+impl DiscoveryProblem {
+    /// A problem with unrestricted candidates.
+    pub fn new(
+        structure: EventStructure,
+        min_confidence: f64,
+        reference_type: EventType,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&min_confidence),
+            "confidence must be in [0, 1]"
+        );
+        let n = structure.len();
+        DiscoveryProblem {
+            structure,
+            min_confidence,
+            reference_type,
+            candidates: CandidateMap::unrestricted(n),
+            type_constraints: Vec::new(),
+        }
+    }
+
+    /// Restricts a variable's candidates (builder style).
+    pub fn with_candidates(
+        mut self,
+        v: VarId,
+        types: impl IntoIterator<Item = EventType>,
+    ) -> Self {
+        self.candidates.restrict(v, types);
+        self
+    }
+
+    /// Adds a same/distinct type constraint (builder style).
+    pub fn with_type_constraint(mut self, c: TypeConstraint) -> Self {
+        self.type_constraints.push(c);
+        self
+    }
+
+    /// Whether a full assignment satisfies every type constraint.
+    pub fn assignment_admissible(&self, assignment: &[EventType]) -> bool {
+        self.type_constraints.iter().all(|c| c.admits(assignment))
+    }
+
+    /// Number of occurrences of the reference type in `seq` (the frequency
+    /// denominator).
+    pub fn reference_count(&self, seq: &EventSequence) -> usize {
+        seq.count_of(self.reference_type)
+    }
+}
+
+/// One solution of a discovery problem: a full variable-to-type assignment
+/// (`assignment[0]` is always the reference type) with its measured
+/// frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// `φ`, indexed by variable id.
+    pub assignment: Vec<EventType>,
+    /// Matching reference occurrences / total reference occurrences.
+    pub frequency: f64,
+    /// Number of distinct reference occurrences that matched.
+    pub support: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_core::{StructureBuilder, Tcg};
+    use tgm_granularity::Calendar;
+
+    use super::*;
+
+    #[test]
+    fn candidate_map_resolution() {
+        let mut m = CandidateMap::unrestricted(2);
+        let occurring = vec![EventType(0), EventType(1), EventType(2)];
+        assert_eq!(m.resolve(VarId(1), &occurring).len(), 3);
+        m.restrict(VarId(1), [EventType(2), EventType(5)]);
+        assert_eq!(m.resolve(VarId(1), &occurring), vec![EventType(2)]);
+        assert!(m.get(VarId(0)).is_none());
+        assert!(m.get(VarId(1)).is_some());
+    }
+
+    #[test]
+    fn problem_construction() {
+        let cal = Calendar::standard();
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let x1 = b.var("X1");
+        b.constrain(x0, x1, Tcg::new(0, 1, cal.get("day").unwrap()));
+        let s = b.build().unwrap();
+        let p = DiscoveryProblem::new(s, 0.5, EventType(0))
+            .with_candidates(x1, [EventType(1)]);
+        assert_eq!(p.candidates.get(x1).unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_confidence_rejected() {
+        let cal = Calendar::standard();
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let x1 = b.var("X1");
+        b.constrain(x0, x1, Tcg::new(0, 1, cal.get("day").unwrap()));
+        let s = b.build().unwrap();
+        let _ = DiscoveryProblem::new(s, 1.5, EventType(0));
+    }
+}

@@ -1,0 +1,439 @@
+//! General (disjunctive) Temporal Constraint Satisfaction Problems — the
+//! full TCSP model of Dechter, Meiri & Pearl (1991), of which the STP is
+//! the tractable special case.
+//!
+//! A TCSP constraint on `x_j − x_i` is a *union* of intervals
+//! `[l₁,u₁] ∪ … ∪ [l_k,u_k]`. Deciding consistency is NP-hard in general;
+//! the classical solver enumerates *labellings* (one disjunct per
+//! constraint), each of which is an STP, with backtracking and
+//! forward-pruning. This is the machinery the paper's §3.1 alludes to when
+//! it notes that multiple granularities "express a form of disjunction" —
+//! the Figure 1(b) month-distance disjunction `{0} ∪ {12}` is exactly a
+//! TCSP constraint.
+//!
+//! Also provides ULT-style *loose path consistency* (interval-set
+//! composition/intersection), a sound polynomial filter that shrinks
+//! disjunct sets before search.
+
+use std::fmt;
+
+use crate::network::{Inconsistent, Range, Stp, INF, NEG_INF};
+
+/// A disjunctive constraint: `x_j − x_i` must lie in one of the ranges.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Disjunction {
+    ranges: Vec<Range>,
+}
+
+impl Disjunction {
+    /// Builds a disjunction, normalizing (sorting and merging overlapping
+    /// or adjacent ranges). Panics if empty.
+    pub fn new(mut ranges: Vec<Range>) -> Self {
+        assert!(!ranges.is_empty(), "empty disjunction");
+        ranges.sort_by_key(|r| (r.lo, r.hi));
+        let mut out: Vec<Range> = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            match out.last_mut() {
+                Some(last) if r.lo <= last.hi.saturating_add(1) => {
+                    last.hi = last.hi.max(r.hi);
+                }
+                _ => out.push(r),
+            }
+        }
+        Disjunction { ranges: out }
+    }
+
+    /// A single-interval (STP) constraint.
+    pub fn single(r: Range) -> Self {
+        Disjunction { ranges: vec![r] }
+    }
+
+    /// The normalized disjuncts.
+    pub fn ranges(&self) -> &[Range] {
+        &self.ranges
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Never true (disjunctions are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether a value satisfies some disjunct.
+    pub fn contains(&self, v: i64) -> bool {
+        self.ranges.iter().any(|r| r.contains(v))
+    }
+
+    /// Pairwise intersection with another disjunction; `None` if empty.
+    pub fn intersect(&self, other: &Disjunction) -> Option<Disjunction> {
+        let mut out = Vec::new();
+        for a in &self.ranges {
+            for b in &other.ranges {
+                if let Some(r) = a.intersect(b) {
+                    out.push(r);
+                }
+            }
+        }
+        (!out.is_empty()).then(|| Disjunction::new(out))
+    }
+
+    /// Interval-set composition: the possible sums `a + b` with `a` in
+    /// `self` and `b` in `other` (used by loose path consistency).
+    pub fn compose(&self, other: &Disjunction) -> Disjunction {
+        let mut out = Vec::new();
+        for a in &self.ranges {
+            for b in &other.ranges {
+                let lo = if a.lo <= NEG_INF || b.lo <= NEG_INF {
+                    NEG_INF
+                } else {
+                    a.lo + b.lo
+                };
+                let hi = if a.hi >= INF || b.hi >= INF {
+                    INF
+                } else {
+                    a.hi + b.hi
+                };
+                out.push(Range { lo, hi });
+            }
+        }
+        Disjunction::new(out)
+    }
+
+    /// The inverse relation (for the reversed pair).
+    pub fn inverse(&self) -> Disjunction {
+        Disjunction::new(self.ranges.iter().map(Range::inverse).collect())
+    }
+
+    /// The convex hull `[min lo, max hi]`.
+    pub fn hull(&self) -> Range {
+        Range {
+            lo: self.ranges[0].lo,
+            hi: self.ranges[self.ranges.len() - 1].hi,
+        }
+    }
+}
+
+impl fmt::Display for Disjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.ranges.iter().map(|r| format!("{r:?}")).collect();
+        write!(f, "{}", parts.join(" u "))
+    }
+}
+
+/// A disjunctive temporal constraint network over `n` variables.
+///
+/// ```
+/// use tgm_stp::{Disjunction, Range, Tcsp, TcspOutcome};
+///
+/// // x1 - x0 is 0 or 12; x1 - x0 must also be at least 5: forces 12.
+/// let mut t = Tcsp::new(2);
+/// t.constrain(0, 1, Disjunction::new(vec![Range::new(0, 0), Range::new(12, 12)]));
+/// t.constrain(0, 1, Disjunction::single(Range::at_least(5)));
+/// match t.solve() {
+///     TcspOutcome::Consistent(x) => assert_eq!(x[1] - x[0], 12),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tcsp {
+    n: usize,
+    /// Constraints keyed by ordered pair (i < j), on `x_j − x_i`.
+    constraints: Vec<(usize, usize, Disjunction)>,
+}
+
+/// Result of solving a TCSP.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TcspOutcome {
+    /// A satisfying assignment (with `x_0 = 0`).
+    Consistent(Vec<i64>),
+    /// No labelling is consistent.
+    Inconsistent,
+}
+
+impl Tcsp {
+    /// An unconstrained TCSP over `n` variables.
+    pub fn new(n: usize) -> Self {
+        Tcsp {
+            n,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the network has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds (conjoins) the constraint `x_j − x_i ∈ d`. Multiple constraints
+    /// on the same pair are intersected at solve time.
+    pub fn constrain(&mut self, i: usize, j: usize, d: Disjunction) {
+        assert!(i < self.n && j < self.n && i != j, "bad variable pair");
+        if i < j {
+            self.constraints.push((i, j, d));
+        } else {
+            self.constraints.push((j, i, d.inverse()));
+        }
+    }
+
+    /// The number of complete labellings (product of disjunct counts) —
+    /// the worst-case search space.
+    pub fn labelling_count(&self) -> u128 {
+        self.constraints
+            .iter()
+            .map(|(_, _, d)| d.len() as u128)
+            .product()
+    }
+
+    /// Loose path consistency: for every constrained pair `(i, j)` and
+    /// every intermediate `k` with constraints on `(i, k)` and `(k, j)`,
+    /// intersect the `(i, j)` disjunction with the composition. Sound;
+    /// iterates to a fixpoint; may detect inconsistency early.
+    pub fn loose_path_consistency(&self) -> Result<Tcsp, Inconsistent> {
+        // Collapse to one disjunction per ordered pair.
+        let mut map: std::collections::BTreeMap<(usize, usize), Disjunction> =
+            std::collections::BTreeMap::new();
+        for (i, j, d) in &self.constraints {
+            let entry = map.get(&(*i, *j)).cloned();
+            let merged = match entry {
+                Some(e) => e.intersect(d).ok_or(Inconsistent { witness: *i })?,
+                None => d.clone(),
+            };
+            map.insert((*i, *j), merged);
+        }
+        let get = |m: &std::collections::BTreeMap<(usize, usize), Disjunction>,
+                   a: usize,
+                   b: usize|
+         -> Option<Disjunction> {
+            if a < b {
+                m.get(&(a, b)).cloned()
+            } else {
+                m.get(&(b, a)).map(Disjunction::inverse)
+            }
+        };
+        loop {
+            let mut changed = false;
+            let pairs: Vec<(usize, usize)> = map.keys().copied().collect();
+            for &(i, j) in &pairs {
+                for k in 0..self.n {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    let (Some(ik), Some(kj)) = (get(&map, i, k), get(&map, k, j)) else {
+                        continue;
+                    };
+                    let composed = ik.compose(&kj);
+                    let cur = map.get(&(i, j)).expect("pair exists").clone();
+                    let tightened = cur
+                        .intersect(&composed)
+                        .ok_or(Inconsistent { witness: i })?;
+                    if tightened != cur {
+                        map.insert((i, j), tightened);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(Tcsp {
+            n: self.n,
+            constraints: map.into_iter().map(|((i, j), d)| (i, j, d)).collect(),
+        })
+    }
+
+    /// Solves by backtracking over labellings with incremental STP
+    /// consistency (runs loose path consistency first). Exponential in the
+    /// number of disjunctive constraints, as NP-hardness demands.
+    pub fn solve(&self) -> TcspOutcome {
+        let filtered = match self.loose_path_consistency() {
+            Ok(t) => t,
+            Err(_) => return TcspOutcome::Inconsistent,
+        };
+        // Order constraints by ascending disjunct count (fail first).
+        let mut cons = filtered.constraints.clone();
+        cons.sort_by_key(|(_, _, d)| d.len());
+        let base = Stp::new(self.n);
+        match Self::search(&base, &cons, 0, self.n) {
+            Some(solution) => TcspOutcome::Consistent(solution),
+            None => TcspOutcome::Inconsistent,
+        }
+    }
+
+    fn search(
+        stp: &Stp,
+        cons: &[(usize, usize, Disjunction)],
+        depth: usize,
+        _n: usize,
+    ) -> Option<Vec<i64>> {
+        if depth == cons.len() {
+            return stp.minimize().ok().map(|m| m.solution());
+        }
+        let (i, j, d) = &cons[depth];
+        for r in d.ranges() {
+            let mut next = stp.clone();
+            next.constrain(*i, *j, *r);
+            // Prune: the labelled prefix must stay consistent.
+            if next.is_consistent() {
+                if let Some(sol) = Self::search(&next, cons, depth + 1, _n) {
+                    return Some(sol);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the assignment (indexed by variable) satisfies every
+    /// constraint.
+    pub fn satisfied_by(&self, x: &[i64]) -> bool {
+        assert_eq!(x.len(), self.n);
+        self.constraints
+            .iter()
+            .all(|(i, j, d)| d.contains(x[*j] - x[*i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: i64, hi: i64) -> Range {
+        Range::new(lo, hi)
+    }
+
+    #[test]
+    fn disjunction_normalization() {
+        let d = Disjunction::new(vec![r(5, 8), r(0, 2), r(3, 4), r(20, 25)]);
+        // [0,2] and [3,4] and [5,8] merge (adjacent); [20,25] stays apart.
+        assert_eq!(d.ranges(), &[r(0, 8), r(20, 25)]);
+        assert!(d.contains(7));
+        assert!(!d.contains(15));
+        assert_eq!(d.hull(), r(0, 25));
+    }
+
+    #[test]
+    fn disjunction_algebra() {
+        let a = Disjunction::new(vec![r(0, 0), r(12, 12)]);
+        let b = Disjunction::new(vec![r(0, 5)]);
+        assert_eq!(a.compose(&b).ranges(), &[r(0, 5), r(12, 17)]);
+        assert_eq!(
+            a.intersect(&Disjunction::single(r(10, 20))).unwrap().ranges(),
+            &[r(12, 12)]
+        );
+        assert!(a.intersect(&Disjunction::single(r(3, 9))).is_none());
+        assert_eq!(a.inverse().ranges(), &[r(-12, -12), r(0, 0)]);
+    }
+
+    #[test]
+    fn figure_1b_style_disjunction_as_tcsp() {
+        // x1 - x0 in {0} u {12}; x2 - x1 in {0} u {12}; x2 - x0 = 12:
+        // solutions pick (0,12) or (12,0).
+        let mut t = Tcsp::new(3);
+        let d = Disjunction::new(vec![r(0, 0), r(12, 12)]);
+        t.constrain(0, 1, d.clone());
+        t.constrain(1, 2, d);
+        t.constrain(0, 2, Disjunction::single(r(12, 12)));
+        match t.solve() {
+            TcspOutcome::Consistent(x) => {
+                assert!(t.satisfied_by(&x));
+                assert_eq!(x[2] - x[0], 12);
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+        // Target 24 is also fine (12 + 12), but 6 is not.
+        let mut t6 = Tcsp::new(3);
+        let d = Disjunction::new(vec![r(0, 0), r(12, 12)]);
+        t6.constrain(0, 1, d.clone());
+        t6.constrain(1, 2, d);
+        t6.constrain(0, 2, Disjunction::single(r(6, 6)));
+        assert_eq!(t6.solve(), TcspOutcome::Inconsistent);
+    }
+
+    #[test]
+    fn subset_sum_as_tcsp() {
+        // values {2, 3, 5}, target 8 => choose 3 + 5.
+        let values = [2i64, 3, 5];
+        let mut t = Tcsp::new(4);
+        for (i, &v) in values.iter().enumerate() {
+            t.constrain(i, i + 1, Disjunction::new(vec![r(0, 0), r(v, v)]));
+        }
+        t.constrain(0, 3, Disjunction::single(r(8, 8)));
+        match t.solve() {
+            TcspOutcome::Consistent(x) => {
+                assert!(t.satisfied_by(&x));
+                let picks: Vec<i64> = (0..3).map(|i| x[i + 1] - x[i]).collect();
+                assert_eq!(picks.iter().sum::<i64>(), 8);
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+        // Target 4 has no subset.
+        let mut t4 = Tcsp::new(4);
+        for (i, &v) in values.iter().enumerate() {
+            t4.constrain(i, i + 1, Disjunction::new(vec![r(0, 0), r(v, v)]));
+        }
+        t4.constrain(0, 3, Disjunction::single(r(4, 4)));
+        assert_eq!(t4.solve(), TcspOutcome::Inconsistent);
+    }
+
+    #[test]
+    fn loose_path_consistency_prunes() {
+        let mut t = Tcsp::new(3);
+        t.constrain(0, 1, Disjunction::new(vec![r(0, 2), r(10, 12)]));
+        t.constrain(1, 2, Disjunction::single(r(0, 2)));
+        t.constrain(0, 2, Disjunction::single(r(0, 5)));
+        let f = t.loose_path_consistency().unwrap();
+        // The disjunct [10,12] on (0,1) is impossible: composition with
+        // (1,2) gives at least 10, exceeding the (0,2) bound of 5.
+        let d01 = f
+            .constraints
+            .iter()
+            .find(|(i, j, _)| (*i, *j) == (0, 1))
+            .map(|(_, _, d)| d.clone())
+            .unwrap();
+        assert_eq!(d01.ranges(), &[r(0, 2)]);
+        assert!(f.labelling_count() < t.labelling_count());
+    }
+
+    #[test]
+    fn reversed_pairs_normalize() {
+        let mut t = Tcsp::new(2);
+        // Posted reversed: x0 - x1 in [-5, -3]  ==  x1 - x0 in [3, 5].
+        t.constrain(1, 0, Disjunction::single(r(-5, -3)));
+        match t.solve() {
+            TcspOutcome::Consistent(x) => {
+                assert!((3..=5).contains(&(x[1] - x[0])));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_stp_fast_path() {
+        // All-singleton disjunctions behave like an STP.
+        let mut t = Tcsp::new(3);
+        t.constrain(0, 1, Disjunction::single(r(1, 4)));
+        t.constrain(1, 2, Disjunction::single(r(2, 3)));
+        assert_eq!(t.labelling_count(), 1);
+        match t.solve() {
+            TcspOutcome::Consistent(x) => assert!(t.satisfied_by(&x)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_duplicate_pair_constraints() {
+        let mut t = Tcsp::new(2);
+        t.constrain(0, 1, Disjunction::single(r(0, 3)));
+        t.constrain(0, 1, Disjunction::single(r(5, 9)));
+        assert_eq!(t.solve(), TcspOutcome::Inconsistent);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the STP substrate: minimality, decomposability,
+//! soundness against random witnesses.
+
+use proptest::prelude::*;
+use tgm_stp::{Range, Stp};
+
+/// A random constraint set generated FROM a witness assignment, so the STP
+/// is consistent by construction.
+fn consistent_instance() -> impl Strategy<Value = (Vec<i64>, Vec<(usize, usize, Range)>)> {
+    (2usize..8)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-1000i64..1000, n),
+                proptest::collection::vec((0..n, 0..n, 0i64..50, 0i64..50), 1..20),
+            )
+        })
+        .prop_map(|(xs, raw)| {
+            let cons = raw
+                .into_iter()
+                .filter(|(i, j, _, _)| i != j)
+                .map(|(i, j, slack_lo, slack_hi)| {
+                    let diff = xs[j] - xs[i];
+                    (i, j, Range::new(diff - slack_lo, diff + slack_hi))
+                })
+                .collect();
+            (xs, cons)
+        })
+}
+
+proptest! {
+    /// An STP built around a witness is consistent, and the witness lies in
+    /// every minimal range.
+    #[test]
+    fn witness_in_minimal_ranges((xs, cons) in consistent_instance()) {
+        let mut stp = Stp::new(xs.len());
+        for &(i, j, r) in &cons {
+            stp.constrain(i, j, r);
+        }
+        let m = stp.minimize().expect("witness-built STP must be consistent");
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                prop_assert!(m.range(i, j).contains(xs[j] - xs[i]),
+                    "witness diff x{j}-x{i}={} outside minimal {:?}",
+                    xs[j] - xs[i], m.range(i, j));
+            }
+        }
+    }
+
+    /// The extracted solution satisfies every original constraint.
+    #[test]
+    fn extracted_solution_valid((xs, cons) in consistent_instance()) {
+        let mut stp = Stp::new(xs.len());
+        for &(i, j, r) in &cons {
+            stp.constrain(i, j, r);
+        }
+        let sol = stp.minimize().unwrap().solution();
+        for &(i, j, r) in &cons {
+            prop_assert!(r.contains(sol[j] - sol[i]));
+        }
+    }
+
+    /// Minimal ranges are at least as tight as the posted ones and
+    /// minimization is idempotent.
+    #[test]
+    fn minimality_and_idempotence((xs, cons) in consistent_instance()) {
+        let n = xs.len();
+        let mut stp = Stp::new(n);
+        for &(i, j, r) in &cons {
+            stp.constrain(i, j, r);
+        }
+        let m = stp.minimize().unwrap();
+        for &(i, j, r) in &cons {
+            let t = m.range(i, j);
+            prop_assert!(t.lo >= r.lo && t.hi <= r.hi, "range not tightened");
+        }
+        let m2 = m.as_stp().minimize().unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(m.range(i, j), m2.range(i, j));
+            }
+        }
+    }
+
+    /// Bellman-Ford from each source agrees with the Floyd-Warshall row.
+    #[test]
+    fn sssp_matches_apsp((xs, cons) in consistent_instance()) {
+        let n = xs.len();
+        let mut stp = Stp::new(n);
+        for &(i, j, r) in &cons {
+            stp.constrain(i, j, r);
+        }
+        let m = stp.minimize().unwrap();
+        for src in 0..n {
+            let d = stp.distances_from(src).unwrap();
+            for (j, &dj) in d.iter().enumerate() {
+                prop_assert_eq!(dj, m.range(src, j).hi.min(tgm_stp::INF));
+            }
+        }
+    }
+
+    /// Tightening a minimal network to each minimal range keeps it
+    /// consistent; tightening below the minimal lower bound fails.
+    #[test]
+    fn tighten_consistency((xs, cons) in consistent_instance(), pick in any::<prop::sample::Index>()) {
+        let n = xs.len();
+        let mut stp = Stp::new(n);
+        for &(i, j, r) in &cons {
+            stp.constrain(i, j, r);
+        }
+        let m = stp.minimize().unwrap();
+        let (i, j) = (pick.index(n), (pick.index(n) + 1) % n);
+        if i == j { return Ok(()); }
+        let r = m.range(i, j);
+        if r.is_finite() {
+            // Pin to the minimal lower endpoint: always satisfiable.
+            let mut m2 = m.clone();
+            m2.tighten(i, j, Range::exactly(r.lo)).expect("endpoint must stay feasible");
+            // Pinning outside the minimal range must fail.
+            let mut m3 = m.clone();
+            prop_assert!(m3.tighten(i, j, Range::exactly(r.hi + 1)).is_err());
+        }
+    }
+}

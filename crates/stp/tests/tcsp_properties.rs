@@ -1,0 +1,109 @@
+//! Property tests for the disjunctive TCSP solver: witness-backed
+//! consistency, refutation against brute force, and soundness of loose
+//! path consistency.
+
+use proptest::prelude::*;
+use tgm_stp::{Disjunction, Range, Tcsp, TcspOutcome};
+
+/// A witnessed instance: the assignment plus `(i, j, disjunct-ranges)`.
+type WitnessedTcsp = (Vec<i64>, Vec<(usize, usize, Vec<(i64, i64)>)>);
+
+/// Builds a random TCSP around a witness: each constraint includes a
+/// disjunct containing the witness difference plus random decoys.
+fn witnessed_instance() -> impl Strategy<Value = WitnessedTcsp> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-50i64..50, n),
+                proptest::collection::vec(
+                    (0..n, 0..n, 0i64..4, proptest::collection::vec((-60i64..60, 0i64..5), 0..3)),
+                    1..8,
+                ),
+            )
+        })
+        .prop_map(|(xs, raw)| {
+            let cons = raw
+                .into_iter()
+                .filter(|(i, j, _, _)| i != j)
+                .map(|(i, j, slack, decoys)| {
+                    let diff = xs[j] - xs[i];
+                    let mut ranges = vec![(diff - slack, diff + slack)];
+                    ranges.extend(decoys.iter().map(|&(lo, w)| (lo, lo + w)));
+                    (i, j, ranges)
+                })
+                .collect();
+            (xs, cons)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Witness-built TCSPs are solvable and the solution satisfies them.
+    #[test]
+    fn witnessed_tcsp_is_consistent((xs, cons) in witnessed_instance()) {
+        let mut t = Tcsp::new(xs.len());
+        for (i, j, ranges) in &cons {
+            let d = Disjunction::new(
+                ranges.iter().map(|&(lo, hi)| Range::new(lo, hi)).collect(),
+            );
+            t.constrain(*i, *j, d);
+        }
+        prop_assert!(t.satisfied_by(&xs), "witness satisfies by construction");
+        match t.solve() {
+            TcspOutcome::Consistent(sol) => prop_assert!(t.satisfied_by(&sol)),
+            TcspOutcome::Inconsistent => prop_assert!(false, "witnessed TCSP refuted"),
+        }
+    }
+
+    /// Loose path consistency never removes the witness's labelling.
+    #[test]
+    fn lpc_preserves_witness((xs, cons) in witnessed_instance()) {
+        let mut t = Tcsp::new(xs.len());
+        for (i, j, ranges) in &cons {
+            t.constrain(*i, *j, Disjunction::new(
+                ranges.iter().map(|&(lo, hi)| Range::new(lo, hi)).collect(),
+            ));
+        }
+        let f = t.loose_path_consistency().expect("witnessed instance");
+        prop_assert!(f.satisfied_by(&xs), "LPC dropped the witness");
+        prop_assert!(f.labelling_count() <= t.labelling_count());
+    }
+
+    /// On tiny domains, solve() agrees with brute force.
+    #[test]
+    fn solve_matches_brute_force(
+        n in 2usize..4,
+        raw in proptest::collection::vec((0usize..4, 0usize..4, proptest::collection::vec((-6i64..6, 0i64..3), 1..3)), 1..5),
+    ) {
+        let mut t = Tcsp::new(n);
+        let mut any = false;
+        for (i, j, ranges) in &raw {
+            let (i, j) = (i % n, j % n);
+            if i == j { continue; }
+            any = true;
+            t.constrain(i, j, Disjunction::new(
+                ranges.iter().map(|&(lo, w)| Range::new(lo, lo + w)).collect(),
+            ));
+        }
+        prop_assume!(any);
+        // Brute force over x in [-10, 10]^n with x0 = 0 (differences are
+        // bounded by the generated ranges, so this window is complete).
+        let mut found = false;
+        let mut x = vec![0i64; n];
+        fn rec(t: &Tcsp, x: &mut Vec<i64>, depth: usize, found: &mut bool) {
+            if *found { return; }
+            if depth == x.len() {
+                if t.satisfied_by(x) { *found = true; }
+                return;
+            }
+            for v in -10..=10 {
+                x[depth] = v;
+                rec(t, x, depth + 1, found);
+            }
+        }
+        rec(&t, &mut x, 1, &mut found);
+        let got = matches!(t.solve(), TcspOutcome::Consistent(_));
+        prop_assert_eq!(got, found);
+    }
+}

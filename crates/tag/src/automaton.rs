@@ -1,0 +1,298 @@
+//! The TAG automaton structure (paper §4, Definition).
+
+use std::fmt;
+
+use tgm_events::EventType;
+use tgm_granularity::Gran;
+
+use crate::constraint::{ClockConstraint, ClockId};
+
+/// Index of a state within a [`Tag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl StateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An input symbol: a specific event type, or `Any` (matches every event —
+/// used by the skip self-loops of the Theorem 3 construction).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Symbol {
+    /// Matches only the given event type.
+    Exact(EventType),
+    /// Matches every event.
+    Any,
+}
+
+impl Symbol {
+    /// Whether the symbol matches an event of type `ty`.
+    pub fn matches(self, ty: EventType) -> bool {
+        match self {
+            Symbol::Exact(e) => e == ty,
+            Symbol::Any => true,
+        }
+    }
+}
+
+/// A transition `⟨s, s', e, λ, δ⟩`: from `from` to `to` on `symbol`,
+/// resetting the clocks in `resets`, enabled when `guard` holds.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Target state.
+    pub to: StateId,
+    /// Input symbol.
+    pub symbol: Symbol,
+    /// Clocks reset (to reading 0) by this transition.
+    pub resets: Vec<ClockId>,
+    /// Enabling clock constraint.
+    pub guard: ClockConstraint,
+    /// Whether this is a *skip* transition (consumes an event without
+    /// advancing the pattern — the `ANY` self-loops of Figure 2). Anchored
+    /// matching refuses skips before the first real transition.
+    pub is_skip: bool,
+}
+
+/// A timed automaton with granularities: `(Σ, S, S₀, C, T, F)`.
+#[derive(Clone, Debug)]
+pub struct Tag {
+    pub(crate) clocks: Vec<(String, Gran)>,
+    pub(crate) n_states: usize,
+    pub(crate) state_names: Vec<String>,
+    pub(crate) start: Vec<StateId>,
+    pub(crate) accepting: Vec<bool>,
+    /// Transitions grouped by source state.
+    pub(crate) by_state: Vec<Vec<Transition>>,
+}
+
+impl Tag {
+    /// Number of states `|S|`.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// The display name of a state.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.state_names[s.index()]
+    }
+
+    /// The clocks `(name, granularity)` in id order.
+    pub fn clocks(&self) -> &[(String, Gran)] {
+        &self.clocks
+    }
+
+    /// The start states `S₀`.
+    pub fn start_states(&self) -> &[StateId] {
+        &self.start
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s.index()]
+    }
+
+    /// Transitions out of `s`.
+    pub fn transitions_from(&self, s: StateId) -> &[Transition] {
+        &self.by_state[s.index()]
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = &Transition> {
+        self.by_state.iter().flatten()
+    }
+
+    /// Total transition count.
+    pub fn n_transitions(&self) -> usize {
+        self.by_state.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builder for [`Tag`].
+#[derive(Default)]
+pub struct TagBuilder {
+    clocks: Vec<(String, Gran)>,
+    state_names: Vec<String>,
+    start: Vec<StateId>,
+    accepting: Vec<StateId>,
+    transitions: Vec<Transition>,
+}
+
+impl TagBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a clock ticking in `gran`; returns its id.
+    pub fn clock(&mut self, name: impl Into<String>, gran: Gran) -> ClockId {
+        let id = ClockId(self.clocks.len());
+        self.clocks.push((name.into(), gran));
+        id
+    }
+
+    /// Adds a state; returns its id.
+    pub fn state(&mut self, name: impl Into<String>) -> StateId {
+        let id = StateId(self.state_names.len());
+        self.state_names.push(name.into());
+        id
+    }
+
+    /// Marks a start state.
+    pub fn start(&mut self, s: StateId) -> &mut Self {
+        if !self.start.contains(&s) {
+            self.start.push(s);
+        }
+        self
+    }
+
+    /// Marks an accepting state.
+    pub fn accepting(&mut self, s: StateId) -> &mut Self {
+        if !self.accepting.contains(&s) {
+            self.accepting.push(s);
+        }
+        self
+    }
+
+    /// Adds a pattern transition.
+    pub fn transition(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        symbol: Symbol,
+        guard: ClockConstraint,
+        resets: Vec<ClockId>,
+    ) -> &mut Self {
+        self.transitions.push(Transition {
+            from,
+            to,
+            symbol,
+            resets,
+            guard,
+            is_skip: false,
+        });
+        self
+    }
+
+    /// Adds a skip self-loop on `state` (consume any event, no guard, no
+    /// resets).
+    pub fn skip_loop(&mut self, state: StateId) -> &mut Self {
+        self.transitions.push(Transition {
+            from: state,
+            to: state,
+            symbol: Symbol::Any,
+            resets: Vec::new(),
+            guard: ClockConstraint::True,
+            is_skip: true,
+        });
+        self
+    }
+
+    /// Finalizes the automaton. Panics if it has no states or no start
+    /// state, or if a transition references an unknown state/clock.
+    pub fn build(self) -> Tag {
+        let n = self.state_names.len();
+        assert!(n > 0, "TAG must have at least one state");
+        assert!(!self.start.is_empty(), "TAG must have a start state");
+        let n_clocks = self.clocks.len();
+        let mut by_state: Vec<Vec<Transition>> = vec![Vec::new(); n];
+        for t in self.transitions {
+            assert!(t.from.index() < n && t.to.index() < n, "unknown state");
+            for x in t.resets.iter().chain(t.guard.clocks().iter()) {
+                assert!(x.index() < n_clocks, "unknown clock {x:?}");
+            }
+            by_state[t.from.index()].push(t);
+        }
+        let mut accepting = vec![false; n];
+        for s in self.accepting {
+            accepting[s.index()] = true;
+        }
+        Tag {
+            clocks: self.clocks,
+            n_states: n,
+            state_names: self.state_names,
+            start: self.start,
+            accepting,
+            by_state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_granularity::{builtin, Calendar};
+
+    use super::*;
+
+    #[test]
+    fn builder_basics() {
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let day = b.clock("x_day", cal.get("day").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.start(s0).accepting(s1);
+        b.transition(
+            s0,
+            s1,
+            Symbol::Any,
+            ClockConstraint::in_range(day, 0, 1),
+            vec![day],
+        );
+        b.skip_loop(s0);
+        let tag = b.build();
+        assert_eq!(tag.n_states(), 2);
+        assert_eq!(tag.n_transitions(), 2);
+        assert_eq!(tag.start_states(), &[s0]);
+        assert!(tag.is_accepting(s1));
+        assert!(!tag.is_accepting(s0));
+        assert_eq!(tag.transitions_from(s0).len(), 2);
+        assert!(tag.transitions_from(s0).iter().any(|t| t.is_skip));
+        assert_eq!(tag.clocks().len(), 1);
+        assert_eq!(tag.state_name(s1), "s1");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown clock")]
+    fn unknown_clock_rejected() {
+        let mut b = TagBuilder::new();
+        let s0 = b.state("s0");
+        b.start(s0);
+        b.transition(
+            s0,
+            s0,
+            Symbol::Any,
+            ClockConstraint::Le(ClockId(7), 1),
+            vec![],
+        );
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "start state")]
+    fn missing_start_rejected() {
+        let mut b = TagBuilder::new();
+        b.state("s0");
+        let _ = b.build();
+    }
+
+    #[test]
+    fn symbol_matching() {
+        let a = tgm_events::EventType(0);
+        let b = tgm_events::EventType(1);
+        assert!(Symbol::Exact(a).matches(a));
+        assert!(!Symbol::Exact(a).matches(b));
+        assert!(Symbol::Any.matches(a));
+        let _ = builtin::second(); // silence unused import in some cfgs
+    }
+}

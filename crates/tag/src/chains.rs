@@ -1,0 +1,384 @@
+//! Chain decomposition of event structures (Theorem 3, Step 1): cover every
+//! arc of the rooted DAG with a *minimal* number of root-to-sink chains.
+//!
+//! Minimality is a minimum-flow problem: put a lower bound of 1 on every
+//! arc, route flow from the root to a super-sink behind all sinks, and
+//! minimize the flow value; each unit of flow decomposes into one chain.
+//! We solve it with the standard two-phase max-flow reduction (feasibility
+//! via a circulation with excesses, then flow reduction on the residual).
+//!
+//! [`greedy_chain_cover`] is a simpler heuristic used for differential
+//! testing: correct (covers all arcs) but not always minimal.
+
+use tgm_core::{EventStructure, VarId};
+
+/// A root-to-sink chain: a list of variables following arcs, starting at
+/// the root and ending at a sink.
+pub type Chain = Vec<VarId>;
+
+/// Checks that `chains` is a valid cover of `s`: each chain starts at the
+/// root, ends at a sink, steps along arcs, and every arc is covered.
+pub fn is_valid_cover(s: &EventStructure, chains: &[Chain]) -> bool {
+    let mut covered = std::collections::BTreeSet::new();
+    for chain in chains {
+        if chain.first() != Some(&s.root()) {
+            return false;
+        }
+        let last = *chain.last().expect("chains are non-empty");
+        if !s.children(last).is_empty() {
+            return false;
+        }
+        for w in chain.windows(2) {
+            if !s.has_arc(w[0], w[1]) {
+                return false;
+            }
+            covered.insert((w[0], w[1]));
+        }
+    }
+    s.arcs().all(|(a, b, _)| covered.contains(&(a, b)))
+}
+
+/// Greedy arc cover: repeatedly walks root → sink, preferring uncovered
+/// arcs, until every arc is covered. Valid but not necessarily minimal.
+pub fn greedy_chain_cover(s: &EventStructure) -> Vec<Chain> {
+    let mut uncovered: std::collections::BTreeSet<(VarId, VarId)> =
+        s.arcs().map(|(a, b, _)| (a, b)).collect();
+    let mut chains = Vec::new();
+    // Single-variable structure: one trivial chain.
+    if s.len() == 1 {
+        return vec![vec![s.root()]];
+    }
+    while !uncovered.is_empty() {
+        let mut chain = vec![s.root()];
+        let mut cur = s.root();
+        loop {
+            let children = s.children(cur);
+            if children.is_empty() {
+                break;
+            }
+            // Prefer a child whose arc is uncovered; among those, prefer one
+            // from which an uncovered arc is still reachable.
+            let next = children
+                .iter()
+                .copied()
+                .find(|&c| uncovered.contains(&(cur, c)))
+                .or_else(|| {
+                    children.iter().copied().find(|&c| {
+                        uncovered.iter().any(|&(a, _)| a == c || s.has_path(c, a))
+                    })
+                })
+                .unwrap_or(children[0]);
+            uncovered.remove(&(cur, next));
+            chain.push(next);
+            cur = next;
+        }
+        chains.push(chain);
+    }
+    chains
+}
+
+/// Minimal chain cover via min-flow with lower bounds.
+pub fn minimal_chain_cover(s: &EventStructure) -> Vec<Chain> {
+    if s.len() == 1 {
+        return vec![vec![s.root()]];
+    }
+    let n = s.len();
+    // Node ids: 0..n structure vars, n = super-sink T.
+    let t_node = n;
+    let mut net = FlowNetwork::new(n + 1);
+    // Original arcs: lower bound 1, "infinite" capacity.
+    let arcs: Vec<(VarId, VarId)> = s.arcs().map(|(a, b, _)| (a, b)).collect();
+    let arc_edges: Vec<usize> = arcs
+        .iter()
+        .map(|&(a, b)| net.add_edge_with_lower(a.index(), b.index(), 1, CAP_INF))
+        .collect();
+    for v in s.sinks() {
+        net.add_edge_with_lower(v.index(), t_node, 0, CAP_INF);
+    }
+    let flows = net.min_flow(s.root().index(), t_node);
+
+    // Decompose the arc flows into unit root->sink paths.
+    let mut residual_flow: Vec<i64> = arc_edges.iter().map(|&e| flows[e]).collect();
+    let arc_index = |a: VarId, b: VarId| -> usize {
+        arcs.iter()
+            .position(|&(x, y)| (x, y) == (a, b))
+            .expect("arc exists")
+    };
+    let total: i64 = arcs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(a, _))| a == s.root())
+        .map(|(i, _)| residual_flow[i])
+        .sum();
+    let mut chains = Vec::new();
+    for _ in 0..total {
+        let mut chain = vec![s.root()];
+        let mut cur = s.root();
+        loop {
+            let children = s.children(cur);
+            if children.is_empty() {
+                break;
+            }
+            let next = children
+                .iter()
+                .copied()
+                .find(|&c| residual_flow[arc_index(cur, c)] > 0)
+                .expect("flow conservation guarantees an outgoing unit");
+            residual_flow[arc_index(cur, next)] -= 1;
+            chain.push(next);
+            cur = next;
+        }
+        chains.push(chain);
+    }
+    debug_assert!(is_valid_cover(s, &chains), "min-flow cover must be valid");
+    chains
+}
+
+const CAP_INF: i64 = i64::MAX / 8;
+
+/// A small max-flow network (Edmonds–Karp) supporting lower bounds via the
+/// standard circulation transformation.
+struct FlowNetwork {
+    n: usize,
+    /// Edge list: (to, capacity); reverse edge at `i ^ 1`.
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    /// Adjacency: node -> edge indices.
+    adj: Vec<Vec<usize>>,
+    /// Lower bounds per *public* edge id (index into `lowers` parallel to
+    /// public edges), plus the mapping to internal edge ids.
+    lowers: Vec<(usize, i64)>,
+    excess: Vec<i64>,
+}
+
+impl FlowNetwork {
+    fn new(n: usize) -> Self {
+        FlowNetwork {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            lowers: Vec::new(),
+            excess: vec![0; n],
+        }
+    }
+
+    fn raw_edge(&mut self, u: usize, v: usize, c: i64) -> usize {
+        let id = self.to.len();
+        self.to.push(v);
+        self.cap.push(c);
+        self.adj[u].push(id);
+        self.to.push(u);
+        self.cap.push(0);
+        self.adj[v].push(id + 1);
+        id
+    }
+
+    /// Adds an edge with a lower bound; returns a public edge id usable to
+    /// read the final flow from `min_flow`'s result.
+    fn add_edge_with_lower(&mut self, u: usize, v: usize, lower: i64, cap: i64) -> usize {
+        let internal = self.raw_edge(u, v, cap - lower);
+        self.excess[v] += lower;
+        self.excess[u] -= lower;
+        let public = self.lowers.len();
+        self.lowers.push((internal, lower));
+        public
+    }
+
+    /// BFS max-flow from `s` to `t` on the current residual network.
+    fn max_flow(&mut self, s: usize, t: usize, n_total: usize) -> i64 {
+        let mut flow = 0;
+        loop {
+            // BFS for a shortest augmenting path.
+            let mut prev_edge = vec![usize::MAX; n_total];
+            let mut queue = std::collections::VecDeque::new();
+            let mut seen = vec![false; n_total];
+            seen[s] = true;
+            queue.push_back(s);
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &e in &self.adj[u] {
+                    let v = self.to[e];
+                    if !seen[v] && self.cap[e] > 0 {
+                        seen[v] = true;
+                        prev_edge[v] = e;
+                        if v == t {
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if !seen[t] {
+                return flow;
+            }
+            // Find bottleneck and push.
+            let mut bottleneck = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let e = prev_edge[v];
+                bottleneck = bottleneck.min(self.cap[e]);
+                v = self.to[e ^ 1];
+            }
+            let mut v = t;
+            while v != s {
+                let e = prev_edge[v];
+                self.cap[e] -= bottleneck;
+                self.cap[e ^ 1] += bottleneck;
+                v = self.to[e ^ 1];
+            }
+            flow += bottleneck;
+        }
+    }
+
+    /// Computes a minimum feasible `src → dst` flow respecting all lower
+    /// bounds; returns the final flow per public edge id.
+    fn min_flow(mut self, src: usize, dst: usize) -> Vec<i64> {
+        // Circulation edge dst -> src.
+        let circ = self.raw_edge(dst, src, CAP_INF);
+        // Super source/sink for excesses. Extend adjacency.
+        let s_star = self.n;
+        let t_star = self.n + 1;
+        self.adj.push(Vec::new());
+        self.adj.push(Vec::new());
+        let n_total = self.n + 2;
+        let mut needed = 0;
+        for w in 0..self.n {
+            let ex = self.excess[w];
+            if ex > 0 {
+                self.raw_edge(s_star, w, ex);
+                needed += ex;
+            } else if ex < 0 {
+                self.raw_edge(w, t_star, -ex);
+            }
+        }
+        let sat = self.max_flow(s_star, t_star, n_total);
+        assert_eq!(sat, needed, "lower bounds must be feasible (rooted DAG)");
+        // Flow currently on the circulation edge = feasible flow value.
+        // Minimize by pushing back from dst to src on the residual, after
+        // removing the circulation edge.
+        self.cap[circ] = 0;
+        self.cap[circ ^ 1] = 0;
+        self.max_flow(dst, src, n_total);
+        // Final per-edge flow = lower + used transformed capacity
+        //                     = lower + cap[reverse edge].
+        self.lowers
+            .iter()
+            .map(|&(e, lower)| lower + self.cap[e ^ 1])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_core::{StructureBuilder, Tcg};
+    use tgm_granularity::{Calendar, Gran};
+
+    use super::*;
+
+    fn day() -> Gran {
+        Calendar::standard().get("day").unwrap()
+    }
+
+    fn diamond() -> EventStructure {
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let x1 = b.var("X1");
+        let x2 = b.var("X2");
+        let x3 = b.var("X3");
+        b.constrain(x0, x1, Tcg::new(0, 1, day()));
+        b.constrain(x1, x3, Tcg::new(0, 1, day()));
+        b.constrain(x0, x2, Tcg::new(0, 1, day()));
+        b.constrain(x2, x3, Tcg::new(0, 1, day()));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_needs_two_chains() {
+        let s = diamond();
+        let chains = minimal_chain_cover(&s);
+        assert!(is_valid_cover(&s, &chains));
+        assert_eq!(chains.len(), 2, "diamond arc cover needs exactly 2 chains");
+        let greedy = greedy_chain_cover(&s);
+        assert!(is_valid_cover(&s, &greedy));
+    }
+
+    #[test]
+    fn single_chain_structure() {
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let x1 = b.var("X1");
+        let x2 = b.var("X2");
+        b.constrain(x0, x1, Tcg::new(0, 1, day()));
+        b.constrain(x1, x2, Tcg::new(0, 1, day()));
+        let s = b.build().unwrap();
+        let chains = minimal_chain_cover(&s);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0], vec![x0, x1, x2]);
+    }
+
+    #[test]
+    fn single_variable() {
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let s = b.build().unwrap();
+        let chains = minimal_chain_cover(&s);
+        assert_eq!(chains, vec![vec![x0]]);
+    }
+
+    #[test]
+    fn fan_out_needs_one_chain_per_leaf() {
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let leaves: Vec<_> = (0..4).map(|i| b.var(format!("L{i}"))).collect();
+        for &l in &leaves {
+            b.constrain(x0, l, Tcg::new(0, 1, day()));
+        }
+        let s = b.build().unwrap();
+        let chains = minimal_chain_cover(&s);
+        assert!(is_valid_cover(&s, &chains));
+        assert_eq!(chains.len(), 4);
+    }
+
+    #[test]
+    fn wide_middle_layer() {
+        // root -> {a, b, c} -> sink: 3 chains needed (3 arcs into the
+        // middle layer), and each covers one middle node.
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let mids: Vec<_> = (0..3).map(|i| b.var(format!("M{i}"))).collect();
+        let sink = b.var("Z");
+        for &m in &mids {
+            b.constrain(x0, m, Tcg::new(0, 1, day()));
+            b.constrain(m, sink, Tcg::new(0, 1, day()));
+        }
+        let s = b.build().unwrap();
+        let chains = minimal_chain_cover(&s);
+        assert!(is_valid_cover(&s, &chains));
+        assert_eq!(chains.len(), 3);
+    }
+
+    #[test]
+    fn minimal_never_exceeds_greedy() {
+        // A few structured cases.
+        {
+            let s = diamond();
+            let min = minimal_chain_cover(&s);
+            let greedy = greedy_chain_cover(&s);
+            assert!(min.len() <= greedy.len());
+        }
+    }
+
+    #[test]
+    fn figure_1a_decomposes_into_two_chains() {
+        let cal = Calendar::standard();
+        let (s, v) = tgm_core::examples::figure_1a(&cal);
+        let chains = minimal_chain_cover(&s);
+        assert!(is_valid_cover(&s, &chains));
+        assert_eq!(chains.len(), 2);
+        // The two chains of the paper: X0 X1 X3 and X0 X2 X3.
+        let mut sorted: Vec<Chain> = chains;
+        sorted.sort();
+        assert_eq!(sorted[0], vec![v.x0, v.x1, v.x3]);
+        assert_eq!(sorted[1], vec![v.x0, v.x2, v.x3]);
+    }
+}

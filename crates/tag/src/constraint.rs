@@ -1,0 +1,223 @@
+//! Clock constraints Δ(C) (paper §4): atoms `x ≤ k` / `k ≤ x` and boolean
+//! combinations, with three-valued evaluation for undefined clocks.
+
+use std::fmt;
+
+/// Index of a clock within a [`Tag`](crate::Tag).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClockId(pub usize);
+
+impl ClockId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A clock constraint (guard formula). Atoms compare a clock reading
+/// against a non-negative integer constant, as in the paper's Δ(C).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ClockConstraint {
+    /// Always true.
+    True,
+    /// `x ≤ k`.
+    Le(ClockId, i64),
+    /// `k ≤ x`.
+    Ge(ClockId, i64),
+    /// Conjunction.
+    And(Vec<ClockConstraint>),
+    /// Disjunction.
+    Or(Vec<ClockConstraint>),
+    /// Negation.
+    Not(Box<ClockConstraint>),
+}
+
+impl ClockConstraint {
+    /// `lo ≤ x ≤ hi`.
+    pub fn in_range(x: ClockId, lo: i64, hi: i64) -> Self {
+        ClockConstraint::And(vec![
+            ClockConstraint::Ge(x, lo),
+            ClockConstraint::Le(x, hi),
+        ])
+    }
+
+    /// `x = k`.
+    pub fn eq(x: ClockId, k: i64) -> Self {
+        Self::in_range(x, k, k)
+    }
+
+    /// Conjunction of a list, flattening trivial cases.
+    pub fn conj(mut parts: Vec<ClockConstraint>) -> Self {
+        parts.retain(|c| !matches!(c, ClockConstraint::True));
+        match parts.len() {
+            0 => ClockConstraint::True,
+            1 => parts.pop().expect("len checked"),
+            _ => ClockConstraint::And(parts),
+        }
+    }
+
+    /// Three-valued evaluation: `Some(b)` when determined, `None` when an
+    /// atom consults an undefined clock and the result depends on it.
+    /// A transition fires only on `Some(true)`.
+    pub fn eval(&self, value: &impl Fn(ClockId) -> Option<i64>) -> Option<bool> {
+        match self {
+            ClockConstraint::True => Some(true),
+            ClockConstraint::Le(x, k) => value(*x).map(|v| v <= *k),
+            ClockConstraint::Ge(x, k) => value(*x).map(|v| *k <= v),
+            ClockConstraint::And(cs) => {
+                let mut unknown = false;
+                for c in cs {
+                    match c.eval(value) {
+                        Some(false) => return Some(false),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            ClockConstraint::Or(cs) => {
+                let mut unknown = false;
+                for c in cs {
+                    match c.eval(value) {
+                        Some(true) => return Some(true),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            ClockConstraint::Not(c) => c.eval(value).map(|b| !b),
+        }
+    }
+
+    /// The clocks mentioned by the formula.
+    pub fn clocks(&self) -> Vec<ClockId> {
+        let mut out = Vec::new();
+        self.collect_clocks(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_clocks(&self, out: &mut Vec<ClockId>) {
+        match self {
+            ClockConstraint::True => {}
+            ClockConstraint::Le(x, _) | ClockConstraint::Ge(x, _) => out.push(*x),
+            ClockConstraint::And(cs) | ClockConstraint::Or(cs) => {
+                for c in cs {
+                    c.collect_clocks(out);
+                }
+            }
+            ClockConstraint::Not(c) => c.collect_clocks(out),
+        }
+    }
+}
+
+impl fmt::Display for ClockConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockConstraint::True => write!(f, "true"),
+            ClockConstraint::Le(x, k) => write!(f, "{x:?}<={k}"),
+            ClockConstraint::Ge(x, k) => write!(f, "{k}<={x:?}"),
+            ClockConstraint::And(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+                write!(f, "({})", parts.join(" & "))
+            }
+            ClockConstraint::Or(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+                write!(f, "({})", parts.join(" | "))
+            }
+            ClockConstraint::Not(c) => write!(f, "!({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn known(vals: &'static [(usize, i64)]) -> impl Fn(ClockId) -> Option<i64> {
+        move |x| vals.iter().find(|&&(i, _)| i == x.index()).map(|&(_, v)| v)
+    }
+
+    #[test]
+    fn atoms() {
+        let v = known(&[(0, 5)]);
+        assert_eq!(ClockConstraint::Le(ClockId(0), 5).eval(&v), Some(true));
+        assert_eq!(ClockConstraint::Le(ClockId(0), 4).eval(&v), Some(false));
+        assert_eq!(ClockConstraint::Ge(ClockId(0), 5).eval(&v), Some(true));
+        assert_eq!(ClockConstraint::Ge(ClockId(0), 6).eval(&v), Some(false));
+        // Undefined clock.
+        assert_eq!(ClockConstraint::Le(ClockId(1), 5).eval(&v), None);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let v = known(&[(0, 5)]);
+        let undef = ClockConstraint::Le(ClockId(1), 5);
+        let t = ClockConstraint::Le(ClockId(0), 10);
+        let f = ClockConstraint::Le(ClockId(0), 1);
+        // And: false dominates unknown.
+        assert_eq!(
+            ClockConstraint::And(vec![undef.clone(), f.clone()]).eval(&v),
+            Some(false)
+        );
+        assert_eq!(
+            ClockConstraint::And(vec![undef.clone(), t.clone()]).eval(&v),
+            None
+        );
+        // Or: true dominates unknown.
+        assert_eq!(
+            ClockConstraint::Or(vec![undef.clone(), t.clone()]).eval(&v),
+            Some(true)
+        );
+        assert_eq!(ClockConstraint::Or(vec![undef.clone(), f]).eval(&v), None);
+        // Not propagates unknown: Not(undef) must NOT become firable.
+        assert_eq!(ClockConstraint::Not(Box::new(undef)).eval(&v), None);
+        assert_eq!(ClockConstraint::Not(Box::new(t)).eval(&v), Some(false));
+    }
+
+    #[test]
+    fn range_and_eq_helpers() {
+        let v = known(&[(0, 3)]);
+        assert_eq!(ClockConstraint::in_range(ClockId(0), 0, 5).eval(&v), Some(true));
+        assert_eq!(ClockConstraint::eq(ClockId(0), 3).eval(&v), Some(true));
+        assert_eq!(ClockConstraint::eq(ClockId(0), 4).eval(&v), Some(false));
+    }
+
+    #[test]
+    fn conj_flattens() {
+        assert_eq!(ClockConstraint::conj(vec![]), ClockConstraint::True);
+        let one = ClockConstraint::Le(ClockId(0), 1);
+        assert_eq!(
+            ClockConstraint::conj(vec![ClockConstraint::True, one.clone()]),
+            one
+        );
+    }
+
+    #[test]
+    fn clocks_collected() {
+        let c = ClockConstraint::And(vec![
+            ClockConstraint::Le(ClockId(2), 1),
+            ClockConstraint::Or(vec![
+                ClockConstraint::Ge(ClockId(0), 1),
+                ClockConstraint::Not(Box::new(ClockConstraint::Le(ClockId(2), 9))),
+            ]),
+        ]);
+        assert_eq!(c.clocks(), vec![ClockId(0), ClockId(2)]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz DOT export for TAGs (used to regenerate the paper's Figure 2).
+
+use std::fmt::Write as _;
+
+use tgm_events::TypeRegistry;
+
+use crate::automaton::{Symbol, Tag};
+
+/// Renders the TAG as a Graphviz `digraph`. Event-type symbols are resolved
+/// through `reg`; skip loops are drawn dashed as `ANY`.
+pub fn tag_to_dot(tag: &Tag, reg: &TypeRegistry, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for i in 0..tag.n_states() {
+        let s = crate::StateId(i);
+        let shape = if tag.is_accepting(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  {i} [label=\"{}\", shape={shape}];", tag.state_name(s));
+    }
+    for &s in tag.start_states() {
+        let _ = writeln!(out, "  start{} [shape=point];", s.index());
+        let _ = writeln!(out, "  start{0} -> {0};", s.index());
+    }
+    for t in tag.transitions() {
+        let sym = match t.symbol {
+            Symbol::Any => "ANY".to_owned(),
+            Symbol::Exact(e) => reg.name(e).to_owned(),
+        };
+        let mut label = sym;
+        if !matches!(t.guard, crate::ClockConstraint::True) {
+            label.push_str(&format!("\\n{}", t.guard));
+        }
+        if !t.resets.is_empty() {
+            let names: Vec<&str> = t
+                .resets
+                .iter()
+                .map(|x| tag.clocks()[x.index()].0.as_str())
+                .collect();
+            label.push_str(&format!("\\nreset {{{}}}", names.join(", ")));
+        }
+        let style = if t.is_skip { " style=dashed" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{label}\"{style}];",
+            t.from.index(),
+            t.to.index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_core::examples::example_1;
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::construct::build_tag;
+
+    #[test]
+    fn figure_2_dot_renders() {
+        let cal = Calendar::standard();
+        let mut reg = TypeRegistry::new();
+        let (cet, _) = example_1(&cal, &mut reg);
+        let tag = build_tag(&cet);
+        let dot = tag_to_dot(&tag, &reg, "figure-2");
+        assert!(dot.contains("IBM-rise"));
+        assert!(dot.contains("IBM-earnings-report"));
+        assert!(dot.contains("ANY"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("reset {"));
+    }
+}

@@ -1,0 +1,695 @@
+//! NFA-simulation matching of TAGs over event sequences (Theorem 4).
+//!
+//! Following the classical NDFA pattern-matching technique (AHU74), the
+//! matcher advances a *frontier* of configurations `(state, clock resets)`
+//! per input event, deduplicating configurations. Clock state is stored as
+//! the covering tick of the clock's granularity at its last reset; the
+//! reading at an event with timestamp `t` is `⌈t⌉μ − reset`, undefined when
+//! either side is undefined (see the crate docs for the gap semantics).
+
+use std::collections::HashSet;
+
+use tgm_events::Event;
+use tgm_granularity::{Granularity, Second, Tick};
+
+use crate::automaton::{StateId, Tag};
+use crate::constraint::ClockId;
+
+/// Matching options.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchOptions {
+    /// Anchored matching: skip transitions are disallowed until the first
+    /// pattern transition has fired, so the pattern's root must match the
+    /// *first* event of the input. Used by the miner, which starts one
+    /// automaton per reference-event occurrence (§5).
+    pub anchored: bool,
+    /// The paper's strict clock-update semantics: a configuration dies on
+    /// any event not covered by *every* clock granularity (instead of the
+    /// default lazy semantics where only guards consulting such clocks
+    /// fail).
+    pub strict_updates: bool,
+    /// Saturate clock readings beyond every guard constant (region-style
+    /// canonicalization; semantics-preserving). Default: true. Disabling it
+    /// exists only for the ablation benchmarks — the frontier then grows
+    /// with the sequence length instead of Theorem 4's `(|V|·K)^p`.
+    pub saturate: bool,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            anchored: false,
+            strict_updates: false,
+            saturate: true,
+        }
+    }
+}
+
+
+/// Instrumentation counters from a matcher run (the quantities of the
+/// Theorem 4 complexity bound).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Events consumed.
+    pub events: usize,
+    /// Peak frontier size (distinct configurations).
+    pub peak_configs: usize,
+    /// Total configuration expansions.
+    pub expansions: u64,
+    /// Whether an accepting configuration was reached.
+    pub accepted: bool,
+}
+
+/// Records the largest constant each clock is compared against.
+fn collect_guard_consts(guard: &crate::constraint::ClockConstraint, out: &mut [i64]) {
+    use crate::constraint::ClockConstraint as C;
+    match guard {
+        C::True => {}
+        C::Le(x, k) | C::Ge(x, k) => out[x.index()] = out[x.index()].max(*k),
+        C::And(cs) | C::Or(cs) => {
+            for c in cs {
+                collect_guard_consts(c, out);
+            }
+        }
+        C::Not(c) => collect_guard_consts(c, out),
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Config {
+    state: StateId,
+    started: bool,
+    /// Covering tick of each clock's granularity at its last reset.
+    resets: Vec<Option<Tick>>,
+}
+
+/// A reusable matcher for one TAG.
+pub struct Matcher<'a> {
+    tag: &'a Tag,
+    opts: MatchOptions,
+    /// Per clock, the largest constant it is compared against in any guard.
+    /// Clock readings beyond this are indistinguishable from each other now
+    /// and forever (readings only grow between resets), so configurations
+    /// are canonicalized by saturating such resets — this is what keeps the
+    /// frontier bounded by `(|V|·K)^p` instead of `|σ|` (Theorem 4).
+    max_consts: Vec<i64>,
+}
+
+impl<'a> Matcher<'a> {
+    /// A matcher with default (lazy, unanchored) options.
+    pub fn new(tag: &'a Tag) -> Self {
+        Self::with_options(tag, MatchOptions::default())
+    }
+
+    /// A matcher with explicit options.
+    pub fn with_options(tag: &'a Tag, opts: MatchOptions) -> Self {
+        let mut max_consts = vec![0i64; tag.clocks.len()];
+        for tr in tag.transitions() {
+            collect_guard_consts(&tr.guard, &mut max_consts);
+        }
+        Matcher {
+            tag,
+            opts,
+            max_consts,
+        }
+    }
+
+    /// Saturates clock resets whose readings exceed every guard constant:
+    /// the canonical representative keeps the reading exactly one past the
+    /// largest comparison constant.
+    fn canonicalize(&self, resets: &mut [Option<Tick>], cur_ticks: &[Option<Tick>]) {
+        if !self.opts.saturate {
+            return;
+        }
+        for (x, r) in resets.iter_mut().enumerate() {
+            if let (Some(cur), Some(res)) = (cur_ticks[x], *r) {
+                let cap = self.max_consts[x];
+                if cur - res > cap {
+                    *r = Some(cur - cap - 1);
+                }
+            }
+        }
+    }
+
+    /// Whether the TAG has an accepting run over the *entire* sequence.
+    pub fn accepts(&self, events: &[Event]) -> bool {
+        self.run_inner(events, false).accepted
+    }
+
+    /// Whether some *prefix* of the sequence is accepted — equivalently,
+    /// whether an occurrence completes at any point. (For TAGs with skip
+    /// loops on accepting states — all constructed TAGs — this coincides
+    /// with [`accepts`](Self::accepts) but exits early.)
+    pub fn matches_within(&self, events: &[Event]) -> bool {
+        self.run_inner(events, true).accepted
+    }
+
+    /// Full run with instrumentation. `early_exit` stops at the first
+    /// accepting configuration.
+    pub fn run(&self, events: &[Event], early_exit: bool) -> RunStats {
+        self.run_inner(events, early_exit)
+    }
+
+    /// Finds one occurrence and returns the indices (into `events`) of the
+    /// events consumed by *pattern* transitions, in consumption order — the
+    /// witness events of the complex event. `None` if no occurrence exists.
+    ///
+    /// Unlike [`accepts`](Self::accepts), this tracks back-pointers through
+    /// the configuration graph, so it uses memory proportional to the
+    /// number of distinct configurations created.
+    pub fn find_occurrence(&self, events: &[Event]) -> Option<Vec<usize>> {
+        if events.is_empty() {
+            return None;
+        }
+        // Arena of configurations with provenance: (config, parent index,
+        // event index, was-pattern-transition).
+        struct Node {
+            cfg: Config,
+            parent: usize, // usize::MAX for roots
+            event: usize,
+            pattern: bool,
+        }
+        let mut arena: Vec<Node> = Vec::new();
+        let mut frontier: Vec<usize> = Vec::new();
+        for cfg in self.initial_frontier(events[0].time) {
+            arena.push(Node {
+                cfg,
+                parent: usize::MAX,
+                event: usize::MAX,
+                pattern: false,
+            });
+            frontier.push(arena.len() - 1);
+        }
+        let n_clocks = self.tag.clocks.len();
+        for (eidx, e) in events.iter().enumerate() {
+            let cur_ticks: Vec<Option<Tick>> = (0..n_clocks)
+                .map(|i| self.clock_tick(ClockId(i), e.time))
+                .collect();
+            if self.opts.strict_updates && cur_ticks.iter().any(Option::is_none) {
+                return None;
+            }
+            let mut next: Vec<usize> = Vec::new();
+            let mut seen: HashSet<Config> = HashSet::new();
+            for &node_idx in &frontier {
+                let cfg = arena[node_idx].cfg.clone();
+                for tr in self.tag.transitions_from(cfg.state) {
+                    if !tr.symbol.matches(e.ty) {
+                        continue;
+                    }
+                    if self.opts.anchored && !cfg.started && tr.is_skip {
+                        continue;
+                    }
+                    let value = |x: ClockId| -> Option<i64> {
+                        match (cur_ticks[x.index()], cfg.resets[x.index()]) {
+                            (Some(cur), Some(reset)) => Some(cur - reset),
+                            _ => None,
+                        }
+                    };
+                    if tr.guard.eval(&value) != Some(true) {
+                        continue;
+                    }
+                    let mut resets = cfg.resets.clone();
+                    for &x in &tr.resets {
+                        resets[x.index()] = cur_ticks[x.index()];
+                    }
+                    self.canonicalize(&mut resets, &cur_ticks);
+                    let nc = Config {
+                        state: tr.to,
+                        started: cfg.started || !tr.is_skip,
+                        resets,
+                    };
+                    if self.tag.is_accepting(nc.state) && !tr.is_skip {
+                        // Backtrack through pattern transitions.
+                        let mut out = vec![eidx];
+                        let mut cur = node_idx;
+                        while cur != usize::MAX {
+                            let node = &arena[cur];
+                            if node.pattern {
+                                out.push(node.event);
+                            }
+                            cur = node.parent;
+                        }
+                        out.reverse();
+                        return Some(out);
+                    }
+                    if seen.insert(nc.clone()) {
+                        arena.push(Node {
+                            cfg: nc,
+                            parent: node_idx,
+                            event: eidx,
+                            pattern: !tr.is_skip,
+                        });
+                        next.push(arena.len() - 1);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                return None;
+            }
+        }
+        None
+    }
+
+    fn clock_tick(&self, x: ClockId, t: Second) -> Option<Tick> {
+        self.tag.clocks[x.index()].1.covering_tick(t)
+    }
+
+    /// Initial configurations, with clocks reading 0 at instant `t0`.
+    fn initial_frontier(&self, t0: Second) -> Vec<Config> {
+        let n_clocks = self.tag.clocks.len();
+        let init_resets: Vec<Option<Tick>> = (0..n_clocks)
+            .map(|i| self.clock_tick(ClockId(i), t0))
+            .collect();
+        let mut seen: HashSet<Config> = HashSet::new();
+        let mut frontier = Vec::new();
+        for &s in self.tag.start_states() {
+            let c = Config {
+                state: s,
+                started: false,
+                resets: init_resets.clone(),
+            };
+            if seen.insert(c.clone()) {
+                frontier.push(c);
+            }
+        }
+        frontier
+    }
+
+    /// Advances the frontier by one event. Returns the next frontier and
+    /// whether any *newly created* configuration is accepting.
+    fn advance(&self, frontier: &[Config], e: &Event, stats: &mut RunStats) -> (Vec<Config>, bool) {
+        let n_clocks = self.tag.clocks.len();
+        stats.events += 1;
+        let cur_ticks: Vec<Option<Tick>> = (0..n_clocks)
+            .map(|i| self.clock_tick(ClockId(i), e.time))
+            .collect();
+        let strict_dead = self.opts.strict_updates && cur_ticks.iter().any(Option::is_none);
+        let mut next: Vec<Config> = Vec::new();
+        let mut next_seen: HashSet<Config> = HashSet::new();
+        let mut reached_accepting = false;
+        if !strict_dead {
+            for cfg in frontier {
+                for tr in self.tag.transitions_from(cfg.state) {
+                    if !tr.symbol.matches(e.ty) {
+                        continue;
+                    }
+                    if self.opts.anchored && !cfg.started && tr.is_skip {
+                        continue;
+                    }
+                    let value = |x: ClockId| -> Option<i64> {
+                        match (cur_ticks[x.index()], cfg.resets[x.index()]) {
+                            (Some(cur), Some(reset)) => Some(cur - reset),
+                            _ => None,
+                        }
+                    };
+                    if tr.guard.eval(&value) != Some(true) {
+                        continue;
+                    }
+                    stats.expansions += 1;
+                    let mut resets = cfg.resets.clone();
+                    for &x in &tr.resets {
+                        resets[x.index()] = cur_ticks[x.index()];
+                    }
+                    self.canonicalize(&mut resets, &cur_ticks);
+                    let nc = Config {
+                        state: tr.to,
+                        started: cfg.started || !tr.is_skip,
+                        resets,
+                    };
+                    if self.tag.is_accepting(nc.state) && !tr.is_skip {
+                        reached_accepting = true;
+                    }
+                    if next_seen.insert(nc.clone()) {
+                        next.push(nc);
+                    }
+                }
+            }
+        }
+        stats.peak_configs = stats.peak_configs.max(next.len());
+        (next, reached_accepting)
+    }
+
+    fn run_inner(&self, events: &[Event], early_exit: bool) -> RunStats {
+        let mut stats = RunStats::default();
+
+        // Empty input: accepted iff a start state is accepting.
+        if events.is_empty() {
+            stats.accepted = self
+                .tag
+                .start_states()
+                .iter()
+                .any(|&s| self.tag.is_accepting(s));
+            return stats;
+        }
+
+        let mut frontier = self.initial_frontier(events[0].time);
+        if early_exit && frontier.iter().any(|c| self.tag.is_accepting(c.state)) {
+            stats.accepted = true;
+            return stats;
+        }
+
+        for e in events {
+            let (next, reached_accepting) = self.advance(&frontier, e, &mut stats);
+            frontier = next;
+            if early_exit && reached_accepting {
+                stats.accepted = true;
+                return stats;
+            }
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        stats.accepted = frontier.iter().any(|c| self.tag.is_accepting(c.state));
+        stats
+    }
+}
+
+/// An *online* matcher: push events one at a time, get notified when an
+/// occurrence completes. Useful for monitoring live streams where
+/// re-running the batch [`Matcher`] per event would be quadratic.
+///
+/// The stream matcher never dies: like the constructed TAGs' skip loops,
+/// it keeps the frontier alive and counts every event at which some
+/// pattern transition completes an occurrence.
+///
+/// ```
+/// use tgm_core::examples::{example_1, figure_1a_witness};
+/// use tgm_events::{Event, TypeRegistry};
+/// use tgm_granularity::Calendar;
+/// use tgm_tag::{build_tag, StreamMatcher};
+///
+/// let cal = Calendar::standard();
+/// let mut reg = TypeRegistry::new();
+/// let (cet, tys) = example_1(&cal, &mut reg);
+/// let tag = build_tag(&cet);
+/// let mut stream = StreamMatcher::new(&tag);
+/// let w = figure_1a_witness();
+/// assert!(!stream.push(Event::new(tys.ibm_rise, w[0])));
+/// assert!(!stream.push(Event::new(tys.ibm_report, w[1])));
+/// assert!(!stream.push(Event::new(tys.hp_rise, w[2])));
+/// assert!(stream.push(Event::new(tys.ibm_fall, w[3]))); // completed!
+/// assert_eq!(stream.completions(), 1);
+/// ```
+pub struct StreamMatcher<'a> {
+    matcher: Matcher<'a>,
+    frontier: Vec<Config>,
+    started: bool,
+    completions: u64,
+    stats: RunStats,
+}
+
+impl<'a> StreamMatcher<'a> {
+    /// An online matcher with default options.
+    pub fn new(tag: &'a Tag) -> Self {
+        Self::with_options(tag, MatchOptions::default())
+    }
+
+    /// An online matcher with explicit options.
+    pub fn with_options(tag: &'a Tag, opts: MatchOptions) -> Self {
+        StreamMatcher {
+            matcher: Matcher::with_options(tag, opts),
+            frontier: Vec::new(),
+            started: false,
+            completions: 0,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Consumes one event (timestamps must be non-decreasing). Returns
+    /// whether an occurrence *completed* at this event.
+    pub fn push(&mut self, e: Event) -> bool {
+        if !self.started {
+            self.frontier = self.matcher.initial_frontier(e.time);
+            self.started = true;
+        }
+        let (next, completed) = self.matcher.advance(&self.frontier, &e, &mut self.stats);
+        self.frontier = next;
+        if completed {
+            self.completions += 1;
+        }
+        completed
+    }
+
+    /// Number of events at which an occurrence completed so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Current number of live configurations.
+    pub fn frontier_size(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Accumulated instrumentation.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Forgets all progress (the next push re-seeds the frontier).
+    pub fn reset(&mut self) {
+        self.frontier.clear();
+        self.started = false;
+        self.completions = 0;
+        self.stats = RunStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_events::{Event, EventType};
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::automaton::{Symbol, TagBuilder};
+    use crate::constraint::ClockConstraint;
+
+    const DAY: i64 = 86_400;
+
+    fn ev(ty: u32, t: i64) -> Event {
+        Event::new(EventType(ty), t)
+    }
+
+    /// A tiny hand-built TAG: accept "A then B on the next day".
+    fn next_day_tag() -> crate::Tag {
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let x = b.clock("x_day", cal.get("day").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.start(s0).accepting(s2);
+        b.transition(s0, s1, Symbol::Exact(EventType(0)), ClockConstraint::True, vec![x]);
+        b.transition(s1, s2, Symbol::Exact(EventType(1)), ClockConstraint::eq(x, 1), vec![]);
+        b.skip_loop(s0);
+        b.skip_loop(s1);
+        b.skip_loop(s2);
+        b.build()
+    }
+
+    #[test]
+    fn accepts_next_day_pattern() {
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        // A at day 2 noon, B at day 3 morning.
+        let seq = [ev(0, 2 * DAY + 43_200), ev(1, 3 * DAY + 3_600)];
+        assert!(m.accepts(&seq));
+        assert!(m.matches_within(&seq));
+        // Same day: reject.
+        let seq2 = [ev(0, 2 * DAY + 3_600), ev(1, 2 * DAY + 43_200)];
+        assert!(!m.accepts(&seq2));
+        // Two days later: reject.
+        let seq3 = [ev(0, 2 * DAY), ev(1, 4 * DAY)];
+        assert!(!m.accepts(&seq3));
+    }
+
+    #[test]
+    fn skips_noise_events() {
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        let seq = [
+            ev(7, 2 * DAY),
+            ev(0, 2 * DAY + 100),
+            ev(9, 2 * DAY + 200),
+            ev(1, 3 * DAY + 100),
+            ev(7, 3 * DAY + 200),
+        ];
+        assert!(m.accepts(&seq));
+    }
+
+    #[test]
+    fn anchored_requires_root_first() {
+        let tag = next_day_tag();
+        let anchored = Matcher::with_options(
+            &tag,
+            MatchOptions {
+                anchored: true,
+                strict_updates: false,
+                saturate: true,
+            },
+        );
+        // Noise before A: anchored matching must fail...
+        let seq = [ev(7, 2 * DAY), ev(0, 2 * DAY + 100), ev(1, 3 * DAY)];
+        assert!(!anchored.accepts(&seq));
+        // ...but succeeds when A is first.
+        let seq2 = [ev(0, 2 * DAY + 100), ev(7, 2 * DAY + 200), ev(1, 3 * DAY)];
+        assert!(anchored.accepts(&seq2));
+    }
+
+    #[test]
+    fn nondeterministic_choice_of_a() {
+        // Two As: the second one pairs with B on the next day.
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        let seq = [ev(0, 0), ev(0, 2 * DAY), ev(1, 3 * DAY)];
+        assert!(m.accepts(&seq));
+    }
+
+    #[test]
+    fn strict_updates_kill_on_gaps() {
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let x = b.clock("x_bday", cal.get("business-day").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.start(s0).accepting(s2);
+        b.transition(s0, s1, Symbol::Exact(EventType(0)), ClockConstraint::True, vec![x]);
+        b.transition(s1, s2, Symbol::Exact(EventType(1)), ClockConstraint::eq(x, 1), vec![]);
+        b.skip_loop(s0);
+        b.skip_loop(s1);
+        b.skip_loop(s2);
+        let tag = b.build();
+
+        // A on Monday (day 2), noise on Saturday (day 7), B next Monday:
+        // b-day distance Monday->Monday is 5, so no match either way, but
+        // A Thursday(5)->B Friday(6) with Saturday noise in between:
+        let seq = [ev(0, 5 * DAY), ev(9, 7 * DAY + 100), ev(1, 8 * DAY)];
+        // Wait: day 5 is Thursday 2000-01-06, day 6 Friday, day 7 Saturday,
+        // day 8 Sunday. Use Friday -> Monday instead:
+        let seq2 = [ev(0, 6 * DAY), ev(9, 7 * DAY + 100), ev(1, 9 * DAY)];
+        let lazy = Matcher::new(&tag);
+        // Lazy semantics: the Saturday noise is skippable.
+        assert!(lazy.accepts(&seq2));
+        let strict = Matcher::with_options(
+            &tag,
+            MatchOptions {
+                anchored: false,
+                strict_updates: true,
+                saturate: true,
+            },
+        );
+        // Strict semantics (paper): the Saturday event has no business-day
+        // tick, killing every run.
+        assert!(!strict.accepts(&seq2));
+        // Without weekend noise both agree.
+        let clean = [ev(0, 6 * DAY), ev(1, 9 * DAY)];
+        assert!(lazy.accepts(&clean));
+        assert!(strict.accepts(&clean));
+        let _ = seq;
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        assert!(!m.accepts(&[]));
+    }
+
+    #[test]
+    fn stats_reported() {
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        let seq = [ev(0, 2 * DAY), ev(1, 3 * DAY)];
+        let stats = m.run(&seq, false);
+        assert!(stats.accepted);
+        assert_eq!(stats.events, 2);
+        assert!(stats.peak_configs >= 1);
+        assert!(stats.expansions >= 2);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use tgm_events::{Event, EventType};
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::automaton::{Symbol, TagBuilder};
+    use crate::constraint::ClockConstraint;
+
+    const DAY: i64 = 86_400;
+
+    fn next_day_tag() -> crate::Tag {
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let x = b.clock("x_day", cal.get("day").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.start(s0).accepting(s2);
+        b.transition(s0, s1, Symbol::Exact(EventType(0)), ClockConstraint::True, vec![x]);
+        b.transition(s1, s2, Symbol::Exact(EventType(1)), ClockConstraint::eq(x, 1), vec![]);
+        b.skip_loop(s0);
+        b.skip_loop(s1);
+        b.skip_loop(s2);
+        b.build()
+    }
+
+    #[test]
+    fn stream_reports_each_completion() {
+        let tag = next_day_tag();
+        let mut sm = StreamMatcher::new(&tag);
+        // Two A->B-next-day occurrences, with noise.
+        assert!(!sm.push(Event::new(EventType(0), 2 * DAY)));
+        assert!(!sm.push(Event::new(EventType(7), 2 * DAY + 100)));
+        assert!(sm.push(Event::new(EventType(1), 3 * DAY)));
+        assert!(!sm.push(Event::new(EventType(0), 10 * DAY)));
+        assert!(sm.push(Event::new(EventType(1), 11 * DAY)));
+        assert_eq!(sm.completions(), 2);
+        assert!(sm.frontier_size() >= 1);
+    }
+
+    #[test]
+    fn stream_agrees_with_batch_prefix_acceptance() {
+        let tag = next_day_tag();
+        let events = [
+            Event::new(EventType(0), 2 * DAY),
+            Event::new(EventType(1), 4 * DAY), // too late
+            Event::new(EventType(0), 6 * DAY),
+            Event::new(EventType(1), 7 * DAY), // completes
+        ];
+        let mut sm = StreamMatcher::new(&tag);
+        let mut completed_at = None;
+        for (i, &e) in events.iter().enumerate() {
+            if sm.push(e) && completed_at.is_none() {
+                completed_at = Some(i);
+            }
+        }
+        // Batch prefix acceptance flips exactly at the completion index.
+        let m = Matcher::new(&tag);
+        for i in 0..events.len() {
+            let prefix_accepts = m.matches_within(&events[..=i]);
+            assert_eq!(
+                prefix_accepts,
+                completed_at.is_some_and(|c| i >= c),
+                "prefix {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_reset() {
+        let tag = next_day_tag();
+        let mut sm = StreamMatcher::new(&tag);
+        sm.push(Event::new(EventType(0), 2 * DAY));
+        sm.push(Event::new(EventType(1), 3 * DAY));
+        assert_eq!(sm.completions(), 1);
+        sm.reset();
+        assert_eq!(sm.completions(), 0);
+        assert_eq!(sm.frontier_size(), 0);
+        // Works again after reset.
+        sm.push(Event::new(EventType(0), 20 * DAY));
+        assert!(sm.push(Event::new(EventType(1), 21 * DAY)));
+    }
+}

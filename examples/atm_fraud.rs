@@ -1,0 +1,105 @@
+//! ATM transaction analysis (paper §1 motivation): find account-activity
+//! patterns with quantitative bounds in the *right* granularity — "a large
+//! withdrawal on the same day as a PIN failure" is not the same thing as
+//! "within 24 hours".
+//!
+//! Run with `cargo run --release --example atm_fraud`.
+
+use tgm::events::gen::{atm_transactions, with_planted, AtmConfig};
+use tgm::prelude::*;
+
+const DAY: i64 = 86_400;
+const HOUR: i64 = 3_600;
+
+fn main() {
+    let cal = Calendar::standard();
+    let mut reg = TypeRegistry::new();
+    let mut seq = atm_transactions(
+        &AtmConfig {
+            customers: 12,
+            days: 120,
+            txns_per_day: 0.8,
+            seed: 0xF00D,
+        },
+        &mut reg,
+    );
+    let pin_fail = reg.get("pin-failure").unwrap();
+    let large = reg.get("large-withdrawal").unwrap();
+
+    // Plant a fraud signature after most PIN failures: a large withdrawal
+    // 1-3 hours later the same day.
+    let mut groups = Vec::new();
+    for (i, e) in seq.occurrences_of(pin_fail).enumerate() {
+        if i % 5 == 0 {
+            continue; // 80% of failures are followed by the signature
+        }
+        let offset = (1 + (i as i64 % 3)) * HOUR;
+        let t = (e.time + offset).min((e.time / DAY) * DAY + DAY - 1);
+        groups.push(vec![(large, t)]);
+    }
+    // Also plant cross-midnight impostors: a PIN failure at 22:30 followed
+    // by a large withdrawal at 01:00 the next day — within 4 hours, but not
+    // the same day.
+    for d in (10..110i64).step_by(9) {
+        groups.push(vec![
+            (pin_fail, d * DAY + 22 * HOUR + 1_800),
+            (large, (d + 1) * DAY + HOUR),
+        ]);
+    }
+    seq = with_planted(&seq, &groups);
+    println!(
+        "{} events, {} PIN failures, {} large withdrawals",
+        seq.len(),
+        seq.count_of(pin_fail),
+        seq.count_of(large)
+    );
+
+    // The fraud pattern: pin-failure -> large-withdrawal within [0,4] hours
+    // AND the same day.
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("pin-failure");
+    let x1 = b.var("follow-up");
+    b.constrain(x0, x1, Tcg::new(0, 4, cal.get("hour").unwrap()));
+    b.constrain(x0, x1, Tcg::new(0, 0, cal.get("day").unwrap()));
+    let s = b.build().unwrap();
+
+    let problem = DiscoveryProblem::new(s, 0.5, pin_fail);
+    let (solutions, stats) = pipeline::mine(&problem, &seq);
+    println!(
+        "\ncandidates {} -> {}, {} TAG runs",
+        stats.candidates_initial, stats.candidates_scanned, stats.tag_runs
+    );
+    println!("\nEvent types frequently following a PIN failure (same day, <= 4h):");
+    for sol in &solutions {
+        println!(
+            "  {:<20} frequency {:.2} (support {}/{})",
+            reg.name(sol.assignment[1]),
+            sol.frequency,
+            sol.support,
+            stats.refs_total
+        );
+    }
+    assert!(
+        solutions.iter().any(|s| s.assignment[1] == large),
+        "the planted fraud signature must surface"
+    );
+
+    // Contrast with a naive 4-hour rule that ignores day boundaries: a PIN
+    // failure at 23:00 followed by a withdrawal at 01:30 is NOT the
+    // same-day signature.
+    let same_day = Tcg::new(0, 0, cal.get("day").unwrap());
+    let within_4h = Tcg::new(0, 4 * HOUR as u64, cal.get("second").unwrap());
+    let mut cross_midnight = 0;
+    for f in seq.occurrences_of(pin_fail) {
+        for w in seq.window(f.time..=f.time + 4 * HOUR) {
+            if w.ty == large && within_4h.satisfied(f.time, w.time) && !same_day.satisfied(f.time, w.time)
+            {
+                cross_midnight += 1;
+            }
+        }
+    }
+    println!(
+        "\ncross-midnight (pin-failure, large-withdrawal) pairs a flat 4h rule \
+         would wrongly flag: {cross_midnight}"
+    );
+}

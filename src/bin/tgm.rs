@@ -1,0 +1,31 @@
+//! `tgm` — command-line front end for the temporal-granularity toolkit.
+//!
+//! ```text
+//! tgm calendar
+//! tgm convert <lo> <hi> <granularity> --to <granularity>
+//! tgm check <structure.json> [--horizon-days <n>]
+//! tgm match <structure.json> --types <t0,t1,...> <events.json>
+//! tgm mine <structure.json> <events.json> --reference <type>
+//!          [--confidence <x>] [--pin <var>=<type>]...
+//! ```
+//!
+//! Structures are JSON (see `tgm::json`); event files are JSON arrays of
+//! `{"ty": "...", "time": <seconds>}` records (see `tgm::events::io`).
+//! All logic lives in `tgm::cli` so it is testable.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tgm::cli::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", tgm::cli::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Implementation of the `tgm` command-line interface (see the `tgm`
+//! binary). Factored into the library so the command logic is unit- and
+//! integration-testable: [`run`] takes the argument vector and returns the
+//! text to print (or a user-facing error).
+
+use tgm_core::exact::{check_with, ExactOptions, ExactOutcome};
+use tgm_core::propagate::propagate;
+use tgm_events::io as events_io;
+use tgm_granularity::format_instant;
+use crate::json::structure_from_json;
+use crate::prelude::*;
+use tgm_tag::StreamMatcher;
+
+pub(crate) const USAGE: &str = "usage:
+  tgm calendar
+  tgm convert <lo> <hi> <granularity> --to <granularity>
+  tgm check <structure.json> [--horizon-days <n>]
+  tgm match <structure.json> --types <t0,t1,...> <events.json>
+  tgm mine <structure.json> <events.json> --reference <type> \\
+           [--confidence <x>] [--pin <var>=<type>]...
+
+global flags (all commands):
+  --calendar <file>       load a calendar config (holiday/gran directives)
+  --holiday <day-index>   add a holiday to the business calendar (repeatable)
+  --gran <spec>           register a custom granularity from the spec DSL,
+                          e.g. --gran '3 month' --gran '12 month @ 2000-04'
+                          --gran 'days(mon,wed,fri)' (repeatable)";
+
+/// Dispatches a CLI invocation; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("calendar") => cmd_calendar(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("match") => cmd_match(&args[1..]),
+        Some("mine") => cmd_mine(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.as_str());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    flag_values(args, name).into_iter().next()
+}
+
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // All our flags take one value.
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn calendar_from(args: &[String]) -> Result<Calendar, String> {
+    // A whole calendar config file replaces the standard calendar and any
+    // --holiday flags; --gran flags still register on top of it.
+    let mut cal = match flag_value(args, "--calendar") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            tgm_granularity::calendar_from_config(&text).map_err(|e| e.to_string())?
+        }
+        None => {
+            let holidays: Result<Vec<i64>, _> = flag_values(args, "--holiday")
+                .into_iter()
+                .map(str::parse::<i64>)
+                .collect();
+            Calendar::with_holidays(holidays.map_err(|e| format!("bad --holiday value: {e}"))?)
+        }
+    };
+    // Custom granularities from the spec DSL, e.g.
+    //   --gran "3 month"  --gran "days(mon,wed,fri)"  --gran "12 month @ 2000-04"
+    for spec in flag_values(args, "--gran") {
+        let g = tgm_granularity::parse_granularity(spec).map_err(|e| e.to_string())?;
+        cal.register(g).map_err(|e| e.to_string())?;
+    }
+    Ok(cal)
+}
+
+fn cmd_calendar(args: &[String]) -> Result<String, String> {
+    let cal = calendar_from(args)?;
+    let mut out = String::from("registered granularities:\n");
+    for g in cal.iter() {
+        let sample = g
+            .tick_intervals(1)
+            .map(|s| {
+                format!(
+                    "tick 1: {} .. {}",
+                    format_instant(s.min()),
+                    format_instant(s.max())
+                )
+            })
+            .unwrap_or_else(|| "tick 1 out of horizon".into());
+        out.push_str(&format!(
+            "  {:<16} gaps: {:<5} {}\n",
+            g.name(),
+            Granularity::has_gaps(g),
+            sample
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_convert(args: &[String]) -> Result<String, String> {
+    let cal = calendar_from(args)?;
+    let pos = positionals(args);
+    let [lo, hi, src] = pos.as_slice() else {
+        return Err("convert needs <lo> <hi> <granularity>".into());
+    };
+    let lo: u64 = lo.parse().map_err(|e| format!("bad lo: {e}"))?;
+    let hi: u64 = hi.parse().map_err(|e| format!("bad hi: {e}"))?;
+    let target_name = flag_value(args, "--to").ok_or("missing --to <granularity>")?;
+    let src_g = cal.get(src).map_err(|e| e.to_string())?;
+    let dst_g = cal.get(target_name).map_err(|e| e.to_string())?;
+    if lo > hi {
+        return Err(format!("empty bounds [{lo}, {hi}]"));
+    }
+    if hi > Tcg::MAX_BOUND {
+        return Err(format!("bound {hi} exceeds the supported maximum {}", Tcg::MAX_BOUND));
+    }
+    let tcg = Tcg::new(lo, hi, src_g);
+    Ok(match convert_constraint(&tcg, &dst_g) {
+        Some(c) => format!("{tcg}  =>  {c}"),
+        None => format!("{tcg}  =>  infeasible (target `{target_name}` has gaps)"),
+    })
+}
+
+/// Loads an event file, dispatching on extension: `.csv` uses the
+/// `type,time` format, anything else is parsed as JSON.
+fn load_events(path: &str) -> Result<(tgm_events::TypeRegistry, EventSequence), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".csv") {
+        events_io::from_csv(&text).map_err(|e| e.to_string())
+    } else {
+        events_io::from_json(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn load_structure(path: &str, cal: &Calendar) -> Result<EventStructure, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    structure_from_json(&json, cal).map_err(|e| e.to_string())
+}
+
+fn cmd_check(args: &[String]) -> Result<String, String> {
+    let cal = calendar_from(args)?;
+    let pos = positionals(args);
+    let [path] = pos.as_slice() else {
+        return Err("check needs <structure.json>".into());
+    };
+    let s = load_structure(path, &cal)?;
+    let mut out = format!("{s:?}\n");
+    let p = propagate(&s);
+    if !p.is_consistent() {
+        out.push_str("propagation: INCONSISTENT (refuted by the sound §3.2 algorithm)\n");
+        return Ok(out);
+    }
+    out.push_str("propagation: not refuted; derived constraints:\n");
+    for line in p.describe(&s).lines() {
+        out.push_str(&format!("  {line}\n"));
+    }
+    let horizon_days: i64 = flag_value(args, "--horizon-days")
+        .map(|v| v.parse().map_err(|e| format!("bad --horizon-days: {e}")))
+        .transpose()?
+        .unwrap_or(366);
+    let opts = ExactOptions {
+        horizon_start: 0,
+        horizon_end: horizon_days * 86_400,
+        ..ExactOptions::default()
+    };
+    match check_with(&s, &opts) {
+        Ok(ExactOutcome::Consistent(times)) => {
+            out.push_str(&format!("exact ({horizon_days}-day horizon): CONSISTENT, witness:\n"));
+            for v in s.vars() {
+                out.push_str(&format!(
+                    "  {} = {}\n",
+                    s.name(v),
+                    format_instant(times[v.index()])
+                ));
+            }
+        }
+        Ok(ExactOutcome::InconsistentWithinHorizon) => {
+            out.push_str(&format!(
+                "exact ({horizon_days}-day horizon): INCONSISTENT within horizon\n"
+            ));
+        }
+        Err(e) => out.push_str(&format!("exact: gave up ({e})\n")),
+    }
+    Ok(out)
+}
+
+fn cmd_match(args: &[String]) -> Result<String, String> {
+    let cal = calendar_from(args)?;
+    let pos = positionals(args);
+    let [spath, epath] = pos.as_slice() else {
+        return Err("match needs <structure.json> <events.json>".into());
+    };
+    let s = load_structure(spath, &cal)?;
+    let (mut reg, seq) = load_events(epath)?;
+    let type_names = flag_value(args, "--types").ok_or("missing --types t0,t1,...")?;
+    let phi: Vec<EventType> = type_names
+        .split(',')
+        .map(|n| reg.intern(n.trim()))
+        .collect();
+    if phi.len() != s.len() {
+        return Err(format!(
+            "--types lists {} types but the structure has {} variables",
+            phi.len(),
+            s.len()
+        ));
+    }
+    let cet = ComplexEventType::new(s, phi);
+    let tag = build_tag(&cet);
+    let mut stream = StreamMatcher::new(&tag);
+    let mut completions_at = Vec::new();
+    for e in seq.events() {
+        if stream.push(*e) {
+            completions_at.push(e.time);
+        }
+    }
+    let mut out = format!(
+        "TAG: {} states, {} clocks; scanned {} events\n",
+        tag.n_states(),
+        tag.clocks().len(),
+        seq.len()
+    );
+    if completions_at.is_empty() {
+        out.push_str("no occurrence found\n");
+    } else {
+        out.push_str(&format!("{} completion(s):\n", completions_at.len()));
+        for t in completions_at {
+            out.push_str(&format!("  at {}\n", format_instant(t)));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_mine(args: &[String]) -> Result<String, String> {
+    let cal = calendar_from(args)?;
+    let pos = positionals(args);
+    let [spath, epath] = pos.as_slice() else {
+        return Err("mine needs <structure.json> <events.json>".into());
+    };
+    let s = load_structure(spath, &cal)?;
+    let (reg, seq) = load_events(epath)?;
+    let ref_name = flag_value(args, "--reference").ok_or("missing --reference <type>")?;
+    let reference = reg
+        .get(ref_name)
+        .ok_or_else(|| format!("reference type `{ref_name}` does not occur in the events"))?;
+    let confidence: f64 = flag_value(args, "--confidence")
+        .map(|v| v.parse().map_err(|e| format!("bad --confidence: {e}")))
+        .transpose()?
+        .unwrap_or(0.5);
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err(format!("--confidence must be within [0, 1], got {confidence}"));
+    }
+    let mut problem = DiscoveryProblem::new(s, confidence, reference);
+    for pin in flag_values(args, "--pin") {
+        let (var, ty_name) = pin
+            .split_once('=')
+            .ok_or_else(|| format!("bad --pin `{pin}` (want <var-index>=<type>)"))?;
+        let var: usize = var.parse().map_err(|e| format!("bad --pin variable: {e}"))?;
+        let ty = reg
+            .get(ty_name)
+            .ok_or_else(|| format!("pinned type `{ty_name}` does not occur in the events"))?;
+        if var >= problem.structure.len() {
+            return Err(format!("--pin variable {var} out of range"));
+        }
+        if VarId(var) == problem.structure.root() {
+            return Err(format!(
+                "--pin {var}=... targets the root variable, which is fixed to --reference {ref_name}"
+            ));
+        }
+        problem.candidates.restrict(VarId(var), [ty]);
+    }
+    let (solutions, stats) = pipeline::mine(&problem, &seq);
+    let mut out = format!(
+        "references: {} ({}), candidates scanned: {}, TAG runs: {}\n",
+        stats.refs_total, ref_name, stats.candidates_scanned, stats.tag_runs
+    );
+    if solutions.is_empty() {
+        out.push_str(&format!("no assignment exceeds confidence {confidence}\n"));
+    } else {
+        for sol in &solutions {
+            let names: Vec<&str> = sol.assignment.iter().map(|&t| reg.name(t)).collect();
+            out.push_str(&format!(
+                "  {:<60} frequency {:.3} (support {})\n",
+                names.join(", "),
+                sol.frequency,
+                sol.support
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// The usage text shown on errors.
+pub fn usage() -> &'static str {
+    USAGE
+}

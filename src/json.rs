@@ -1,0 +1,193 @@
+//! JSON serialization of event structures and discovery problems, resolving
+//! granularities by name against a [`Calendar`].
+//!
+//! Format:
+//!
+//! ```json
+//! {
+//!   "variables": ["X0", "X1", "X2"],
+//!   "constraints": [
+//!     { "from": 0, "to": 1, "lo": 1, "hi": 1, "granularity": "business-day" },
+//!     { "from": 1, "to": 2, "lo": 0, "hi": 1, "granularity": "week" }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use tgm_core::{EventStructure, StructureBuilder, Tcg, VarId};
+use tgm_granularity::Calendar;
+
+#[derive(Serialize, Deserialize)]
+struct JsonConstraint {
+    from: usize,
+    to: usize,
+    lo: u64,
+    hi: u64,
+    granularity: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JsonStructure {
+    variables: Vec<String>,
+    constraints: Vec<JsonConstraint>,
+}
+
+/// Errors from structure (de)serialization.
+#[derive(Debug)]
+pub enum StructureJsonError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// A constraint references an unknown granularity name.
+    UnknownGranularity(String),
+    /// A constraint has `lo > hi` or references an out-of-range variable.
+    InvalidConstraint(String),
+    /// The graph is not a rooted DAG.
+    Structure(tgm_core::StructureError),
+}
+
+impl std::fmt::Display for StructureJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructureJsonError::Json(e) => write!(f, "malformed JSON: {e}"),
+            StructureJsonError::UnknownGranularity(g) => {
+                write!(f, "unknown granularity `{g}`")
+            }
+            StructureJsonError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            StructureJsonError::Structure(e) => write!(f, "invalid structure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StructureJsonError {}
+
+/// Serializes an event structure (granularities stored by name).
+pub fn structure_to_json(s: &EventStructure) -> String {
+    let out = JsonStructure {
+        variables: s.vars().map(|v| s.name(v).to_owned()).collect(),
+        constraints: s
+            .arcs()
+            .flat_map(|(a, b, cs)| {
+                cs.iter().map(move |c| JsonConstraint {
+                    from: a.index(),
+                    to: b.index(),
+                    lo: c.lo(),
+                    hi: c.hi(),
+                    granularity: c.gran().name().to_owned(),
+                })
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&out).expect("structures always serialize")
+}
+
+/// Parses an event structure, resolving granularity names against `cal`.
+pub fn structure_from_json(
+    json: &str,
+    cal: &Calendar,
+) -> Result<EventStructure, StructureJsonError> {
+    let parsed: JsonStructure = serde_json::from_str(json).map_err(StructureJsonError::Json)?;
+    let mut b = StructureBuilder::new();
+    let n = parsed.variables.len();
+    let vars: Vec<VarId> = parsed.variables.iter().map(|name| b.var(name)).collect();
+    for c in parsed.constraints {
+        if c.from >= n || c.to >= n {
+            return Err(StructureJsonError::InvalidConstraint(format!(
+                "variable index out of range in ({}, {})",
+                c.from, c.to
+            )));
+        }
+        if c.lo > c.hi {
+            return Err(StructureJsonError::InvalidConstraint(format!(
+                "empty bounds [{}, {}]",
+                c.lo, c.hi
+            )));
+        }
+        if c.hi > Tcg::MAX_BOUND {
+            return Err(StructureJsonError::InvalidConstraint(format!(
+                "bound {} exceeds the supported maximum {}",
+                c.hi,
+                Tcg::MAX_BOUND
+            )));
+        }
+        let gran = cal
+            .get(&c.granularity)
+            .map_err(|_| StructureJsonError::UnknownGranularity(c.granularity.clone()))?;
+        b.constrain(vars[c.from], vars[c.to], Tcg::new(c.lo, c.hi, gran));
+    }
+    b.build().map_err(StructureJsonError::Structure)
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_core::examples::figure_1a;
+
+    use super::*;
+
+    #[test]
+    fn round_trip_figure_1a() {
+        let cal = Calendar::standard();
+        let (s, _) = figure_1a(&cal);
+        let json = structure_to_json(&s);
+        let back = structure_from_json(&json, &cal).unwrap();
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.constraint_count(), s.constraint_count());
+        for (a, b, cs) in s.arcs() {
+            assert_eq!(back.constraints(a, b), cs);
+        }
+        // Same witnesses.
+        let w = tgm_core::examples::figure_1a_witness();
+        assert!(back.satisfied_by(&w));
+    }
+
+    #[test]
+    fn unknown_granularity_rejected() {
+        let cal = Calendar::standard();
+        let json = r#"{"variables": ["A", "B"],
+            "constraints": [{"from":0,"to":1,"lo":0,"hi":1,"granularity":"fortnight"}]}"#;
+        assert!(matches!(
+            structure_from_json(json, &cal),
+            Err(StructureJsonError::UnknownGranularity(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let cal = Calendar::standard();
+        assert!(matches!(
+            structure_from_json("nonsense", &cal),
+            Err(StructureJsonError::Json(_))
+        ));
+        let oob = r#"{"variables": ["A"],
+            "constraints": [{"from":0,"to":5,"lo":0,"hi":1,"granularity":"day"}]}"#;
+        assert!(matches!(
+            structure_from_json(oob, &cal),
+            Err(StructureJsonError::InvalidConstraint(_))
+        ));
+        let empty_bounds = r#"{"variables": ["A","B"],
+            "constraints": [{"from":0,"to":1,"lo":3,"hi":1,"granularity":"day"}]}"#;
+        assert!(matches!(
+            structure_from_json(empty_bounds, &cal),
+            Err(StructureJsonError::InvalidConstraint(_))
+        ));
+        let cyclic = r#"{"variables": ["A","B"],
+            "constraints": [{"from":0,"to":1,"lo":0,"hi":1,"granularity":"day"},
+                            {"from":1,"to":0,"lo":0,"hi":1,"granularity":"day"}]}"#;
+        assert!(matches!(
+            structure_from_json(cyclic, &cal),
+            Err(StructureJsonError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn custom_calendar_names_resolve() {
+        let mut cal = Calendar::standard();
+        cal.register(tgm_granularity::Gran::new(
+            tgm_granularity::builtin::n_month(6),
+        ))
+        .unwrap();
+        let json = r#"{"variables": ["A", "B"],
+            "constraints": [{"from":0,"to":1,"lo":1,"hi":1,"granularity":"6-month"}]}"#;
+        let s = structure_from_json(json, &cal).unwrap();
+        assert_eq!(s.constraint_count(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # tgm — Temporal Granularity Mining
+//!
+//! A production-quality reproduction of **Bettini, Wang & Jajodia,
+//! *Testing Complex Temporal Relationships Involving Multiple Granularities
+//! and Its Application to Data Mining* (PODS 1996)**: temporal constraints
+//! with granularities (TCGs), event structures, sound approximate
+//! constraint propagation, exact (NP-hard) consistency checking, timed
+//! automata with granularities (TAGs), and frequent-complex-event
+//! discovery.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`granularity`] | `tgm-granularity` | temporal types, calendars, tick conversion, size tables |
+//! | [`stp`] | `tgm-stp` | Simple Temporal Problem networks (Dechter–Meiri–Pearl) |
+//! | [`events`] | `tgm-events` | event types, sequences, JSON I/O, workload generators |
+//! | [`core`] | `tgm-core` | TCGs, event structures, conversion, propagation, exact checking |
+//! | [`tag`] | `tgm-tag` | timed automata with granularities and matching |
+//! | [`mining`] | `tgm-mining` | naive + optimized discovery, WINEPI episode baseline |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tgm::prelude::*;
+//!
+//! // "The earnings report came one business day after the rise, and the
+//! // stock fell in the same or the next week."
+//! let cal = Calendar::standard();
+//! let mut b = StructureBuilder::new();
+//! let rise = b.var("rise");
+//! let report = b.var("report");
+//! let fall = b.var("fall");
+//! b.constrain(rise, report, Tcg::new(1, 1, cal.get("business-day").unwrap()));
+//! b.constrain(report, fall, Tcg::new(0, 1, cal.get("week").unwrap()));
+//! let structure = b.build().unwrap();
+//!
+//! // Sound propagation derives implied constraints across granularities.
+//! let p = propagate(&structure);
+//! assert!(p.is_consistent());
+//! let window = p.seconds_window(rise, fall).unwrap();
+//! assert!(window.lo >= 1);
+//! ```
+
+pub mod cli;
+pub mod json;
+
+pub use tgm_core as core;
+pub use tgm_events as events;
+pub use tgm_granularity as granularity;
+pub use tgm_mining as mining;
+pub use tgm_stp as stp;
+pub use tgm_tag as tag;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use tgm_core::exact::{check as exact_check, check_with as exact_check_with, ExactOutcome};
+    pub use tgm_core::propagate::{propagate, Propagated};
+    pub use tgm_core::{
+        convert_constraint, ComplexEventType, EventStructure, StructureBuilder, Tcg, VarId,
+    };
+    pub use tgm_events::{Event, EventSequence, EventType, SequenceBuilder, TypeRegistry};
+    pub use tgm_granularity::{Calendar, Gran, Granularity, Second, Tick};
+    pub use tgm_mining::{naive, pipeline, DiscoveryProblem, Solution};
+    pub use tgm_tag::{build_tag, MatchOptions, Matcher, Tag};
+}

@@ -1,0 +1,212 @@
+//! Integration tests for the `tgm` CLI logic (`tgm::cli::run`).
+
+use std::io::Write as _;
+
+use tgm::cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_string()).collect()
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tgm-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const STRUCTURE: &str = r#"{
+  "variables": ["rise", "report", "fall"],
+  "constraints": [
+    {"from": 0, "to": 1, "lo": 1, "hi": 1, "granularity": "business-day"},
+    {"from": 1, "to": 2, "lo": 0, "hi": 1, "granularity": "week"}
+  ]
+}"#;
+
+// Monday 2000-01-03 10:00 rise; Tuesday 09:00 report; Thursday fall;
+// plus a second rise with no follow-up.
+const EVENTS: &str = r#"[
+  {"ty":"rise","time":208800},
+  {"ty":"noise","time":250000},
+  {"ty":"report","time":291600},
+  {"ty":"fall","time":500000},
+  {"ty":"rise","time":813600}
+]"#;
+
+#[test]
+fn calendar_lists_granularities() {
+    let out = run(&args(&["calendar"])).unwrap();
+    for name in ["second", "business-day", "weekend", "month"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn calendar_with_custom_gran() {
+    let out = run(&args(&["calendar", "--gran", "3 month"])).unwrap();
+    assert!(out.contains("3 month"));
+    // Bad spec is a user error.
+    assert!(run(&args(&["calendar", "--gran", "lightyear"])).is_err());
+}
+
+#[test]
+fn convert_command() {
+    let out = run(&args(&["convert", "0", "0", "day", "--to", "hour"])).unwrap();
+    assert!(out.contains("[0,24]hour"), "{out}");
+    let out = run(&args(&["convert", "0", "3", "day", "--to", "business-day"])).unwrap();
+    assert!(out.contains("infeasible"), "{out}");
+    assert!(run(&args(&["convert", "5", "2", "day", "--to", "hour"])).is_err());
+    assert!(run(&args(&["convert", "0", "1", "day"])).is_err()); // missing --to
+}
+
+#[test]
+fn check_command() {
+    let path = temp_file("structure.json", STRUCTURE);
+    let out = run(&args(&["check", path.to_str().unwrap(), "--horizon-days", "30"])).unwrap();
+    assert!(out.contains("propagation: not refuted"), "{out}");
+    assert!(out.contains("CONSISTENT"), "{out}");
+    assert!(out.contains("rise ="), "{out}");
+}
+
+#[test]
+fn check_refuted_structure() {
+    let path = temp_file(
+        "bad.json",
+        r#"{"variables": ["a","b"],
+            "constraints": [
+              {"from":0,"to":1,"lo":0,"hi":0,"granularity":"day"},
+              {"from":0,"to":1,"lo":26,"hi":30,"granularity":"hour"}
+            ]}"#,
+    );
+    let out = run(&args(&["check", path.to_str().unwrap()])).unwrap();
+    assert!(out.contains("INCONSISTENT"), "{out}");
+}
+
+#[test]
+fn match_command() {
+    let spath = temp_file("structure2.json", STRUCTURE);
+    let epath = temp_file("events.json", EVENTS);
+    let out = run(&args(&[
+        "match",
+        spath.to_str().unwrap(),
+        epath.to_str().unwrap(),
+        "--types",
+        "rise,report,fall",
+    ]))
+    .unwrap();
+    assert!(out.contains("1 completion(s)"), "{out}");
+    // Arity mismatch is a user error.
+    assert!(run(&args(&[
+        "match",
+        spath.to_str().unwrap(),
+        epath.to_str().unwrap(),
+        "--types",
+        "rise,report",
+    ]))
+    .is_err());
+}
+
+#[test]
+fn mine_command() {
+    let spath = temp_file("structure3.json", STRUCTURE);
+    let epath = temp_file("events2.json", EVENTS);
+    let out = run(&args(&[
+        "mine",
+        spath.to_str().unwrap(),
+        epath.to_str().unwrap(),
+        "--reference",
+        "rise",
+        "--confidence",
+        "0.3",
+        "--pin",
+        "2=fall",
+    ]))
+    .unwrap();
+    assert!(out.contains("rise, report, fall"), "{out}");
+    assert!(out.contains("frequency 0.500"), "{out}");
+    // Unknown reference type is a user error.
+    assert!(run(&args(&[
+        "mine",
+        spath.to_str().unwrap(),
+        epath.to_str().unwrap(),
+        "--reference",
+        "crash",
+    ]))
+    .is_err());
+}
+
+#[test]
+fn bad_invocations() {
+    assert!(run(&args(&[])).is_err());
+    assert!(run(&args(&["frobnicate"])).is_err());
+    assert!(run(&args(&["check", "/nonexistent/file.json"])).is_err());
+}
+
+#[test]
+fn calendar_config_file() {
+    let cfg = temp_file(
+        "calendar.cfg",
+        "# test calendar\nholiday 2000-01-03\ngran 3 month\n",
+    );
+    let out = run(&args(&["calendar", "--calendar", cfg.to_str().unwrap()])).unwrap();
+    assert!(out.contains("3 month"), "{out}");
+    // The holiday shifts business-day tick 1 to Tuesday 2000-01-04.
+    assert!(out.contains("2000-01-04"), "{out}");
+    // Bad config is a user error.
+    let bad = temp_file("bad.cfg", "frobnicate\n");
+    assert!(run(&args(&["calendar", "--calendar", bad.to_str().unwrap()])).is_err());
+}
+
+#[test]
+fn csv_event_files() {
+    let spath = temp_file("structure4.json", STRUCTURE);
+    let epath = temp_file(
+        "events.csv",
+        "ty,time\nrise,208800\nreport,291600\nfall,500000\n",
+    );
+    let out = run(&args(&[
+        "match",
+        spath.to_str().unwrap(),
+        epath.to_str().unwrap(),
+        "--types",
+        "rise,report,fall",
+    ]))
+    .unwrap();
+    assert!(out.contains("1 completion(s)"), "{out}");
+}
+
+#[test]
+fn out_of_range_confidence_is_a_clean_error() {
+    let spath = temp_file("structure5.json", STRUCTURE);
+    let epath = temp_file("events3.json", EVENTS);
+    let err = run(&args(&[
+        "mine",
+        spath.to_str().unwrap(),
+        epath.to_str().unwrap(),
+        "--reference",
+        "rise",
+        "--confidence",
+        "1.5",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("within [0, 1]"), "{err}");
+}
+
+#[test]
+fn pinning_the_root_is_rejected() {
+    let spath = temp_file("structure6.json", STRUCTURE);
+    let epath = temp_file("events4.json", EVENTS);
+    let err = run(&args(&[
+        "mine",
+        spath.to_str().unwrap(),
+        epath.to_str().unwrap(),
+        "--reference",
+        "rise",
+        "--pin",
+        "0=fall",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("root variable"), "{err}");
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration: calendar → structure → propagation →
+//! sub-structures → TAG → mining → serialization, through the public facade
+//! API only.
+
+use tgm::core::propagate::propagate;
+use tgm::core::substructure::induced_substructure;
+use tgm::events::gen::{poisson_noise, with_planted};
+use tgm::events::io;
+use tgm::prelude::*;
+
+const DAY: i64 = 86_400;
+const HOUR: i64 = 3_600;
+
+/// The full path: define a pattern, generate data with planted
+/// occurrences, compile, mine, and verify the planted assignment wins.
+#[test]
+fn discovery_end_to_end() {
+    let cal = Calendar::standard();
+    let mut reg = TypeRegistry::new();
+    let build = reg.intern("build");
+    let deploy = reg.intern("deploy");
+    let incident = reg.intern("incident");
+    let chatter = reg.intern("chatter");
+
+    // build -> deploy the same business day, deploy -> incident 2-8 hours
+    // later.
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("X0");
+    let x1 = b.var("X1");
+    let x2 = b.var("X2");
+    b.constrain(x0, x1, Tcg::new(0, 0, cal.get("business-day").unwrap()));
+    b.constrain(x1, x2, Tcg::new(2, 8, cal.get("hour").unwrap()));
+    let s = b.build().unwrap();
+
+    // Plant the pattern on 12 Mondays; add noise.
+    let mut groups = Vec::new();
+    for k in 0..12i64 {
+        let monday = (2 + 7 * k) * DAY;
+        groups.push(vec![
+            (build, monday + 9 * HOUR),
+            (deploy, monday + 11 * HOUR),
+            (incident, monday + 14 * HOUR),
+        ]);
+    }
+    let noise = poisson_noise(&[chatter], 6.0 * 3_600.0, 0, 90 * DAY, 5);
+    let seq = with_planted(&noise, &groups);
+
+    let problem = DiscoveryProblem::new(s.clone(), 0.9, build);
+    let (pipe, stats) = pipeline::mine(&problem, &seq);
+    let (naive_sols, _) = naive::mine(&problem, &seq);
+    assert_eq!(pipe, naive_sols);
+    assert_eq!(pipe.len(), 1, "exactly the planted assignment: {pipe:?}");
+    assert_eq!(pipe[0].assignment, vec![build, deploy, incident]);
+    assert_eq!(pipe[0].support, 12);
+    assert!(stats.candidates_scanned <= stats.candidates_initial);
+
+    // The induced sub-structure over (root, incident) is matched by every
+    // planted occurrence restriction.
+    let p = propagate(&s);
+    let (sub, kept) = induced_substructure(&s, &p, &[x2]);
+    assert_eq!(kept, vec![x0, x2]);
+    for g in &groups {
+        assert!(sub.satisfied_by(&[g[0].1, g[2].1]));
+    }
+    let _ = x1;
+}
+
+/// JSON round-trips compose with matching.
+#[test]
+fn serialization_round_trip_preserves_matching() {
+    let cal = Calendar::standard();
+    let mut reg = TypeRegistry::new();
+    let a = reg.intern("A");
+    let b_ty = reg.intern("B");
+    let mut sb = SequenceBuilder::new();
+    sb.push(a, 2 * DAY + HOUR).push(b_ty, 3 * DAY + HOUR);
+    let seq = sb.build();
+
+    let json = io::to_json(&seq, &reg);
+    let (reg2, seq2) = io::from_json(&json).unwrap();
+    assert_eq!(seq.len(), seq2.len());
+
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("X0");
+    let x1 = b.var("X1");
+    b.constrain(x0, x1, Tcg::new(1, 1, cal.get("day").unwrap()));
+    let s = b.build().unwrap();
+
+    // Match with the re-parsed registry's ids.
+    let cet = ComplexEventType::new(
+        s,
+        vec![reg2.get("A").unwrap(), reg2.get("B").unwrap()],
+    );
+    let tag = build_tag(&cet);
+    assert!(Matcher::new(&tag).accepts(seq2.events()));
+}
+
+/// An inconsistent hypothesis is rejected before any data is touched.
+#[test]
+fn inconsistent_structure_is_screened_out() {
+    let cal = Calendar::standard();
+    let mut reg = TypeRegistry::new();
+    let a = reg.intern("A");
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("X0");
+    let x1 = b.var("X1");
+    // Same hour but at least two days later: impossible.
+    b.constrain(x0, x1, Tcg::new(0, 0, cal.get("hour").unwrap()));
+    b.constrain(x0, x1, Tcg::new(2, 5, cal.get("day").unwrap()));
+    let s = b.build().unwrap();
+    assert!(!propagate(&s).is_consistent());
+
+    let mut sb = SequenceBuilder::new();
+    sb.push(a, 0);
+    let (sols, stats) = pipeline::mine(&DiscoveryProblem::new(s, 0.1, a), &sb.build());
+    assert!(sols.is_empty());
+    assert!(stats.refuted);
+    assert_eq!(stats.tag_runs, 0);
+}
+
+/// The episode baseline and the TCG miner run on the same data and the
+/// episode miner cannot distinguish same-day from cross-midnight.
+#[test]
+fn episode_baseline_integration() {
+    use tgm::mining::episodes::{Episode, EpisodeMiner};
+    let mut reg = TypeRegistry::new();
+    let a = reg.intern("A");
+    let b_ty = reg.intern("B");
+    let mut sb = SequenceBuilder::new();
+    // Ten same-day pairs and ten cross-midnight pairs.
+    for k in 0..10i64 {
+        sb.push(a, 14 * k * DAY + 10 * HOUR);
+        sb.push(b_ty, 14 * k * DAY + 12 * HOUR);
+        sb.push(a, (14 * k + 7) * DAY + 23 * HOUR);
+        sb.push(b_ty, (14 * k + 8) * DAY + HOUR);
+    }
+    let seq = sb.build();
+    let miner = EpisodeMiner {
+        window: DAY,
+        shift: HOUR,
+        min_frequency: 0.0,
+        max_len: 2,
+    };
+    let f_ab = miner.frequency(&seq, &Episode::Serial(vec![a, b_ty]));
+    assert!(f_ab > 0.0);
+
+    // Episode semantics counts both kinds of pairs identically; the TCG
+    // [0,0] day separates them exactly.
+    let cal = Calendar::standard();
+    let same_day = Tcg::new(0, 0, cal.get("day").unwrap());
+    let matched = seq
+        .occurrences_of(a)
+        .filter(|e| {
+            seq.window(e.time..=e.time + DAY)
+                .iter()
+                .any(|x| x.ty == b_ty && same_day.satisfied(e.time, x.time))
+        })
+        .count();
+    assert_eq!(matched, 10);
+}
