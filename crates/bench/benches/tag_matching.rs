@@ -2,6 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tgm_bench::workloads::planted_stock_workload;
+use tgm_events::TickColumns;
+use tgm_granularity::cache;
 use tgm_tag::{build_tag, Matcher};
 
 fn bench_matching(c: &mut Criterion) {
@@ -17,6 +19,27 @@ fn bench_matching(c: &mut Criterion) {
             |b, _| {
                 let m = Matcher::new(&tag);
                 b.iter(|| m.run(events, false).accepted)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("example1_full_scan_nocache", events.len()),
+            &events.len(),
+            |b, _| {
+                cache::set_enabled(false);
+                let m = Matcher::new(&tag);
+                b.iter(|| m.run(events, false).accepted);
+                cache::set_enabled(true);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("example1_full_scan_columns", events.len()),
+            &events.len(),
+            |b, _| {
+                let grans: Vec<_> =
+                    tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+                let cols = TickColumns::build(events, &grans);
+                let m = Matcher::new(&tag);
+                b.iter(|| m.run_columns(events, &cols, 0, false).accepted)
             },
         );
     }

@@ -110,8 +110,8 @@ pub fn run() {
         let x2 = b.var("X2");
         let tcg = |rng: &mut StdRng| {
             let g = all[rng.gen_range(0..all.len())].clone();
-            let lo = rng.gen_range(0..6);
-            Tcg::new(lo, lo + rng.gen_range(0..4), g)
+            let lo = rng.gen_range(0u64..6);
+            Tcg::new(lo, lo + rng.gen_range(0u64..4), g)
         };
         b.constrain(x0, x1, tcg(&mut rng));
         b.constrain(x1, x2, tcg(&mut rng));

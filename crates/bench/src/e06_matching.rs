@@ -5,7 +5,7 @@
 
 use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
 use tgm_events::{EventSequence, TypeRegistry};
-use tgm_granularity::Calendar;
+use tgm_granularity::{cache, Calendar};
 use tgm_tag::{build_tag, Matcher};
 
 use crate::workloads::planted_stock_workload;
@@ -16,24 +16,82 @@ pub fn run() {
     println!("\n## E6 — Theorem 4: TAG matching complexity");
     let cal = Calendar::standard();
 
-    // (1) vs sequence length, matching Example 1 over stock data.
+    // (1) vs sequence length, matching Example 1 over stock data — the
+    // shared resolution layer ablation: pre-resolved tick columns (the
+    // layer's intended fast path), direct resolution through the warm
+    // per-granularity cache, and direct resolution with the cache off.
     let mut rows = Vec::new();
     for days in [30i64, 90, 270, 810] {
         let w = planted_stock_workload(days, &[], (days / 30) as usize, 42);
         let tag = build_tag(&w.cet);
         let m = Matcher::new(&tag);
         let events = w.sequence.events();
+        let grans: Vec<_> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+        cache::set_enabled(true);
+        let (cols, cols_ms) = timed(|| tgm_events::TickColumns::build(events, &grans));
+        let (stats_cols, run_ms) = timed(|| m.run_columns(events, &cols, 0, false));
+        let cols_total_ms = cols_ms + run_ms;
+        let (_, _) = timed(|| m.run(events, false)); // warm the cache
         let (stats, ms) = timed(|| m.run(events, false));
+        cache::set_enabled(false);
+        let (stats_off, ms_off) = timed(|| m.run(events, false));
+        cache::set_enabled(true);
+        assert_eq!(stats.accepted, stats_off.accepted, "cache is semantics-preserving");
+        assert_eq!(stats.accepted, stats_cols.accepted, "columns are semantics-preserving");
         rows.push(vec![
             events.len().to_string(),
+            format!("{cols_total_ms:.1}"),
             format!("{ms:.1}"),
+            format!("{ms_off:.1}"),
             stats.peak_configs.to_string(),
             stats.accepted.to_string(),
         ]);
     }
     print_table(
         "Matching time vs sequence length |σ| (Example 1 TAG)",
-        &["events", "ms", "peak frontier", "accepted"],
+        &["events", "ms (columns, incl. build)", "ms (cache)", "ms (no cache)", "peak frontier", "accepted"],
+        &rows,
+    );
+
+    // (1b) The same ablation with *grouped* granularity clocks
+    // (business-week / business-month group business days into calendar
+    // frames: every uncached resolution materializes interval sets and
+    // checks containment), where the shared resolution cache pays off.
+    let bweek = cal.get("business-week").unwrap();
+    let bmonth = cal.get("business-month").unwrap();
+    let mut rows = Vec::new();
+    for days in [30i64, 90, 270] {
+        let w = planted_stock_workload(days, &[], 0, 44);
+        let ibm_rise = w_type(&w.registry, "IBM-rise");
+        let ibm_fall = w_type(&w.registry, "IBM-fall");
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        let x2 = sb.var("X2");
+        sb.constrain(x0, x1, Tcg::new(0, 1, bweek.clone()));
+        sb.constrain(x1, x2, Tcg::new(0, 1, bmonth.clone()));
+        let s = sb.build().unwrap();
+        let cet = ComplexEventType::new(s, vec![ibm_rise, ibm_fall, ibm_rise]);
+        let tag = build_tag(&cet);
+        let m = Matcher::new(&tag);
+        let events = w.sequence.events();
+        cache::set_enabled(true);
+        let (_, _) = timed(|| m.run(events, false)); // warm the cache
+        let (stats, ms) = timed(|| m.run(events, false));
+        cache::set_enabled(false);
+        let (stats_off, ms_off) = timed(|| m.run(events, false));
+        cache::set_enabled(true);
+        assert_eq!(stats.accepted, stats_off.accepted, "cache is semantics-preserving");
+        rows.push(vec![
+            events.len().to_string(),
+            format!("{ms:.1}"),
+            format!("{ms_off:.1}"),
+            format!("{:.1}x", ms_off / ms.max(0.001)),
+        ]);
+    }
+    print_table(
+        "Matching time with grouped-granularity clocks ([0,1] business-week, [0,1] business-month chain)",
+        &["events", "ms (cache)", "ms (no cache)", "cache speedup"],
         &rows,
     );
 

@@ -4,7 +4,8 @@
 //! Measures full-discovery wall time against sequence length and alphabet
 //! size.
 
-use tgm_core::VarId;
+use tgm_core::{StructureBuilder, Tcg, VarId};
+use tgm_granularity::{cache, Calendar};
 use tgm_mining::pipeline::{mine_with, PipelineOptions};
 use tgm_mining::{naive, DiscoveryProblem};
 
@@ -20,7 +21,14 @@ pub fn run() {
     };
     let parallel = PipelineOptions::default();
 
-    // vs sequence length.
+    // vs sequence length, with the shared resolution layer (tick columns +
+    // per-granularity cache) on and off for the serial pipeline — the off
+    // column resolves every tick per use, the pre-layer behavior.
+    let serial_off = PipelineOptions {
+        parallel: false,
+        use_tick_columns: false,
+        ..PipelineOptions::default()
+    };
     let mut rows = Vec::new();
     for days in [90i64, 180, 360, 720] {
         let w = daily_stock_workload(days, &[], 0.85, 11);
@@ -29,20 +37,75 @@ pub fn run() {
                 .with_candidates(VarId(3), [w.types.ibm_fall]);
         let ((nsols, _), nms) = timed(|| naive::mine(&problem, &w.sequence));
         let ((psols, _), pms) = timed(|| mine_with(&problem, &w.sequence, &serial));
+        cache::set_enabled(false);
+        let ((psols_off, _), pms_off) =
+            timed(|| mine_with(&problem, &w.sequence, &serial_off));
+        cache::set_enabled(true);
         let ((_, _), pms_par) = timed(|| mine_with(&problem, &w.sequence, &parallel));
         assert_eq!(nsols, psols);
+        assert_eq!(psols, psols_off, "cache is semantics-preserving");
         rows.push(vec![
             days.to_string(),
             w.sequence.len().to_string(),
             format!("{nms:.0}"),
             format!("{pms:.0}"),
+            format!("{pms_off:.0}"),
             format!("{pms_par:.0}"),
             format!("{:.1}x", nms / pms.max(0.001)),
         ]);
     }
     print_table(
         "Discovery time vs sequence length (2 symbols, ϑ = 0.6)",
-        &["days", "events", "naive ms", "pipeline ms", "pipeline ms (parallel)", "speedup"],
+        &[
+            "days",
+            "events",
+            "naive ms",
+            "pipeline ms",
+            "pipeline ms (resolution layer off)",
+            "pipeline ms (parallel)",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    // vs granularity cost: the same discovery over a structure constrained
+    // in *grouped* granularities (business-week / business-month), whose
+    // uncached resolution materializes interval sets per call — the shared
+    // resolution layer's win case. Both modes are warmed once before
+    // timing so one-time setup doesn't bias the first row.
+    let cal = Calendar::shared_standard();
+    let bweek = cal.get("business-week").unwrap();
+    let bmonth = cal.get("business-month").unwrap();
+    let mut rows = Vec::new();
+    for days in [180i64, 360, 720] {
+        let w = daily_stock_workload(days, &[], 0.85, 19);
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        let x2 = sb.var("X2");
+        sb.constrain(x0, x1, Tcg::new(0, 1, bweek.clone()));
+        sb.constrain(x1, x2, Tcg::new(0, 1, bmonth.clone()));
+        let s = sb.build().unwrap();
+        let problem = DiscoveryProblem::new(s, 0.3, w.types.ibm_rise);
+        let _ = mine_with(&problem, &w.sequence, &serial); // warm
+        let ((sols_on, _), ms_on) = timed(|| mine_with(&problem, &w.sequence, &serial));
+        cache::set_enabled(false);
+        let _ = mine_with(&problem, &w.sequence, &serial_off); // warm
+        let ((sols_off, _), ms_off) =
+            timed(|| mine_with(&problem, &w.sequence, &serial_off));
+        cache::set_enabled(true);
+        assert_eq!(sols_on, sols_off, "resolution layer is semantics-preserving");
+        rows.push(vec![
+            days.to_string(),
+            w.sequence.len().to_string(),
+            format!("{ms_on:.0}"),
+            format!("{ms_off:.0}"),
+            format!("{:.1}x", ms_off / ms_on.max(0.001)),
+        ]);
+    }
+    print_table(
+        "Discovery over grouped granularities (business-week/business-month chain, ϑ = 0.3)",
+        &["days", "events", "pipeline ms (layer on)", "pipeline ms (layer off)", "layer speedup"],
         &rows,
     );
 

@@ -1,18 +1,21 @@
 //! E11 — ablations of this implementation's own design choices (DESIGN.md
-//! §3): clock-reading saturation in the matcher, and minimal (min-flow)
-//! vs greedy chain covers in the TAG construction.
+//! §3): clock-reading saturation in the matcher, minimal (min-flow) vs
+//! greedy chain covers in the TAG construction, and the shared
+//! granularity-resolution cache.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg, VarId};
 use tgm_events::TypeRegistry;
-use tgm_granularity::Calendar;
+use tgm_granularity::{cache, Calendar};
+use tgm_mining::pipeline::{mine_with, PipelineOptions};
+use tgm_mining::DiscoveryProblem;
 use tgm_tag::{
     build_tag, build_tag_with_cover, greedy_chain_cover, minimal_chain_cover, MatchOptions,
     Matcher,
 };
 
-use crate::workloads::planted_stock_workload;
+use crate::workloads::{daily_stock_workload, planted_stock_workload};
 use crate::{print_table, timed};
 
 /// Runs E11 and prints its tables.
@@ -123,6 +126,50 @@ pub fn run() {
             "TAG states (minimal)",
             "TAG states (greedy)",
         ],
+        &rows,
+    );
+
+    // (3) Resolution cache: end-to-end discovery with the shared
+    // granularity-resolution layer (tick columns + per-granularity cache)
+    // on vs off, with the process-wide hit/miss counters for each run.
+    // Results are asserted identical.
+    let serial = PipelineOptions {
+        parallel: false,
+        ..PipelineOptions::default()
+    };
+    let serial_off = PipelineOptions {
+        use_tick_columns: false,
+        ..serial
+    };
+    let mut rows = Vec::new();
+    for days in [180i64, 360] {
+        let w = daily_stock_workload(days, &[], 0.85, 17);
+        let problem =
+            DiscoveryProblem::new(w.cet.structure().clone(), 0.6, w.types.ibm_rise)
+                .with_candidates(VarId(3), [w.types.ibm_fall]);
+        let mut sols_by_mode = Vec::new();
+        for on in [true, false] {
+            cache::set_enabled(on);
+            cache::reset_global_stats();
+            let opts = if on { &serial } else { &serial_off };
+            let ((sols, _), ms) = timed(|| mine_with(&problem, &w.sequence, opts));
+            let stats = cache::global_stats();
+            sols_by_mode.push(sols);
+            rows.push(vec![
+                days.to_string(),
+                if on { "on" } else { "off" }.to_string(),
+                format!("{ms:.0}"),
+                stats.hits.to_string(),
+                stats.misses.to_string(),
+                format!("{:.1}%", stats.hit_rate() * 100.0),
+            ]);
+        }
+        cache::set_enabled(true);
+        assert_eq!(sols_by_mode[0], sols_by_mode[1], "cache changed mining results");
+    }
+    print_table(
+        "Resolution cache: discovery pipeline with the shared cache on vs off",
+        &["days", "cache", "ms", "hits", "misses", "hit rate"],
         &rows,
     );
 }

@@ -49,7 +49,9 @@ fn empirical_bounds(src: &Tcg, target: &tgm_granularity::Gran) -> Option<(i64, i
 /// Runs E12 and prints its table.
 pub fn run() {
     println!("\n## E12 — Conversion tightness (Appendix A.1 is an approximation)");
-    let cal = Calendar::standard();
+    // The shared calendar keeps size tables and tick resolutions warm
+    // across the empirical 2-year scans below.
+    let cal = Calendar::shared_standard();
     let cases = [
         ("[0,0] day → hour", Tcg::new(0, 0, cal.get("day").unwrap()), "hour"),
         ("[0,0] day → second", Tcg::new(0, 0, cal.get("day").unwrap()), "second"),

@@ -131,7 +131,7 @@ pub fn planted_stock_workload(
         .collect();
     for k in 0..planted {
         let monday = mondays[k % mondays.len()] * DAY;
-        let jitter = rng.gen_range(0..1_800);
+        let jitter = rng.gen_range(0i64..1_800);
         groups.push(vec![
             (types.ibm_rise, monday + 10 * 3_600 + jitter),
             (types.ibm_report, monday + DAY + 9 * 3_600 + jitter),

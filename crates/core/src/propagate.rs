@@ -39,14 +39,56 @@
 //! endpoints are defined by construction, or the granularity is gap-free),
 //! so derived finite bounds hold for every matching event.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use tgm_granularity::{builtin, Gran, Granularity};
+use tgm_granularity::{cache, Calendar, Gran, Granularity};
 use tgm_stp::{MinimalNetwork, Range, Stp, INF};
-
 
 use crate::structure::{EventStructure, VarId};
 use crate::tcg::Tcg;
+
+/// Conversions are pure functions of (source granularity instance, target
+/// granularity instance, bounds); identical ranges recur across propagation
+/// calls whenever the same calendar is reused (the mining pipeline invokes
+/// propagation once per candidate sub-structure), so the memo is
+/// process-wide. Keys use [`Gran::instance_id`] — process-unique and never
+/// reused — so name collisions (e.g. `business-day` with different holiday
+/// sets) cannot alias.
+type ConvKey = (u64, u64, i64, i64);
+
+fn converted_bounds_cached(
+    src: &Gran,
+    dst: &Gran,
+    lo: i64,
+    hi: i64,
+    local: &mut HashMap<ConvKey, Option<(i64, i64)>>,
+) -> Option<(i64, i64)> {
+    let key = (src.instance_id(), dst.instance_id(), lo, hi);
+    let compute = |src: &Gran, dst: &Gran| {
+        let src_tcg = Tcg::new(lo as u64, hi as u64, src.clone());
+        crate::convert::convert_constraint_for_defined_ticks(&src_tcg, dst)
+            .map(|c| (c.lo() as i64, c.hi() as i64))
+    };
+    if !cache::enabled() {
+        // Ablation mode: fall back to a per-call memo so propagation retains
+        // its original (pre-shared-cache) behavior.
+        return *local.entry(key).or_insert_with(|| compute(src, dst));
+    }
+    type ConvMap = HashMap<ConvKey, Option<(i64, i64)>>;
+    static GLOBAL: parking_lot::Mutex<Option<ConvMap>> = parking_lot::Mutex::new(None);
+    const MAX_ENTRIES: usize = 1 << 16;
+    let mut guard = GLOBAL.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(v) = map.get(&key) {
+        return *v;
+    }
+    let v = compute(src, dst);
+    if map.len() >= MAX_ENTRIES {
+        map.clear();
+    }
+    map.insert(key, v);
+    v
+}
 
 /// Options for [`propagate_with`].
 #[derive(Clone, Debug)]
@@ -221,7 +263,12 @@ pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated
     let n = s.len();
     let mut grans = s.granularities();
     if opts.include_seconds && !grans.iter().any(|g| g.name() == "second") {
-        grans.push(Gran::new(builtin::second()));
+        // The shared handle keeps one warm size table and resolution cache
+        // across every propagation call instead of rebuilding them here.
+        let second = Calendar::shared_standard()
+            .get("second")
+            .expect("standard calendar defines `second`");
+        grans.push(second);
         grans.sort();
     }
 
@@ -289,12 +336,9 @@ pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated
         }
     }
 
-    // Conversions are pure functions of (source bounds, source, target);
-    // identical ranges recur across iterations and variable pairs, so
-    // memoize them: (src group, dst group, lo, hi) -> converted bounds.
-    type ConvKey = (usize, usize, i64, i64);
-    let mut conv_cache: std::collections::HashMap<ConvKey, Option<(i64, i64)>> =
-        std::collections::HashMap::new();
+    // Per-call fallback memo used when the shared cache layer is disabled
+    // (see `converted_bounds_cached`).
+    let mut conv_local: HashMap<ConvKey, Option<(i64, i64)>> = HashMap::new();
 
     // Alternate conversion + incremental re-tightening to a fixpoint.
     let mut iterations = 0usize;
@@ -324,17 +368,13 @@ pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated
                         if r.lo < 0 || r.hi >= INF {
                             continue;
                         }
-                        let converted = *conv_cache
-                            .entry((src_idx, dst_idx, r.lo, r.hi))
-                            .or_insert_with(|| {
-                                let src_tcg =
-                                    Tcg::new(r.lo as u64, r.hi as u64, grans[src_idx].clone());
-                                crate::convert::convert_constraint_for_defined_ticks(
-                                    &src_tcg,
-                                    &grans[dst_idx],
-                                )
-                                .map(|c| (c.lo() as i64, c.hi() as i64))
-                            });
+                        let converted = converted_bounds_cached(
+                            &grans[src_idx],
+                            &grans[dst_idx],
+                            r.lo,
+                            r.hi,
+                            &mut conv_local,
+                        );
                         let Some((clo, chi)) = converted else {
                             continue;
                         };

@@ -110,9 +110,9 @@ pub fn stock_market(
             bdays_to_report -= 1;
             if bdays_to_report == 0 {
                 // Reports land in the morning before the open.
-                b.push(report, base + 8 * 3_600 + rng.gen_range(0..1_800));
+                b.push(report, base + 8 * 3_600 + rng.gen_range(0i64..1_800));
                 bdays_to_report = cfg.report_period_bdays
-                    + rng.gen_range(-5..=5).max(1 - cfg.report_period_bdays);
+                    + rng.gen_range(-5i64..=5).max(1 - cfg.report_period_bdays);
             }
         }
     }
@@ -167,7 +167,7 @@ pub fn atm_transactions(cfg: &AtmConfig, reg: &mut TypeRegistry) -> EventSequenc
     for _customer in 0..cfg.customers {
         for day in 0..cfg.days {
             if weekday_from_days(day) == Weekday::Fri {
-                b.push(salary, day * DAY + rng.gen_range(6 * 3_600..10 * 3_600));
+                b.push(salary, day * DAY + rng.gen_range(6i64 * 3_600..10 * 3_600));
             }
             let n = poisson_count(&mut rng, cfg.txns_per_day);
             for _ in 0..n {
@@ -181,7 +181,7 @@ pub fn atm_transactions(cfg: &AtmConfig, reg: &mut TypeRegistry) -> EventSequenc
                         break;
                     }
                 }
-                b.push(ty, day * DAY + rng.gen_range(7 * 3_600..22 * 3_600));
+                b.push(ty, day * DAY + rng.gen_range(7i64 * 3_600..22 * 3_600));
             }
         }
     }
@@ -236,14 +236,14 @@ pub fn plant_telemetry(cfg: &PlantConfig, reg: &mut TypeRegistry) -> EventSequen
             b.push(ty, day * DAY + rng.gen_range(0..DAY));
         }
         if rng.gen_bool((1.0 / cfg.cascade_period_days).min(1.0)) {
-            let t0 = day * DAY + rng.gen_range(0..18 * 3_600);
+            let t0 = day * DAY + rng.gen_range(0i64..18 * 3_600);
             b.push(temp, t0);
-            let t1 = t0 + rng.gen_range(2 * 3_600..6 * 3_600);
+            let t1 = t0 + rng.gen_range(2i64 * 3_600..6 * 3_600);
             b.push(pressure, t1);
-            let t2 = (day + 1) * DAY + rng.gen_range(8 * 3_600..16 * 3_600);
+            let t2 = (day + 1) * DAY + rng.gen_range(8i64 * 3_600..16 * 3_600);
             b.push(valve, t2);
             if rng.gen_bool(0.3) {
-                b.push(shutdown, t2 + rng.gen_range(600..7_200));
+                b.push(shutdown, t2 + rng.gen_range(600i64..7_200));
             }
         }
     }

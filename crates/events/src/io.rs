@@ -1,54 +1,60 @@
 //! JSON import/export of event sequences (types stored by name).
 
-use serde::{Deserialize, Serialize};
-
+use crate::minijson::{self, JsonError, Value};
 use crate::{Event, EventSequence, TypeRegistry};
-
-#[derive(Serialize, Deserialize)]
-struct JsonEvent {
-    /// Event-type name.
-    ty: String,
-    /// Timestamp in seconds since the epoch.
-    time: i64,
-}
 
 /// Serializes a sequence to a JSON array of `{ty, time}` records.
 pub fn to_json(seq: &EventSequence, reg: &TypeRegistry) -> String {
-    let recs: Vec<JsonEvent> = seq
-        .events()
-        .iter()
-        .map(|e| JsonEvent {
-            ty: reg.name(e.ty).to_owned(),
-            time: e.time,
+    let mut out = String::from("[");
+    for (i, e) in seq.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ty\":");
+        minijson::write_escaped(&mut out, reg.name(e.ty));
+        out.push_str(&format!(",\"time\":{}}}", e.time));
+    }
+    out.push(']');
+    out
+}
+
+fn events_from_value(json: &str, reg: &mut TypeRegistry) -> Result<Vec<Event>, JsonError> {
+    let shape_err = |msg: &str| JsonError {
+        line: 0,
+        column: 0,
+        message: msg.to_string(),
+    };
+    let doc = minijson::parse(json)?;
+    let recs = doc
+        .as_array()
+        .ok_or_else(|| shape_err("expected a JSON array of event records"))?;
+    recs.iter()
+        .map(|rec| {
+            let ty = rec
+                .get("ty")
+                .and_then(Value::as_str)
+                .ok_or_else(|| shape_err("event record needs a string `ty` field"))?;
+            let time = rec
+                .get("time")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| shape_err("event record needs an integer `time` field"))?;
+            Ok(Event::new(reg.intern(ty), time))
         })
-        .collect();
-    serde_json::to_string(&recs).expect("event records always serialize")
+        .collect()
 }
 
 /// Parses a JSON array of `{ty, time}` records, interning type names into a
 /// fresh registry.
-pub fn from_json(json: &str) -> Result<(TypeRegistry, EventSequence), serde_json::Error> {
-    let recs: Vec<JsonEvent> = serde_json::from_str(json)?;
+pub fn from_json(json: &str) -> Result<(TypeRegistry, EventSequence), JsonError> {
     let mut reg = TypeRegistry::new();
-    let events = recs
-        .into_iter()
-        .map(|r| Event::new(reg.intern(&r.ty), r.time))
-        .collect();
+    let events = events_from_value(json, &mut reg)?;
     Ok((reg, EventSequence::from_events(events)))
 }
 
 /// Parses records into an *existing* registry (types shared with other
 /// sequences).
-pub fn from_json_into(
-    json: &str,
-    reg: &mut TypeRegistry,
-) -> Result<EventSequence, serde_json::Error> {
-    let recs: Vec<JsonEvent> = serde_json::from_str(json)?;
-    let events = recs
-        .into_iter()
-        .map(|r| Event::new(reg.intern(&r.ty), r.time))
-        .collect();
-    Ok(EventSequence::from_events(events))
+pub fn from_json_into(json: &str, reg: &mut TypeRegistry) -> Result<EventSequence, JsonError> {
+    Ok(EventSequence::from_events(events_from_value(json, reg)?))
 }
 
 #[cfg(test)]

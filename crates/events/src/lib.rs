@@ -9,9 +9,12 @@
 mod registry;
 mod sequence;
 
+pub mod columns;
 pub mod gen;
 pub mod io;
+pub mod minijson;
 pub mod stats;
 
+pub use columns::TickColumns;
 pub use registry::{EventType, TypeRegistry};
 pub use sequence::{Event, EventSequence, SequenceBuilder};

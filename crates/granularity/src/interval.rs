@@ -9,7 +9,6 @@ use crate::granularity::Second;
 
 /// A non-empty closed interval `[start, end]` of seconds.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     /// First instant of the interval (inclusive).
     pub start: Second,
@@ -56,7 +55,6 @@ impl fmt::Debug for Interval {
 /// A non-empty set of instants represented as sorted, disjoint,
 /// non-adjacent closed intervals.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalSet {
     ivs: Vec<Interval>,
 }

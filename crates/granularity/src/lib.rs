@@ -30,6 +30,8 @@
 //! * [`SizeTable`] — `minsize`/`maxsize`/`mingap` used by the constraint
 //!   conversion algorithm of the paper's Appendix A.1.
 //! * [`Calendar`] — a registry of named granularities.
+//! * [`cache`] — the shared, thread-safe resolution cache every [`Gran`]
+//!   handle carries ([`CacheStats`], ablation switch).
 //!
 //! # Example
 //!
@@ -61,6 +63,7 @@ mod registry;
 mod size_table;
 
 pub mod builtin;
+pub mod cache;
 pub mod datetime;
 pub mod parse;
 pub mod relations;
@@ -69,9 +72,17 @@ pub use calendar_math::{
     civil_from_days, days_from_civil, days_in_month, is_leap_year, weekday_from_days, CivilDate,
     Weekday, EPOCH_YEAR,
 };
+pub use cache::CacheStats;
 pub use convert::{convert_tick, tick_covers};
 pub use datetime::{datetime_of, format_instant, instant, DateTime};
-pub use parse::{calendar_from_config, parse_granularity};
+#[deprecated(
+    note = "duplicate re-export path: use `tgm_granularity::parse::calendar_from_config`"
+)]
+pub use parse::calendar_from_config;
+#[deprecated(
+    note = "duplicate re-export path: use `tgm_granularity::parse::parse_granularity`"
+)]
+pub use parse::parse_granularity;
 pub use error::GranularityError;
 pub use granularity::{Granularity, Second, Tick};
 pub use interval::{Interval, IntervalSet};

@@ -3,17 +3,22 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::builtin;
+use crate::cache::{CacheStats, ResolutionCache};
 use crate::error::GranularityError;
 use crate::granularity::{Granularity, Second, Tick};
 use crate::interval::IntervalSet;
 use crate::size_table::SizeTable;
 
 /// A cheap-to-clone handle to a registered granularity, carrying its
-/// memoized [`SizeTable`]. Equality and hashing are by name (names are
-/// unique within a [`Calendar`]).
+/// memoized [`SizeTable`] and [resolution cache](crate::cache). Equality
+/// and hashing are by name (names are unique within a [`Calendar`]).
+///
+/// All clones of a handle share the same inner state, so ticks resolved by
+/// one layer (say, the matcher) are cache hits for every other layer using
+/// the same calendar.
 #[derive(Clone)]
 pub struct Gran {
     inner: Arc<GranInner>,
@@ -22,6 +27,9 @@ pub struct Gran {
 struct GranInner {
     gran: Arc<dyn Granularity>,
     sizes: SizeTable,
+    cache: ResolutionCache,
+    /// Process-unique, never reused; keys cross-granularity memo entries.
+    id: u64,
 }
 
 impl Gran {
@@ -30,6 +38,8 @@ impl Gran {
         Gran {
             inner: Arc::new(GranInner {
                 sizes: SizeTable::new(Arc::clone(&gran)),
+                cache: ResolutionCache::new(),
+                id: crate::cache::next_instance_id(),
                 gran,
             }),
         }
@@ -54,6 +64,37 @@ impl Gran {
     pub fn sizes(&self) -> &SizeTable {
         &self.inner.sizes
     }
+
+    /// A process-unique id for this handle's shared inner state. Ids are
+    /// never reused, which makes them safe keys for cross-granularity
+    /// memoization (names are not: two `business-day` granularities with
+    /// different holiday sets share a name).
+    pub fn instance_id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Hit/miss counters of this granularity's resolution cache
+    /// (aggregated over all clones of the handle).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Drops all memoized resolutions for this granularity (counters are
+    /// kept).
+    pub fn clear_cache(&self) {
+        self.inner.cache.clear();
+    }
+
+    /// Cached `⌈z⌉ᵘᵥ`: the tick of `target` covering tick `z` of `self`.
+    /// Same semantics as [`convert_tick`](crate::convert_tick), with the
+    /// result memoized under (target, z).
+    pub fn convert_tick_to(&self, z: Tick, target: &Gran) -> Option<Tick> {
+        self.inner
+            .cache
+            .convert_tick(target.instance_id(), z, || {
+                crate::convert::convert_tick(self, z, target)
+            })
+    }
 }
 
 impl Granularity for Gran {
@@ -61,10 +102,14 @@ impl Granularity for Gran {
         self.inner.gran.name()
     }
     fn covering_tick(&self, t: Second) -> Option<Tick> {
-        self.inner.gran.covering_tick(t)
+        self.inner
+            .cache
+            .covering_tick(t, || self.inner.gran.covering_tick(t))
     }
     fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
-        self.inner.gran.tick_intervals(z)
+        self.inner
+            .cache
+            .tick_intervals(z, || self.inner.gran.tick_intervals(z))
     }
     fn has_gaps(&self) -> bool {
         self.inner.gran.has_gaps()
@@ -137,6 +182,17 @@ impl Calendar {
     /// The standard calendar with no holidays.
     pub fn standard() -> Self {
         Self::with_holidays(Vec::new())
+    }
+
+    /// A process-wide shared instance of [`Calendar::standard`].
+    ///
+    /// All callers get the *same* [`Gran`] handles, so size tables and
+    /// resolution caches warmed anywhere accelerate everyone. Prefer this
+    /// over `Calendar::standard()` in hot paths that need a throwaway
+    /// builtin granularity.
+    pub fn shared_standard() -> &'static Calendar {
+        static SHARED: OnceLock<Calendar> = OnceLock::new();
+        SHARED.get_or_init(Calendar::standard)
     }
 
     /// The standard calendar whose business types exclude the given holiday

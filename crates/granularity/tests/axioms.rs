@@ -18,10 +18,10 @@ fn all_grans() -> Vec<Gran> {
     grans.push(Gran::new(builtin::trading_hours(vec![2, 6])));
     grans.push(Gran::new(builtin::Months::with_anchor("fiscal-year", 12, 3)));
     grans.push(Gran::new(builtin::Months::with_anchor("odd-quarter", 3, 2)));
-    grans.push(tgm_granularity::parse_granularity("90 minute").unwrap());
-    grans.push(tgm_granularity::parse_granularity("days(mon,wed,fri)").unwrap());
-    grans.push(tgm_granularity::parse_granularity("days(sat,sun) into week").unwrap());
-    grans.push(tgm_granularity::parse_granularity("08:00-12:00 of days(mon,tue)").unwrap());
+    grans.push(tgm_granularity::parse::parse_granularity("90 minute").unwrap());
+    grans.push(tgm_granularity::parse::parse_granularity("days(mon,wed,fri)").unwrap());
+    grans.push(tgm_granularity::parse::parse_granularity("days(sat,sun) into week").unwrap());
+    grans.push(tgm_granularity::parse::parse_granularity("08:00-12:00 of days(mon,tue)").unwrap());
     grans
 }
 
@@ -209,7 +209,7 @@ proptest! {
     /// The spec parser never panics on arbitrary input.
     #[test]
     fn spec_parser_never_panics(s in "\\PC{0,40}") {
-        let _ = tgm_granularity::parse_granularity(&s);
-        let _ = tgm_granularity::calendar_from_config(&s);
+        let _ = tgm_granularity::parse::parse_granularity(&s);
+        let _ = tgm_granularity::parse::calendar_from_config(&s);
     }
 }

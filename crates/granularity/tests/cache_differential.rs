@@ -1,0 +1,101 @@
+//! Differential property tests for the shared resolution cache: for every
+//! builtin (and parsed) granularity, resolution through the cache — cold
+//! (miss path) and warm (hit path) — must agree bit-for-bit with direct
+//! calendar arithmetic (cache disabled).
+//!
+//! The enable flag is process-wide, so every test in this binary
+//! serializes on one lock; other test binaries run in their own process.
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use tgm_granularity::{builtin, cache, convert_tick, Calendar, Gran, Granularity};
+
+const DAY: i64 = 86_400;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Fresh granularity instances (cold caches) covering every builtin
+/// flavour: periodic, month-based, filtered days with holidays, grouped,
+/// and parsed specs.
+fn fresh_grans() -> Vec<Gran> {
+    let mut grans: Vec<Gran> = Calendar::with_holidays(vec![4, 17, 200, 366])
+        .iter()
+        .cloned()
+        .collect();
+    grans.push(Gran::new(builtin::trading_hours(vec![4, 17])));
+    grans.push(Gran::new(builtin::Months::with_anchor("fiscal-year", 12, 3)));
+    grans.push(tgm_granularity::parse::parse_granularity("90 minute").unwrap());
+    grans.push(tgm_granularity::parse::parse_granularity("days(mon,wed,fri)").unwrap());
+    grans.push(
+        tgm_granularity::parse::parse_granularity("days(sat,sun) into week").unwrap(),
+    );
+    grans
+}
+
+proptest! {
+    /// covering_tick and tick_intervals: disabled == cold cache == warm
+    /// cache, for random instants and ticks in every granularity.
+    #[test]
+    fn resolution_agrees_with_cache_on_and_off(
+        t in -400i64 * DAY..400 * DAY,
+        z in -3_000i64..3_000,
+    ) {
+        let _serial = TEST_LOCK.lock();
+        for g in fresh_grans() {
+            cache::set_enabled(false);
+            let cov_direct = g.covering_tick(t);
+            let ints_direct = g.tick_intervals(z);
+            cache::set_enabled(true);
+            let cov_miss = g.covering_tick(t); // cold: miss path
+            let cov_hit = g.covering_tick(t); // warm: hit path
+            let ints_miss = g.tick_intervals(z);
+            let ints_hit = g.tick_intervals(z);
+            cache::set_enabled(true);
+            prop_assert_eq!(cov_direct, cov_miss, "{}: covering miss path", g.name());
+            prop_assert_eq!(cov_direct, cov_hit, "{}: covering hit path", g.name());
+            prop_assert_eq!(&ints_direct, &ints_miss, "{}: intervals miss path", g.name());
+            prop_assert_eq!(&ints_direct, &ints_hit, "{}: intervals hit path", g.name());
+        }
+    }
+
+    /// Tick conversion through the per-granularity memo
+    /// (`Gran::convert_tick_to`) agrees with the direct free function for
+    /// every ordered pair of granularities, cold and warm.
+    #[test]
+    fn conversion_agrees_with_cache_on_and_off(
+        z in -2_000i64..2_000,
+        i in 0usize..64,
+        j in 0usize..64,
+    ) {
+        let _serial = TEST_LOCK.lock();
+        let grans = fresh_grans();
+        let src = &grans[i % grans.len()];
+        let dst = &grans[j % grans.len()];
+        cache::set_enabled(false);
+        let direct = convert_tick(src, z, dst);
+        let memo_disabled = src.convert_tick_to(z, dst);
+        cache::set_enabled(true);
+        let memo_miss = src.convert_tick_to(z, dst);
+        let memo_hit = src.convert_tick_to(z, dst);
+        cache::set_enabled(true);
+        prop_assert_eq!(direct, memo_disabled, "{}->{} disabled", src.name(), dst.name());
+        prop_assert_eq!(direct, memo_miss, "{}->{} miss path", src.name(), dst.name());
+        prop_assert_eq!(direct, memo_hit, "{}->{} hit path", src.name(), dst.name());
+    }
+}
+
+/// Warm state left behind by one mode can never leak into the other: a
+/// cache warmed with garbage-free entries then disabled must not be read.
+#[test]
+fn disabling_mid_stream_keeps_results_identical() {
+    let _serial = TEST_LOCK.lock();
+    let g = Gran::new(builtin::business_day(vec![4, 17]));
+    for t in (-40 * DAY..40 * DAY).step_by(7_919) {
+        cache::set_enabled(true);
+        let warm = g.covering_tick(t);
+        cache::set_enabled(false);
+        let direct = g.covering_tick(t);
+        assert_eq!(warm, direct, "t = {t}");
+    }
+    cache::set_enabled(true);
+}

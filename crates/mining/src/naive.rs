@@ -2,7 +2,7 @@
 //! complex type and start one TAG per reference occurrence.
 
 use tgm_core::ComplexEventType;
-use tgm_events::{Event, EventSequence, EventType};
+use tgm_events::{Event, EventSequence, EventType, TickColumns};
 use tgm_tag::{build_tag, MatchOptions, Matcher, Tag};
 
 use crate::problem::{DiscoveryProblem, Solution};
@@ -34,6 +34,10 @@ pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, 
         .map(|(i, _)| i)
         .collect();
 
+    // Every candidate's TAG clocks over the structure's granularities:
+    // resolve each event's ticks once, up front, for all of them.
+    let cols = TickColumns::build(seq.events(), &problem.structure.granularities());
+
     let mut solutions = Vec::new();
     let mut assignment: Vec<EventType> = vec![problem.reference_type; problem.structure.len()];
     enumerate(problem, &occurring, 1, &mut assignment, &mut |phi| {
@@ -43,7 +47,8 @@ pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, 
         stats.candidates += 1;
         let cet = ComplexEventType::new(problem.structure.clone(), phi.to_vec());
         let tag = build_tag(&cet);
-        let support = count_support(&tag, seq.events(), &refs, None, &mut stats.tag_runs);
+        let support =
+            count_support(&tag, seq.events(), &refs, None, Some(&cols), &mut stats.tag_runs);
         let frequency = support as f64 / denominator as f64;
         if frequency > problem.min_confidence {
             solutions.push(Solution {
@@ -81,12 +86,15 @@ fn enumerate(
 
 /// Counts distinct reference occurrences from which the TAG accepts,
 /// running one anchored matcher per occurrence. `window` optionally bounds
-/// the scanned suffix to `ref_time + window` seconds.
+/// the scanned suffix to `ref_time + window` seconds. When `cols` (built
+/// over exactly `events`) is given, clock updates read the pre-resolved
+/// tick columns instead of re-resolving each timestamp per run.
 pub(crate) fn count_support(
     tag: &Tag,
     events: &[Event],
     refs: &[usize],
     window: Option<i64>,
+    cols: Option<&TickColumns>,
     tag_runs: &mut usize,
 ) -> usize {
     let matcher = Matcher::with_options(
@@ -108,7 +116,11 @@ pub(crate) fn count_support(
             None => &events[idx..],
         };
         *tag_runs += 1;
-        if matcher.matches_within(slice) {
+        let hit = match cols {
+            Some(cols) => matcher.matches_within_columns(slice, cols, idx),
+            None => matcher.matches_within(slice),
+        };
+        if hit {
             support += 1;
         }
     }

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use tgm_core::propagate::propagate;
 use tgm_core::{ComplexEventType, Tcg, VarId};
-use tgm_events::{Event, EventSequence, EventType};
+use tgm_events::{Event, EventSequence, EventType, TickColumns};
 use tgm_granularity::{Gran, Granularity as _};
 use tgm_stp::INF;
 use tgm_tag::build_tag;
@@ -56,6 +56,11 @@ pub struct PipelineOptions {
     pub window_limit: bool,
     /// Step 5: parallelize over candidates with crossbeam.
     pub parallel: bool,
+    /// Resolve every event's tick per structure granularity once up front
+    /// ([`TickColumns`]) and share the columns across steps 2–5 and every
+    /// anchored TAG run. Off = resolve per use (the shared-resolution-layer
+    /// ablation baseline); results are identical either way.
+    pub use_tick_columns: bool,
 }
 
 impl Default for PipelineOptions {
@@ -69,6 +74,7 @@ impl Default for PipelineOptions {
             chain_screening_k: 0,
             window_limit: true,
             parallel: true,
+            use_tick_columns: true,
         }
     }
 }
@@ -172,8 +178,17 @@ pub fn mine_with(
         .collect();
     stats.candidates_initial = candidates.iter().map(|c| c.len() as u64).product();
 
+    // Resolve every event's tick in every structure granularity once, in
+    // parallel; steps 2-5 and the final anchored scans read these columns
+    // instead of repeating calendar arithmetic per event per run. `None`
+    // when ablating the shared resolution layer: every consumer falls back
+    // to direct per-use resolution with identical results.
+    let full_cols = opts
+        .use_tick_columns
+        .then(|| TickColumns::build(seq.events(), &s.granularities()));
+
     // Per-variable gapped granularities that must cover a bound event.
-    let var_gapped_grans: Vec<Vec<Gran>> = s
+    let var_gapped: Vec<Vec<Gran>> = s
         .vars()
         .map(|v| {
             let mut gs: Vec<Gran> = Vec::new();
@@ -190,9 +205,20 @@ pub fn mine_with(
             gs
         })
         .collect();
+    // The same granularities as column indices when columns are in use.
+    let var_gapped_cols: Option<Vec<Vec<usize>>> = full_cols.as_ref().map(|cols| {
+        var_gapped
+            .iter()
+            .map(|gs| {
+                gs.iter()
+                    .map(|g| cols.index_of(g).expect("structure gran has a column"))
+                    .collect()
+            })
+            .collect()
+    });
 
     // Eligibility bitmask per event: which variables it could bind.
-    let eligible = |e: &Event| -> u64 {
+    let eligible = |row: usize, e: &Event| -> u64 {
         let mut mask = 0u64;
         for v in s.vars() {
             let type_ok = if v == s.root() {
@@ -203,10 +229,15 @@ pub fn mine_with(
             if !type_ok {
                 continue;
             }
-            if var_gapped_grans[v.index()]
-                .iter()
-                .all(|g| g.covering_tick(e.time).is_some())
-            {
+            let covered = match (&full_cols, &var_gapped_cols) {
+                (Some(cols), Some(vcols)) => vcols[v.index()]
+                    .iter()
+                    .all(|&c| cols.tick(c, row).is_some()),
+                _ => var_gapped[v.index()]
+                    .iter()
+                    .all(|g| g.covering_tick(e.time).is_some()),
+            };
+            if covered {
                 mask |= 1 << v.index();
             }
         }
@@ -214,19 +245,23 @@ pub fn mine_with(
     };
 
     // Step 2: sequence reduction.
-    let (events, masks): (Vec<Event>, Vec<u64>) = {
+    let (events, masks, kept_rows): (Vec<Event>, Vec<u64>, Vec<usize>) = {
         let mut evs = Vec::new();
         let mut ms = Vec::new();
-        for e in seq.events() {
-            let m = eligible(e);
+        let mut rows = Vec::new();
+        for (row, e) in seq.events().iter().enumerate() {
+            let m = eligible(row, e);
             if !opts.sequence_reduction || m != 0 {
                 evs.push(*e);
                 ms.push(m);
+                rows.push(row);
             }
         }
-        (evs, ms)
+        (evs, ms, rows)
     };
     stats.events_kept = events.len();
+    // Columns re-indexed to the reduced event list (no re-resolution).
+    let cols = full_cols.as_ref().map(|fc| fc.select(&kept_rows));
 
     // Reference occurrences within the (possibly reduced) event list. A
     // reference event whose own mask lacks the root bit can never match;
@@ -448,6 +483,7 @@ pub fn mine_with(
                             &events,
                             &kept_refs,
                             opts.window_limit.then_some(max_window),
+                            cols.as_ref(),
                             &mut stats.screening_tag_runs,
                         );
                         if (support as f64 / denominator as f64) <= problem.min_confidence {
@@ -480,7 +516,7 @@ pub fn mine_with(
     let scan = |phi: &[EventType], tag_runs: &mut usize| -> Option<Solution> {
         let cet = ComplexEventType::new(s.clone(), phi.to_vec());
         let tag = build_tag(&cet);
-        let support = count_support(&tag, &events, &kept_refs, window, tag_runs);
+        let support = count_support(&tag, &events, &kept_refs, window, cols.as_ref(), tag_runs);
         let frequency = support as f64 / denominator as f64;
         (frequency > problem.min_confidence).then(|| Solution {
             assignment: phi.to_vec(),
@@ -679,6 +715,7 @@ mod tests {
             chain_screening_k: 0,
             window_limit: false,
             parallel: false,
+            use_tick_columns: false,
         }
     }
 
@@ -723,7 +760,7 @@ mod tests {
     fn all_ablations_agree() {
         let (_reg, seq, p) = world();
         let (reference, _) = mine_with(&p, &seq, &no_opt());
-        for bits in 0..128u32 {
+        for bits in 0..256u32 {
             let opts = PipelineOptions {
                 consistency_screen: bits & 1 != 0,
                 sequence_reduction: bits & 2 != 0,
@@ -733,9 +770,10 @@ mod tests {
                 chain_screening_k: if bits & 64 != 0 { 2 } else { 0 },
                 window_limit: bits & 32 != 0,
                 parallel: false,
+                use_tick_columns: bits & 128 != 0,
             };
             let (sols, _) = mine_with(&p, &seq, &opts);
-            assert_eq!(sols, reference, "ablation {bits:06b} changed results");
+            assert_eq!(sols, reference, "ablation {bits:08b} changed results");
         }
     }
 

@@ -1,0 +1,123 @@
+//! Differential property tests for the shared resolution layer at the
+//! matcher and pipeline level: results must be bit-identical with the
+//! cache on or off, and with tick columns or direct per-event resolution.
+//!
+//! The cache enable flag is process-wide, so tests in this binary
+//! serialize on one lock (separate test binaries are separate processes).
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
+use tgm_events::{Event, EventSequence, EventType, TickColumns};
+use tgm_granularity::{cache, Calendar, Gran};
+use tgm_mining::{naive, pipeline, DiscoveryProblem};
+use tgm_tag::{build_tag, Matcher};
+
+const DAY: i64 = 86_400;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn grans() -> Vec<Gran> {
+    let cal = Calendar::standard();
+    ["hour", "day", "week", "business-day", "business-week"]
+        .iter()
+        .map(|n| cal.get(n).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Matcher: the full `RunStats` (acceptance, frontier peaks, expansion
+    /// counts) is identical across cache on / cache off / tick columns.
+    #[test]
+    fn matcher_identical_cache_on_off_and_columns(
+        gran_picks in proptest::collection::vec(0usize..5, 2),
+        bounds in proptest::collection::vec((0u64..3, 0u64..3), 2),
+        raw_events in proptest::collection::vec((0u32..3, 0i64..60), 2..30),
+    ) {
+        let _serial = TEST_LOCK.lock().unwrap();
+        let gs = grans();
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let x1 = b.var("X1");
+        let x2 = b.var("X2");
+        let (lo0, w0) = bounds[0];
+        let (lo1, w1) = bounds[1];
+        b.constrain(x0, x1, Tcg::new(lo0, lo0 + w0, gs[gran_picks[0]].clone()));
+        b.constrain(x1, x2, Tcg::new(lo1, lo1 + w1, gs[gran_picks[1]].clone()));
+        let s = b.build().unwrap();
+        let cet = ComplexEventType::new(s, vec![EventType(0), EventType(1), EventType(2)]);
+        let tag = build_tag(&cet);
+        let m = Matcher::new(&tag);
+
+        let events: Vec<Event> = raw_events
+            .iter()
+            .map(|&(ty, step)| Event::new(EventType(ty), 2 * DAY + step * 6 * 3_600))
+            .collect();
+        let seq = EventSequence::from_events(events);
+
+        cache::set_enabled(true);
+        let on = m.run(seq.events(), false);
+        let clock_grans: Vec<Gran> =
+            tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+        let cols = TickColumns::build(seq.events(), &clock_grans);
+        let with_cols = m.run_columns(seq.events(), &cols, 0, false);
+        cache::set_enabled(false);
+        let off = m.run(seq.events(), false);
+        cache::set_enabled(true);
+
+        prop_assert_eq!(on, off, "cache on vs off");
+        prop_assert_eq!(on, with_cols, "direct vs tick columns");
+    }
+
+    /// Discovery: naive and pipeline solutions are identical with the
+    /// resolution layer on (cache + columns) and fully off.
+    #[test]
+    fn discovery_identical_with_layer_on_and_off(
+        gran_picks in proptest::collection::vec(0usize..5, 2),
+        bounds in proptest::collection::vec((0u64..3, 0u64..3), 2),
+        raw_events in proptest::collection::vec((0u32..4, 0i64..40), 4..24),
+        confidence in 0.0f64..0.9,
+    ) {
+        let _serial = TEST_LOCK.lock().unwrap();
+        let gs = grans();
+        let mut b = StructureBuilder::new();
+        let x0 = b.var("X0");
+        let x1 = b.var("X1");
+        let x2 = b.var("X2");
+        let (lo0, w0) = bounds[0];
+        let (lo1, w1) = bounds[1];
+        b.constrain(x0, x1, Tcg::new(lo0, lo0 + w0, gs[gran_picks[0]].clone()));
+        b.constrain(x1, x2, Tcg::new(lo1, lo1 + w1, gs[gran_picks[1]].clone()));
+        let s = b.build().unwrap();
+        let events: Vec<Event> = raw_events
+            .iter()
+            .map(|&(ty, step)| Event::new(EventType(ty), 2 * DAY + step * 6 * 3_600))
+            .collect();
+        let seq = EventSequence::from_events(events);
+        let problem = DiscoveryProblem::new(s, confidence, EventType(0));
+
+        let layer_on = pipeline::PipelineOptions {
+            parallel: false,
+            ..pipeline::PipelineOptions::default()
+        };
+        let layer_off = pipeline::PipelineOptions {
+            use_tick_columns: false,
+            ..layer_on
+        };
+
+        cache::set_enabled(true);
+        let (pipe_on, _) = pipeline::mine_with(&problem, &seq, &layer_on);
+        let (naive_on, _) = naive::mine(&problem, &seq);
+        cache::set_enabled(false);
+        let (pipe_off, _) = pipeline::mine_with(&problem, &seq, &layer_off);
+        let (naive_off, _) = naive::mine(&problem, &seq);
+        cache::set_enabled(true);
+
+        prop_assert_eq!(&pipe_on, &pipe_off, "pipeline layer on vs off");
+        prop_assert_eq!(&naive_on, &naive_off, "naive cache on vs off");
+        prop_assert_eq!(&pipe_on, &naive_on, "pipeline vs naive");
+    }
+}

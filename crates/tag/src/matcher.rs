@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 
-use tgm_events::Event;
+use tgm_events::{Event, TickColumns};
 use tgm_granularity::{Granularity, Second, Tick};
 
 use crate::automaton::{StateId, Tag};
@@ -48,7 +48,7 @@ impl Default for MatchOptions {
 
 /// Instrumentation counters from a matcher run (the quantities of the
 /// Theorem 4 complexity bound).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Events consumed.
     pub events: usize,
@@ -148,6 +148,56 @@ impl<'a> Matcher<'a> {
     /// accepting configuration.
     pub fn run(&self, events: &[Event], early_exit: bool) -> RunStats {
         self.run_inner(events, early_exit)
+    }
+
+    /// Like [`run`](Self::run), but clock updates read pre-resolved
+    /// [`TickColumns`] instead of resolving each event's covering tick per
+    /// clock: the reading at event `i` is `⌈tᵢ⌉μ − reset` with `⌈tᵢ⌉μ`
+    /// looked up at row `offset + i`.
+    ///
+    /// `events` must be the row range `offset..offset + events.len()` of
+    /// the slice the columns were built over. Clocks whose granularity has
+    /// no column fall back to direct resolution, so results are identical
+    /// to [`run`](Self::run) for any column set.
+    pub fn run_columns(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        early_exit: bool,
+    ) -> RunStats {
+        assert!(
+            offset + events.len() <= cols.len(),
+            "event slice [{offset}, {}) exceeds the {} column rows",
+            offset + events.len(),
+            cols.len()
+        );
+        let clock_cols: Vec<Option<usize>> = self
+            .tag
+            .clocks
+            .iter()
+            .map(|(_, g)| cols.index_of(g))
+            .collect();
+        self.run_core(events, early_exit, |i, e| {
+            clock_cols
+                .iter()
+                .enumerate()
+                .map(|(x, c)| match c {
+                    Some(c) => cols.tick(*c, offset + i),
+                    None => self.clock_tick(ClockId(x), e.time),
+                })
+                .collect()
+        })
+    }
+
+    /// Column-reading variant of [`matches_within`](Self::matches_within).
+    pub fn matches_within_columns(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+    ) -> bool {
+        self.run_columns(events, cols, offset, true).accepted
     }
 
     /// Finds one occurrence and returns the indices (into `events`) of the
@@ -257,10 +307,15 @@ impl<'a> Matcher<'a> {
 
     /// Initial configurations, with clocks reading 0 at instant `t0`.
     fn initial_frontier(&self, t0: Second) -> Vec<Config> {
-        let n_clocks = self.tag.clocks.len();
-        let init_resets: Vec<Option<Tick>> = (0..n_clocks)
+        let init_resets: Vec<Option<Tick>> = (0..self.tag.clocks.len())
             .map(|i| self.clock_tick(ClockId(i), t0))
             .collect();
+        self.initial_frontier_with(init_resets)
+    }
+
+    /// Initial configurations from pre-resolved clock ticks at the first
+    /// instant.
+    fn initial_frontier_with(&self, init_resets: Vec<Option<Tick>>) -> Vec<Config> {
         let mut seen: HashSet<Config> = HashSet::new();
         let mut frontier = Vec::new();
         for &s in self.tag.start_states() {
@@ -276,14 +331,26 @@ impl<'a> Matcher<'a> {
         frontier
     }
 
-    /// Advances the frontier by one event. Returns the next frontier and
-    /// whether any *newly created* configuration is accepting.
+    /// Advances the frontier by one event, resolving clock ticks directly
+    /// (used by the stream matcher, which has no pre-built columns).
     fn advance(&self, frontier: &[Config], e: &Event, stats: &mut RunStats) -> (Vec<Config>, bool) {
-        let n_clocks = self.tag.clocks.len();
-        stats.events += 1;
-        let cur_ticks: Vec<Option<Tick>> = (0..n_clocks)
+        let cur_ticks: Vec<Option<Tick>> = (0..self.tag.clocks.len())
             .map(|i| self.clock_tick(ClockId(i), e.time))
             .collect();
+        self.advance_with(frontier, e, &cur_ticks, stats)
+    }
+
+    /// Advances the frontier by one event given its pre-resolved clock
+    /// ticks. Returns the next frontier and whether any *newly created*
+    /// configuration is accepting.
+    fn advance_with(
+        &self,
+        frontier: &[Config],
+        e: &Event,
+        cur_ticks: &[Option<Tick>],
+        stats: &mut RunStats,
+    ) -> (Vec<Config>, bool) {
+        stats.events += 1;
         let strict_dead = self.opts.strict_updates && cur_ticks.iter().any(Option::is_none);
         let mut next: Vec<Config> = Vec::new();
         let mut next_seen: HashSet<Config> = HashSet::new();
@@ -311,7 +378,7 @@ impl<'a> Matcher<'a> {
                     for &x in &tr.resets {
                         resets[x.index()] = cur_ticks[x.index()];
                     }
-                    self.canonicalize(&mut resets, &cur_ticks);
+                    self.canonicalize(&mut resets, cur_ticks);
                     let nc = Config {
                         state: tr.to,
                         started: cfg.started || !tr.is_skip,
@@ -331,6 +398,22 @@ impl<'a> Matcher<'a> {
     }
 
     fn run_inner(&self, events: &[Event], early_exit: bool) -> RunStats {
+        self.run_core(events, early_exit, |_, e| {
+            (0..self.tag.clocks.len())
+                .map(|i| self.clock_tick(ClockId(i), e.time))
+                .collect()
+        })
+    }
+
+    /// The NFA simulation, parameterized over how each event's clock ticks
+    /// are obtained (`ticks_at(index, event)` — direct resolution or column
+    /// lookup).
+    fn run_core(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        mut ticks_at: impl FnMut(usize, &Event) -> Vec<Option<Tick>>,
+    ) -> RunStats {
         let mut stats = RunStats::default();
 
         // Empty input: accepted iff a start state is accepting.
@@ -343,14 +426,16 @@ impl<'a> Matcher<'a> {
             return stats;
         }
 
-        let mut frontier = self.initial_frontier(events[0].time);
+        let mut frontier = self.initial_frontier_with(ticks_at(0, &events[0]));
         if early_exit && frontier.iter().any(|c| self.tag.is_accepting(c.state)) {
             stats.accepted = true;
             return stats;
         }
 
-        for e in events {
-            let (next, reached_accepting) = self.advance(&frontier, e, &mut stats);
+        for (i, e) in events.iter().enumerate() {
+            let cur_ticks = ticks_at(i, e);
+            let (next, reached_accepting) =
+                self.advance_with(&frontier, e, &cur_ticks, &mut stats);
             frontier = next;
             if early_exit && reached_accepting {
                 stats.accepted = true;
@@ -594,6 +679,37 @@ mod tests {
         let tag = next_day_tag();
         let m = Matcher::new(&tag);
         assert!(!m.accepts(&[]));
+    }
+
+    #[test]
+    fn column_runs_agree_with_direct_runs() {
+        use tgm_events::TickColumns;
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        let grans: Vec<_> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+        let seqs: Vec<Vec<Event>> = vec![
+            vec![ev(0, 2 * DAY + 43_200), ev(1, 3 * DAY + 3_600)], // accept
+            vec![ev(0, 2 * DAY), ev(1, 2 * DAY + 100)],            // same day
+            vec![ev(7, 2 * DAY), ev(0, 2 * DAY + 1), ev(1, 3 * DAY)], // noise
+            vec![ev(0, 0), ev(0, 2 * DAY), ev(1, 3 * DAY)],        // nondet
+        ];
+        for events in &seqs {
+            let cols = TickColumns::build(events, &grans);
+            for start in 0..events.len() {
+                let slice = &events[start..];
+                let direct = m.run(slice, false);
+                let columns = m.run_columns(slice, &cols, start, false);
+                assert_eq!(direct.accepted, columns.accepted, "start {start}");
+                assert_eq!(direct.expansions, columns.expansions, "start {start}");
+                assert_eq!(
+                    m.matches_within(slice),
+                    m.matches_within_columns(slice, &cols, start)
+                );
+            }
+        }
+        // Clocks without a column fall back to direct resolution.
+        let empty_cols = TickColumns::build(&seqs[0], &[]);
+        assert!(m.run_columns(&seqs[0], &empty_cols, 0, false).accepted);
     }
 
     #[test]

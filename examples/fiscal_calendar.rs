@@ -5,7 +5,8 @@
 //! Run with `cargo run --release --example fiscal_calendar`.
 
 use tgm::events::stats::render_summary;
-use tgm::granularity::{format_instant, parse_granularity};
+use tgm::granularity::parse::parse_granularity;
+use tgm::granularity::format_instant;
 use tgm::mining::{mine_with_reference, Reference};
 use tgm::prelude::*;
 

@@ -8,7 +8,7 @@ use tgm::prelude::*;
 const DAY: i64 = 86_400;
 const HOUR: i64 = 3_600;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // 1. A calendar of granularities (second/hour/day/week/month/...,
     //    business days, business weeks, weekends).
     let cal = Calendar::standard();
@@ -18,9 +18,9 @@ fn main() {
     let mut b = StructureBuilder::new();
     let deploy = b.var("deploy");
     let alert = b.var("alert");
-    b.constrain(deploy, alert, Tcg::new(4, 12, cal.get("hour").unwrap()));
-    b.constrain(deploy, alert, Tcg::new(0, 0, cal.get("business-day").unwrap()));
-    let structure = b.build().expect("a rooted DAG");
+    b.constrain(deploy, alert, Tcg::new(4, 12, cal.get("hour")?));
+    b.constrain(deploy, alert, Tcg::new(0, 0, cal.get("business-day")?));
+    let structure = b.build()?;
     println!("structure:\n{structure:?}");
 
     // 3. Consistency: sound polynomial propagation (paper §3.2) derives
@@ -34,7 +34,7 @@ fn main() {
 
     // 4. Exact (horizon-bounded) consistency with a witness (paper Thm 1 is
     //    NP-hard, so this is exponential in general).
-    match exact_check(&structure).expect("small structure") {
+    match exact_check(&structure)? {
         ExactOutcome::Consistent(witness) => {
             println!("exact witness timestamps: {witness:?}")
         }
@@ -68,8 +68,16 @@ fn main() {
     sb.push(alert_ty, friday + 28 * HOUR);
     let seq = sb.build();
 
+    // Resolve every event's tick per clock granularity once (the shared
+    // resolution layer); the matcher reads the columns instead of
+    // repeating calendar arithmetic.
+    let grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+    let cols = TickColumns::build(seq.events(), &grans);
     let matcher = Matcher::new(&tag);
-    println!("stream matches pattern: {}", matcher.accepts(seq.events()));
+    println!(
+        "stream matches pattern: {}",
+        matcher.matches_within_columns(seq.events(), &cols, 0)
+    );
 
     // 6. Discovery (paper §5): which alert-like types frequently follow
     //    deploys under these constraints?
@@ -86,4 +94,11 @@ fn main() {
         "pipeline stats: {} candidates scanned, {} TAG runs",
         stats.candidates_scanned, stats.tag_runs
     );
+    let cstats = cache::global_stats();
+    println!(
+        "resolution cache: {} lookups, {:.0}% hits",
+        cstats.lookups(),
+        cstats.hit_rate() * 100.0
+    );
+    Ok(())
 }

@@ -84,7 +84,7 @@ fn calendar_from(args: &[String]) -> Result<Calendar, String> {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {path}: {e}"))?;
-            tgm_granularity::calendar_from_config(&text).map_err(|e| e.to_string())?
+            tgm_granularity::parse::calendar_from_config(&text).map_err(|e| e.to_string())?
         }
         None => {
             let holidays: Result<Vec<i64>, _> = flag_values(args, "--holiday")
@@ -97,7 +97,7 @@ fn calendar_from(args: &[String]) -> Result<Calendar, String> {
     // Custom granularities from the spec DSL, e.g.
     //   --gran "3 month"  --gran "days(mon,wed,fri)"  --gran "12 month @ 2000-04"
     for spec in flag_values(args, "--gran") {
-        let g = tgm_granularity::parse_granularity(spec).map_err(|e| e.to_string())?;
+        let g = tgm_granularity::parse::parse_granularity(spec).map_err(|e| e.to_string())?;
         cal.register(g).map_err(|e| e.to_string())?;
     }
     Ok(cal)

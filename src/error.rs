@@ -1,0 +1,164 @@
+//! The unified error type for the `tgm` facade.
+//!
+//! Each workspace crate defines its own focused error enum (granularity
+//! registry errors, structure-construction errors, the exact checker's
+//! budget errors, CSV/JSON parse errors). Applications composing several
+//! layers can funnel all of them into [`enum@Error`] with `?`: every
+//! per-crate error has a `From` conversion, and the enum is
+//! `#[non_exhaustive]` so later PRs can add variants without breaking
+//! downstream matches.
+//!
+//! ```
+//! use tgm::prelude::*;
+//!
+//! fn build() -> Result<EventStructure, Error> {
+//!     let cal = Calendar::standard();
+//!     let day = cal.get("day")?; // GranularityError -> Error
+//!     let mut b = StructureBuilder::new();
+//!     let x0 = b.var("X0");
+//!     let x1 = b.var("X1");
+//!     b.constrain(x0, x1, Tcg::new(0, 2, day));
+//!     Ok(b.build()?) // StructureError -> Error
+//! }
+//! assert!(build().is_ok());
+//! ```
+
+use std::fmt;
+
+use tgm_core::exact::ExactError;
+use tgm_core::StructureError;
+use tgm_events::io::CsvError;
+use tgm_events::minijson::JsonError;
+use tgm_granularity::parse::ParseError;
+use tgm_granularity::GranularityError;
+
+use crate::json::StructureJsonError;
+
+/// Any error the `tgm` workspace can produce, unified for `?`-style
+/// composition across layers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Calendar / granularity registry errors (unknown name, duplicate
+    /// registration, out-of-horizon tick).
+    Granularity(GranularityError),
+    /// Errors parsing a textual granularity specification.
+    GranularitySpec(ParseError),
+    /// Event-structure construction errors (cycles, unknown variables,
+    /// unreachable nodes).
+    Structure(StructureError),
+    /// The exact (NP-hard) consistency checker gave up: too many
+    /// candidates or search budget exhausted.
+    Exact(ExactError),
+    /// Malformed CSV event input.
+    Csv(CsvError),
+    /// Malformed JSON input.
+    Json(JsonError),
+    /// A structurally invalid JSON event-structure document.
+    StructureJson(StructureJsonError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Granularity(e) => write!(f, "granularity: {e}"),
+            Error::GranularitySpec(e) => write!(f, "granularity spec: {e}"),
+            Error::Structure(e) => write!(f, "event structure: {e}"),
+            Error::Exact(e) => write!(f, "exact check: {e}"),
+            Error::Csv(e) => write!(f, "csv: {e}"),
+            Error::Json(e) => write!(f, "json: {e}"),
+            Error::StructureJson(e) => write!(f, "structure json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Granularity(e) => Some(e),
+            Error::GranularitySpec(e) => Some(e),
+            Error::Structure(e) => Some(e),
+            Error::Exact(e) => Some(e),
+            Error::Csv(e) => Some(e),
+            Error::Json(e) => Some(e),
+            Error::StructureJson(e) => Some(e),
+        }
+    }
+}
+
+impl From<GranularityError> for Error {
+    fn from(e: GranularityError) -> Self {
+        Error::Granularity(e)
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::GranularitySpec(e)
+    }
+}
+
+impl From<StructureError> for Error {
+    fn from(e: StructureError) -> Self {
+        Error::Structure(e)
+    }
+}
+
+impl From<ExactError> for Error {
+    fn from(e: ExactError) -> Self {
+        Error::Exact(e)
+    }
+}
+
+impl From<CsvError> for Error {
+    fn from(e: CsvError) -> Self {
+        Error::Csv(e)
+    }
+}
+
+impl From<JsonError> for Error {
+    fn from(e: JsonError) -> Self {
+        Error::Json(e)
+    }
+}
+
+impl From<StructureJsonError> for Error {
+    fn from(e: StructureJsonError) -> Self {
+        Error::StructureJson(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let cal = tgm_granularity::Calendar::standard();
+        let e: Error = cal.get("no-such-granularity").unwrap_err().into();
+        assert!(matches!(e, Error::Granularity(_)));
+        assert!(e.to_string().starts_with("granularity: "));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let mut b = tgm_core::StructureBuilder::new();
+        let x = b.var("X");
+        b.constrain(
+            x,
+            x,
+            tgm_core::Tcg::new(0, 1, cal.get("day").unwrap()),
+        );
+        let e: Error = b.build().unwrap_err().into();
+        assert!(matches!(e, Error::Structure(_)));
+    }
+
+    #[test]
+    fn question_mark_composes_layers() {
+        fn inner() -> Result<(), Error> {
+            let cal = tgm_granularity::Calendar::standard();
+            cal.get("week")?;
+            tgm_events::minijson::parse("{")?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(Error::Json(_))));
+    }
+}

@@ -13,30 +13,18 @@
 //! }
 //! ```
 
-use serde::{Deserialize, Serialize};
 use tgm_core::{EventStructure, StructureBuilder, Tcg, VarId};
+use tgm_events::minijson::{self, JsonError, Value};
 use tgm_granularity::Calendar;
-
-#[derive(Serialize, Deserialize)]
-struct JsonConstraint {
-    from: usize,
-    to: usize,
-    lo: u64,
-    hi: u64,
-    granularity: String,
-}
-
-#[derive(Serialize, Deserialize)]
-struct JsonStructure {
-    variables: Vec<String>,
-    constraints: Vec<JsonConstraint>,
-}
 
 /// Errors from structure (de)serialization.
 #[derive(Debug)]
 pub enum StructureJsonError {
     /// Malformed JSON.
-    Json(serde_json::Error),
+    Json(JsonError),
+    /// Well-formed JSON that is not a structure document (wrong shape or
+    /// field types).
+    Shape(String),
     /// A constraint references an unknown granularity name.
     UnknownGranularity(String),
     /// A constraint has `lo > hi` or references an out-of-range variable.
@@ -49,6 +37,7 @@ impl std::fmt::Display for StructureJsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StructureJsonError::Json(e) => write!(f, "malformed JSON: {e}"),
+            StructureJsonError::Shape(msg) => write!(f, "not a structure document: {msg}"),
             StructureJsonError::UnknownGranularity(g) => {
                 write!(f, "unknown granularity `{g}`")
             }
@@ -60,24 +49,49 @@ impl std::fmt::Display for StructureJsonError {
 
 impl std::error::Error for StructureJsonError {}
 
+impl From<JsonError> for StructureJsonError {
+    fn from(e: JsonError) -> Self {
+        StructureJsonError::Json(e)
+    }
+}
+
 /// Serializes an event structure (granularities stored by name).
 pub fn structure_to_json(s: &EventStructure) -> String {
-    let out = JsonStructure {
-        variables: s.vars().map(|v| s.name(v).to_owned()).collect(),
-        constraints: s
-            .arcs()
-            .flat_map(|(a, b, cs)| {
-                cs.iter().map(move |c| JsonConstraint {
-                    from: a.index(),
-                    to: b.index(),
-                    lo: c.lo(),
-                    hi: c.hi(),
-                    granularity: c.gran().name().to_owned(),
-                })
-            })
-            .collect(),
-    };
-    serde_json::to_string_pretty(&out).expect("structures always serialize")
+    let mut out = String::from("{\n  \"variables\": [");
+    for (i, v) in s.vars().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        minijson::write_escaped(&mut out, s.name(v));
+    }
+    out.push_str("],\n  \"constraints\": [");
+    let mut first = true;
+    for (a, b, cs) in s.arcs() {
+        for c in cs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{ \"from\": {}, \"to\": {}, \"lo\": {}, \"hi\": {}, \"granularity\": ",
+                a.index(),
+                b.index(),
+                c.lo(),
+                c.hi()
+            ));
+            minijson::write_escaped(&mut out, c.gran().name());
+            out.push_str(" }");
+        }
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+fn shape(msg: impl Into<String>) -> StructureJsonError {
+    StructureJsonError::Shape(msg.into())
 }
 
 /// Parses an event structure, resolving granularity names against `cal`.
@@ -85,34 +99,64 @@ pub fn structure_from_json(
     json: &str,
     cal: &Calendar,
 ) -> Result<EventStructure, StructureJsonError> {
-    let parsed: JsonStructure = serde_json::from_str(json).map_err(StructureJsonError::Json)?;
+    let doc = minijson::parse(json)?;
+    let variables: Vec<&str> = doc
+        .get("variables")
+        .and_then(Value::as_array)
+        .ok_or_else(|| shape("missing `variables` array"))?
+        .iter()
+        .map(|v| v.as_str().ok_or_else(|| shape("variable names must be strings")))
+        .collect::<Result<_, _>>()?;
+    let constraints = doc
+        .get("constraints")
+        .and_then(Value::as_array)
+        .ok_or_else(|| shape("missing `constraints` array"))?;
+
     let mut b = StructureBuilder::new();
-    let n = parsed.variables.len();
-    let vars: Vec<VarId> = parsed.variables.iter().map(|name| b.var(name)).collect();
-    for c in parsed.constraints {
-        if c.from >= n || c.to >= n {
+    let n = variables.len();
+    let vars: Vec<VarId> = variables.iter().map(|name| b.var(*name)).collect();
+    for c in constraints {
+        let field = |name: &str| {
+            c.get(name)
+                .ok_or_else(|| shape(format!("constraint missing `{name}`")))
+        };
+        let index = |name: &str| -> Result<usize, StructureJsonError> {
+            field(name)?
+                .as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| shape(format!("constraint `{name}` must be a non-negative integer")))
+        };
+        let bound = |name: &str| -> Result<u64, StructureJsonError> {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| shape(format!("constraint `{name}` must be a non-negative integer")))
+        };
+        let (from, to) = (index("from")?, index("to")?);
+        let (lo, hi) = (bound("lo")?, bound("hi")?);
+        let gran_name = field("granularity")?
+            .as_str()
+            .ok_or_else(|| shape("constraint `granularity` must be a string"))?;
+        if from >= n || to >= n {
             return Err(StructureJsonError::InvalidConstraint(format!(
-                "variable index out of range in ({}, {})",
-                c.from, c.to
+                "variable index out of range in ({from}, {to})"
             )));
         }
-        if c.lo > c.hi {
+        if lo > hi {
             return Err(StructureJsonError::InvalidConstraint(format!(
-                "empty bounds [{}, {}]",
-                c.lo, c.hi
+                "empty bounds [{lo}, {hi}]"
             )));
         }
-        if c.hi > Tcg::MAX_BOUND {
+        if hi > Tcg::MAX_BOUND {
             return Err(StructureJsonError::InvalidConstraint(format!(
                 "bound {} exceeds the supported maximum {}",
-                c.hi,
+                hi,
                 Tcg::MAX_BOUND
             )));
         }
         let gran = cal
-            .get(&c.granularity)
-            .map_err(|_| StructureJsonError::UnknownGranularity(c.granularity.clone()))?;
-        b.constrain(vars[c.from], vars[c.to], Tcg::new(c.lo, c.hi, gran));
+            .get(gran_name)
+            .map_err(|_| StructureJsonError::UnknownGranularity(gran_name.to_string()))?;
+        b.constrain(vars[from], vars[to], Tcg::new(lo, hi, gran));
     }
     b.build().map_err(StructureJsonError::Structure)
 }
@@ -156,6 +200,17 @@ mod tests {
         assert!(matches!(
             structure_from_json("nonsense", &cal),
             Err(StructureJsonError::Json(_))
+        ));
+        let wrong_shape = r#"{"variables": ["A"]}"#;
+        assert!(matches!(
+            structure_from_json(wrong_shape, &cal),
+            Err(StructureJsonError::Shape(_))
+        ));
+        let bad_field = r#"{"variables": ["A","B"],
+            "constraints": [{"from":0,"to":1,"lo":"zero","hi":1,"granularity":"day"}]}"#;
+        assert!(matches!(
+            structure_from_json(bad_field, &cal),
+            Err(StructureJsonError::Shape(_))
         ));
         let oob = r#"{"variables": ["A"],
             "constraints": [{"from":0,"to":5,"lo":0,"hi":1,"granularity":"day"}]}"#;

@@ -21,29 +21,63 @@
 //!
 //! # Quickstart
 //!
+//! Everything below comes from `tgm::prelude` alone; fallible calls
+//! compose through the unified [`enum@Error`] with `?`.
+//!
 //! ```
 //! use tgm::prelude::*;
 //!
-//! // "The earnings report came one business day after the rise, and the
-//! // stock fell in the same or the next week."
-//! let cal = Calendar::standard();
-//! let mut b = StructureBuilder::new();
-//! let rise = b.var("rise");
-//! let report = b.var("report");
-//! let fall = b.var("fall");
-//! b.constrain(rise, report, Tcg::new(1, 1, cal.get("business-day").unwrap()));
-//! b.constrain(report, fall, Tcg::new(0, 1, cal.get("week").unwrap()));
-//! let structure = b.build().unwrap();
+//! fn quickstart() -> Result<(), Error> {
+//!     // "The earnings report came one business day after the rise, and
+//!     // the stock fell in the same or the next week."
+//!     let cal = Calendar::standard();
+//!     let mut b = StructureBuilder::new();
+//!     let rise = b.var("rise");
+//!     let report = b.var("report");
+//!     let fall = b.var("fall");
+//!     b.constrain(rise, report, Tcg::new(1, 1, cal.get("business-day")?));
+//!     b.constrain(report, fall, Tcg::new(0, 1, cal.get("week")?));
+//!     let structure = b.build()?;
 //!
-//! // Sound propagation derives implied constraints across granularities.
-//! let p = propagate(&structure);
-//! assert!(p.is_consistent());
-//! let window = p.seconds_window(rise, fall).unwrap();
-//! assert!(window.lo >= 1);
+//!     // Sound propagation derives implied constraints across
+//!     // granularities.
+//!     let p = propagate(&structure);
+//!     assert!(p.is_consistent());
+//!     let window = p.seconds_window(rise, fall).unwrap();
+//!     assert!(window.lo >= 1);
+//!
+//!     // Match the pattern over an event stream with a TAG, reading
+//!     // pre-resolved tick columns.
+//!     let mut reg = TypeRegistry::new();
+//!     let tys: Vec<EventType> =
+//!         ["rise", "report", "fall"].iter().map(|n| reg.intern(n)).collect();
+//!     let cet = ComplexEventType::new(structure, tys.clone());
+//!     let tag = build_tag(&cet);
+//!     const DAY: i64 = 86_400;
+//!     // Mon 2000-01-03 rise, Tue report, Thu fall.
+//!     let mut sb = SequenceBuilder::new();
+//!     sb.push(tys[0], 2 * DAY + 9 * 3600);
+//!     sb.push(tys[1], 3 * DAY + 9 * 3600);
+//!     sb.push(tys[2], 5 * DAY + 9 * 3600);
+//!     let seq = sb.build();
+//!     let grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+//!     let cols = TickColumns::build(seq.events(), &grans);
+//!     let matcher = Matcher::new(&tag);
+//!     assert!(matcher.run_columns(seq.events(), &cols, 0, false).accepted);
+//!
+//!     // The shared resolution cache served those calendar lookups.
+//!     assert!(cache::global_stats().lookups() > 0);
+//!     Ok(())
+//! }
+//! quickstart().unwrap();
 //! ```
+
+mod error;
 
 pub mod cli;
 pub mod json;
+
+pub use error::Error;
 
 pub use tgm_core as core;
 pub use tgm_events as events;
@@ -53,14 +87,25 @@ pub use tgm_stp as stp;
 pub use tgm_tag as tag;
 
 /// The most commonly used items across the workspace.
+///
+/// One `use tgm::prelude::*;` is enough to build event structures,
+/// propagate and exact-check them, construct and run TAG matchers (direct
+/// or over pre-resolved [`TickColumns`](tgm_events::TickColumns)), mine
+/// discovery problems, and observe the shared resolution
+/// [`cache`](tgm_granularity::cache) — with all fallible calls funneled
+/// into [`Error`](crate::Error).
 pub mod prelude {
+    pub use crate::Error;
     pub use tgm_core::exact::{check as exact_check, check_with as exact_check_with, ExactOutcome};
     pub use tgm_core::propagate::{propagate, Propagated};
     pub use tgm_core::{
         convert_constraint, ComplexEventType, EventStructure, StructureBuilder, Tcg, VarId,
     };
-    pub use tgm_events::{Event, EventSequence, EventType, SequenceBuilder, TypeRegistry};
-    pub use tgm_granularity::{Calendar, Gran, Granularity, Second, Tick};
+    pub use tgm_events::{
+        Event, EventSequence, EventType, SequenceBuilder, TickColumns, TypeRegistry,
+    };
+    pub use tgm_granularity::{cache, CacheStats, Calendar, Gran, Granularity, Second, Tick};
+    pub use tgm_mining::pipeline::{mine_with, PipelineOptions, PipelineStats};
     pub use tgm_mining::{naive, pipeline, DiscoveryProblem, Solution};
-    pub use tgm_tag::{build_tag, MatchOptions, Matcher, Tag};
+    pub use tgm_tag::{build_tag, MatchOptions, Matcher, RunStats, StreamMatcher, Tag};
 }

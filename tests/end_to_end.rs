@@ -42,7 +42,9 @@ fn discovery_end_to_end() {
             (incident, monday + 14 * HOUR),
         ]);
     }
-    let noise = poisson_noise(&[chatter], 6.0 * 3_600.0, 0, 90 * DAY, 5);
+    // Sparse enough that chatter cannot spuriously satisfy the 2-8h window
+    // after deploy on >=90% of the 12 Mondays, whatever the RNG stream.
+    let noise = poisson_noise(&[chatter], 24.0 * 3_600.0, 0, 90 * DAY, 5);
     let seq = with_planted(&noise, &groups);
 
     let problem = DiscoveryProblem::new(s.clone(), 0.9, build);

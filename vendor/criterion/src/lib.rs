@@ -1,0 +1,247 @@
+//! Minimal offline shim with the `criterion` API surface used by this
+//! workspace's `harness = false` benches: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`bench_with_input`][BenchmarkGroup::bench_with_input],
+//! `sample_size`, `throughput`, [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop printing mean
+//! time-per-iteration (and element throughput when declared) — no
+//! statistics, plots, or baseline comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier so the optimiser cannot elide benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared workload per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the closure under timing. Passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// (total elapsed, iterations) of the measured run.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times for a stable mean: at least
+    /// `sample_size` iterations, stopping early once ~300 ms have elapsed.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, excluded from timing
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if iters >= self.samples as u64 || elapsed >= budget {
+                self.measured = Some((elapsed, iters));
+                break;
+            }
+        }
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone function (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the target number of iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benches `f(bencher, input)` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group (report lines are already printed per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let label = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let Some((elapsed, iters)) = b.measured else {
+            println!("{label:<50} (no measurement: Bencher::iter not called)");
+            return;
+        };
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        let mut line = format!("{label:<50} {:>12}  ({iters} iters)", fmt_time(per_iter));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            line.push_str(&format!("  {:.3e} {unit}", count as f64 / per_iter));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1)));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2)));
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+}

@@ -1,0 +1,359 @@
+//! Minimal offline shim with the `rand` 0.8 API surface used by this
+//! workspace: [`Rng`] (`gen_range`, `gen_bool`, `gen`), [`SeedableRng`]
+//! (`seed_from_u64`, `from_entropy`), [`rngs::StdRng`], and
+//! [`seq::SliceRandom`] (`choose`, `shuffle`).
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic
+//! for a given seed, which is all the workspace's seeded workload
+//! generators and tests rely on. It is NOT the same stream as upstream
+//! rand's `StdRng` (ChaCha12), so absolute values of "random" fixtures
+//! differ from what upstream would produce; everything in this repo derives
+//! expectations from the generated data itself.
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing random value generation (subset of rand 0.8's `Rng`).
+pub trait Rng: RngCore {
+    /// A uniform value in `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A value of a [`Standard`](distributions::Standard)-sampleable type
+    /// (`f64` in `[0, 1)`, `bool`, full-range integers).
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::StandardSample,
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministic construction from seeds (subset of rand's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Constructs a generator with a time-derived seed. Offline shim: uses
+    /// the system clock, so streams differ per process but need no OS RNG.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(nanos ^ (std::process::id() as u64).rotate_left(32))
+    }
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 top bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic general-purpose generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Small fast generator — alias of [`StdRng`] in this shim.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, per the xoshiro authors'
+            // recommendation.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A process-local generator seeded from the clock (API parity with
+/// `rand::thread_rng`, minus thread-local caching).
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+/// Distributions (subset: uniform ranges and the `Standard` distribution).
+pub mod distributions {
+    use super::{unit_f64, Rng};
+
+    /// Types samplable by [`Rng::gen`].
+    pub trait StandardSample: Sized {
+        /// Samples one value.
+        fn sample<R: Rng>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64())
+        }
+    }
+    impl StandardSample for f32 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64()) as f32
+        }
+    }
+    impl StandardSample for bool {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl StandardSample for u64 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+    impl StandardSample for u32 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    /// Uniform-range sampling.
+    pub mod uniform {
+        use super::super::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Ranges that can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Samples one value from the range. Panics on empty ranges.
+            fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+        }
+
+        /// Uniform `u64` in `[0, n)` via Lemire-style widening multiply
+        /// (unbiased enough for test workloads; exact rejection for the
+        /// tiny biases is not worth the code here — the multiply-shift is
+        /// bias-free when `n` divides 2^64 and off by at most 2^-64 else).
+        #[inline]
+        fn below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        macro_rules! int_sample_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + below(rng, span) as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128 + 1) as u64;
+                        if span == 0 {
+                            // Full-width range.
+                            return rng.next_u64() as $t;
+                        }
+                        (lo as i128 + below(rng, span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+        macro_rules! float_sample_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let u = super::super::unit_f64(rng.next_u64()) as $t;
+                        self.start + u * (self.end - self.start)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let u = super::super::unit_f64(rng.next_u64()) as $t;
+                        lo + u * (hi - lo)
+                    }
+                }
+            )*};
+        }
+        float_sample_range!(f32, f64);
+    }
+
+    /// The standard distribution marker (API parity).
+    pub struct Standard;
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher-Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = rng.gen_range(0..self.len());
+                Some(&self[i])
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub use rngs::StdRng as _StdRngReexportGuard; // keeps rngs referenced in docs
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+            let f: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!(f > 0.0 && f < 1.0);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let mut seen = [false; 11];
+        for _ in 0..10_000 {
+            let x: i64 = rng.gen_range(-5..=5);
+            seen[(x + 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 11 values should occur");
+    }
+
+    #[test]
+    fn gen_bool_frequencies() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = rngs::StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = rngs::StdRng::seed_from_u64(17);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+}
