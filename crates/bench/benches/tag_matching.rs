@@ -1,10 +1,14 @@
-//! Criterion bench for E6: TAG matching over event streams (Theorem 4).
+//! Criterion bench for E6: TAG matching over event streams (Theorem 4),
+//! including the engine ablation (reference per-`Config` engine vs the
+//! packed scratch engine) on both the Example 1 workload and the
+//! grouped-granularity chain.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tgm_bench::workloads::planted_stock_workload;
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
 use tgm_events::TickColumns;
-use tgm_granularity::cache;
-use tgm_tag::{build_tag, Matcher};
+use tgm_granularity::{cache, Calendar};
+use tgm_tag::{build_tag, Matcher, MatcherScratch};
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("tag_matching");
@@ -18,7 +22,16 @@ fn bench_matching(c: &mut Criterion) {
             &events.len(),
             |b, _| {
                 let m = Matcher::new(&tag);
-                b.iter(|| m.run(events, false).accepted)
+                let mut scratch = MatcherScratch::new();
+                b.iter(|| m.run_scratch(events, false, &mut scratch).accepted)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("example1_full_scan_reference", events.len()),
+            &events.len(),
+            |b, _| {
+                let m = Matcher::new(&tag);
+                b.iter(|| m.run_reference(events, false).accepted)
             },
         );
         group.bench_with_input(
@@ -27,7 +40,8 @@ fn bench_matching(c: &mut Criterion) {
             |b, _| {
                 cache::set_enabled(false);
                 let m = Matcher::new(&tag);
-                b.iter(|| m.run(events, false).accepted);
+                let mut scratch = MatcherScratch::new();
+                b.iter(|| m.run_scratch(events, false, &mut scratch).accepted);
                 cache::set_enabled(true);
             },
         );
@@ -39,7 +53,50 @@ fn bench_matching(c: &mut Criterion) {
                     tag.clocks().iter().map(|(_, g)| g.clone()).collect();
                 let cols = TickColumns::build(events, &grans);
                 let m = Matcher::new(&tag);
-                b.iter(|| m.run_columns(events, &cols, 0, false).accepted)
+                let mut scratch = MatcherScratch::new();
+                b.iter(|| {
+                    m.run_columns_scratch(events, &cols, 0, false, &mut scratch)
+                        .accepted
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The acceptance-criterion workload: the E6 grouped-granularity chain
+    // ([0,1] business-week -> [0,1] business-month), engine on vs off.
+    let cal = Calendar::standard();
+    let mut group = c.benchmark_group("tag_matching_grouped");
+    for days in [30i64, 90, 270] {
+        let w = planted_stock_workload(days, &[], 0, 44);
+        let ibm_rise = w.registry.get("IBM-rise").unwrap();
+        let ibm_fall = w.registry.get("IBM-fall").unwrap();
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        let x2 = sb.var("X2");
+        sb.constrain(x0, x1, Tcg::new(0, 1, cal.get("business-week").unwrap()));
+        sb.constrain(x1, x2, Tcg::new(0, 1, cal.get("business-month").unwrap()));
+        let cet =
+            ComplexEventType::new(sb.build().unwrap(), vec![ibm_rise, ibm_fall, ibm_rise]);
+        let tag = build_tag(&cet);
+        let events = w.sequence.events();
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("packed_scratch", events.len()),
+            &events.len(),
+            |b, _| {
+                let m = Matcher::new(&tag);
+                let mut scratch = MatcherScratch::new();
+                b.iter(|| m.run_scratch(events, false, &mut scratch).accepted)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", events.len()),
+            &events.len(),
+            |b, _| {
+                let m = Matcher::new(&tag);
+                b.iter(|| m.run_reference(events, false).accepted)
             },
         );
     }

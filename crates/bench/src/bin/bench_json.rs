@@ -1,0 +1,186 @@
+//! Machine-readable benchmark record: measures the matcher engines and the
+//! miner at fixed seeds and writes `BENCH_matcher.json` (median wall time,
+//! ns/event for matching, ms for mining) so CI and PR descriptions can
+//! quote — and scripts can diff — the engine/sweep speedups without
+//! scraping criterion output.
+//!
+//! Run with `cargo run --release -p tgm-bench --bin bench_json [-- --quick]`.
+//! `--quick` lowers the repetition count for CI smoke runs.
+//!
+//! Every measurement pair also *asserts* result equality (bit-identical
+//! `RunStats` across engines, identical miner solutions across execution
+//! strategies), so the recorded speedups are guaranteed to compare equal
+//! computations.
+
+use std::fmt::Write as _;
+
+use tgm_bench::workloads::planted_stock_workload;
+use tgm_bench::timed;
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg, VarId};
+use tgm_events::TypeRegistry;
+use tgm_granularity::Calendar;
+use tgm_mining::naive::{self, NaiveOptions};
+use tgm_mining::pipeline::{mine_with, PipelineOptions};
+use tgm_mining::DiscoveryProblem;
+use tgm_tag::{build_tag, Matcher, MatcherScratch, Tag};
+
+/// Median of the per-repetition milliseconds of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps).map(|_| timed(&mut f).1).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+struct EnginePair {
+    events: usize,
+    reference_ns_per_event: f64,
+    packed_ns_per_event: f64,
+}
+
+impl EnginePair {
+    fn speedup(&self) -> f64 {
+        self.reference_ns_per_event / self.packed_ns_per_event.max(1e-9)
+    }
+}
+
+/// Medians for one workload: the reference engine vs the packed scratch
+/// engine on a full (non-early-exit) run, with `RunStats` asserted equal.
+fn measure_engines(tag: &Tag, events: &[tgm_events::Event], reps: usize) -> EnginePair {
+    let m = Matcher::new(tag);
+    let mut scratch = MatcherScratch::new();
+    assert_eq!(
+        m.run_reference(events, false),
+        m.run_scratch(events, false, &mut scratch),
+        "engines must produce bit-identical RunStats"
+    );
+    let reference_ms = median_ms(reps, || {
+        std::hint::black_box(m.run_reference(events, false));
+    });
+    let packed_ms = median_ms(reps, || {
+        std::hint::black_box(m.run_scratch(events, false, &mut scratch));
+    });
+    let per_event = 1e6 / events.len() as f64; // ms -> ns/event
+    EnginePair {
+        events: events.len(),
+        reference_ns_per_event: reference_ms * per_event,
+        packed_ns_per_event: packed_ms * per_event,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 5 } else { 15 };
+
+    // Workload 1: Example 1 TAG over the planted stock stream (the
+    // `tag_matching/example1_full_scan` criterion bench, seed 42).
+    let w1 = planted_stock_workload(120, &[], 4, 42);
+    let tag1 = build_tag(&w1.cet);
+    let example1 = measure_engines(&tag1, w1.sequence.events(), reps);
+
+    // Workload 2: the E6 grouped-granularity chain ([0,1] business-week,
+    // [0,1] business-month; seed 44) — the acceptance-criterion workload.
+    let cal = Calendar::standard();
+    let w2 = planted_stock_workload(90, &[], 0, 44);
+    let ty = |reg: &TypeRegistry, name: &str| reg.get(name).expect("stock type present");
+    let ibm_rise = ty(&w2.registry, "IBM-rise");
+    let ibm_fall = ty(&w2.registry, "IBM-fall");
+    let mut sb = StructureBuilder::new();
+    let x0 = sb.var("X0");
+    let x1 = sb.var("X1");
+    let x2 = sb.var("X2");
+    sb.constrain(x0, x1, Tcg::new(0, 1, cal.get("business-week").unwrap()));
+    sb.constrain(x1, x2, Tcg::new(0, 1, cal.get("business-month").unwrap()));
+    let cet2 = ComplexEventType::new(sb.build().unwrap(), vec![ibm_rise, ibm_fall, ibm_rise]);
+    let tag2 = build_tag(&cet2);
+    let e6_grouped = measure_engines(&tag2, w2.sequence.events(), reps);
+
+    // Workload 3: discovery (the `mining` criterion bench, seed 7) across
+    // execution strategies, solutions asserted equal.
+    let w3 = planted_stock_workload(90, &[], 9, 7);
+    let problem = DiscoveryProblem::new(w3.cet.structure().clone(), 0.6, w3.types.ibm_rise)
+        .with_candidates(VarId(3), [w3.types.ibm_fall]);
+    let mining_reps = if quick { 3 } else { 7 };
+    let serial_opts = PipelineOptions {
+        parallel: false,
+        ..PipelineOptions::default()
+    };
+    let candidate_opts = PipelineOptions {
+        parallel_sweep: false,
+        ..PipelineOptions::default()
+    };
+    let sweep_opts = PipelineOptions::default();
+    let (naive_sols, _) = naive::mine(&problem, &w3.sequence);
+    let (naive_sweep_sols, _) =
+        naive::mine_with(&problem, &w3.sequence, &NaiveOptions { parallel_sweep: true });
+    let (serial_sols, _) = mine_with(&problem, &w3.sequence, &serial_opts);
+    let (candidate_sols, _) = mine_with(&problem, &w3.sequence, &candidate_opts);
+    let (sweep_sols, _) = mine_with(&problem, &w3.sequence, &sweep_opts);
+    assert_eq!(naive_sols, naive_sweep_sols, "naive sweep changed solutions");
+    assert_eq!(naive_sols, serial_sols, "pipeline diverged from naive");
+    assert_eq!(serial_sols, candidate_sols, "candidate parallelism changed solutions");
+    assert_eq!(serial_sols, sweep_sols, "sweep parallelism changed solutions");
+    let naive_ms = median_ms(mining_reps, || {
+        std::hint::black_box(naive::mine(&problem, &w3.sequence));
+    });
+    let pipeline_serial_ms = median_ms(mining_reps, || {
+        std::hint::black_box(mine_with(&problem, &w3.sequence, &serial_opts));
+    });
+    let pipeline_parallel_ms = median_ms(mining_reps, || {
+        std::hint::black_box(mine_with(&problem, &w3.sequence, &candidate_opts));
+    });
+    let pipeline_parallel_sweep_ms = median_ms(mining_reps, || {
+        std::hint::black_box(mine_with(&problem, &w3.sequence, &sweep_opts));
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_matcher/v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"tag_matching\": {\n");
+    for (i, (name, days, seed, pair)) in [
+        ("example1_full_scan", 120, 42, &example1),
+        ("e6_grouped_granularity", 90, 44, &e6_grouped),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(json, "      \"days\": {days},");
+        let _ = writeln!(json, "      \"seed\": {seed},");
+        let _ = writeln!(json, "      \"events\": {},", pair.events);
+        let _ = writeln!(
+            json,
+            "      \"reference_ns_per_event\": {:.1},",
+            pair.reference_ns_per_event
+        );
+        let _ = writeln!(
+            json,
+            "      \"packed_ns_per_event\": {:.1},",
+            pair.packed_ns_per_event
+        );
+        let _ = writeln!(json, "      \"speedup\": {:.2}", pair.speedup());
+        let _ = writeln!(json, "    }}{}", if i == 0 { "," } else { "" });
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"mining\": {\n");
+    let _ = writeln!(json, "    \"days\": 90,");
+    let _ = writeln!(json, "    \"seed\": 7,");
+    let _ = writeln!(json, "    \"naive_ms\": {naive_ms:.2},");
+    let _ = writeln!(json, "    \"pipeline_serial_ms\": {pipeline_serial_ms:.2},");
+    let _ = writeln!(json, "    \"pipeline_parallel_ms\": {pipeline_parallel_ms:.2},");
+    let _ = writeln!(
+        json,
+        "    \"pipeline_parallel_sweep_ms\": {pipeline_parallel_sweep_ms:.2}"
+    );
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_matcher.json", &json).expect("write BENCH_matcher.json");
+    print!("{json}");
+    eprintln!(
+        "engine speedup: example1 {:.2}x, e6 grouped {:.2}x (written to BENCH_matcher.json)",
+        example1.speedup(),
+        e6_grouped.speedup()
+    );
+}

@@ -6,7 +6,7 @@
 use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
 use tgm_events::{EventSequence, TypeRegistry};
 use tgm_granularity::{cache, Calendar};
-use tgm_tag::{build_tag, Matcher};
+use tgm_tag::{build_tag, Matcher, MatcherScratch};
 
 use crate::workloads::planted_stock_workload;
 use crate::{print_table, timed};
@@ -92,6 +92,43 @@ pub fn run() {
     print_table(
         "Matching time with grouped-granularity clocks ([0,1] business-week, [0,1] business-month chain)",
         &["events", "ms (cache)", "ms (no cache)", "cache speedup"],
+        &rows,
+    );
+
+    // (1c) Engine ablation: the reference per-`Config` engine (one heap
+    // vector per configuration, HashSet dedup) vs the packed scratch
+    // engine (flat pooled rows, in-place dedup), with a fresh scratch per
+    // run and with one reused scratch. RunStats are asserted bit-identical.
+    let mut rows = Vec::new();
+    for days in [30i64, 120, 480] {
+        let w = planted_stock_workload(days, &[], (days / 30) as usize, 42);
+        let tag = build_tag(&w.cet);
+        let m = Matcher::new(&tag);
+        let events = w.sequence.events();
+        let (stats_ref, ms_ref) = timed(|| m.run_reference(events, false));
+        let (stats_fresh, ms_fresh) = timed(|| m.run(events, false));
+        let mut scratch = MatcherScratch::new();
+        let _ = m.run_scratch(events, false, &mut scratch); // warm capacity
+        let (stats_reused, ms_reused) = timed(|| m.run_scratch(events, false, &mut scratch));
+        assert_eq!(stats_ref, stats_fresh, "engines are bit-identical");
+        assert_eq!(stats_ref, stats_reused, "scratch reuse is bit-identical");
+        rows.push(vec![
+            events.len().to_string(),
+            format!("{ms_ref:.1}"),
+            format!("{ms_fresh:.1}"),
+            format!("{ms_reused:.1}"),
+            format!("{:.1}x", ms_ref / ms_reused.max(0.001)),
+        ]);
+    }
+    print_table(
+        "Engine ablation: reference vs packed engine (Example 1 TAG)",
+        &[
+            "events",
+            "ms (reference)",
+            "ms (packed, fresh scratch)",
+            "ms (packed, reused scratch)",
+            "engine speedup",
+        ],
         &rows,
     );
 

@@ -19,7 +19,13 @@ pub fn run() {
         parallel: false,
         ..PipelineOptions::default()
     };
-    let parallel = PipelineOptions::default();
+    // Candidate-level parallelism only vs the full default (which adds the
+    // anchored-sweep split when candidates alone can't fill the workers).
+    let parallel_candidate = PipelineOptions {
+        parallel_sweep: false,
+        ..PipelineOptions::default()
+    };
+    let parallel_sweep = PipelineOptions::default();
 
     // vs sequence length, with the shared resolution layer (tick columns +
     // per-granularity cache) on and off for the serial pipeline — the off
@@ -41,9 +47,14 @@ pub fn run() {
         let ((psols_off, _), pms_off) =
             timed(|| mine_with(&problem, &w.sequence, &serial_off));
         cache::set_enabled(true);
-        let ((_, _), pms_par) = timed(|| mine_with(&problem, &w.sequence, &parallel));
+        let ((psols_par, _), pms_par) =
+            timed(|| mine_with(&problem, &w.sequence, &parallel_candidate));
+        let ((psols_sweep, _), pms_sweep) =
+            timed(|| mine_with(&problem, &w.sequence, &parallel_sweep));
         assert_eq!(nsols, psols);
         assert_eq!(psols, psols_off, "cache is semantics-preserving");
+        assert_eq!(psols, psols_par, "candidate parallelism is semantics-preserving");
+        assert_eq!(psols, psols_sweep, "sweep parallelism is semantics-preserving");
         rows.push(vec![
             days.to_string(),
             w.sequence.len().to_string(),
@@ -51,6 +62,7 @@ pub fn run() {
             format!("{pms:.0}"),
             format!("{pms_off:.0}"),
             format!("{pms_par:.0}"),
+            format!("{pms_sweep:.0}"),
             format!("{:.1}x", nms / pms.max(0.001)),
         ]);
     }
@@ -62,7 +74,8 @@ pub fn run() {
             "naive ms",
             "pipeline ms",
             "pipeline ms (resolution layer off)",
-            "pipeline ms (parallel)",
+            "pipeline ms (parallel, candidate-level)",
+            "pipeline ms (parallel + sweep)",
             "speedup",
         ],
         &rows,

@@ -1,18 +1,21 @@
 //! E11 — ablations of this implementation's own design choices (DESIGN.md
 //! §3): clock-reading saturation in the matcher, minimal (min-flow) vs
-//! greedy chain covers in the TAG construction, and the shared
-//! granularity-resolution cache.
+//! greedy chain covers in the TAG construction, the shared
+//! granularity-resolution cache, the packed zero-allocation matcher engine
+//! vs the reference per-`Config` engine, and the parallel anchored-sweep
+//! split in discovery.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tgm_core::{ComplexEventType, StructureBuilder, Tcg, VarId};
 use tgm_events::TypeRegistry;
 use tgm_granularity::{cache, Calendar};
+use tgm_mining::naive::{self, NaiveOptions};
 use tgm_mining::pipeline::{mine_with, PipelineOptions};
 use tgm_mining::DiscoveryProblem;
 use tgm_tag::{
     build_tag, build_tag_with_cover, greedy_chain_cover, minimal_chain_cover, MatchOptions,
-    Matcher,
+    Matcher, MatcherScratch,
 };
 
 use crate::workloads::{daily_stock_workload, planted_stock_workload};
@@ -170,6 +173,89 @@ pub fn run() {
     print_table(
         "Resolution cache: discovery pipeline with the shared cache on vs off",
         &["days", "cache", "ms", "hits", "misses", "hit rate"],
+        &rows,
+    );
+
+    // (4) Matcher engine: the reference per-`Config` engine (heap vector
+    // per configuration, HashSet dedup) vs the packed scratch engine (flat
+    // pooled rows, generation-stamped in-place dedup). RunStats asserted
+    // bit-identical; the engine is what every higher layer (miner, stream
+    // matcher) runs on.
+    let mut rows = Vec::new();
+    let mut scratch = MatcherScratch::new();
+    for days in [90i64, 270] {
+        let w = planted_stock_workload(days, &[], (days / 30) as usize, 42);
+        let tag = build_tag(&w.cet);
+        let m = Matcher::new(&tag);
+        let events = w.sequence.events();
+        let (s_ref, ms_ref) = timed(|| m.run_reference(events, false));
+        let _ = m.run_scratch(events, false, &mut scratch); // warm capacity
+        let (s_packed, ms_packed) = timed(|| m.run_scratch(events, false, &mut scratch));
+        assert_eq!(s_ref, s_packed, "engines are bit-identical");
+        rows.push(vec![
+            events.len().to_string(),
+            format!("{ms_ref:.1}"),
+            format!("{ms_packed:.1}"),
+            s_packed.peak_configs.to_string(),
+            format!("{:.1}x", ms_ref / ms_packed.max(0.001)),
+        ]);
+    }
+    print_table(
+        "Matcher engine: reference per-Config vs packed scratch (Example 1 TAG)",
+        &["events", "reference ms", "packed ms", "peak frontier", "engine speedup"],
+        &rows,
+    );
+
+    // (5) Parallel anchored sweep: discovery with the anchored support
+    // sweep split across workers (one scratch per worker) vs a single
+    // serial sweep, for the naive miner and the pipeline. Solutions and
+    // tag-run counts asserted identical — support is a sum of independent
+    // per-reference boolean runs, so chunking cannot change it.
+    let candidate_only = PipelineOptions {
+        parallel_sweep: false,
+        ..PipelineOptions::default()
+    };
+    let sweep_on = PipelineOptions::default();
+    let mut rows = Vec::new();
+    for days in [360i64, 720] {
+        let w = daily_stock_workload(days, &[], 0.85, 23);
+        let problem =
+            DiscoveryProblem::new(w.cet.structure().clone(), 0.6, w.types.ibm_rise)
+                .with_candidates(VarId(3), [w.types.ibm_fall]);
+        let ((n_serial, n_serial_stats), n_serial_ms) =
+            timed(|| naive::mine(&problem, &w.sequence));
+        let ((n_sweep, n_sweep_stats), n_sweep_ms) = timed(|| {
+            naive::mine_with(&problem, &w.sequence, &NaiveOptions { parallel_sweep: true })
+        });
+        let ((p_cand, p_cand_stats), p_cand_ms) =
+            timed(|| mine_with(&problem, &w.sequence, &candidate_only));
+        let ((p_sweep, p_sweep_stats), p_sweep_ms) =
+            timed(|| mine_with(&problem, &w.sequence, &sweep_on));
+        assert_eq!(n_serial, n_sweep, "naive sweep changed solutions");
+        assert_eq!(n_serial_stats.tag_runs, n_sweep_stats.tag_runs);
+        assert_eq!(p_cand, p_sweep, "pipeline sweep changed solutions");
+        assert_eq!(p_cand_stats.tag_runs, p_sweep_stats.tag_runs);
+        rows.push(vec![
+            days.to_string(),
+            w.sequence.len().to_string(),
+            format!("{n_serial_ms:.0}"),
+            format!("{n_sweep_ms:.0}"),
+            format!("{p_cand_ms:.0}"),
+            format!("{p_sweep_ms:.0}"),
+            format!("{:.1}x", n_serial_ms / n_sweep_ms.max(0.001)),
+        ]);
+    }
+    print_table(
+        "Parallel anchored sweep: serial vs sweep-split support counting",
+        &[
+            "days",
+            "events",
+            "naive ms (serial sweep)",
+            "naive ms (parallel sweep)",
+            "pipeline ms (candidate-level)",
+            "pipeline ms (+ sweep)",
+            "naive sweep speedup",
+        ],
         &rows,
     );
 }

@@ -17,6 +17,24 @@ use std::collections::BTreeSet;
 
 use tgm_events::{EventSequence, EventType};
 
+/// Reusable buffers for episode-frequency computation: the occurrence
+/// interval list, the window-boundary point list, and the per-type
+/// multiplicity table. One scratch serves every episode of a mining run,
+/// so level-wise mining allocates nothing per candidate in steady state.
+#[derive(Default)]
+pub struct EpisodeScratch {
+    intervals: Vec<(i64, i64)>,
+    points: Vec<i64>,
+    required: Vec<(EventType, usize)>,
+}
+
+impl EpisodeScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        EpisodeScratch::default()
+    }
+}
+
 /// An episode: an ordered (serial) or unordered (parallel) multiset of
 /// event types.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -103,24 +121,40 @@ impl EpisodeMiner {
 
     /// The frequency of an episode: windows containing it / total windows.
     pub fn frequency(&self, seq: &EventSequence, episode: &Episode) -> f64 {
+        self.frequency_with(seq, episode, &mut EpisodeScratch::new())
+    }
+
+    /// [`frequency`](Self::frequency) with caller-provided scratch buffers:
+    /// repeated evaluations (level-wise mining) reuse capacity.
+    pub fn frequency_with(
+        &self,
+        seq: &EventSequence,
+        episode: &Episode,
+        scratch: &mut EpisodeScratch,
+    ) -> f64 {
         let total = self.total_windows(seq);
         if total == 0 || episode.is_empty() {
             return 0.0;
         }
-        let valid = match episode {
-            Episode::Serial(types) => self.serial_window_starts(seq, types),
-            Episode::Parallel(types) => self.parallel_window_starts(seq, types),
+        match episode {
+            Episode::Serial(types) => self.serial_window_starts(seq, types, scratch),
+            Episode::Parallel(types) => self.parallel_window_starts(seq, types, scratch),
         };
-        let count = self.count_grid_points(seq, &valid);
+        let count = self.count_grid_points(seq, &scratch.intervals);
         count as f64 / total as f64
     }
 
-    /// Intervals `[a, b]` of window-start positions whose window contains a
-    /// serial occurrence.
-    fn serial_window_starts(&self, seq: &EventSequence, types: &[EventType]) -> Vec<(i64, i64)> {
+    /// Fills `scratch.intervals` with the merged intervals `[a, b]` of
+    /// window-start positions whose window contains a serial occurrence.
+    fn serial_window_starts(
+        &self,
+        seq: &EventSequence,
+        types: &[EventType],
+        scratch: &mut EpisodeScratch,
+    ) {
         let events = seq.events();
-        // Per-type event indices in time order.
-        let mut out: Vec<(i64, i64)> = Vec::new();
+        let out = &mut scratch.intervals;
+        out.clear();
         for (i, e) in events.iter().enumerate() {
             if e.ty != types[0] {
                 continue;
@@ -148,19 +182,22 @@ impl EpisodeMiner {
                 out.push((lo, ts));
             }
         }
-        merge_intervals(out)
+        merge_intervals_in_place(out);
     }
 
-    /// Intervals of window-start positions whose window contains all types
-    /// of a parallel episode (with multiplicity).
+    /// Fills `scratch.intervals` with the merged intervals of window-start
+    /// positions whose window contains all types of a parallel episode
+    /// (with multiplicity).
     fn parallel_window_starts(
         &self,
         seq: &EventSequence,
         types: &[EventType],
-    ) -> Vec<(i64, i64)> {
+        scratch: &mut EpisodeScratch,
+    ) {
         let events = seq.events();
         // Required multiplicity per type.
-        let mut required: Vec<(EventType, usize)> = Vec::new();
+        let required = &mut scratch.required;
+        required.clear();
         for &t in types {
             match required.iter_mut().find(|(ty, _)| *ty == t) {
                 Some((_, c)) => *c += 1,
@@ -170,15 +207,18 @@ impl EpisodeMiner {
         // Sweep window starts: content of [w, w + window) changes at
         // critical points w = e.time (event enters as w reaches its time
         // ... actually leaves) and w = e.time - window + 1 (enters).
-        let mut boundaries: BTreeSet<i64> = BTreeSet::new();
+        let pts = &mut scratch.points;
+        pts.clear();
         for e in events {
             if required.iter().any(|&(ty, _)| ty == e.ty) {
-                boundaries.insert(e.time - self.window + 1); // enters
-                boundaries.insert(e.time + 1); // left the window
+                pts.push(e.time - self.window + 1); // enters
+                pts.push(e.time + 1); // left the window
             }
         }
-        let pts: Vec<i64> = boundaries.into_iter().collect();
-        let mut out = Vec::new();
+        pts.sort_unstable();
+        pts.dedup();
+        let out = &mut scratch.intervals;
+        out.clear();
         for (k, &w) in pts.iter().enumerate() {
             let w_end = if k + 1 < pts.len() { pts[k + 1] - 1 } else { w };
             // Count required types inside [w, w + window).
@@ -190,7 +230,7 @@ impl EpisodeMiner {
                 out.push((w, w_end));
             }
         }
-        merge_intervals(out)
+        merge_intervals_in_place(out);
     }
 
     /// Counts window-start grid points falling inside the intervals.
@@ -228,6 +268,8 @@ impl EpisodeMiner {
 
     fn mine(&self, seq: &EventSequence, serial: bool) -> Vec<(Episode, f64)> {
         let mut results: Vec<(Episode, f64)> = Vec::new();
+        // One scratch reused across every candidate frequency evaluation.
+        let mut scratch = EpisodeScratch::new();
         let mk = |v: Vec<EventType>| {
             if serial {
                 Episode::Serial(v)
@@ -242,7 +284,7 @@ impl EpisodeMiner {
         let mut frequent_types: Vec<EventType> = Vec::new();
         for ty in seq.types_present() {
             let ep = mk(vec![ty]);
-            let f = self.frequency(seq, &ep);
+            let f = self.frequency_with(seq, &ep, &mut scratch);
             if f >= self.min_frequency {
                 results.push((ep, f));
                 frequent_prev.push(vec![ty]);
@@ -281,7 +323,7 @@ impl EpisodeMiner {
                         continue;
                     }
                     let ep = mk(cand.clone());
-                    let f = self.frequency(seq, &ep);
+                    let f = self.frequency_with(seq, &ep, &mut scratch);
                     if f >= self.min_frequency {
                         results.push((ep, f));
                         next.push(cand);
@@ -298,16 +340,24 @@ impl EpisodeMiner {
     }
 }
 
-fn merge_intervals(mut ivs: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+/// Sorts and merges overlapping-or-adjacent intervals in place (no
+/// allocation): adjacent means `a <= prev_end + 1`, matching the
+/// window-start grid where consecutive integers are contiguous.
+fn merge_intervals_in_place(ivs: &mut Vec<(i64, i64)>) {
     ivs.sort_unstable();
-    let mut out: Vec<(i64, i64)> = Vec::new();
-    for (a, b) in ivs {
-        match out.last_mut() {
-            Some((_, pb)) if a <= *pb + 1 => *pb = (*pb).max(b),
-            _ => out.push((a, b)),
+    let mut w = 0usize;
+    for i in 0..ivs.len() {
+        let (a, b) = ivs[i];
+        if w > 0 && a <= ivs[w - 1].1 + 1 {
+            if b > ivs[w - 1].1 {
+                ivs[w - 1].1 = b;
+            }
+        } else {
+            ivs[w] = (a, b);
+            w += 1;
         }
     }
-    out
+    ivs.truncate(w);
 }
 
 #[cfg(test)]

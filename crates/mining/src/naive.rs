@@ -3,7 +3,7 @@
 
 use tgm_core::ComplexEventType;
 use tgm_events::{Event, EventSequence, EventType, TickColumns};
-use tgm_tag::{build_tag, MatchOptions, Matcher, Tag};
+use tgm_tag::{build_tag, MatchOptions, Matcher, MatcherScratch, Tag};
 
 use crate::problem::{DiscoveryProblem, Solution};
 
@@ -18,8 +18,27 @@ pub struct NaiveStats {
     pub solutions: usize,
 }
 
-/// Runs the naive algorithm.
+/// Options for the naive algorithm (it has no screening steps to ablate —
+/// only the execution strategy of its anchored sweeps).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveOptions {
+    /// Chunk each candidate's per-occurrence anchored sweep across worker
+    /// threads (one matcher scratch per worker). Off by default: the naive
+    /// baseline is traditionally measured single-threaded.
+    pub parallel_sweep: bool,
+}
+
+/// Runs the naive algorithm single-threaded.
 pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, NaiveStats) {
+    mine_with(problem, seq, &NaiveOptions::default())
+}
+
+/// Runs the naive algorithm with explicit options.
+pub fn mine_with(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &NaiveOptions,
+) -> (Vec<Solution>, NaiveStats) {
     let mut stats = NaiveStats::default();
     let denominator = problem.reference_count(seq);
     if denominator == 0 {
@@ -38,7 +57,14 @@ pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, 
     // resolve each event's ticks once, up front, for all of them.
     let cols = TickColumns::build(seq.events(), &problem.structure.granularities());
 
+    let n_threads = if opts.parallel_sweep {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        1
+    };
     let mut solutions = Vec::new();
+    // One scratch reused across every candidate's every anchored run.
+    let mut scratch = MatcherScratch::new();
     let mut assignment: Vec<EventType> = vec![problem.reference_type; problem.structure.len()];
     enumerate(problem, &occurring, 1, &mut assignment, &mut |phi| {
         if !problem.assignment_admissible(phi) {
@@ -47,8 +73,27 @@ pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, 
         stats.candidates += 1;
         let cet = ComplexEventType::new(problem.structure.clone(), phi.to_vec());
         let tag = build_tag(&cet);
-        let support =
-            count_support(&tag, seq.events(), &refs, None, Some(&cols), &mut stats.tag_runs);
+        let support = if n_threads > 1 {
+            count_support_sweep(
+                &tag,
+                seq.events(),
+                &refs,
+                None,
+                Some(&cols),
+                n_threads,
+                &mut stats.tag_runs,
+            )
+        } else {
+            count_support(
+                &tag,
+                seq.events(),
+                &refs,
+                None,
+                Some(&cols),
+                &mut scratch,
+                &mut stats.tag_runs,
+            )
+        };
         let frequency = support as f64 / denominator as f64;
         if frequency > problem.min_confidence {
             solutions.push(Solution {
@@ -84,27 +129,48 @@ fn enumerate(
     }
 }
 
-/// Counts distinct reference occurrences from which the TAG accepts,
-/// running one anchored matcher per occurrence. `window` optionally bounds
-/// the scanned suffix to `ref_time + window` seconds. When `cols` (built
-/// over exactly `events`) is given, clock updates read the pre-resolved
-/// tick columns instead of re-resolving each timestamp per run.
-pub(crate) fn count_support(
-    tag: &Tag,
-    events: &[Event],
-    refs: &[usize],
-    window: Option<i64>,
-    cols: Option<&TickColumns>,
-    tag_runs: &mut usize,
-) -> usize {
-    let matcher = Matcher::with_options(
+/// The miner's matcher configuration: anchored, lazy updates, saturating.
+fn anchored_matcher(tag: &Tag) -> Matcher<'_> {
+    Matcher::with_options(
         tag,
         MatchOptions {
             anchored: true,
             strict_updates: false,
             saturate: true,
         },
-    );
+    )
+}
+
+/// Counts distinct reference occurrences from which the TAG accepts,
+/// running one anchored matcher per occurrence. `window` optionally bounds
+/// the scanned suffix to `ref_time + window` seconds. When `cols` (built
+/// over exactly `events`) is given, clock updates read the pre-resolved
+/// tick columns instead of re-resolving each timestamp per run. `scratch`
+/// is reused across every run (and across calls), so the sweep allocates
+/// nothing in steady state.
+pub(crate) fn count_support(
+    tag: &Tag,
+    events: &[Event],
+    refs: &[usize],
+    window: Option<i64>,
+    cols: Option<&TickColumns>,
+    scratch: &mut MatcherScratch,
+    tag_runs: &mut usize,
+) -> usize {
+    let matcher = anchored_matcher(tag);
+    count_refs(&matcher, events, refs, window, cols, scratch, tag_runs)
+}
+
+/// The inner anchored sweep over one slice of reference occurrences.
+fn count_refs(
+    matcher: &Matcher<'_>,
+    events: &[Event],
+    refs: &[usize],
+    window: Option<i64>,
+    cols: Option<&TickColumns>,
+    scratch: &mut MatcherScratch,
+    tag_runs: &mut usize,
+) -> usize {
     let mut support = 0;
     for &idx in refs {
         let slice = match window {
@@ -117,12 +183,64 @@ pub(crate) fn count_support(
         };
         *tag_runs += 1;
         let hit = match cols {
-            Some(cols) => matcher.matches_within_columns(slice, cols, idx),
-            None => matcher.matches_within(slice),
+            Some(cols) => matcher.matches_within_columns_scratch(slice, cols, idx, scratch),
+            None => matcher.matches_within_scratch(slice, scratch),
         };
         if hit {
             support += 1;
         }
+    }
+    support
+}
+
+/// [`count_support`] with the anchor start positions chunked across up to
+/// `n_threads` workers (one scratch per worker): parallelism *inside* one
+/// candidate, for when there are fewer candidates than cores. Each
+/// reference occurrence is an independent anchored run, so the support sum
+/// is identical to the serial sweep in any chunking.
+pub(crate) fn count_support_sweep(
+    tag: &Tag,
+    events: &[Event],
+    refs: &[usize],
+    window: Option<i64>,
+    cols: Option<&TickColumns>,
+    n_threads: usize,
+    tag_runs: &mut usize,
+) -> usize {
+    let n_threads = n_threads.min(refs.len());
+    if n_threads <= 1 {
+        return count_support(
+            tag,
+            events,
+            refs,
+            window,
+            cols,
+            &mut MatcherScratch::new(),
+            tag_runs,
+        );
+    }
+    let matcher = anchored_matcher(tag);
+    let matcher = &matcher;
+    let results: Vec<(usize, usize)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = refs
+            .chunks(refs.len().div_ceil(n_threads))
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut scratch = MatcherScratch::new();
+                    let mut runs = 0usize;
+                    let support =
+                        count_refs(matcher, events, chunk, window, cols, &mut scratch, &mut runs);
+                    (support, runs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("crossbeam scope");
+    let mut support = 0;
+    for (s, r) in results {
+        support += s;
+        *tag_runs += r;
     }
     support
 }

@@ -28,7 +28,9 @@ use tgm_granularity::{Gran, Granularity as _};
 use tgm_stp::INF;
 use tgm_tag::build_tag;
 
-use crate::naive::count_support;
+use tgm_tag::MatcherScratch;
+
+use crate::naive::{count_support, count_support_sweep};
 use crate::problem::{DiscoveryProblem, Solution};
 
 /// Ablation switches for the pipeline; all enabled by default (`k = 2`
@@ -56,6 +58,13 @@ pub struct PipelineOptions {
     pub window_limit: bool,
     /// Step 5: parallelize over candidates with crossbeam.
     pub parallel: bool,
+    /// Step 5, second level: when there are fewer surviving candidates
+    /// than cores (so candidate-level chunking would leave workers idle),
+    /// chunk the anchor start positions *within* each candidate's sweep
+    /// across workers instead. Requires [`parallel`](Self::parallel); the
+    /// support of a candidate is a sum over independent anchored runs, so
+    /// results are identical in any chunking.
+    pub parallel_sweep: bool,
     /// Resolve every event's tick per structure granularity once up front
     /// ([`TickColumns`]) and share the columns across steps 2–5 and every
     /// anchored TAG run. Off = resolve per use (the shared-resolution-layer
@@ -74,6 +83,7 @@ impl Default for PipelineOptions {
             chain_screening_k: 0,
             window_limit: true,
             parallel: true,
+            parallel_sweep: true,
             use_tick_columns: true,
         }
     }
@@ -441,6 +451,8 @@ pub fn mine_with(
     // threshold bans every candidate complex type containing it.
     let mut banned_tuples: Vec<(Vec<VarId>, BTreeSet<Vec<EventType>>)> = Vec::new();
     if opts.chain_screening_k >= 2 && !kept_refs.is_empty() {
+        // One scratch reused across every screening tuple's sweep.
+        let mut screen_scratch = MatcherScratch::new();
         // Enumerate root-to-sink paths, then in-order sub-sequences of
         // non-root variables of each length k.
         let paths = root_paths(s);
@@ -484,6 +496,7 @@ pub fn mine_with(
                             &kept_refs,
                             opts.window_limit.then_some(max_window),
                             cols.as_ref(),
+                            &mut screen_scratch,
                             &mut stats.screening_tag_runs,
                         );
                         if (support as f64 / denominator as f64) <= problem.min_confidence {
@@ -513,10 +526,7 @@ pub fn mine_with(
     stats.candidates_scanned = assignments.len() as u64;
 
     let window = opts.window_limit.then_some(max_window);
-    let scan = |phi: &[EventType], tag_runs: &mut usize| -> Option<Solution> {
-        let cet = ComplexEventType::new(s.clone(), phi.to_vec());
-        let tag = build_tag(&cet);
-        let support = count_support(&tag, &events, &kept_refs, window, cols.as_ref(), tag_runs);
+    let solution_of = |phi: &[EventType], support: usize| -> Option<Solution> {
         let frequency = support as f64 / denominator as f64;
         (frequency > problem.min_confidence).then(|| Solution {
             assignment: phi.to_vec(),
@@ -524,14 +534,46 @@ pub fn mine_with(
             support,
         })
     };
+    let scan = |phi: &[EventType], scratch: &mut MatcherScratch, tag_runs: &mut usize| {
+        let cet = ComplexEventType::new(s.clone(), phi.to_vec());
+        let tag = build_tag(&cet);
+        let support =
+            count_support(&tag, &events, &kept_refs, window, cols.as_ref(), scratch, tag_runs);
+        solution_of(phi, support)
+    };
 
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let mut solutions: Vec<Solution>;
     let mut tag_runs = 0usize;
-    if opts.parallel && assignments.len() > 1 {
-        let n_threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(assignments.len());
+    if opts.parallel
+        && opts.parallel_sweep
+        && assignments.len() < n_threads
+        && kept_refs.len() > 1
+    {
+        // Fewer candidates than cores: candidate-level chunking would idle
+        // most workers, so parallelize *inside* each candidate by chunking
+        // its anchor start positions instead.
+        solutions = Vec::new();
+        for phi in &assignments {
+            let cet = ComplexEventType::new(s.clone(), phi.to_vec());
+            let tag = build_tag(&cet);
+            let support = count_support_sweep(
+                &tag,
+                &events,
+                &kept_refs,
+                window,
+                cols.as_ref(),
+                n_threads,
+                &mut tag_runs,
+            );
+            if let Some(sol) = solution_of(phi, support) {
+                solutions.push(sol);
+            }
+        }
+    } else if opts.parallel && assignments.len() > 1 {
+        let n_threads = n_threads.min(assignments.len());
         let chunks: Vec<&[Vec<EventType>]> = assignments
             .chunks(assignments.len().div_ceil(n_threads))
             .collect();
@@ -542,9 +584,11 @@ pub fn mine_with(
                 .map(|chunk| {
                     scope.spawn(move |_| {
                         let mut local = Vec::new();
+                        // One scratch per worker, reused across its chunk.
+                        let mut scratch = MatcherScratch::new();
                         let mut runs = 0usize;
                         for phi in chunk {
-                            if let Some(sol) = scan(phi, &mut runs) {
+                            if let Some(sol) = scan(phi, &mut scratch, &mut runs) {
                                 local.push(sol);
                             }
                         }
@@ -562,8 +606,9 @@ pub fn mine_with(
         }
     } else {
         solutions = Vec::new();
+        let mut scratch = MatcherScratch::new();
         for phi in &assignments {
-            if let Some(sol) = scan(phi, &mut tag_runs) {
+            if let Some(sol) = scan(phi, &mut scratch, &mut tag_runs) {
                 solutions.push(sol);
             }
         }
@@ -715,6 +760,7 @@ mod tests {
             chain_screening_k: 0,
             window_limit: false,
             parallel: false,
+            parallel_sweep: false,
             use_tick_columns: false,
         }
     }
@@ -770,6 +816,7 @@ mod tests {
                 chain_screening_k: if bits & 64 != 0 { 2 } else { 0 },
                 window_limit: bits & 32 != 0,
                 parallel: false,
+                parallel_sweep: false,
                 use_tick_columns: bits & 128 != 0,
             };
             let (sols, _) = mine_with(&p, &seq, &opts);
@@ -882,5 +929,27 @@ mod tests {
         let (s1, _) = mine_with(&p, &seq, &serial);
         let (s2, _) = mine(&p, &seq);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parallel_sweep_agrees_and_preserves_run_count() {
+        let (_reg, seq, p) = world();
+        let serial = PipelineOptions {
+            parallel: false,
+            ..PipelineOptions::default()
+        };
+        let candidate_level = PipelineOptions {
+            parallel_sweep: false,
+            ..PipelineOptions::default()
+        };
+        let sweep_level = PipelineOptions::default();
+        let (s0, st0) = mine_with(&p, &seq, &serial);
+        let (s1, st1) = mine_with(&p, &seq, &candidate_level);
+        let (s2, st2) = mine_with(&p, &seq, &sweep_level);
+        assert_eq!(s0, s1);
+        assert_eq!(s0, s2);
+        // Chunking never changes how many anchored runs are performed.
+        assert_eq!(st0.tag_runs, st1.tag_runs);
+        assert_eq!(st0.tag_runs, st2.tag_runs);
     }
 }

@@ -1,0 +1,81 @@
+//! Differential property tests for the miner's parallel anchored sweeps:
+//! on randomized discovery problems and event sequences, chunking the
+//! per-occurrence sweep across workers (naive `parallel_sweep`, pipeline
+//! `parallel_sweep`) and candidate-level parallelism must all produce
+//! exactly the serial solutions, with the same number of anchored TAG runs.
+
+use proptest::prelude::*;
+use tgm_core::{StructureBuilder, Tcg};
+use tgm_events::{Event, EventSequence, EventType};
+use tgm_granularity::{Calendar, Gran};
+use tgm_mining::naive::{self, NaiveOptions};
+use tgm_mining::pipeline::{mine_with, PipelineOptions};
+use tgm_mining::DiscoveryProblem;
+
+const DAY: i64 = 86_400;
+
+fn grans() -> Vec<Gran> {
+    let cal = Calendar::standard();
+    ["hour", "day", "week", "business-day"]
+        .iter()
+        .map(|n| cal.get(n).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sweep_parallelism_preserves_miner_output(
+        chain_len in 2usize..4,
+        gran_picks in proptest::collection::vec(0usize..4, 3),
+        bounds in proptest::collection::vec((0u64..3, 0u64..3), 3),
+        raw_events in proptest::collection::vec((0u32..4, 0i64..40), 4..30),
+        confidence in 0.0f64..0.9,
+    ) {
+        let gs = grans();
+        let mut b = StructureBuilder::new();
+        let vars: Vec<_> = (0..chain_len).map(|i| b.var(format!("X{i}"))).collect();
+        for i in 1..chain_len {
+            let (lo, w) = bounds[i - 1];
+            let g = gs[gran_picks[i - 1] % gs.len()].clone();
+            b.constrain(vars[i - 1], vars[i], Tcg::new(lo, lo + w, g));
+        }
+        let s = b.build().unwrap();
+        let events: Vec<Event> = raw_events
+            .iter()
+            .map(|&(ty, step)| Event::new(EventType(ty), 2 * DAY + step * 6 * 3_600))
+            .collect();
+        let seq = EventSequence::from_events(events);
+        let problem = DiscoveryProblem::new(s, confidence, EventType(0));
+
+        // Naive: serial vs chunked sweep.
+        let (serial_sols, serial_stats) = naive::mine(&problem, &seq);
+        let (sweep_sols, sweep_stats) =
+            naive::mine_with(&problem, &seq, &NaiveOptions { parallel_sweep: true });
+        prop_assert_eq!(&serial_sols, &sweep_sols);
+        prop_assert_eq!(serial_stats.tag_runs, sweep_stats.tag_runs);
+        prop_assert_eq!(serial_stats.candidates, sweep_stats.candidates);
+
+        // Pipeline: serial vs candidate-level parallel vs in-candidate
+        // sweep parallelism.
+        let serial = PipelineOptions {
+            parallel: false,
+            ..PipelineOptions::default()
+        };
+        let candidate_level = PipelineOptions {
+            parallel_sweep: false,
+            ..PipelineOptions::default()
+        };
+        let sweep_level = PipelineOptions::default();
+        let (p0, st0) = mine_with(&problem, &seq, &serial);
+        let (p1, st1) = mine_with(&problem, &seq, &candidate_level);
+        let (p2, st2) = mine_with(&problem, &seq, &sweep_level);
+        prop_assert_eq!(&p0, &p1);
+        prop_assert_eq!(&p0, &p2);
+        prop_assert_eq!(st0.tag_runs, st1.tag_runs);
+        prop_assert_eq!(st0.tag_runs, st2.tag_runs);
+        // And both miners still agree with each other.
+        prop_assert_eq!(&serial_sols, &p0);
+    }
+}

@@ -54,4 +54,4 @@ pub use automaton::{StateId, Symbol, Tag, TagBuilder, Transition};
 pub use chains::{greedy_chain_cover, is_valid_cover, minimal_chain_cover, Chain};
 pub use constraint::{ClockConstraint, ClockId};
 pub use construct::{build_tag, build_tag_for_structure, build_tag_with_cover};
-pub use matcher::{MatchOptions, Matcher, RunStats, StreamMatcher};
+pub use matcher::{MatchOptions, Matcher, MatcherScratch, RunStats, StreamMatcher};

@@ -6,6 +6,20 @@
 //! the covering tick of the clock's granularity at its last reset; the
 //! reading at an event with timestamp `t` is `⌈t⌉μ − reset`, undefined when
 //! either side is undefined (see the crate docs for the gap semantics).
+//!
+//! # Engine representation
+//!
+//! The production engine is *allocation-free in steady state*: a frontier
+//! is one flat `i64` buffer of packed reset rows (stride = number of
+//! clocks, `i64::MIN` encoding an undefined reset) plus one packed
+//! state/started word per configuration, and deduplication hashes the
+//! packed rows in place against an open-addressing index table — no
+//! per-configuration heap objects, no clones into a hash set. All per-run
+//! buffers live in a [`MatcherScratch`] that callers can reuse across
+//! runs, so the anchored per-occurrence sweeps of the §5 miner perform no
+//! allocation after the first run warms the capacity. The pre-existing
+//! per-`Config` engine is retained as `*_reference` methods for
+//! differential testing and the E11 ablation.
 
 use std::collections::HashSet;
 
@@ -45,7 +59,6 @@ impl Default for MatchOptions {
     }
 }
 
-
 /// Instrumentation counters from a matcher run (the quantities of the
 /// Theorem 4 complexity bound).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,12 +88,196 @@ fn collect_guard_consts(guard: &crate::constraint::ClockConstraint, out: &mut [i
     }
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct Config {
-    state: StateId,
-    started: bool,
-    /// Covering tick of each clock's granularity at its last reset.
-    resets: Vec<Option<Tick>>,
+// ---------------------------------------------------------------------------
+// Packed configuration encoding
+// ---------------------------------------------------------------------------
+
+/// Packed encoding of an undefined reset (`None::<Tick>`). Valid ticks are
+/// small epoch-anchored indices, far from `i64::MIN`.
+const NONE_TICK: i64 = i64::MIN;
+
+#[inline]
+fn pack_tick(t: Option<Tick>) -> i64 {
+    t.unwrap_or(NONE_TICK)
+}
+
+#[inline]
+fn pack_meta(state: StateId, started: bool) -> u64 {
+    ((state.index() as u64) << 1) | u64::from(started)
+}
+
+#[inline]
+fn meta_state(m: u64) -> StateId {
+    StateId((m >> 1) as usize)
+}
+
+#[inline]
+fn meta_started(m: u64) -> bool {
+    m & 1 == 1
+}
+
+/// FxHash-style mix over a packed configuration (meta word + reset row).
+#[inline]
+fn hash_row(meta: u64, row: &[i64]) -> u64 {
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h = (meta ^ 0xA076_1D64_78BD_642F).wrapping_mul(K);
+    for &w in row {
+        h ^= w as u64;
+        h = h.wrapping_mul(K);
+        h ^= h >> 32;
+    }
+    h
+}
+
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// Open-addressing index table used to deduplicate packed configurations
+/// in place. Slots store `(generation << 32) | config_index`; clearing is
+/// O(1) by bumping the generation, so one table serves every event of
+/// every run without re-zeroing (the standard timestamped-hash-table
+/// trick). Keys live in the caller's row pool — the table only compares
+/// via callbacks, so nothing is ever cloned.
+struct DedupTable {
+    slots: Vec<u64>,
+    gen: u32,
+    len: usize,
+}
+
+impl DedupTable {
+    fn new() -> Self {
+        DedupTable {
+            slots: vec![EMPTY_SLOT; 16],
+            gen: 0,
+            len: 0,
+        }
+    }
+
+    /// Invalidates every entry in O(1) (generation bump).
+    fn reset(&mut self) {
+        self.len = 0;
+        // `EMPTY_SLOT` carries generation u32::MAX: never reach it.
+        if self.gen >= u32::MAX - 1 {
+            self.gen = 0;
+            self.slots.fill(EMPTY_SLOT);
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    #[inline]
+    fn live(&self, slot: u64) -> Option<u32> {
+        if slot != EMPTY_SLOT && (slot >> 32) as u32 == self.gen {
+            Some(slot as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts `idx` under `hash` unless an equal entry exists; `eq(j)`
+    /// compares against previously inserted index `j`, `hash_of(j)`
+    /// re-hashes it (used only when the table grows). Returns whether the
+    /// entry is new.
+    fn insert(
+        &mut self,
+        hash: u64,
+        idx: u32,
+        mut eq: impl FnMut(u32) -> bool,
+        mut hash_of: impl FnMut(u32) -> u64,
+    ) -> bool {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(&mut hash_of);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.live(self.slots[i]) {
+                None => {
+                    self.slots[i] = ((self.gen as u64) << 32) | u64::from(idx);
+                    self.len += 1;
+                    return true;
+                }
+                Some(j) => {
+                    if eq(j) {
+                        return false;
+                    }
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Doubles capacity, re-inserting the current generation's entries.
+    /// Allocates only while growing past the historical maximum.
+    fn grow(&mut self, hash_of: &mut impl FnMut(u32) -> u64) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        let mask = new_cap - 1;
+        for s in old {
+            if s != EMPTY_SLOT && (s >> 32) as u32 == self.gen {
+                let mut i = (hash_of(s as u32) as usize) & mask;
+                while self.slots[i] != EMPTY_SLOT {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = s;
+            }
+        }
+    }
+}
+
+/// Provenance of one arena configuration in
+/// [`find_occurrence`](Matcher::find_occurrence): parent index, consuming
+/// event, and whether the consuming transition was a pattern transition.
+struct Prov {
+    parent: u32,
+    event: u32,
+    pattern: bool,
+}
+
+/// Reusable buffers for matcher runs.
+///
+/// One scratch holds every per-run buffer of the packed engine: the
+/// current and next frontier (packed meta words + flat reset rows), the
+/// deduplication table, the current event's resolved tick row, and the
+/// back-pointer arena of [`Matcher::find_occurrence`]. Repeated runs —
+/// in particular the miner's one-anchored-run-per-reference-occurrence
+/// sweeps — reuse the grown capacity and allocate nothing.
+///
+/// A scratch is not tied to a particular TAG: buffers are (re)sized at the
+/// start of each run, so one scratch may serve matchers of different TAGs
+/// in sequence.
+#[derive(Default)]
+pub struct MatcherScratch {
+    /// Current frontier: packed state/started per configuration.
+    meta: Vec<u64>,
+    /// Current frontier reset rows, stride = number of clocks.
+    rows: Vec<i64>,
+    next_meta: Vec<u64>,
+    next_rows: Vec<i64>,
+    table: DedupTable,
+    /// Packed covering ticks of the current event, one per clock.
+    ticks: Vec<i64>,
+    /// Per-clock column index for column-reading runs.
+    clock_cols: Vec<Option<usize>>,
+    // `find_occurrence` arena (configurations with provenance).
+    arena_meta: Vec<u64>,
+    arena_rows: Vec<i64>,
+    arena_prov: Vec<Prov>,
+    fr_idx: Vec<u32>,
+    nx_idx: Vec<u32>,
+}
+
+impl Default for DedupTable {
+    fn default() -> Self {
+        DedupTable::new()
+    }
+}
+
+impl MatcherScratch {
+    /// An empty scratch; buffers grow on first use and are kept across
+    /// runs.
+    pub fn new() -> Self {
+        MatcherScratch::default()
+    }
 }
 
 /// A reusable matcher for one TAG.
@@ -114,26 +311,9 @@ impl<'a> Matcher<'a> {
         }
     }
 
-    /// Saturates clock resets whose readings exceed every guard constant:
-    /// the canonical representative keeps the reading exactly one past the
-    /// largest comparison constant.
-    fn canonicalize(&self, resets: &mut [Option<Tick>], cur_ticks: &[Option<Tick>]) {
-        if !self.opts.saturate {
-            return;
-        }
-        for (x, r) in resets.iter_mut().enumerate() {
-            if let (Some(cur), Some(res)) = (cur_ticks[x], *r) {
-                let cap = self.max_consts[x];
-                if cur - res > cap {
-                    *r = Some(cur - cap - 1);
-                }
-            }
-        }
-    }
-
     /// Whether the TAG has an accepting run over the *entire* sequence.
     pub fn accepts(&self, events: &[Event]) -> bool {
-        self.run_inner(events, false).accepted
+        self.run(events, false).accepted
     }
 
     /// Whether some *prefix* of the sequence is accepted — equivalently,
@@ -141,13 +321,35 @@ impl<'a> Matcher<'a> {
     /// loops on accepting states — all constructed TAGs — this coincides
     /// with [`accepts`](Self::accepts) but exits early.)
     pub fn matches_within(&self, events: &[Event]) -> bool {
-        self.run_inner(events, true).accepted
+        self.run(events, true).accepted
     }
 
     /// Full run with instrumentation. `early_exit` stops at the first
-    /// accepting configuration.
+    /// accepting configuration. Allocates a fresh scratch; hot callers
+    /// should use [`run_scratch`](Self::run_scratch).
     pub fn run(&self, events: &[Event], early_exit: bool) -> RunStats {
-        self.run_inner(events, early_exit)
+        self.run_scratch(events, early_exit, &mut MatcherScratch::new())
+    }
+
+    /// [`run`](Self::run) with caller-provided scratch buffers: repeated
+    /// runs reuse capacity and perform no steady-state allocation.
+    pub fn run_scratch(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
+    ) -> RunStats {
+        self.run_scratch_core(events, early_exit, scratch, |_, e, out| {
+            for (x, slot) in out.iter_mut().enumerate() {
+                *slot = pack_tick(self.clock_tick(ClockId(x), e.time));
+            }
+        })
+    }
+
+    /// [`matches_within`](Self::matches_within) with caller-provided
+    /// scratch.
+    pub fn matches_within_scratch(&self, events: &[Event], scratch: &mut MatcherScratch) -> bool {
+        self.run_scratch(events, true, scratch).accepted
     }
 
     /// Like [`run`](Self::run), but clock updates read pre-resolved
@@ -166,28 +368,38 @@ impl<'a> Matcher<'a> {
         offset: usize,
         early_exit: bool,
     ) -> RunStats {
+        self.run_columns_scratch(events, cols, offset, early_exit, &mut MatcherScratch::new())
+    }
+
+    /// [`run_columns`](Self::run_columns) with caller-provided scratch.
+    /// The per-event tick row is filled in place — no per-event allocation.
+    pub fn run_columns_scratch(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
+    ) -> RunStats {
         assert!(
             offset + events.len() <= cols.len(),
             "event slice [{offset}, {}) exceeds the {} column rows",
             offset + events.len(),
             cols.len()
         );
-        let clock_cols: Vec<Option<usize>> = self
-            .tag
-            .clocks
-            .iter()
-            .map(|(_, g)| cols.index_of(g))
-            .collect();
-        self.run_core(events, early_exit, |i, e| {
-            clock_cols
-                .iter()
-                .enumerate()
-                .map(|(x, c)| match c {
-                    Some(c) => cols.tick(*c, offset + i),
-                    None => self.clock_tick(ClockId(x), e.time),
-                })
-                .collect()
-        })
+        let mut ccols = std::mem::take(&mut scratch.clock_cols);
+        ccols.clear();
+        ccols.extend(self.tag.clocks.iter().map(|(_, g)| cols.index_of(g)));
+        let stats = self.run_scratch_core(events, early_exit, scratch, |i, e, out| {
+            for (x, c) in ccols.iter().enumerate() {
+                out[x] = match c {
+                    Some(c) => pack_tick(cols.tick(*c, offset + i)),
+                    None => pack_tick(self.clock_tick(ClockId(x), e.time)),
+                };
+            }
+        });
+        scratch.clock_cols = ccols;
+        stats
     }
 
     /// Column-reading variant of [`matches_within`](Self::matches_within).
@@ -200,6 +412,19 @@ impl<'a> Matcher<'a> {
         self.run_columns(events, cols, offset, true).accepted
     }
 
+    /// [`matches_within_columns`](Self::matches_within_columns) with
+    /// caller-provided scratch.
+    pub fn matches_within_columns_scratch(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        scratch: &mut MatcherScratch,
+    ) -> bool {
+        self.run_columns_scratch(events, cols, offset, true, scratch)
+            .accepted
+    }
+
     /// Finds one occurrence and returns the indices (into `events`) of the
     /// events consumed by *pattern* transitions, in consumption order — the
     /// witness events of the complex event. `None` if no occurrence exists.
@@ -208,6 +433,454 @@ impl<'a> Matcher<'a> {
     /// the configuration graph, so it uses memory proportional to the
     /// number of distinct configurations created.
     pub fn find_occurrence(&self, events: &[Event]) -> Option<Vec<usize>> {
+        self.find_occurrence_scratch(events, &mut MatcherScratch::new())
+    }
+
+    /// [`find_occurrence`](Self::find_occurrence) with caller-provided
+    /// scratch: the configuration arena, frontier index lists and tick row
+    /// all reuse capacity across calls, and rejected (duplicate)
+    /// configurations are deduplicated in place without cloning.
+    pub fn find_occurrence_scratch(
+        &self,
+        events: &[Event],
+        scratch: &mut MatcherScratch,
+    ) -> Option<Vec<usize>> {
+        if events.is_empty() {
+            return None;
+        }
+        let n = self.tag.clocks.len();
+        let MatcherScratch {
+            table,
+            ticks,
+            arena_meta,
+            arena_rows,
+            arena_prov,
+            fr_idx,
+            nx_idx,
+            ..
+        } = scratch;
+        ticks.clear();
+        ticks.resize(n, NONE_TICK);
+        arena_meta.clear();
+        arena_rows.clear();
+        arena_prov.clear();
+        fr_idx.clear();
+        nx_idx.clear();
+
+        // Initial configurations: clocks read 0 at the first instant.
+        self.fill_ticks_direct(events[0].time, ticks);
+        table.reset();
+        for &s in self.tag.start_states() {
+            let m = pack_meta(s, false);
+            let idx = arena_meta.len() as u32;
+            arena_rows.extend_from_slice(ticks);
+            let (done, staged) = arena_rows.split_at_mut(idx as usize * n);
+            let staged: &[i64] = &staged[..n];
+            let done: &[i64] = done;
+            let h = hash_row(m, staged);
+            let am: &[u64] = arena_meta;
+            let is_new = table.insert(
+                h,
+                idx,
+                |j| am[j as usize] == m && &done[j as usize * n..(j as usize + 1) * n] == staged,
+                |j| hash_row(am[j as usize], &done[j as usize * n..(j as usize + 1) * n]),
+            );
+            if is_new {
+                arena_meta.push(m);
+                arena_prov.push(Prov {
+                    parent: u32::MAX,
+                    event: u32::MAX,
+                    pattern: false,
+                });
+                fr_idx.push(idx);
+            } else {
+                arena_rows.truncate(idx as usize * n);
+            }
+        }
+
+        for (eidx, e) in events.iter().enumerate() {
+            self.fill_ticks_direct(e.time, ticks);
+            if self.opts.strict_updates && ticks.contains(&NONE_TICK) {
+                return None;
+            }
+            nx_idx.clear();
+            table.reset();
+            for &node in fr_idx.iter() {
+                let m = arena_meta[node as usize];
+                let (state, started) = (meta_state(m), meta_started(m));
+                let row_start = node as usize * n;
+                for tr in self.tag.transitions_from(state) {
+                    if !tr.symbol.matches(e.ty) {
+                        continue;
+                    }
+                    if self.opts.anchored && !started && tr.is_skip {
+                        continue;
+                    }
+                    {
+                        let row = &arena_rows[row_start..row_start + n];
+                        let value = |x: ClockId| -> Option<i64> {
+                            let (cur, res) = (ticks[x.index()], row[x.index()]);
+                            if cur != NONE_TICK && res != NONE_TICK {
+                                Some(cur - res)
+                            } else {
+                                None
+                            }
+                        };
+                        if tr.guard.eval(&value) != Some(true) {
+                            continue;
+                        }
+                    }
+                    if self.tag.is_accepting(tr.to) && !tr.is_skip {
+                        // Backtrack through pattern transitions.
+                        let mut out = vec![eidx];
+                        let mut cur = node;
+                        while cur != u32::MAX {
+                            let p = &arena_prov[cur as usize];
+                            if p.pattern {
+                                out.push(p.event as usize);
+                            }
+                            cur = p.parent;
+                        }
+                        out.reverse();
+                        return Some(out);
+                    }
+                    // Stage the successor at the arena tail; keep it only
+                    // if it is new among this event's configurations (the
+                    // reference engine's per-event dedup scope).
+                    let idx = arena_meta.len() as u32;
+                    arena_rows.extend_from_within(row_start..row_start + n);
+                    let (done, staged) = arena_rows.split_at_mut(idx as usize * n);
+                    let staged = &mut staged[..n];
+                    for &x in &tr.resets {
+                        staged[x.index()] = ticks[x.index()];
+                    }
+                    self.canonicalize_packed(staged, ticks);
+                    let nm = pack_meta(tr.to, started || !tr.is_skip);
+                    let staged: &[i64] = staged;
+                    let done: &[i64] = done;
+                    let h = hash_row(nm, staged);
+                    let am: &[u64] = arena_meta;
+                    let is_new = table.insert(
+                        h,
+                        idx,
+                        |j| {
+                            am[j as usize] == nm
+                                && &done[j as usize * n..(j as usize + 1) * n] == staged
+                        },
+                        |j| hash_row(am[j as usize], &done[j as usize * n..(j as usize + 1) * n]),
+                    );
+                    if is_new {
+                        arena_meta.push(nm);
+                        arena_prov.push(Prov {
+                            parent: node,
+                            event: eidx as u32,
+                            pattern: !tr.is_skip,
+                        });
+                        nx_idx.push(idx);
+                    } else {
+                        arena_rows.truncate(idx as usize * n);
+                    }
+                }
+            }
+            std::mem::swap(fr_idx, nx_idx);
+            if fr_idx.is_empty() {
+                return None;
+            }
+        }
+        None
+    }
+
+    fn clock_tick(&self, x: ClockId, t: Second) -> Option<Tick> {
+        self.tag.clocks[x.index()].1.covering_tick(t)
+    }
+
+    /// Resolves every clock's covering tick at instant `t` into the packed
+    /// row `out`.
+    fn fill_ticks_direct(&self, t: Second, out: &mut [i64]) {
+        for (x, slot) in out.iter_mut().enumerate() {
+            *slot = pack_tick(self.clock_tick(ClockId(x), t));
+        }
+    }
+
+    /// Saturates packed clock resets whose readings exceed every guard
+    /// constant: the canonical representative keeps the reading exactly one
+    /// past the largest comparison constant.
+    fn canonicalize_packed(&self, row: &mut [i64], ticks: &[i64]) {
+        if !self.opts.saturate {
+            return;
+        }
+        for (x, r) in row.iter_mut().enumerate() {
+            let cur = ticks[x];
+            if cur != NONE_TICK && *r != NONE_TICK {
+                let cap = self.max_consts[x];
+                if cur - *r > cap {
+                    *r = cur - cap - 1;
+                }
+            }
+        }
+    }
+
+    /// Seeds the packed frontier with the start states, all clocks reset to
+    /// the given tick row.
+    fn seed_frontier_packed(
+        &self,
+        meta: &mut Vec<u64>,
+        rows: &mut Vec<i64>,
+        table: &mut DedupTable,
+        ticks: &[i64],
+    ) {
+        let n = self.tag.clocks.len();
+        meta.clear();
+        rows.clear();
+        table.reset();
+        for &s in self.tag.start_states() {
+            let m = pack_meta(s, false);
+            let idx = meta.len() as u32;
+            rows.extend_from_slice(ticks);
+            let (done, staged) = rows.split_at_mut(idx as usize * n);
+            let staged: &[i64] = &staged[..n];
+            let done: &[i64] = done;
+            let h = hash_row(m, staged);
+            let fm: &[u64] = meta;
+            let is_new = table.insert(
+                h,
+                idx,
+                |j| fm[j as usize] == m && &done[j as usize * n..(j as usize + 1) * n] == staged,
+                |j| hash_row(fm[j as usize], &done[j as usize * n..(j as usize + 1) * n]),
+            );
+            if is_new {
+                meta.push(m);
+            } else {
+                rows.truncate(idx as usize * n);
+            }
+        }
+    }
+
+    /// Advances the packed frontier by one event given its packed tick row.
+    /// Writes the next frontier into `next_meta`/`next_rows` and returns
+    /// whether any *newly created* configuration is accepting.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_packed(
+        &self,
+        meta: &[u64],
+        rows: &[i64],
+        next_meta: &mut Vec<u64>,
+        next_rows: &mut Vec<i64>,
+        table: &mut DedupTable,
+        ticks: &[i64],
+        e: &Event,
+        stats: &mut RunStats,
+    ) -> bool {
+        stats.events += 1;
+        next_meta.clear();
+        next_rows.clear();
+        let n = self.tag.clocks.len();
+        let strict_dead = self.opts.strict_updates && ticks.contains(&NONE_TICK);
+        let mut reached_accepting = false;
+        if !strict_dead {
+            table.reset();
+            for (ci, &m) in meta.iter().enumerate() {
+                let (state, started) = (meta_state(m), meta_started(m));
+                let row = &rows[ci * n..ci * n + n];
+                for tr in self.tag.transitions_from(state) {
+                    if !tr.symbol.matches(e.ty) {
+                        continue;
+                    }
+                    if self.opts.anchored && !started && tr.is_skip {
+                        continue;
+                    }
+                    let value = |x: ClockId| -> Option<i64> {
+                        let (cur, res) = (ticks[x.index()], row[x.index()]);
+                        if cur != NONE_TICK && res != NONE_TICK {
+                            Some(cur - res)
+                        } else {
+                            None
+                        }
+                    };
+                    if tr.guard.eval(&value) != Some(true) {
+                        continue;
+                    }
+                    stats.expansions += 1;
+                    // Stage the successor row at the pool tail, dedup in
+                    // place, and un-stage (truncate) duplicates.
+                    let idx = next_meta.len() as u32;
+                    next_rows.extend_from_slice(row);
+                    let (done, staged) = next_rows.split_at_mut(idx as usize * n);
+                    let staged = &mut staged[..n];
+                    for &x in &tr.resets {
+                        staged[x.index()] = ticks[x.index()];
+                    }
+                    self.canonicalize_packed(staged, ticks);
+                    let nm = pack_meta(tr.to, started || !tr.is_skip);
+                    if self.tag.is_accepting(tr.to) && !tr.is_skip {
+                        reached_accepting = true;
+                    }
+                    let staged: &[i64] = staged;
+                    let done: &[i64] = done;
+                    let h = hash_row(nm, staged);
+                    let fm: &[u64] = next_meta;
+                    let is_new = table.insert(
+                        h,
+                        idx,
+                        |j| {
+                            fm[j as usize] == nm
+                                && &done[j as usize * n..(j as usize + 1) * n] == staged
+                        },
+                        |j| hash_row(fm[j as usize], &done[j as usize * n..(j as usize + 1) * n]),
+                    );
+                    if is_new {
+                        next_meta.push(nm);
+                    } else {
+                        next_rows.truncate(idx as usize * n);
+                    }
+                }
+            }
+        }
+        stats.peak_configs = stats.peak_configs.max(next_meta.len());
+        reached_accepting
+    }
+
+    /// The packed NFA simulation, parameterized over how each event's tick
+    /// row is filled (`fill_ticks(index, event, row)` — direct resolution
+    /// or column lookup).
+    fn run_scratch_core(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
+        mut fill_ticks: impl FnMut(usize, &Event, &mut [i64]),
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+
+        // Empty input: accepted iff a start state is accepting.
+        if events.is_empty() {
+            stats.accepted = self
+                .tag
+                .start_states()
+                .iter()
+                .any(|&s| self.tag.is_accepting(s));
+            return stats;
+        }
+
+        let n = self.tag.clocks.len();
+        let MatcherScratch {
+            meta,
+            rows,
+            next_meta,
+            next_rows,
+            table,
+            ticks,
+            ..
+        } = scratch;
+        ticks.clear();
+        ticks.resize(n, NONE_TICK);
+
+        fill_ticks(0, &events[0], ticks);
+        self.seed_frontier_packed(meta, rows, table, ticks);
+        if early_exit && meta.iter().any(|&m| self.tag.is_accepting(meta_state(m))) {
+            stats.accepted = true;
+            return stats;
+        }
+
+        for (i, e) in events.iter().enumerate() {
+            fill_ticks(i, e, ticks);
+            let reached_accepting =
+                self.advance_packed(meta, rows, next_meta, next_rows, table, ticks, e, &mut stats);
+            std::mem::swap(meta, next_meta);
+            std::mem::swap(rows, next_rows);
+            if early_exit && reached_accepting {
+                stats.accepted = true;
+                return stats;
+            }
+            if meta.is_empty() {
+                break;
+            }
+        }
+        stats.accepted = meta.iter().any(|&m| self.tag.is_accepting(meta_state(m)));
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference engine (pre-packed-representation), kept for differential
+// testing and the E11 engine ablation
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Config {
+    state: StateId,
+    started: bool,
+    /// Covering tick of each clock's granularity at its last reset.
+    resets: Vec<Option<Tick>>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Option-based variant of
+    /// [`canonicalize_packed`](Self::canonicalize_packed) for the reference
+    /// engine.
+    fn canonicalize(&self, resets: &mut [Option<Tick>], cur_ticks: &[Option<Tick>]) {
+        if !self.opts.saturate {
+            return;
+        }
+        for (x, r) in resets.iter_mut().enumerate() {
+            if let (Some(cur), Some(res)) = (cur_ticks[x], *r) {
+                let cap = self.max_consts[x];
+                if cur - res > cap {
+                    *r = Some(cur - cap - 1);
+                }
+            }
+        }
+    }
+
+    /// The pre-packed-engine [`run`](Self::run): one `Vec<Option<Tick>>`
+    /// per configuration, frontier deduplicated by cloning into a
+    /// `HashSet`. Produces bit-identical [`RunStats`] to the packed engine
+    /// (asserted by differential tests); exists for those tests and for the
+    /// E11 engine ablation.
+    pub fn run_reference(&self, events: &[Event], early_exit: bool) -> RunStats {
+        self.run_core_reference(events, early_exit, |_, e| {
+            (0..self.tag.clocks.len())
+                .map(|i| self.clock_tick(ClockId(i), e.time))
+                .collect()
+        })
+    }
+
+    /// Column-reading variant of [`run_reference`](Self::run_reference).
+    pub fn run_columns_reference(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        early_exit: bool,
+    ) -> RunStats {
+        assert!(
+            offset + events.len() <= cols.len(),
+            "event slice [{offset}, {}) exceeds the {} column rows",
+            offset + events.len(),
+            cols.len()
+        );
+        let clock_cols: Vec<Option<usize>> = self
+            .tag
+            .clocks
+            .iter()
+            .map(|(_, g)| cols.index_of(g))
+            .collect();
+        self.run_core_reference(events, early_exit, |i, e| {
+            clock_cols
+                .iter()
+                .enumerate()
+                .map(|(x, c)| match c {
+                    Some(c) => cols.tick(*c, offset + i),
+                    None => self.clock_tick(ClockId(x), e.time),
+                })
+                .collect()
+        })
+    }
+
+    /// The pre-packed-engine
+    /// [`find_occurrence`](Self::find_occurrence), kept to pin witness
+    /// indices: the packed arena must return exactly the same occurrence.
+    pub fn find_occurrence_reference(&self, events: &[Event]) -> Option<Vec<usize>> {
         if events.is_empty() {
             return None;
         }
@@ -221,7 +894,7 @@ impl<'a> Matcher<'a> {
         }
         let mut arena: Vec<Node> = Vec::new();
         let mut frontier: Vec<usize> = Vec::new();
-        for cfg in self.initial_frontier(events[0].time) {
+        for cfg in self.initial_frontier_reference(events[0].time) {
             arena.push(Node {
                 cfg,
                 parent: usize::MAX,
@@ -301,21 +974,17 @@ impl<'a> Matcher<'a> {
         None
     }
 
-    fn clock_tick(&self, x: ClockId, t: Second) -> Option<Tick> {
-        self.tag.clocks[x.index()].1.covering_tick(t)
-    }
-
     /// Initial configurations, with clocks reading 0 at instant `t0`.
-    fn initial_frontier(&self, t0: Second) -> Vec<Config> {
+    fn initial_frontier_reference(&self, t0: Second) -> Vec<Config> {
         let init_resets: Vec<Option<Tick>> = (0..self.tag.clocks.len())
             .map(|i| self.clock_tick(ClockId(i), t0))
             .collect();
-        self.initial_frontier_with(init_resets)
+        self.initial_frontier_with_reference(init_resets)
     }
 
     /// Initial configurations from pre-resolved clock ticks at the first
     /// instant.
-    fn initial_frontier_with(&self, init_resets: Vec<Option<Tick>>) -> Vec<Config> {
+    fn initial_frontier_with_reference(&self, init_resets: Vec<Option<Tick>>) -> Vec<Config> {
         let mut seen: HashSet<Config> = HashSet::new();
         let mut frontier = Vec::new();
         for &s in self.tag.start_states() {
@@ -331,19 +1000,10 @@ impl<'a> Matcher<'a> {
         frontier
     }
 
-    /// Advances the frontier by one event, resolving clock ticks directly
-    /// (used by the stream matcher, which has no pre-built columns).
-    fn advance(&self, frontier: &[Config], e: &Event, stats: &mut RunStats) -> (Vec<Config>, bool) {
-        let cur_ticks: Vec<Option<Tick>> = (0..self.tag.clocks.len())
-            .map(|i| self.clock_tick(ClockId(i), e.time))
-            .collect();
-        self.advance_with(frontier, e, &cur_ticks, stats)
-    }
-
-    /// Advances the frontier by one event given its pre-resolved clock
-    /// ticks. Returns the next frontier and whether any *newly created*
-    /// configuration is accepting.
-    fn advance_with(
+    /// Advances the reference frontier by one event given its pre-resolved
+    /// clock ticks. Returns the next frontier and whether any *newly
+    /// created* configuration is accepting.
+    fn advance_with_reference(
         &self,
         frontier: &[Config],
         e: &Event,
@@ -397,18 +1057,9 @@ impl<'a> Matcher<'a> {
         (next, reached_accepting)
     }
 
-    fn run_inner(&self, events: &[Event], early_exit: bool) -> RunStats {
-        self.run_core(events, early_exit, |_, e| {
-            (0..self.tag.clocks.len())
-                .map(|i| self.clock_tick(ClockId(i), e.time))
-                .collect()
-        })
-    }
-
-    /// The NFA simulation, parameterized over how each event's clock ticks
-    /// are obtained (`ticks_at(index, event)` — direct resolution or column
-    /// lookup).
-    fn run_core(
+    /// The reference NFA simulation, parameterized over how each event's
+    /// clock ticks are obtained.
+    fn run_core_reference(
         &self,
         events: &[Event],
         early_exit: bool,
@@ -426,7 +1077,7 @@ impl<'a> Matcher<'a> {
             return stats;
         }
 
-        let mut frontier = self.initial_frontier_with(ticks_at(0, &events[0]));
+        let mut frontier = self.initial_frontier_with_reference(ticks_at(0, &events[0]));
         if early_exit && frontier.iter().any(|c| self.tag.is_accepting(c.state)) {
             stats.accepted = true;
             return stats;
@@ -435,7 +1086,7 @@ impl<'a> Matcher<'a> {
         for (i, e) in events.iter().enumerate() {
             let cur_ticks = ticks_at(i, e);
             let (next, reached_accepting) =
-                self.advance_with(&frontier, e, &cur_ticks, &mut stats);
+                self.advance_with_reference(&frontier, e, &cur_ticks, &mut stats);
             frontier = next;
             if early_exit && reached_accepting {
                 stats.accepted = true;
@@ -456,7 +1107,8 @@ impl<'a> Matcher<'a> {
 ///
 /// The stream matcher never dies: like the constructed TAGs' skip loops,
 /// it keeps the frontier alive and counts every event at which some
-/// pattern transition completes an occurrence.
+/// pattern transition completes an occurrence. Its frontier lives in an
+/// owned [`MatcherScratch`], so pushes allocate nothing in steady state.
 ///
 /// ```
 /// use tgm_core::examples::{example_1, figure_1a_witness};
@@ -478,7 +1130,7 @@ impl<'a> Matcher<'a> {
 /// ```
 pub struct StreamMatcher<'a> {
     matcher: Matcher<'a>,
-    frontier: Vec<Config>,
+    scratch: MatcherScratch,
     started: bool,
     completions: u64,
     stats: RunStats,
@@ -494,7 +1146,7 @@ impl<'a> StreamMatcher<'a> {
     pub fn with_options(tag: &'a Tag, opts: MatchOptions) -> Self {
         StreamMatcher {
             matcher: Matcher::with_options(tag, opts),
-            frontier: Vec::new(),
+            scratch: MatcherScratch::new(),
             started: false,
             completions: 0,
             stats: RunStats::default(),
@@ -504,12 +1156,28 @@ impl<'a> StreamMatcher<'a> {
     /// Consumes one event (timestamps must be non-decreasing). Returns
     /// whether an occurrence *completed* at this event.
     pub fn push(&mut self, e: Event) -> bool {
+        let n = self.matcher.tag.clocks.len();
+        let s = &mut self.scratch;
+        s.ticks.clear();
+        s.ticks.resize(n, NONE_TICK);
+        self.matcher.fill_ticks_direct(e.time, &mut s.ticks);
         if !self.started {
-            self.frontier = self.matcher.initial_frontier(e.time);
+            self.matcher
+                .seed_frontier_packed(&mut s.meta, &mut s.rows, &mut s.table, &s.ticks);
             self.started = true;
         }
-        let (next, completed) = self.matcher.advance(&self.frontier, &e, &mut self.stats);
-        self.frontier = next;
+        let completed = self.matcher.advance_packed(
+            &s.meta,
+            &s.rows,
+            &mut s.next_meta,
+            &mut s.next_rows,
+            &mut s.table,
+            &s.ticks,
+            &e,
+            &mut self.stats,
+        );
+        std::mem::swap(&mut s.meta, &mut s.next_meta);
+        std::mem::swap(&mut s.rows, &mut s.next_rows);
         if completed {
             self.completions += 1;
         }
@@ -523,7 +1191,7 @@ impl<'a> StreamMatcher<'a> {
 
     /// Current number of live configurations.
     pub fn frontier_size(&self) -> usize {
-        self.frontier.len()
+        self.scratch.meta.len()
     }
 
     /// Accumulated instrumentation.
@@ -533,7 +1201,8 @@ impl<'a> StreamMatcher<'a> {
 
     /// Forgets all progress (the next push re-seeds the frontier).
     pub fn reset(&mut self) {
-        self.frontier.clear();
+        self.scratch.meta.clear();
+        self.scratch.rows.clear();
         self.started = false;
         self.completions = 0;
         self.stats = RunStats::default();
@@ -722,6 +1391,174 @@ mod tests {
         assert_eq!(stats.events, 2);
         assert!(stats.peak_configs >= 1);
         assert!(stats.expansions >= 2);
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_and_tags() {
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        let mut scratch = MatcherScratch::new();
+        let seqs = [
+            vec![ev(0, 2 * DAY), ev(1, 3 * DAY)],
+            vec![ev(0, 2 * DAY), ev(1, 4 * DAY)],
+            vec![ev(7, 2 * DAY), ev(0, 2 * DAY + 1), ev(1, 3 * DAY)],
+        ];
+        for seq in &seqs {
+            let fresh = m.run(seq, false);
+            let reused = m.run_scratch(seq, false, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
+        // The same scratch serves a different TAG (different clock count).
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let x = b.clock("x_day", cal.get("day").unwrap());
+        let y = b.clock("x_week", cal.get("week").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.start(s0).accepting(s1);
+        b.transition(
+            s0,
+            s1,
+            Symbol::Exact(EventType(1)),
+            ClockConstraint::And(vec![ClockConstraint::eq(x, 1), ClockConstraint::Le(y, 1)]),
+            vec![],
+        );
+        b.skip_loop(s0);
+        let tag2 = b.build();
+        let m2 = Matcher::new(&tag2);
+        let seq = [ev(0, 2 * DAY), ev(1, 3 * DAY)];
+        assert_eq!(
+            m2.run(&seq, false),
+            m2.run_scratch(&seq, false, &mut scratch)
+        );
+    }
+
+    #[test]
+    fn find_occurrence_witness_pinned() {
+        // Regression: packed arena must report exactly the same witness
+        // indices as the reference engine, with noise interleaved and a
+        // nondeterministic earlier A that cannot complete.
+        let tag = next_day_tag();
+        let m = Matcher::new(&tag);
+        let seq = [
+            ev(7, 0),             // noise
+            ev(0, 2 * DAY),       // A (this one completes)
+            ev(9, 2 * DAY + 50),  // noise
+            ev(1, 3 * DAY),       // B, next day
+            ev(1, 5 * DAY),       // late B
+        ];
+        let got = m.find_occurrence(&seq);
+        assert_eq!(got, Some(vec![1, 3]));
+        assert_eq!(got, m.find_occurrence_reference(&seq));
+        // No occurrence.
+        let seq2 = [ev(0, 2 * DAY), ev(1, 4 * DAY)];
+        assert_eq!(m.find_occurrence(&seq2), None);
+        assert_eq!(m.find_occurrence_reference(&seq2), None);
+        // Scratch reuse returns the same witness.
+        let mut scratch = MatcherScratch::new();
+        assert_eq!(
+            m.find_occurrence_scratch(&seq, &mut scratch),
+            Some(vec![1, 3])
+        );
+        assert_eq!(m.find_occurrence_scratch(&seq2, &mut scratch), None);
+    }
+
+    /// All eight `MatchOptions` combinations.
+    fn all_option_combos() -> Vec<MatchOptions> {
+        let mut out = Vec::new();
+        for bits in 0..8u32 {
+            out.push(MatchOptions {
+                anchored: bits & 1 != 0,
+                strict_updates: bits & 2 != 0,
+                saturate: bits & 4 != 0,
+            });
+        }
+        out
+    }
+
+    /// A business-day TAG (gapped granularity) for strict-semantics tests.
+    fn bday_tag() -> crate::Tag {
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let x = b.clock("x_bday", cal.get("business-day").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.start(s0).accepting(s2);
+        b.transition(s0, s1, Symbol::Exact(EventType(0)), ClockConstraint::True, vec![x]);
+        b.transition(s1, s2, Symbol::Exact(EventType(1)), ClockConstraint::eq(x, 1), vec![]);
+        b.skip_loop(s0);
+        b.skip_loop(s1);
+        b.skip_loop(s2);
+        b.build()
+    }
+
+    #[test]
+    fn strict_updates_parity_between_run_and_find_occurrence() {
+        // Pinned semantics: for TAGs whose start states are NOT accepting
+        // (every constructed TAG — an occurrence needs at least one pattern
+        // transition), `find_occurrence` succeeds iff `matches_within`
+        // accepts, under every option combination — including strict
+        // updates over sequences with gap (weekend) events, where both
+        // treat the first uncovered event as killing every run.
+        //
+        // Day 6 = Friday, day 7 = Saturday (gap), day 9 = Monday.
+        let sequences: Vec<Vec<Event>> = vec![
+            vec![ev(0, 6 * DAY), ev(9, 7 * DAY + 100), ev(1, 9 * DAY)], // gap noise
+            vec![ev(0, 6 * DAY), ev(1, 9 * DAY)],                       // clean
+            vec![ev(9, 7 * DAY), ev(0, 9 * DAY), ev(1, 10 * DAY)],     // gap first
+            vec![ev(0, 7 * DAY), ev(1, 9 * DAY)],                       // A in gap
+            vec![ev(0, 6 * DAY)],                                       // incomplete
+        ];
+        let tag = bday_tag();
+        for opts in all_option_combos() {
+            let m = Matcher::with_options(&tag, opts);
+            for (i, seq) in sequences.iter().enumerate() {
+                let within = m.matches_within(seq);
+                let occ = m.find_occurrence(seq);
+                assert_eq!(
+                    occ.is_some(),
+                    within,
+                    "opts {opts:?}, sequence {i}: find_occurrence/matches_within parity"
+                );
+                // And the reference engine pins the same semantics.
+                assert_eq!(occ, m.find_occurrence_reference(seq), "opts {opts:?}, seq {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_updates_accepting_start_divergence_pinned() {
+        // The one intended divergence: a TAG whose start state is already
+        // accepting (empty pattern). `matches_within` accepts before
+        // consuming any event, while `find_occurrence` requires a
+        // completing pattern transition and returns None — even under
+        // strict updates where the gap event would kill the run.
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let _x = b.clock("x_bday", cal.get("business-day").unwrap());
+        let s0 = b.state("s0");
+        b.start(s0).accepting(s0);
+        b.skip_loop(s0);
+        let tag = b.build();
+        let gap_only = [ev(0, 7 * DAY)]; // Saturday: no business-day tick
+        for opts in all_option_combos() {
+            let m = Matcher::with_options(&tag, opts);
+            assert!(m.matches_within(&gap_only), "opts {opts:?}");
+            assert_eq!(m.find_occurrence(&gap_only), None, "opts {opts:?}");
+            // Full-sequence acceptance differs from prefix acceptance when
+            // the run cannot consume the gap event: strict updates kill it,
+            // and anchored matching forbids the pre-start skip loop.
+            let full = m.run(&gap_only, false).accepted;
+            assert_eq!(
+                full,
+                !opts.strict_updates && !opts.anchored,
+                "opts {opts:?}"
+            );
+            // Reference engine: identical on all of the above.
+            assert_eq!(m.run_reference(&gap_only, false), m.run(&gap_only, false));
+            assert_eq!(m.run_reference(&gap_only, true), m.run(&gap_only, true));
+        }
     }
 }
 

@@ -7,9 +7,20 @@
 //! Measurement is a simple calibrated wall-clock loop printing mean
 //! time-per-iteration (and element throughput when declared) — no
 //! statistics, plots, or baseline comparisons.
+//!
+//! Like real criterion, `--test` on the command line (`cargo bench --
+//! --test`) switches to smoke mode: every benchmark body runs exactly
+//! once, so CI can verify benches compile and run without paying for
+//! measurement.
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Whether `--test` smoke mode was requested on the command line.
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Opaque value barrier so the optimiser cannot elide benchmarked work.
 pub fn black_box<T>(x: T) -> T {
@@ -69,7 +80,14 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, running it enough times for a stable mean: at least
     /// `sample_size` iterations, stopping early once ~300 ms have elapsed.
+    /// In `--test` smoke mode, runs `f` exactly once.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if smoke_mode() {
+            let start = Instant::now();
+            black_box(f());
+            self.measured = Some((start.elapsed(), 1));
+            return;
+        }
         black_box(f()); // warm-up, excluded from timing
         let budget = Duration::from_millis(300);
         let start = Instant::now();
