@@ -22,6 +22,7 @@ use tgm_granularity::Calendar;
 use tgm_mining::naive::{self, NaiveOptions};
 use tgm_mining::pipeline::{mine_with, PipelineOptions};
 use tgm_mining::DiscoveryProblem;
+use tgm_obs::Report;
 use tgm_tag::{build_tag, Matcher, MatcherScratch, Tag};
 
 /// Median of the per-repetition milliseconds of `f`.
@@ -110,8 +111,14 @@ fn main() {
     };
     let sweep_opts = PipelineOptions::default();
     let (naive_sols, _) = naive::mine(&problem, &w3.sequence);
-    let (naive_sweep_sols, _) =
-        naive::mine_with(&problem, &w3.sequence, &NaiveOptions { parallel_sweep: true });
+    let (naive_sweep_sols, _) = naive::mine_with(
+        &problem,
+        &w3.sequence,
+        &NaiveOptions {
+            parallel_sweep: true,
+            ..Default::default()
+        },
+    );
     let (serial_sols, _) = mine_with(&problem, &w3.sequence, &serial_opts);
     let (candidate_sols, _) = mine_with(&problem, &w3.sequence, &candidate_opts);
     let (sweep_sols, _) = mine_with(&problem, &w3.sequence, &sweep_opts);
@@ -131,6 +138,24 @@ fn main() {
     let pipeline_parallel_sweep_ms = median_ms(mining_reps, || {
         std::hint::black_box(mine_with(&problem, &w3.sequence, &sweep_opts));
     });
+
+    // One instrumented pass over the same workloads: span-derived timings
+    // recorded alongside the stopwatch medians (results asserted unchanged
+    // against the uninstrumented runs above).
+    tgm_obs::set_enabled(true);
+    tgm_obs::reset();
+    let mut scratch = MatcherScratch::new();
+    let obs_scan = Matcher::new(&tag1).run_scratch(w1.sequence.events(), false, &mut scratch);
+    let (obs_sols, _) = mine_with(&problem, &w3.sequence, &sweep_opts);
+    let obs_report = Report::capture();
+    tgm_obs::set_enabled(false);
+    tgm_obs::reset();
+    assert_eq!(
+        obs_scan,
+        Matcher::new(&tag1).run_scratch(w1.sequence.events(), false, &mut scratch),
+        "instrumentation changed the scan"
+    );
+    assert_eq!(obs_sols, sweep_sols, "instrumentation changed mining solutions");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -173,6 +198,18 @@ fn main() {
         json,
         "    \"pipeline_parallel_sweep_ms\": {pipeline_parallel_sweep_ms:.2}"
     );
+    json.push_str("  },\n");
+    json.push_str("  \"obs_spans\": {\n");
+    let n_spans = obs_report.spans.spans.len();
+    for (i, (name, s)) in obs_report.spans.spans.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"count\": {}, \"total_ms\": {:.3} }}{}",
+            s.count,
+            s.total_ms(),
+            if i + 1 < n_spans { "," } else { "" }
+        );
+    }
     json.push_str("  }\n");
     json.push_str("}\n");
 

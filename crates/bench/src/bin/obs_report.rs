@@ -1,0 +1,260 @@
+//! Unified observability report: runs an instrumented Example 1 matcher
+//! scan and an instrumented discovery-pipeline run, measures the
+//! observability layer's overhead on the scan (median over interleaved
+//! min-of-N rounds, results asserted identical), and emits the
+//! [`tgm_obs::Report`] both ways — the
+//! human-readable span/funnel tree on stdout and machine-readable JSON in
+//! `OBS_report.json`.
+//!
+//! Run with `cargo run --release -p tgm-bench --bin obs_report [-- --test]`.
+//! `--test` additionally enforces the overhead budget (default 3%,
+//! override with `OBS_OVERHEAD_BUDGET_PCT`) and validates the emitted JSON
+//! against the `tgm_obs_report/v1` schema (parsed back with the
+//! workspace's own `minijson`), exiting nonzero on any violation.
+
+use tgm_bench::timed;
+use tgm_bench::workloads::{daily_stock_workload, planted_stock_workload};
+use tgm_core::VarId;
+use tgm_events::minijson;
+use tgm_mining::pipeline::{mine_with, PipelineOptions};
+use tgm_mining::DiscoveryProblem;
+use tgm_obs::Report;
+use tgm_tag::{build_tag, Matcher, MatcherScratch};
+
+/// The §5 funnel steps the report must carry, in order.
+const FUNNEL_STEPS: [&str; 5] = [
+    "step1.consistency",
+    "step2.sequence_reduction",
+    "step3.reference_pruning",
+    "step4.candidate_reduction",
+    "step5.final_scan",
+];
+
+fn overhead_budget_pct() -> f64 {
+    std::env::var("OBS_OVERHEAD_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0)
+}
+
+/// Validates the emitted JSON against the `tgm_obs_report/v1` shape.
+/// Returns the list of violations (empty = valid).
+fn validate_schema(json: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let doc = match minijson::parse(json) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("JSON does not parse: {e}")],
+    };
+    if doc.get("schema").and_then(|v| v.as_str()) != Some("tgm_obs_report/v1") {
+        errs.push("schema field is not \"tgm_obs_report/v1\"".into());
+    }
+
+    match doc.get("spans") {
+        Some(minijson::Value::Object(spans)) => {
+            if !spans.iter().any(|(name, _)| name == "tag.matcher.run") {
+                errs.push("spans lack tag.matcher.run".into());
+            }
+            for (name, s) in spans {
+                for field in ["count", "total_ns", "max_ns"] {
+                    if s.get(field).and_then(|v| v.as_u64()).is_none() {
+                        errs.push(format!("span {name} lacks u64 {field}"));
+                    }
+                }
+            }
+        }
+        _ => errs.push("spans is not an object".into()),
+    }
+
+    match doc.get("counters") {
+        Some(minijson::Value::Object(counters)) => {
+            for required in ["tag.matcher.runs", "mining.pipeline.runs"] {
+                let v = counters
+                    .iter()
+                    .find(|(k, _)| k == required)
+                    .and_then(|(_, v)| v.as_u64());
+                if v.unwrap_or(0) == 0 {
+                    errs.push(format!("counter {required} missing or zero"));
+                }
+            }
+        }
+        _ => errs.push("counters is not an object".into()),
+    }
+
+    match doc.get("histograms") {
+        Some(minijson::Value::Object(hists)) => {
+            for required in ["tag.matcher.frontier", "tag.matcher.peak_frontier"] {
+                match hists.iter().find(|(k, _)| k == required) {
+                    Some((_, h)) => {
+                        if h.get("count").and_then(|v| v.as_u64()).unwrap_or(0) == 0 {
+                            errs.push(format!("histogram {required} is empty"));
+                        }
+                        let pairs_ok = h
+                            .get("buckets")
+                            .and_then(|v| v.as_array())
+                            .is_some_and(|buckets| {
+                                buckets.iter().all(|b| {
+                                    b.as_array().is_some_and(|p| {
+                                        p.len() == 2 && p.iter().all(|x| x.as_u64().is_some())
+                                    })
+                                })
+                            });
+                        if !pairs_ok {
+                            errs.push(format!("histogram {required} buckets are not [lo,count] pairs"));
+                        }
+                    }
+                    None => errs.push(format!("histograms lack {required}")),
+                }
+            }
+        }
+        _ => errs.push("histograms is not an object".into()),
+    }
+
+    match doc.get("funnel").and_then(|v| v.as_array()) {
+        Some(stages) => {
+            let steps: Vec<&str> = stages
+                .iter()
+                .filter_map(|s| s.get("step").and_then(|v| v.as_str()))
+                .collect();
+            if steps != FUNNEL_STEPS {
+                errs.push(format!("funnel steps are {steps:?}, want {FUNNEL_STEPS:?}"));
+            }
+            for s in stages {
+                if s.get("in").and_then(|v| v.as_u64()).is_none()
+                    || s.get("out").and_then(|v| v.as_u64()).is_none()
+                {
+                    errs.push("funnel stage lacks u64 in/out".into());
+                }
+            }
+        }
+        None => errs.push("funnel is not an array".into()),
+    }
+
+    if doc
+        .get("sections")
+        .and_then(|v| v.get("granularity.cache"))
+        .is_none()
+    {
+        errs.push("sections lack granularity.cache".into());
+    }
+    if doc
+        .get("sections")
+        .and_then(|v| v.get("mining.pipeline"))
+        .and_then(|v| v.get("solutions"))
+        .is_none()
+    {
+        errs.push("sections lack mining.pipeline.solutions".into());
+    }
+    errs
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let mut failures: Vec<String> = Vec::new();
+
+    // Overhead: the Example 1 full scan (the hottest loop) with the obs
+    // toggle off vs on, results asserted identical.
+    let w = planted_stock_workload(120, &[], 4, 42);
+    let tag = build_tag(&w.cet);
+    let events = w.sequence.events();
+    let m = Matcher::new(&tag);
+    let mut scratch = MatcherScratch::new();
+    tgm_obs::set_enabled(false);
+    let base_stats = m.run_scratch(events, false, &mut scratch);
+    tgm_obs::set_enabled(true);
+    tgm_obs::reset();
+    let obs_stats = m.run_scratch(events, false, &mut scratch);
+    assert_eq!(base_stats, obs_stats, "observability changed matcher results");
+    // Two layers of noise rejection: within a round, off/on samples are
+    // interleaved (so host clock drift hits both modes equally) and each
+    // mode takes its min-of-N (so a descheduled sample is discarded);
+    // across rounds, the median overhead discards rounds where one mode
+    // never got a quiet window at all — single rounds on a loaded host
+    // swing by ±10% while the median stays within ~1%.
+    let rounds = if test_mode { 7 } else { 5 };
+    let reps = 15;
+    let mut estimates: Vec<(f64, f64)> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            tgm_obs::set_enabled(false);
+            let t = timed(|| std::hint::black_box(m.run_scratch(events, false, &mut scratch))).1;
+            off = off.min(t);
+            tgm_obs::set_enabled(true);
+            let t = timed(|| std::hint::black_box(m.run_scratch(events, false, &mut scratch))).1;
+            on = on.min(t);
+        }
+        estimates.push((off, on));
+    }
+    estimates.sort_by(|a, b| {
+        let pa = (a.1 - a.0) / a.0.max(1e-9);
+        let pb = (b.1 - b.0) / b.0.max(1e-9);
+        pa.partial_cmp(&pb).expect("finite")
+    });
+    let (off_ms, on_ms) = estimates[estimates.len() / 2];
+    let overhead_pct = (on_ms - off_ms) / off_ms.max(1e-9) * 100.0;
+    let budget = overhead_budget_pct();
+    eprintln!(
+        "obs overhead on example1 scan ({} events): off {off_ms:.3} ms, on {on_ms:.3} ms \
+         => {overhead_pct:+.2}% (budget {budget}%)",
+        events.len()
+    );
+    if test_mode && overhead_pct > budget {
+        failures.push(format!(
+            "overhead {overhead_pct:+.2}% exceeds the {budget}% budget"
+        ));
+    }
+
+    // Instrumented discovery run: populates the pipeline spans, the §5
+    // funnel, and the matcher counters flowing up from the anchored
+    // sweeps. Obs is still enabled from the measurement above.
+    let w = daily_stock_workload(360, &[], 0.85, 23);
+    let problem = DiscoveryProblem::new(w.cet.structure().clone(), 0.6, w.types.ibm_rise)
+        .with_candidates(VarId(3), [w.types.ibm_fall]);
+    let (solutions, pstats) = mine_with(&problem, &w.sequence, &PipelineOptions::default());
+
+    let mut report = Report::capture();
+    tgm_obs::set_enabled(false);
+    report.set_funnel(pstats.funnel());
+    report.add_section("tag.matcher.last_scan", &obs_stats);
+    report.add_section("mining.pipeline", &pstats);
+
+    print!("{}", report.render());
+    println!(
+        "\ndiscovery: {} solutions, {} anchored runs across {} workers",
+        solutions.len(),
+        pstats.tag_runs,
+        pstats.step5_workers
+    );
+
+    let json = report.to_json();
+    std::fs::write("OBS_report.json", &json).expect("write OBS_report.json");
+    eprintln!("wrote OBS_report.json ({} bytes)", json.len());
+
+    // Schema validation runs in every mode; only --test turns violations
+    // into a nonzero exit.
+    let schema_errs = validate_schema(&json);
+    for e in &schema_errs {
+        eprintln!("schema violation: {e}");
+    }
+    if test_mode {
+        failures.extend(schema_errs);
+        // The cheap consistency checks the report itself makes possible.
+        if pstats.solutions != solutions.len() {
+            failures.push("PipelineStats.solutions disagrees with returned solutions".into());
+        }
+        if pstats
+            .funnel()
+            .iter()
+            .any(|stage| stage.output > stage.input)
+        {
+            failures.push("funnel stage grew (output > input)".into());
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("obs_report --test: all checks passed");
+    }
+}

@@ -54,6 +54,7 @@ impl TickColumns {
     /// computed in parallel when the total cell count is large enough to
     /// pay for the threads.
     pub fn build(events: &[Event], grans: &[Gran]) -> Self {
+        let _span = tgm_obs::span!("events.tick_columns.build");
         let mut uniq: Vec<Gran> = Vec::new();
         for g in grans {
             if !uniq.iter().any(|u| u.instance_id() == g.instance_id()) {
@@ -77,6 +78,9 @@ impl TickColumns {
                 })
                 .expect("crossbeam scope")
             };
+        tgm_obs::metrics::counter_add("events.tick_columns.builds", 1);
+        tgm_obs::metrics::counter_add("events.tick_columns.columns", uniq.len() as u64);
+        tgm_obs::metrics::counter_add("events.tick_columns.cells", cells as u64);
         TickColumns {
             grans: uniq,
             cols,

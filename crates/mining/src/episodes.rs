@@ -267,6 +267,8 @@ impl EpisodeMiner {
     }
 
     fn mine(&self, seq: &EventSequence, serial: bool) -> Vec<(Episode, f64)> {
+        let _span = tgm_obs::span!("mining.episodes.mine");
+        let mut candidates_evaluated = 0u64;
         let mut results: Vec<(Episode, f64)> = Vec::new();
         // One scratch reused across every candidate frequency evaluation.
         let mut scratch = EpisodeScratch::new();
@@ -284,6 +286,7 @@ impl EpisodeMiner {
         let mut frequent_types: Vec<EventType> = Vec::new();
         for ty in seq.types_present() {
             let ep = mk(vec![ty]);
+            candidates_evaluated += 1;
             let f = self.frequency_with(seq, &ep, &mut scratch);
             if f >= self.min_frequency {
                 results.push((ep, f));
@@ -323,6 +326,7 @@ impl EpisodeMiner {
                         continue;
                     }
                     let ep = mk(cand.clone());
+                    candidates_evaluated += 1;
                     let f = self.frequency_with(seq, &ep, &mut scratch);
                     if f >= self.min_frequency {
                         results.push((ep, f));
@@ -336,6 +340,9 @@ impl EpisodeMiner {
             frequent_prev = next;
         }
         results.sort_by(|a, b| a.0.cmp(&b.0));
+        tgm_obs::metrics::counter_add("mining.episodes.runs", 1);
+        tgm_obs::metrics::counter_add("mining.episodes.candidates", candidates_evaluated);
+        tgm_obs::metrics::counter_add("mining.episodes.frequent", results.len() as u64);
         results
     }
 }

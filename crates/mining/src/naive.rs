@@ -3,12 +3,14 @@
 
 use tgm_core::ComplexEventType;
 use tgm_events::{Event, EventSequence, EventType, TickColumns};
+use tgm_obs::span::span_if;
+use tgm_obs::{metrics, Observable, ObsOptions, ObsValue};
 use tgm_tag::{build_tag, MatchOptions, Matcher, MatcherScratch, Tag};
 
 use crate::problem::{DiscoveryProblem, Solution};
 
 /// Instrumentation from a naive run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NaiveStats {
     /// Candidate complex types enumerated (`n^s` in the paper's analysis).
     pub candidates: usize,
@@ -16,6 +18,14 @@ pub struct NaiveStats {
     pub tag_runs: usize,
     /// Solutions found.
     pub solutions: usize,
+}
+
+impl Observable for NaiveStats {
+    fn observe(&self, out: &mut Vec<(&'static str, ObsValue)>) {
+        out.push(("candidates", ObsValue::from(self.candidates)));
+        out.push(("tag_runs", ObsValue::from(self.tag_runs)));
+        out.push(("solutions", ObsValue::from(self.solutions)));
+    }
 }
 
 /// Options for the naive algorithm (it has no screening steps to ablate —
@@ -26,6 +36,9 @@ pub struct NaiveOptions {
     /// threads (one matcher scratch per worker). Off by default: the naive
     /// baseline is traditionally measured single-threaded.
     pub parallel_sweep: bool,
+    /// Per-run observability knobs (effective only while the process-wide
+    /// toggle is on).
+    pub obs: ObsOptions,
 }
 
 /// Runs the naive algorithm single-threaded.
@@ -35,6 +48,22 @@ pub fn mine(problem: &DiscoveryProblem, seq: &EventSequence) -> (Vec<Solution>, 
 
 /// Runs the naive algorithm with explicit options.
 pub fn mine_with(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &NaiveOptions,
+) -> (Vec<Solution>, NaiveStats) {
+    let _span = span_if(opts.obs.spans, "mining.naive");
+    let (solutions, stats) = mine_inner(problem, seq, opts);
+    if opts.obs.metrics_on() {
+        metrics::counter_add("mining.naive.runs", 1);
+        metrics::counter_add("mining.naive.candidates", stats.candidates as u64);
+        metrics::counter_add("mining.naive.tag_runs", stats.tag_runs as u64);
+        metrics::counter_add("mining.naive.solutions", stats.solutions as u64);
+    }
+    (solutions, stats)
+}
+
+fn mine_inner(
     problem: &DiscoveryProblem,
     seq: &EventSequence,
     opts: &NaiveOptions,
@@ -74,6 +103,7 @@ pub fn mine_with(
         let cet = ComplexEventType::new(problem.structure.clone(), phi.to_vec());
         let tag = build_tag(&cet);
         let support = if n_threads > 1 {
+            let mut chunks = 0usize;
             count_support_sweep(
                 &tag,
                 seq.events(),
@@ -82,6 +112,8 @@ pub fn mine_with(
                 Some(&cols),
                 n_threads,
                 &mut stats.tag_runs,
+                &mut chunks,
+                opts.obs,
             )
         } else {
             count_support(
@@ -92,6 +124,7 @@ pub fn mine_with(
                 Some(&cols),
                 &mut scratch,
                 &mut stats.tag_runs,
+                opts.obs,
             )
         };
         let frequency = support as f64 / denominator as f64;
@@ -130,13 +163,16 @@ fn enumerate(
 }
 
 /// The miner's matcher configuration: anchored, lazy updates, saturating.
-fn anchored_matcher(tag: &Tag) -> Matcher<'_> {
+/// Matcher-level emission (frontier histogram, dedup hits, pool high-water)
+/// inherits the mining caller's obs knobs.
+fn anchored_matcher(tag: &Tag, obs: ObsOptions) -> Matcher<'_> {
     Matcher::with_options(
         tag,
         MatchOptions {
             anchored: true,
             strict_updates: false,
             saturate: true,
+            obs,
         },
     )
 }
@@ -148,6 +184,7 @@ fn anchored_matcher(tag: &Tag) -> Matcher<'_> {
 /// tick columns instead of re-resolving each timestamp per run. `scratch`
 /// is reused across every run (and across calls), so the sweep allocates
 /// nothing in steady state.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn count_support(
     tag: &Tag,
     events: &[Event],
@@ -156,8 +193,9 @@ pub(crate) fn count_support(
     cols: Option<&TickColumns>,
     scratch: &mut MatcherScratch,
     tag_runs: &mut usize,
+    obs: ObsOptions,
 ) -> usize {
-    let matcher = anchored_matcher(tag);
+    let matcher = anchored_matcher(tag, obs);
     count_refs(&matcher, events, refs, window, cols, scratch, tag_runs)
 }
 
@@ -197,7 +235,9 @@ fn count_refs(
 /// `n_threads` workers (one scratch per worker): parallelism *inside* one
 /// candidate, for when there are fewer candidates than cores. Each
 /// reference occurrence is an independent anchored run, so the support sum
-/// is identical to the serial sweep in any chunking.
+/// is identical to the serial sweep in any chunking. `sweep_chunks` counts
+/// the chunks actually dispatched (0 for the serial fallback).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn count_support_sweep(
     tag: &Tag,
     events: &[Event],
@@ -206,6 +246,8 @@ pub(crate) fn count_support_sweep(
     cols: Option<&TickColumns>,
     n_threads: usize,
     tag_runs: &mut usize,
+    sweep_chunks: &mut usize,
+    obs: ObsOptions,
 ) -> usize {
     let n_threads = n_threads.min(refs.len());
     if n_threads <= 1 {
@@ -217,15 +259,22 @@ pub(crate) fn count_support_sweep(
             cols,
             &mut MatcherScratch::new(),
             tag_runs,
+            obs,
         );
     }
-    let matcher = anchored_matcher(tag);
+    let matcher = anchored_matcher(tag, obs);
     let matcher = &matcher;
     let results: Vec<(usize, usize)> = crossbeam::scope(|scope| {
         let handles: Vec<_> = refs
             .chunks(refs.len().div_ceil(n_threads))
             .map(|chunk| {
                 scope.spawn(move |_| {
+                    // Per-chunk timing; the chunk-size histogram shows how
+                    // evenly the anchors split across workers.
+                    let _s = span_if(obs.spans, "mining.sweep.chunk");
+                    if obs.metrics_on() {
+                        metrics::histogram_record("mining.sweep.chunk_refs", chunk.len() as u64);
+                    }
                     let mut scratch = MatcherScratch::new();
                     let mut runs = 0usize;
                     let support =
@@ -237,6 +286,10 @@ pub(crate) fn count_support_sweep(
         handles.into_iter().map(|h| h.join().expect("no panics")).collect()
     })
     .expect("crossbeam scope");
+    if obs.metrics_on() {
+        metrics::counter_add("mining.sweep.chunks", results.len() as u64);
+    }
+    *sweep_chunks += results.len();
     let mut support = 0;
     for (s, r) in results {
         support += s;

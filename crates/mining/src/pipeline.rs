@@ -25,6 +25,8 @@ use tgm_core::propagate::propagate;
 use tgm_core::{ComplexEventType, Tcg, VarId};
 use tgm_events::{Event, EventSequence, EventType, TickColumns};
 use tgm_granularity::{Gran, Granularity as _};
+use tgm_obs::span::span_if;
+use tgm_obs::{metrics, FunnelStage, Observable, ObsOptions, ObsValue};
 use tgm_stp::INF;
 use tgm_tag::build_tag;
 
@@ -70,6 +72,11 @@ pub struct PipelineOptions {
     /// anchored TAG run. Off = resolve per use (the shared-resolution-layer
     /// ablation baseline); results are identical either way.
     pub use_tick_columns: bool,
+    /// Observability knobs for this pipeline run (per-step spans and
+    /// funnel counters). Nothing is emitted unless the process-wide
+    /// [`tgm_obs::set_enabled`] toggle is also on; instrumentation never
+    /// changes results (differentially tested).
+    pub obs: ObsOptions,
 }
 
 impl Default for PipelineOptions {
@@ -85,12 +92,16 @@ impl Default for PipelineOptions {
             parallel: true,
             parallel_sweep: true,
             use_tick_columns: true,
+            obs: ObsOptions::default(),
         }
     }
 }
 
-/// Per-step instrumentation.
-#[derive(Clone, Copy, Debug, Default)]
+/// Per-step instrumentation. Every field is populated on every execution
+/// path — serial, candidate-parallel and sweep-parallel step-5 runs
+/// report identically shaped stats (asserted by the obs differential
+/// tests), and [`funnel`](Self::funnel) renders the §5 pruning funnel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Whether step 1 refuted the structure outright.
     pub refuted: bool,
@@ -115,8 +126,86 @@ pub struct PipelineStats {
     pub screening_tag_runs: usize,
     /// Candidate tuples banned by induced chain screening.
     pub banned_tuples: usize,
+    /// Type pairs banned by pair screening (step 4, k = 2 cheap form).
+    pub banned_pairs: usize,
+    /// Worker threads the step-5 scan executed on (1 = serial; recorded
+    /// identically by all three execution paths).
+    pub step5_workers: usize,
+    /// Anchor chunks dispatched by sweep-level parallelism inside step 5
+    /// (0 when candidate-level or serial execution was used).
+    pub sweep_chunks: usize,
     /// Solutions found.
     pub solutions: usize,
+}
+
+impl PipelineStats {
+    /// The §5 pruning funnel, one stage per pipeline step: how many
+    /// items entered each step and how many survived it.
+    pub fn funnel(&self) -> Vec<FunnelStage> {
+        vec![
+            FunnelStage {
+                step: "step1.consistency".into(),
+                input: 1,
+                output: u64::from(!self.refuted),
+                detail: "structures (refuted by propagation = 0 survivors)".into(),
+            },
+            FunnelStage {
+                step: "step2.sequence_reduction".into(),
+                input: self.events_total as u64,
+                output: self.events_kept as u64,
+                detail: "events".into(),
+            },
+            FunnelStage {
+                step: "step3.reference_pruning".into(),
+                input: self.refs_total as u64,
+                output: self.refs_kept as u64,
+                detail: "reference occurrences".into(),
+            },
+            FunnelStage {
+                step: "step4.candidate_reduction".into(),
+                input: self.candidates_initial,
+                output: self.candidates_scanned,
+                detail: format!(
+                    "assignments ({} after k=1 screen; {} pairs, {} tuples banned)",
+                    self.candidates_after_var_screen, self.banned_pairs, self.banned_tuples
+                ),
+            },
+            FunnelStage {
+                step: "step5.final_scan".into(),
+                input: self.candidates_scanned,
+                output: self.solutions as u64,
+                detail: format!(
+                    "assignments -> solutions ({} anchored runs, {} worker{})",
+                    self.tag_runs,
+                    self.step5_workers,
+                    if self.step5_workers == 1 { "" } else { "s" }
+                ),
+            },
+        ]
+    }
+}
+
+impl Observable for PipelineStats {
+    fn observe(&self, out: &mut Vec<(&'static str, ObsValue)>) {
+        out.push(("refuted", self.refuted.into()));
+        out.push(("events_total", self.events_total.into()));
+        out.push(("events_kept", self.events_kept.into()));
+        out.push(("refs_total", self.refs_total.into()));
+        out.push(("refs_kept", self.refs_kept.into()));
+        out.push(("candidates_initial", self.candidates_initial.into()));
+        out.push((
+            "candidates_after_var_screen",
+            self.candidates_after_var_screen.into(),
+        ));
+        out.push(("candidates_scanned", self.candidates_scanned.into()));
+        out.push(("tag_runs", self.tag_runs.into()));
+        out.push(("screening_tag_runs", self.screening_tag_runs.into()));
+        out.push(("banned_tuples", self.banned_tuples.into()));
+        out.push(("banned_pairs", self.banned_pairs.into()));
+        out.push(("step5_workers", self.step5_workers.into()));
+        out.push(("sweep_chunks", self.sweep_chunks.into()));
+        out.push(("solutions", self.solutions.into()));
+    }
 }
 
 /// Runs the optimized pipeline with default options.
@@ -155,6 +244,29 @@ pub fn mine_with(
     seq: &EventSequence,
     opts: &PipelineOptions,
 ) -> (Vec<Solution>, PipelineStats) {
+    let _span = span_if(opts.obs.spans, "pipeline");
+    let (solutions, stats) = mine_inner(problem, seq, opts);
+    if opts.obs.metrics_on() {
+        metrics::counter_add("mining.pipeline.runs", 1);
+        metrics::counter_add("mining.pipeline.tag_runs", stats.tag_runs as u64);
+        metrics::counter_add(
+            "mining.pipeline.screening_tag_runs",
+            stats.screening_tag_runs as u64,
+        );
+        metrics::counter_add("mining.pipeline.solutions", stats.solutions as u64);
+        metrics::counter_add("mining.pipeline.sweep_chunks", stats.sweep_chunks as u64);
+    }
+    (solutions, stats)
+}
+
+/// The uninstrumented pipeline behind [`mine_with`] (spans around each
+/// step still fire from inside, but run-level counters are emitted by
+/// the wrapper so early returns are covered too).
+fn mine_inner(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &PipelineOptions,
+) -> (Vec<Solution>, PipelineStats) {
     let mut stats = PipelineStats {
         events_total: seq.len(),
         ..PipelineStats::default()
@@ -169,7 +281,10 @@ pub fn mine_with(
     }
 
     // Step 1: consistency screening.
-    let p = propagate(s);
+    let p = {
+        let _s = span_if(opts.obs.spans, "pipeline.step1.consistency");
+        propagate(s)
+    };
     if opts.consistency_screen && !p.is_consistent() {
         stats.refuted = true;
         return (Vec::new(), stats);
@@ -256,6 +371,7 @@ pub fn mine_with(
 
     // Step 2: sequence reduction.
     let (events, masks, kept_rows): (Vec<Event>, Vec<u64>, Vec<usize>) = {
+        let _s = span_if(opts.obs.spans, "pipeline.step2.sequence_reduction");
         let mut evs = Vec::new();
         let mut ms = Vec::new();
         let mut rows = Vec::new();
@@ -312,6 +428,7 @@ pub fn mine_with(
         .collect();
 
     // Step 3 + 4 bookkeeping in one pass over references.
+    let _s34 = span_if(opts.obs.spans, "pipeline.step3_4.screening");
     let mut kept_refs: Vec<usize> = Vec::new();
     let mut var_type_support: BTreeMap<(VarId, EventType), usize> = BTreeMap::new();
     for &ridx in &refs {
@@ -373,6 +490,7 @@ pub fn mine_with(
     }
     stats.candidates_after_var_screen =
         candidates.iter().map(|c| c.len() as u64).product();
+    drop(_s34);
 
     if candidates.iter().any(Vec::is_empty) || kept_refs.is_empty() {
         return (Vec::new(), stats);
@@ -381,6 +499,7 @@ pub fn mine_with(
     // Step 4 (k = 2): screen type pairs along root-to-leaf chains.
     let mut banned_pairs: BTreeSet<(VarId, EventType, VarId, EventType)> = BTreeSet::new();
     if opts.pair_screening {
+        let _s = span_if(opts.obs.spans, "pipeline.step4.pair_screening");
         let chain_pairs: Vec<(VarId, VarId)> = s
             .vars()
             .flat_map(|x| {
@@ -449,8 +568,11 @@ pub fn mine_with(
     // root-anchored sub-chains, solved with anchored TAGs over the induced
     // approximated sub-structure. A tuple whose frequency cannot exceed the
     // threshold bans every candidate complex type containing it.
+    stats.banned_pairs = banned_pairs.len();
+
     let mut banned_tuples: Vec<(Vec<VarId>, BTreeSet<Vec<EventType>>)> = Vec::new();
     if opts.chain_screening_k >= 2 && !kept_refs.is_empty() {
+        let _s = span_if(opts.obs.spans, "pipeline.step4.chain_screening");
         // One scratch reused across every screening tuple's sweep.
         let mut screen_scratch = MatcherScratch::new();
         // Enumerate root-to-sink paths, then in-order sub-sequences of
@@ -498,6 +620,7 @@ pub fn mine_with(
                             cols.as_ref(),
                             &mut screen_scratch,
                             &mut stats.screening_tag_runs,
+                            opts.obs,
                         );
                         if (support as f64 / denominator as f64) <= problem.min_confidence {
                             local_banned.insert(tpl.to_vec());
@@ -513,6 +636,7 @@ pub fn mine_with(
     }
 
     // Step 5: final anchored TAG scan over surviving assignments.
+    let _s5 = span_if(opts.obs.spans, "pipeline.step5.scan");
     let mut assignments: Vec<Vec<EventType>> = Vec::new();
     let mut cur = vec![problem.reference_type; n];
     collect_assignments(&candidates, s.root(), 0, &mut cur, &banned_pairs, &mut assignments);
@@ -537,8 +661,16 @@ pub fn mine_with(
     let scan = |phi: &[EventType], scratch: &mut MatcherScratch, tag_runs: &mut usize| {
         let cet = ComplexEventType::new(s.clone(), phi.to_vec());
         let tag = build_tag(&cet);
-        let support =
-            count_support(&tag, &events, &kept_refs, window, cols.as_ref(), scratch, tag_runs);
+        let support = count_support(
+            &tag,
+            &events,
+            &kept_refs,
+            window,
+            cols.as_ref(),
+            scratch,
+            tag_runs,
+            opts.obs,
+        );
         solution_of(phi, support)
     };
 
@@ -555,6 +687,7 @@ pub fn mine_with(
         // Fewer candidates than cores: candidate-level chunking would idle
         // most workers, so parallelize *inside* each candidate by chunking
         // its anchor start positions instead.
+        stats.step5_workers = n_threads.min(kept_refs.len());
         solutions = Vec::new();
         for phi in &assignments {
             let cet = ComplexEventType::new(s.clone(), phi.to_vec());
@@ -567,6 +700,8 @@ pub fn mine_with(
                 cols.as_ref(),
                 n_threads,
                 &mut tag_runs,
+                &mut stats.sweep_chunks,
+                opts.obs,
             );
             if let Some(sol) = solution_of(phi, support) {
                 solutions.push(sol);
@@ -574,15 +709,19 @@ pub fn mine_with(
         }
     } else if opts.parallel && assignments.len() > 1 {
         let n_threads = n_threads.min(assignments.len());
+        stats.step5_workers = n_threads;
         let chunks: Vec<&[Vec<EventType>]> = assignments
             .chunks(assignments.len().div_ceil(n_threads))
             .collect();
         let scan = &scan;
+        let worker_spans = opts.obs.spans;
         let results: Vec<(Vec<Solution>, usize)> = crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     scope.spawn(move |_| {
+                        // Per-worker timing; flushed when the span drops.
+                        let _s = span_if(worker_spans, "pipeline.step5.worker");
                         let mut local = Vec::new();
                         // One scratch per worker, reused across its chunk.
                         let mut scratch = MatcherScratch::new();
@@ -605,6 +744,7 @@ pub fn mine_with(
             tag_runs += runs;
         }
     } else {
+        stats.step5_workers = 1;
         solutions = Vec::new();
         let mut scratch = MatcherScratch::new();
         for phi in &assignments {
@@ -762,6 +902,7 @@ mod tests {
             parallel: false,
             parallel_sweep: false,
             use_tick_columns: false,
+            obs: ObsOptions::default(),
         }
     }
 
@@ -818,6 +959,7 @@ mod tests {
                 parallel: false,
                 parallel_sweep: false,
                 use_tick_columns: bits & 128 != 0,
+                obs: ObsOptions::default(),
             };
             let (sols, _) = mine_with(&p, &seq, &opts);
             assert_eq!(sols, reference, "ablation {bits:08b} changed results");

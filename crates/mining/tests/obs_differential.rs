@@ -1,0 +1,197 @@
+//! Differential tests for mining observability: enabling the process-wide
+//! obs toggle (or flipping the per-run `ObsOptions` knobs) must not change
+//! solutions or stats, for the naive miner and for every step-5 execution
+//! path of the pipeline (serial, candidate-parallel, sweep-parallel) —
+//! and each path must populate identically shaped `PipelineStats`.
+
+use parking_lot::Mutex;
+use tgm_core::{StructureBuilder, Tcg};
+use tgm_events::{Event, EventSequence, TypeRegistry};
+use tgm_granularity::Calendar;
+use tgm_mining::naive::{self, NaiveOptions};
+use tgm_mining::pipeline::{self, PipelineOptions, PipelineStats};
+use tgm_mining::{DiscoveryProblem, Solution};
+use tgm_obs::ObsOptions;
+
+/// Serializes tests that toggle the process-wide obs flag.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+const DAY: i64 = 86_400;
+
+/// A 3-variable chain workload: A on Mondays, B next day (3 of 4 weeks),
+/// C two days after A (2 of 4 weeks), plus same-day noise.
+fn world() -> (EventSequence, DiscoveryProblem) {
+    let mut reg = TypeRegistry::new();
+    let a = reg.intern("A");
+    let b = reg.intern("B");
+    let c = reg.intern("C");
+    let mut events = Vec::new();
+    for (i, d) in [2i64, 9, 16, 23].iter().enumerate() {
+        events.push(Event::new(a, d * DAY + 10_000));
+        if i != 3 {
+            events.push(Event::new(b, (d + 1) * DAY + 5_000));
+        }
+        if i < 2 {
+            events.push(Event::new(c, (d + 2) * DAY + 7_000));
+        }
+        events.push(Event::new(c, d * DAY + 20_000));
+    }
+    let seq = EventSequence::from_events(events);
+    let cal = Calendar::standard();
+    let mut sb = StructureBuilder::new();
+    let x0 = sb.var("X0");
+    let x1 = sb.var("X1");
+    let x2 = sb.var("X2");
+    sb.constrain(x0, x1, Tcg::new(1, 1, cal.get("day").unwrap()));
+    sb.constrain(x1, x2, Tcg::new(0, 1, cal.get("day").unwrap()));
+    let s = sb.build().unwrap();
+    (seq, DiscoveryProblem::new(s, 0.4, a))
+}
+
+/// The three step-5 execution paths, everything else at defaults.
+fn step5_modes(obs: ObsOptions) -> Vec<(&'static str, PipelineOptions)> {
+    let base = PipelineOptions {
+        obs,
+        ..PipelineOptions::default()
+    };
+    vec![
+        (
+            "serial",
+            PipelineOptions {
+                parallel: false,
+                parallel_sweep: false,
+                ..base
+            },
+        ),
+        (
+            "candidate-parallel",
+            PipelineOptions {
+                parallel: true,
+                parallel_sweep: false,
+                ..base
+            },
+        ),
+        (
+            "sweep-parallel",
+            PipelineOptions {
+                parallel: true,
+                parallel_sweep: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn run_all(obs: ObsOptions) -> Vec<(&'static str, Vec<Solution>, PipelineStats)> {
+    let (seq, p) = world();
+    step5_modes(obs)
+        .into_iter()
+        .map(|(name, opts)| {
+            let (sols, stats) = pipeline::mine_with(&p, &seq, &opts);
+            (name, sols, stats)
+        })
+        .collect()
+}
+
+#[test]
+fn pipeline_results_identical_with_obs_on_and_off() {
+    let _guard = TEST_LOCK.lock();
+    tgm_obs::set_enabled(false);
+    let baseline = run_all(ObsOptions::default());
+
+    tgm_obs::set_enabled(true);
+    tgm_obs::reset();
+    let observed = run_all(ObsOptions::default());
+    let metrics = tgm_obs::metrics::snapshot();
+    let spans = tgm_obs::span::snapshot();
+    tgm_obs::set_enabled(false);
+
+    assert_eq!(baseline, observed, "observability changed a mining result");
+    // Instrumentation really fired: run counters, the §5 per-step spans,
+    // and matcher-level counters flowing up from the anchored sweeps.
+    assert_eq!(metrics.counter("mining.pipeline.runs"), 3);
+    assert!(metrics.counter("mining.pipeline.tag_runs") > 0);
+    assert!(metrics.counter("tag.matcher.runs") > 0);
+    for name in [
+        "pipeline",
+        "pipeline.step1.consistency",
+        "pipeline.step2.sequence_reduction",
+        "pipeline.step3_4.screening",
+        "pipeline.step5.scan",
+    ] {
+        assert!(spans.get(name).is_some(), "missing span {name}");
+    }
+    tgm_obs::reset();
+}
+
+/// Serial, candidate-parallel and sweep-parallel step-5 paths report
+/// identically shaped stats: every field agrees except the fields that
+/// legitimately describe the execution mode itself.
+#[test]
+fn step5_paths_populate_stats_identically() {
+    let _guard = TEST_LOCK.lock();
+    tgm_obs::set_enabled(false);
+    let all = run_all(ObsOptions::default());
+    let (_, base_sols, base) = &all[0];
+    assert_eq!(base.step5_workers, 1);
+    assert_eq!(base.sweep_chunks, 0);
+    for (name, sols, stats) in &all[1..] {
+        assert_eq!(sols, base_sols, "{name} changed solutions");
+        assert!(stats.step5_workers >= 1, "{name} left step5_workers unset");
+        let normalized = PipelineStats {
+            step5_workers: base.step5_workers,
+            sweep_chunks: base.sweep_chunks,
+            ..*stats
+        };
+        assert_eq!(&normalized, base, "{name} stats diverged");
+    }
+}
+
+#[test]
+fn naive_results_identical_with_obs_on_and_off() {
+    let _guard = TEST_LOCK.lock();
+    let (seq, p) = world();
+    let modes = [
+        NaiveOptions::default(),
+        NaiveOptions {
+            parallel_sweep: true,
+            ..Default::default()
+        },
+    ];
+
+    tgm_obs::set_enabled(false);
+    let baseline: Vec<_> = modes.iter().map(|o| naive::mine_with(&p, &seq, o)).collect();
+
+    tgm_obs::set_enabled(true);
+    tgm_obs::reset();
+    let observed: Vec<_> = modes.iter().map(|o| naive::mine_with(&p, &seq, o)).collect();
+    let metrics = tgm_obs::metrics::snapshot();
+    tgm_obs::set_enabled(false);
+
+    assert_eq!(baseline, observed);
+    assert_eq!(metrics.counter("mining.naive.runs"), 2);
+    assert!(metrics.counter("mining.naive.tag_runs") > 0);
+    tgm_obs::reset();
+}
+
+/// The per-run `silent()` knob suppresses emission even with the global
+/// toggle on, without changing results.
+#[test]
+fn silent_knob_suppresses_pipeline_emission() {
+    let _guard = TEST_LOCK.lock();
+    tgm_obs::set_enabled(false);
+    let baseline = run_all(ObsOptions::default());
+
+    tgm_obs::set_enabled(true);
+    tgm_obs::reset();
+    let quiet = run_all(ObsOptions::silent());
+    let metrics = tgm_obs::metrics::snapshot();
+    let spans = tgm_obs::span::snapshot();
+    tgm_obs::set_enabled(false);
+
+    assert_eq!(baseline, quiet);
+    assert_eq!(metrics.counter("mining.pipeline.runs"), 0);
+    assert_eq!(metrics.counter("tag.matcher.runs"), 0);
+    assert!(spans.get("pipeline").is_none());
+    tgm_obs::reset();
+}

@@ -52,7 +52,7 @@ proptest! {
         // Naive: serial vs chunked sweep.
         let (serial_sols, serial_stats) = naive::mine(&problem, &seq);
         let (sweep_sols, sweep_stats) =
-            naive::mine_with(&problem, &seq, &NaiveOptions { parallel_sweep: true });
+            naive::mine_with(&problem, &seq, &NaiveOptions { parallel_sweep: true, ..Default::default() });
         prop_assert_eq!(&serial_sols, &sweep_sols);
         prop_assert_eq!(serial_stats.tag_runs, sweep_stats.tag_runs);
         prop_assert_eq!(serial_stats.candidates, sweep_stats.candidates);

@@ -25,6 +25,8 @@ use std::collections::HashSet;
 
 use tgm_events::{Event, TickColumns};
 use tgm_granularity::{Granularity, Second, Tick};
+use tgm_obs::metrics::{self, Histogram};
+use tgm_obs::{Observable, ObsOptions, ObsValue};
 
 use crate::automaton::{StateId, Tag};
 use crate::constraint::ClockId;
@@ -47,6 +49,11 @@ pub struct MatchOptions {
     /// exists only for the ablation benchmarks — the frontier then grows
     /// with the sequence length instead of Theorem 4's `(|V|·K)^p`.
     pub saturate: bool,
+    /// Observability knobs for this matcher's runs (counters, frontier
+    /// histograms, timing spans). Nothing is emitted unless the
+    /// process-wide [`tgm_obs::set_enabled`] toggle is also on;
+    /// instrumentation never changes results (differentially tested).
+    pub obs: ObsOptions,
 }
 
 impl Default for MatchOptions {
@@ -55,6 +62,7 @@ impl Default for MatchOptions {
             anchored: false,
             strict_updates: false,
             saturate: true,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -69,8 +77,22 @@ pub struct RunStats {
     pub peak_configs: usize,
     /// Total configuration expansions.
     pub expansions: u64,
+    /// Successor configurations rejected by the per-event frontier
+    /// deduplication (expansions that produced an already-present
+    /// configuration). Counted identically by both engines.
+    pub dedup_hits: u64,
     /// Whether an accepting configuration was reached.
     pub accepted: bool,
+}
+
+impl Observable for RunStats {
+    fn observe(&self, out: &mut Vec<(&'static str, ObsValue)>) {
+        out.push(("events", self.events.into()));
+        out.push(("peak_configs", self.peak_configs.into()));
+        out.push(("expansions", self.expansions.into()));
+        out.push(("dedup_hits", self.dedup_hits.into()));
+        out.push(("accepted", self.accepted.into()));
+    }
 }
 
 /// Records the largest constant each clock is compared against.
@@ -445,6 +467,28 @@ impl<'a> Matcher<'a> {
         events: &[Event],
         scratch: &mut MatcherScratch,
     ) -> Option<Vec<usize>> {
+        let _span = tgm_obs::span::span_if(self.opts.obs.spans, "tag.matcher.find_occurrence");
+        let out = self.find_occurrence_loop(events, scratch);
+        if self.opts.obs.metrics_on() {
+            metrics::counter_add("tag.matcher.find_occurrence_runs", 1);
+            metrics::counter_add("tag.matcher.find_occurrence_hits", u64::from(out.is_some()));
+            // Back-pointer arena growth — the memory cost find_occurrence
+            // pays over plain acceptance runs.
+            metrics::histogram_record(
+                "tag.matcher.find_arena_configs",
+                scratch.arena_meta.len() as u64,
+            );
+        }
+        out
+    }
+
+    /// The uninstrumented search behind
+    /// [`find_occurrence_scratch`](Self::find_occurrence_scratch).
+    fn find_occurrence_loop(
+        &self,
+        events: &[Event],
+        scratch: &mut MatcherScratch,
+    ) -> Option<Vec<usize>> {
         if events.is_empty() {
             return None;
         }
@@ -731,6 +775,7 @@ impl<'a> Matcher<'a> {
                     if is_new {
                         next_meta.push(nm);
                     } else {
+                        stats.dedup_hits += 1;
                         next_rows.truncate(idx as usize * n);
                     }
                 }
@@ -742,13 +787,50 @@ impl<'a> Matcher<'a> {
 
     /// The packed NFA simulation, parameterized over how each event's tick
     /// row is filled (`fill_ticks(index, event, row)` — direct resolution
-    /// or column lookup).
+    /// or column lookup). Wraps the loop with observability: one span, a
+    /// per-event frontier-size histogram accumulated locally and merged
+    /// into the global registry once per run, and run-level counters.
+    /// Nothing is emitted (and no clock is read) while observability is
+    /// disabled, and emission never feeds back into results.
     fn run_scratch_core(
         &self,
         events: &[Event],
         early_exit: bool,
         scratch: &mut MatcherScratch,
+        fill_ticks: impl FnMut(usize, &Event, &mut [i64]),
+    ) -> RunStats {
+        let _span = tgm_obs::span::span_if(self.opts.obs.spans, "tag.matcher.run");
+        let mut frontier_hist = self.opts.obs.metrics_on().then(Histogram::new);
+        let stats =
+            self.run_scratch_loop(events, early_exit, scratch, fill_ticks, &mut frontier_hist);
+        if let Some(hist) = &frontier_hist {
+            metrics::counter_add("tag.matcher.runs", 1);
+            metrics::counter_add("tag.matcher.events", stats.events as u64);
+            metrics::counter_add("tag.matcher.expansions", stats.expansions);
+            metrics::counter_add("tag.matcher.dedup_hits", stats.dedup_hits);
+            metrics::counter_add("tag.matcher.accepted", u64::from(stats.accepted));
+            metrics::histogram_merge("tag.matcher.frontier", hist);
+            metrics::histogram_record("tag.matcher.peak_frontier", stats.peak_configs as u64);
+            // Pool high-water mark: grown capacity of the packed row
+            // buffers this run left behind in the scratch.
+            metrics::histogram_record(
+                "tag.matcher.pool_rows_high_water",
+                (scratch.rows.capacity() + scratch.next_rows.capacity()) as u64,
+            );
+        }
+        stats
+    }
+
+    /// The uninstrumented simulation loop behind
+    /// [`run_scratch_core`](Self::run_scratch_core); `frontier_hist`, when
+    /// present, collects the post-advance frontier size at every event.
+    fn run_scratch_loop(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
         mut fill_ticks: impl FnMut(usize, &Event, &mut [i64]),
+        frontier_hist: &mut Option<Histogram>,
     ) -> RunStats {
         let mut stats = RunStats::default();
 
@@ -788,6 +870,9 @@ impl<'a> Matcher<'a> {
                 self.advance_packed(meta, rows, next_meta, next_rows, table, ticks, e, &mut stats);
             std::mem::swap(meta, next_meta);
             std::mem::swap(rows, next_rows);
+            if let Some(h) = frontier_hist.as_mut() {
+                h.record(meta.len() as u64);
+            }
             if early_exit && reached_accepting {
                 stats.accepted = true;
                 return stats;
@@ -1049,6 +1134,8 @@ impl<'a> Matcher<'a> {
                     }
                     if next_seen.insert(nc.clone()) {
                         next.push(nc);
+                    } else {
+                        stats.dedup_hits += 1;
                     }
                 }
             }
@@ -1278,8 +1365,7 @@ mod tests {
             &tag,
             MatchOptions {
                 anchored: true,
-                strict_updates: false,
-                saturate: true,
+                ..Default::default()
             },
         );
         // Noise before A: anchored matching must fail...
@@ -1328,9 +1414,8 @@ mod tests {
         let strict = Matcher::with_options(
             &tag,
             MatchOptions {
-                anchored: false,
                 strict_updates: true,
-                saturate: true,
+                ..Default::default()
             },
         );
         // Strict semantics (paper): the Saturday event has no business-day
@@ -1471,6 +1556,7 @@ mod tests {
                 anchored: bits & 1 != 0,
                 strict_updates: bits & 2 != 0,
                 saturate: bits & 4 != 0,
+                ..Default::default()
             });
         }
         out

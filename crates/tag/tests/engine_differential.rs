@@ -27,6 +27,7 @@ fn all_option_combos() -> Vec<MatchOptions> {
             anchored: bits & 1 != 0,
             strict_updates: bits & 2 != 0,
             saturate: bits & 4 != 0,
+            ..Default::default()
         })
         .collect()
 }

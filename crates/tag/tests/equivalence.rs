@@ -156,8 +156,7 @@ fn anchored_acceptance_pins_root_occurrence() {
         &tag,
         tgm_tag::MatchOptions {
             anchored: true,
-            strict_updates: false,
-            saturate: true,
+            ..Default::default()
         },
     );
     let events = vec![

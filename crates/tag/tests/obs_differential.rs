@@ -1,0 +1,139 @@
+//! Differential tests for observability: enabling the process-wide obs
+//! toggle (and flipping the per-call-site `ObsOptions` knobs) must not
+//! change any matching result — `RunStats` stays bit-identical and
+//! occurrence witnesses stay equal across all 8 `MatchOptions` combos,
+//! for direct, column-reading, early-exit, and scratch-reusing runs.
+
+use parking_lot::Mutex;
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
+use tgm_events::{Event, EventType, TickColumns};
+use tgm_granularity::{Calendar, Gran};
+use tgm_obs::ObsOptions;
+use tgm_tag::{build_tag, MatchOptions, Matcher, MatcherScratch, RunStats, Tag};
+
+/// Serializes tests that toggle the process-wide obs flag (the harness
+/// runs tests concurrently in one process).
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+const DAY: i64 = 86_400;
+
+fn all_option_combos() -> Vec<MatchOptions> {
+    (0..8u32)
+        .map(|bits| MatchOptions {
+            anchored: bits & 1 != 0,
+            strict_updates: bits & 2 != 0,
+            saturate: bits & 4 != 0,
+            ..Default::default()
+        })
+        .collect()
+}
+
+/// A two-granularity chain TAG (business-day + week) so strict-update
+/// gap handling and multi-clock canonicalization are both exercised.
+fn chain_tag() -> Tag {
+    let cal = Calendar::standard();
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("X0");
+    let x1 = b.var("X1");
+    let x2 = b.var("X2");
+    b.constrain(x0, x1, Tcg::new(1, 2, cal.get("business-day").unwrap()));
+    b.constrain(x1, x2, Tcg::new(0, 1, cal.get("week").unwrap()));
+    let s = b.build().unwrap();
+    build_tag(&ComplexEventType::new(
+        s,
+        vec![EventType(0), EventType(1), EventType(2)],
+    ))
+}
+
+/// Deterministic mixed sequences: matches, near-misses, weekend gaps,
+/// nondeterministic repeats, and an empty one.
+fn sequences() -> Vec<Vec<Event>> {
+    let ev = |ty: u32, t: i64| Event::new(EventType(ty), t);
+    vec![
+        vec![ev(0, 2 * DAY), ev(1, 3 * DAY), ev(2, 4 * DAY)],
+        vec![ev(0, 5 * DAY), ev(9, 7 * DAY + 100), ev(1, 9 * DAY), ev(2, 10 * DAY)],
+        vec![ev(0, 2 * DAY), ev(0, 3 * DAY), ev(1, 4 * DAY), ev(2, 9 * DAY), ev(2, 30 * DAY)],
+        vec![ev(7, 7 * DAY), ev(0, 7 * DAY + 50), ev(1, 9 * DAY)],
+        vec![ev(0, 2 * DAY)],
+        vec![],
+    ]
+}
+
+/// One full matrix of runs for a fixed obs configuration.
+fn run_matrix(opts_list: &[MatchOptions]) -> Vec<(RunStats, RunStats, Option<Vec<usize>>)> {
+    let tag = chain_tag();
+    let tag_grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+    let mut scratch = MatcherScratch::new();
+    let mut out = Vec::new();
+    for events in &sequences() {
+        let cols = TickColumns::build(events, &tag_grans);
+        for opts in opts_list {
+            let m = Matcher::with_options(&tag, *opts);
+            for early_exit in [false, true] {
+                out.push((
+                    m.run_scratch(events, early_exit, &mut scratch),
+                    m.run_columns_scratch(events, &cols, 0, early_exit, &mut scratch),
+                    m.find_occurrence_scratch(events, &mut scratch),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn results_identical_with_obs_on_and_off() {
+    let _guard = TEST_LOCK.lock();
+    let combos = all_option_combos();
+
+    tgm_obs::set_enabled(false);
+    let baseline = run_matrix(&combos);
+
+    tgm_obs::set_enabled(true);
+    let observed = run_matrix(&combos);
+    let snap = tgm_obs::metrics::snapshot();
+    tgm_obs::set_enabled(false);
+
+    assert_eq!(baseline, observed, "observability changed a result");
+    // The instrumentation did actually fire while enabled.
+    assert!(snap.counter("tag.matcher.runs") > 0);
+    assert!(snap.histogram("tag.matcher.frontier").is_some());
+    tgm_obs::reset();
+}
+
+#[test]
+fn per_call_site_knobs_do_not_change_results() {
+    let _guard = TEST_LOCK.lock();
+    let combos = all_option_combos();
+    let silent: Vec<MatchOptions> = combos
+        .iter()
+        .map(|o| MatchOptions {
+            obs: ObsOptions::silent(),
+            ..*o
+        })
+        .collect();
+    let metrics_only: Vec<MatchOptions> = combos
+        .iter()
+        .map(|o| MatchOptions {
+            obs: ObsOptions {
+                metrics: true,
+                spans: false,
+            },
+            ..*o
+        })
+        .collect();
+
+    tgm_obs::set_enabled(true);
+    let loud = run_matrix(&combos);
+    tgm_obs::reset();
+    let quiet = run_matrix(&silent);
+    let counters_after_quiet = tgm_obs::metrics::snapshot();
+    let partial = run_matrix(&metrics_only);
+    tgm_obs::set_enabled(false);
+
+    assert_eq!(loud, quiet);
+    assert_eq!(loud, partial);
+    // The silent knob really silenced emission even with the toggle on.
+    assert_eq!(counters_after_quiet.counter("tag.matcher.runs"), 0);
+    tgm_obs::reset();
+}

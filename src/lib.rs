@@ -13,6 +13,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`granularity`] | `tgm-granularity` | temporal types, calendars, tick conversion, size tables |
+//! | [`obs`] | `tgm-obs` | spans, metrics, pruning-funnel reports (process-wide toggle, off by default) |
 //! | [`stp`] | `tgm-stp` | Simple Temporal Problem networks (Dechter–Meiri–Pearl) |
 //! | [`events`] | `tgm-events` | event types, sequences, JSON I/O, workload generators |
 //! | [`core`] | `tgm-core` | TCGs, event structures, conversion, propagation, exact checking |
@@ -83,6 +84,7 @@ pub use tgm_core as core;
 pub use tgm_events as events;
 pub use tgm_granularity as granularity;
 pub use tgm_mining as mining;
+pub use tgm_obs as obs;
 pub use tgm_stp as stp;
 pub use tgm_tag as tag;
 
@@ -107,5 +109,6 @@ pub mod prelude {
     pub use tgm_granularity::{cache, CacheStats, Calendar, Gran, Granularity, Second, Tick};
     pub use tgm_mining::pipeline::{mine_with, PipelineOptions, PipelineStats};
     pub use tgm_mining::{naive, pipeline, DiscoveryProblem, Solution};
+    pub use tgm_obs::{Observable, ObsOptions, Report};
     pub use tgm_tag::{build_tag, MatchOptions, Matcher, RunStats, StreamMatcher, Tag};
 }

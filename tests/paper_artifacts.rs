@@ -150,7 +150,7 @@ fn strict_and_lazy_matching_agree_on_prefiltered_sequences() {
         MatchOptions {
             anchored: false,
             strict_updates: true,
-            saturate: true,
+            ..MatchOptions::default()
         },
     );
     assert_eq!(lazy.accepts(&seq), strict.accepts(&seq));
