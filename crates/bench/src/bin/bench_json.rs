@@ -19,8 +19,9 @@ use tgm_bench::timed;
 use tgm_core::{ComplexEventType, StructureBuilder, Tcg, VarId};
 use tgm_events::TypeRegistry;
 use tgm_granularity::Calendar;
+use tgm_limits::{CancelToken, Limits};
 use tgm_mining::naive::{self, NaiveOptions};
-use tgm_mining::pipeline::{mine_with, PipelineOptions};
+use tgm_mining::pipeline::{mine_bounded, mine_with, PipelineOptions};
 use tgm_mining::DiscoveryProblem;
 use tgm_obs::Report;
 use tgm_tag::{build_tag, Matcher, MatcherScratch, Tag};
@@ -147,6 +148,29 @@ fn main() {
     let mut scratch = MatcherScratch::new();
     let obs_scan = Matcher::new(&tag1).run_scratch(w1.sequence.events(), false, &mut scratch);
     let (obs_sols, _) = mine_with(&problem, &w3.sequence, &sweep_opts);
+    // One interrupted run per limit class so the limits.* counters land in
+    // the record alongside the throughput numbers.
+    let _ = mine_bounded(
+        &problem,
+        &w3.sequence,
+        &sweep_opts,
+        &Limits::none().with_budget(0),
+    );
+    let _ = mine_bounded(
+        &problem,
+        &w3.sequence,
+        &sweep_opts,
+        &Limits::none()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+    );
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    let _ = mine_bounded(
+        &problem,
+        &w3.sequence,
+        &sweep_opts,
+        &Limits::none().with_cancel(cancelled),
+    );
     let obs_report = Report::capture();
     tgm_obs::set_enabled(false);
     tgm_obs::reset();
@@ -208,6 +232,22 @@ fn main() {
             s.count,
             s.total_ms(),
             if i + 1 < n_spans { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"limits\": {\n");
+    let limit_counters: Vec<(&String, u64)> = obs_report
+        .metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("limits."))
+        .map(|(name, v)| (name, *v))
+        .collect();
+    for (i, (name, v)) in limit_counters.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {v}{}",
+            if i + 1 < limit_counters.len() { "," } else { "" }
         );
     }
     json.push_str("  }\n");

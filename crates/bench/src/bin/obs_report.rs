@@ -16,7 +16,8 @@ use tgm_bench::timed;
 use tgm_bench::workloads::{daily_stock_workload, planted_stock_workload};
 use tgm_core::VarId;
 use tgm_events::minijson;
-use tgm_mining::pipeline::{mine_with, PipelineOptions};
+use tgm_limits::{CancelToken, Limits};
+use tgm_mining::pipeline::{mine_bounded, mine_with, PipelineOptions};
 use tgm_mining::DiscoveryProblem;
 use tgm_obs::Report;
 use tgm_tag::{build_tag, Matcher, MatcherScratch};
@@ -67,7 +68,13 @@ fn validate_schema(json: &str) -> Vec<String> {
 
     match doc.get("counters") {
         Some(minijson::Value::Object(counters)) => {
-            for required in ["tag.matcher.runs", "mining.pipeline.runs"] {
+            for required in [
+                "tag.matcher.runs",
+                "mining.pipeline.runs",
+                "limits.budget_hit",
+                "limits.deadline_hit",
+                "limits.cancelled",
+            ] {
                 let v = counters
                     .iter()
                     .find(|(k, _)| k == required)
@@ -211,6 +218,33 @@ fn main() {
     let problem = DiscoveryProblem::new(w.cet.structure().clone(), 0.6, w.types.ibm_rise)
         .with_candidates(VarId(3), [w.types.ibm_fall]);
     let (solutions, pstats) = mine_with(&problem, &w.sequence, &PipelineOptions::default());
+
+    // One interrupted run per limit class, so the report carries the
+    // limits.* counters (graceful-degradation observability).
+    let popts = PipelineOptions::default();
+    let budgeted = mine_bounded(&problem, &w.sequence, &popts, &Limits::none().with_budget(0))
+        .expect("no failpoints armed");
+    let expired = mine_bounded(
+        &problem,
+        &w.sequence,
+        &popts,
+        &Limits::none().with_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+    )
+    .expect("no failpoints armed");
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = mine_bounded(&problem, &w.sequence, &popts, &Limits::none().with_cancel(token))
+        .expect("no failpoints armed");
+    for (name, run) in [
+        ("budget", &budgeted),
+        ("deadline", &expired),
+        ("cancel", &cancelled),
+    ] {
+        assert!(
+            run.verdict.interrupt().is_some(),
+            "{name}-limited run must report an interruption"
+        );
+    }
 
     let mut report = Report::capture();
     tgm_obs::set_enabled(false);

@@ -20,9 +20,10 @@
 //! horizon.
 
 use tgm_granularity::{Gran, Granularity, Second};
+use tgm_limits::{Interrupt, Limits};
 use tgm_stp::INF;
 
-use crate::propagate::{propagate, Propagated};
+use crate::propagate::{propagate_bounded, Propagated, PropagateOptions};
 use crate::structure::{EventStructure, VarId};
 
 /// Options for the exact checker.
@@ -66,8 +67,14 @@ pub enum ExactOutcome {
 pub enum ExactError {
     /// A variable's candidate set exceeded `max_candidates_per_var`.
     TooManyCandidates,
-    /// The search exceeded `max_nodes` visits.
+    /// The search exceeded `max_nodes` visits — or, under
+    /// [`check_bounded`], the caller's [`Limits`] row budget if that was
+    /// tighter.
     SearchBudgetExhausted,
+    /// The wall-clock deadline of the caller's [`Limits`] passed.
+    DeadlineExceeded,
+    /// The caller's [`Limits`] cancel token was cancelled.
+    Cancelled,
 }
 
 impl std::fmt::Display for ExactError {
@@ -75,11 +82,23 @@ impl std::fmt::Display for ExactError {
         match self {
             ExactError::TooManyCandidates => write!(f, "candidate enumeration limit exceeded"),
             ExactError::SearchBudgetExhausted => write!(f, "backtracking budget exhausted"),
+            ExactError::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+            ExactError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
 
 impl std::error::Error for ExactError {}
+
+impl From<Interrupt> for ExactError {
+    fn from(i: Interrupt) -> Self {
+        match i {
+            Interrupt::DeadlineExceeded => ExactError::DeadlineExceeded,
+            Interrupt::BudgetExhausted => ExactError::SearchBudgetExhausted,
+            Interrupt::Cancelled => ExactError::Cancelled,
+        }
+    }
+}
 
 /// Exact consistency check with default options.
 ///
@@ -108,17 +127,37 @@ pub fn check(s: &EventStructure) -> Result<ExactOutcome, ExactError> {
 /// propagator is sound), and its derived second-level windows prune the
 /// search.
 pub fn check_with(s: &EventStructure, opts: &ExactOptions) -> Result<ExactOutcome, ExactError> {
-    let p = propagate(s);
+    check_bounded(s, opts, &Limits::none())
+}
+
+/// [`check_with`] under [`Limits`].
+///
+/// The checker's bespoke node budget is expressed through the same
+/// machinery: the effective search budget is the tighter of
+/// `opts.max_nodes` and `limits`' row budget, and the backtracking loop
+/// additionally polls the deadline and cancel token. Interruptions map
+/// onto [`ExactError`] ([`ExactError::DeadlineExceeded`] /
+/// [`ExactError::SearchBudgetExhausted`] / [`ExactError::Cancelled`]).
+/// With [`Limits::none`] this is exactly [`check_with`].
+pub fn check_bounded(
+    s: &EventStructure,
+    opts: &ExactOptions,
+    limits: &Limits,
+) -> Result<ExactOutcome, ExactError> {
+    let p = propagate_bounded(s, &PropagateOptions::default(), limits)?;
     if !p.is_consistent() {
         return Ok(ExactOutcome::InconsistentWithinHorizon);
     }
-    let searcher = Searcher::new(s, &p, opts);
+    let searcher = Searcher::new(s, &p, opts, limits);
     searcher.run()
 }
 
 struct Searcher<'a> {
     s: &'a EventStructure,
     opts: &'a ExactOptions,
+    /// Caller limits, with the node budget folded in (tighter of
+    /// `opts.max_nodes` and the caller's row budget).
+    limits: Limits,
     grans: Vec<Gran>,
     /// Second-level window of each variable relative to the root.
     windows: Vec<(i64, i64)>,
@@ -127,7 +166,7 @@ struct Searcher<'a> {
 }
 
 impl<'a> Searcher<'a> {
-    fn new(s: &'a EventStructure, p: &Propagated, opts: &'a ExactOptions) -> Self {
+    fn new(s: &'a EventStructure, p: &Propagated, opts: &'a ExactOptions, limits: &Limits) -> Self {
         let root = s.root();
         let span = opts.horizon_end - opts.horizon_start;
         let windows = s
@@ -149,6 +188,7 @@ impl<'a> Searcher<'a> {
         Searcher {
             s,
             opts,
+            limits: limits.clone().with_budget(opts.max_nodes),
             grans: s.granularities(),
             windows,
             order: Self::search_order(s, p),
@@ -188,6 +228,8 @@ impl<'a> Searcher<'a> {
                     best = Some((w, v));
                 }
             }
+            // Invariant: the while condition guarantees an unvisited var.
+            #[allow(clippy::expect_used)]
             let (_, v) = best.expect("some variable must remain");
             visited[v.index()] = true;
             order.push(v);
@@ -196,6 +238,7 @@ impl<'a> Searcher<'a> {
     }
 
     fn run(&self) -> Result<ExactOutcome, ExactError> {
+        self.limits.check().map_err(ExactError::from)?;
         let root_cands =
             self.cell_starts(self.opts.horizon_start, self.opts.horizon_end)?;
         for &r in &root_cands {
@@ -217,6 +260,8 @@ impl<'a> Searcher<'a> {
         root_time: Second,
     ) -> Result<Option<Vec<Second>>, ExactError> {
         if depth == self.order.len() {
+            // Invariant: at full depth every variable has been assigned.
+            #[allow(clippy::unwrap_used)]
             let times: Vec<Second> = assignment.iter().map(|t| t.unwrap()).collect();
             return Ok(if self.s.satisfied_by(&times) {
                 Some(times)
@@ -234,8 +279,13 @@ impl<'a> Searcher<'a> {
         for t in self.cell_starts(lo, hi)? {
             let n = self.nodes.get() + 1;
             self.nodes.set(n);
-            if n > self.opts.max_nodes {
+            if self.limits.budget_exceeded(n) {
                 return Err(ExactError::SearchBudgetExhausted);
+            }
+            // The deterministic budget check runs every node; the clock
+            // read and atomic load only every 1024 nodes.
+            if n & 1023 == 0 {
+                self.limits.check().map_err(ExactError::from)?;
             }
             if !self.compatible(assignment, v, t) {
                 continue;

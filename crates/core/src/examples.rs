@@ -1,5 +1,9 @@
 //! The event structures of the paper's Figure 1 and the complex event type
 //! of Example 1, used by tests, examples, and the experiment harness.
+
+// Everything here builds fixed, known-valid paper structures from the
+// standard calendar; a panic is a bug in this module, not bad input.
+#![allow(clippy::expect_used)]
 //!
 //! Figure 1(a) (reconstructed from Example 1 and the TAG of Figure 2):
 //!

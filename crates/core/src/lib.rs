@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod structure;
@@ -45,4 +46,4 @@ pub mod substructure;
 pub use convert::{convert_constraint, convert_constraint_for_defined_ticks, convert_constraint_paper};
 pub use error::StructureError;
 pub use structure::{ComplexEventType, EventStructure, StructureBuilder, VarId};
-pub use tcg::Tcg;
+pub use tcg::{OverflowError, Tcg};

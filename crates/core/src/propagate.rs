@@ -42,6 +42,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use tgm_granularity::{cache, Calendar, Gran, Granularity};
+use tgm_limits::{Interrupt, Limits};
 use tgm_stp::{MinimalNetwork, Range, Stp, INF};
 
 use crate::structure::{EventStructure, VarId};
@@ -260,11 +261,38 @@ pub fn propagate(s: &EventStructure) -> Propagated {
 
 /// Runs approximate propagation (paper §3.2).
 pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated {
+    match propagate_core(s, opts, None) {
+        Ok(p) => p,
+        // Unreachable: without limits nothing interrupts the fixpoint.
+        Err(i) => unreachable!("unlimited propagation interrupted: {i}"),
+    }
+}
+
+/// [`propagate_with`] under [`Limits`]: the fixpoint loop polls
+/// cancellation and the deadline per conversion pass and returns `Err`
+/// when interrupted (propagation has no meaningful partial result — a
+/// half-tightened network is not sound to read). With [`Limits::none`]
+/// behaves exactly like [`propagate_with`].
+pub fn propagate_bounded(
+    s: &EventStructure,
+    opts: &PropagateOptions,
+    limits: &Limits,
+) -> Result<Propagated, Interrupt> {
+    propagate_core(s, opts, Some(limits))
+}
+
+fn propagate_core(
+    s: &EventStructure,
+    opts: &PropagateOptions,
+    limits: Option<&Limits>,
+) -> Result<Propagated, Interrupt> {
     let n = s.len();
     let mut grans = s.granularities();
     if opts.include_seconds && !grans.iter().any(|g| g.name() == "second") {
         // The shared handle keeps one warm size table and resolution cache
         // across every propagation call instead of rebuilding them here.
+        // Invariant: the standard calendar always defines `second`.
+        #[allow(clippy::expect_used)]
         let second = Calendar::shared_standard()
             .get("second")
             .expect("standard calendar defines `second`");
@@ -312,14 +340,14 @@ pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated
             Ok(m) => nets.push(m),
             Err(_) => {
                 let refuted_in = Some(grans[gi].clone());
-                return Propagated {
+                return Ok(Propagated {
                     grans,
                     networks: None,
                     defined,
                     iterations: 0,
                     n_vars: n,
                     refuted_in,
-                }
+                });
             }
         }
     }
@@ -349,6 +377,13 @@ pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated
             for dst_idx in 0..grans.len() {
                 if src_idx == dst_idx {
                     continue;
+                }
+                // Cooperative poll, once per conversion pass: the network
+                // state between passes is consistent (tightenings are
+                // individually sound), but we discard it anyway — see
+                // propagate_bounded's contract.
+                if let Some(l) = limits {
+                    l.check()?;
                 }
                 let dst_gapped = grans[dst_idx].has_gaps();
                 for i in 0..n {
@@ -388,14 +423,14 @@ pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated
                             }
                             Err(_) => {
                                 let refuted_in = Some(grans[dst_idx].clone());
-                                return Propagated {
+                                return Ok(Propagated {
                                     grans,
                                     networks: None,
                                     defined,
                                     iterations,
                                     n_vars: n,
                                     refuted_in,
-                                };
+                                });
                             }
                         }
                     }
@@ -407,14 +442,14 @@ pub fn propagate_with(s: &EventStructure, opts: &PropagateOptions) -> Propagated
         }
     }
 
-    Propagated {
+    Ok(Propagated {
         grans,
         networks: Some(nets),
         defined,
         iterations,
         n_vars: n,
         refuted_in: None,
-    }
+    })
 }
 
 impl Propagated {

@@ -99,6 +99,8 @@ pub fn subset_sum_structure(values: &[u64], target: u64) -> EventStructure {
         b.constrain(us[i], xs[i + 1], Tcg::new(0, 0, nm));
         b.constrain(us[i], xs[i + 1], Tcg::new(ni - 1, ni - 1, month.clone()));
     }
+    // Invariant of the gadget's construction, not input-fallible.
+    #[allow(clippy::expect_used)]
     b.build().expect("gadget is a valid rooted DAG")
 }
 

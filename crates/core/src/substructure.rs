@@ -58,6 +58,9 @@ pub fn induced_substructure(
             }
         }
     }
+    // Invariant: the builder was fed a node-induced subgraph of a valid
+    // structure that keeps the root.
+    #[allow(clippy::expect_used)]
     let sub = b
         .build()
         .expect("induced sub-structure of a rooted DAG is a rooted DAG");

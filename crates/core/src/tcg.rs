@@ -65,10 +65,31 @@ impl Tcg {
     }
 
     /// The tick distance `⌈t2⌉μ − ⌈t1⌉μ`, if both covering ticks exist.
+    ///
+    /// A distance that overflows `i64` (ticks near both `i64` extremes) is
+    /// reported as `None` like a gap: since every representable bound is at
+    /// most [`MAX_BOUND`](Self::MAX_BOUND) (`2^40`), such a distance could
+    /// never satisfy a constraint anyway. Use
+    /// [`try_tick_distance`](Self::try_tick_distance) to distinguish the
+    /// two cases.
     pub fn tick_distance(&self, t1: Second, t2: Second) -> Option<i64> {
-        let z1 = self.gran.covering_tick(t1)?;
-        let z2 = self.gran.covering_tick(t2)?;
-        Some(z2 - z1)
+        self.try_tick_distance(t1, t2).ok().flatten()
+    }
+
+    /// The tick distance `⌈t2⌉μ − ⌈t1⌉μ`: `Ok(None)` when a covering tick
+    /// is undefined (granularity gap), `Err` when the subtraction itself
+    /// overflows `i64`.
+    pub fn try_tick_distance(&self, t1: Second, t2: Second) -> Result<Option<i64>, OverflowError> {
+        let (z1, z2) = match (self.gran.covering_tick(t1), self.gran.covering_tick(t2)) {
+            (Some(z1), Some(z2)) => (z1, z2),
+            _ => return Ok(None),
+        };
+        match z2.checked_sub(z1) {
+            Some(d) => Ok(Some(d)),
+            None => Err(OverflowError {
+                context: "tick distance",
+            }),
+        }
     }
 
     /// Whether `(t1, t2)` satisfies the constraint (requires `t1 ≤ t2`,
@@ -83,6 +104,25 @@ impl Tcg {
         }
     }
 }
+
+/// Integer overflow in multi-granularity tick arithmetic — the inputs sit
+/// so close to the `i64` extremes that a distance or bound computation is
+/// not representable. Such values can never satisfy a representable
+/// constraint ([`Tcg::MAX_BOUND`] is `2^40`), so callers either propagate
+/// this error or treat the value as unsatisfiable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverflowError {
+    /// What was being computed, e.g. `"tick distance"`.
+    pub context: &'static str,
+}
+
+impl fmt::Display for OverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "integer overflow computing {}", self.context)
+    }
+}
+
+impl std::error::Error for OverflowError {}
 
 impl fmt::Debug for Tcg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -160,6 +200,33 @@ mod tests {
         let same_day = Tcg::new(0, 0, c.get("day").unwrap());
         assert!(same_day.satisfied(100, 100));
         assert!(!same_day.satisfied(200, 100));
+    }
+
+    #[test]
+    fn near_i64_max_distance_does_not_wrap() {
+        // Second-granularity ticks are the timestamps themselves, so
+        // timestamps near both i64 extremes used to wrap the subtraction
+        // in release (and panic under overflow-checks). Now: typed
+        // overflow from try_tick_distance, gap-like None (hence
+        // unsatisfied) everywhere else.
+        let c = cal();
+        let tcg = Tcg::new(0, Tcg::MAX_BOUND, c.get("second").unwrap());
+        let (t1, t2) = (i64::MIN + 10, i64::MAX - 10);
+        assert_eq!(
+            tcg.try_tick_distance(t1, t2),
+            Err(OverflowError {
+                context: "tick distance"
+            })
+        );
+        assert_eq!(tcg.tick_distance(t1, t2), None);
+        assert!(!tcg.satisfied(t1, t2));
+        // Near-extreme but representable distances still work.
+        assert_eq!(
+            tcg.tick_distance(i64::MAX - 100, i64::MAX - 40),
+            Some(60)
+        );
+        assert!(Tcg::new(50, 70, c.get("second").unwrap())
+            .satisfied(i64::MAX - 100, i64::MAX - 40));
     }
 
     #[test]

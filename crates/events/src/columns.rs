@@ -66,17 +66,27 @@ impl TickColumns {
             if uniq.len() <= 1 || cells < PARALLEL_THRESHOLD_CELLS {
                 uniq.iter().map(|g| resolve_column(g, events)).collect()
             } else {
-                crossbeam::scope(|scope| {
+                let parallel: Option<Vec<Vec<Option<Tick>>>> = crossbeam::scope(|scope| {
                     let handles: Vec<_> = uniq
                         .iter()
                         .map(|g| scope.spawn(move |_| resolve_column(g, events)))
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("column resolution does not panic"))
-                        .collect()
+                        .map(|h| h.join().ok())
+                        .collect::<Option<Vec<_>>>()
                 })
-                .expect("crossbeam scope")
+                .ok()
+                .flatten();
+                match parallel {
+                    Some(cols) => cols,
+                    // A worker (or the scope) panicked. Resolution is
+                    // deterministic, so redoing it serially either
+                    // reproduces the panic in the caller's thread with its
+                    // original payload or succeeds if the failure was
+                    // spurious (e.g. thread-spawn pressure).
+                    None => uniq.iter().map(|g| resolve_column(g, events)).collect(),
+                }
             };
         tgm_obs::metrics::counter_add("events.tick_columns.builds", 1);
         tgm_obs::metrics::counter_add("events.tick_columns.columns", uniq.len() as u64);

@@ -36,8 +36,10 @@ pub fn poisson_noise(
         if t > end {
             break;
         }
-        let ty = *types.choose(&mut rng).expect("non-empty");
-        b.push(ty, t);
+        // `types` is non-empty (asserted above), so `choose` always hits.
+        if let Some(&ty) = types.choose(&mut rng) {
+            b.push(ty, t);
+        }
     }
     b.build()
 }
@@ -232,8 +234,10 @@ pub fn plant_telemetry(cfg: &PlantConfig, reg: &mut TypeRegistry) -> EventSequen
     for day in 0..cfg.days {
         let n = poisson_count(&mut rng, cfg.noise_per_day);
         for _ in 0..n {
-            let ty = *noise_types.choose(&mut rng).unwrap();
-            b.push(ty, day * DAY + rng.gen_range(0..DAY));
+            // `noise_types` is a fixed non-empty array, so `choose` hits.
+            if let Some(&ty) = noise_types.choose(&mut rng) {
+                b.push(ty, day * DAY + rng.gen_range(0..DAY));
+            }
         }
         if rng.gen_bool((1.0 / cfg.cascade_period_days).min(1.0)) {
             let t0 = day * DAY + rng.gen_range(0i64..18 * 3_600);

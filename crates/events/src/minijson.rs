@@ -94,11 +94,17 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container-nesting depth accepted by [`parse`]. The parser
+/// recurses per nesting level, so a pathological `[[[[…` document must be
+/// rejected with an error before it can overflow the stack.
+const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -112,6 +118,7 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -147,8 +154,8 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Value, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Value::Str(self.string()?)),
             Some(b't') => self.keyword("true", Value::Bool(true)),
             Some(b'f') => self.keyword("false", Value::Bool(false)),
@@ -157,6 +164,22 @@ impl<'a> Parser<'a> {
             Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    /// Runs a container parse one nesting level deeper, rejecting
+    /// documents past [`MAX_DEPTH`] before recursion can overflow the
+    /// stack.
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Value, JsonError>,
+    ) -> Result<Value, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
@@ -273,7 +296,9 @@ impl<'a> Parser<'a> {
                     // are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().expect("non-empty by peek");
+                    let Some(ch) = s.chars().next() else {
+                        return Err(self.err("unexpected end of input"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -316,7 +341,8 @@ impl<'a> Parser<'a> {
             }
             self.digits()?;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         if !is_float {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Value::Int(n));

@@ -37,6 +37,10 @@ impl TypeRegistry {
     }
 
     /// Interns `name`, returning its (possibly pre-existing) id.
+    ///
+    /// Panics if more than `u32::MAX` distinct types are interned — a
+    /// capacity limit of the packed id representation, not a data error.
+    #[allow(clippy::expect_used)]
     pub fn intern(&mut self, name: &str) -> EventType {
         if let Some(&ty) = self.ids.get(name) {
             return ty;

@@ -1,0 +1,115 @@
+//! No-panic property tests for the untrusted-input surfaces: arbitrary
+//! and corrupted text fed through the JSON parser, the event-sequence
+//! JSON/CSV readers, and the sequence builder must return `Ok`/`Err` —
+//! never panic, hang, or overflow.
+
+use proptest::prelude::*;
+use tgm_events::{io, minijson, EventType, SequenceBuilder, TypeRegistry};
+
+/// Characters biased toward JSON/CSV structure so random strings reach
+/// deep parser states instead of failing on the first byte.
+const STRUCTURED: &[char] = &[
+    '{', '}', '[', ']', '"', ':', ',', '\\', 'u', 'e', '.', '-', '+', '0', '1', '9', 't', 'f',
+    'n', ' ', '\n', '\t', '\u{0}', '\u{7f}', 'é', '𝄞', ';', '#',
+];
+
+fn structured_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..STRUCTURED.len(), 0..64)
+        .prop_map(|picks| picks.into_iter().map(|i| STRUCTURED[i]).collect())
+}
+
+fn random_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x11_0000, 0..64).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| char::from_u32(c).unwrap_or('\u{FFFD}'))
+            .collect()
+    })
+}
+
+/// Timestamps at the representable extremes plus small values.
+const EXTREME_TIMES: &[i64] = &[i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics_parsers(s in structured_string()) {
+        let _ = minijson::parse(&s);
+        let _ = io::from_json(&s);
+        let _ = io::from_csv(&s);
+    }
+
+    #[test]
+    fn fully_random_text_never_panics_parsers(s in random_string()) {
+        let _ = minijson::parse(&s);
+        let _ = io::from_json(&s);
+        let _ = io::from_csv(&s);
+    }
+
+    #[test]
+    fn corrupted_valid_json_never_panics(
+        raw in proptest::collection::vec((0u32..4, -1_000_000i64..1_000_000), 1..12),
+        cut in 0usize..200,
+        flip in 0usize..200,
+        repl in 0usize..STRUCTURED.len(),
+    ) {
+        // Build a valid document, then corrupt it: truncate at a random
+        // char boundary and overwrite one char.
+        let mut reg = TypeRegistry::new();
+        let mut b = SequenceBuilder::new();
+        for &(ty, t) in &raw {
+            let ty = reg.intern(&format!("type-{ty}"));
+            b.push(ty, t);
+        }
+        let seq = b.build();
+        let json = io::to_json(&seq, &reg);
+        let round = io::from_json(&json);
+        prop_assert!(round.is_ok(), "round-trip must parse");
+
+        let chars: Vec<char> = json.chars().collect();
+        let mut corrupted: Vec<char> = chars[..cut.min(chars.len())].to_vec();
+        if !corrupted.is_empty() {
+            let i = flip % corrupted.len();
+            corrupted[i] = STRUCTURED[repl];
+        }
+        let corrupted: String = corrupted.into_iter().collect();
+        let _ = io::from_json(&corrupted);
+        let _ = minijson::parse(&corrupted);
+    }
+
+    #[test]
+    fn extreme_timestamps_never_panic_builder(
+        raw in proptest::collection::vec((0u32..8, 0usize..EXTREME_TIMES.len()), 0..12),
+    ) {
+        let mut b = SequenceBuilder::new();
+        for &(ty, t) in &raw {
+            b.push(EventType(ty), EXTREME_TIMES[t]);
+        }
+        let seq = b.build();
+        // `build` sorts and deduplicates, so the count can only shrink.
+        prop_assert!(seq.len() <= raw.len());
+        // Serialization of extreme values must also survive.
+        let reg = {
+            let mut r = TypeRegistry::new();
+            for i in 0..8 {
+                r.intern(&format!("type-{i}"));
+            }
+            r
+        };
+        let _ = io::to_json(&seq, &reg);
+        let _ = io::to_csv(&seq, &reg);
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_overflowed() {
+    // A pathological document must come back as an error, not a stack
+    // overflow.
+    let depth = 100_000;
+    let mut s = String::new();
+    for _ in 0..depth {
+        s.push('[');
+    }
+    assert!(minijson::parse(&s).is_err());
+}

@@ -1,0 +1,72 @@
+//! Shared bounded-execution plumbing for the miners: the partial-result
+//! container returned by `mine_bounded`, the sweep-level error type, and
+//! the panic-containment wrapper for crossbeam workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tgm_limits::{panic_message, CancelToken, Interrupt, Verdict, WorkerPanic};
+
+use crate::problem::Solution;
+
+/// The outcome of a bounded mining run: everything found before the run
+/// completed or was interrupted.
+///
+/// Interruption never invalidates what was already found — `solutions`
+/// holds every solution whose support count finished, `stats` reflects
+/// the work actually performed, and `verdict` says whether the result is
+/// exhaustive ([`Verdict::Completed`]) or a prefix
+/// ([`Verdict::Interrupted`]).
+#[derive(Clone, Debug)]
+pub struct BoundedMining<S> {
+    /// Solutions fully counted before the run ended.
+    pub solutions: Vec<Solution>,
+    /// Per-run instrumentation for the work actually performed.
+    pub stats: S,
+    /// Whether the run completed or stopped early (and why).
+    pub verdict: Verdict,
+}
+
+/// Why a (possibly parallel) support sweep stopped without a count.
+pub(crate) enum SweepError {
+    /// A limit tripped (deadline, cancellation); the candidate's support
+    /// count is incomplete and must be discarded.
+    Interrupted(Interrupt),
+    /// A worker panicked; siblings have been cancelled via the shared
+    /// token.
+    Panicked(WorkerPanic),
+}
+
+impl From<Interrupt> for SweepError {
+    fn from(i: Interrupt) -> Self {
+        SweepError::Interrupted(i)
+    }
+}
+
+impl From<WorkerPanic> for SweepError {
+    fn from(p: WorkerPanic) -> Self {
+        SweepError::Panicked(p)
+    }
+}
+
+/// Runs `f`, converting a panic into a typed [`WorkerPanic`] after
+/// cancelling `token` so sibling workers stop at their next poll instead
+/// of burning through their chunks (or aborting the process, with
+/// `panic = "abort"`-style configs, before anyone can report).
+pub(crate) fn contain<T>(
+    site: &'static str,
+    token: Option<&CancelToken>,
+    f: impl FnOnce() -> T,
+) -> Result<T, WorkerPanic> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            if let Some(t) = token {
+                t.cancel();
+            }
+            Err(WorkerPanic {
+                site,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}

@@ -16,6 +16,8 @@
 use std::collections::BTreeSet;
 
 use tgm_events::{EventSequence, EventType};
+use tgm_limits::{Limits, Verdict};
+use tgm_tag::count_interrupt;
 
 /// Reusable buffers for episode-frequency computation: the occurrence
 /// interval list, the window-boundary point list, and the per-type
@@ -258,15 +260,43 @@ impl EpisodeMiner {
 
     /// Level-wise mining of frequent serial episodes.
     pub fn mine_serial(&self, seq: &EventSequence) -> Vec<(Episode, f64)> {
-        self.mine(seq, true)
+        self.mine(seq, true, None).0
     }
 
     /// Level-wise mining of frequent parallel episodes.
     pub fn mine_parallel(&self, seq: &EventSequence) -> Vec<(Episode, f64)> {
-        self.mine(seq, false)
+        self.mine(seq, false, None).0
     }
 
-    fn mine(&self, seq: &EventSequence, serial: bool) -> Vec<(Episode, f64)> {
+    /// [`mine_serial`](Self::mine_serial) under execution [`Limits`]: the
+    /// budget counts candidate episodes evaluated (deterministic), the
+    /// deadline and cancel token are polled between evaluations. Episodes
+    /// found before an interrupt are returned with
+    /// [`Verdict::Interrupted`].
+    pub fn mine_serial_bounded(
+        &self,
+        seq: &EventSequence,
+        limits: &Limits,
+    ) -> (Vec<(Episode, f64)>, Verdict) {
+        self.mine(seq, true, Some(limits))
+    }
+
+    /// [`mine_parallel`](Self::mine_parallel) under execution [`Limits`];
+    /// see [`mine_serial_bounded`](Self::mine_serial_bounded).
+    pub fn mine_parallel_bounded(
+        &self,
+        seq: &EventSequence,
+        limits: &Limits,
+    ) -> (Vec<(Episode, f64)>, Verdict) {
+        self.mine(seq, false, Some(limits))
+    }
+
+    fn mine(
+        &self,
+        seq: &EventSequence,
+        serial: bool,
+        limits: Option<&Limits>,
+    ) -> (Vec<(Episode, f64)>, Verdict) {
         let _span = tgm_obs::span!("mining.episodes.mine");
         let mut candidates_evaluated = 0u64;
         let mut results: Vec<(Episode, f64)> = Vec::new();
@@ -281,10 +311,18 @@ impl EpisodeMiner {
                 Episode::Parallel(v)
             }
         };
+        let mut verdict = Verdict::Completed;
         // Level 1.
         let mut frequent_prev: Vec<Vec<EventType>> = Vec::new();
         let mut frequent_types: Vec<EventType> = Vec::new();
         for ty in seq.types_present() {
+            if let Some(l) = limits {
+                // Budget unit: candidate episodes evaluated.
+                if let Err(i) = l.check_with_used(candidates_evaluated + 1) {
+                    verdict = i.into();
+                    break;
+                }
+            }
             let ep = mk(vec![ty]);
             candidates_evaluated += 1;
             let f = self.frequency_with(seq, &ep, &mut scratch);
@@ -295,55 +333,66 @@ impl EpisodeMiner {
             }
         }
         // Levels 2..max_len.
-        for _level in 2..=self.max_len {
-            let mut next: Vec<Vec<EventType>> = Vec::new();
-            let mut seen: BTreeSet<Vec<EventType>> = BTreeSet::new();
-            for base in &frequent_prev {
-                for &ty in &frequent_types {
-                    let mut cand = base.clone();
-                    cand.push(ty);
-                    if !serial {
-                        cand.sort_unstable();
-                    }
-                    if seen.contains(&cand) {
-                        continue;
-                    }
-                    seen.insert(cand.clone());
-                    // Apriori: all (l-1)-sub-episodes must be frequent.
-                    let all_subs_frequent = (0..cand.len()).all(|skip| {
-                        let mut sub: Vec<EventType> = cand
-                            .iter()
-                            .enumerate()
-                            .filter(|&(i, _)| i != skip)
-                            .map(|(_, &t)| t)
-                            .collect();
+        if verdict.is_complete() {
+            'levels: for _level in 2..=self.max_len {
+                let mut next: Vec<Vec<EventType>> = Vec::new();
+                let mut seen: BTreeSet<Vec<EventType>> = BTreeSet::new();
+                for base in &frequent_prev {
+                    for &ty in &frequent_types {
+                        let mut cand = base.clone();
+                        cand.push(ty);
                         if !serial {
-                            sub.sort_unstable();
+                            cand.sort_unstable();
                         }
-                        frequent_prev.contains(&sub)
-                    });
-                    if !all_subs_frequent {
-                        continue;
-                    }
-                    let ep = mk(cand.clone());
-                    candidates_evaluated += 1;
-                    let f = self.frequency_with(seq, &ep, &mut scratch);
-                    if f >= self.min_frequency {
-                        results.push((ep, f));
-                        next.push(cand);
+                        if seen.contains(&cand) {
+                            continue;
+                        }
+                        seen.insert(cand.clone());
+                        // Apriori: all (l-1)-sub-episodes must be frequent.
+                        let all_subs_frequent = (0..cand.len()).all(|skip| {
+                            let mut sub: Vec<EventType> = cand
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, _)| i != skip)
+                                .map(|(_, &t)| t)
+                                .collect();
+                            if !serial {
+                                sub.sort_unstable();
+                            }
+                            frequent_prev.contains(&sub)
+                        });
+                        if !all_subs_frequent {
+                            continue;
+                        }
+                        if let Some(l) = limits {
+                            if let Err(i) = l.check_with_used(candidates_evaluated + 1) {
+                                verdict = i.into();
+                                break 'levels;
+                            }
+                        }
+                        let ep = mk(cand.clone());
+                        candidates_evaluated += 1;
+                        let f = self.frequency_with(seq, &ep, &mut scratch);
+                        if f >= self.min_frequency {
+                            results.push((ep, f));
+                            next.push(cand);
+                        }
                     }
                 }
+                if next.is_empty() {
+                    break;
+                }
+                frequent_prev = next;
             }
-            if next.is_empty() {
-                break;
-            }
-            frequent_prev = next;
         }
         results.sort_by(|a, b| a.0.cmp(&b.0));
         tgm_obs::metrics::counter_add("mining.episodes.runs", 1);
         tgm_obs::metrics::counter_add("mining.episodes.candidates", candidates_evaluated);
         tgm_obs::metrics::counter_add("mining.episodes.frequent", results.len() as u64);
-        results
+        if let Some(i) = verdict.interrupt() {
+            count_interrupt(i);
+        }
+        (results, verdict)
     }
 }
 

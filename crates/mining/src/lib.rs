@@ -18,10 +18,19 @@
 //! * [`episodes`] — a WINEPI-style frequent-episode miner (serial and
 //!   parallel episodes under a sliding window), reimplementing the paper's
 //!   closest related work \[MTV95\] as a single-granularity baseline.
+//!
+//! Every miner also has a `*_bounded` entry point taking
+//! [`tgm_limits::Limits`]: a wall-clock deadline, a deterministic
+//! candidate budget, and a cooperative cancel token. Bounded runs return
+//! partial solutions with a [`tgm_limits::Verdict`], and parallel workers
+//! that panic are contained as typed [`tgm_limits::WorkerPanic`] errors
+//! after their siblings have been cancelled.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod bounded;
 mod problem;
 
 pub mod episodes;
@@ -29,5 +38,6 @@ pub mod naive;
 pub mod pipeline;
 pub mod reference;
 
+pub use bounded::BoundedMining;
 pub use problem::{CandidateMap, DiscoveryProblem, Solution, TypeConstraint};
 pub use reference::{materialize_reference, mine_with_reference, Reference};

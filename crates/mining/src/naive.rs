@@ -3,10 +3,12 @@
 
 use tgm_core::ComplexEventType;
 use tgm_events::{Event, EventSequence, EventType, TickColumns};
+use tgm_limits::{fail, CancelToken, Interrupt, Limits, Verdict, WorkerPanic};
 use tgm_obs::span::span_if;
 use tgm_obs::{metrics, Observable, ObsOptions, ObsValue};
-use tgm_tag::{build_tag, MatchOptions, Matcher, MatcherScratch, Tag};
+use tgm_tag::{build_tag, count_interrupt, MatchOptions, Matcher, MatcherScratch, Tag};
 
+use crate::bounded::{contain, BoundedMining, SweepError};
 use crate::problem::{DiscoveryProblem, Solution};
 
 /// Instrumentation from a naive run.
@@ -52,27 +54,81 @@ pub fn mine_with(
     seq: &EventSequence,
     opts: &NaiveOptions,
 ) -> (Vec<Solution>, NaiveStats) {
-    let _span = span_if(opts.obs.spans, "mining.naive");
-    let (solutions, stats) = mine_inner(problem, seq, opts);
-    if opts.obs.metrics_on() {
-        metrics::counter_add("mining.naive.runs", 1);
-        metrics::counter_add("mining.naive.candidates", stats.candidates as u64);
-        metrics::counter_add("mining.naive.tag_runs", stats.tag_runs as u64);
-        metrics::counter_add("mining.naive.solutions", stats.solutions as u64);
+    match mine_core(problem, seq, opts, None) {
+        Ok(run) => (run.solutions, run.stats),
+        // Without limits there is no cooperative recovery path: re-raise
+        // the contained worker panic as our own.
+        Err(wp) => panic!("{wp}"),
     }
-    (solutions, stats)
+}
+
+/// Runs the naive algorithm under execution [`Limits`].
+///
+/// The budget counts *candidate complex types processed* (deterministic:
+/// the same input and budget always stop at the same candidate); the
+/// deadline and cancel token are additionally polled between anchored runs
+/// and inside each matcher run. Solutions found before the interrupt are
+/// returned with [`Verdict::Interrupted`]. A panic in a parallel sweep
+/// worker cancels its siblings and surfaces as [`WorkerPanic`].
+pub fn mine_bounded(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &NaiveOptions,
+    limits: &Limits,
+) -> Result<BoundedMining<NaiveStats>, WorkerPanic> {
+    mine_core(problem, seq, opts, Some(limits))
+}
+
+fn mine_core(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &NaiveOptions,
+    limits: Option<&Limits>,
+) -> Result<BoundedMining<NaiveStats>, WorkerPanic> {
+    let _span = span_if(opts.obs.spans, "mining.naive");
+    let result = mine_inner(problem, seq, opts, limits);
+    if opts.obs.metrics_on() {
+        match &result {
+            Ok(run) => {
+                metrics::counter_add("mining.naive.runs", 1);
+                metrics::counter_add("mining.naive.candidates", run.stats.candidates as u64);
+                metrics::counter_add("mining.naive.tag_runs", run.stats.tag_runs as u64);
+                metrics::counter_add("mining.naive.solutions", run.stats.solutions as u64);
+                if let Some(i) = run.verdict.interrupt() {
+                    count_interrupt(i);
+                }
+            }
+            Err(_) => metrics::counter_add("limits.worker_panics", 1),
+        }
+    }
+    result
 }
 
 fn mine_inner(
     problem: &DiscoveryProblem,
     seq: &EventSequence,
     opts: &NaiveOptions,
-) -> (Vec<Solution>, NaiveStats) {
+    limits: Option<&Limits>,
+) -> Result<BoundedMining<NaiveStats>, WorkerPanic> {
     let mut stats = NaiveStats::default();
+    let done = |solutions, stats, verdict| {
+        Ok(BoundedMining {
+            solutions,
+            stats,
+            verdict,
+        })
+    };
     let denominator = problem.reference_count(seq);
     if denominator == 0 {
-        return (Vec::new(), stats);
+        return done(Vec::new(), stats, Verdict::Completed);
     }
+    // A worker panic must be able to cancel its siblings even when the
+    // caller supplied no token, so attach one up front; matcher-level runs
+    // get the budget stripped (the budget unit here is candidates, not
+    // frontier rows).
+    let mut eff = limits.cloned();
+    let token = eff.as_mut().map(Limits::cancel_token);
+    let run_limits = eff.as_ref().map(|l| l.clone().without_budget());
     let occurring = seq.types_present();
     let refs: Vec<usize> = seq
         .events()
@@ -87,24 +143,39 @@ fn mine_inner(
     let cols = TickColumns::build(seq.events(), &problem.structure.granularities());
 
     let n_threads = if opts.parallel_sweep {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        // At least two workers, so the option exercises the parallel path
+        // (and its panic containment) even on single-core hosts.
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .max(2)
     } else {
         1
     };
     let mut solutions = Vec::new();
+    let mut verdict = Verdict::Completed;
+    let mut worker_panic: Option<WorkerPanic> = None;
     // One scratch reused across every candidate's every anchored run.
     let mut scratch = MatcherScratch::new();
     let mut assignment: Vec<EventType> = vec![problem.reference_type; problem.structure.len()];
     enumerate(problem, &occurring, 1, &mut assignment, &mut |phi| {
         if !problem.assignment_admissible(phi) {
-            return;
+            return true;
+        }
+        if let Some(l) = eff.as_ref() {
+            // Budget unit: candidates processed (this would be the
+            // `candidates + 1`-th).
+            if let Err(i) = l.check_with_used(stats.candidates as u64 + 1) {
+                verdict = i.into();
+                return false;
+            }
         }
         stats.candidates += 1;
         let cet = ComplexEventType::new(problem.structure.clone(), phi.to_vec());
         let tag = build_tag(&cet);
         let support = if n_threads > 1 {
             let mut chunks = 0usize;
-            count_support_sweep(
+            let swept = count_support_sweep(
                 &tag,
                 seq.events(),
                 &refs,
@@ -114,9 +185,22 @@ fn mine_inner(
                 &mut stats.tag_runs,
                 &mut chunks,
                 opts.obs,
-            )
+                run_limits.as_ref(),
+                token.as_ref(),
+            );
+            match swept {
+                Ok(s) => s,
+                Err(SweepError::Interrupted(i)) => {
+                    verdict = i.into();
+                    return false;
+                }
+                Err(SweepError::Panicked(wp)) => {
+                    worker_panic = Some(wp);
+                    return false;
+                }
+            }
         } else {
-            count_support(
+            let counted = count_support(
                 &tag,
                 seq.events(),
                 &refs,
@@ -125,7 +209,15 @@ fn mine_inner(
                 &mut scratch,
                 &mut stats.tag_runs,
                 opts.obs,
-            )
+                run_limits.as_ref(),
+            );
+            match counted {
+                Ok(s) => s,
+                Err(i) => {
+                    verdict = i.into();
+                    return false;
+                }
+            }
         };
         let frequency = support as f64 / denominator as f64;
         if frequency > problem.min_confidence {
@@ -135,31 +227,38 @@ fn mine_inner(
                 support,
             });
         }
+        true
     });
+    if let Some(wp) = worker_panic {
+        return Err(wp);
+    }
     stats.solutions = solutions.len();
     solutions.sort_by(|a, b| a.assignment.cmp(&b.assignment));
-    (solutions, stats)
+    done(solutions, stats, verdict)
 }
 
-/// Recursively enumerates candidate assignments (root fixed to `E₀`).
+/// Recursively enumerates candidate assignments (root fixed to `E₀`);
+/// `f` returns `false` to stop the enumeration early.
 fn enumerate(
     problem: &DiscoveryProblem,
     occurring: &[EventType],
     var: usize,
     assignment: &mut Vec<EventType>,
-    f: &mut impl FnMut(&[EventType]),
-) {
+    f: &mut impl FnMut(&[EventType]) -> bool,
+) -> bool {
     if var == problem.structure.len() {
-        f(assignment);
-        return;
+        return f(assignment);
     }
     let cands = problem
         .candidates
         .resolve(tgm_core::VarId(var), occurring);
     for ty in cands {
         assignment[var] = ty;
-        enumerate(problem, occurring, var + 1, assignment, f);
+        if !enumerate(problem, occurring, var + 1, assignment, f) {
+            return false;
+        }
     }
+    true
 }
 
 /// The miner's matcher configuration: anchored, lazy updates, saturating.
@@ -183,7 +282,9 @@ fn anchored_matcher(tag: &Tag, obs: ObsOptions) -> Matcher<'_> {
 /// over exactly `events`) is given, clock updates read the pre-resolved
 /// tick columns instead of re-resolving each timestamp per run. `scratch`
 /// is reused across every run (and across calls), so the sweep allocates
-/// nothing in steady state.
+/// nothing in steady state. `limits` (deadline/cancel; any budget should
+/// already be stripped by the caller) is polled between anchored runs and
+/// inside each run; an interrupt abandons the count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn count_support(
     tag: &Tag,
@@ -194,12 +295,14 @@ pub(crate) fn count_support(
     scratch: &mut MatcherScratch,
     tag_runs: &mut usize,
     obs: ObsOptions,
-) -> usize {
+    limits: Option<&Limits>,
+) -> Result<usize, Interrupt> {
     let matcher = anchored_matcher(tag, obs);
-    count_refs(&matcher, events, refs, window, cols, scratch, tag_runs)
+    count_refs(&matcher, events, refs, window, cols, scratch, tag_runs, limits)
 }
 
 /// The inner anchored sweep over one slice of reference occurrences.
+#[allow(clippy::too_many_arguments)]
 fn count_refs(
     matcher: &Matcher<'_>,
     events: &[Event],
@@ -208,9 +311,13 @@ fn count_refs(
     cols: Option<&TickColumns>,
     scratch: &mut MatcherScratch,
     tag_runs: &mut usize,
-) -> usize {
+    limits: Option<&Limits>,
+) -> Result<usize, Interrupt> {
     let mut support = 0;
     for &idx in refs {
+        if let Some(l) = limits {
+            l.check()?;
+        }
         let slice = match window {
             Some(w) => {
                 let t0 = events[idx].time;
@@ -220,15 +327,19 @@ fn count_refs(
             None => &events[idx..],
         };
         *tag_runs += 1;
-        let hit = match cols {
-            Some(cols) => matcher.matches_within_columns_scratch(slice, cols, idx, scratch),
-            None => matcher.matches_within_scratch(slice, scratch),
+        let hit = match (cols, limits) {
+            (Some(cols), Some(l)) => {
+                matcher.matches_within_columns_bounded(slice, cols, idx, scratch, l)?
+            }
+            (Some(cols), None) => matcher.matches_within_columns_scratch(slice, cols, idx, scratch),
+            (None, Some(l)) => matcher.matches_within_bounded(slice, scratch, l)?,
+            (None, None) => matcher.matches_within_scratch(slice, scratch),
         };
         if hit {
             support += 1;
         }
     }
-    support
+    Ok(support)
 }
 
 /// [`count_support`] with the anchor start positions chunked across up to
@@ -236,7 +347,11 @@ fn count_refs(
 /// candidate, for when there are fewer candidates than cores. Each
 /// reference occurrence is an independent anchored run, so the support sum
 /// is identical to the serial sweep in any chunking. `sweep_chunks` counts
-/// the chunks actually dispatched (0 for the serial fallback).
+/// the chunks actually dispatched (0 for the serial fallback). A panic in
+/// one worker cancels `token` (stopping siblings at their next poll) and
+/// surfaces as [`SweepError::Panicked`]; the first panic wins over any
+/// interrupt, since cancellation interrupts in siblings are a side effect
+/// of the panic itself.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn count_support_sweep(
     tag: &Tag,
@@ -248,10 +363,12 @@ pub(crate) fn count_support_sweep(
     tag_runs: &mut usize,
     sweep_chunks: &mut usize,
     obs: ObsOptions,
-) -> usize {
+    limits: Option<&Limits>,
+    token: Option<&CancelToken>,
+) -> Result<usize, SweepError> {
     let n_threads = n_threads.min(refs.len());
     if n_threads <= 1 {
-        return count_support(
+        let counted = count_support(
             tag,
             events,
             refs,
@@ -260,42 +377,93 @@ pub(crate) fn count_support_sweep(
             &mut MatcherScratch::new(),
             tag_runs,
             obs,
+            limits,
         );
+        return counted.map_err(SweepError::from);
     }
     let matcher = anchored_matcher(tag, obs);
     let matcher = &matcher;
-    let results: Vec<(usize, usize)> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = refs
-            .chunks(refs.len().div_ceil(n_threads))
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    // Per-chunk timing; the chunk-size histogram shows how
-                    // evenly the anchors split across workers.
-                    let _s = span_if(obs.spans, "mining.sweep.chunk");
-                    if obs.metrics_on() {
-                        metrics::histogram_record("mining.sweep.chunk_refs", chunk.len() as u64);
-                    }
-                    let mut scratch = MatcherScratch::new();
-                    let mut runs = 0usize;
-                    let support =
-                        count_refs(matcher, events, chunk, window, cols, &mut scratch, &mut runs);
-                    (support, runs)
+    const SITE: &str = "mining.sweep.worker";
+    let worker_panic = |payload: &(dyn std::any::Any + Send)| {
+        if let Some(t) = token {
+            t.cancel();
+        }
+        WorkerPanic {
+            site: SITE,
+            message: tgm_limits::panic_message(payload),
+        }
+    };
+    type ChunkResult = Result<Result<(usize, usize), Interrupt>, WorkerPanic>;
+    let joined: Vec<ChunkResult> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = refs
+                .chunks(refs.len().div_ceil(n_threads))
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        contain(SITE, token, || {
+                            fail::point(SITE, limits);
+                            // Per-chunk timing; the chunk-size histogram
+                            // shows how evenly the anchors split across
+                            // workers.
+                            let _s = span_if(obs.spans, "mining.sweep.chunk");
+                            if obs.metrics_on() {
+                                metrics::histogram_record(
+                                    "mining.sweep.chunk_refs",
+                                    chunk.len() as u64,
+                                );
+                            }
+                            let mut scratch = MatcherScratch::new();
+                            let mut runs = 0usize;
+                            count_refs(
+                                matcher,
+                                events,
+                                chunk,
+                                window,
+                                cols,
+                                &mut scratch,
+                                &mut runs,
+                                limits,
+                            )
+                            .map(|support| (support, runs))
+                        })
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("crossbeam scope");
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| Err(worker_panic(p.as_ref()))))
+                .collect()
+        })
+        .unwrap_or_else(|p| vec![Err(worker_panic(p.as_ref()))]);
     if obs.metrics_on() {
-        metrics::counter_add("mining.sweep.chunks", results.len() as u64);
+        metrics::counter_add("mining.sweep.chunks", joined.len() as u64);
     }
-    *sweep_chunks += results.len();
+    *sweep_chunks += joined.len();
     let mut support = 0;
-    for (s, r) in results {
-        support += s;
-        *tag_runs += r;
+    let mut first_interrupt: Option<Interrupt> = None;
+    let mut first_panic: Option<WorkerPanic> = None;
+    for r in joined {
+        match r {
+            Ok(Ok((s, runs))) => {
+                support += s;
+                *tag_runs += runs;
+            }
+            Ok(Err(i)) => {
+                first_interrupt.get_or_insert(i);
+            }
+            Err(wp) => {
+                if first_panic.is_none() {
+                    first_panic = Some(wp);
+                }
+            }
+        }
     }
-    support
+    if let Some(wp) = first_panic {
+        return Err(SweepError::Panicked(wp));
+    }
+    if let Some(i) = first_interrupt {
+        return Err(SweepError::Interrupted(i));
+    }
+    Ok(support)
 }
 
 #[cfg(test)]

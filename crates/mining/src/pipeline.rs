@@ -21,17 +21,20 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use tgm_core::propagate::propagate;
+use tgm_core::propagate::{propagate, propagate_bounded, PropagateOptions};
 use tgm_core::{ComplexEventType, Tcg, VarId};
 use tgm_events::{Event, EventSequence, EventType, TickColumns};
 use tgm_granularity::{Gran, Granularity as _};
+use tgm_limits::{fail, Interrupt, Limits, Verdict, WorkerPanic};
 use tgm_obs::span::span_if;
 use tgm_obs::{metrics, FunnelStage, Observable, ObsOptions, ObsValue};
 use tgm_stp::INF;
 use tgm_tag::build_tag;
+use tgm_tag::count_interrupt;
 
 use tgm_tag::MatcherScratch;
 
+use crate::bounded::{contain, BoundedMining, SweepError};
 use crate::naive::{count_support, count_support_sweep};
 use crate::problem::{DiscoveryProblem, Solution};
 
@@ -244,50 +247,115 @@ pub fn mine_with(
     seq: &EventSequence,
     opts: &PipelineOptions,
 ) -> (Vec<Solution>, PipelineStats) {
-    let _span = span_if(opts.obs.spans, "pipeline");
-    let (solutions, stats) = mine_inner(problem, seq, opts);
-    if opts.obs.metrics_on() {
-        metrics::counter_add("mining.pipeline.runs", 1);
-        metrics::counter_add("mining.pipeline.tag_runs", stats.tag_runs as u64);
-        metrics::counter_add(
-            "mining.pipeline.screening_tag_runs",
-            stats.screening_tag_runs as u64,
-        );
-        metrics::counter_add("mining.pipeline.solutions", stats.solutions as u64);
-        metrics::counter_add("mining.pipeline.sweep_chunks", stats.sweep_chunks as u64);
+    match mine_core(problem, seq, opts, None) {
+        Ok(run) => (run.solutions, run.stats),
+        // Without limits there is no cooperative recovery path: re-raise
+        // the contained worker panic as our own.
+        Err(wp) => panic!("{wp}"),
     }
-    (solutions, stats)
 }
 
-/// The uninstrumented pipeline behind [`mine_with`] (spans around each
-/// step still fire from inside, but run-level counters are emitted by
-/// the wrapper so early returns are covered too).
+/// Runs the optimized pipeline under execution [`Limits`].
+///
+/// The budget counts *step-5 candidate assignments scanned* and is
+/// deterministic: with budget `B`, exactly the first `B` surviving
+/// assignments (in enumeration order) are scanned on every execution
+/// path, serial or parallel. The deadline and cancel token are polled at
+/// every step boundary, between reference occurrences inside the
+/// screening loops, and inside every anchored TAG run. Solutions counted
+/// before an interrupt are returned with [`Verdict::Interrupted`]. A
+/// panic in a step-5 or sweep worker cancels its siblings via the shared
+/// token and surfaces as [`WorkerPanic`].
+pub fn mine_bounded(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &PipelineOptions,
+    limits: &Limits,
+) -> Result<BoundedMining<PipelineStats>, WorkerPanic> {
+    mine_core(problem, seq, opts, Some(limits))
+}
+
+fn mine_core(
+    problem: &DiscoveryProblem,
+    seq: &EventSequence,
+    opts: &PipelineOptions,
+    limits: Option<&Limits>,
+) -> Result<BoundedMining<PipelineStats>, WorkerPanic> {
+    let _span = span_if(opts.obs.spans, "pipeline");
+    let result = mine_inner(problem, seq, opts, limits);
+    if opts.obs.metrics_on() {
+        match &result {
+            Ok(run) => {
+                let stats = &run.stats;
+                metrics::counter_add("mining.pipeline.runs", 1);
+                metrics::counter_add("mining.pipeline.tag_runs", stats.tag_runs as u64);
+                metrics::counter_add(
+                    "mining.pipeline.screening_tag_runs",
+                    stats.screening_tag_runs as u64,
+                );
+                metrics::counter_add("mining.pipeline.solutions", stats.solutions as u64);
+                metrics::counter_add("mining.pipeline.sweep_chunks", stats.sweep_chunks as u64);
+                if let Some(i) = run.verdict.interrupt() {
+                    count_interrupt(i);
+                }
+            }
+            Err(_) => metrics::counter_add("limits.worker_panics", 1),
+        }
+    }
+    result
+}
+
+/// The uninstrumented pipeline behind [`mine_with`] / [`mine_bounded`]
+/// (spans around each step still fire from inside, but run-level counters
+/// are emitted by the wrapper so early returns are covered too).
 fn mine_inner(
     problem: &DiscoveryProblem,
     seq: &EventSequence,
     opts: &PipelineOptions,
-) -> (Vec<Solution>, PipelineStats) {
+    limits: Option<&Limits>,
+) -> Result<BoundedMining<PipelineStats>, WorkerPanic> {
     let mut stats = PipelineStats {
         events_total: seq.len(),
         ..PipelineStats::default()
     };
+    let done = |solutions, stats, verdict| {
+        Ok(BoundedMining {
+            solutions,
+            stats,
+            verdict,
+        })
+    };
     let s = &problem.structure;
     let n = s.len();
     assert!(n <= 64, "pipeline supports at most 64 variables");
+    // A worker panic must be able to cancel its siblings even when the
+    // caller supplied no token, so attach one up front; inner engines get
+    // the budget stripped (the budget unit here is step-5 candidates, not
+    // frontier rows or propagation passes).
+    let mut eff = limits.cloned();
+    let token = eff.as_mut().map(Limits::cancel_token);
+    let run_limits = eff.as_ref().map(|l| l.clone().without_budget());
+    let limits = eff.as_ref();
     let denominator = problem.reference_count(seq);
     stats.refs_total = denominator;
     if denominator == 0 {
-        return (Vec::new(), stats);
+        return done(Vec::new(), stats, Verdict::Completed);
     }
 
     // Step 1: consistency screening.
     let p = {
         let _s = span_if(opts.obs.spans, "pipeline.step1.consistency");
-        propagate(s)
+        match run_limits.as_ref() {
+            Some(l) => match propagate_bounded(s, &PropagateOptions::default(), l) {
+                Ok(p) => p,
+                Err(i) => return done(Vec::new(), stats, i.into()),
+            },
+            None => propagate(s),
+        }
     };
     if opts.consistency_screen && !p.is_consistent() {
         stats.refuted = true;
-        return (Vec::new(), stats);
+        return done(Vec::new(), stats, Verdict::Completed);
     }
 
     let occurring = seq.types_present();
@@ -331,6 +399,8 @@ fn mine_inner(
         })
         .collect();
     // The same granularities as column indices when columns are in use.
+    // Invariant: the columns were built over exactly `s.granularities()`.
+    #[allow(clippy::expect_used)]
     let var_gapped_cols: Option<Vec<Vec<usize>>> = full_cols.as_ref().map(|cols| {
         var_gapped
             .iter()
@@ -376,6 +446,13 @@ fn mine_inner(
         let mut ms = Vec::new();
         let mut rows = Vec::new();
         for (row, e) in seq.events().iter().enumerate() {
+            if row & 1023 == 0 {
+                if let Some(l) = limits {
+                    if let Err(i) = l.check() {
+                        return done(Vec::new(), stats, i.into());
+                    }
+                }
+            }
             let m = eligible(row, e);
             if !opts.sequence_reduction || m != 0 {
                 evs.push(*e);
@@ -432,6 +509,11 @@ fn mine_inner(
     let mut kept_refs: Vec<usize> = Vec::new();
     let mut var_type_support: BTreeMap<(VarId, EventType), usize> = BTreeMap::new();
     for &ridx in &refs {
+        if let Some(l) = limits {
+            if let Err(i) = l.check() {
+                return done(Vec::new(), stats, i.into());
+            }
+        }
         let t0 = events[ridx].time;
         let mut ok = true;
         let mut seen_types: BTreeSet<(VarId, EventType)> = BTreeSet::new();
@@ -493,7 +575,7 @@ fn mine_inner(
     drop(_s34);
 
     if candidates.iter().any(Vec::is_empty) || kept_refs.is_empty() {
-        return (Vec::new(), stats);
+        return done(Vec::new(), stats, Verdict::Completed);
     }
 
     // Step 4 (k = 2): screen type pairs along root-to-leaf chains.
@@ -516,6 +598,11 @@ fn mine_inner(
             let xy_tcgs = p.derived_tcgs(x, y);
             let mut pair_support: BTreeMap<(EventType, EventType), usize> = BTreeMap::new();
             for &ridx in &kept_refs {
+                if let Some(l) = limits {
+                    if let Err(i) = l.check() {
+                        return done(Vec::new(), stats, i.into());
+                    }
+                }
                 let t0 = events[ridx].time;
                 let mut seen: BTreeSet<(EventType, EventType)> = BTreeSet::new();
                 let (xlo, xhi) = windows[x.index()];
@@ -594,11 +681,15 @@ fn mine_inner(
                     // sub-tuple from an earlier round.
                     let mut local_banned: BTreeSet<Vec<EventType>> = BTreeSet::new();
                     let mut tuple = vec![problem.reference_type; combo.len()];
+                    let mut interrupted: Option<Interrupt> = None;
                     enumerate_tuples(&candidates, &combo, 0, &mut tuple, &mut |tpl| {
                         if tuple_contains_banned(&combo, tpl, &banned_tuples) {
-                            return;
+                            return true;
                         }
                         // φ for the sub-structure, in kept_vars order.
+                        // Invariant: every non-root kept var came from
+                        // `combo`.
+                        #[allow(clippy::expect_used)]
                         let phi: Vec<EventType> = kept_vars
                             .iter()
                             .map(|v| {
@@ -612,7 +703,7 @@ fn mine_inner(
                             .collect();
                         let cet = ComplexEventType::new(sub.clone(), phi);
                         let tag = build_tag(&cet);
-                        let support = count_support(
+                        let support = match count_support(
                             &tag,
                             &events,
                             &kept_refs,
@@ -621,12 +712,23 @@ fn mine_inner(
                             &mut screen_scratch,
                             &mut stats.screening_tag_runs,
                             opts.obs,
-                        );
+                            run_limits.as_ref(),
+                        ) {
+                            Ok(support) => support,
+                            Err(i) => {
+                                interrupted = Some(i);
+                                return false;
+                            }
+                        };
                         if (support as f64 / denominator as f64) <= problem.min_confidence {
                             local_banned.insert(tpl.to_vec());
                         }
+                        true
                     });
                     stats.banned_tuples += local_banned.len();
+                    if let Some(i) = interrupted {
+                        return done(Vec::new(), stats, i.into());
+                    }
                     if !local_banned.is_empty() {
                         banned_tuples.push((combo, local_banned));
                     }
@@ -658,7 +760,12 @@ fn mine_inner(
             support,
         })
     };
-    let scan = |phi: &[EventType], scratch: &mut MatcherScratch, tag_runs: &mut usize| {
+    let run_limits_ref = run_limits.as_ref();
+    let token_ref = token.as_ref();
+    let scan = |phi: &[EventType],
+                scratch: &mut MatcherScratch,
+                tag_runs: &mut usize|
+     -> Result<Option<Solution>, Interrupt> {
         let cet = ComplexEventType::new(s.clone(), phi.to_vec());
         let tag = build_tag(&cet);
         let support = count_support(
@@ -670,15 +777,21 @@ fn mine_inner(
             scratch,
             tag_runs,
             opts.obs,
-        );
-        solution_of(phi, support)
+            run_limits_ref,
+        )?;
+        Ok(solution_of(phi, support))
     };
 
+    // At least two workers when parallelism was requested: the option must
+    // exercise the parallel path (and its panic containment) even on
+    // single-core hosts, where `available_parallelism` is 1.
     let n_threads = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(4);
+        .unwrap_or(4)
+        .max(2);
     let mut solutions: Vec<Solution>;
     let mut tag_runs = 0usize;
+    let mut verdict = Verdict::Completed;
     if opts.parallel
         && opts.parallel_sweep
         && assignments.len() < n_threads
@@ -689,10 +802,17 @@ fn mine_inner(
         // its anchor start positions instead.
         stats.step5_workers = n_threads.min(kept_refs.len());
         solutions = Vec::new();
-        for phi in &assignments {
+        for (idx, phi) in assignments.iter().enumerate() {
+            if let Some(l) = limits {
+                // Budget unit: step-5 candidates scanned.
+                if let Err(i) = l.check_with_used(idx as u64 + 1) {
+                    verdict = i.into();
+                    break;
+                }
+            }
             let cet = ComplexEventType::new(s.clone(), phi.to_vec());
             let tag = build_tag(&cet);
-            let support = count_support_sweep(
+            let support = match count_support_sweep(
                 &tag,
                 &events,
                 &kept_refs,
@@ -702,7 +822,16 @@ fn mine_inner(
                 &mut tag_runs,
                 &mut stats.sweep_chunks,
                 opts.obs,
-            );
+                run_limits_ref,
+                token_ref,
+            ) {
+                Ok(support) => support,
+                Err(SweepError::Interrupted(i)) => {
+                    verdict = i.into();
+                    break;
+                }
+                Err(SweepError::Panicked(wp)) => return Err(wp),
+            };
             if let Some(sol) = solution_of(phi, support) {
                 solutions.push(sol);
             }
@@ -710,53 +839,122 @@ fn mine_inner(
     } else if opts.parallel && assignments.len() > 1 {
         let n_threads = n_threads.min(assignments.len());
         stats.step5_workers = n_threads;
-        let chunks: Vec<&[Vec<EventType>]> = assignments
-            .chunks(assignments.len().div_ceil(n_threads))
+        let chunk_len = assignments.len().div_ceil(n_threads);
+        let chunks: Vec<(usize, &[Vec<EventType>])> = assignments
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(ci, c)| (ci * chunk_len, c))
             .collect();
         let scan = &scan;
         let worker_spans = opts.obs.spans;
-        let results: Vec<(Vec<Solution>, usize)> = crossbeam::scope(|scope| {
+        const SITE: &str = "pipeline.step5.worker";
+        let worker_panic = |payload: &(dyn std::any::Any + Send)| {
+            if let Some(t) = token_ref {
+                t.cancel();
+            }
+            WorkerPanic {
+                site: SITE,
+                message: tgm_limits::panic_message(payload),
+            }
+        };
+        type WorkerResult = Result<(Vec<Solution>, usize, Option<Interrupt>), WorkerPanic>;
+        let joined: Vec<WorkerResult> = crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| {
+                .map(|(offset, chunk)| {
                     scope.spawn(move |_| {
-                        // Per-worker timing; flushed when the span drops.
-                        let _s = span_if(worker_spans, "pipeline.step5.worker");
-                        let mut local = Vec::new();
-                        // One scratch per worker, reused across its chunk.
-                        let mut scratch = MatcherScratch::new();
-                        let mut runs = 0usize;
-                        for phi in chunk {
-                            if let Some(sol) = scan(phi, &mut scratch, &mut runs) {
-                                local.push(sol);
+                        contain(SITE, token_ref, || {
+                            fail::point(SITE, limits);
+                            // Per-worker timing; flushed when the span drops.
+                            let _s = span_if(worker_spans, SITE);
+                            let mut local = Vec::new();
+                            // One scratch per worker, reused across its chunk.
+                            let mut scratch = MatcherScratch::new();
+                            let mut runs = 0usize;
+                            let mut interrupted: Option<Interrupt> = None;
+                            for (k, phi) in chunk.iter().enumerate() {
+                                if let Some(l) = limits {
+                                    // Budget against the *global* candidate
+                                    // index: the set of scanned assignments
+                                    // stays identical to the serial path.
+                                    let used = (offset + k) as u64 + 1;
+                                    if let Err(i) = l.check_with_used(used) {
+                                        interrupted = Some(i);
+                                        break;
+                                    }
+                                }
+                                match scan(phi, &mut scratch, &mut runs) {
+                                    Ok(Some(sol)) => local.push(sol),
+                                    Ok(None) => {}
+                                    Err(i) => {
+                                        interrupted = Some(i);
+                                        break;
+                                    }
+                                }
                             }
-                        }
-                        (local, runs)
+                            (local, runs, interrupted)
+                        })
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| Err(worker_panic(p.as_ref()))))
+                .collect()
         })
-        .expect("crossbeam scope");
+        .unwrap_or_else(|p| vec![Err(worker_panic(p.as_ref()))]);
         solutions = Vec::new();
-        for (local, runs) in results {
-            solutions.extend(local);
-            tag_runs += runs;
+        let mut first_panic: Option<WorkerPanic> = None;
+        let mut first_interrupt: Option<Interrupt> = None;
+        for r in joined {
+            match r {
+                Ok((local, runs, interrupted)) => {
+                    solutions.extend(local);
+                    tag_runs += runs;
+                    if let Some(i) = interrupted {
+                        first_interrupt.get_or_insert(i);
+                    }
+                }
+                Err(wp) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(wp);
+                    }
+                }
+            }
+        }
+        // The first panic wins over any interrupt: cancellation interrupts
+        // in sibling workers are a side effect of the panic itself.
+        if let Some(wp) = first_panic {
+            return Err(wp);
+        }
+        if let Some(i) = first_interrupt {
+            verdict = i.into();
         }
     } else {
         stats.step5_workers = 1;
         solutions = Vec::new();
         let mut scratch = MatcherScratch::new();
-        for phi in &assignments {
-            if let Some(sol) = scan(phi, &mut scratch, &mut tag_runs) {
-                solutions.push(sol);
+        for (idx, phi) in assignments.iter().enumerate() {
+            if let Some(l) = limits {
+                if let Err(i) = l.check_with_used(idx as u64 + 1) {
+                    verdict = i.into();
+                    break;
+                }
+            }
+            match scan(phi, &mut scratch, &mut tag_runs) {
+                Ok(Some(sol)) => solutions.push(sol),
+                Ok(None) => {}
+                Err(i) => {
+                    verdict = i.into();
+                    break;
+                }
             }
         }
     }
     stats.tag_runs = tag_runs;
     solutions.sort_by(|a, b| a.assignment.cmp(&b.assignment));
     stats.solutions = solutions.len();
-    (solutions, stats)
+    done(solutions, stats, verdict)
 }
 
 /// All root-to-sink variable paths of the structure.
@@ -768,6 +966,8 @@ fn root_paths(s: &tgm_core::EventStructure) -> Vec<Vec<VarId>> {
         stack: &mut Vec<VarId>,
         out: &mut Vec<Vec<VarId>>,
     ) {
+        // Invariant: the stack always holds at least the root.
+        #[allow(clippy::expect_used)]
         let v = *stack.last().expect("non-empty");
         let children = s.children(v);
         if children.is_empty() {
@@ -803,22 +1003,25 @@ fn in_order_subsets(items: &[VarId], k: usize) -> Vec<Vec<VarId>> {
     out
 }
 
-/// Enumerates candidate type tuples for the given variables.
+/// Enumerates candidate type tuples for the given variables; `f` returns
+/// `false` to stop the enumeration early.
 fn enumerate_tuples(
     candidates: &[Vec<EventType>],
     vars: &[VarId],
     depth: usize,
     tuple: &mut Vec<EventType>,
-    f: &mut impl FnMut(&[EventType]),
-) {
+    f: &mut impl FnMut(&[EventType]) -> bool,
+) -> bool {
     if depth == vars.len() {
-        f(tuple);
-        return;
+        return f(tuple);
     }
     for &ty in &candidates[vars[depth].index()] {
         tuple[depth] = ty;
-        enumerate_tuples(candidates, vars, depth + 1, tuple, f);
+        if !enumerate_tuples(candidates, vars, depth + 1, tuple, f) {
+            return false;
+        }
     }
+    true
 }
 
 /// Whether the tuple (over `vars`) contains a previously banned sub-tuple.

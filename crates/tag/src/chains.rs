@@ -24,7 +24,9 @@ pub fn is_valid_cover(s: &EventStructure, chains: &[Chain]) -> bool {
         if chain.first() != Some(&s.root()) {
             return false;
         }
-        let last = *chain.last().expect("chains are non-empty");
+        let Some(&last) = chain.last() else {
+            return false;
+        };
         if !s.children(last).is_empty() {
             return false;
         }
@@ -99,6 +101,9 @@ pub fn minimal_chain_cover(s: &EventStructure) -> Vec<Chain> {
 
     // Decompose the arc flows into unit root->sink paths.
     let mut residual_flow: Vec<i64> = arc_edges.iter().map(|&e| flows[e]).collect();
+    // Invariant, not input-fallible: the closure is only consulted for
+    // (parent, child) pairs read off the structure's own arc list.
+    #[allow(clippy::expect_used)]
     let arc_index = |a: VarId, b: VarId| -> usize {
         arcs.iter()
             .position(|&(x, y)| (x, y) == (a, b))
@@ -119,6 +124,8 @@ pub fn minimal_chain_cover(s: &EventStructure) -> Vec<Chain> {
             if children.is_empty() {
                 break;
             }
+            // Invariant of min-flow decomposition, not input-fallible.
+            #[allow(clippy::expect_used)]
             let next = children
                 .iter()
                 .copied()

@@ -55,10 +55,13 @@ impl ClockConstraint {
     /// Conjunction of a list, flattening trivial cases.
     pub fn conj(mut parts: Vec<ClockConstraint>) -> Self {
         parts.retain(|c| !matches!(c, ClockConstraint::True));
-        match parts.len() {
-            0 => ClockConstraint::True,
-            1 => parts.pop().expect("len checked"),
-            _ => ClockConstraint::And(parts),
+        match parts.pop() {
+            None => ClockConstraint::True,
+            Some(only) if parts.is_empty() => only,
+            Some(last) => {
+                parts.push(last);
+                ClockConstraint::And(parts)
+            }
         }
     }
 

@@ -151,6 +151,9 @@ pub fn build_tag_with_cover(
             let mut guard_parts: Vec<ClockConstraint> = Vec::new();
             let mut resets: Vec<ClockId> = Vec::new();
             for &l in &involved {
+                // Invariant: `involved` lists exactly the chains where
+                // var_pos is Some for this variable.
+                #[allow(clippy::expect_used)]
                 let i = var_pos[l][v.index()].expect("involved");
                 debug_assert!(i < lens[l]);
                 to[l] = i + 1;

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod automaton;
 mod chains;
@@ -54,4 +55,7 @@ pub use automaton::{StateId, Symbol, Tag, TagBuilder, Transition};
 pub use chains::{greedy_chain_cover, is_valid_cover, minimal_chain_cover, Chain};
 pub use constraint::{ClockConstraint, ClockId};
 pub use construct::{build_tag, build_tag_for_structure, build_tag_with_cover};
-pub use matcher::{MatchOptions, Matcher, MatcherScratch, RunStats, StreamMatcher};
+pub use matcher::{BoundedRun, MatchOptions, Matcher, MatcherScratch, RunStats, StreamMatcher};
+
+#[doc(hidden)]
+pub use matcher::count_interrupt;

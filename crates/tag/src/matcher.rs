@@ -25,6 +25,7 @@ use std::collections::HashSet;
 
 use tgm_events::{Event, TickColumns};
 use tgm_granularity::{Granularity, Second, Tick};
+use tgm_limits::{Interrupt, Limits, Verdict};
 use tgm_obs::metrics::{self, Histogram};
 use tgm_obs::{Observable, ObsOptions, ObsValue};
 
@@ -95,6 +96,34 @@ impl Observable for RunStats {
     }
 }
 
+/// The outcome of a bounded matcher run: the stats accumulated up to the
+/// point the run finished or was interrupted, plus the verdict.
+///
+/// On [`Verdict::Interrupted`] the stats cover the prefix of events the
+/// run actually consumed; `stats.accepted` is whatever had been
+/// established by then (an interrupted run never *retracts* an
+/// early-exit acceptance — acceptance wins over interruption at the same
+/// event).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundedRun {
+    /// Counters for the consumed prefix (everything, when completed).
+    pub stats: RunStats,
+    /// Whether the run finished, and if not, why it stopped.
+    pub verdict: Verdict,
+}
+
+/// Emits the `limits.*` interruption counters for an engine that stopped
+/// early (shared by the matcher and the miner). Call only when metrics
+/// are enabled for the surrounding call-site.
+#[doc(hidden)]
+pub fn count_interrupt(i: Interrupt) {
+    match i {
+        Interrupt::DeadlineExceeded => metrics::counter_add("limits.deadline_hit", 1),
+        Interrupt::BudgetExhausted => metrics::counter_add("limits.budget_hit", 1),
+        Interrupt::Cancelled => metrics::counter_add("limits.cancelled", 1),
+    }
+}
+
 /// Records the largest constant each clock is compared against.
 fn collect_guard_consts(guard: &crate::constraint::ClockConstraint, out: &mut [i64]) {
     use crate::constraint::ClockConstraint as C;
@@ -121,6 +150,17 @@ const NONE_TICK: i64 = i64::MIN;
 #[inline]
 fn pack_tick(t: Option<Tick>) -> i64 {
     t.unwrap_or(NONE_TICK)
+}
+
+/// The canonical saturated reset `cur - cap - 1`, computed without
+/// overflow and clamped one above [`NONE_TICK`] so a defined reset can
+/// never collide with the undefined encoding. Used identically by both
+/// engines so saturated rows stay bit-comparable.
+#[inline]
+fn saturate_reset(cur: i64, cap: i64) -> i64 {
+    cur.saturating_sub(cap)
+        .saturating_sub(1)
+        .max(NONE_TICK + 1)
 }
 
 #[inline]
@@ -361,17 +401,66 @@ impl<'a> Matcher<'a> {
         early_exit: bool,
         scratch: &mut MatcherScratch,
     ) -> RunStats {
-        self.run_scratch_core(events, early_exit, scratch, |_, e, out| {
-            for (x, slot) in out.iter_mut().enumerate() {
-                *slot = pack_tick(self.clock_tick(ClockId(x), e.time));
-            }
-        })
+        self.run_direct_core(events, early_exit, scratch, None).stats
+    }
+
+    /// [`run_scratch`](Self::run_scratch) under [`Limits`]: the run polls
+    /// cancellation and the deadline between events and caps the frontier
+    /// pool at the row budget, returning partial [`RunStats`] plus a
+    /// [`Verdict`] instead of running away. With [`Limits::none`] the
+    /// result is bit-identical to [`run_scratch`](Self::run_scratch).
+    pub fn run_bounded(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
+        limits: &Limits,
+    ) -> BoundedRun {
+        self.run_direct_core(events, early_exit, scratch, Some(limits))
+    }
+
+    fn run_direct_core(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
+        limits: Option<&Limits>,
+    ) -> BoundedRun {
+        self.run_scratch_core(
+            events,
+            early_exit,
+            scratch,
+            |_, e, out| {
+                for (x, slot) in out.iter_mut().enumerate() {
+                    *slot = pack_tick(self.clock_tick(ClockId(x), e.time));
+                }
+            },
+            limits,
+        )
     }
 
     /// [`matches_within`](Self::matches_within) with caller-provided
     /// scratch.
     pub fn matches_within_scratch(&self, events: &[Event], scratch: &mut MatcherScratch) -> bool {
         self.run_scratch(events, true, scratch).accepted
+    }
+
+    /// [`matches_within_scratch`](Self::matches_within_scratch) under
+    /// [`Limits`]: `Err` when the run was interrupted before an answer
+    /// was established.
+    pub fn matches_within_bounded(
+        &self,
+        events: &[Event],
+        scratch: &mut MatcherScratch,
+        limits: &Limits,
+    ) -> Result<bool, Interrupt> {
+        let run = self.run_bounded(events, true, scratch, limits);
+        match run.verdict.interrupt() {
+            // An early-exit acceptance established before the interrupt
+            // still counts.
+            Some(i) if !run.stats.accepted => Err(i),
+            _ => Ok(run.stats.accepted),
+        }
     }
 
     /// Like [`run`](Self::run), but clock updates read pre-resolved
@@ -403,6 +492,34 @@ impl<'a> Matcher<'a> {
         early_exit: bool,
         scratch: &mut MatcherScratch,
     ) -> RunStats {
+        self.run_columns_core(events, cols, offset, early_exit, scratch, None)
+            .stats
+    }
+
+    /// [`run_columns_scratch`](Self::run_columns_scratch) under
+    /// [`Limits`]; see [`run_bounded`](Self::run_bounded) for the
+    /// semantics.
+    pub fn run_columns_bounded(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
+        limits: &Limits,
+    ) -> BoundedRun {
+        self.run_columns_core(events, cols, offset, early_exit, scratch, Some(limits))
+    }
+
+    fn run_columns_core(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        early_exit: bool,
+        scratch: &mut MatcherScratch,
+        limits: Option<&Limits>,
+    ) -> BoundedRun {
         assert!(
             offset + events.len() <= cols.len(),
             "event slice [{offset}, {}) exceeds the {} column rows",
@@ -412,16 +529,22 @@ impl<'a> Matcher<'a> {
         let mut ccols = std::mem::take(&mut scratch.clock_cols);
         ccols.clear();
         ccols.extend(self.tag.clocks.iter().map(|(_, g)| cols.index_of(g)));
-        let stats = self.run_scratch_core(events, early_exit, scratch, |i, e, out| {
-            for (x, c) in ccols.iter().enumerate() {
-                out[x] = match c {
-                    Some(c) => pack_tick(cols.tick(*c, offset + i)),
-                    None => pack_tick(self.clock_tick(ClockId(x), e.time)),
-                };
-            }
-        });
+        let run = self.run_scratch_core(
+            events,
+            early_exit,
+            scratch,
+            |i, e, out| {
+                for (x, c) in ccols.iter().enumerate() {
+                    out[x] = match c {
+                        Some(c) => pack_tick(cols.tick(*c, offset + i)),
+                        None => pack_tick(self.clock_tick(ClockId(x), e.time)),
+                    };
+                }
+            },
+            limits,
+        );
         scratch.clock_cols = ccols;
-        stats
+        run
     }
 
     /// Column-reading variant of [`matches_within`](Self::matches_within).
@@ -447,6 +570,24 @@ impl<'a> Matcher<'a> {
             .accepted
     }
 
+    /// [`matches_within_columns_scratch`](Self::matches_within_columns_scratch)
+    /// under [`Limits`]: `Err` when the run was interrupted before an
+    /// answer was established.
+    pub fn matches_within_columns_bounded(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        scratch: &mut MatcherScratch,
+        limits: &Limits,
+    ) -> Result<bool, Interrupt> {
+        let run = self.run_columns_bounded(events, cols, offset, true, scratch, limits);
+        match run.verdict.interrupt() {
+            Some(i) if !run.stats.accepted => Err(i),
+            _ => Ok(run.stats.accepted),
+        }
+    }
+
     /// Finds one occurrence and returns the indices (into `events`) of the
     /// events consumed by *pattern* transitions, in consumption order — the
     /// witness events of the complex event. `None` if no occurrence exists.
@@ -467,17 +608,47 @@ impl<'a> Matcher<'a> {
         events: &[Event],
         scratch: &mut MatcherScratch,
     ) -> Option<Vec<usize>> {
+        // The Err arm is unreachable without limits.
+        self.find_occurrence_core(events, scratch, None)
+            .unwrap_or_default()
+    }
+
+    /// [`find_occurrence_scratch`](Self::find_occurrence_scratch) under
+    /// [`Limits`]: the search polls cancellation and the deadline between
+    /// events and caps the back-pointer arena at the row budget. `Err`
+    /// when interrupted before the search concluded.
+    pub fn find_occurrence_bounded(
+        &self,
+        events: &[Event],
+        scratch: &mut MatcherScratch,
+        limits: &Limits,
+    ) -> Result<Option<Vec<usize>>, Interrupt> {
+        self.find_occurrence_core(events, scratch, Some(limits))
+    }
+
+    fn find_occurrence_core(
+        &self,
+        events: &[Event],
+        scratch: &mut MatcherScratch,
+        limits: Option<&Limits>,
+    ) -> Result<Option<Vec<usize>>, Interrupt> {
         let _span = tgm_obs::span::span_if(self.opts.obs.spans, "tag.matcher.find_occurrence");
-        let out = self.find_occurrence_loop(events, scratch);
+        let out = self.find_occurrence_loop(events, scratch, limits);
         if self.opts.obs.metrics_on() {
             metrics::counter_add("tag.matcher.find_occurrence_runs", 1);
-            metrics::counter_add("tag.matcher.find_occurrence_hits", u64::from(out.is_some()));
+            metrics::counter_add(
+                "tag.matcher.find_occurrence_hits",
+                u64::from(matches!(&out, Ok(Some(_)))),
+            );
             // Back-pointer arena growth — the memory cost find_occurrence
             // pays over plain acceptance runs.
             metrics::histogram_record(
                 "tag.matcher.find_arena_configs",
                 scratch.arena_meta.len() as u64,
             );
+            if let Err(i) = &out {
+                count_interrupt(*i);
+            }
         }
         out
     }
@@ -488,9 +659,10 @@ impl<'a> Matcher<'a> {
         &self,
         events: &[Event],
         scratch: &mut MatcherScratch,
-    ) -> Option<Vec<usize>> {
+        limits: Option<&Limits>,
+    ) -> Result<Option<Vec<usize>>, Interrupt> {
         if events.is_empty() {
-            return None;
+            return Ok(None);
         }
         let n = self.tag.clocks.len();
         let MatcherScratch {
@@ -543,9 +715,12 @@ impl<'a> Matcher<'a> {
         }
 
         for (eidx, e) in events.iter().enumerate() {
+            if let Some(l) = limits {
+                l.check()?;
+            }
             self.fill_ticks_direct(e.time, ticks);
             if self.opts.strict_updates && ticks.contains(&NONE_TICK) {
-                return None;
+                return Ok(None);
             }
             nx_idx.clear();
             table.reset();
@@ -565,7 +740,7 @@ impl<'a> Matcher<'a> {
                         let value = |x: ClockId| -> Option<i64> {
                             let (cur, res) = (ticks[x.index()], row[x.index()]);
                             if cur != NONE_TICK && res != NONE_TICK {
-                                Some(cur - res)
+                                Some(cur.saturating_sub(res))
                             } else {
                                 None
                             }
@@ -586,7 +761,7 @@ impl<'a> Matcher<'a> {
                             cur = p.parent;
                         }
                         out.reverse();
-                        return Some(out);
+                        return Ok(Some(out));
                     }
                     // Stage the successor at the arena tail; keep it only
                     // if it is new among this event's configurations (the
@@ -628,10 +803,17 @@ impl<'a> Matcher<'a> {
             }
             std::mem::swap(fr_idx, nx_idx);
             if fr_idx.is_empty() {
-                return None;
+                return Ok(None);
+            }
+            // Row budget: the back-pointer arena holds every configuration
+            // ever created this search.
+            if let Some(l) = limits {
+                if l.budget_exceeded(arena_meta.len() as u64) {
+                    return Err(Interrupt::BudgetExhausted);
+                }
             }
         }
-        None
+        Ok(None)
     }
 
     fn clock_tick(&self, x: ClockId, t: Second) -> Option<Tick> {
@@ -649,6 +831,12 @@ impl<'a> Matcher<'a> {
     /// Saturates packed clock resets whose readings exceed every guard
     /// constant: the canonical representative keeps the reading exactly one
     /// past the largest comparison constant.
+    ///
+    /// All arithmetic is saturating: near-`i64` extremes a reading past
+    /// every guard constant stays past every guard constant, and the
+    /// representative is clamped away from the [`NONE_TICK`] encoding
+    /// (mirrored exactly in the reference engine's
+    /// [`canonicalize`](Self::canonicalize)).
     fn canonicalize_packed(&self, row: &mut [i64], ticks: &[i64]) {
         if !self.opts.saturate {
             return;
@@ -657,8 +845,8 @@ impl<'a> Matcher<'a> {
             let cur = ticks[x];
             if cur != NONE_TICK && *r != NONE_TICK {
                 let cap = self.max_consts[x];
-                if cur - *r > cap {
-                    *r = cur - cap - 1;
+                if cur.saturating_sub(*r) > cap {
+                    *r = saturate_reset(cur, cap);
                 }
             }
         }
@@ -736,7 +924,7 @@ impl<'a> Matcher<'a> {
                     let value = |x: ClockId| -> Option<i64> {
                         let (cur, res) = (ticks[x.index()], row[x.index()]);
                         if cur != NONE_TICK && res != NONE_TICK {
-                            Some(cur - res)
+                            Some(cur.saturating_sub(res))
                         } else {
                             None
                         }
@@ -798,11 +986,19 @@ impl<'a> Matcher<'a> {
         early_exit: bool,
         scratch: &mut MatcherScratch,
         fill_ticks: impl FnMut(usize, &Event, &mut [i64]),
-    ) -> RunStats {
+        limits: Option<&Limits>,
+    ) -> BoundedRun {
         let _span = tgm_obs::span::span_if(self.opts.obs.spans, "tag.matcher.run");
         let mut frontier_hist = self.opts.obs.metrics_on().then(Histogram::new);
-        let stats =
-            self.run_scratch_loop(events, early_exit, scratch, fill_ticks, &mut frontier_hist);
+        let run = self.run_scratch_loop(
+            events,
+            early_exit,
+            scratch,
+            fill_ticks,
+            &mut frontier_hist,
+            limits,
+        );
+        let stats = run.stats;
         if let Some(hist) = &frontier_hist {
             metrics::counter_add("tag.matcher.runs", 1);
             metrics::counter_add("tag.matcher.events", stats.events as u64);
@@ -817,13 +1013,17 @@ impl<'a> Matcher<'a> {
                 "tag.matcher.pool_rows_high_water",
                 (scratch.rows.capacity() + scratch.next_rows.capacity()) as u64,
             );
+            if let Some(i) = run.verdict.interrupt() {
+                count_interrupt(i);
+            }
         }
-        stats
+        run
     }
 
     /// The uninstrumented simulation loop behind
     /// [`run_scratch_core`](Self::run_scratch_core); `frontier_hist`, when
     /// present, collects the post-advance frontier size at every event.
+    #[allow(clippy::too_many_arguments)]
     fn run_scratch_loop(
         &self,
         events: &[Event],
@@ -831,7 +1031,8 @@ impl<'a> Matcher<'a> {
         scratch: &mut MatcherScratch,
         mut fill_ticks: impl FnMut(usize, &Event, &mut [i64]),
         frontier_hist: &mut Option<Histogram>,
-    ) -> RunStats {
+        limits: Option<&Limits>,
+    ) -> BoundedRun {
         let mut stats = RunStats::default();
 
         // Empty input: accepted iff a start state is accepting.
@@ -841,8 +1042,12 @@ impl<'a> Matcher<'a> {
                 .start_states()
                 .iter()
                 .any(|&s| self.tag.is_accepting(s));
-            return stats;
+            return BoundedRun {
+                stats,
+                verdict: Verdict::Completed,
+            };
         }
+        tgm_limits::fail::point("tag.matcher.run", limits);
 
         let n = self.tag.clocks.len();
         let MatcherScratch {
@@ -861,10 +1066,24 @@ impl<'a> Matcher<'a> {
         self.seed_frontier_packed(meta, rows, table, ticks);
         if early_exit && meta.iter().any(|&m| self.tag.is_accepting(meta_state(m))) {
             stats.accepted = true;
-            return stats;
+            return BoundedRun {
+                stats,
+                verdict: Verdict::Completed,
+            };
         }
 
         for (i, e) in events.iter().enumerate() {
+            // Cooperative poll: cancellation and the deadline are observed
+            // between events, never mid-advance, so partial stats always
+            // describe a whole-event prefix.
+            if let Some(l) = limits {
+                if let Err(int) = l.check() {
+                    return BoundedRun {
+                        stats,
+                        verdict: int.into(),
+                    };
+                }
+            }
             fill_ticks(i, e, ticks);
             let reached_accepting =
                 self.advance_packed(meta, rows, next_meta, next_rows, table, ticks, e, &mut stats);
@@ -875,14 +1094,31 @@ impl<'a> Matcher<'a> {
             }
             if early_exit && reached_accepting {
                 stats.accepted = true;
-                return stats;
+                return BoundedRun {
+                    stats,
+                    verdict: Verdict::Completed,
+                };
             }
             if meta.is_empty() {
                 break;
             }
+            // Row budget: the frontier pool just materialized this many
+            // packed rows; exceeding the cap is deterministic for a fixed
+            // input and budget.
+            if let Some(l) = limits {
+                if l.budget_exceeded(stats.peak_configs as u64) {
+                    return BoundedRun {
+                        stats,
+                        verdict: Interrupt::BudgetExhausted.into(),
+                    };
+                }
+            }
         }
         stats.accepted = meta.iter().any(|&m| self.tag.is_accepting(meta_state(m)));
-        stats
+        BoundedRun {
+            stats,
+            verdict: Verdict::Completed,
+        }
     }
 }
 
@@ -910,8 +1146,8 @@ impl<'a> Matcher<'a> {
         for (x, r) in resets.iter_mut().enumerate() {
             if let (Some(cur), Some(res)) = (cur_ticks[x], *r) {
                 let cap = self.max_consts[x];
-                if cur - res > cap {
-                    *r = Some(cur - cap - 1);
+                if cur.saturating_sub(res) > cap {
+                    *r = Some(saturate_reset(cur, cap));
                 }
             }
         }
@@ -923,11 +1159,38 @@ impl<'a> Matcher<'a> {
     /// (asserted by differential tests); exists for those tests and for the
     /// E11 engine ablation.
     pub fn run_reference(&self, events: &[Event], early_exit: bool) -> RunStats {
-        self.run_core_reference(events, early_exit, |_, e| {
-            (0..self.tag.clocks.len())
-                .map(|i| self.clock_tick(ClockId(i), e.time))
-                .collect()
-        })
+        self.run_reference_core(events, early_exit, None).stats
+    }
+
+    /// [`run_reference`](Self::run_reference) under [`Limits`]: polls and
+    /// budget-caps at exactly the same points as
+    /// [`run_bounded`](Self::run_bounded), so bounded runs of the two
+    /// engines interrupt identically (differentially tested).
+    pub fn run_reference_bounded(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        limits: &Limits,
+    ) -> BoundedRun {
+        self.run_reference_core(events, early_exit, Some(limits))
+    }
+
+    fn run_reference_core(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        limits: Option<&Limits>,
+    ) -> BoundedRun {
+        self.run_core_reference(
+            events,
+            early_exit,
+            |_, e| {
+                (0..self.tag.clocks.len())
+                    .map(|i| self.clock_tick(ClockId(i), e.time))
+                    .collect()
+            },
+            limits,
+        )
     }
 
     /// Column-reading variant of [`run_reference`](Self::run_reference).
@@ -950,16 +1213,22 @@ impl<'a> Matcher<'a> {
             .iter()
             .map(|(_, g)| cols.index_of(g))
             .collect();
-        self.run_core_reference(events, early_exit, |i, e| {
-            clock_cols
-                .iter()
-                .enumerate()
-                .map(|(x, c)| match c {
-                    Some(c) => cols.tick(*c, offset + i),
-                    None => self.clock_tick(ClockId(x), e.time),
-                })
-                .collect()
-        })
+        self.run_core_reference(
+            events,
+            early_exit,
+            |i, e| {
+                clock_cols
+                    .iter()
+                    .enumerate()
+                    .map(|(x, c)| match c {
+                        Some(c) => cols.tick(*c, offset + i),
+                        None => self.clock_tick(ClockId(x), e.time),
+                    })
+                    .collect()
+            },
+            None,
+        )
+        .stats
     }
 
     /// The pre-packed-engine
@@ -1009,7 +1278,7 @@ impl<'a> Matcher<'a> {
                     }
                     let value = |x: ClockId| -> Option<i64> {
                         match (cur_ticks[x.index()], cfg.resets[x.index()]) {
-                            (Some(cur), Some(reset)) => Some(cur - reset),
+                            (Some(cur), Some(reset)) => Some(cur.saturating_sub(reset)),
                             _ => None,
                         }
                     };
@@ -1111,7 +1380,7 @@ impl<'a> Matcher<'a> {
                     }
                     let value = |x: ClockId| -> Option<i64> {
                         match (cur_ticks[x.index()], cfg.resets[x.index()]) {
-                            (Some(cur), Some(reset)) => Some(cur - reset),
+                            (Some(cur), Some(reset)) => Some(cur.saturating_sub(reset)),
                             _ => None,
                         }
                     };
@@ -1151,7 +1420,8 @@ impl<'a> Matcher<'a> {
         events: &[Event],
         early_exit: bool,
         mut ticks_at: impl FnMut(usize, &Event) -> Vec<Option<Tick>>,
-    ) -> RunStats {
+        limits: Option<&Limits>,
+    ) -> BoundedRun {
         let mut stats = RunStats::default();
 
         // Empty input: accepted iff a start state is accepting.
@@ -1161,30 +1431,59 @@ impl<'a> Matcher<'a> {
                 .start_states()
                 .iter()
                 .any(|&s| self.tag.is_accepting(s));
-            return stats;
+            return BoundedRun {
+                stats,
+                verdict: Verdict::Completed,
+            };
         }
 
         let mut frontier = self.initial_frontier_with_reference(ticks_at(0, &events[0]));
         if early_exit && frontier.iter().any(|c| self.tag.is_accepting(c.state)) {
             stats.accepted = true;
-            return stats;
+            return BoundedRun {
+                stats,
+                verdict: Verdict::Completed,
+            };
         }
 
         for (i, e) in events.iter().enumerate() {
+            // Same poll points as the packed engine's run_scratch_loop.
+            if let Some(l) = limits {
+                if let Err(int) = l.check() {
+                    return BoundedRun {
+                        stats,
+                        verdict: int.into(),
+                    };
+                }
+            }
             let cur_ticks = ticks_at(i, e);
             let (next, reached_accepting) =
                 self.advance_with_reference(&frontier, e, &cur_ticks, &mut stats);
             frontier = next;
             if early_exit && reached_accepting {
                 stats.accepted = true;
-                return stats;
+                return BoundedRun {
+                    stats,
+                    verdict: Verdict::Completed,
+                };
             }
             if frontier.is_empty() {
                 break;
             }
+            if let Some(l) = limits {
+                if l.budget_exceeded(stats.peak_configs as u64) {
+                    return BoundedRun {
+                        stats,
+                        verdict: Interrupt::BudgetExhausted.into(),
+                    };
+                }
+            }
         }
         stats.accepted = frontier.iter().any(|c| self.tag.is_accepting(c.state));
-        stats
+        BoundedRun {
+            stats,
+            verdict: Verdict::Completed,
+        }
     }
 }
 

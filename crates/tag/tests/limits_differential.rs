@@ -1,0 +1,171 @@
+//! Differential tests for bounded matcher runs: with [`Limits::none`] the
+//! bounded entry points are bit-identical to the unbounded ones under
+//! every `MatchOptions` combination; with a tight budget or deadline they
+//! stop deterministically with a typed [`Verdict`] instead of running
+//! away; and the packed and reference engines interrupt identically.
+
+use std::time::{Duration, Instant};
+
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
+use tgm_events::{Event, EventType, TickColumns};
+use tgm_granularity::{Calendar, Gran};
+use tgm_limits::{CancelToken, Interrupt, Limits, Verdict};
+use tgm_tag::{build_tag, MatchOptions, Matcher, MatcherScratch, Tag};
+
+const DAY: i64 = 86_400;
+
+fn grans() -> Vec<Gran> {
+    let cal = Calendar::standard();
+    ["hour", "day", "week", "business-day"]
+        .iter()
+        .map(|n| cal.get(n).unwrap())
+        .collect()
+}
+
+fn all_option_combos() -> Vec<MatchOptions> {
+    (0..8u32)
+        .map(|bits| MatchOptions {
+            anchored: bits & 1 != 0,
+            strict_updates: bits & 2 != 0,
+            saturate: bits & 4 != 0,
+            ..Default::default()
+        })
+        .collect()
+}
+
+/// A three-variable chain over mixed granularities with enough events to
+/// make the matcher do real frontier work.
+fn fixture() -> (Tag, Vec<Event>) {
+    let gs = grans();
+    let mut b = StructureBuilder::new();
+    let x0 = b.var("X0");
+    let x1 = b.var("X1");
+    let x2 = b.var("X2");
+    b.constrain(x0, x1, Tcg::new(0, 2, gs[1].clone())); // 0..2 days
+    b.constrain(x1, x2, Tcg::new(0, 1, gs[2].clone())); // same/next week
+    let s = b.build().unwrap();
+    let cet = ComplexEventType::new(s, vec![EventType(0), EventType(1), EventType(2)]);
+    let tag = build_tag(&cet);
+    // Monday 2000-01-03 onward, interleaved types every 6 hours.
+    let events: Vec<Event> = (0..48)
+        .map(|i| Event::new(EventType(i % 3), 2 * DAY + i as i64 * 6 * 3_600))
+        .collect();
+    (tag, events)
+}
+
+#[test]
+fn none_limits_bit_identical_all_combos() {
+    let (tag, events) = fixture();
+    let grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+    let cols = TickColumns::build(&events, &grans);
+    let none = Limits::none();
+    for opts in all_option_combos() {
+        let m = Matcher::with_options(&tag, opts);
+        for early_exit in [false, true] {
+            let free = m.run_scratch(&events, early_exit, &mut MatcherScratch::new());
+            let bounded =
+                m.run_bounded(&events, early_exit, &mut MatcherScratch::new(), &none);
+            assert_eq!(bounded.verdict, Verdict::Completed, "{opts:?}");
+            assert_eq!(bounded.stats, free, "direct {opts:?} early_exit={early_exit}");
+
+            let free_cols =
+                m.run_columns_scratch(&events, &cols, 0, early_exit, &mut MatcherScratch::new());
+            let bounded_cols = m.run_columns_bounded(
+                &events,
+                &cols,
+                0,
+                early_exit,
+                &mut MatcherScratch::new(),
+                &none,
+            );
+            assert_eq!(bounded_cols.verdict, Verdict::Completed);
+            assert_eq!(
+                bounded_cols.stats, free_cols,
+                "columns {opts:?} early_exit={early_exit}"
+            );
+
+            let free_ref = m.run_reference(&events, early_exit);
+            let bounded_ref = m.run_reference_bounded(&events, early_exit, &none);
+            assert_eq!(bounded_ref.verdict, Verdict::Completed);
+            assert_eq!(bounded_ref.stats, free_ref, "reference {opts:?}");
+        }
+        let free = m.find_occurrence_scratch(&events, &mut MatcherScratch::new());
+        let bounded = m
+            .find_occurrence_bounded(&events, &mut MatcherScratch::new(), &none)
+            .expect("no limits, no interrupt");
+        assert_eq!(bounded, free, "find_occurrence {opts:?}");
+    }
+}
+
+#[test]
+fn tiny_budget_exhausts_deterministically() {
+    let (tag, events) = fixture();
+    let m = Matcher::new(&tag);
+    let limits = Limits::none().with_budget(2);
+    let a = m.run_bounded(&events, false, &mut MatcherScratch::new(), &limits);
+    let b = m.run_bounded(&events, false, &mut MatcherScratch::new(), &limits);
+    assert_eq!(
+        a.verdict,
+        Verdict::Interrupted(Interrupt::BudgetExhausted),
+        "a 2-row budget cannot fit this frontier"
+    );
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.stats, b.stats, "exhaustion must be deterministic");
+    // The consumed prefix is a real prefix: fewer events than the input.
+    assert!(a.stats.events < events.len());
+}
+
+#[test]
+fn packed_and_reference_interrupt_identically() {
+    let (tag, events) = fixture();
+    for budget in [1u64, 2, 4, 8, 1 << 40] {
+        let limits = Limits::none().with_budget(budget);
+        let m = Matcher::new(&tag);
+        let packed = m.run_bounded(&events, false, &mut MatcherScratch::new(), &limits);
+        let reference = m.run_reference_bounded(&events, false, &limits);
+        assert_eq!(packed.verdict, reference.verdict, "budget={budget}");
+        assert_eq!(packed.stats, reference.stats, "budget={budget}");
+    }
+}
+
+#[test]
+fn expired_deadline_interrupts_immediately() {
+    let (tag, events) = fixture();
+    let m = Matcher::new(&tag);
+    let limits = Limits::none().with_deadline(Instant::now() - Duration::from_secs(1));
+    let run = m.run_bounded(&events, false, &mut MatcherScratch::new(), &limits);
+    assert_eq!(run.verdict, Verdict::Interrupted(Interrupt::DeadlineExceeded));
+    assert_eq!(run.stats.events, 0, "no event may be consumed past the deadline");
+    let err = m
+        .find_occurrence_bounded(&events, &mut MatcherScratch::new(), &limits)
+        .unwrap_err();
+    assert_eq!(err, Interrupt::DeadlineExceeded);
+}
+
+#[test]
+fn cancelled_token_interrupts() {
+    let (tag, events) = fixture();
+    let m = Matcher::new(&tag);
+    let token = CancelToken::new();
+    token.cancel();
+    let limits = Limits::none().with_cancel(token);
+    let run = m.run_bounded(&events, false, &mut MatcherScratch::new(), &limits);
+    assert_eq!(run.verdict, Verdict::Interrupted(Interrupt::Cancelled));
+    let err = m
+        .matches_within_bounded(&events, &mut MatcherScratch::new(), &limits)
+        .unwrap_err();
+    assert_eq!(err, Interrupt::Cancelled);
+}
+
+#[test]
+fn generous_limits_complete_identically() {
+    let (tag, events) = fixture();
+    let m = Matcher::new(&tag);
+    let limits = Limits::none()
+        .with_timeout(Duration::from_secs(600))
+        .with_budget(1 << 40);
+    let free = m.run_scratch(&events, false, &mut MatcherScratch::new());
+    let bounded = m.run_bounded(&events, false, &mut MatcherScratch::new(), &limits);
+    assert_eq!(bounded.verdict, Verdict::Completed);
+    assert_eq!(bounded.stats, free);
+}

@@ -31,6 +31,7 @@ use tgm_events::io::CsvError;
 use tgm_events::minijson::JsonError;
 use tgm_granularity::parse::ParseError;
 use tgm_granularity::GranularityError;
+use tgm_limits::{Interrupt, WorkerPanic};
 
 use crate::json::StructureJsonError;
 
@@ -56,6 +57,12 @@ pub enum Error {
     Json(JsonError),
     /// A structurally invalid JSON event-structure document.
     StructureJson(StructureJsonError),
+    /// A bounded run stopped early: deadline exceeded, work budget
+    /// exhausted, or cooperatively cancelled.
+    Interrupted(Interrupt),
+    /// A parallel worker panicked; siblings were cancelled and the first
+    /// panic was contained as a typed error instead of unwinding.
+    WorkerPanicked(WorkerPanic),
 }
 
 impl fmt::Display for Error {
@@ -68,6 +75,8 @@ impl fmt::Display for Error {
             Error::Csv(e) => write!(f, "csv: {e}"),
             Error::Json(e) => write!(f, "json: {e}"),
             Error::StructureJson(e) => write!(f, "structure json: {e}"),
+            Error::Interrupted(e) => write!(f, "interrupted: {e}"),
+            Error::WorkerPanicked(e) => write!(f, "worker panicked: {e}"),
         }
     }
 }
@@ -82,6 +91,8 @@ impl std::error::Error for Error {
             Error::Csv(e) => Some(e),
             Error::Json(e) => Some(e),
             Error::StructureJson(e) => Some(e),
+            Error::Interrupted(e) => Some(e),
+            Error::WorkerPanicked(e) => Some(e),
         }
     }
 }
@@ -125,6 +136,18 @@ impl From<JsonError> for Error {
 impl From<StructureJsonError> for Error {
     fn from(e: StructureJsonError) -> Self {
         Error::StructureJson(e)
+    }
+}
+
+impl From<Interrupt> for Error {
+    fn from(e: Interrupt) -> Self {
+        Error::Interrupted(e)
+    }
+}
+
+impl From<WorkerPanic> for Error {
+    fn from(e: WorkerPanic) -> Self {
+        Error::WorkerPanicked(e)
     }
 }
 

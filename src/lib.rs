@@ -13,6 +13,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`granularity`] | `tgm-granularity` | temporal types, calendars, tick conversion, size tables |
+//! | [`limits`] | `tgm-limits` | deadlines, work budgets, cooperative cancellation, panic containment |
 //! | [`obs`] | `tgm-obs` | spans, metrics, pruning-funnel reports (process-wide toggle, off by default) |
 //! | [`stp`] | `tgm-stp` | Simple Temporal Problem networks (Dechter–Meiri–Pearl) |
 //! | [`events`] | `tgm-events` | event types, sequences, JSON I/O, workload generators |
@@ -83,6 +84,7 @@ pub use error::Error;
 pub use tgm_core as core;
 pub use tgm_events as events;
 pub use tgm_granularity as granularity;
+pub use tgm_limits as limits;
 pub use tgm_mining as mining;
 pub use tgm_obs as obs;
 pub use tgm_stp as stp;
@@ -98,8 +100,12 @@ pub use tgm_tag as tag;
 /// into [`Error`](crate::Error).
 pub mod prelude {
     pub use crate::Error;
-    pub use tgm_core::exact::{check as exact_check, check_with as exact_check_with, ExactOutcome};
-    pub use tgm_core::propagate::{propagate, Propagated};
+    pub use tgm_core::exact::{
+        check as exact_check, check_bounded as exact_check_bounded,
+        check_with as exact_check_with, ExactOutcome,
+    };
+    pub use tgm_core::propagate::{propagate, propagate_bounded, Propagated};
+    pub use tgm_limits::{CancelToken, Interrupt, Limits, Verdict, WorkerPanic};
     pub use tgm_core::{
         convert_constraint, ComplexEventType, EventStructure, StructureBuilder, Tcg, VarId,
     };
@@ -108,7 +114,9 @@ pub mod prelude {
     };
     pub use tgm_granularity::{cache, CacheStats, Calendar, Gran, Granularity, Second, Tick};
     pub use tgm_mining::pipeline::{mine_with, PipelineOptions, PipelineStats};
-    pub use tgm_mining::{naive, pipeline, DiscoveryProblem, Solution};
+    pub use tgm_mining::{naive, pipeline, BoundedMining, DiscoveryProblem, Solution};
     pub use tgm_obs::{Observable, ObsOptions, Report};
-    pub use tgm_tag::{build_tag, MatchOptions, Matcher, RunStats, StreamMatcher, Tag};
+    pub use tgm_tag::{
+        build_tag, BoundedRun, MatchOptions, Matcher, RunStats, StreamMatcher, Tag,
+    };
 }
