@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tgm_bench::workloads::daily_stock_workload;
 use tgm_mining::episodes::{Episode, EpisodeMiner};
-use tgm_tag::{build_tag, StreamMatcher};
+use tgm_tag::{build_tag, MatchSession};
 
 fn bench_episodes(c: &mut Criterion) {
     let w = daily_stock_workload(365, &[], 0.85, 7);
@@ -35,16 +35,18 @@ fn bench_episodes(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("streaming");
     let tag = build_tag(&w.cet);
-    group.bench_function("stream_matcher_full_year", |b| {
+    group.bench_function("session_full_year", |b| {
         b.iter(|| {
-            let mut sm = StreamMatcher::new(&tag);
-            let mut completions = 0u64;
-            for e in seq.events() {
-                if sm.push(*e) {
-                    completions += 1;
-                }
-            }
-            completions
+            let mut session = MatchSession::new(&tag);
+            session.push_batch(seq.events());
+            session.stats().completions
+        })
+    });
+    group.bench_function("session_full_year_evicting", |b| {
+        b.iter(|| {
+            let mut session = MatchSession::new(&tag).with_eviction();
+            session.push_batch(seq.events());
+            session.stats().completions
         })
     });
     group.finish();

@@ -16,28 +16,18 @@ fn bench_mining(c: &mut Criterion) {
     group.bench_function("naive", |b| {
         b.iter(|| naive::mine(&problem, &w.sequence))
     });
-    let serial = PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    };
+    let serial = PipelineOptions::builder().parallel(false).build();
     group.bench_function("pipeline_serial", |b| {
         b.iter(|| mine_with(&problem, &w.sequence, &serial))
     });
-    let candidate_level = PipelineOptions {
-        parallel_sweep: false,
-        ..PipelineOptions::default()
-    };
+    let candidate_level = PipelineOptions::builder().parallel_sweep(false).build();
     group.bench_function("pipeline_parallel", |b| {
         b.iter(|| mine_with(&problem, &w.sequence, &candidate_level))
     });
     group.bench_function("pipeline_parallel_sweep", |b| {
         b.iter(|| mine_with(&problem, &w.sequence, &PipelineOptions::default()))
     });
-    let pairs = PipelineOptions {
-        pair_screening: true,
-        parallel: false,
-        ..PipelineOptions::default()
-    };
+    let pairs = PipelineOptions::builder().pair_screening(true).parallel(false).build();
     group.bench_function("pipeline_pair_screening", |b| {
         b.iter(|| mine_with(&problem, &w.sequence, &pairs))
     });

@@ -24,7 +24,17 @@ use tgm_mining::naive::{self, NaiveOptions};
 use tgm_mining::pipeline::{mine_bounded, mine_with, PipelineOptions};
 use tgm_mining::DiscoveryProblem;
 use tgm_obs::Report;
-use tgm_tag::{build_tag, Matcher, MatcherScratch, Tag};
+use tgm_events::Event;
+use tgm_tag::{build_tag, MatchSession, Matcher, MatcherScratch, Tag};
+
+/// Resident set size in bytes from `/proc/self/statm` (0 off Linux).
+fn resident_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1).and_then(|f| f.parse::<u64>().ok()))
+        .map(|pages| pages * 4096)
+        .unwrap_or(0)
+}
 
 /// Median of the per-repetition milliseconds of `f`.
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -102,14 +112,8 @@ fn main() {
     let problem = DiscoveryProblem::new(w3.cet.structure().clone(), 0.6, w3.types.ibm_rise)
         .with_candidates(VarId(3), [w3.types.ibm_fall]);
     let mining_reps = if quick { 3 } else { 7 };
-    let serial_opts = PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    };
-    let candidate_opts = PipelineOptions {
-        parallel_sweep: false,
-        ..PipelineOptions::default()
-    };
+    let serial_opts = PipelineOptions::builder().parallel(false).build();
+    let candidate_opts = PipelineOptions::builder().parallel_sweep(false).build();
     let sweep_opts = PipelineOptions::default();
     let (naive_sols, _) = naive::mine(&problem, &w3.sequence);
     let (naive_sweep_sols, _) = naive::mine_with(
@@ -139,6 +143,55 @@ fn main() {
     let pipeline_parallel_sweep_ms = median_ms(mining_reps, || {
         std::hint::black_box(mine_with(&problem, &w3.sequence, &sweep_opts));
     });
+
+    // Workload 4: the streaming session. Replay of workload 1 through
+    // chunked `push_batch` (asserted bit-identical to the batch run), then
+    // a long synthetic stream with horizon eviction to measure steady-state
+    // throughput and memory.
+    let m1 = Matcher::new(&tag1);
+    let batch1 = m1.run(w1.sequence.events(), false);
+    {
+        let mut s = MatchSession::new(&tag1);
+        s.push_batch(w1.sequence.events());
+        assert_eq!(
+            s.finalize().stats,
+            batch1,
+            "session replay must be bit-identical to the batch run"
+        );
+    }
+    let replay_ms = median_ms(reps, || {
+        let mut s = MatchSession::new(&tag1);
+        for chunk in w1.sequence.events().chunks(256) {
+            s.push_batch(chunk);
+        }
+        std::hint::black_box(s.finalize());
+    });
+    let session_replay_events_per_sec = w1.sequence.events().len() as f64 / (replay_ms / 1e3);
+
+    let stream_n: usize = if quick { 200_000 } else { 1_000_000 };
+    let stream: Vec<Event> = {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut t = 2 * 86_400i64;
+        (0..stream_n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t += 1 + (state >> 33) as i64 % 1700;
+                Event::new(tgm_events::EventType((state >> 7) as u32 % 4), t)
+            })
+            .collect()
+    };
+    let mut stream_session = MatchSession::new(&tag2).with_eviction();
+    let (_, stream_ms) = timed(|| {
+        for chunk in stream.chunks(4096) {
+            stream_session.push_batch(chunk);
+            let _ = stream_session.completed().count();
+        }
+    });
+    let stream_events_per_sec = stream_n as f64 / (stream_ms / 1e3);
+    let stream_stats = stream_session.stats();
+    let steady_state_rss = resident_bytes();
 
     // One instrumented pass over the same workloads: span-derived timings
     // recorded alongside the stopwatch medians (results asserted unchanged
@@ -222,6 +275,19 @@ fn main() {
         json,
         "    \"pipeline_parallel_sweep_ms\": {pipeline_parallel_sweep_ms:.2}"
     );
+    json.push_str("  },\n");
+    json.push_str("  \"session\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"replay_events_per_sec\": {session_replay_events_per_sec:.0},"
+    );
+    let _ = writeln!(json, "    \"stream_events\": {stream_n},");
+    let _ = writeln!(json, "    \"stream_events_per_sec\": {stream_events_per_sec:.0},");
+    let _ = writeln!(json, "    \"stream_completions\": {},", stream_stats.completions);
+    let _ = writeln!(json, "    \"stream_peak_frontier\": {},", stream_stats.peak_frontier);
+    let _ = writeln!(json, "    \"stream_evicted_rows\": {},", stream_stats.evicted_rows);
+    let _ = writeln!(json, "    \"stream_evictions\": {},", stream_stats.evictions);
+    let _ = writeln!(json, "    \"steady_state_rss_bytes\": {steady_state_rss}");
     json.push_str("  },\n");
     json.push_str("  \"obs_spans\": {\n");
     let n_spans = obs_report.spans.spans.len();

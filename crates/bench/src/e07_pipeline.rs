@@ -34,58 +34,31 @@ pub fn run() {
     let configs: [(&str, PipelineOptions); 7] = [
         (
             "steps 1-5 (full pipeline)",
-            PipelineOptions {
-                parallel: false,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::builder().parallel(false).build(),
         ),
         (
             "without candidate screening (step 4 off)",
-            PipelineOptions {
-                candidate_screening: false,
-                parallel: false,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::builder().candidate_screening(false).parallel(false).build(),
         ),
         (
             "without reference pruning (step 3 off)",
-            PipelineOptions {
-                reference_pruning: false,
-                parallel: false,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::builder().reference_pruning(false).parallel(false).build(),
         ),
         (
             "without sequence reduction (step 2 off)",
-            PipelineOptions {
-                sequence_reduction: false,
-                parallel: false,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::builder().sequence_reduction(false).parallel(false).build(),
         ),
         (
             "full + pair screening (k = 2, windows)",
-            PipelineOptions {
-                pair_screening: true,
-                parallel: false,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::builder().pair_screening(true).parallel(false).build(),
         ),
         (
             "full + induced chain screening (k <= 2, TAGs)",
-            PipelineOptions {
-                chain_screening_k: 2,
-                parallel: false,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::builder().chain_screening_k(2).parallel(false).build(),
         ),
         (
             "full + induced chain screening (k <= 3, TAGs)",
-            PipelineOptions {
-                chain_screening_k: 3,
-                parallel: false,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::builder().chain_screening_k(3).parallel(false).build(),
         ),
     ];
     for (label, opts) in configs {
@@ -183,16 +156,8 @@ fn weekend_noise_variant() {
     let seq = with_planted(&noise, &[events]);
 
     let problem = DiscoveryProblem::new(s, 0.4, alarm);
-    let full = PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    };
-    let off = PipelineOptions {
-        sequence_reduction: false,
-        reference_pruning: false,
-        parallel: false,
-        ..PipelineOptions::default()
-    };
+    let full = PipelineOptions::builder().parallel(false).build();
+    let off = PipelineOptions::builder().sequence_reduction(false).reference_pruning(false).parallel(false).build();
     let ((sols_on, on), ms_on) = timed(|| mine_with(&problem, &seq, &full));
     let ((sols_off, off_stats), ms_off) = timed(|| mine_with(&problem, &seq, &off));
     assert_eq!(sols_on, sols_off);

@@ -15,26 +15,16 @@ use crate::{print_table, timed};
 /// Runs E10 and prints its tables.
 pub fn run() {
     println!("\n## E10 — Discovery scaling: naive vs optimized pipeline");
-    let serial = PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    };
+    let serial = PipelineOptions::builder().parallel(false).build();
     // Candidate-level parallelism only vs the full default (which adds the
     // anchored-sweep split when candidates alone can't fill the workers).
-    let parallel_candidate = PipelineOptions {
-        parallel_sweep: false,
-        ..PipelineOptions::default()
-    };
+    let parallel_candidate = PipelineOptions::builder().parallel_sweep(false).build();
     let parallel_sweep = PipelineOptions::default();
 
     // vs sequence length, with the shared resolution layer (tick columns +
     // per-granularity cache) on and off for the serial pipeline — the off
     // column resolves every tick per use, the pre-layer behavior.
-    let serial_off = PipelineOptions {
-        parallel: false,
-        use_tick_columns: false,
-        ..PipelineOptions::default()
-    };
+    let serial_off = PipelineOptions::builder().parallel(false).use_tick_columns(false).build();
     let mut rows = Vec::new();
     for days in [90i64, 180, 360, 720] {
         let w = daily_stock_workload(days, &[], 0.85, 11);

@@ -37,10 +37,7 @@ pub fn run() {
         let on = Matcher::new(&tag);
         let off = Matcher::with_options(
             &tag,
-            MatchOptions {
-                saturate: false,
-                ..MatchOptions::default()
-            },
+            MatchOptions::builder().saturate(false).build(),
         );
         let (s_on, ms_on) = timed(|| on.run(events, false));
         let (s_off, ms_off) = timed(|| off.run(events, false));
@@ -137,14 +134,8 @@ pub fn run() {
     // granularity-resolution layer (tick columns + per-granularity cache)
     // on vs off, with the process-wide hit/miss counters for each run.
     // Results are asserted identical.
-    let serial = PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    };
-    let serial_off = PipelineOptions {
-        use_tick_columns: false,
-        ..serial
-    };
+    let serial = PipelineOptions::builder().parallel(false).build();
+    let serial_off = serial.to_builder().use_tick_columns(false).build();
     let mut rows = Vec::new();
     for days in [180i64, 360] {
         let w = daily_stock_workload(days, &[], 0.85, 17);
@@ -218,10 +209,7 @@ pub fn run() {
     // serial sweep, for the naive miner and the pipeline. Solutions and
     // tag-run counts asserted identical — support is a sum of independent
     // per-reference boolean runs, so chunking cannot change it.
-    let candidate_only = PipelineOptions {
-        parallel_sweep: false,
-        ..PipelineOptions::default()
-    };
+    let candidate_only = PipelineOptions::builder().parallel_sweep(false).build();
     let sweep_on = PipelineOptions::default();
     let mut rows = Vec::new();
     for days in [360i64, 720] {

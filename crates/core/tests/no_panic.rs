@@ -93,7 +93,7 @@ fn np_hard_gadget_under_tiny_limits_returns_typed_errors() {
     let started = Instant::now();
     let budgeted = check_bounded(&s, &opts, &Limits::none().with_budget(4));
     assert!(
-        matches!(budgeted, Err(ExactError::SearchBudgetExhausted { .. })),
+        matches!(budgeted, Err(ExactError::SearchBudgetExhausted)),
         "tiny budget must surface as a typed exhaustion: {budgeted:?}"
     );
 

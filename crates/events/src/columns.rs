@@ -28,6 +28,10 @@ pub struct TickColumns {
     grans: Vec<Gran>,
     cols: Vec<Vec<Option<Tick>>>,
     len: usize,
+    /// Timestamp of the last appended/built row, seeding the
+    /// adjacent-duplicate short-circuit across [`append`](Self::append)
+    /// chunks.
+    last_time: Option<Second>,
 }
 
 fn resolve_column(g: &Gran, events: &[Event]) -> Vec<Option<Tick>> {
@@ -95,7 +99,66 @@ impl TickColumns {
             grans: uniq,
             cols,
             len: events.len(),
+            last_time: events.last().map(|e| e.time),
         }
+    }
+
+    /// Empty columns for a granularity set, ready for incremental
+    /// [`append`](Self::append) as a stream arrives in chunks.
+    ///
+    /// Granularities appearing more than once (same
+    /// [instance](Gran::instance_id)) get a single column, exactly as in
+    /// [`build`](Self::build).
+    pub fn with_granularities(grans: &[Gran]) -> Self {
+        let mut uniq: Vec<Gran> = Vec::new();
+        for g in grans {
+            if !uniq.iter().any(|u| u.instance_id() == g.instance_id()) {
+                uniq.push(g.clone());
+            }
+        }
+        let cols = vec![Vec::new(); uniq.len()];
+        TickColumns {
+            grans: uniq,
+            cols,
+            len: 0,
+            last_time: None,
+        }
+    }
+
+    /// Appends resolved rows for a further chunk of events.
+    ///
+    /// `TickColumns::build(all) == { with_granularities(g) + append per
+    /// chunk }` for any chunking of `all` — the adjacent-duplicate
+    /// short-circuit is seeded from each column's tail, so splitting
+    /// between two equal timestamps costs one extra cache lookup, never a
+    /// different answer. Appending is serial: chunked streaming callers
+    /// push small batches where thread fan-out cannot pay for itself.
+    pub fn append(&mut self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        let _span = tgm_obs::span!("events.tick_columns.append");
+        for (g, col) in self.grans.iter().zip(self.cols.iter_mut()) {
+            col.reserve(events.len());
+            let mut last: Option<(Second, Option<Tick>)> = self
+                .last_time
+                .map(|t| (t, col.last().copied().flatten()));
+            for e in events {
+                let tick = match last {
+                    Some((t, v)) if t == e.time => v,
+                    _ => g.covering_tick(e.time),
+                };
+                last = Some((e.time, tick));
+                col.push(tick);
+            }
+        }
+        self.len += events.len();
+        self.last_time = events.last().map(|e| e.time);
+        tgm_obs::metrics::counter_add("events.tick_columns.appends", 1);
+        tgm_obs::metrics::counter_add(
+            "events.tick_columns.cells",
+            events.len().saturating_mul(self.grans.len()) as u64,
+        );
     }
 
     /// Number of events (rows).
@@ -146,6 +209,9 @@ impl TickColumns {
                 .map(|col| rows.iter().map(|&r| col[r]).collect())
                 .collect(),
             len: rows.len(),
+            // Row timestamps are not retained; the first append after a
+            // projection simply pays one extra resolution.
+            last_time: None,
         }
     }
 }

@@ -148,6 +148,121 @@ pub fn from_csv(csv: &str) -> Result<(TypeRegistry, EventSequence), CsvError> {
     Ok((reg, EventSequence::from_events(events)))
 }
 
+/// Serializes a sequence as NDJSON: one `{"ty": …, "time": …}` object per
+/// line, the natural wire format for streaming consumers (`tgm stream`)
+/// that resolve and push events chunk by chunk.
+pub fn to_ndjson(seq: &EventSequence, reg: &TypeRegistry) -> String {
+    let mut out = String::new();
+    for e in seq.events() {
+        out.push_str("{\"ty\":");
+        minijson::write_escaped(&mut out, reg.name(e.ty));
+        out.push_str(&format!(",\"time\":{}}}\n", e.time));
+    }
+    out
+}
+
+/// Parses NDJSON — one `{ty, time}` object per line, blank lines and `#`
+/// comment lines ignored — interning type names into an *existing*
+/// registry. NDJSON is a stream format, so timestamps must be
+/// non-decreasing in line order; an out-of-order record is an error
+/// naming the offending line.
+pub fn from_ndjson_into(text: &str, reg: &mut TypeRegistry) -> Result<EventSequence, JsonError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let located = |mut e: JsonError| {
+            e.line = i + 1;
+            e
+        };
+        let shape_err = |msg: &str| JsonError {
+            line: i + 1,
+            column: 0,
+            message: msg.to_string(),
+        };
+        let rec = minijson::parse(line).map_err(located)?;
+        let ty = rec
+            .get("ty")
+            .and_then(Value::as_str)
+            .ok_or_else(|| shape_err("event record needs a string `ty` field"))?;
+        let time = rec
+            .get("time")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| shape_err("event record needs an integer `time` field"))?;
+        if let Some(prev) = events.last().map(|e: &Event| e.time) {
+            if time < prev {
+                return Err(shape_err(&format!(
+                    "stream must be in non-decreasing time order, but {time} follows {prev}"
+                )));
+            }
+        }
+        events.push(Event::new(reg.intern(ty), time));
+    }
+    Ok(EventSequence::from_events(events))
+}
+
+/// [`from_ndjson_into`] with a fresh registry.
+pub fn from_ndjson(text: &str) -> Result<(TypeRegistry, EventSequence), JsonError> {
+    let mut reg = TypeRegistry::new();
+    let seq = from_ndjson_into(text, &mut reg)?;
+    Ok((reg, seq))
+}
+
+#[cfg(test)]
+mod ndjson_tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_round_trip() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("IBM-rise");
+        let b = reg.intern("IBM-fall");
+        let seq = EventSequence::from_events(vec![Event::new(a, 100), Event::new(b, 200)]);
+        let text = to_ndjson(&seq, &reg);
+        assert_eq!(text.lines().count(), 2);
+        let (reg2, seq2) = from_ndjson(&text).unwrap();
+        assert_eq!(seq2.len(), 2);
+        assert_eq!(reg2.name(seq2.events()[0].ty), "IBM-rise");
+        assert_eq!(seq2.events()[1].time, 200);
+    }
+
+    #[test]
+    fn ndjson_tolerates_comments_and_blank_lines() {
+        let text = "# header comment\n{\"ty\":\"a\",\"time\":1}\n\n{\"ty\":\"b\",\"time\":2}\n";
+        let (reg, seq) = from_ndjson(text).unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn ndjson_errors_carry_line_numbers() {
+        let err = from_ndjson("{\"ty\":\"a\",\"time\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = from_ndjson("{\"ty\":3,\"time\":1}").unwrap_err();
+        assert!(err.message.contains("`ty`"));
+    }
+
+    #[test]
+    fn ndjson_rejects_out_of_order_timestamps() {
+        let err =
+            from_ndjson("{\"ty\":\"a\",\"time\":500}\n{\"ty\":\"b\",\"time\":100}\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("non-decreasing"), "{}", err.message);
+        // Equal timestamps are fine.
+        from_ndjson("{\"ty\":\"a\",\"time\":5}\n{\"ty\":\"b\",\"time\":5}\n").unwrap();
+    }
+
+    #[test]
+    fn ndjson_shares_registry() {
+        let mut reg = TypeRegistry::new();
+        let pre = reg.intern("a");
+        let seq = from_ndjson_into("{\"ty\":\"a\",\"time\":9}", &mut reg).unwrap();
+        assert_eq!(seq.events()[0].ty, pre);
+    }
+}
+
 #[cfg(test)]
 mod csv_tests {
     use super::*;

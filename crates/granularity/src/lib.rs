@@ -75,14 +75,6 @@ pub use calendar_math::{
 pub use cache::CacheStats;
 pub use convert::{convert_tick, tick_covers};
 pub use datetime::{datetime_of, format_instant, instant, DateTime};
-#[deprecated(
-    note = "duplicate re-export path: use `tgm_granularity::parse::calendar_from_config`"
-)]
-pub use parse::calendar_from_config;
-#[deprecated(
-    note = "duplicate re-export path: use `tgm_granularity::parse::parse_granularity`"
-)]
-pub use parse::parse_granularity;
 pub use error::GranularityError;
 pub use granularity::{Granularity, Second, Tick};
 pub use interval::{Interval, IntervalSet};

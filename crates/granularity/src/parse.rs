@@ -60,7 +60,8 @@ impl std::error::Error for ParseError {}
 /// normalized spec text.
 ///
 /// ```
-/// use tgm_granularity::{parse_granularity, Granularity as _};
+/// use tgm_granularity::parse::parse_granularity;
+/// use tgm_granularity::Granularity as _;
 ///
 /// let fiscal_year = parse_granularity("12 month @ 2000-04").unwrap();
 /// assert!(!fiscal_year.has_gaps());

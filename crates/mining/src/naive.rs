@@ -267,12 +267,12 @@ fn enumerate(
 fn anchored_matcher(tag: &Tag, obs: ObsOptions) -> Matcher<'_> {
     Matcher::with_options(
         tag,
-        MatchOptions {
-            anchored: true,
-            strict_updates: false,
-            saturate: true,
-            obs,
-        },
+        MatchOptions::builder()
+            .anchored(true)
+            .strict_updates(false)
+            .saturate(true)
+            .obs(obs)
+            .build(),
     )
 }
 

@@ -40,7 +40,12 @@ use crate::problem::{DiscoveryProblem, Solution};
 
 /// Ablation switches for the pipeline; all enabled by default (`k = 2`
 /// pair screening is opt-in, as the paper presents it as an extension).
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`PipelineOptions::default`] or via [`PipelineOptions::builder`], which
+/// keeps call sites source-compatible as knobs are added.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct PipelineOptions {
     /// Step 1: consistency screening by propagation.
     pub consistency_screen: bool,
@@ -97,6 +102,102 @@ impl Default for PipelineOptions {
             use_tick_columns: true,
             obs: ObsOptions::default(),
         }
+    }
+}
+
+impl PipelineOptions {
+    /// A builder starting from the defaults (everything on, `k = 2`
+    /// extensions off).
+    ///
+    /// ```
+    /// use tgm_mining::pipeline::PipelineOptions;
+    /// let o = PipelineOptions::builder().pair_screening(true).parallel(false).build();
+    /// assert!(o.pair_screening && !o.parallel && o.window_limit);
+    /// ```
+    pub fn builder() -> PipelineOptionsBuilder {
+        PipelineOptionsBuilder::default()
+    }
+
+    /// A builder seeded from this value, for tweaking individual knobs.
+    pub fn to_builder(self) -> PipelineOptionsBuilder {
+        PipelineOptionsBuilder(self)
+    }
+}
+
+/// Builder for [`PipelineOptions`]; see [`PipelineOptions::builder`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineOptionsBuilder(PipelineOptions);
+
+impl PipelineOptionsBuilder {
+    /// Sets step 1 consistency screening.
+    pub fn consistency_screen(mut self, on: bool) -> Self {
+        self.0.consistency_screen = on;
+        self
+    }
+
+    /// Sets step 2 sequence reduction.
+    pub fn sequence_reduction(mut self, on: bool) -> Self {
+        self.0.sequence_reduction = on;
+        self
+    }
+
+    /// Sets step 3 reference-occurrence pruning.
+    pub fn reference_pruning(mut self, on: bool) -> Self {
+        self.0.reference_pruning = on;
+        self
+    }
+
+    /// Sets step 4 per-variable candidate screening.
+    pub fn candidate_screening(mut self, on: bool) -> Self {
+        self.0.candidate_screening = on;
+        self
+    }
+
+    /// Sets the `k = 2` pair-screening extension.
+    pub fn pair_screening(mut self, on: bool) -> Self {
+        self.0.pair_screening = on;
+        self
+    }
+
+    /// Sets the induced-subproblem chain-screening depth (`0` disables).
+    pub fn chain_screening_k(mut self, k: usize) -> Self {
+        self.0.chain_screening_k = k;
+        self
+    }
+
+    /// Sets the step 5 window limit.
+    pub fn window_limit(mut self, on: bool) -> Self {
+        self.0.window_limit = on;
+        self
+    }
+
+    /// Sets candidate-level parallelism in step 5.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.0.parallel = on;
+        self
+    }
+
+    /// Sets sweep-level parallelism in step 5.
+    pub fn parallel_sweep(mut self, on: bool) -> Self {
+        self.0.parallel_sweep = on;
+        self
+    }
+
+    /// Sets shared tick-column resolution.
+    pub fn use_tick_columns(mut self, on: bool) -> Self {
+        self.0.use_tick_columns = on;
+        self
+    }
+
+    /// Sets the observability knobs.
+    pub fn obs(mut self, obs: ObsOptions) -> Self {
+        self.0.obs = obs;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> PipelineOptions {
+        self.0
     }
 }
 

@@ -99,14 +99,8 @@ proptest! {
         let seq = EventSequence::from_events(events);
         let problem = DiscoveryProblem::new(s, confidence, EventType(0));
 
-        let layer_on = pipeline::PipelineOptions {
-            parallel: false,
-            ..pipeline::PipelineOptions::default()
-        };
-        let layer_off = pipeline::PipelineOptions {
-            use_tick_columns: false,
-            ..layer_on
-        };
+        let layer_on = pipeline::PipelineOptions::builder().parallel(false).build();
+        let layer_off = layer_on.to_builder().use_tick_columns(false).build();
 
         cache::set_enabled(true);
         let (pipe_on, _) = pipeline::mine_with(&problem, &seq, &layer_on);

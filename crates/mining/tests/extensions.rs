@@ -13,10 +13,7 @@ const DAY: i64 = 86_400;
 const HOUR: i64 = 3_600;
 
 fn serial_opts() -> PipelineOptions {
-    PipelineOptions {
-        parallel: false,
-        ..PipelineOptions::default()
-    }
+    PipelineOptions::builder().parallel(false).build()
 }
 
 /// A world where both (A, B, B) and (A, B, C) chains are frequent.

@@ -41,11 +41,7 @@ fn fixture() -> (DiscoveryProblem, EventSequence) {
 fn step5_paths() -> Vec<pipeline::PipelineOptions> {
     [(false, false), (true, false), (true, true)]
         .into_iter()
-        .map(|(parallel, parallel_sweep)| pipeline::PipelineOptions {
-            parallel,
-            parallel_sweep,
-            ..Default::default()
-        })
+        .map(|(parallel, parallel_sweep)| pipeline::PipelineOptions::builder().parallel(parallel).parallel_sweep(parallel_sweep).build())
         .collect()
 }
 

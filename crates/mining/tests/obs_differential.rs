@@ -50,34 +50,19 @@ fn world() -> (EventSequence, DiscoveryProblem) {
 
 /// The three step-5 execution paths, everything else at defaults.
 fn step5_modes(obs: ObsOptions) -> Vec<(&'static str, PipelineOptions)> {
-    let base = PipelineOptions {
-        obs,
-        ..PipelineOptions::default()
-    };
+    let base = PipelineOptions::builder().obs(obs).build();
     vec![
         (
             "serial",
-            PipelineOptions {
-                parallel: false,
-                parallel_sweep: false,
-                ..base
-            },
+            base.to_builder().parallel(false).parallel_sweep(false).build(),
         ),
         (
             "candidate-parallel",
-            PipelineOptions {
-                parallel: true,
-                parallel_sweep: false,
-                ..base
-            },
+            base.to_builder().parallel(true).parallel_sweep(false).build(),
         ),
         (
             "sweep-parallel",
-            PipelineOptions {
-                parallel: true,
-                parallel_sweep: true,
-                ..base
-            },
+            base.to_builder().parallel(true).parallel_sweep(true).build(),
         ),
     ]
 }

@@ -59,14 +59,8 @@ proptest! {
 
         // Pipeline: serial vs candidate-level parallel vs in-candidate
         // sweep parallelism.
-        let serial = PipelineOptions {
-            parallel: false,
-            ..PipelineOptions::default()
-        };
-        let candidate_level = PipelineOptions {
-            parallel_sweep: false,
-            ..PipelineOptions::default()
-        };
+        let serial = PipelineOptions::builder().parallel(false).build();
+        let candidate_level = PipelineOptions::builder().parallel_sweep(false).build();
         let sweep_level = PipelineOptions::default();
         let (p0, st0) = mine_with(&problem, &seq, &serial);
         let (p1, st1) = mine_with(&problem, &seq, &candidate_level);

@@ -33,7 +33,12 @@ use crate::automaton::{StateId, Tag};
 use crate::constraint::ClockId;
 
 /// Matching options.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`MatchOptions::default`] or [`MatchOptions::builder`] so adding a knob
+/// is never a breaking change for downstream call sites.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct MatchOptions {
     /// Anchored matching: skip transitions are disallowed until the first
     /// pattern transition has fired, so the pattern's root must match the
@@ -65,6 +70,60 @@ impl Default for MatchOptions {
             saturate: true,
             obs: ObsOptions::default(),
         }
+    }
+}
+
+impl MatchOptions {
+    /// A builder starting from the defaults (lazy, unanchored, saturating).
+    pub fn builder() -> MatchOptionsBuilder {
+        MatchOptionsBuilder::default()
+    }
+
+    /// A builder seeded from this value, for tweaking individual knobs.
+    pub fn to_builder(self) -> MatchOptionsBuilder {
+        MatchOptionsBuilder(self)
+    }
+}
+
+/// Builder for [`MatchOptions`]; every knob defaults to
+/// [`MatchOptions::default`].
+///
+/// ```
+/// use tgm_tag::MatchOptions;
+/// let opts = MatchOptions::builder().anchored(true).saturate(false).build();
+/// assert!(opts.anchored && !opts.saturate && !opts.strict_updates);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MatchOptionsBuilder(MatchOptions);
+
+impl MatchOptionsBuilder {
+    /// Sets [`MatchOptions::anchored`].
+    pub fn anchored(mut self, on: bool) -> Self {
+        self.0.anchored = on;
+        self
+    }
+
+    /// Sets [`MatchOptions::strict_updates`].
+    pub fn strict_updates(mut self, on: bool) -> Self {
+        self.0.strict_updates = on;
+        self
+    }
+
+    /// Sets [`MatchOptions::saturate`].
+    pub fn saturate(mut self, on: bool) -> Self {
+        self.0.saturate = on;
+        self
+    }
+
+    /// Sets [`MatchOptions::obs`].
+    pub fn obs(mut self, obs: ObsOptions) -> Self {
+        self.0.obs = obs;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> MatchOptions {
+        self.0
     }
 }
 
@@ -125,7 +184,7 @@ pub fn count_interrupt(i: Interrupt) {
 }
 
 /// Records the largest constant each clock is compared against.
-fn collect_guard_consts(guard: &crate::constraint::ClockConstraint, out: &mut [i64]) {
+pub(crate) fn collect_guard_consts(guard: &crate::constraint::ClockConstraint, out: &mut [i64]) {
     use crate::constraint::ClockConstraint as C;
     match guard {
         C::True => {}
@@ -145,10 +204,10 @@ fn collect_guard_consts(guard: &crate::constraint::ClockConstraint, out: &mut [i
 
 /// Packed encoding of an undefined reset (`None::<Tick>`). Valid ticks are
 /// small epoch-anchored indices, far from `i64::MIN`.
-const NONE_TICK: i64 = i64::MIN;
+pub(crate) const NONE_TICK: i64 = i64::MIN;
 
 #[inline]
-fn pack_tick(t: Option<Tick>) -> i64 {
+pub(crate) fn pack_tick(t: Option<Tick>) -> i64 {
     t.unwrap_or(NONE_TICK)
 }
 
@@ -157,30 +216,30 @@ fn pack_tick(t: Option<Tick>) -> i64 {
 /// never collide with the undefined encoding. Used identically by both
 /// engines so saturated rows stay bit-comparable.
 #[inline]
-fn saturate_reset(cur: i64, cap: i64) -> i64 {
+pub(crate) fn saturate_reset(cur: i64, cap: i64) -> i64 {
     cur.saturating_sub(cap)
         .saturating_sub(1)
         .max(NONE_TICK + 1)
 }
 
 #[inline]
-fn pack_meta(state: StateId, started: bool) -> u64 {
+pub(crate) fn pack_meta(state: StateId, started: bool) -> u64 {
     ((state.index() as u64) << 1) | u64::from(started)
 }
 
 #[inline]
-fn meta_state(m: u64) -> StateId {
+pub(crate) fn meta_state(m: u64) -> StateId {
     StateId((m >> 1) as usize)
 }
 
 #[inline]
-fn meta_started(m: u64) -> bool {
+pub(crate) fn meta_started(m: u64) -> bool {
     m & 1 == 1
 }
 
 /// FxHash-style mix over a packed configuration (meta word + reset row).
 #[inline]
-fn hash_row(meta: u64, row: &[i64]) -> u64 {
+pub(crate) fn hash_row(meta: u64, row: &[i64]) -> u64 {
     const K: u64 = 0x9E37_79B9_7F4A_7C15;
     let mut h = (meta ^ 0xA076_1D64_78BD_642F).wrapping_mul(K);
     for &w in row {
@@ -199,7 +258,7 @@ const EMPTY_SLOT: u64 = u64::MAX;
 /// every run without re-zeroing (the standard timestamped-hash-table
 /// trick). Keys live in the caller's row pool — the table only compares
 /// via callbacks, so nothing is ever cloned.
-struct DedupTable {
+pub(crate) struct DedupTable {
     slots: Vec<u64>,
     gen: u32,
     len: usize,
@@ -215,7 +274,7 @@ impl DedupTable {
     }
 
     /// Invalidates every entry in O(1) (generation bump).
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.len = 0;
         // `EMPTY_SLOT` carries generation u32::MAX: never reach it.
         if self.gen >= u32::MAX - 1 {
@@ -239,7 +298,7 @@ impl DedupTable {
     /// compares against previously inserted index `j`, `hash_of(j)`
     /// re-hashes it (used only when the table grows). Returns whether the
     /// entry is new.
-    fn insert(
+    pub(crate) fn insert(
         &mut self,
         hash: u64,
         idx: u32,
@@ -310,16 +369,16 @@ struct Prov {
 #[derive(Default)]
 pub struct MatcherScratch {
     /// Current frontier: packed state/started per configuration.
-    meta: Vec<u64>,
+    pub(crate) meta: Vec<u64>,
     /// Current frontier reset rows, stride = number of clocks.
-    rows: Vec<i64>,
-    next_meta: Vec<u64>,
-    next_rows: Vec<i64>,
-    table: DedupTable,
+    pub(crate) rows: Vec<i64>,
+    pub(crate) next_meta: Vec<u64>,
+    pub(crate) next_rows: Vec<i64>,
+    pub(crate) table: DedupTable,
     /// Packed covering ticks of the current event, one per clock.
-    ticks: Vec<i64>,
+    pub(crate) ticks: Vec<i64>,
     /// Per-clock column index for column-reading runs.
-    clock_cols: Vec<Option<usize>>,
+    pub(crate) clock_cols: Vec<Option<usize>>,
     // `find_occurrence` arena (configurations with provenance).
     arena_meta: Vec<u64>,
     arena_rows: Vec<i64>,
@@ -343,15 +402,20 @@ impl MatcherScratch {
 }
 
 /// A reusable matcher for one TAG.
+///
+/// Cloning is cheap (the guard-constant table is shared), which is how the
+/// batch entry points hand the engine to a per-run [`MatchSession`]
+/// without allocating.
+#[derive(Clone)]
 pub struct Matcher<'a> {
-    tag: &'a Tag,
-    opts: MatchOptions,
+    pub(crate) tag: &'a Tag,
+    pub(crate) opts: MatchOptions,
     /// Per clock, the largest constant it is compared against in any guard.
     /// Clock readings beyond this are indistinguishable from each other now
     /// and forever (readings only grow between resets), so configurations
     /// are canonicalized by saturating such resets — this is what keeps the
     /// frontier bounded by `(|V|·K)^p` instead of `|σ|` (Theorem 4).
-    max_consts: Vec<i64>,
+    max_consts: std::sync::Arc<[i64]>,
 }
 
 impl<'a> Matcher<'a> {
@@ -369,7 +433,7 @@ impl<'a> Matcher<'a> {
         Matcher {
             tag,
             opts,
-            max_consts,
+            max_consts: max_consts.into(),
         }
     }
 
@@ -816,13 +880,13 @@ impl<'a> Matcher<'a> {
         Ok(None)
     }
 
-    fn clock_tick(&self, x: ClockId, t: Second) -> Option<Tick> {
+    pub(crate) fn clock_tick(&self, x: ClockId, t: Second) -> Option<Tick> {
         self.tag.clocks[x.index()].1.covering_tick(t)
     }
 
     /// Resolves every clock's covering tick at instant `t` into the packed
     /// row `out`.
-    fn fill_ticks_direct(&self, t: Second, out: &mut [i64]) {
+    pub(crate) fn fill_ticks_direct(&self, t: Second, out: &mut [i64]) {
         for (x, slot) in out.iter_mut().enumerate() {
             *slot = pack_tick(self.clock_tick(ClockId(x), t));
         }
@@ -837,7 +901,7 @@ impl<'a> Matcher<'a> {
     /// representative is clamped away from the [`NONE_TICK`] encoding
     /// (mirrored exactly in the reference engine's
     /// [`canonicalize`](Self::canonicalize)).
-    fn canonicalize_packed(&self, row: &mut [i64], ticks: &[i64]) {
+    pub(crate) fn canonicalize_packed(&self, row: &mut [i64], ticks: &[i64]) {
         if !self.opts.saturate {
             return;
         }
@@ -854,7 +918,7 @@ impl<'a> Matcher<'a> {
 
     /// Seeds the packed frontier with the start states, all clocks reset to
     /// the given tick row.
-    fn seed_frontier_packed(
+    pub(crate) fn seed_frontier_packed(
         &self,
         meta: &mut Vec<u64>,
         rows: &mut Vec<i64>,
@@ -892,7 +956,7 @@ impl<'a> Matcher<'a> {
     /// Writes the next frontier into `next_meta`/`next_rows` and returns
     /// whether any *newly created* configuration is accepting.
     #[allow(clippy::too_many_arguments)]
-    fn advance_packed(
+    pub(crate) fn advance_packed(
         &self,
         meta: &[u64],
         rows: &[i64],
@@ -1020,10 +1084,13 @@ impl<'a> Matcher<'a> {
         run
     }
 
-    /// The uninstrumented simulation loop behind
-    /// [`run_scratch_core`](Self::run_scratch_core); `frontier_hist`, when
-    /// present, collects the post-advance frontier size at every event.
-    #[allow(clippy::too_many_arguments)]
+    /// The simulation loop behind
+    /// [`run_scratch_core`](Self::run_scratch_core) — since the
+    /// [`MatchSession`](crate::MatchSession) redesign, a thin wrapper over
+    /// a session: construct (donating the caller's scratch), push every
+    /// event, read the verdict back out. There is exactly one engine;
+    /// batch runs are replayed streams. `frontier_hist`, when present,
+    /// collects the post-advance frontier size at every event.
     fn run_scratch_loop(
         &self,
         events: &[Event],
@@ -1033,15 +1100,12 @@ impl<'a> Matcher<'a> {
         frontier_hist: &mut Option<Histogram>,
         limits: Option<&Limits>,
     ) -> BoundedRun {
-        let mut stats = RunStats::default();
-
         // Empty input: accepted iff a start state is accepting.
         if events.is_empty() {
-            stats.accepted = self
-                .tag
-                .start_states()
-                .iter()
-                .any(|&s| self.tag.is_accepting(s));
+            let stats = RunStats {
+                accepted: self.start_accepting(),
+                ..RunStats::default()
+            };
             return BoundedRun {
                 stats,
                 verdict: Verdict::Completed,
@@ -1049,76 +1113,82 @@ impl<'a> Matcher<'a> {
         }
         tgm_limits::fail::point("tag.matcher.run", limits);
 
-        let n = self.tag.clocks.len();
-        let MatcherScratch {
-            meta,
-            rows,
-            next_meta,
-            next_rows,
-            table,
-            ticks,
-            ..
-        } = scratch;
-        ticks.clear();
-        ticks.resize(n, NONE_TICK);
-
-        fill_ticks(0, &events[0], ticks);
-        self.seed_frontier_packed(meta, rows, table, ticks);
-        if early_exit && meta.iter().any(|&m| self.tag.is_accepting(meta_state(m))) {
-            stats.accepted = true;
+        // Early exit before any event is consumed: the seeded frontier is
+        // exactly the start states, so length-0 prefix acceptance is a
+        // start-state scan.
+        if early_exit && self.start_accepting() {
+            let stats = RunStats {
+                accepted: true,
+                ..RunStats::default()
+            };
             return BoundedRun {
                 stats,
                 verdict: Verdict::Completed,
             };
         }
 
+        let mut session = crate::session::MatchSession::for_batch(
+            self.clone(),
+            std::mem::take(scratch),
+            limits.cloned(),
+            frontier_hist.take(),
+        );
+        let mut outcome = None;
         for (i, e) in events.iter().enumerate() {
-            // Cooperative poll: cancellation and the deadline are observed
-            // between events, never mid-advance, so partial stats always
-            // describe a whole-event prefix.
-            if let Some(l) = limits {
-                if let Err(int) = l.check() {
-                    return BoundedRun {
-                        stats,
+            match session.push_with(e, |ticks| fill_ticks(i, e, ticks)) {
+                crate::session::Push::Interrupted(int) => {
+                    outcome = Some(BoundedRun {
+                        stats: session.raw_stats(),
                         verdict: int.into(),
-                    };
+                    });
+                    break;
                 }
-            }
-            fill_ticks(i, e, ticks);
-            let reached_accepting =
-                self.advance_packed(meta, rows, next_meta, next_rows, table, ticks, e, &mut stats);
-            std::mem::swap(meta, next_meta);
-            std::mem::swap(rows, next_rows);
-            if let Some(h) = frontier_hist.as_mut() {
-                h.record(meta.len() as u64);
-            }
-            if early_exit && reached_accepting {
-                stats.accepted = true;
-                return BoundedRun {
-                    stats,
-                    verdict: Verdict::Completed,
-                };
-            }
-            if meta.is_empty() {
-                break;
-            }
-            // Row budget: the frontier pool just materialized this many
-            // packed rows; exceeding the cap is deterministic for a fixed
-            // input and budget.
-            if let Some(l) = limits {
-                if l.budget_exceeded(stats.peak_configs as u64) {
-                    return BoundedRun {
-                        stats,
-                        verdict: Interrupt::BudgetExhausted.into(),
-                    };
+                // Unreachable: the loop breaks as soon as the session dies.
+                crate::session::Push::Dead => break,
+                crate::session::Push::Advanced { completed } => {
+                    // Acceptance wins over a same-event budget trip.
+                    if early_exit && completed {
+                        let mut stats = session.raw_stats();
+                        stats.accepted = true;
+                        outcome = Some(BoundedRun {
+                            stats,
+                            verdict: Verdict::Completed,
+                        });
+                        break;
+                    }
+                    if let Some(int) = session.interrupted() {
+                        outcome = Some(BoundedRun {
+                            stats: session.raw_stats(),
+                            verdict: int.into(),
+                        });
+                        break;
+                    }
+                    if session.is_dead() {
+                        break;
+                    }
                 }
             }
         }
-        stats.accepted = meta.iter().any(|&m| self.tag.is_accepting(meta_state(m)));
-        BoundedRun {
-            stats,
-            verdict: Verdict::Completed,
-        }
+        let run = outcome.unwrap_or_else(|| {
+            let mut stats = session.raw_stats();
+            stats.accepted = session.frontier_accepting();
+            BoundedRun {
+                stats,
+                verdict: Verdict::Completed,
+            }
+        });
+        let (recovered, hist) = session.into_parts();
+        *scratch = recovered;
+        *frontier_hist = hist;
+        run
+    }
+
+    /// Whether some start state is accepting (length-0 prefix acceptance).
+    pub(crate) fn start_accepting(&self) -> bool {
+        self.tag
+            .start_states()
+            .iter()
+            .any(|&s| self.tag.is_accepting(s))
     }
 }
 
@@ -1229,6 +1299,37 @@ impl<'a> Matcher<'a> {
             None,
         )
         .stats
+    }
+
+    /// Per-event completion oracle on the reference engine: the indices
+    /// of events at which some occurrence *completes* (a pattern
+    /// transition into an accepting state fires). These are exactly the
+    /// completion events a [`MatchSession`](crate::MatchSession) reports
+    /// while replaying the sequence, computed by an independent engine —
+    /// the session differential and eviction-soundness tests compare
+    /// against this.
+    pub fn completions_reference(&self, events: &[Event]) -> Vec<usize> {
+        let mut out = Vec::new();
+        if events.is_empty() {
+            return out;
+        }
+        let mut stats = RunStats::default();
+        let mut frontier = self.initial_frontier_reference(events[0].time);
+        for (i, e) in events.iter().enumerate() {
+            let cur_ticks: Vec<Option<Tick>> = (0..self.tag.clocks.len())
+                .map(|x| self.clock_tick(ClockId(x), e.time))
+                .collect();
+            let (next, reached) =
+                self.advance_with_reference(&frontier, e, &cur_ticks, &mut stats);
+            frontier = next;
+            if reached {
+                out.push(i);
+            }
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        out
     }
 
     /// The pre-packed-engine
@@ -1484,114 +1585,6 @@ impl<'a> Matcher<'a> {
             stats,
             verdict: Verdict::Completed,
         }
-    }
-}
-
-/// An *online* matcher: push events one at a time, get notified when an
-/// occurrence completes. Useful for monitoring live streams where
-/// re-running the batch [`Matcher`] per event would be quadratic.
-///
-/// The stream matcher never dies: like the constructed TAGs' skip loops,
-/// it keeps the frontier alive and counts every event at which some
-/// pattern transition completes an occurrence. Its frontier lives in an
-/// owned [`MatcherScratch`], so pushes allocate nothing in steady state.
-///
-/// ```
-/// use tgm_core::examples::{example_1, figure_1a_witness};
-/// use tgm_events::{Event, TypeRegistry};
-/// use tgm_granularity::Calendar;
-/// use tgm_tag::{build_tag, StreamMatcher};
-///
-/// let cal = Calendar::standard();
-/// let mut reg = TypeRegistry::new();
-/// let (cet, tys) = example_1(&cal, &mut reg);
-/// let tag = build_tag(&cet);
-/// let mut stream = StreamMatcher::new(&tag);
-/// let w = figure_1a_witness();
-/// assert!(!stream.push(Event::new(tys.ibm_rise, w[0])));
-/// assert!(!stream.push(Event::new(tys.ibm_report, w[1])));
-/// assert!(!stream.push(Event::new(tys.hp_rise, w[2])));
-/// assert!(stream.push(Event::new(tys.ibm_fall, w[3]))); // completed!
-/// assert_eq!(stream.completions(), 1);
-/// ```
-pub struct StreamMatcher<'a> {
-    matcher: Matcher<'a>,
-    scratch: MatcherScratch,
-    started: bool,
-    completions: u64,
-    stats: RunStats,
-}
-
-impl<'a> StreamMatcher<'a> {
-    /// An online matcher with default options.
-    pub fn new(tag: &'a Tag) -> Self {
-        Self::with_options(tag, MatchOptions::default())
-    }
-
-    /// An online matcher with explicit options.
-    pub fn with_options(tag: &'a Tag, opts: MatchOptions) -> Self {
-        StreamMatcher {
-            matcher: Matcher::with_options(tag, opts),
-            scratch: MatcherScratch::new(),
-            started: false,
-            completions: 0,
-            stats: RunStats::default(),
-        }
-    }
-
-    /// Consumes one event (timestamps must be non-decreasing). Returns
-    /// whether an occurrence *completed* at this event.
-    pub fn push(&mut self, e: Event) -> bool {
-        let n = self.matcher.tag.clocks.len();
-        let s = &mut self.scratch;
-        s.ticks.clear();
-        s.ticks.resize(n, NONE_TICK);
-        self.matcher.fill_ticks_direct(e.time, &mut s.ticks);
-        if !self.started {
-            self.matcher
-                .seed_frontier_packed(&mut s.meta, &mut s.rows, &mut s.table, &s.ticks);
-            self.started = true;
-        }
-        let completed = self.matcher.advance_packed(
-            &s.meta,
-            &s.rows,
-            &mut s.next_meta,
-            &mut s.next_rows,
-            &mut s.table,
-            &s.ticks,
-            &e,
-            &mut self.stats,
-        );
-        std::mem::swap(&mut s.meta, &mut s.next_meta);
-        std::mem::swap(&mut s.rows, &mut s.next_rows);
-        if completed {
-            self.completions += 1;
-        }
-        completed
-    }
-
-    /// Number of events at which an occurrence completed so far.
-    pub fn completions(&self) -> u64 {
-        self.completions
-    }
-
-    /// Current number of live configurations.
-    pub fn frontier_size(&self) -> usize {
-        self.scratch.meta.len()
-    }
-
-    /// Accumulated instrumentation.
-    pub fn stats(&self) -> RunStats {
-        self.stats
-    }
-
-    /// Forgets all progress (the next push re-seeds the frontier).
-    pub fn reset(&mut self) {
-        self.scratch.meta.clear();
-        self.scratch.rows.clear();
-        self.started = false;
-        self.completions = 0;
-        self.stats = RunStats::default();
     }
 }
 
@@ -1944,90 +1937,5 @@ mod tests {
             assert_eq!(m.run_reference(&gap_only, false), m.run(&gap_only, false));
             assert_eq!(m.run_reference(&gap_only, true), m.run(&gap_only, true));
         }
-    }
-}
-
-#[cfg(test)]
-mod stream_tests {
-    use tgm_events::{Event, EventType};
-    use tgm_granularity::Calendar;
-
-    use super::*;
-    use crate::automaton::{Symbol, TagBuilder};
-    use crate::constraint::ClockConstraint;
-
-    const DAY: i64 = 86_400;
-
-    fn next_day_tag() -> crate::Tag {
-        let cal = Calendar::standard();
-        let mut b = TagBuilder::new();
-        let x = b.clock("x_day", cal.get("day").unwrap());
-        let s0 = b.state("s0");
-        let s1 = b.state("s1");
-        let s2 = b.state("s2");
-        b.start(s0).accepting(s2);
-        b.transition(s0, s1, Symbol::Exact(EventType(0)), ClockConstraint::True, vec![x]);
-        b.transition(s1, s2, Symbol::Exact(EventType(1)), ClockConstraint::eq(x, 1), vec![]);
-        b.skip_loop(s0);
-        b.skip_loop(s1);
-        b.skip_loop(s2);
-        b.build()
-    }
-
-    #[test]
-    fn stream_reports_each_completion() {
-        let tag = next_day_tag();
-        let mut sm = StreamMatcher::new(&tag);
-        // Two A->B-next-day occurrences, with noise.
-        assert!(!sm.push(Event::new(EventType(0), 2 * DAY)));
-        assert!(!sm.push(Event::new(EventType(7), 2 * DAY + 100)));
-        assert!(sm.push(Event::new(EventType(1), 3 * DAY)));
-        assert!(!sm.push(Event::new(EventType(0), 10 * DAY)));
-        assert!(sm.push(Event::new(EventType(1), 11 * DAY)));
-        assert_eq!(sm.completions(), 2);
-        assert!(sm.frontier_size() >= 1);
-    }
-
-    #[test]
-    fn stream_agrees_with_batch_prefix_acceptance() {
-        let tag = next_day_tag();
-        let events = [
-            Event::new(EventType(0), 2 * DAY),
-            Event::new(EventType(1), 4 * DAY), // too late
-            Event::new(EventType(0), 6 * DAY),
-            Event::new(EventType(1), 7 * DAY), // completes
-        ];
-        let mut sm = StreamMatcher::new(&tag);
-        let mut completed_at = None;
-        for (i, &e) in events.iter().enumerate() {
-            if sm.push(e) && completed_at.is_none() {
-                completed_at = Some(i);
-            }
-        }
-        // Batch prefix acceptance flips exactly at the completion index.
-        let m = Matcher::new(&tag);
-        for i in 0..events.len() {
-            let prefix_accepts = m.matches_within(&events[..=i]);
-            assert_eq!(
-                prefix_accepts,
-                completed_at.is_some_and(|c| i >= c),
-                "prefix {i}"
-            );
-        }
-    }
-
-    #[test]
-    fn stream_reset() {
-        let tag = next_day_tag();
-        let mut sm = StreamMatcher::new(&tag);
-        sm.push(Event::new(EventType(0), 2 * DAY));
-        sm.push(Event::new(EventType(1), 3 * DAY));
-        assert_eq!(sm.completions(), 1);
-        sm.reset();
-        assert_eq!(sm.completions(), 0);
-        assert_eq!(sm.frontier_size(), 0);
-        // Works again after reset.
-        sm.push(Event::new(EventType(0), 20 * DAY));
-        assert!(sm.push(Event::new(EventType(1), 21 * DAY)));
     }
 }

@@ -1,0 +1,1006 @@
+//! Long-lived incremental matching sessions.
+//!
+//! A [`MatchSession`] is the one TAG engine: it owns the packed frontier
+//! of the NFA simulation (Theorem 4) plus its pooled scratch buffers, and
+//! advances them one event at a time via [`push`](MatchSession::push) /
+//! [`push_batch`](MatchSession::push_batch). Every batch entry point of
+//! [`Matcher`] (`run`, `run_columns`, `matches_within`, …) is a thin
+//! wrapper that constructs a session, pushes the whole slice and reads the
+//! verdict back — a batch run *is* a replayed stream, bit-identical in
+//! stats and occurrences (differentially tested).
+//!
+//! # Completions
+//!
+//! An occurrence *completes* at an event when a pattern (non-skip)
+//! transition into an accepting state fires. Completions are buffered and
+//! drained through [`completed`](MatchSession::completed), so a monitoring
+//! loop can push a batch and then react to everything that fired inside
+//! it.
+//!
+//! # Horizon eviction
+//!
+//! A long-running session with [`with_eviction`](MatchSession::with_eviction)
+//! periodically ages out frontier rows that can no longer influence any
+//! future completion:
+//!
+//! * rows at states from which no accepting state is graph-reachable are
+//!   dropped outright;
+//! * each surviving row is re-canonicalized against the *per-state*
+//!   residual guard constants: `fut[s][x]` is the largest constant clock
+//!   `x` is compared against on any path from state `s` before `x` is
+//!   reset (a location-based bounds fixpoint). A reading past `fut[s][x]`
+//!   can never again satisfy a `≤`-window and always satisfies the `≥`
+//!   side, so it is saturated to the canonical representative
+//!   `fut[s][x] + 1` and merged with its duplicates.
+//!
+//! The pass runs deterministically in *event time*, never wall-clock: it
+//! triggers when the stream has advanced past the session's **horizon** —
+//! the largest `maxsize(μ, K+1)` over clocks (the [`SizeTable`] bound of
+//! Theorem 4: once `maxsize(μ, K+1)` seconds elapse, the tick distance in
+//! `μ` provably exceeds the largest guard constant `K`) — or when the
+//! frontier doubles since the last pass. Eviction is sound for completions
+//! (proptested under arbitrary push-chunking) but merges rows earlier than
+//! plain saturation would, so [`RunStats`] counters like `peak_configs`
+//! may differ from a batch run; the batch wrappers therefore never enable
+//! it.
+//!
+//! [`SizeTable`]: tgm_granularity::SizeTable
+
+use tgm_events::{Event, TickColumns};
+use tgm_granularity::Second;
+use tgm_limits::{Interrupt, Limits, Verdict};
+use tgm_obs::metrics::{self, Histogram};
+use tgm_obs::{Observable, ObsValue};
+
+use crate::automaton::Tag;
+use crate::constraint::ClockId;
+use crate::matcher::{
+    collect_guard_consts, hash_row, meta_state, pack_tick, saturate_reset, BoundedRun,
+    MatchOptions, Matcher, MatcherScratch, RunStats, NONE_TICK,
+};
+
+/// The outcome of pushing one event into a [`MatchSession`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
+pub enum Push {
+    /// The event was consumed; `completed` reports whether at least one
+    /// occurrence completed at it.
+    Advanced {
+        /// Whether a pattern transition into an accepting state fired.
+        completed: bool,
+    },
+    /// The event was *not* consumed: every configuration died earlier (a
+    /// strict-updates gap, or an anchored frontier that ran out), so no
+    /// future event can complete an occurrence. [`MatchSession::reset`]
+    /// re-arms the session.
+    Dead,
+    /// The event was *not* consumed: the session was interrupted by its
+    /// [`Limits`] (sticky — every later push reports the same interrupt).
+    Interrupted(Interrupt),
+}
+
+impl Push {
+    /// Whether an occurrence completed at this event.
+    pub fn completed(&self) -> bool {
+        matches!(self, Push::Advanced { completed: true })
+    }
+}
+
+/// One completed occurrence, as observed by a [`MatchSession`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// 0-based index of the completing event in the session's stream
+    /// (counting every pushed event since construction or
+    /// [`reset`](MatchSession::reset)).
+    pub index: u64,
+    /// Timestamp of the completing event.
+    pub at: Second,
+}
+
+/// Accumulated counters of a [`MatchSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Events consumed so far.
+    pub events: usize,
+    /// Events at which at least one occurrence completed.
+    pub completions: u64,
+    /// Current live frontier rows.
+    pub frontier: usize,
+    /// Peak frontier rows (post-advance, pre-eviction).
+    pub peak_frontier: usize,
+    /// Total configuration expansions.
+    pub expansions: u64,
+    /// Successors rejected by per-event deduplication.
+    pub dedup_hits: u64,
+    /// Frontier rows dropped or merged by horizon eviction passes.
+    pub evicted_rows: u64,
+    /// Eviction passes run.
+    pub evictions: u64,
+    /// Why the session stopped early, if it did.
+    pub interrupted: Option<Interrupt>,
+}
+
+impl Observable for SessionStats {
+    fn observe(&self, out: &mut Vec<(&'static str, ObsValue)>) {
+        out.push(("events", self.events.into()));
+        out.push(("completions", self.completions.into()));
+        out.push(("frontier", self.frontier.into()));
+        out.push(("peak_frontier", self.peak_frontier.into()));
+        out.push(("expansions", self.expansions.into()));
+        out.push(("dedup_hits", self.dedup_hits.into()));
+        out.push(("evicted_rows", self.evicted_rows.into()));
+        out.push(("evictions", self.evictions.into()));
+    }
+}
+
+/// Precomputed eviction tables: accepting-state reachability plus the
+/// per-state residual guard constants (see the module docs).
+struct EvictionPlan {
+    /// Per state: whether an accepting state is graph-reachable.
+    can_accept: Vec<bool>,
+    /// Per `state * n_clocks + clock`: the largest constant the clock is
+    /// compared against on any path from the state before the clock is
+    /// reset; `-1` when no such comparison exists (the reading is inert).
+    fut_consts: Vec<i64>,
+    /// Event-time horizon in seconds: the largest `maxsize(μ, K+1)` over
+    /// clocks. `None` when the TAG has no clocks.
+    horizon: Option<i64>,
+    /// Evict when event time passes this point…
+    next_at: Option<Second>,
+    /// …or when the frontier reaches this many rows.
+    watermark: usize,
+}
+
+/// Frontier rows below which growth-triggered eviction is not worth it.
+const EVICT_MIN_WATERMARK: usize = 64;
+
+impl EvictionPlan {
+    fn new(tag: &Tag) -> Self {
+        let n_states = tag.n_states();
+        let n = tag.clocks().len();
+
+        // Reverse reachability of accepting states over the transition
+        // graph (symbols and guards over-approximated as satisfiable).
+        let mut can_accept: Vec<bool> = (0..n_states)
+            .map(|s| tag.is_accepting(crate::automaton::StateId(s)))
+            .collect();
+        loop {
+            let mut changed = false;
+            for s in 0..n_states {
+                if can_accept[s] {
+                    continue;
+                }
+                if tag
+                    .transitions_from(crate::automaton::StateId(s))
+                    .iter()
+                    .any(|tr| can_accept[tr.to.index()])
+                {
+                    can_accept[s] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Location-based clock bounds fixpoint: fut[s][x] is the largest
+        // constant x is compared against, reachable from s without an
+        // intervening reset of x. Guards fire with pre-reset readings, so
+        // a transition's own guard always counts; its target's residuals
+        // count unless the transition resets x.
+        let mut fut_consts = vec![-1i64; n_states * n.max(1)];
+        if n > 0 {
+            let mut local = vec![-1i64; n];
+            let mut per_tr: Vec<(usize, usize, Vec<i64>, Vec<bool>)> = Vec::new();
+            for s in 0..n_states {
+                for tr in tag.transitions_from(crate::automaton::StateId(s)) {
+                    local.iter_mut().for_each(|c| *c = -1);
+                    // collect_guard_consts takes max against the slice, and
+                    // every guard constant is >= 0, so -1 means "none".
+                    collect_guard_consts(&tr.guard, &mut local);
+                    let mut resets = vec![false; n];
+                    for &x in &tr.resets {
+                        resets[x.index()] = true;
+                    }
+                    per_tr.push((s, tr.to.index(), local.clone(), resets));
+                }
+            }
+            loop {
+                let mut changed = false;
+                for (s, to, consts, resets) in &per_tr {
+                    for x in 0..n {
+                        let mut c = consts[x];
+                        if !resets[x] {
+                            c = c.max(fut_consts[to * n + x]);
+                        }
+                        if c > fut_consts[s * n + x] {
+                            fut_consts[s * n + x] = c;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // The Theorem 4 horizon: once maxsize(μ, K+1) seconds elapse, the
+        // tick distance in μ provably exceeds K, the largest constant the
+        // clock is ever compared against — every un-reset reading is then
+        // saturated, so one pass per horizon keeps the frontier canonical.
+        let mut global_consts = vec![0i64; n];
+        for tr in tag.transitions() {
+            collect_guard_consts(&tr.guard, &mut global_consts);
+        }
+        let horizon = tag
+            .clocks()
+            .iter()
+            .zip(&global_consts)
+            .map(|((_, g), &k)| g.sizes().max_size(k.saturating_add(1).max(1) as u64))
+            .max();
+
+        EvictionPlan {
+            can_accept,
+            fut_consts,
+            horizon,
+            next_at: None,
+            watermark: EVICT_MIN_WATERMARK,
+        }
+    }
+}
+
+/// A long-lived incremental matcher for one TAG: the engine behind every
+/// batch entry point, usable directly for streams. See the
+/// [module docs](self) for the lifecycle and eviction semantics.
+///
+/// ```
+/// use tgm_core::examples::{example_1, figure_1a_witness};
+/// use tgm_events::{Event, TypeRegistry};
+/// use tgm_granularity::Calendar;
+/// use tgm_tag::{build_tag, MatchSession};
+///
+/// let cal = Calendar::standard();
+/// let mut reg = TypeRegistry::new();
+/// let (cet, tys) = example_1(&cal, &mut reg);
+/// let tag = build_tag(&cet);
+/// let mut session = MatchSession::new(&tag);
+/// let w = figure_1a_witness();
+/// assert!(!session.push(Event::new(tys.ibm_rise, w[0])).completed());
+/// assert!(!session.push(Event::new(tys.ibm_report, w[1])).completed());
+/// assert!(!session.push(Event::new(tys.hp_rise, w[2])).completed());
+/// assert!(session.push(Event::new(tys.ibm_fall, w[3])).completed());
+/// let fired: Vec<_> = session.completed().collect();
+/// assert_eq!(fired.len(), 1);
+/// assert_eq!(fired[0].index, 3);
+/// assert_eq!(session.stats().completions, 1);
+/// ```
+pub struct MatchSession<'a> {
+    matcher: Matcher<'a>,
+    scratch: MatcherScratch,
+    limits: Option<Limits>,
+    stats: RunStats,
+    /// Sticky interrupt: set once, reported by every later push.
+    interrupt: Option<Interrupt>,
+    /// Frontier seeded (first event consumed or mid-stream).
+    seeded: bool,
+    /// Frontier emptied: no future completion is possible.
+    dead: bool,
+    events_pushed: u64,
+    completions: Vec<Completion>,
+    total_completions: u64,
+    evicted_rows: u64,
+    evictions: u64,
+    eviction: Option<EvictionPlan>,
+    /// Per-event frontier histogram (metrics only). Batch wrappers thread
+    /// their own through [`for_batch`](Self::for_batch) and merge it under
+    /// the historical `tag.matcher.*` names; sessions finalize it under
+    /// `tag.session.frontier`.
+    hist: Option<Histogram>,
+    /// Column binding for [`push_row`](Self::push_row): instance ids of
+    /// the bound columns' granularities, and the clock → column mapping.
+    col_ids: Vec<u64>,
+    col_map: Vec<Option<usize>>,
+}
+
+impl<'a> MatchSession<'a> {
+    /// A session with default options, no limits, eviction off.
+    pub fn new(tag: &'a Tag) -> Self {
+        Self::with_options(tag, MatchOptions::default())
+    }
+
+    /// A session with explicit options. Without
+    /// [`with_eviction`](Self::with_eviction) the replayed stream is
+    /// bit-identical to a batch [`Matcher::run`] over the same events.
+    pub fn with_options(tag: &'a Tag, opts: MatchOptions) -> Self {
+        let metrics_on = opts.obs.metrics_on();
+        Self::from_parts(
+            Matcher::with_options(tag, opts),
+            MatcherScratch::new(),
+            None,
+            metrics_on.then(Histogram::new),
+        )
+    }
+
+    /// Wrapper constructor for the batch entry points: donated scratch,
+    /// borrowed limits, externally owned histogram, eviction off.
+    pub(crate) fn for_batch(
+        matcher: Matcher<'a>,
+        scratch: MatcherScratch,
+        limits: Option<Limits>,
+        hist: Option<Histogram>,
+    ) -> Self {
+        Self::from_parts(matcher, scratch, limits, hist)
+    }
+
+    fn from_parts(
+        matcher: Matcher<'a>,
+        scratch: MatcherScratch,
+        limits: Option<Limits>,
+        hist: Option<Histogram>,
+    ) -> Self {
+        MatchSession {
+            matcher,
+            scratch,
+            limits,
+            stats: RunStats::default(),
+            interrupt: None,
+            seeded: false,
+            dead: false,
+            events_pushed: 0,
+            completions: Vec::new(),
+            total_completions: 0,
+            evicted_rows: 0,
+            evictions: 0,
+            eviction: None,
+            hist,
+            col_ids: Vec::new(),
+            col_map: Vec::new(),
+        }
+    }
+
+    /// Bounds the session: [`Limits::check`] is polled before each event
+    /// and the frontier-row budget after each (budget unit = frontier
+    /// rows, the Theorem 4 space measure). An interrupt is sticky; see
+    /// [`Push::Interrupted`].
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Donates pooled scratch buffers (e.g. recovered from a previous
+    /// session via [`finish`](Self::finish)), so steady-state pushes
+    /// allocate nothing from the first event.
+    pub fn with_scratch(mut self, scratch: MatcherScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Enables deterministic horizon eviction (see the [module
+    /// docs](self)). Sound for completions under any push-chunking
+    /// (proptested); [`RunStats`] counters may differ from a batch run.
+    pub fn with_eviction(mut self) -> Self {
+        self.eviction = Some(EvictionPlan::new(self.matcher.tag));
+        self
+    }
+
+    /// The Theorem 4 frontier bound `2·|V|·∏(Kₓ+3)` (states × started
+    /// flag × canonical readings per clock: undefined, `0..=K`, and the
+    /// saturated representative). With saturation on (the default) the
+    /// live frontier never exceeds it, streamed or batch; the long-stream
+    /// CI check asserts exactly this.
+    pub fn frontier_bound(&self) -> u64 {
+        let tag = self.matcher.tag;
+        let mut consts = vec![0i64; tag.clocks().len()];
+        for tr in tag.transitions() {
+            collect_guard_consts(&tr.guard, &mut consts);
+        }
+        let mut bound = (tag.n_states() as u64).saturating_mul(2);
+        for k in consts {
+            bound = bound.saturating_mul((k.max(0) as u64).saturating_add(3));
+        }
+        bound
+    }
+
+    // -- push paths ---------------------------------------------------------
+
+    /// Consumes one event (timestamps must be non-decreasing), resolving
+    /// each clock's covering tick directly.
+    pub fn push(&mut self, e: Event) -> Push {
+        if let Some(p) = self.pre_check() {
+            return p;
+        }
+        let n = self.matcher.tag.clocks().len();
+        self.scratch.ticks.clear();
+        self.scratch.ticks.resize(n, NONE_TICK);
+        let Self {
+            matcher, scratch, ..
+        } = self;
+        matcher.fill_ticks_direct(e.time, &mut scratch.ticks);
+        self.advance(&e)
+    }
+
+    /// Pushes a slice of events, stopping at the first death or
+    /// interrupt; returns how many events were consumed. Completions land
+    /// in the [`completed`](Self::completed) drain. Emits one
+    /// `session.push` span per call (never per event) when span
+    /// observability is on.
+    pub fn push_batch(&mut self, events: &[Event]) -> usize {
+        let _span = tgm_obs::span::span_if(self.matcher.opts.obs.spans, "session.push");
+        let before = self.stats.events;
+        for &e in events {
+            match self.push(e) {
+                Push::Advanced { .. } => {}
+                Push::Dead | Push::Interrupted(_) => break,
+            }
+        }
+        let consumed = self.stats.events - before;
+        if self.matcher.opts.obs.metrics_on() {
+            metrics::counter_add("tag.session.events", consumed as u64);
+        }
+        consumed
+    }
+
+    /// Like [`push`](Self::push), but the event's covering ticks are read
+    /// from pre-resolved [`TickColumns`] at `row` (clocks without a
+    /// column fall back to direct resolution). The columns may grow
+    /// between pushes — pair this with
+    /// [`TickColumns::append`](tgm_events::TickColumns::append) to
+    /// resolve a live stream incrementally in chunks.
+    pub fn push_row(&mut self, e: Event, cols: &TickColumns, row: usize) -> Push {
+        assert!(row < cols.len(), "row {row} out of {} column rows", cols.len());
+        if let Some(p) = self.pre_check() {
+            return p;
+        }
+        self.bind_columns(cols);
+        let n = self.matcher.tag.clocks().len();
+        self.scratch.ticks.clear();
+        self.scratch.ticks.resize(n, NONE_TICK);
+        let Self {
+            matcher,
+            scratch,
+            col_map,
+            ..
+        } = self;
+        for (x, c) in col_map.iter().enumerate() {
+            scratch.ticks[x] = match c {
+                Some(c) => pack_tick(cols.tick(*c, row)),
+                None => pack_tick(matcher.clock_tick(ClockId(x), e.time)),
+            };
+        }
+        self.advance(&e)
+    }
+
+    /// Batch-wrapper push: the caller fills the packed tick row.
+    pub(crate) fn push_with(&mut self, e: &Event, fill: impl FnOnce(&mut [i64])) -> Push {
+        if let Some(p) = self.pre_check() {
+            return p;
+        }
+        let n = self.matcher.tag.clocks().len();
+        self.scratch.ticks.clear();
+        self.scratch.ticks.resize(n, NONE_TICK);
+        fill(&mut self.scratch.ticks);
+        self.advance(e)
+    }
+
+    /// Refreshes the clock → column mapping when the bound column set
+    /// changed (cheap instance-id comparison per push).
+    fn bind_columns(&mut self, cols: &TickColumns) {
+        let ids = cols.granularities().iter().map(|g| g.instance_id());
+        if self.col_ids.len() == cols.granularities().len() && ids.clone().eq(self.col_ids.iter().copied())
+        {
+            return;
+        }
+        self.col_ids.clear();
+        self.col_ids.extend(ids);
+        self.col_map.clear();
+        self.col_map
+            .extend(self.matcher.tag.clocks().iter().map(|(_, g)| cols.index_of(g)));
+    }
+
+    /// Shared pre-push gate: sticky interrupt, death, and the cooperative
+    /// limits poll (cancellation + deadline), in the batch engine's exact
+    /// order.
+    fn pre_check(&mut self) -> Option<Push> {
+        if let Some(i) = self.interrupt {
+            return Some(Push::Interrupted(i));
+        }
+        if self.dead {
+            return Some(Push::Dead);
+        }
+        if let Some(l) = &self.limits {
+            if let Err(i) = l.check() {
+                self.interrupt = Some(i);
+                return Some(Push::Interrupted(i));
+            }
+        }
+        None
+    }
+
+    /// The per-event core, mirroring the historical batch loop operation
+    /// for operation (seed lazily on the first event with its tick row,
+    /// advance, swap, record, then death before budget): this is what
+    /// keeps stream replay bit-identical to batch runs.
+    fn advance(&mut self, e: &Event) -> Push {
+        let s = &mut self.scratch;
+        if !self.seeded {
+            self.matcher
+                .seed_frontier_packed(&mut s.meta, &mut s.rows, &mut s.table, &s.ticks);
+            self.seeded = true;
+        }
+        let completed = self.matcher.advance_packed(
+            &s.meta,
+            &s.rows,
+            &mut s.next_meta,
+            &mut s.next_rows,
+            &mut s.table,
+            &s.ticks,
+            e,
+            &mut self.stats,
+        );
+        std::mem::swap(&mut s.meta, &mut s.next_meta);
+        std::mem::swap(&mut s.rows, &mut s.next_rows);
+        if let Some(h) = self.hist.as_mut() {
+            h.record(s.meta.len() as u64);
+        }
+        let index = self.events_pushed;
+        self.events_pushed += 1;
+        if completed {
+            self.total_completions += 1;
+            self.completions.push(Completion { index, at: e.time });
+        }
+        if self.eviction.is_some() && !self.scratch.meta.is_empty() {
+            self.maybe_evict(e.time);
+        }
+        if self.scratch.meta.is_empty() {
+            self.dead = true;
+            return Push::Advanced { completed };
+        }
+        if let Some(l) = &self.limits {
+            if l.budget_exceeded(self.stats.peak_configs as u64) {
+                self.interrupt = Some(Interrupt::BudgetExhausted);
+            }
+        }
+        Push::Advanced { completed }
+    }
+
+    // -- eviction -----------------------------------------------------------
+
+    /// Runs the eviction pass when the event-time horizon has elapsed or
+    /// the frontier doubled since the last pass (both deterministic in the
+    /// pushed events).
+    fn maybe_evict(&mut self, now: Second) {
+        let plan = match &mut self.eviction {
+            Some(p) => p,
+            None => return,
+        };
+        let time_due = match (plan.horizon, plan.next_at) {
+            (Some(h), Some(at)) => {
+                if now >= at {
+                    plan.next_at = Some(now.saturating_add(h));
+                    true
+                } else {
+                    false
+                }
+            }
+            (Some(h), None) => {
+                plan.next_at = Some(now.saturating_add(h));
+                false
+            }
+            (None, _) => false,
+        };
+        let growth_due = self.scratch.meta.len() >= plan.watermark;
+        if !time_due && !growth_due {
+            return;
+        }
+        self.evict(now);
+    }
+
+    /// One deterministic eviction pass: drop rows that cannot reach an
+    /// accepting state, saturate each survivor against its state's
+    /// residual guard constants, and merge the duplicates that creates.
+    fn evict(&mut self, now: Second) {
+        let _span = tgm_obs::span::span_if(self.matcher.opts.obs.spans, "session.evict");
+        let plan = match &self.eviction {
+            Some(p) => p,
+            None => return,
+        };
+        let n = self.matcher.tag.clocks().len();
+        let s = &mut self.scratch;
+        let before = s.meta.len();
+        s.next_meta.clear();
+        s.next_rows.clear();
+        s.table.reset();
+        for (ci, &m) in s.meta.iter().enumerate() {
+            let state = meta_state(m).index();
+            if !plan.can_accept[state] {
+                continue;
+            }
+            let idx = s.next_meta.len() as u32;
+            s.next_rows.extend_from_slice(&s.rows[ci * n..ci * n + n]);
+            let (done, staged) = s.next_rows.split_at_mut(idx as usize * n);
+            let staged = &mut staged[..n];
+            // Saturate against the per-state residual constants. `ticks`
+            // still holds the current event's row; clocks in a gap right
+            // now keep their reset (their reading is undefined until the
+            // next covered event, when a later pass can revisit them).
+            for (x, r) in staged.iter_mut().enumerate() {
+                let cur = s.ticks[x];
+                if cur == NONE_TICK || *r == NONE_TICK {
+                    continue;
+                }
+                let cap = plan.fut_consts[state * n + x];
+                if cur.saturating_sub(*r) > cap {
+                    *r = saturate_reset(cur, cap);
+                }
+            }
+            let staged: &[i64] = staged;
+            let done: &[i64] = done;
+            let h = hash_row(m, staged);
+            let fm: &[u64] = &s.next_meta;
+            let is_new = s.table.insert(
+                h,
+                idx,
+                |j| fm[j as usize] == m && &done[j as usize * n..(j as usize + 1) * n] == staged,
+                |j| hash_row(fm[j as usize], &done[j as usize * n..(j as usize + 1) * n]),
+            );
+            if is_new {
+                s.next_meta.push(m);
+            } else {
+                s.next_rows.truncate(idx as usize * n);
+            }
+        }
+        std::mem::swap(&mut s.meta, &mut s.next_meta);
+        std::mem::swap(&mut s.rows, &mut s.next_rows);
+        let after = s.meta.len();
+        self.evicted_rows += (before - after) as u64;
+        self.evictions += 1;
+        if let Some(plan) = &mut self.eviction {
+            plan.watermark = EVICT_MIN_WATERMARK.max(after * 2);
+        }
+        if self.matcher.opts.obs.metrics_on() {
+            metrics::counter_add("tag.session.evictions", 1);
+            metrics::counter_add("tag.session.evicted_rows", (before - after) as u64);
+        }
+        let _ = now;
+    }
+
+    // -- inspection ---------------------------------------------------------
+
+    /// Drains the completions buffered since the last call, oldest first.
+    pub fn completed(&mut self) -> std::vec::Drain<'_, Completion> {
+        self.completions.drain(..)
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            events: self.stats.events,
+            completions: self.total_completions,
+            frontier: self.scratch.meta.len(),
+            peak_frontier: self.stats.peak_configs,
+            expansions: self.stats.expansions,
+            dedup_hits: self.stats.dedup_hits,
+            evicted_rows: self.evicted_rows,
+            evictions: self.evictions,
+            interrupted: self.interrupt,
+        }
+    }
+
+    /// Current live frontier rows.
+    pub fn frontier_size(&self) -> usize {
+        self.scratch.meta.len()
+    }
+
+    /// Whether the frontier died (see [`Push::Dead`]).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The sticky interrupt, if the session was stopped by its limits.
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        self.interrupt
+    }
+
+    /// Forgets all progress — frontier, stats, completions, interrupt —
+    /// keeping the grown buffer capacity. The next push re-seeds.
+    pub fn reset(&mut self) {
+        self.scratch.meta.clear();
+        self.scratch.rows.clear();
+        self.stats = RunStats::default();
+        self.interrupt = None;
+        self.seeded = false;
+        self.dead = false;
+        self.events_pushed = 0;
+        self.completions.clear();
+        self.total_completions = 0;
+        self.evicted_rows = 0;
+        self.evictions = 0;
+        if let Some(plan) = &mut self.eviction {
+            plan.next_at = None;
+            plan.watermark = EVICT_MIN_WATERMARK;
+        }
+    }
+
+    // -- finalize -----------------------------------------------------------
+
+    /// Finishes the session with the batch-compatible verdict: the
+    /// familiar [`BoundedRun`] whose `stats.accepted` is the final
+    /// frontier acceptance scan (exactly [`Matcher::run`] over the pushed
+    /// prefix), or `Interrupted` with prefix stats if the limits tripped.
+    /// Merges the session's metrics under `tag.session.*`.
+    pub fn finalize(self) -> BoundedRun {
+        self.finish().0
+    }
+
+    /// [`finalize`](Self::finalize), additionally returning the pooled
+    /// scratch so a follow-up session can reuse the grown buffers.
+    pub fn finish(mut self) -> (BoundedRun, MatcherScratch) {
+        let run = match self.interrupt {
+            Some(i) => BoundedRun {
+                stats: self.stats,
+                verdict: i.into(),
+            },
+            None => {
+                let mut stats = self.stats;
+                // An unseeded (never pushed) session accepts iff a start
+                // state accepts — the same answer a batch run gives for
+                // the empty sequence.
+                stats.accepted = if self.seeded {
+                    self.frontier_accepting()
+                } else {
+                    self.matcher.start_accepting()
+                };
+                BoundedRun {
+                    stats,
+                    verdict: Verdict::Completed,
+                }
+            }
+        };
+        if self.matcher.opts.obs.metrics_on() {
+            metrics::counter_add("tag.session.finalized", 1);
+            metrics::counter_add("tag.session.completions", self.total_completions);
+            if let Some(hist) = self.hist.take() {
+                metrics::histogram_merge("tag.session.frontier", &hist);
+            }
+        }
+        (run, std::mem::take(&mut self.scratch))
+    }
+
+    /// Raw batch-engine counters (accepted not yet resolved).
+    pub(crate) fn raw_stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Whether the live frontier holds an accepting configuration.
+    pub(crate) fn frontier_accepting(&self) -> bool {
+        self.scratch
+            .meta
+            .iter()
+            .any(|&m| self.matcher.tag.is_accepting(meta_state(m)))
+    }
+
+    /// Tears the wrapper session back into its donated parts.
+    pub(crate) fn into_parts(mut self) -> (MatcherScratch, Option<Histogram>) {
+        (std::mem::take(&mut self.scratch), self.hist.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_events::{Event, EventType};
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::automaton::{Symbol, TagBuilder};
+    use crate::constraint::ClockConstraint;
+
+    const DAY: i64 = 86_400;
+
+    fn ev(ty: u32, t: i64) -> Event {
+        Event::new(EventType(ty), t)
+    }
+
+    fn next_day_tag() -> crate::Tag {
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let x = b.clock("x_day", cal.get("day").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.start(s0).accepting(s2);
+        b.transition(s0, s1, Symbol::Exact(EventType(0)), ClockConstraint::True, vec![x]);
+        b.transition(s1, s2, Symbol::Exact(EventType(1)), ClockConstraint::eq(x, 1), vec![]);
+        b.skip_loop(s0);
+        b.skip_loop(s1);
+        b.skip_loop(s2);
+        b.build()
+    }
+
+    #[test]
+    fn session_reports_each_completion() {
+        let tag = next_day_tag();
+        let mut session = MatchSession::new(&tag);
+        assert!(!session.push(ev(0, 2 * DAY)).completed());
+        assert!(!session.push(ev(7, 2 * DAY + 100)).completed());
+        assert!(session.push(ev(1, 3 * DAY)).completed());
+        assert!(!session.push(ev(0, 10 * DAY)).completed());
+        assert!(session.push(ev(1, 11 * DAY)).completed());
+        let fired: Vec<_> = session.completed().collect();
+        assert_eq!(
+            fired,
+            vec![
+                Completion { index: 2, at: 3 * DAY },
+                Completion { index: 4, at: 11 * DAY }
+            ]
+        );
+        // Drained: a second call yields nothing.
+        assert_eq!(session.completed().count(), 0);
+        let stats = session.stats();
+        assert_eq!(stats.completions, 2);
+        assert_eq!(stats.events, 5);
+        assert!(stats.frontier >= 1);
+    }
+
+    #[test]
+    fn session_agrees_with_batch_prefix_acceptance() {
+        let tag = next_day_tag();
+        let events = [
+            ev(0, 2 * DAY),
+            ev(1, 4 * DAY), // too late
+            ev(0, 6 * DAY),
+            ev(1, 7 * DAY), // completes
+        ];
+        let mut session = MatchSession::new(&tag);
+        let mut completed_at = None;
+        for (i, &e) in events.iter().enumerate() {
+            if session.push(e).completed() && completed_at.is_none() {
+                completed_at = Some(i);
+            }
+        }
+        let m = Matcher::new(&tag);
+        for i in 0..events.len() {
+            let prefix_accepts = m.matches_within(&events[..=i]);
+            assert_eq!(
+                prefix_accepts,
+                completed_at.is_some_and(|c| i >= c),
+                "prefix {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_matches_batch_run() {
+        let tag = next_day_tag();
+        let events = [ev(0, 2 * DAY), ev(7, 2 * DAY + 50), ev(1, 3 * DAY)];
+        let m = Matcher::new(&tag);
+        let batch = m.run(&events, false);
+        let mut session = MatchSession::new(&tag);
+        assert_eq!(session.push_batch(&events), 3);
+        let run = session.finalize();
+        assert_eq!(run.stats, batch);
+        assert!(run.verdict.is_complete());
+    }
+
+    #[test]
+    fn session_reset_rearms() {
+        let tag = next_day_tag();
+        let mut session = MatchSession::new(&tag);
+        let _ = session.push(ev(0, 2 * DAY));
+        assert!(session.push(ev(1, 3 * DAY)).completed());
+        assert_eq!(session.stats().completions, 1);
+        session.reset();
+        assert_eq!(session.stats().completions, 0);
+        assert_eq!(session.frontier_size(), 0);
+        let _ = session.push(ev(0, 20 * DAY));
+        assert!(session.push(ev(1, 21 * DAY)).completed());
+    }
+
+    #[test]
+    fn dead_session_stays_dead_until_reset() {
+        // Strict updates + a business-day gap kill every configuration.
+        let cal = Calendar::standard();
+        let mut b = TagBuilder::new();
+        let x = b.clock("x_bday", cal.get("business-day").unwrap());
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.start(s0).accepting(s1);
+        b.transition(s0, s1, Symbol::Exact(EventType(0)), ClockConstraint::Le(x, 1), vec![]);
+        b.skip_loop(s0);
+        let tag = b.build();
+        let opts = MatchOptions::builder().strict_updates(true).build();
+        let mut session = MatchSession::with_options(&tag, opts);
+        // Day 7 = Saturday 2000-01-08: no business-day tick.
+        assert_eq!(session.push(ev(9, 7 * DAY)), Push::Advanced { completed: false });
+        assert!(session.is_dead());
+        assert_eq!(session.push(ev(0, 10 * DAY)), Push::Dead);
+        assert_eq!(session.stats().events, 1);
+        session.reset();
+        assert!(session.push(ev(0, 10 * DAY)).completed());
+    }
+
+    #[test]
+    fn budget_interrupt_is_sticky() {
+        let tag = next_day_tag();
+        let mut session =
+            MatchSession::new(&tag).with_limits(Limits::none().with_budget(0));
+        assert_eq!(session.push(ev(0, 2 * DAY)), Push::Advanced { completed: false });
+        let i = Interrupt::BudgetExhausted;
+        assert_eq!(session.interrupted(), Some(i));
+        assert_eq!(session.push(ev(1, 3 * DAY)), Push::Interrupted(i));
+        assert_eq!(session.stats().events, 1);
+        let run = session.finalize();
+        assert_eq!(run.verdict.interrupt(), Some(i));
+        assert!(!run.stats.accepted);
+    }
+
+    #[test]
+    fn eviction_drops_unreachable_and_merges() {
+        // Without saturation the frontier grows per event; eviction must
+        // keep it bounded and preserve every completion.
+        let tag = next_day_tag();
+        let opts = MatchOptions::builder().saturate(false).build();
+        let events: Vec<Event> = (0..400)
+            .flat_map(|i| {
+                [
+                    ev(0, (2 + 2 * i) * DAY),
+                    ev(1, (3 + 2 * i) * DAY), // completes next day
+                ]
+            })
+            .collect();
+        let mut plain = MatchSession::with_options(&tag, opts);
+        let mut evicting = MatchSession::with_options(&tag, opts).with_eviction();
+        for &e in &events {
+            let a = plain.push(e);
+            let b = evicting.push(e);
+            assert_eq!(a.completed(), b.completed(), "at {:?}", e);
+        }
+        let p = plain.stats();
+        let q = evicting.stats();
+        assert_eq!(p.completions, q.completions);
+        assert!(q.evictions > 0, "eviction never triggered");
+        assert!(q.evicted_rows > 0);
+        assert!(
+            q.peak_frontier < p.peak_frontier,
+            "evicting peak {} vs plain {}",
+            q.peak_frontier,
+            p.peak_frontier
+        );
+        // With saturation on, the Theorem 4 bound caps the evicting
+        // session's live frontier.
+        let sat = MatchSession::new(&tag);
+        let bound = sat.frontier_bound();
+        let mut sat = sat.with_eviction();
+        for &e in &events {
+            let _ = sat.push(e);
+        }
+        assert!(sat.stats().peak_frontier as u64 <= bound);
+        assert_eq!(sat.stats().completions, p.completions);
+    }
+
+    #[test]
+    fn push_row_matches_direct_push() {
+        use tgm_events::TickColumns;
+        let tag = next_day_tag();
+        let grans: Vec<_> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+        let events = [
+            ev(0, 2 * DAY + 43_200),
+            ev(7, 2 * DAY + 50_000),
+            ev(1, 3 * DAY + 3_600),
+        ];
+        // Incremental append: bind columns chunk by chunk.
+        let mut cols = TickColumns::with_granularities(&grans);
+        let mut by_row = MatchSession::new(&tag);
+        let mut direct = MatchSession::new(&tag);
+        for (i, &e) in events.iter().enumerate() {
+            cols.append(&events[i..i + 1]);
+            let a = by_row.push_row(e, &cols, i);
+            let b = direct.push(e);
+            assert_eq!(a, b, "event {i}");
+        }
+        let (ra, _) = by_row.finish();
+        let (rb, _) = direct.finish();
+        assert_eq!(ra, rb);
+    }
+}

@@ -154,10 +154,7 @@ fn anchored_acceptance_pins_root_occurrence() {
     let tag = build_tag(&cet);
     let m = Matcher::with_options(
         &tag,
-        tgm_tag::MatchOptions {
-            anchored: true,
-            ..Default::default()
-        },
+        tgm_tag::MatchOptions::builder().anchored(true).build(),
     );
     let events = vec![
         Event::new(a, 0),
@@ -299,10 +296,10 @@ proptest! {
             v
         };
         let m = Matcher::new(&tag);
-        let mut sm = tgm_tag::StreamMatcher::new(&tag);
+        let mut sm = tgm_tag::MatchSession::new(&tag);
         let mut first_completion = None;
         for (i, &e) in events.iter().enumerate() {
-            if sm.push(e) && first_completion.is_none() {
+            if sm.push(e).completed() && first_completion.is_none() {
                 first_completion = Some(i);
             }
         }

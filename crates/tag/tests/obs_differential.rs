@@ -19,11 +19,12 @@ const DAY: i64 = 86_400;
 
 fn all_option_combos() -> Vec<MatchOptions> {
     (0..8u32)
-        .map(|bits| MatchOptions {
-            anchored: bits & 1 != 0,
-            strict_updates: bits & 2 != 0,
-            saturate: bits & 4 != 0,
-            ..Default::default()
+        .map(|bits| {
+            MatchOptions::builder()
+                .anchored(bits & 1 != 0)
+                .strict_updates(bits & 2 != 0)
+                .saturate(bits & 4 != 0)
+                .build()
         })
         .collect()
 }
@@ -107,19 +108,17 @@ fn per_call_site_knobs_do_not_change_results() {
     let combos = all_option_combos();
     let silent: Vec<MatchOptions> = combos
         .iter()
-        .map(|o| MatchOptions {
-            obs: ObsOptions::silent(),
-            ..*o
-        })
+        .map(|o| o.to_builder().obs(ObsOptions::silent()).build())
         .collect();
     let metrics_only: Vec<MatchOptions> = combos
         .iter()
-        .map(|o| MatchOptions {
-            obs: ObsOptions {
-                metrics: true,
-                spans: false,
-            },
-            ..*o
+        .map(|o| {
+            o.to_builder()
+                .obs(ObsOptions {
+                    metrics: true,
+                    spans: false,
+                })
+                .build()
         })
         .collect();
 

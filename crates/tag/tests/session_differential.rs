@@ -1,0 +1,245 @@
+//! Differential tests for [`MatchSession`]: replaying a stream through a
+//! session must be *bit-identical* — stats and completion occurrences —
+//! to the batch entry points (`run`, `run_columns`) under every
+//! `MatchOptions` combination and any push-chunking; and horizon eviction
+//! must never lose a completion while keeping the frontier within the
+//! Theorem 4 bound.
+
+use proptest::prelude::*;
+use tgm_core::{ComplexEventType, StructureBuilder, Tcg};
+use tgm_events::{Event, EventType, TickColumns};
+use tgm_granularity::{Calendar, Gran};
+use tgm_limits::Verdict;
+use tgm_tag::{build_tag, MatchOptions, MatchSession, Matcher, Tag};
+
+const DAY: i64 = 86_400;
+
+fn grans() -> Vec<Gran> {
+    let cal = Calendar::standard();
+    ["hour", "day", "week", "business-day"]
+        .iter()
+        .map(|n| cal.get(n).unwrap())
+        .collect()
+}
+
+fn all_option_combos() -> Vec<MatchOptions> {
+    (0..8u32)
+        .map(|bits| {
+            MatchOptions::builder()
+                .anchored(bits & 1 != 0)
+                .strict_updates(bits & 2 != 0)
+                .saturate(bits & 4 != 0)
+                .build()
+        })
+        .collect()
+}
+
+fn build_random_tag(
+    chain_len: usize,
+    gran_picks: &[usize],
+    bounds: &[(u64, u64)],
+    phi_picks: &[u32],
+) -> Tag {
+    let gs = grans();
+    let mut b = StructureBuilder::new();
+    let vars: Vec<_> = (0..chain_len).map(|i| b.var(format!("X{i}"))).collect();
+    for i in 1..chain_len {
+        let (lo, w) = bounds[i - 1];
+        let g = gs[gran_picks[i - 1] % gs.len()].clone();
+        b.constrain(vars[i - 1], vars[i], Tcg::new(lo, lo + w, g));
+    }
+    let s = b.build().unwrap();
+    let phi: Vec<EventType> = (0..chain_len)
+        .map(|i| {
+            if i == 0 {
+                EventType(0)
+            } else {
+                EventType(phi_picks[i - 1])
+            }
+        })
+        .collect();
+    build_tag(&ComplexEventType::new(s, phi))
+}
+
+fn events_from(raw: &[(u32, i64)]) -> Vec<Event> {
+    let mut events: Vec<Event> = raw
+        .iter()
+        .map(|&(ty, step)| Event::new(EventType(ty), 2 * DAY + step * 6 * 3_600))
+        .collect();
+    events.sort_by_key(|e| e.time);
+    events
+}
+
+/// Splits `events` into chunks whose sizes cycle through `chunking`
+/// (zero sizes are bumped to one), covering the whole slice.
+fn push_chunked(session: &mut MatchSession<'_>, events: &[Event], chunking: &[usize]) {
+    let mut rest = events;
+    let mut k = 0;
+    while !rest.is_empty() {
+        let take = chunking[k % chunking.len()].min(rest.len());
+        let (chunk, tail) = rest.split_at(take.max(1).min(rest.len()));
+        session.push_batch(chunk);
+        rest = tail;
+        k += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The acceptance-criteria differential: for every MatchOptions combo,
+    /// a session replay of the stream — under an arbitrary push-chunking —
+    /// finalizes to the exact batch `run` result, its completion indices
+    /// equal the independent reference engine's, and the column-reading
+    /// `push_row` path reproduces batch `run_columns` the same way.
+    #[test]
+    fn session_replay_bit_identical_to_batch(
+        chain_len in 2usize..4,
+        gran_picks in proptest::collection::vec(0usize..4, 3),
+        bounds in proptest::collection::vec((0u64..3, 0u64..3), 3),
+        phi_picks in proptest::collection::vec(0u32..3, 3),
+        raw_events in proptest::collection::vec((0u32..4, 0i64..60), 1..40),
+        chunking in proptest::collection::vec(0usize..7, 1..5),
+        start in 0usize..8,
+    ) {
+        let tag = build_random_tag(chain_len, &gran_picks, &bounds, &phi_picks);
+        let events = events_from(&raw_events);
+        let tag_grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+        let cols = TickColumns::build(&events, &tag_grans);
+        let start = start.min(events.len().saturating_sub(1));
+        let slice = &events[start..];
+
+        for opts in all_option_combos() {
+            let m = Matcher::with_options(&tag, opts);
+
+            // Direct-resolution push vs batch run.
+            let batch = m.run(&events, false);
+            let mut session = MatchSession::with_options(&tag, opts);
+            push_chunked(&mut session, &events, &chunking);
+            let completions: Vec<usize> =
+                session.completed().map(|c| c.index as usize).collect();
+            prop_assert_eq!(
+                &completions,
+                &m.completions_reference(&events),
+                "completions, opts {:?}", opts
+            );
+            let run = session.finalize();
+            prop_assert_eq!(run.stats, batch, "run stats, opts {:?}", opts);
+            prop_assert!(matches!(run.verdict, Verdict::Completed));
+
+            // Column-reading push_row vs batch run_columns (suffix offset).
+            let batch_cols = m.run_columns(slice, &cols, start, false);
+            let mut session = MatchSession::with_options(&tag, opts);
+            for (i, &e) in slice.iter().enumerate() {
+                if !matches!(
+                    session.push_row(e, &cols, start + i),
+                    tgm_tag::Push::Advanced { .. }
+                ) {
+                    break;
+                }
+            }
+            let run = session.finalize();
+            prop_assert_eq!(run.stats, batch_cols, "run_columns stats, opts {:?}", opts);
+        }
+    }
+
+    /// Eviction soundness: with horizon eviction on, under any
+    /// push-chunking, the session reports exactly the same completion
+    /// events as the reference engine — no occurrence is lost or invented
+    /// when frontier rows are aged out.
+    #[test]
+    fn eviction_never_loses_a_completion(
+        chain_len in 2usize..4,
+        gran_picks in proptest::collection::vec(0usize..4, 3),
+        bounds in proptest::collection::vec((0u64..3, 0u64..3), 3),
+        phi_picks in proptest::collection::vec(0u32..3, 3),
+        raw_events in proptest::collection::vec((0u32..4, 0i64..200), 1..60),
+        chunking in proptest::collection::vec(0usize..7, 1..5),
+    ) {
+        let tag = build_random_tag(chain_len, &gran_picks, &bounds, &phi_picks);
+        let events = events_from(&raw_events);
+
+        for opts in all_option_combos() {
+            let m = Matcher::with_options(&tag, opts);
+            let expected = m.completions_reference(&events);
+            let mut session = MatchSession::with_options(&tag, opts).with_eviction();
+            push_chunked(&mut session, &events, &chunking);
+            let got: Vec<usize> = session.completed().map(|c| c.index as usize).collect();
+            prop_assert_eq!(&got, &expected, "opts {:?}", opts);
+        }
+    }
+}
+
+#[test]
+fn empty_and_unpushed_sessions_match_batch() {
+    let tag = build_random_tag(2, &[1], &[(1, 1)], &[1]);
+    for opts in all_option_combos() {
+        let m = Matcher::with_options(&tag, opts);
+        let batch = m.run(&[], false);
+        let run = MatchSession::with_options(&tag, opts).finalize();
+        assert_eq!(run.stats, batch, "opts {opts:?}");
+        // Pushing an empty batch changes nothing either.
+        let mut session = MatchSession::with_options(&tag, opts);
+        assert_eq!(session.push_batch(&[]), 0);
+        assert_eq!(session.finalize().stats, batch, "opts {opts:?}");
+    }
+}
+
+/// The long-stream memory ceiling of the acceptance criteria: a
+/// 10⁶-event synthetic stream (driven through chunked incremental
+/// `TickColumns::append` + `push_row`, the `tgm stream` pipeline) keeps
+/// peak frontier rows within the Theorem 4 `frontier_bound()` and the
+/// evicting live frontier far below the event count. Run by the CI
+/// `stream-smoke` job with `--ignored --release`.
+#[test]
+#[ignore = "long stream; run in release via the stream-smoke CI job"]
+fn million_event_stream_is_frontier_bounded() {
+    let tag = build_random_tag(3, &[1, 3], &[(0, 2), (1, 1)], &[1, 2]);
+    let tag_grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+
+    let session = MatchSession::new(&tag);
+    let bound = session.frontier_bound();
+    let mut session = session.with_eviction();
+
+    // A synthetic year-scale stream: type cycles with a pseudo-random
+    // phase, ~87 events/day, timestamps strictly increasing.
+    const N: usize = 1_000_000;
+    const CHUNK: usize = 4096;
+    let mut cols = TickColumns::with_granularities(&tag_grans);
+    let mut pushed = 0usize;
+    let mut completions = 0u64;
+    let mut peak = 0usize;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut t = 2 * DAY;
+    while pushed < N {
+        let chunk: Vec<Event> = (0..CHUNK.min(N - pushed))
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t += 1 + (state >> 33) as i64 % 1700;
+                Event::new(EventType((state >> 7) as u32 % 4), t)
+            })
+            .collect();
+        let base = cols.len();
+        cols.append(&chunk);
+        for (i, &e) in chunk.iter().enumerate() {
+            match session.push_row(e, &cols, base + i) {
+                tgm_tag::Push::Advanced { .. } => {}
+                p => panic!("stream stopped early: {p:?}"),
+            }
+            peak = peak.max(session.frontier_size());
+        }
+        completions += session.completed().count() as u64;
+        pushed += chunk.len();
+    }
+    let stats = session.stats();
+    assert_eq!(stats.events, N);
+    assert_eq!(stats.completions, completions);
+    assert!(
+        (peak as u64) <= bound,
+        "live frontier peak {peak} exceeded the Theorem 4 bound {bound}"
+    );
+    assert!(
+        stats.evictions > 0,
+        "a year-scale stream must cross the eviction horizon"
+    );
+}

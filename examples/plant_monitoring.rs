@@ -37,13 +37,11 @@ fn main() {
     b.constrain(x0, x1, Tcg::new(0, 0, cal.get("day").unwrap()));
     b.constrain(x1, x2, Tcg::new(1, 1, cal.get("day").unwrap()));
     let s = b.build().unwrap();
+    let monitor_structure = s.clone();
 
     // Which (X1, X2) type pairs complete the cascade for >= 70% of spikes?
     let problem = DiscoveryProblem::new(s, 0.7, temp);
-    let opts = pipeline::PipelineOptions {
-        pair_screening: true,
-        ..pipeline::PipelineOptions::default()
-    };
+    let opts = pipeline::PipelineOptions::builder().pair_screening(true).build();
     let (solutions, stats) = pipeline::mine_with(&problem, &seq, &opts);
     println!(
         "candidates {} -> {} after screening; {} TAG runs over {} spikes",
@@ -70,4 +68,39 @@ fn main() {
         "the generator's embedded cascade must be discovered"
     );
     println!("\nThe embedded temp-spike -> pressure-drop -> valve-fault cascade was recovered.");
+
+    // Deploy the discovered cascade as a *live monitor*: one long-lived
+    // MatchSession consumes the telemetry feed incrementally (here in
+    // day-sized chunks), raising an alert at every completed occurrence.
+    // Horizon eviction keeps the frontier bounded over the unbounded
+    // stream — old partial matches whose clocks have drifted past every
+    // remaining TCG window are aged out deterministically.
+    let cet = ComplexEventType::new(monitor_structure, vec![temp, pressure, valve]);
+    let tag = build_tag(&cet);
+    let mut monitor = MatchSession::new(&tag).with_eviction();
+    let mut alerts = 0u64;
+    for day_chunk in seq.events().chunks(96) {
+        monitor.push_batch(day_chunk);
+        for c in monitor.completed() {
+            alerts += 1;
+            if alerts <= 3 {
+                println!(
+                    "  ALERT: cascade completed at stream event #{} (t = {})",
+                    c.index, c.at
+                );
+            }
+        }
+    }
+    let stats = monitor.stats();
+    println!(
+        "\nlive monitor: {} events streamed, {} alerts; frontier {} live / {} peak, \
+         {} rows evicted in {} passes",
+        stats.events,
+        alerts,
+        stats.frontier,
+        stats.peak_frontier,
+        stats.evicted_rows,
+        stats.evictions
+    );
+    assert!(alerts > 0, "the embedded cascades must alert the live monitor");
 }

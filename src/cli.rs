@@ -9,13 +9,13 @@ use tgm_events::io as events_io;
 use tgm_granularity::format_instant;
 use crate::json::structure_from_json;
 use crate::prelude::*;
-use tgm_tag::StreamMatcher;
 
 pub(crate) const USAGE: &str = "usage:
   tgm calendar
   tgm convert <lo> <hi> <granularity> --to <granularity>
   tgm check <structure.json> [--horizon-days <n>]
   tgm match <structure.json> --types <t0,t1,...> <events.json>
+  tgm stream <structure.json> --types <t0,t1,...> <events.ndjson>
   tgm mine <structure.json> <events.json> --reference <type> \\
            [--confidence <x>] [--pin <var>=<type>]...
 
@@ -34,6 +34,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("convert") => cmd_convert(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("match") => cmd_match(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("mine") => cmd_mine(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
@@ -214,14 +215,16 @@ fn cmd_check(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_match(args: &[String]) -> Result<String, String> {
-    let cal = calendar_from(args)?;
-    let pos = positionals(args);
-    let [spath, epath] = pos.as_slice() else {
-        return Err("match needs <structure.json> <events.json>".into());
-    };
-    let s = load_structure(spath, &cal)?;
-    let (mut reg, seq) = load_events(epath)?;
+/// Builds the TAG for a structure file plus a `--types` assignment,
+/// interning the type names into `reg` (shared between `match` and
+/// `stream`).
+fn tag_from_args(
+    args: &[String],
+    spath: &str,
+    cal: &Calendar,
+    reg: &mut TypeRegistry,
+) -> Result<Tag, String> {
+    let s = load_structure(spath, cal)?;
     let type_names = flag_value(args, "--types").ok_or("missing --types t0,t1,...")?;
     let phi: Vec<EventType> = type_names
         .split(',')
@@ -234,15 +237,20 @@ fn cmd_match(args: &[String]) -> Result<String, String> {
             s.len()
         ));
     }
-    let cet = ComplexEventType::new(s, phi);
-    let tag = build_tag(&cet);
-    let mut stream = StreamMatcher::new(&tag);
-    let mut completions_at = Vec::new();
-    for e in seq.events() {
-        if stream.push(*e) {
-            completions_at.push(e.time);
-        }
-    }
+    Ok(build_tag(&ComplexEventType::new(s, phi)))
+}
+
+fn cmd_match(args: &[String]) -> Result<String, String> {
+    let cal = calendar_from(args)?;
+    let pos = positionals(args);
+    let [spath, epath] = pos.as_slice() else {
+        return Err("match needs <structure.json> <events.json>".into());
+    };
+    let (mut reg, seq) = load_events(epath)?;
+    let tag = tag_from_args(args, spath, &cal, &mut reg)?;
+    let mut session = MatchSession::new(&tag);
+    session.push_batch(seq.events());
+    let completions_at: Vec<Second> = session.completed().map(|c| c.at).collect();
     let mut out = format!(
         "TAG: {} states, {} clocks; scanned {} events\n",
         tag.n_states(),
@@ -257,6 +265,63 @@ fn cmd_match(args: &[String]) -> Result<String, String> {
             out.push_str(&format!("  at {}\n", format_instant(t)));
         }
     }
+    Ok(out)
+}
+
+/// Events per resolve-and-push chunk in `tgm stream` — small enough to
+/// behave like a stream, large enough to amortize the column append.
+const STREAM_CHUNK: usize = 256;
+
+fn cmd_stream(args: &[String]) -> Result<String, String> {
+    let cal = calendar_from(args)?;
+    let pos = positionals(args);
+    let [spath, epath] = pos.as_slice() else {
+        return Err("stream needs <structure.json> <events.ndjson>".into());
+    };
+    let text =
+        std::fs::read_to_string(epath).map_err(|e| format!("cannot read {epath}: {e}"))?;
+    let mut reg = TypeRegistry::new();
+    // The parser rejects out-of-order timestamps with the offending line.
+    let seq = tgm_events::io::from_ndjson_into(&text, &mut reg).map_err(|e| e.to_string())?;
+    let events = seq.events();
+    let tag = tag_from_args(args, spath, &cal, &mut reg)?;
+    // The streaming pipeline proper: resolve tick columns incrementally
+    // per chunk, feed the session by row, drain completions as they fire.
+    let grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
+    let mut cols = TickColumns::with_granularities(&grans);
+    let mut session = MatchSession::new(&tag).with_eviction();
+    let mut completions_at = Vec::new();
+    'stream: for chunk in events.chunks(STREAM_CHUNK.max(1)) {
+        let base = cols.len();
+        cols.append(chunk);
+        for (i, &e) in chunk.iter().enumerate() {
+            match session.push_row(e, &cols, base + i) {
+                tgm_tag::Push::Advanced { .. } => {}
+                tgm_tag::Push::Dead | tgm_tag::Push::Interrupted(_) => break 'stream,
+            }
+        }
+        completions_at.extend(session.completed().map(|c| c.at));
+    }
+    completions_at.extend(session.completed().map(|c| c.at));
+    let stats = session.stats();
+    let mut out = format!(
+        "TAG: {} states, {} clocks; streamed {} events\n",
+        tag.n_states(),
+        tag.clocks().len(),
+        stats.events
+    );
+    if completions_at.is_empty() {
+        out.push_str("no occurrence found\n");
+    } else {
+        out.push_str(&format!("{} completion(s):\n", completions_at.len()));
+        for t in &completions_at {
+            out.push_str(&format!("  at {}\n", format_instant(*t)));
+        }
+    }
+    out.push_str(&format!(
+        "frontier: {} live rows (peak {}), {} evicted across {} eviction pass(es)\n",
+        stats.frontier, stats.peak_frontier, stats.evicted_rows, stats.evictions
+    ));
     Ok(out)
 }
 

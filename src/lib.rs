@@ -117,6 +117,7 @@ pub mod prelude {
     pub use tgm_mining::{naive, pipeline, BoundedMining, DiscoveryProblem, Solution};
     pub use tgm_obs::{Observable, ObsOptions, Report};
     pub use tgm_tag::{
-        build_tag, BoundedRun, MatchOptions, Matcher, RunStats, StreamMatcher, Tag,
+        build_tag, BoundedRun, Completion, MatchOptions, MatchSession, Matcher, RunStats,
+        SessionStats, Tag,
     };
 }

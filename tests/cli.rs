@@ -109,6 +109,46 @@ fn match_command() {
 }
 
 #[test]
+fn stream_command() {
+    let spath = temp_file("structure3.json", STRUCTURE);
+    // The same events as `match_command`, as NDJSON with a comment line.
+    let epath = temp_file(
+        "events.ndjson",
+        r#"{"ty":"rise","time":208800}
+# mid-stream comment
+{"ty":"noise","time":250000}
+{"ty":"report","time":291600}
+{"ty":"fall","time":500000}
+{"ty":"rise","time":813600}
+"#,
+    );
+    let out = run(&args(&[
+        "stream",
+        spath.to_str().unwrap(),
+        "--types",
+        "rise,report,fall",
+        epath.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(out.contains("streamed 5 events"), "{out}");
+    assert!(out.contains("1 completion(s)"), "{out}");
+    assert!(out.contains("frontier:"), "{out}");
+    // Out-of-order timestamps are a user error.
+    let bad = temp_file(
+        "bad.ndjson",
+        "{\"ty\":\"rise\",\"time\":500}\n{\"ty\":\"fall\",\"time\":100}\n",
+    );
+    assert!(run(&args(&[
+        "stream",
+        spath.to_str().unwrap(),
+        "--types",
+        "rise,report,fall",
+        bad.to_str().unwrap(),
+    ]))
+    .is_err());
+}
+
+#[test]
 fn mine_command() {
     let spath = temp_file("structure3.json", STRUCTURE);
     let epath = temp_file("events2.json", EVENTS);

@@ -147,11 +147,10 @@ fn strict_and_lazy_matching_agree_on_prefiltered_sequences() {
     let lazy = Matcher::new(&tag);
     let strict = Matcher::with_options(
         &tag,
-        MatchOptions {
-            anchored: false,
-            strict_updates: true,
-            ..MatchOptions::default()
-        },
+        MatchOptions::builder()
+            .anchored(false)
+            .strict_updates(true)
+            .build(),
     );
     assert_eq!(lazy.accepts(&seq), strict.accepts(&seq));
     assert!(lazy.accepts(&seq));

@@ -2,7 +2,8 @@
 //! (09:30–16:00 on business days), exercising the full stack — DSL parse →
 //! TCG → propagation → TAG → mining — on an order/fill workload.
 
-use tgm::granularity::{instant, parse_granularity};
+use tgm::granularity::parse::parse_granularity;
+use tgm::granularity::instant;
 use tgm::prelude::*;
 
 #[test]
