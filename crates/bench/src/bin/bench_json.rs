@@ -4,8 +4,11 @@
 //! quote — and scripts can diff — the engine/sweep speedups without
 //! scraping criterion output.
 //!
-//! Run with `cargo run --release -p tgm-bench --bin bench_json [-- --quick]`.
-//! `--quick` lowers the repetition count for CI smoke runs.
+//! Run with `cargo run --release -p tgm-bench --bin bench_json [-- --quick]
+//! [-- --test]`. `--quick` lowers the repetition count for CI smoke runs;
+//! `--test` turns the shared-scan acceptance gates (multi-TAG per-candidate
+//! cost amortization, step-5 scan regression vs the recorded baseline) into
+//! a nonzero exit.
 //!
 //! Every measurement pair also *asserts* result equality (bit-identical
 //! `RunStats` across engines, identical miner solutions across execution
@@ -25,7 +28,10 @@ use tgm_mining::pipeline::{mine_bounded, mine_with, PipelineOptions};
 use tgm_mining::DiscoveryProblem;
 use tgm_obs::Report;
 use tgm_events::Event;
-use tgm_tag::{build_tag, MatchSession, Matcher, MatcherScratch, Tag};
+use tgm_tag::{
+    build_tag, MatchOptions, MatchSession, Matcher, MatcherScratch, MultiMatcher, MultiScratch,
+    Tag, TagTemplate,
+};
 
 /// Resident set size in bytes from `/proc/self/statm` (0 off Linux).
 fn resident_bytes() -> u64 {
@@ -79,9 +85,16 @@ fn measure_engines(tag: &Tag, events: &[tgm_events::Event], reps: usize) -> Engi
     }
 }
 
+/// `pipeline.step5.scan` total from the last pre-shared-scan record
+/// (90-day seed-7 mining workload, v1 schema): the `--test` gate requires
+/// the shared engine to at least halve it.
+const STEP5_BASELINE_MS: f64 = 25.076;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let test_mode = std::env::args().any(|a| a == "--test");
     let reps = if quick { 5 } else { 15 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Workload 1: Example 1 TAG over the planted stock stream (the
     // `tag_matching/example1_full_scan` criterion bench, seed 42).
@@ -124,13 +137,16 @@ fn main() {
             ..Default::default()
         },
     );
-    let (serial_sols, _) = mine_with(&problem, &w3.sequence, &serial_opts);
-    let (candidate_sols, _) = mine_with(&problem, &w3.sequence, &candidate_opts);
-    let (sweep_sols, _) = mine_with(&problem, &w3.sequence, &sweep_opts);
+    let percand_opts = serial_opts.to_builder().multi_scan(false).build();
+    let (serial_sols, serial_stats) = mine_with(&problem, &w3.sequence, &serial_opts);
+    let (candidate_sols, candidate_stats) = mine_with(&problem, &w3.sequence, &candidate_opts);
+    let (sweep_sols, sweep_stats) = mine_with(&problem, &w3.sequence, &sweep_opts);
+    let (percand_sols, _) = mine_with(&problem, &w3.sequence, &percand_opts);
     assert_eq!(naive_sols, naive_sweep_sols, "naive sweep changed solutions");
     assert_eq!(naive_sols, serial_sols, "pipeline diverged from naive");
     assert_eq!(serial_sols, candidate_sols, "candidate parallelism changed solutions");
     assert_eq!(serial_sols, sweep_sols, "sweep parallelism changed solutions");
+    assert_eq!(serial_sols, percand_sols, "shared scan changed solutions");
     let naive_ms = median_ms(mining_reps, || {
         std::hint::black_box(naive::mine(&problem, &w3.sequence));
     });
@@ -142,6 +158,11 @@ fn main() {
     });
     let pipeline_parallel_sweep_ms = median_ms(mining_reps, || {
         std::hint::black_box(mine_with(&problem, &w3.sequence, &sweep_opts));
+    });
+    // The step-5 engine ablation on the same serial funnel: shared scan
+    // (the default) vs the per-candidate oracle.
+    let pipeline_serial_percand_ms = median_ms(mining_reps, || {
+        std::hint::black_box(mine_with(&problem, &w3.sequence, &percand_opts));
     });
 
     // Workload 4: the streaming session. Replay of workload 1 through
@@ -193,6 +214,70 @@ fn main() {
     let stream_stats = stream_session.stats();
     let steady_state_rss = resident_bytes();
 
+    // Workload 5: the multi-TAG shared scan. Up to 64 sibling candidates of
+    // one 2-variable chain template (φ pairs over an 8-type pool) scanned
+    // over a synthetic stream — the shared engine in one pass vs the packed
+    // per-candidate engine in a loop, `RunStats` asserted bit-identical at
+    // every set size.
+    let multi_template = {
+        let mut sb = StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        sb.constrain(x0, x1, Tcg::new(0, 1, cal.get("day").unwrap()));
+        TagTemplate::new(&sb.build().unwrap())
+    };
+    let multi_tags: Vec<Tag> = (0..64u32)
+        .map(|k| {
+            multi_template.instantiate(&[tgm_events::EventType(k / 8), tgm_events::EventType(k % 8)])
+        })
+        .collect();
+    let multi_n: usize = if quick { 15_000 } else { 60_000 };
+    let multi_events: Vec<Event> = {
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut t = 2 * 86_400i64;
+        (0..multi_n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t += 600 + (state >> 33) as i64 % 14_000;
+                Event::new(tgm_events::EventType((state >> 7) as u32 % 8), t)
+            })
+            .collect()
+    };
+    // The miner's saturating configuration keeps both frontiers bounded, so
+    // this measures scan cost, not frontier blowup.
+    let multi_opts = MatchOptions::builder().saturate(true).build();
+    // (candidates, shared ns/event/candidate, per-candidate ns/event/candidate)
+    let mut multi_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &n in &[1usize, 8, 32, 64] {
+        let tags = &multi_tags[..n];
+        let mm = MultiMatcher::with_options(tags.iter().collect(), multi_opts);
+        let mut mscratch = MultiScratch::new();
+        let mut pscratch = MatcherScratch::new();
+        let shared = mm.run_scratch(&multi_events, false, &mut mscratch);
+        let solo: Vec<_> = tags
+            .iter()
+            .map(|t| {
+                Matcher::with_options(t, multi_opts).run_scratch(&multi_events, false, &mut pscratch)
+            })
+            .collect();
+        assert_eq!(solo, shared, "shared scan diverged at {n} candidates");
+        let multi_ms = median_ms(reps, || {
+            std::hint::black_box(mm.run_scratch(&multi_events, false, &mut mscratch));
+        });
+        let percand_ms = median_ms(reps, || {
+            for t in tags {
+                std::hint::black_box(
+                    Matcher::with_options(t, multi_opts)
+                        .run_scratch(&multi_events, false, &mut pscratch),
+                );
+            }
+        });
+        let per = 1e6 / (multi_n as f64 * n as f64); // ms -> ns/event/candidate
+        multi_rows.push((n, multi_ms * per, percand_ms * per));
+    }
+
     // One instrumented pass over the same workloads: span-derived timings
     // recorded alongside the stopwatch medians (results asserted unchanged
     // against the uninstrumented runs above).
@@ -236,7 +321,8 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"bench_matcher/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"bench_matcher/v2\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     json.push_str("  \"tag_matching\": {\n");
@@ -273,8 +359,35 @@ fn main() {
     let _ = writeln!(json, "    \"pipeline_parallel_ms\": {pipeline_parallel_ms:.2},");
     let _ = writeln!(
         json,
-        "    \"pipeline_parallel_sweep_ms\": {pipeline_parallel_sweep_ms:.2}"
+        "    \"pipeline_parallel_sweep_ms\": {pipeline_parallel_sweep_ms:.2},"
     );
+    let _ = writeln!(
+        json,
+        "    \"pipeline_serial_percand_ms\": {pipeline_serial_percand_ms:.2},"
+    );
+    // Workers *actually used* by each step-5 path on this host (satellite
+    // of the 1-CPU finding: parallel ≈ serial when the host can't grant
+    // more than one core, however many workers are spawned).
+    let _ = writeln!(
+        json,
+        "    \"step5_workers\": {{ \"serial\": {}, \"candidate_parallel\": {}, \"sweep_parallel\": {} }}",
+        serial_stats.step5_workers, candidate_stats.step5_workers, sweep_stats.step5_workers
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"multi_scan\": {\n");
+    let _ = writeln!(json, "    \"events\": {multi_n},");
+    json.push_str("    \"points\": [\n");
+    let n_rows = multi_rows.len();
+    for (i, (n, m, p)) in multi_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"candidates\": {n}, \"multi_ns_per_event_per_candidate\": {m:.1}, \
+             \"percand_ns_per_event_per_candidate\": {p:.1}, \"speedup\": {:.2} }}{}",
+            p / m.max(1e-9),
+            if i + 1 < n_rows { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n");
     json.push_str("  },\n");
     json.push_str("  \"session\": {\n");
     let _ = writeln!(
@@ -326,4 +439,50 @@ fn main() {
         example1.speedup(),
         e6_grouped.speedup()
     );
+
+    if test_mode {
+        let mut failures: Vec<String> = Vec::new();
+        let (_, npc_1, _) = multi_rows[0];
+        let &(n_max, npc_max, _) = multi_rows.last().expect("multi rows measured");
+        // Gate 1: the shared scan amortizes — per-candidate cost at the
+        // largest set is at most half the single-candidate cost.
+        if npc_max > 0.5 * npc_1 {
+            failures.push(format!(
+                "shared scan at {n_max} candidates costs {npc_max:.1} ns/event/candidate, \
+                 more than half the single-candidate {npc_1:.1}"
+            ));
+        }
+        // Gate 2: from 32 candidates up, the shared scan beats running the
+        // per-candidate engine in a loop.
+        for &(n, m, p) in &multi_rows {
+            if n >= 32 && m > p {
+                failures.push(format!(
+                    "shared scan at {n} candidates ({m:.1} ns/event/candidate) is slower \
+                     than the per-candidate loop ({p:.1})"
+                ));
+            }
+        }
+        // Gate 3: the instrumented step-5 scan at least halves the recorded
+        // pre-shared-scan baseline on the same workload and seeds.
+        let step5_ms = obs_report
+            .spans
+            .spans
+            .iter()
+            .find(|(name, _)| name.as_str() == "pipeline.step5.scan")
+            .map(|(_, s)| s.total_ms())
+            .unwrap_or(f64::INFINITY);
+        if step5_ms > STEP5_BASELINE_MS / 2.0 {
+            failures.push(format!(
+                "pipeline.step5.scan took {step5_ms:.3} ms, above half the \
+                 {STEP5_BASELINE_MS} ms baseline"
+            ));
+        }
+        for f in &failures {
+            eprintln!("bench gate violated: {f}");
+        }
+        if !failures.is_empty() {
+            std::process::exit(1);
+        }
+        eprintln!("bench gates passed (multi-scan amortization, step5 regression)");
+    }
 }

@@ -70,6 +70,8 @@ fn validate_schema(json: &str) -> Vec<String> {
         Some(minijson::Value::Object(counters)) => {
             for required in [
                 "tag.matcher.runs",
+                "tag.multi.runs",
+                "tag.multi.candidates",
                 "mining.pipeline.runs",
                 "limits.budget_hit",
                 "limits.deadline_hit",
@@ -89,7 +91,11 @@ fn validate_schema(json: &str) -> Vec<String> {
 
     match doc.get("histograms") {
         Some(minijson::Value::Object(hists)) => {
-            for required in ["tag.matcher.frontier", "tag.matcher.peak_frontier"] {
+            for required in [
+                "tag.matcher.frontier",
+                "tag.matcher.peak_frontier",
+                "tag.multi.frontier",
+            ] {
                 match hists.iter().find(|(k, _)| k == required) {
                     Some((_, h)) => {
                         if h.get("count").and_then(|v| v.as_u64()).unwrap_or(0) == 0 {

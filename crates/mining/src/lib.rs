@@ -31,6 +31,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod bounded;
+mod multi_scan;
 mod problem;
 
 pub mod episodes;

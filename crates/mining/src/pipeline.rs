@@ -29,12 +29,15 @@ use tgm_limits::{fail, Interrupt, Limits, Verdict, WorkerPanic};
 use tgm_obs::span::span_if;
 use tgm_obs::{metrics, FunnelStage, Observable, ObsOptions, ObsValue};
 use tgm_stp::INF;
-use tgm_tag::build_tag;
 use tgm_tag::count_interrupt;
+use tgm_tag::{build_tag, Tag};
 
-use tgm_tag::MatcherScratch;
+use tgm_tag::{MatcherScratch, MultiScratch};
 
 use crate::bounded::{contain, BoundedMining, SweepError};
+use crate::multi_scan::{
+    anchored_multi, multi_count_support, multi_count_support_sweep, TemplateCache,
+};
 use crate::naive::{count_support, count_support_sweep};
 use crate::problem::{DiscoveryProblem, Solution};
 
@@ -75,6 +78,15 @@ pub struct PipelineOptions {
     /// support of a candidate is a sum over independent anchored runs, so
     /// results are identical in any chunking.
     pub parallel_sweep: bool,
+    /// Step 5: advance *all* surviving candidates together with one
+    /// shared-scan [`tgm_tag::MultiMatcher`] pass per reference occurrence
+    /// instead of one full matcher run per (candidate, reference) pair.
+    /// Candidate automata of one problem differ only in their event-type
+    /// labels, so they collapse into shared simulation lanes; scan cost
+    /// becomes sublinear in the candidate count. Off = the per-candidate
+    /// packed engine (the bit-identical differential oracle); solutions
+    /// and funnel stats are identical either way.
+    pub multi_scan: bool,
     /// Resolve every event's tick per structure granularity once up front
     /// ([`TickColumns`]) and share the columns across steps 2–5 and every
     /// anchored TAG run. Off = resolve per use (the shared-resolution-layer
@@ -99,6 +111,7 @@ impl Default for PipelineOptions {
             window_limit: true,
             parallel: true,
             parallel_sweep: true,
+            multi_scan: true,
             use_tick_columns: true,
             obs: ObsOptions::default(),
         }
@@ -180,6 +193,13 @@ impl PipelineOptionsBuilder {
     /// Sets sweep-level parallelism in step 5.
     pub fn parallel_sweep(mut self, on: bool) -> Self {
         self.0.parallel_sweep = on;
+        self
+    }
+
+    /// Sets the shared-scan multi-TAG engine in step 5 (off = the
+    /// per-candidate oracle).
+    pub fn multi_scan(mut self, on: bool) -> Self {
+        self.0.multi_scan = on;
         self
     }
 
@@ -758,6 +778,11 @@ fn mine_inner(
     // threshold bans every candidate complex type containing it.
     stats.banned_pairs = banned_pairs.len();
 
+    // Automaton shapes are memoized per structure: the screening loop
+    // below builds each induced substructure's automaton once (per-tuple
+    // candidates are symbol relabellings) and step 5 builds the main
+    // structure's once for all surviving assignments.
+    let mut templates = TemplateCache::new();
     let mut banned_tuples: Vec<(Vec<VarId>, BTreeSet<Vec<EventType>>)> = Vec::new();
     if opts.chain_screening_k >= 2 && !kept_refs.is_empty() {
         let _s = span_if(opts.obs.spans, "pipeline.step4.chain_screening");
@@ -777,6 +802,9 @@ fn mine_inner(
                     }
                     let (sub, kept_vars) =
                         tgm_core::substructure::induced_substructure(s, &p, &combo);
+                    // One automaton shape per substructure; each tuple is
+                    // an `Exact`-symbol relabelling of it.
+                    let sub_template = templates.get(&sub);
                     // Candidate tuples = product of surviving per-variable
                     // candidates, minus tuples containing a banned
                     // sub-tuple from an earlier round.
@@ -802,8 +830,7 @@ fn mine_inner(
                                 }
                             })
                             .collect();
-                        let cet = ComplexEventType::new(sub.clone(), phi);
-                        let tag = build_tag(&cet);
+                        let tag = sub_template.instantiate(&phi);
                         let support = match count_support(
                             &tag,
                             &events,
@@ -893,7 +920,185 @@ fn mine_inner(
     let mut solutions: Vec<Solution>;
     let mut tag_runs = 0usize;
     let mut verdict = Verdict::Completed;
-    if opts.parallel
+    if opts.multi_scan {
+        // Shared-scan step 5: the structure's automaton shape is built
+        // once, instantiated per assignment, and every candidate advances
+        // together in one multi pass per reference occurrence. Path
+        // selection, worker counts, the step-5 failpoint, and the budget
+        // unit (candidates scanned, a deterministic enumeration-order
+        // prefix) all mirror the per-candidate paths below.
+        let template = templates.get(s);
+        let tags: Vec<Tag> = assignments
+            .iter()
+            .map(|phi| template.instantiate(phi))
+            .collect();
+        let mut allowed = assignments.len();
+        if let Some(l) = limits {
+            for idx in 0..assignments.len() {
+                if let Err(i) = l.check_with_used(idx as u64 + 1) {
+                    verdict = i.into();
+                    allowed = idx;
+                    break;
+                }
+            }
+        }
+        let scanned = &tags[..allowed];
+        let mut supports = vec![0usize; allowed];
+        // Whether each candidate's count completed: an interrupt abandons
+        // the (ref-major) pass that was counting it, so its partial sum
+        // must not produce a solution.
+        let mut counted = vec![true; allowed];
+        if opts.parallel
+            && opts.parallel_sweep
+            && assignments.len() < n_threads
+            && kept_refs.len() > 1
+        {
+            // Fewer candidates than cores: chunk the anchor start
+            // positions across workers, each chunk advancing the whole
+            // candidate set.
+            stats.step5_workers = n_threads.min(kept_refs.len());
+            let mm = anchored_multi(scanned, opts.obs);
+            match multi_count_support_sweep(
+                &mm,
+                &events,
+                &kept_refs,
+                window,
+                cols.as_ref(),
+                n_threads,
+                &mut tag_runs,
+                &mut stats.sweep_chunks,
+                opts.obs,
+                run_limits_ref,
+                token_ref,
+                &mut supports,
+            ) {
+                Ok(()) => {}
+                Err(SweepError::Interrupted(i)) => {
+                    verdict = i.into();
+                    counted.fill(false);
+                }
+                Err(SweepError::Panicked(wp)) => return Err(wp),
+            }
+        } else if opts.parallel && assignments.len() > 1 {
+            let n_workers = n_threads.min(assignments.len());
+            stats.step5_workers = n_workers;
+            let chunk_len = assignments.len().div_ceil(n_workers);
+            let chunks: Vec<&[Tag]> = scanned.chunks(chunk_len).collect();
+            let worker_spans = opts.obs.spans;
+            let obs = opts.obs;
+            let events_ref = &events;
+            let kept_refs_ref = &kept_refs;
+            let cols_ref = cols.as_ref();
+            const SITE: &str = "pipeline.step5.worker";
+            let worker_panic = |payload: &(dyn std::any::Any + Send)| {
+                if let Some(t) = token_ref {
+                    t.cancel();
+                }
+                WorkerPanic {
+                    site: SITE,
+                    message: tgm_limits::panic_message(payload),
+                }
+            };
+            type MultiWorkerResult =
+                Result<Result<(Vec<usize>, usize), Interrupt>, WorkerPanic>;
+            let joined: Vec<MultiWorkerResult> = crossbeam::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            contain(SITE, token_ref, || {
+                                fail::point(SITE, limits);
+                                // Per-worker timing; flushed on span drop.
+                                let _s = span_if(worker_spans, SITE);
+                                let mm = anchored_multi(chunk, obs);
+                                let mut scratch = MultiScratch::new();
+                                let mut local = vec![0usize; chunk.len()];
+                                let mut runs = 0usize;
+                                multi_count_support(
+                                    &mm,
+                                    events_ref,
+                                    kept_refs_ref,
+                                    window,
+                                    cols_ref,
+                                    &mut scratch,
+                                    &mut runs,
+                                    run_limits_ref,
+                                    &mut local,
+                                )
+                                .map(|()| (local, runs))
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| Err(worker_panic(p.as_ref()))))
+                    .collect()
+            })
+            .unwrap_or_else(|p| vec![Err(worker_panic(p.as_ref()))]);
+            let mut first_panic: Option<WorkerPanic> = None;
+            let mut first_interrupt: Option<Interrupt> = None;
+            // Join order is chunk order, so chunk `ci` covers candidates
+            // `[ci * chunk_len, ci * chunk_len + len)` of the prefix.
+            for (ci, r) in joined.into_iter().enumerate() {
+                let offset = ci * chunk_len;
+                let len = chunk_len.min(allowed - offset);
+                match r {
+                    Ok(Ok((local, runs))) => {
+                        supports[offset..offset + len].copy_from_slice(&local);
+                        tag_runs += runs;
+                    }
+                    Ok(Err(i)) => {
+                        counted[offset..offset + len].fill(false);
+                        first_interrupt.get_or_insert(i);
+                    }
+                    Err(wp) => {
+                        counted[offset..offset + len].fill(false);
+                        if first_panic.is_none() {
+                            first_panic = Some(wp);
+                        }
+                    }
+                }
+            }
+            // The first panic wins over any interrupt: cancellation
+            // interrupts in sibling workers are a side effect of the
+            // panic itself.
+            if let Some(wp) = first_panic {
+                return Err(wp);
+            }
+            if let Some(i) = first_interrupt {
+                verdict = i.into();
+            }
+        } else {
+            stats.step5_workers = 1;
+            let mm = anchored_multi(scanned, opts.obs);
+            let mut scratch = MultiScratch::new();
+            match multi_count_support(
+                &mm,
+                &events,
+                &kept_refs,
+                window,
+                cols.as_ref(),
+                &mut scratch,
+                &mut tag_runs,
+                run_limits_ref,
+                &mut supports,
+            ) {
+                Ok(()) => {}
+                Err(i) => {
+                    verdict = i.into();
+                    counted.fill(false);
+                }
+            }
+        }
+        solutions = assignments[..allowed]
+            .iter()
+            .zip(&supports)
+            .zip(&counted)
+            .filter(|&(_, &ok)| ok)
+            .filter_map(|((phi, &sup), _)| solution_of(phi, sup))
+            .collect();
+    } else if opts.parallel
         && opts.parallel_sweep
         && assignments.len() < n_threads
         && kept_refs.len() > 1
@@ -1206,6 +1411,7 @@ mod tests {
             parallel: false,
             parallel_sweep: false,
             use_tick_columns: false,
+            multi_scan: false,
             obs: ObsOptions::default(),
         }
     }
@@ -1251,7 +1457,7 @@ mod tests {
     fn all_ablations_agree() {
         let (_reg, seq, p) = world();
         let (reference, _) = mine_with(&p, &seq, &no_opt());
-        for bits in 0..256u32 {
+        for bits in 0..512u32 {
             let opts = PipelineOptions {
                 consistency_screen: bits & 1 != 0,
                 sequence_reduction: bits & 2 != 0,
@@ -1263,6 +1469,7 @@ mod tests {
                 parallel: false,
                 parallel_sweep: false,
                 use_tick_columns: bits & 128 != 0,
+                multi_scan: bits & 256 != 0,
                 obs: ObsOptions::default(),
             };
             let (sols, _) = mine_with(&p, &seq, &opts);

@@ -64,6 +64,16 @@ fn step5_modes(obs: ObsOptions) -> Vec<(&'static str, PipelineOptions)> {
             "sweep-parallel",
             base.to_builder().parallel(true).parallel_sweep(true).build(),
         ),
+        // The retained per-candidate oracle engine; its stats must agree
+        // with the shared-scan serial path field-for-field.
+        (
+            "serial-percand",
+            base.to_builder()
+                .parallel(false)
+                .parallel_sweep(false)
+                .multi_scan(false)
+                .build(),
+        ),
     ]
 }
 
@@ -93,9 +103,13 @@ fn pipeline_results_identical_with_obs_on_and_off() {
 
     assert_eq!(baseline, observed, "observability changed a mining result");
     // Instrumentation really fired: run counters, the §5 per-step spans,
-    // and matcher-level counters flowing up from the anchored sweeps.
-    assert_eq!(metrics.counter("mining.pipeline.runs"), 3);
+    // and engine-level counters flowing up from the anchored sweeps — the
+    // shared-scan counters from the default paths, the matcher counters
+    // from the per-candidate oracle mode.
+    assert_eq!(metrics.counter("mining.pipeline.runs"), 4);
     assert!(metrics.counter("mining.pipeline.tag_runs") > 0);
+    assert!(metrics.counter("tag.multi.runs") > 0);
+    assert!(metrics.counter("tag.multi.candidates") > 0);
     assert!(metrics.counter("tag.matcher.runs") > 0);
     for name in [
         "pipeline",
@@ -177,6 +191,31 @@ fn silent_knob_suppresses_pipeline_emission() {
     assert_eq!(baseline, quiet);
     assert_eq!(metrics.counter("mining.pipeline.runs"), 0);
     assert_eq!(metrics.counter("tag.matcher.runs"), 0);
+    assert_eq!(metrics.counter("tag.multi.runs"), 0);
     assert!(spans.get("pipeline").is_none());
     tgm_obs::reset();
+}
+
+/// Step-5 engine differential: for every execution path, the shared-scan
+/// engine and the per-candidate oracle produce identical solutions and
+/// identical funnel stats. Only `sweep_chunks` is normalized: the oracle
+/// dispatches one sweep per candidate while the shared scan dispatches one
+/// sweep total, so their chunk tallies legitimately differ.
+#[test]
+fn multi_scan_matches_per_candidate_oracle_on_every_path() {
+    let _guard = TEST_LOCK.lock();
+    tgm_obs::set_enabled(false);
+    let (seq, p) = world();
+    for (name, opts) in step5_modes(ObsOptions::default()) {
+        let percand = opts.to_builder().multi_scan(false).build();
+        let multi = opts.to_builder().multi_scan(true).build();
+        let (s0, st0) = pipeline::mine_with(&p, &seq, &percand);
+        let (s1, st1) = pipeline::mine_with(&p, &seq, &multi);
+        assert_eq!(s0, s1, "{name}: engines disagree on solutions");
+        let normalized = PipelineStats {
+            sweep_chunks: st0.sweep_chunks,
+            ..st1
+        };
+        assert_eq!(st0, normalized, "{name}: engines disagree on stats");
+    }
 }

@@ -209,6 +209,60 @@ pub fn build_tag_with_cover(
     b.build()
 }
 
+/// A reusable TAG "shape" for one event structure: the automaton built
+/// once with *marker* symbols in place of event types, instantiated per
+/// candidate assignment `φ` by relabelling the markers.
+///
+/// The §5 miner screens and scans many assignments of the *same*
+/// structure; the cross-product construction (states, clocks, guards,
+/// resets, skip loops) depends only on the structure, while `φ` enters
+/// solely as the `Exact` symbol payloads. Instantiation is therefore a
+/// clone plus a symbol rewrite, bit-identical to
+/// [`build_tag_for_structure`] for the same `φ` (the builder call sequence
+/// is unchanged, only the `Exact` payloads differ) — asserted by
+/// `template_instantiation_matches_direct_build` in the `multi` tests.
+pub struct TagTemplate {
+    base: Tag,
+    n_vars: usize,
+}
+
+impl TagTemplate {
+    /// Builds the template automaton for `s`, with variable `Xi`'s
+    /// transitions carrying the marker type `EventType(i)`.
+    pub fn new(s: &EventStructure) -> Self {
+        TagTemplate {
+            base: build_tag_for_structure(s, |v| EventType(v.index() as u32)),
+            n_vars: s.len(),
+        }
+    }
+
+    /// Number of variables the assignment slice must cover.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Instantiates the template for the assignment `phi` (`phi[i]` is the
+    /// event type of variable `Xi`). Panics if `phi` is shorter than the
+    /// structure's variable count.
+    pub fn instantiate(&self, phi: &[EventType]) -> Tag {
+        assert!(
+            phi.len() >= self.n_vars,
+            "assignment covers {} of {} variables",
+            phi.len(),
+            self.n_vars
+        );
+        let mut tag = self.base.clone();
+        for trs in &mut tag.by_state {
+            for tr in trs {
+                if let Symbol::Exact(marker) = tr.symbol {
+                    tr.symbol = Symbol::Exact(phi[marker.0 as usize]);
+                }
+            }
+        }
+        tag
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use tgm_core::examples::{example_1, figure_1a_witness};

@@ -48,6 +48,7 @@ mod chains;
 mod constraint;
 mod construct;
 mod matcher;
+mod multi;
 mod session;
 
 pub mod dot;
@@ -55,10 +56,11 @@ pub mod dot;
 pub use automaton::{StateId, Symbol, Tag, TagBuilder, Transition};
 pub use chains::{greedy_chain_cover, is_valid_cover, minimal_chain_cover, Chain};
 pub use constraint::{ClockConstraint, ClockId};
-pub use construct::{build_tag, build_tag_for_structure, build_tag_with_cover};
+pub use construct::{build_tag, build_tag_for_structure, build_tag_with_cover, TagTemplate};
 pub use matcher::{
     BoundedRun, MatchOptions, MatchOptionsBuilder, Matcher, MatcherScratch, RunStats,
 };
+pub use multi::{MultiMatcher, MultiRun, MultiScratch};
 pub use session::{Completion, MatchSession, Push, SessionStats};
 
 #[doc(hidden)]

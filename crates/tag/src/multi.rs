@@ -1,0 +1,1053 @@
+//! Multi-TAG shared-scan engine: advance many candidate TAGs together in
+//! one pass over the event sequence.
+//!
+//! The §5 miner's step 5 runs one anchored matcher per candidate × per
+//! reference occurrence — thousands of full scans whose automata differ
+//! *only* in the event types labelling their `Exact` transitions, because
+//! every candidate is built from the same event structure with a different
+//! `φ`. This module compiles such a candidate set into one shared scan
+//! plan:
+//!
+//! * **Skeleton lanes.** Tags are grouped by *skeleton* — everything except
+//!   the `Exact` symbol payloads (clocks, states, guards, resets, skip
+//!   structure). Structurally identical automata collapse into one *lane*
+//!   of up to 64 members, advanced by a single NFA simulation.
+//! * **Shared packed arena.** A lane's frontier is the packed
+//!   `(meta, reset-row)` pool of [`Matcher`](crate::Matcher) plus one
+//!   *member-set* word per row: the set of candidates whose private
+//!   frontier contains that configuration. Candidates sharing a prefix
+//!   (e.g. everything before their distinguishing symbol fires) share the
+//!   physical row — the trie factoring happens implicitly through
+//!   deduplication keyed on `(meta, row)` only, merging member sets by OR.
+//! * **Alphabet gating.** Per lane, a type → transition-mask table tells
+//!   which members' `Exact` transitions an event can fire. Events outside
+//!   the lane's alphabet take a skip-only path, and when the event's tick
+//!   row also equals the previous event's (and every state carries exactly
+//!   one pure skip loop), the frontier is provably unchanged and the whole
+//!   loop is skipped — only per-member expansion counters advance.
+//!
+//! Per-member [`RunStats`] are recovered exactly: every count the
+//! per-candidate engine produces is order-independent within an event
+//! (expansions = guard-passing firings, dedup hits = repeat arrivals at a
+//! configuration already holding the member's bit, frontier sizes = live
+//! per-member row counts), so the shared scan is bit-identical to running
+//! [`Matcher::run_scratch`](crate::Matcher::run_scratch) per candidate —
+//! property-tested in `tests/multi_tag_differential.rs`, with the
+//! per-candidate engine kept as the differential oracle.
+
+use std::collections::HashMap;
+
+use tgm_events::{Event, EventType, TickColumns};
+use tgm_granularity::Granularity;
+use tgm_limits::{Interrupt, Limits, Verdict};
+use tgm_obs::metrics::{self, Histogram};
+use tgm_obs::span::span_if;
+
+use crate::automaton::{Symbol, Tag, Transition};
+use crate::constraint::{ClockConstraint, ClockId};
+use crate::matcher::{
+    collect_guard_consts, count_interrupt, hash_row, meta_started, meta_state, pack_meta,
+    pack_tick, saturate_reset, DedupTable, MatchOptions, RunStats, NONE_TICK,
+};
+
+/// Candidate bits per lane: member sets are one `u64` word per row.
+const LANE_WIDTH: usize = 64;
+
+#[inline]
+fn full_mask(k: usize) -> u64 {
+    debug_assert!((1..=LANE_WIDTH).contains(&k));
+    if k == LANE_WIDTH {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// Iterates the set bit positions of `mask`, ascending.
+#[inline]
+fn bits(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let c = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(c)
+        }
+    })
+}
+
+/// The skeleton of a TAG: a canonical string of everything *except* the
+/// `Exact` symbol payloads. Two tags with equal skeletons differ only in
+/// which event types their pattern transitions consume, so they share
+/// states, clocks, guards, resets and skip structure and can be advanced
+/// by one simulation. Granularities compare by instance identity — the
+/// tick streams must be literally the same.
+fn skeleton_key(tag: &Tag) -> String {
+    use std::fmt::Write as _;
+    let mut k = String::new();
+    let _ = write!(k, "n{};start{:?};", tag.n_states, tag.start);
+    for (_, g) in &tag.clocks {
+        let _ = write!(k, "c{};", g.instance_id());
+    }
+    for (i, a) in tag.accepting.iter().enumerate() {
+        if *a {
+            let _ = write!(k, "a{i};");
+        }
+    }
+    for (s, trs) in tag.by_state.iter().enumerate() {
+        let _ = write!(k, "s{s}:");
+        for t in trs {
+            let sym = match t.symbol {
+                Symbol::Exact(_) => 'E',
+                Symbol::Any => '*',
+            };
+            let _ = write!(
+                k,
+                "[{}{sym}{}r{:?}g{:?}k{}]",
+                t.from.index(),
+                t.to.index(),
+                t.resets,
+                t.guard,
+                u8::from(t.is_skip)
+            );
+        }
+    }
+    k
+}
+
+/// Per-state transition plan of a lane's representative.
+struct StatePlan {
+    /// Indices of `Any`-symbol transitions (identical across members).
+    uniform: Vec<u32>,
+    /// `(transition index, flat Exact slot)` pairs; the slot indexes the
+    /// per-type member masks.
+    exact: Vec<(u32, u32)>,
+}
+
+/// One lane: up to [`LANE_WIDTH`] structurally identical tags advanced by
+/// a single shared-frontier simulation.
+struct Lane<'t> {
+    /// Representative automaton (states/guards/resets shared by every
+    /// member; only `Exact` payloads differ).
+    rep: &'t Tag,
+    /// Global candidate indices of the members, bit position = list order.
+    members: Vec<usize>,
+    plans: Vec<StatePlan>,
+    /// Per event type in the lane's alphabet: for each flat Exact slot,
+    /// the mask of members whose transition consumes that type.
+    type_masks: HashMap<EventType, Box<[u64]>>,
+    /// Largest guard constant per clock (identical across members).
+    max_consts: Vec<i64>,
+    n_clocks: usize,
+    n_exact: usize,
+    start_accepting: bool,
+    /// Every state carries exactly one uniform transition and it is a pure
+    /// skip self-loop (`ANY`, guard `True`, no resets) — the constructed
+    /// TAG shape. Enables the unchanged-frontier fast path.
+    pure_skips: bool,
+}
+
+impl<'t> Lane<'t> {
+    fn build(rep: &'t Tag) -> Self {
+        let mut plans = Vec::with_capacity(rep.n_states);
+        let mut n_exact = 0usize;
+        let mut pure = true;
+        for trs in &rep.by_state {
+            let mut plan = StatePlan {
+                uniform: Vec::new(),
+                exact: Vec::new(),
+            };
+            for (ti, tr) in trs.iter().enumerate() {
+                match tr.symbol {
+                    Symbol::Exact(_) => {
+                        plan.exact.push((ti as u32, n_exact as u32));
+                        n_exact += 1;
+                    }
+                    Symbol::Any => {
+                        plan.uniform.push(ti as u32);
+                        pure &= tr.is_skip
+                            && tr.to == tr.from
+                            && tr.resets.is_empty()
+                            && matches!(tr.guard, ClockConstraint::True);
+                    }
+                }
+            }
+            pure &= plan.uniform.len() == 1;
+            plans.push(plan);
+        }
+        let mut max_consts = vec![0i64; rep.clocks.len()];
+        for trs in &rep.by_state {
+            for tr in trs {
+                collect_guard_consts(&tr.guard, &mut max_consts);
+            }
+        }
+        Lane {
+            rep,
+            members: Vec::new(),
+            plans,
+            type_masks: HashMap::new(),
+            max_consts,
+            n_clocks: rep.clocks.len(),
+            n_exact,
+            start_accepting: rep
+                .start_states()
+                .iter()
+                .any(|&s| rep.is_accepting(s)),
+            pure_skips: pure,
+        }
+    }
+
+    /// Registers `tag` (global candidate index `ci`) as the next member:
+    /// walks its `Exact` transitions in the representative's flat order and
+    /// sets the member's bit in each payload type's slot mask.
+    fn add_member(&mut self, ci: usize, tag: &Tag) {
+        let bit = self.members.len();
+        debug_assert!(bit < LANE_WIDTH);
+        self.members.push(ci);
+        let mut k = 0usize;
+        for trs in &tag.by_state {
+            for tr in trs {
+                if let Symbol::Exact(ty) = tr.symbol {
+                    let masks = self
+                        .type_masks
+                        .entry(ty)
+                        .or_insert_with(|| vec![0u64; self.n_exact].into_boxed_slice());
+                    masks[k] |= 1u64 << bit;
+                    k += 1;
+                }
+            }
+        }
+        debug_assert_eq!(k, self.n_exact, "skeleton-equal tags have equal Exact counts");
+    }
+}
+
+/// Reusable per-lane buffers.
+#[derive(Default)]
+struct LaneScratch {
+    meta: Vec<u64>,
+    /// Member set per row (parallel to `meta`).
+    cands: Vec<u64>,
+    rows: Vec<i64>,
+    next_meta: Vec<u64>,
+    next_cands: Vec<u64>,
+    next_rows: Vec<i64>,
+    table: DedupTable,
+    ticks: Vec<i64>,
+    prev_ticks: Vec<i64>,
+    clock_cols: Vec<Option<usize>>,
+    /// Live rows per member in the current frontier.
+    live_cnt: Vec<u32>,
+}
+
+/// Reusable buffers for [`MultiMatcher`] runs, analogous to
+/// [`MatcherScratch`](crate::MatcherScratch): one buffer set per lane,
+/// grown on first use and reused across runs (and across matchers — lanes
+/// are rebound per run).
+#[derive(Default)]
+pub struct MultiScratch {
+    lanes: Vec<LaneScratch>,
+}
+
+impl MultiScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MultiScratch::default()
+    }
+}
+
+/// Result of a bounded multi run: one [`RunStats`] per candidate (in input
+/// order) plus the run-level [`Verdict`]. On an interrupt, stats of
+/// candidates whose outcome was not yet established are partial and their
+/// `accepted` is `false`.
+pub struct MultiRun {
+    /// Per-candidate statistics, bit-identical to per-candidate
+    /// [`Matcher::run_scratch`](crate::Matcher::run_scratch) runs when the
+    /// run completes.
+    pub stats: Vec<RunStats>,
+    /// Completed, or the first interrupt.
+    pub verdict: Verdict,
+}
+
+/// Per-lane mutable run state.
+struct LaneState {
+    active: u64,
+    all_started: bool,
+    have_prev: bool,
+}
+
+/// A compiled set of candidate TAGs sharing one scan (see the module
+/// docs). Construction groups the tags into skeleton lanes; runs advance
+/// every live candidate per event and return per-candidate [`RunStats`]
+/// bit-identical to the per-candidate engine.
+pub struct MultiMatcher<'t> {
+    tags: Vec<&'t Tag>,
+    opts: MatchOptions,
+    lanes: Vec<Lane<'t>>,
+    /// Per candidate: some start state is accepting (length-0 acceptance).
+    start_acc: Vec<bool>,
+}
+
+impl<'t> MultiMatcher<'t> {
+    /// Compiles `tags` with default (lazy, unanchored) options.
+    pub fn new(tags: Vec<&'t Tag>) -> Self {
+        Self::with_options(tags, MatchOptions::default())
+    }
+
+    /// Compiles `tags` under explicit matching options (shared by every
+    /// candidate).
+    pub fn with_options(tags: Vec<&'t Tag>, opts: MatchOptions) -> Self {
+        let mut lanes: Vec<Lane<'t>> = Vec::new();
+        let mut by_key: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut start_acc = Vec::with_capacity(tags.len());
+        for (ci, &tag) in tags.iter().enumerate() {
+            start_acc.push(tag.start_states().iter().any(|&s| tag.is_accepting(s)));
+            let lane_ids = by_key.entry(skeleton_key(tag)).or_default();
+            match lane_ids
+                .iter()
+                .copied()
+                .find(|&li| lanes[li].members.len() < LANE_WIDTH)
+            {
+                Some(li) => lanes[li].add_member(ci, tag),
+                None => {
+                    lane_ids.push(lanes.len());
+                    let mut lane = Lane::build(tag);
+                    lane.add_member(ci, tag);
+                    lanes.push(lane);
+                }
+            }
+        }
+        MultiMatcher {
+            tags,
+            opts,
+            lanes,
+            start_acc,
+        }
+    }
+
+    /// Number of candidate TAGs.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the candidate set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Number of skeleton lanes (shared simulations actually run).
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// States in the compiled plan: one state set per lane, however many
+    /// members share it.
+    pub fn shared_states(&self) -> usize {
+        self.lanes.iter().map(|l| l.rep.n_states).sum()
+    }
+
+    /// States summed over every candidate individually (what per-candidate
+    /// scans would simulate); `total_states - shared_states` is the
+    /// construction-time deduplication.
+    pub fn total_states(&self) -> usize {
+        self.tags.iter().map(|t| t.n_states).sum()
+    }
+
+    /// Runs every candidate over `events` (direct tick resolution),
+    /// returning per-candidate stats in input order. `early_exit` stops a
+    /// candidate at its first acceptance (the miner's anchored mode); other
+    /// candidates keep scanning.
+    pub fn run_scratch(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        scratch: &mut MultiScratch,
+    ) -> Vec<RunStats> {
+        self.run_core(events, None, early_exit, scratch, None).stats
+    }
+
+    /// [`run_scratch`](Self::run_scratch) under [`Limits`]: cancellation
+    /// and the deadline are polled per event; the budget caps the *pooled*
+    /// frontier rows summed across every lane (the shared arena is the
+    /// resource actually consumed).
+    pub fn run_bounded(
+        &self,
+        events: &[Event],
+        early_exit: bool,
+        scratch: &mut MultiScratch,
+        limits: &Limits,
+    ) -> MultiRun {
+        self.run_core(events, None, early_exit, scratch, Some(limits))
+    }
+
+    /// Column-reading variant of [`run_scratch`](Self::run_scratch):
+    /// clock ticks come from `cols` rows `offset..offset + events.len()`
+    /// where available, with direct resolution as fallback per clock.
+    pub fn run_columns_scratch(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        early_exit: bool,
+        scratch: &mut MultiScratch,
+    ) -> Vec<RunStats> {
+        self.run_core(events, Some((cols, offset)), early_exit, scratch, None)
+            .stats
+    }
+
+    /// [`run_columns_scratch`](Self::run_columns_scratch) under
+    /// [`Limits`] (see [`run_bounded`](Self::run_bounded) for the budget
+    /// unit).
+    pub fn run_columns_bounded(
+        &self,
+        events: &[Event],
+        cols: &TickColumns,
+        offset: usize,
+        early_exit: bool,
+        scratch: &mut MultiScratch,
+        limits: &Limits,
+    ) -> MultiRun {
+        self.run_core(events, Some((cols, offset)), early_exit, scratch, Some(limits))
+    }
+
+    /// Observability wrapper around the scan loop: one `tag.multi.run`
+    /// span, `tag.multi.*` counters and the pooled per-event frontier
+    /// histogram, all double-gated exactly like the per-candidate engine.
+    fn run_core(
+        &self,
+        events: &[Event],
+        cols: Option<(&TickColumns, usize)>,
+        early_exit: bool,
+        scratch: &mut MultiScratch,
+        limits: Option<&Limits>,
+    ) -> MultiRun {
+        let _span = span_if(self.opts.obs.spans, "tag.multi.run");
+        let mut hist = self.opts.obs.metrics_on().then(Histogram::new);
+        let mut merged = 0u64;
+        let run = self.run_loop(events, cols, early_exit, scratch, limits, &mut hist, &mut merged);
+        if let Some(h) = &hist {
+            metrics::counter_add("tag.multi.runs", 1);
+            metrics::counter_add("tag.multi.candidates", self.tags.len() as u64);
+            metrics::counter_add("tag.multi.lanes", self.lanes.len() as u64);
+            metrics::counter_add("tag.multi.shared_states", self.shared_states() as u64);
+            metrics::counter_add("tag.multi.dedup_rows", merged);
+            metrics::counter_add(
+                "tag.multi.accepted",
+                run.stats.iter().filter(|s| s.accepted).count() as u64,
+            );
+            metrics::histogram_merge("tag.multi.frontier", h);
+            if let Some(i) = run.verdict.interrupt() {
+                count_interrupt(i);
+            }
+        }
+        run
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_loop(
+        &self,
+        events: &[Event],
+        cols: Option<(&TickColumns, usize)>,
+        early_exit: bool,
+        scratch: &mut MultiScratch,
+        limits: Option<&Limits>,
+        hist: &mut Option<Histogram>,
+        merged_rows: &mut u64,
+    ) -> MultiRun {
+        let mut stats = vec![RunStats::default(); self.tags.len()];
+        // Empty input: accepted iff a start state is accepting (mirrors the
+        // per-candidate engine's pre-loop answer).
+        if events.is_empty() {
+            for (ci, s) in stats.iter_mut().enumerate() {
+                s.accepted = self.start_acc[ci];
+            }
+            return MultiRun {
+                stats,
+                verdict: Verdict::Completed,
+            };
+        }
+        tgm_limits::fail::point("tag.multi.run", limits);
+        if let Some((cols, offset)) = cols {
+            assert!(
+                offset + events.len() <= cols.len(),
+                "event slice [{offset}, {}) exceeds the {} column rows",
+                offset + events.len(),
+                cols.len()
+            );
+        }
+        while scratch.lanes.len() < self.lanes.len() {
+            scratch.lanes.push(LaneScratch::default());
+        }
+        let mut lane_states: Vec<LaneState> = Vec::with_capacity(self.lanes.len());
+        for (li, lane) in self.lanes.iter().enumerate() {
+            let mut active = full_mask(lane.members.len());
+            if early_exit && lane.start_accepting {
+                // Length-0 prefix acceptance before consuming anything.
+                for &g in &lane.members {
+                    stats[g].accepted = true;
+                }
+                active = 0;
+            }
+            lane_states.push(LaneState {
+                active,
+                all_started: false,
+                have_prev: false,
+            });
+            let ls = &mut scratch.lanes[li];
+            if ls.live_cnt.len() < LANE_WIDTH {
+                ls.live_cnt.resize(LANE_WIDTH, 0);
+            }
+            if let Some((cols, _)) = cols {
+                ls.clock_cols.clear();
+                ls.clock_cols
+                    .extend(lane.rep.clocks.iter().map(|(_, g)| cols.index_of(g)));
+            }
+        }
+        let mut verdict = Verdict::Completed;
+        let mut pool_peak: u64 = 0;
+        for (i, e) in events.iter().enumerate() {
+            if lane_states.iter().all(|s| s.active == 0) {
+                break;
+            }
+            if let Some(l) = limits {
+                if let Err(int) = l.check() {
+                    verdict = int.into();
+                    break;
+                }
+            }
+            let mut total_rows: u64 = 0;
+            for (li, lane) in self.lanes.iter().enumerate() {
+                let st = &mut lane_states[li];
+                if st.active == 0 {
+                    continue;
+                }
+                let ls = &mut scratch.lanes[li];
+                let n = lane.n_clocks;
+                ls.ticks.clear();
+                ls.ticks.resize(n, NONE_TICK);
+                match cols {
+                    Some((cols, offset)) => {
+                        let (ticks, ccols) = (&mut ls.ticks, &ls.clock_cols);
+                        for (x, c) in ccols.iter().enumerate() {
+                            ticks[x] = match c {
+                                Some(c) => pack_tick(cols.tick(*c, offset + i)),
+                                None => {
+                                    pack_tick(lane.rep.clocks[x].1.covering_tick(e.time))
+                                }
+                            };
+                        }
+                    }
+                    None => {
+                        for x in 0..n {
+                            ls.ticks[x] =
+                                pack_tick(lane.rep.clocks[x].1.covering_tick(e.time));
+                        }
+                    }
+                }
+                if i == 0 {
+                    seed_lane(lane, ls, st.active);
+                }
+                self.advance_lane(lane, ls, st, &mut stats, e, early_exit, merged_rows);
+                if st.active != 0 {
+                    total_rows += ls.meta.len() as u64;
+                }
+            }
+            if let Some(h) = hist.as_mut() {
+                h.record(total_rows);
+            }
+            pool_peak = pool_peak.max(total_rows);
+            if let Some(l) = limits {
+                if l.budget_exceeded(pool_peak) {
+                    verdict = Interrupt::BudgetExhausted.into();
+                    break;
+                }
+            }
+        }
+        if verdict.interrupt().is_none() {
+            // Survivors: acceptance from the final frontier, like the
+            // per-candidate engine's end-of-input answer.
+            for (li, lane) in self.lanes.iter().enumerate() {
+                let st = &lane_states[li];
+                if st.active == 0 {
+                    continue;
+                }
+                let ls = &scratch.lanes[li];
+                let mut acc_mask = 0u64;
+                for (r, &m) in ls.meta.iter().enumerate() {
+                    if lane.rep.is_accepting(meta_state(m)) {
+                        acc_mask |= ls.cands[r];
+                    }
+                }
+                for c in bits(st.active & acc_mask) {
+                    stats[lane.members[c]].accepted = true;
+                }
+            }
+        }
+        MultiRun { stats, verdict }
+    }
+
+    /// Advances one lane by one event (the shared-frontier analogue of
+    /// `advance_packed`), maintaining per-member stats, completions
+    /// (early-exit), deaths, and the member-purge compaction.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_lane(
+        &self,
+        lane: &Lane<'_>,
+        ls: &mut LaneScratch,
+        st: &mut LaneState,
+        stats: &mut [RunStats],
+        e: &Event,
+        early_exit: bool,
+        merged_rows: &mut u64,
+    ) {
+        // Every active member consumes the event (counted even on the
+        // strict-updates dead path, like the per-candidate engine).
+        for c in bits(st.active) {
+            stats[lane.members[c]].events += 1;
+        }
+        let tmask = lane.type_masks.get(&e.ty);
+        let ticks_same = st.have_prev && ls.ticks == ls.prev_ticks;
+        if tmask.is_none()
+            && lane.pure_skips
+            && ticks_same
+            && (!self.opts.anchored || st.all_started)
+        {
+            // Out-of-alphabet event with an unchanged tick row: every row
+            // fires exactly its pure skip loop and reproduces itself (rows
+            // are already canonical for these ticks), so the frontier is
+            // literally unchanged. Only the expansion counters move.
+            for c in bits(st.active) {
+                stats[lane.members[c]].expansions += u64::from(ls.live_cnt[c]);
+            }
+            return;
+        }
+        let LaneScratch {
+            meta,
+            cands,
+            rows,
+            next_meta,
+            next_cands,
+            next_rows,
+            table,
+            ticks,
+            prev_ticks,
+            live_cnt,
+            ..
+        } = ls;
+        let n = lane.n_clocks;
+        let strict_dead = self.opts.strict_updates && ticks.contains(&NONE_TICK);
+        next_meta.clear();
+        next_cands.clear();
+        next_rows.clear();
+        for c in bits(st.active) {
+            live_cnt[c] = 0;
+        }
+        let mut ctx = FireCtx {
+            next_meta,
+            next_cands,
+            next_rows,
+            table,
+            live_cnt,
+            stats,
+            members: &lane.members,
+            ticks,
+            max_consts: &lane.max_consts,
+            n,
+            saturate: self.opts.saturate,
+            anchored: self.opts.anchored,
+            reached: 0,
+            next_all_started: true,
+            merged: 0,
+        };
+        if !strict_dead {
+            ctx.table.reset();
+            for ri in 0..meta.len() {
+                let (state, started) = (meta_state(meta[ri]), meta_started(meta[ri]));
+                let cs = cands[ri];
+                let row = &rows[ri * n..ri * n + n];
+                let plan = &lane.plans[state.index()];
+                let trs = &lane.rep.by_state[state.index()];
+                for &ti in &plan.uniform {
+                    ctx.fire(lane.rep, &trs[ti as usize], cs, started, row);
+                }
+                if let Some(tm) = tmask {
+                    for &(ti, k) in &plan.exact {
+                        let mask = cs & tm[k as usize];
+                        if mask != 0 {
+                            ctx.fire(lane.rep, &trs[ti as usize], mask, started, row);
+                        }
+                    }
+                }
+            }
+        }
+        let reached = ctx.reached;
+        let next_all_started = ctx.next_all_started;
+        *merged_rows += ctx.merged;
+        std::mem::swap(meta, next_meta);
+        std::mem::swap(cands, next_cands);
+        std::mem::swap(rows, next_rows);
+        // Per-member peak = that member's post-event frontier size, exactly
+        // the per-candidate `peak_configs` update (including the event a
+        // member completes or dies on).
+        for c in bits(st.active) {
+            let g = lane.members[c];
+            stats[g].peak_configs = stats[g].peak_configs.max(live_cnt[c] as usize);
+        }
+        let mut deact = 0u64;
+        if early_exit {
+            for c in bits(reached & st.active) {
+                stats[lane.members[c]].accepted = true;
+                deact |= 1 << c;
+            }
+        }
+        for c in bits(st.active & !deact) {
+            if live_cnt[c] == 0 {
+                // Death: the member's frontier emptied; `accepted` stays
+                // false (set later from the final frontier if the whole
+                // run survives — not applicable to a dead member).
+                deact |= 1 << c;
+            }
+        }
+        if deact != 0 {
+            st.active &= !deact;
+            if st.active == 0 {
+                meta.clear();
+                cands.clear();
+                rows.clear();
+            } else {
+                // Purge deactivated members' bits; drop rows nobody holds.
+                let mut w = 0usize;
+                for r in 0..meta.len() {
+                    let cs = cands[r] & st.active;
+                    if cs == 0 {
+                        continue;
+                    }
+                    meta[w] = meta[r];
+                    cands[w] = cs;
+                    if w != r {
+                        rows.copy_within(r * n..r * n + n, w * n);
+                    }
+                    w += 1;
+                }
+                meta.truncate(w);
+                cands.truncate(w);
+                rows.truncate(w * n);
+            }
+        }
+        prev_ticks.clear();
+        prev_ticks.extend_from_slice(ticks);
+        st.have_prev = true;
+        st.all_started = next_all_started;
+    }
+}
+
+/// Seeds a lane's frontier at the first event's tick row: one row per
+/// distinct start state, held by every member.
+fn seed_lane(lane: &Lane<'_>, ls: &mut LaneScratch, mask: u64) {
+    let n = lane.n_clocks;
+    let LaneScratch {
+        meta,
+        cands,
+        rows,
+        table,
+        ticks,
+        live_cnt,
+        ..
+    } = ls;
+    meta.clear();
+    cands.clear();
+    rows.clear();
+    table.reset();
+    for &s in lane.rep.start_states() {
+        let m = pack_meta(s, false);
+        let idx = meta.len() as u32;
+        rows.extend_from_slice(ticks);
+        let (done, staged) = rows.split_at_mut(idx as usize * n);
+        let staged: &[i64] = &staged[..n];
+        let done: &[i64] = done;
+        let h = hash_row(m, staged);
+        let fm: &[u64] = meta;
+        let is_new = table.insert(
+            h,
+            idx,
+            |j| fm[j as usize] == m && &done[j as usize * n..(j as usize + 1) * n] == staged,
+            |j| hash_row(fm[j as usize], &done[j as usize * n..(j as usize + 1) * n]),
+        );
+        if is_new {
+            meta.push(m);
+            cands.push(mask);
+        } else {
+            rows.truncate(idx as usize * n);
+        }
+    }
+    let cnt = meta.len() as u32;
+    for c in bits(mask) {
+        live_cnt[c] = cnt;
+    }
+}
+
+/// Split borrows of one lane's *next*-frontier buffers plus the stats
+/// sinks, so [`fire`](FireCtx::fire) can stage successors while the caller
+/// iterates the current frontier.
+struct FireCtx<'x> {
+    next_meta: &'x mut Vec<u64>,
+    next_cands: &'x mut Vec<u64>,
+    next_rows: &'x mut Vec<i64>,
+    table: &'x mut DedupTable,
+    live_cnt: &'x mut [u32],
+    stats: &'x mut [RunStats],
+    members: &'x [usize],
+    ticks: &'x [i64],
+    max_consts: &'x [i64],
+    n: usize,
+    saturate: bool,
+    anchored: bool,
+    /// Members that reached an accepting state via a pattern transition
+    /// this event.
+    reached: u64,
+    next_all_started: bool,
+    /// Physical rows merged (shared) this event.
+    merged: u64,
+}
+
+impl FireCtx<'_> {
+    /// Fires `tr` from a row for the member set `mask`: guard check,
+    /// per-member expansion counting, successor staging with reset +
+    /// canonicalization, and the member-set merge on deduplication —
+    /// semantically `advance_packed`'s inner loop run for every member at
+    /// once.
+    fn fire(&mut self, rep: &Tag, tr: &Transition, mask: u64, started: bool, row: &[i64]) {
+        if self.anchored && !started && tr.is_skip {
+            return;
+        }
+        {
+            let value = |x: ClockId| -> Option<i64> {
+                let (cur, res) = (self.ticks[x.index()], row[x.index()]);
+                if cur != NONE_TICK && res != NONE_TICK {
+                    Some(cur.saturating_sub(res))
+                } else {
+                    None
+                }
+            };
+            if tr.guard.eval(&value) != Some(true) {
+                return;
+            }
+        }
+        for c in bits(mask) {
+            self.stats[self.members[c]].expansions += 1;
+        }
+        let n = self.n;
+        let idx = self.next_meta.len() as u32;
+        self.next_rows.extend_from_slice(row);
+        let (done, staged) = self.next_rows.split_at_mut(idx as usize * n);
+        let staged = &mut staged[..n];
+        for &x in &tr.resets {
+            staged[x.index()] = self.ticks[x.index()];
+        }
+        if self.saturate {
+            for (x, r) in staged.iter_mut().enumerate() {
+                let cur = self.ticks[x];
+                if cur != NONE_TICK && *r != NONE_TICK {
+                    let cap = self.max_consts[x];
+                    if cur.saturating_sub(*r) > cap {
+                        *r = saturate_reset(cur, cap);
+                    }
+                }
+            }
+        }
+        let nm = pack_meta(tr.to, started || !tr.is_skip);
+        if rep.is_accepting(tr.to) && !tr.is_skip {
+            self.reached |= mask;
+        }
+        let staged: &[i64] = staged;
+        let done: &[i64] = done;
+        let h = hash_row(nm, staged);
+        let fm: &[u64] = self.next_meta;
+        let mut hit: Option<u32> = None;
+        let is_new = self.table.insert(
+            h,
+            idx,
+            |j| {
+                let eq = fm[j as usize] == nm
+                    && &done[j as usize * n..(j as usize + 1) * n] == staged;
+                if eq {
+                    hit = Some(j);
+                }
+                eq
+            },
+            |j| hash_row(fm[j as usize], &done[j as usize * n..(j as usize + 1) * n]),
+        );
+        if is_new {
+            self.next_meta.push(nm);
+            self.next_cands.push(mask);
+            self.next_all_started &= meta_started(nm);
+            for c in bits(mask) {
+                self.live_cnt[c] += 1;
+            }
+        } else {
+            self.next_rows.truncate(idx as usize * n);
+            if let Some(j) = hit {
+                let ex = self.next_cands[j as usize];
+                // Members already holding the configuration score a dedup
+                // hit (their engine would have rejected the duplicate);
+                // first arrivals gain a live row.
+                for c in bits(mask & ex) {
+                    self.stats[self.members[c]].dedup_hits += 1;
+                }
+                for c in bits(mask & !ex) {
+                    self.live_cnt[c] += 1;
+                }
+                self.next_cands[j as usize] = ex | mask;
+                self.merged += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tgm_core::examples::example_1;
+    use tgm_events::{Event, EventType, TypeRegistry};
+    use tgm_granularity::Calendar;
+
+    use super::*;
+    use crate::construct::{build_tag, TagTemplate};
+    use crate::matcher::{Matcher, MatcherScratch};
+    use tgm_core::ComplexEventType;
+
+    const DAY: i64 = 86_400;
+
+    fn chain_structure(cal: &Calendar) -> tgm_core::EventStructure {
+        let mut sb = tgm_core::StructureBuilder::new();
+        let x0 = sb.var("X0");
+        let x1 = sb.var("X1");
+        sb.constrain(x0, x1, tgm_core::Tcg::new(0, 2, cal.get("day").unwrap()));
+        sb.build().unwrap()
+    }
+
+    /// Shared scan over sibling candidates == per-candidate runs, on a
+    /// small hand-made world (the proptest differential lives in
+    /// `tests/multi_tag_differential.rs`).
+    #[test]
+    fn sibling_candidates_bit_identical() {
+        let cal = Calendar::standard();
+        let s = chain_structure(&cal);
+        let template = TagTemplate::new(&s);
+        let tys: Vec<EventType> = (0..6).map(EventType).collect();
+        let tags: Vec<Tag> = tys
+            .iter()
+            .map(|&t| template.instantiate(&[tys[0], t]))
+            .collect();
+        let events: Vec<Event> = (0..40)
+            .map(|i| Event::new(tys[(i % 5) as usize], i * DAY / 3 + 2 * DAY))
+            .collect();
+        for early in [false, true] {
+            for opts in [
+                MatchOptions::default(),
+                MatchOptions::builder().anchored(true).build(),
+                MatchOptions::builder().strict_updates(true).build(),
+                MatchOptions::builder().saturate(false).build(),
+            ] {
+                let mm = MultiMatcher::with_options(tags.iter().collect(), opts);
+                let got = mm.run_scratch(&events, early, &mut MultiScratch::new());
+                let mut scratch = MatcherScratch::new();
+                for (k, tag) in tags.iter().enumerate() {
+                    let want =
+                        Matcher::with_options(tag, opts).run_scratch(&events, early, &mut scratch);
+                    assert_eq!(got[k], want, "candidate {k}, early={early}, {opts:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_group_structurally_identical_tags() {
+        let cal = Calendar::standard();
+        let s = chain_structure(&cal);
+        let template = TagTemplate::new(&s);
+        let a: Vec<Tag> = (0..5)
+            .map(|i| template.instantiate(&[EventType(0), EventType(i)]))
+            .collect();
+        // A structurally different tag: Example 1's automaton.
+        let mut reg = TypeRegistry::new();
+        let (cet, _) = example_1(&cal, &mut reg);
+        let other = build_tag(&cet);
+        let mut tags: Vec<&Tag> = a.iter().collect();
+        tags.push(&other);
+        let mm = MultiMatcher::new(tags);
+        assert_eq!(mm.len(), 6);
+        assert_eq!(mm.n_lanes(), 2, "5 siblings share one lane");
+        assert!(mm.shared_states() < mm.total_states());
+    }
+
+    #[test]
+    fn empty_input_and_empty_set() {
+        let cal = Calendar::standard();
+        let s = chain_structure(&cal);
+        let template = TagTemplate::new(&s);
+        let t0 = template.instantiate(&[EventType(0), EventType(1)]);
+        let mm = MultiMatcher::new(vec![&t0]);
+        let stats = mm.run_scratch(&[], false, &mut MultiScratch::new());
+        assert_eq!(stats.len(), 1);
+        assert!(!stats[0].accepted);
+        assert_eq!(stats[0].events, 0);
+        let none = MultiMatcher::new(Vec::new());
+        assert!(none.is_empty());
+        assert!(none
+            .run_scratch(&[Event::new(EventType(0), 0)], true, &mut MultiScratch::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn pooled_budget_interrupts_with_typed_verdict() {
+        let cal = Calendar::standard();
+        let s = chain_structure(&cal);
+        let template = TagTemplate::new(&s);
+        let tags: Vec<Tag> = (0..8)
+            .map(|i| template.instantiate(&[EventType(0), EventType(i)]))
+            .collect();
+        let events: Vec<Event> = (0..30)
+            .map(|i| Event::new(EventType((i % 8) as u32), i * DAY + 2 * DAY))
+            .collect();
+        let mm = MultiMatcher::new(tags.iter().collect());
+        let run = mm.run_bounded(
+            &events,
+            false,
+            &mut MultiScratch::new(),
+            &Limits::none().with_budget(0),
+        );
+        assert_eq!(run.verdict.interrupt(), Some(Interrupt::BudgetExhausted));
+        // And an ample budget completes identically to the unbounded run.
+        let free = mm.run_bounded(
+            &events,
+            false,
+            &mut MultiScratch::new(),
+            &Limits::none().with_budget(1_000_000),
+        );
+        assert!(free.verdict.interrupt().is_none());
+        assert_eq!(free.stats, mm.run_scratch(&events, false, &mut MultiScratch::new()));
+    }
+
+    /// `TagTemplate::instantiate` is bit-identical to building the tag for
+    /// the same `φ` from scratch (same builder call sequence, relabelled
+    /// symbols only).
+    #[test]
+    fn template_instantiation_matches_direct_build() {
+        let cal = Calendar::standard();
+        let mut reg = TypeRegistry::new();
+        let (cet, tys) = example_1(&cal, &mut reg);
+        let template = TagTemplate::new(cet.structure());
+        let phi = [tys.ibm_rise, tys.ibm_report, tys.hp_rise, tys.ibm_fall];
+        let direct = build_tag(&ComplexEventType::new(cet.structure().clone(), phi.to_vec()));
+        let inst = template.instantiate(&phi);
+        assert_eq!(format!("{direct:?}"), format!("{inst:?}"));
+        let events: Vec<Event> = (0..30)
+            .map(|i| Event::new(phi[(i % 4) as usize], i * DAY / 2 + 2 * DAY))
+            .collect();
+        let mut scratch = MatcherScratch::new();
+        assert_eq!(
+            Matcher::new(&direct).run_scratch(&events, false, &mut scratch),
+            Matcher::new(&inst).run_scratch(&events, false, &mut scratch),
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Differential property tests for the multi-TAG shared-scan engine: on
+//! randomized candidate sets (sibling assignments of a random chain
+//! structure, optionally mixed with a structurally different tag so runs
+//! span several lanes), [`MultiMatcher`] must produce *bit-identical*
+//! per-candidate [`RunStats`](tgm_tag::RunStats) to running the packed
+//! per-candidate engine — the retained oracle — one tag at a time, under
+//! every `MatchOptions` combination, for direct, column-reading,
+//! early-exit, and suffix-offset runs alike, and under bounded execution
+//! with typed verdicts.
+
+use proptest::prelude::*;
+use tgm_core::{StructureBuilder, Tcg};
+use tgm_events::{Event, EventType, TickColumns};
+use tgm_granularity::{Calendar, Gran};
+use tgm_limits::{Interrupt, Limits};
+use tgm_tag::{
+    MatchOptions, Matcher, MatcherScratch, MultiMatcher, MultiScratch, Tag, TagTemplate,
+};
+
+const DAY: i64 = 86_400;
+
+fn grans() -> Vec<Gran> {
+    let cal = Calendar::standard();
+    ["hour", "day", "week", "business-day"]
+        .iter()
+        .map(|n| cal.get(n).unwrap())
+        .collect()
+}
+
+fn all_option_combos() -> Vec<MatchOptions> {
+    (0..8u32)
+        .map(|bits| {
+            MatchOptions::builder()
+                .anchored(bits & 1 != 0)
+                .strict_updates(bits & 2 != 0)
+                .saturate(bits & 4 != 0)
+                .build()
+        })
+        .collect()
+}
+
+/// A random chain-structure template: `chain_len` variables, random
+/// granularities and bounds on the arcs.
+fn build_template(chain_len: usize, gran_picks: &[usize], bounds: &[(u64, u64)]) -> TagTemplate {
+    let gs = grans();
+    let mut b = StructureBuilder::new();
+    let vars: Vec<_> = (0..chain_len).map(|i| b.var(format!("X{i}"))).collect();
+    for i in 1..chain_len {
+        let (lo, w) = bounds[i - 1];
+        let g = gs[gran_picks[i - 1] % gs.len()].clone();
+        b.constrain(vars[i - 1], vars[i], Tcg::new(lo, lo + w, g));
+    }
+    TagTemplate::new(&b.build().unwrap())
+}
+
+/// Per-candidate oracle: the packed engine run one tag at a time, sharing
+/// one scratch (reuse must not leak state between candidates).
+fn oracle_runs(
+    tags: &[Tag],
+    opts: MatchOptions,
+    events: &[Event],
+    early_exit: bool,
+) -> Vec<tgm_tag::RunStats> {
+    let mut scratch = MatcherScratch::new();
+    tags.iter()
+        .map(|t| Matcher::with_options(t, opts).run_scratch(events, early_exit, &mut scratch))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shared_scan_bit_identical_to_per_candidate(
+        chain_len in 2usize..4,
+        gran_picks in proptest::collection::vec(0usize..4, 3),
+        bounds in proptest::collection::vec((0u64..3, 0u64..3), 3),
+        // Candidate assignments: each a φ over a 4-type pool.
+        phis in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 4), 1..7),
+        mix_other in any::<bool>(),
+        raw_events in proptest::collection::vec((0u32..4, 0i64..60), 1..40),
+        start in 0usize..8,
+    ) {
+        let template = build_template(chain_len, &gran_picks, &bounds);
+        let mut tags: Vec<Tag> = phis
+            .iter()
+            .map(|p| {
+                let phi: Vec<EventType> = p.iter().map(|&t| EventType(t)).collect();
+                template.instantiate(&phi)
+            })
+            .collect();
+        if mix_other {
+            // A different skeleton (other chain length / granularity), so
+            // the run exercises the multi-lane path.
+            let other = build_template(chain_len + 1, &[2, 1, 3], &[(1, 1), (0, 2), (1, 0)]);
+            tags.push(other.instantiate(&[
+                EventType(0),
+                EventType(1),
+                EventType(2),
+                EventType(3),
+            ]));
+        }
+        let mut events: Vec<Event> = raw_events
+            .iter()
+            .map(|&(ty, step)| Event::new(EventType(ty), 2 * DAY + step * 6 * 3_600))
+            .collect();
+        events.sort_by_key(|e| e.time);
+        // Columns over the union of every candidate's clock granularities.
+        let mut all_grans: Vec<Gran> = Vec::new();
+        for t in &tags {
+            for (_, g) in t.clocks() {
+                if !all_grans.contains(g) {
+                    all_grans.push(g.clone());
+                }
+            }
+        }
+        let cols = TickColumns::build(&events, &all_grans);
+        let start = start.min(events.len().saturating_sub(1));
+        let slice = &events[start..];
+
+        let mut mscratch = MultiScratch::new();
+        for opts in all_option_combos() {
+            let mm = MultiMatcher::with_options(tags.iter().collect(), opts);
+            for early_exit in [false, true] {
+                let want = oracle_runs(&tags, opts, &events, early_exit);
+                let got = mm.run_scratch(&events, early_exit, &mut mscratch);
+                prop_assert_eq!(&want, &got, "run, opts {:?}", opts);
+
+                // Column-reading suffix run vs the oracle's column run.
+                let mut oscratch = MatcherScratch::new();
+                let want_cols: Vec<_> = tags
+                    .iter()
+                    .map(|t| {
+                        Matcher::with_options(t, opts)
+                            .run_columns_scratch(slice, &cols, start, early_exit, &mut oscratch)
+                    })
+                    .collect();
+                let got_cols =
+                    mm.run_columns_scratch(slice, &cols, start, early_exit, &mut mscratch);
+                prop_assert_eq!(&want_cols, &got_cols, "run_columns, opts {:?}", opts);
+
+                // Limits::none() must not perturb anything and completes.
+                let bounded =
+                    mm.run_bounded(&events, early_exit, &mut mscratch, &Limits::none());
+                prop_assert!(bounded.verdict.is_complete());
+                prop_assert_eq!(&want, &bounded.stats, "bounded none, opts {:?}", opts);
+
+                // A zero budget either completes (frontier emptied before
+                // any pooled row survived an event) with identical stats,
+                // or trips the typed budget verdict.
+                let tight = mm.run_bounded(
+                    &events,
+                    early_exit,
+                    &mut mscratch,
+                    &Limits::none().with_budget(0),
+                );
+                match tight.verdict.interrupt() {
+                    None => prop_assert_eq!(&want, &tight.stats, "tight-completed {:?}", opts),
+                    Some(i) => prop_assert_eq!(i, Interrupt::BudgetExhausted),
+                }
+            }
+        }
+    }
+
+    /// Candidate-set composition is irrelevant: any subset scanned
+    /// together gives each member the stats it gets scanned alone (with
+    /// obs on, to cover the instrumented path).
+    #[test]
+    fn arbitrary_subsets_obs_on(
+        subset_mask in 1u32..63,
+        raw_events in proptest::collection::vec((0u32..4, 0i64..40), 1..30),
+    ) {
+        tgm_obs::set_enabled(true);
+        let template = build_template(3, &[1, 2], &[(0, 2), (1, 1)]);
+        let pool: Vec<Tag> = (0..6)
+            .map(|i| {
+                template.instantiate(&[
+                    EventType(i % 4),
+                    EventType((i + 1) % 4),
+                    EventType((i + 2) % 4),
+                ])
+            })
+            .collect();
+        let tags: Vec<&Tag> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| subset_mask & (1 << i) != 0)
+            .map(|(_, t)| t)
+            .collect();
+        let mut events: Vec<Event> = raw_events
+            .iter()
+            .map(|&(ty, step)| Event::new(EventType(ty), 2 * DAY + step * 6 * 3_600))
+            .collect();
+        events.sort_by_key(|e| e.time);
+        let opts = MatchOptions::default();
+        let mm = MultiMatcher::with_options(tags.clone(), opts);
+        let got = mm.run_scratch(&events, true, &mut MultiScratch::new());
+        let mut scratch = MatcherScratch::new();
+        for (k, t) in tags.iter().enumerate() {
+            let want = Matcher::with_options(t, opts).run_scratch(&events, true, &mut scratch);
+            prop_assert_eq!(got[k], want, "member {}", k);
+        }
+        tgm_obs::set_enabled(false);
+    }
+}
+
+/// A deadline already in the past interrupts with the typed verdict before
+/// any event is consumed.
+#[test]
+fn past_deadline_typed_verdict() {
+    let template = build_template(2, &[1], &[(0, 2)]);
+    let tags: Vec<Tag> = (0..4)
+        .map(|i| template.instantiate(&[EventType(0), EventType(i)]))
+        .collect();
+    let events: Vec<Event> = (0..10)
+        .map(|i| Event::new(EventType(i % 4), 2 * DAY + i as i64 * 3_600))
+        .collect();
+    let mm = MultiMatcher::new(tags.iter().collect());
+    let run = mm.run_bounded(
+        &events,
+        false,
+        &mut MultiScratch::new(),
+        &Limits::none().with_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+    );
+    assert_eq!(run.verdict.interrupt(), Some(Interrupt::DeadlineExceeded));
+    for s in &run.stats {
+        assert!(!s.accepted);
+        assert_eq!(s.events, 0);
+    }
+}
+
+/// Cancellation via a shared token interrupts with the typed verdict.
+#[test]
+fn cancelled_token_typed_verdict() {
+    let template = build_template(2, &[1], &[(0, 2)]);
+    let t0 = template.instantiate(&[EventType(0), EventType(1)]);
+    let events: Vec<Event> = (0..10)
+        .map(|i| Event::new(EventType(i % 2), 2 * DAY + i as i64 * 3_600))
+        .collect();
+    let mm = MultiMatcher::new(vec![&t0]);
+    let token = tgm_limits::CancelToken::new();
+    token.cancel();
+    let run = mm.run_bounded(
+        &events,
+        false,
+        &mut MultiScratch::new(),
+        &Limits::none().with_cancel(token),
+    );
+    assert_eq!(run.verdict.interrupt(), Some(Interrupt::Cancelled));
+}
