@@ -21,7 +21,8 @@ use tgm_bench::workloads::planted_stock_workload;
 use tgm_bench::timed;
 use tgm_core::{ComplexEventType, StructureBuilder, Tcg, VarId};
 use tgm_events::TypeRegistry;
-use tgm_granularity::Calendar;
+use tgm_events::TickColumns;
+use tgm_granularity::{cache as gran_cache, periodic, Calendar, Gran};
 use tgm_limits::{CancelToken, Limits};
 use tgm_mining::naive::{self, NaiveOptions};
 use tgm_mining::pipeline::{mine_bounded, mine_with, PipelineOptions};
@@ -278,6 +279,122 @@ fn main() {
         multi_rows.push((n, multi_ms * per, percand_ms * per));
     }
 
+    // Workload 6: granularity conversion — the compiled periodic fast path
+    // vs the mutex resolution cache vs raw interval arithmetic on
+    // `convert_tick`, single-thread and under 4-thread contention, plus the
+    // TickColumns bulk build. Every mode's results are asserted
+    // bit-identical before any timing is recorded.
+    let conv_cal = Calendar::standard();
+    let conv_src = conv_cal.get("day").unwrap();
+    let conv_dst = conv_cal.get("business-month").unwrap();
+    let conv_ticks: Vec<i64> = {
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as i64 % 6_000) - 3_000
+            })
+            .collect()
+    };
+    let conv_run = |src: &Gran, dst: &Gran| -> Vec<Option<i64>> {
+        conv_ticks.iter().map(|&z| src.convert_tick_to(z, dst)).collect()
+    };
+    periodic::set_enabled(true);
+    assert!(
+        conv_src.compiled().is_some() && conv_dst.compiled().is_some(),
+        "conversion pair must compile"
+    );
+    let conv_compiled_res = conv_run(&conv_src, &conv_dst);
+    let conv_compiled_ms = median_ms(reps, || {
+        std::hint::black_box(conv_run(&conv_src, &conv_dst));
+    });
+    periodic::set_enabled(false);
+    gran_cache::set_enabled(true);
+    let conv_cache_res = conv_run(&conv_src, &conv_dst); // warm the memo
+    let conv_cache_ms = median_ms(reps, || {
+        std::hint::black_box(conv_run(&conv_src, &conv_dst));
+    });
+    gran_cache::set_enabled(false);
+    let conv_uncached_res = conv_run(&conv_src, &conv_dst);
+    let conv_uncached_ms = median_ms(reps, || {
+        std::hint::black_box(conv_run(&conv_src, &conv_dst));
+    });
+    gran_cache::set_enabled(true);
+    assert_eq!(conv_compiled_res, conv_cache_res, "compiled vs cache results differ");
+    assert_eq!(conv_compiled_res, conv_uncached_res, "compiled vs uncached results differ");
+    let conv_ns = 1e6 / conv_ticks.len() as f64; // ms -> ns/op
+    // Contended: 4 threads sweep disjoint tick ranges whose union exceeds
+    // the memo capacity (4 x 18k keys > the 65,536-entry cap), so the
+    // mutex cache is pinned at its fill -> clear -> refill miss path while
+    // every thread fights for the map lock — the miner's anchored sweeps
+    // in miniature. The compiled path answers the same queries lock-free
+    // from the shared table.
+    let conv_threads = 4usize;
+    let conv_span = 18_000i64;
+    let conv_contended = |reps: usize| {
+        median_ms(reps, || {
+            std::thread::scope(|scope| {
+                for k in 0..conv_threads as i64 {
+                    let (conv_src, conv_dst) = (&conv_src, &conv_dst);
+                    scope.spawn(move || {
+                        let lo = (k - 2) * conv_span;
+                        for z in lo..lo + conv_span {
+                            std::hint::black_box(conv_src.convert_tick_to(z, conv_dst));
+                        }
+                    });
+                }
+            });
+        })
+    };
+    periodic::set_enabled(true);
+    let conv_contended_compiled_ms = conv_contended(reps);
+    periodic::set_enabled(false);
+    let conv_contended_cache_ms = conv_contended(reps);
+    periodic::set_enabled(true);
+    let conv_contended_ns = 1e6 / (conv_span as usize * conv_threads) as f64;
+    let conv_contended_speedup =
+        conv_contended_cache_ms / conv_contended_compiled_ms.max(1e-9);
+    // TickColumns bulk build over the same mode split.
+    let col_grans: Vec<Gran> = ["day", "business-day", "week", "business-month"]
+        .iter()
+        .map(|n| conv_cal.get(n).unwrap())
+        .collect();
+    let col_n: usize = if quick { 10_000 } else { 50_000 };
+    let col_events: Vec<Event> = {
+        let mut state = 0xda3e_39cb_94b9_5bdbu64;
+        let mut t = 2 * 86_400i64;
+        (0..col_n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t += 1 + (state >> 33) as i64 % 3_000;
+                Event::new(tgm_events::EventType((state >> 7) as u32 % 4), t)
+            })
+            .collect()
+    };
+    periodic::set_enabled(true);
+    let cols_compiled = TickColumns::build(&col_events, &col_grans);
+    let tick_columns_compiled_ms = median_ms(reps, || {
+        std::hint::black_box(TickColumns::build(&col_events, &col_grans));
+    });
+    periodic::set_enabled(false);
+    let cols_cache = TickColumns::build(&col_events, &col_grans);
+    let tick_columns_cache_ms = median_ms(reps, || {
+        std::hint::black_box(TickColumns::build(&col_events, &col_grans));
+    });
+    periodic::set_enabled(true);
+    for g in &col_grans {
+        assert_eq!(
+            cols_compiled.column(g),
+            cols_cache.column(g),
+            "TickColumns diverged between modes on {}",
+            g.name()
+        );
+    }
+
     // One instrumented pass over the same workloads: span-derived timings
     // recorded alongside the stopwatch medians (results asserted unchanged
     // against the uninstrumented runs above).
@@ -402,6 +519,42 @@ fn main() {
     let _ = writeln!(json, "    \"stream_evictions\": {},", stream_stats.evictions);
     let _ = writeln!(json, "    \"steady_state_rss_bytes\": {steady_state_rss}");
     json.push_str("  },\n");
+    json.push_str("  \"granularity_conversion\": {\n");
+    let _ = writeln!(json, "    \"pair\": \"day -> business-month\",");
+    let _ = writeln!(json, "    \"ops\": {},", conv_ticks.len());
+    let _ = writeln!(
+        json,
+        "    \"compiled_ns_per_op\": {:.1},",
+        conv_compiled_ms * conv_ns
+    );
+    let _ = writeln!(json, "    \"cache_ns_per_op\": {:.1},", conv_cache_ms * conv_ns);
+    let _ = writeln!(
+        json,
+        "    \"uncached_ns_per_op\": {:.1},",
+        conv_uncached_ms * conv_ns
+    );
+    let _ = writeln!(json, "    \"contended_threads\": {conv_threads},");
+    let _ = writeln!(
+        json,
+        "    \"contended_compiled_ns_per_op\": {:.1},",
+        conv_contended_compiled_ms * conv_contended_ns
+    );
+    let _ = writeln!(
+        json,
+        "    \"contended_cache_ns_per_op\": {:.1},",
+        conv_contended_cache_ms * conv_contended_ns
+    );
+    let _ = writeln!(json, "    \"contended_speedup\": {conv_contended_speedup:.2},");
+    let _ = writeln!(json, "    \"tick_columns_events\": {col_n},");
+    let _ = writeln!(
+        json,
+        "    \"tick_columns_compiled_ms\": {tick_columns_compiled_ms:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"tick_columns_cache_ms\": {tick_columns_cache_ms:.3}"
+    );
+    json.push_str("  },\n");
     json.push_str("  \"obs_spans\": {\n");
     let n_spans = obs_report.spans.spans.len();
     for (i, (name, s)) in obs_report.spans.spans.iter().enumerate() {
@@ -477,12 +630,31 @@ fn main() {
                  {STEP5_BASELINE_MS} ms baseline"
             ));
         }
+        // Gate 4: under contention the compiled conversion path beats the
+        // mutex cache by at least 3x.
+        if conv_contended_speedup < 3.0 {
+            failures.push(format!(
+                "contended compiled conversion is only {conv_contended_speedup:.2}x the \
+                 mutex cache (want >= 3x)"
+            ));
+        }
+        // Gate 5: the TickColumns bulk build through compiled tables is
+        // improved or unchanged (10% noise allowance).
+        if tick_columns_compiled_ms > tick_columns_cache_ms * 1.10 {
+            failures.push(format!(
+                "TickColumns build regressed: compiled {tick_columns_compiled_ms:.3} ms vs \
+                 cache {tick_columns_cache_ms:.3} ms"
+            ));
+        }
         for f in &failures {
             eprintln!("bench gate violated: {f}");
         }
         if !failures.is_empty() {
             std::process::exit(1);
         }
-        eprintln!("bench gates passed (multi-scan amortization, step5 regression)");
+        eprintln!(
+            "bench gates passed (multi-scan amortization, step5 regression, \
+             granularity conversion)"
+        );
     }
 }

@@ -149,6 +149,21 @@ fn validate_schema(json: &str) -> Vec<String> {
     {
         errs.push("sections lack granularity.cache".into());
     }
+    match doc.get("sections").and_then(|v| v.get("granularity.compile")) {
+        Some(compile) => {
+            for field in ["compiled", "fallback"] {
+                if compile.get(field).and_then(|v| v.as_u64()).is_none() {
+                    errs.push(format!("granularity.compile lacks u64 {field}"));
+                }
+            }
+            // The default registry must compile cleanly: the mutex cache is
+            // a fallback, not a peer.
+            if compile.get("fallback").and_then(|v| v.as_u64()) != Some(0) {
+                errs.push("granularity.compile.fallback is nonzero".into());
+            }
+        }
+        None => errs.push("sections lack granularity.compile".into()),
+    }
     if doc
         .get("sections")
         .and_then(|v| v.get("mining.pipeline"))

@@ -19,6 +19,13 @@ use crate::sequence::Event;
 /// Below this many cells total, a parallel build costs more than it saves.
 const PARALLEL_THRESHOLD_CELLS: usize = 4096;
 
+/// Columns at least this tall force periodic compilation up front
+/// ([`Gran::compiled`]), so the whole column resolves through the lock-free
+/// table instead of spending its first rows warming up the per-handle use
+/// counter on the mutex-cache path. Shorter columns resolve however the
+/// handle already answers — a compile would cost more than it saves.
+const COMPILE_THRESHOLD_ROWS: usize = 256;
+
 /// Per-granularity covering-tick columns over one event slice.
 ///
 /// Build once per sequence (or reduced sequence), then index by event
@@ -35,6 +42,10 @@ pub struct TickColumns {
 }
 
 fn resolve_column(g: &Gran, events: &[Event]) -> Vec<Option<Tick>> {
+    if events.len() >= COMPILE_THRESHOLD_ROWS {
+        // Result unused: covering_tick below consults the compiled table.
+        let _ = g.compiled();
+    }
     let mut out = Vec::with_capacity(events.len());
     // Events are time-sorted with ties, so adjacent duplicates are common;
     // short-circuit them before even touching the resolution cache.
@@ -138,6 +149,11 @@ impl TickColumns {
             return;
         }
         let _span = tgm_obs::span!("events.tick_columns.append");
+        if self.len + events.len() >= COMPILE_THRESHOLD_ROWS {
+            for g in &self.grans {
+                let _ = g.compiled();
+            }
+        }
         for (g, col) in self.grans.iter().zip(self.cols.iter_mut()) {
             col.reserve(events.len());
             let mut last: Option<(Second, Option<Tick>)> = self

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use crate::calendar_math::{civil_from_days, month_start_day, months_from_civil, weekday_from_days};
 use crate::granularity::{Granularity, Second, Tick};
 use crate::interval::{Interval, IntervalSet};
+use crate::periodic::PeriodicHint;
 use crate::size_table::SizeBounds;
 
 /// Seconds per day.
@@ -90,6 +91,19 @@ impl Granularity for Uniform {
 
     fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
         self.covering_tick(t)
+    }
+
+    fn periodic_hint(&self) -> Option<PeriodicHint> {
+        // Trivially periodic everywhere; keep well clear of i64 extremes so
+        // all compiled arithmetic stays in range.
+        const LIM: i64 = i64::MAX / 4;
+        Some(PeriodicHint {
+            anchor: self.anchor,
+            period: self.period,
+            sec_lo: -LIM,
+            sec_hi: LIM,
+            exceptions: None,
+        })
     }
 }
 
@@ -209,6 +223,21 @@ impl Granularity for Months {
 
     fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
         self.covering_tick(t)
+    }
+
+    fn periodic_hint(&self) -> Option<PeriodicHint> {
+        // Month lengths repeat with the 400-year (4 800-month, 146 097-day)
+        // Gregorian cycle; the tick grouping needs lcm(4 800, per_tick)
+        // months for its boundaries to realign.
+        let cycle_months = crate::periodic::checked_lcm(4_800, self.per_tick)?;
+        let period = (cycle_months / 4_800).checked_mul(146_097 * SECONDS_PER_DAY)?;
+        Some(PeriodicHint {
+            anchor: month_start_day(self.anchor) * SECONDS_PER_DAY,
+            period,
+            sec_lo: month_start_day(-MONTH_HORIZON) * SECONDS_PER_DAY,
+            sec_hi: month_start_day(MONTH_HORIZON + 1) * SECONDS_PER_DAY - 1,
+            exceptions: None,
+        })
     }
 }
 
@@ -399,6 +428,23 @@ impl Granularity for FilteredDays {
         let z = self.cum(d) - self.base + 1;
         self.day_of(z).map(|_| z)
     }
+
+    fn periodic_hint(&self) -> Option<PeriodicHint> {
+        // The weekday mask repeats weekly (Monday-anchored like `week`);
+        // the holiday list is the aperiodic exception stretch.
+        let exceptions = self
+            .holidays
+            .first()
+            .zip(self.holidays.last())
+            .map(|(&a, &b)| (a * SECONDS_PER_DAY, (b + 1) * SECONDS_PER_DAY - 1));
+        Some(PeriodicHint {
+            anchor: -5 * SECONDS_PER_DAY,
+            period: 7 * SECONDS_PER_DAY,
+            sec_lo: -DAY_HORIZON * SECONDS_PER_DAY,
+            sec_hi: (DAY_HORIZON + 1) * SECONDS_PER_DAY - 1,
+            exceptions,
+        })
+    }
 }
 
 /// Business days (Monday–Friday minus `holidays`): the paper's `b-day`.
@@ -510,6 +556,38 @@ impl Granularity for GroupInto {
         // Scan forward over frame ticks; bail out after a generous bound so
         // a frame with pathologically many empty ticks cannot hang us.
         (zf..zf + 1_000).find(|&z| self.tick_intervals(z).is_some_and(|s| s.max() >= t))
+    }
+
+    fn periodic_hint(&self) -> Option<PeriodicHint> {
+        // Both constituent structures are periodic, so the grouping repeats
+        // with the lcm of their periods, anchored on the frame (tick
+        // numbering follows the frame). Exceptions of either side perturb
+        // the grouped pattern, so take the hull of both.
+        let hi = self.inner.periodic_hint()?;
+        let hf = self.frame.periodic_hint()?;
+        let period = crate::periodic::checked_lcm(hi.period, hf.period)?;
+        let exceptions = match (hi.exceptions, hf.exceptions) {
+            (None, x) | (x, None) => x,
+            (Some((a0, a1)), Some((b0, b1))) => Some((a0.min(b0), a1.max(b1))),
+        };
+        Some(PeriodicHint {
+            anchor: hf.anchor,
+            period,
+            sec_lo: hi.sec_lo.max(hf.sec_lo),
+            sec_hi: hi.sec_hi.min(hf.sec_hi),
+            exceptions,
+        })
+    }
+
+    fn periodic_accel(&self) -> Option<Arc<dyn Granularity>> {
+        // Re-base the walk on the children's own compiled tables so
+        // sampling a 400-year business-month cycle is closed-form instead
+        // of a raw interval walk.
+        Some(Arc::new(GroupInto::new(
+            self.name.clone(),
+            crate::periodic::accel_view(Arc::clone(&self.inner)),
+            crate::periodic::accel_view(Arc::clone(&self.frame)),
+        )))
     }
 }
 
@@ -745,6 +823,12 @@ impl Granularity for DayWindow {
         } else {
             Some(z + 1)
         }
+    }
+
+    fn periodic_hint(&self) -> Option<PeriodicHint> {
+        // Same weekly skeleton as the underlying filtered days; the
+        // time-of-day clipping is captured by the compiler's sampling.
+        self.days.periodic_hint()
     }
 }
 

@@ -90,6 +90,25 @@ pub trait Granularity: Send + Sync + fmt::Debug {
         (-5_000 - k, 5_000 + k)
     }
 
+    /// The granularity's claim that its structure repeats periodically —
+    /// the seed for [`periodic::compile`](crate::periodic::compile). The
+    /// claim is verified against this implementation before use, so a wrong
+    /// hint costs a fallback, never a wrong answer. Default: `None`
+    /// (aperiodic / unknown — stay on the mutex-cache path).
+    fn periodic_hint(&self) -> Option<crate::periodic::PeriodicHint> {
+        None
+    }
+
+    /// An optional semantically identical stand-in the periodic compiler
+    /// uses for its full-period sampling walks — e.g. a grouped granularity
+    /// re-based on its children's own compiled tables, so compiling
+    /// `business-month` does not walk a 400-year cycle through the raw
+    /// interval code. Verification probes always run against `self`, so a
+    /// stand-in that diverges costs a fallback, never a wrong answer.
+    fn periodic_accel(&self) -> Option<std::sync::Arc<dyn Granularity>> {
+        None
+    }
+
     /// The tick covering `t`, or the first tick after `t` if `t` falls in a
     /// gap. `None` only outside the horizon.
     ///
@@ -145,5 +164,11 @@ impl<G: Granularity + ?Sized> Granularity for &G {
     }
     fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
         (**self).next_tick_at_or_after(t)
+    }
+    fn periodic_hint(&self) -> Option<crate::periodic::PeriodicHint> {
+        (**self).periodic_hint()
+    }
+    fn periodic_accel(&self) -> Option<std::sync::Arc<dyn Granularity>> {
+        (**self).periodic_accel()
     }
 }

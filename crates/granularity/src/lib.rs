@@ -66,6 +66,7 @@ pub mod builtin;
 pub mod cache;
 pub mod datetime;
 pub mod parse;
+pub mod periodic;
 pub mod relations;
 
 pub use calendar_math::{
@@ -78,5 +79,6 @@ pub use datetime::{datetime_of, format_instant, instant, DateTime};
 pub use error::GranularityError;
 pub use granularity::{Granularity, Second, Tick};
 pub use interval::{Interval, IntervalSet};
+pub use periodic::{PeriodicHint, PeriodicTable};
 pub use registry::{Calendar, Gran};
 pub use size_table::SizeTable;

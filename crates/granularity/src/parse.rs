@@ -107,6 +107,12 @@ impl Granularity for GranErased {
     fn next_tick_at_or_after(&self, t: crate::Second) -> Option<crate::Tick> {
         self.0.next_tick_at_or_after(t)
     }
+    fn periodic_hint(&self) -> Option<crate::periodic::PeriodicHint> {
+        self.0.periodic_hint()
+    }
+    fn periodic_accel(&self) -> Option<Arc<dyn Granularity>> {
+        self.0.periodic_accel()
+    }
 }
 
 fn split_keyword<'a>(s: &'a str, kw: &str) -> Option<(&'a str, &'a str)> {
@@ -355,6 +361,438 @@ fn parse_month(s: &str) -> Result<i64, ParseError> {
         return Err(ParseError::new(format!("month `{s}` out of range")));
     }
     Ok(months_from_civil(year, month))
+}
+
+// ---------------------------------------------------------------------------
+// Prose-like expression DSL (`Gran::from_expr`)
+// ---------------------------------------------------------------------------
+
+/// Parses a prose-like calendar expression into a [`Gran`].
+///
+/// This is a friendlier layer over [`parse_granularity`]: anything the core
+/// grammar accepts is accepted here unchanged, plus the forms below. The
+/// resulting granularity is named by the normalized expression text.
+///
+/// ```text
+/// expr        := simple [ "into" simple ]
+/// simple      := plural | counted | starting | day-list | windowed | <core grammar>
+/// plural      := seconds|minutes|hours|days|weeks|months|years|quarters
+///              | business-days|weekend-days|weekends|business-weeks
+///              | business-months|trading-hours        [except-list]
+/// counted     := <n> <plural unit>                     e.g. "6 months"
+/// starting    := "weeks starting" wd                   e.g. "weeks starting wed"
+///              | ("fiscal-years"|"years") "starting" mo  e.g. "fiscal-years starting apr"
+///              | "quarters starting" mo
+/// day-list    := "days" wd ("," wd)*                   [except-list]
+/// windowed    := "hours" a ".." b "of" day-expr        e.g. "hours 9..17 of business-days"
+/// except-list := "except" date ("," date)*             date := YYYY-MM-DD
+/// wd          := mon|tue|wed|thu|fri|sat|sun
+/// mo          := jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec
+/// ```
+///
+/// ```
+/// use tgm_granularity::Gran;
+/// use tgm_granularity::Granularity as _;
+///
+/// let fy = Gran::from_expr("fiscal-years starting apr").unwrap();
+/// assert!(!fy.has_gaps());
+/// let th = Gran::from_expr("hours 9..17 of business-days").unwrap();
+/// assert_eq!(th.covering_tick(2 * 86_400 + 10 * 3_600), Some(1)); // Mon 10:00
+/// ```
+pub fn from_expr(expr: &str) -> Result<Gran, ParseError> {
+    let norm = expr.split_whitespace().collect::<Vec<_>>().join(" ");
+    let expr = norm.as_str();
+    if expr.is_empty() {
+        return Err(ParseError::new("empty expression"));
+    }
+    if let Some((inner, frame)) = split_keyword(expr, " into ") {
+        let (inner, frame) = (inner.trim(), frame.trim());
+        let inner_g = from_expr(inner)?;
+        let frame_g = from_expr(frame)?;
+        let name = format!("{inner} into {frame}");
+        let inner_arc: Arc<dyn Granularity> = Arc::new(GranErased(inner_g));
+        let frame_arc: Arc<dyn Granularity> = Arc::new(GranErased(frame_g));
+        return Ok(Gran::new(GroupInto::new(name, inner_arc, frame_arc)));
+    }
+    expr_simple(expr)
+}
+
+fn expr_simple(expr: &str) -> Result<Gran, ParseError> {
+    // Windowed hours: "hours A..B of <day-expr>".
+    if let Some(rest) = expr.strip_prefix("hours ") {
+        if let Some((range, days_expr)) = split_keyword(rest, " of ") {
+            if let Some((a, b)) = range.trim().split_once("..") {
+                return expr_hour_window(a.trim(), b.trim(), days_expr.trim());
+            }
+        }
+    }
+
+    let (head, except) = match split_keyword(expr, " except ") {
+        Some((h, e)) => (h.trim(), Some(e.trim())),
+        None => (expr, None),
+    };
+    let holidays: Vec<i64> = match except {
+        Some(list) => list
+            .split(',')
+            .map(|d| parse_date(d.trim()))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let name = match except {
+        Some(list) => format!("{head} except {list}"),
+        None => head.to_owned(),
+    };
+
+    const BUSINESS: [bool; 7] = [true, true, true, true, true, false, false];
+    const WEEKEND: [bool; 7] = [false, false, false, false, false, true, true];
+    let no_except = || -> Result<(), ParseError> {
+        match except {
+            Some(_) => Err(ParseError::new(format!("`{head}` takes no except-list"))),
+            None => Ok(()),
+        }
+    };
+    let group = |inner: FilteredDays, frame: Uniform| -> Gran {
+        Gran::new(GroupInto::new(name.clone(), Arc::new(inner), Arc::new(frame)))
+    };
+
+    // Plural base forms (with except-lists where days are filtered out).
+    match head {
+        "seconds" | "minutes" | "hours" | "days" | "weeks" | "months" | "years"
+        | "quarters" => {
+            no_except()?;
+            return expr_counted(1, head, name);
+        }
+        "business-days" => {
+            return Ok(Gran::new(FilteredDays::new(name, BUSINESS, holidays)));
+        }
+        "weekend-days" => {
+            return Ok(Gran::new(FilteredDays::new(name, WEEKEND, holidays)));
+        }
+        "weekends" => {
+            let inner = FilteredDays::new("weekend-day", WEEKEND, holidays);
+            return Ok(group(inner, builtin::week()));
+        }
+        "business-weeks" => {
+            return Ok(group(builtin::business_day(holidays), builtin::week()));
+        }
+        "business-months" => {
+            let inner = builtin::business_day(holidays);
+            let name = name.clone();
+            return Ok(Gran::new(GroupInto::new(
+                name,
+                Arc::new(inner),
+                Arc::new(builtin::month()),
+            )));
+        }
+        "trading-hours" => {
+            // Same 09:30–16:00 window as `builtin::trading_hours`.
+            return Ok(Gran::new(builtin::DayWindow::new(
+                name,
+                builtin::business_day(holidays),
+                9 * 3_600 + 30 * 60,
+                16 * 3_600,
+            )));
+        }
+        _ => {}
+    }
+
+    // Anchored forms: "<unit> starting <weekday|month>".
+    if let Some((unit, at)) = split_keyword(head, " starting ") {
+        no_except()?;
+        let (unit, at) = (unit.trim(), at.trim());
+        return match unit {
+            "weeks" => {
+                let w = weekday_index(at)?;
+                // Pick the anchor day just before the epoch with weekday `w`:
+                // day d has weekday (d + 5) mod 7, so d ≡ w + 2 (mod 7).
+                let anchor_day = ((w + 2) % 7) - 7;
+                Ok(Gran::new(Uniform::new(
+                    name,
+                    7 * SECONDS_PER_DAY,
+                    anchor_day * SECONDS_PER_DAY,
+                )))
+            }
+            "fiscal-years" | "years" => {
+                Ok(Gran::new(Months::with_anchor(name, 12, month_index(at)?)))
+            }
+            "quarters" => Ok(Gran::new(Months::with_anchor(name, 3, month_index(at)?))),
+            other => Err(ParseError::new(format!(
+                "`{other}` does not take `starting` (want weeks, fiscal-years, or quarters)"
+            ))),
+        };
+    }
+
+    // Day lists: "days mon,wed,fri".
+    if let Some(list) = head.strip_prefix("days ") {
+        let mut keep = [false; 7];
+        for wd in list.split(',') {
+            keep[weekday_index(wd.trim())? as usize] = true;
+        }
+        return Ok(Gran::new(FilteredDays::new(name, keep, holidays)));
+    }
+
+    // Counted plural: "N units". Counted singular ("3 month [@ …]") falls
+    // through to the core grammar below.
+    if let Some((count, unit)) = head.split_once(' ') {
+        if let (Ok(n), true) = (count.parse::<i64>(), is_plural_unit(unit.trim())) {
+            no_except()?;
+            if n < 1 {
+                return Err(ParseError::new("count must be >= 1"));
+            }
+            return expr_counted(n, unit.trim(), name);
+        }
+    }
+
+    // Anything else: fall through to the core grammar.
+    parse_granularity(expr)
+}
+
+fn is_plural_unit(unit: &str) -> bool {
+    matches!(
+        unit,
+        "seconds" | "minutes" | "hours" | "days" | "weeks" | "months" | "quarters" | "years"
+    )
+}
+
+/// Builds `n` copies of a plural unit, named `name`.
+fn expr_counted(n: i64, unit: &str, name: String) -> Result<Gran, ParseError> {
+    let uniform = |per: i64, anchor: i64| Gran::new(Uniform::new(name.clone(), n * per, anchor));
+    Ok(match unit {
+        "seconds" => uniform(1, 0),
+        "minutes" => uniform(60, 0),
+        "hours" => uniform(3_600, 0),
+        "days" => uniform(SECONDS_PER_DAY, 0),
+        // Weeks stay Monday-anchored like the builtin.
+        "weeks" => uniform(7 * SECONDS_PER_DAY, -5 * SECONDS_PER_DAY),
+        "months" => Gran::new(Months::new(name, n)),
+        "quarters" => Gran::new(Months::new(name, 3 * n)),
+        "years" => Gran::new(Months::new(name, 12 * n)),
+        other => {
+            return Err(ParseError::new(format!(
+                "unknown unit `{other}` (want plural units like `months`)"
+            )))
+        }
+    })
+}
+
+/// Builds "hours A..B of <day-expr>": the window [A:00, B:00) on each kept
+/// day. The day expression accepts the plural day forms of [`from_expr`].
+fn expr_hour_window(a: &str, b: &str, days_expr: &str) -> Result<Gran, ParseError> {
+    let start_h: i64 = a
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad hour `{a}`")))?;
+    let end_h: i64 = b
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad hour `{b}`")))?;
+    if !(0..24).contains(&start_h) || !(1..=24).contains(&end_h) || start_h >= end_h {
+        return Err(ParseError::new(format!(
+            "bad hour window `{start_h}..{end_h}` (want 0 <= a < b <= 24)"
+        )));
+    }
+    let days = expr_day_filter(days_expr)?;
+    let name = format!("hours {start_h}..{end_h} of {days_expr}");
+    Ok(Gran::new(builtin::DayWindow::new(
+        name,
+        days,
+        start_h * 3_600,
+        end_h * 3_600 - 1,
+    )))
+}
+
+/// Resolves a day expression (`days`, `business-days [except …]`,
+/// `weekend-days`, `days wd,…`) to a [`FilteredDays`].
+fn expr_day_filter(days_expr: &str) -> Result<FilteredDays, ParseError> {
+    let (head, except) = match split_keyword(days_expr, " except ") {
+        Some((h, e)) => (h.trim(), Some(e.trim())),
+        None => (days_expr.trim(), None),
+    };
+    let holidays: Vec<i64> = match except {
+        Some(list) => list
+            .split(',')
+            .map(|d| parse_date(d.trim()))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let keep: [bool; 7] = match head {
+        "days" => [true; 7],
+        "business-days" => [true, true, true, true, true, false, false],
+        "weekend-days" => [false, false, false, false, false, true, true],
+        _ => {
+            let list = head.strip_prefix("days ").ok_or_else(|| {
+                ParseError::new(format!("bad day expression `{days_expr}`"))
+            })?;
+            let mut keep = [false; 7];
+            for wd in list.split(',') {
+                keep[weekday_index(wd.trim())? as usize] = true;
+            }
+            keep
+        }
+    };
+    Ok(FilteredDays::new(days_expr.to_owned(), keep, holidays))
+}
+
+/// Weekday name → index (0 = Monday, matching [`FilteredDays`] masks).
+fn weekday_index(s: &str) -> Result<i64, ParseError> {
+    Ok(match s {
+        "mon" => 0,
+        "tue" => 1,
+        "wed" => 2,
+        "thu" => 3,
+        "fri" => 4,
+        "sat" => 5,
+        "sun" => 6,
+        other => return Err(ParseError::new(format!("unknown weekday `{other}`"))),
+    })
+}
+
+/// Month name → month index of its year-2000 occurrence (0 = January 2000),
+/// the anchor convention of [`Months::with_anchor`].
+fn month_index(s: &str) -> Result<i64, ParseError> {
+    Ok(match s {
+        "jan" => 0,
+        "feb" => 1,
+        "mar" => 2,
+        "apr" => 3,
+        "may" => 4,
+        "jun" => 5,
+        "jul" => 6,
+        "aug" => 7,
+        "sep" => 8,
+        "oct" => 9,
+        "nov" => 10,
+        "dec" => 11,
+        other => return Err(ParseError::new(format!("unknown month `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod expr_tests {
+    use super::*;
+    use crate::datetime::format_instant;
+
+    const DAY: i64 = 86_400;
+
+    #[test]
+    fn plural_bases_match_builtins() {
+        for (expr, builtin_name) in [
+            ("seconds", "second"),
+            ("minutes", "minute"),
+            ("hours", "hour"),
+            ("days", "day"),
+            ("weeks", "week"),
+            ("months", "month"),
+            ("years", "year"),
+            ("business-days", "business-day"),
+            ("weekend-days", "weekend-day"),
+        ] {
+            let g = from_expr(expr).unwrap();
+            let b = crate::Calendar::standard().get(builtin_name).unwrap();
+            assert_eq!(g.name(), expr);
+            for z in [-500, -1, 1, 2, 500] {
+                assert_eq!(
+                    g.tick_intervals(z),
+                    b.tick_intervals(z),
+                    "{expr} tick {z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weeks_starting_anchors() {
+        // "weeks starting mon" is exactly the builtin week.
+        let mon = from_expr("weeks starting mon").unwrap();
+        let week = Gran::new(builtin::week());
+        for z in [-10, 1, 10] {
+            assert_eq!(mon.tick_intervals(z), week.tick_intervals(z));
+        }
+        // "weeks starting wed" starts on a Wednesday.
+        let wed = from_expr("weeks starting wed").unwrap();
+        assert_eq!(
+            format_instant(wed.tick_intervals(1).unwrap().min()),
+            "1999-12-29 00:00:00 Wed"
+        );
+        assert_eq!(wed.tick_intervals(1).unwrap().count(), 7 * DAY);
+    }
+
+    #[test]
+    fn fiscal_years_and_quarters() {
+        let fy = from_expr("fiscal-years starting apr").unwrap();
+        assert_eq!(
+            format_instant(fy.tick_intervals(1).unwrap().min()),
+            "2000-04-01 00:00:00 Sat"
+        );
+        // Same ticks as the core-grammar spelling.
+        let core = parse_granularity("12 month @ 2000-04").unwrap();
+        for z in [-5, 1, 7] {
+            assert_eq!(fy.tick_intervals(z), core.tick_intervals(z));
+        }
+        let q = from_expr("quarters").unwrap();
+        assert_eq!(q.tick_intervals(1).unwrap().count(), 91 * DAY); // Q1 2000
+        let qf = from_expr("quarters starting feb").unwrap();
+        assert_eq!(
+            format_instant(qf.tick_intervals(1).unwrap().min()),
+            "2000-02-01 00:00:00 Tue"
+        );
+    }
+
+    #[test]
+    fn counted_plural() {
+        let g = from_expr("90 minutes").unwrap();
+        assert_eq!(g.name(), "90 minutes");
+        assert_eq!(g.tick_intervals(1).unwrap().count(), 90 * 60);
+        let h = from_expr("2 quarters").unwrap();
+        let s = parse_granularity("6 month").unwrap();
+        assert_eq!(h.tick_intervals(3), s.tick_intervals(3));
+        assert!(from_expr("0 days").is_err());
+    }
+
+    #[test]
+    fn day_lists_and_excepts() {
+        let mwf = from_expr("days mon,wed,fri").unwrap();
+        let core = parse_granularity("days(mon,wed,fri)").unwrap();
+        for z in [-9, 1, 9] {
+            assert_eq!(mwf.tick_intervals(z), core.tick_intervals(z));
+        }
+        let bd = from_expr("business-days except 2000-01-03").unwrap();
+        assert_eq!(bd.tick_intervals(1).unwrap().min(), 3 * DAY); // Tue the 4th
+        assert!(from_expr("months except 2000-01-03").is_err());
+    }
+
+    #[test]
+    fn grouped_and_windowed() {
+        let bm = from_expr("business-months").unwrap();
+        assert_eq!(bm.tick_intervals(1).unwrap().count(), 21 * DAY);
+        let bw = from_expr("business-days into weeks").unwrap();
+        assert_eq!(bw.tick_intervals(2).unwrap().count(), 5 * DAY);
+        let we = from_expr("weekends").unwrap();
+        assert_eq!(we.covering_tick(0), Some(1)); // Sat 2000-01-01
+
+        let th = from_expr("hours 9..17 of business-days").unwrap();
+        assert_eq!(th.covering_tick(2 * DAY + 10 * 3_600), Some(1)); // Mon 10:00
+        assert_eq!(th.covering_tick(2 * DAY + 17 * 3_600), None); // after close
+        assert_eq!(th.covering_tick(10 * 3_600), None); // Saturday
+        assert!(from_expr("hours 17..9 of days").is_err());
+
+        // "trading-hours" matches the builtin factory exactly.
+        let t1 = from_expr("trading-hours").unwrap();
+        let t2 = Gran::new(builtin::trading_hours(Vec::new()));
+        for z in [-50, 1, 50] {
+            assert_eq!(t1.tick_intervals(z), t2.tick_intervals(z));
+        }
+    }
+
+    #[test]
+    fn core_grammar_passthrough_and_normalization() {
+        let g = from_expr("  12   month   @  2000-04 ").unwrap();
+        assert_eq!(g.name(), "12 month @ 2000-04");
+        let w = from_expr("days(sat,sun) into week").unwrap();
+        assert_eq!(w.covering_tick(0), Some(1));
+        assert!(from_expr("").is_err());
+        assert!(from_expr("weeks starting noday").is_err());
+        assert!(from_expr("fiscal-years starting smarch").is_err());
+        assert!(from_expr("seconds starting apr").is_err());
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use crate::cache::{CacheStats, ResolutionCache};
 use crate::error::GranularityError;
 use crate::granularity::{Granularity, Second, Tick};
 use crate::interval::IntervalSet;
+use crate::periodic::{self, CompiledView, PeriodicTable};
 use crate::size_table::SizeTable;
 
 /// A cheap-to-clone handle to a registered granularity, carrying its
@@ -28,6 +29,10 @@ struct GranInner {
     gran: Arc<dyn Granularity>,
     sizes: SizeTable,
     cache: ResolutionCache,
+    /// Lazily compiled periodic table (`None` once compilation failed);
+    /// shared with the size table's [`CompiledView`] so its scans use the
+    /// same compiled fast path.
+    compiled: periodic::CompiledCell,
     /// Process-unique, never reused; keys cross-granularity memo entries.
     id: u64,
 }
@@ -35,10 +40,13 @@ struct GranInner {
 impl Gran {
     /// Wraps a granularity into a standalone handle (outside any calendar).
     pub fn from_arc(gran: Arc<dyn Granularity>) -> Self {
+        let compiled: periodic::CompiledCell = Arc::new(periodic::CompiledState::default());
+        let view = CompiledView::new(Arc::clone(&gran), Arc::clone(&compiled));
         Gran {
             inner: Arc::new(GranInner {
-                sizes: SizeTable::new(Arc::clone(&gran)),
+                sizes: SizeTable::new(Arc::new(view)),
                 cache: ResolutionCache::new(),
+                compiled,
                 id: crate::cache::next_instance_id(),
                 gran,
             }),
@@ -85,10 +93,46 @@ impl Gran {
         self.inner.cache.clear();
     }
 
+    /// Builds a granularity from a prose-like calendar expression — see
+    /// [`parse::from_expr`](crate::parse::from_expr) for the grammar.
+    ///
+    /// ```
+    /// use tgm_granularity::Gran;
+    /// let fy = Gran::from_expr("fiscal-years starting apr").unwrap();
+    /// ```
+    pub fn from_expr(expr: &str) -> Result<Gran, crate::parse::ParseError> {
+        crate::parse::from_expr(expr)
+    }
+
+    /// The compiled periodic table for this granularity, compiling it on
+    /// first use. `None` if the periodic fast path is disabled or the
+    /// granularity fell back to the mutex-cache path.
+    pub fn compiled(&self) -> Option<Arc<PeriodicTable>> {
+        if !periodic::enabled() {
+            return None;
+        }
+        self.inner.compiled.force(self.inner.gran.as_ref()).cloned()
+    }
+
+    #[inline]
+    fn table(&self) -> Option<&Arc<PeriodicTable>> {
+        if !periodic::enabled() {
+            return None;
+        }
+        self.inner.compiled.note_use(self.inner.gran.as_ref())
+    }
+
     /// Cached `⌈z⌉ᵘᵥ`: the tick of `target` covering tick `z` of `self`.
-    /// Same semantics as [`convert_tick`](crate::convert_tick), with the
-    /// result memoized under (target, z).
+    /// Same semantics as [`convert_tick`](crate::convert_tick). When both
+    /// granularities compiled, the conversion is closed-form and lock-free;
+    /// otherwise the result is memoized under (target, z) in the mutex
+    /// cache.
     pub fn convert_tick_to(&self, z: Tick, target: &Gran) -> Option<Tick> {
+        if let (Some(ts), Some(tt)) = (self.table(), target.table()) {
+            if let Some(ans) = ts.convert_tick_to(z, tt) {
+                return ans;
+            }
+        }
         self.inner
             .cache
             .convert_tick(target.instance_id(), z, || {
@@ -102,11 +146,21 @@ impl Granularity for Gran {
         self.inner.gran.name()
     }
     fn covering_tick(&self, t: Second) -> Option<Tick> {
+        if let Some(tb) = self.table() {
+            if let Some(ans) = tb.covering_tick(t) {
+                return ans;
+            }
+        }
         self.inner
             .cache
             .covering_tick(t, || self.inner.gran.covering_tick(t))
     }
     fn tick_intervals(&self, z: Tick) -> Option<IntervalSet> {
+        if let Some(tb) = self.table() {
+            if let Some(set) = tb.tick_intervals(z) {
+                return Some(set);
+            }
+        }
         self.inner
             .cache
             .tick_intervals(z, || self.inner.gran.tick_intervals(z))
@@ -121,7 +175,18 @@ impl Granularity for Gran {
         self.inner.gran.scan_window(k)
     }
     fn next_tick_at_or_after(&self, t: Second) -> Option<Tick> {
+        if let Some(tb) = self.table() {
+            if let Some(ans) = tb.next_tick_at_or_after(t) {
+                return ans;
+            }
+        }
         self.inner.gran.next_tick_at_or_after(t)
+    }
+    fn periodic_hint(&self) -> Option<crate::periodic::PeriodicHint> {
+        self.inner.gran.periodic_hint()
+    }
+    fn periodic_accel(&self) -> Option<Arc<dyn Granularity>> {
+        self.inner.gran.periodic_accel()
     }
 }
 

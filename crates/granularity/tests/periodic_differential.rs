@@ -1,0 +1,158 @@
+//! Differential property tests for the compiled periodic fast path: every
+//! builtin and DSL granularity must compile (zero fallbacks), and every
+//! answer served from a compiled table — resolution, next-tick, and tick
+//! conversion — must agree bit-for-bit with the raw interval arithmetic
+//! (periodic fast path and mutex cache both disabled).
+//!
+//! The enable flags are process-wide, so every test in this binary
+//! serializes on one lock; other test binaries run in their own process.
+
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use tgm_granularity::{cache, convert_tick, periodic, tick_covers, Calendar, Gran, Granularity};
+
+const DAY: i64 = 86_400;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// DSL expressions exercising every compiler shape: uniform, anchored
+/// uniform, month-based, filtered days with exceptions, day windows, and
+/// grouped granularities.
+const DSL_CORPUS: &[&str] = &[
+    "weeks starting wed",
+    "fiscal-years starting apr",
+    "quarters starting feb",
+    "90 minutes",
+    "days mon,wed,fri",
+    "business-days except 2000-01-17,2000-07-04",
+    "weekends",
+    "hours 9..17 of business-days",
+    "trading-hours except 2000-01-17",
+];
+
+/// Shared handles (compiled once for the whole binary): the standard
+/// calendar with holidays plus the DSL corpus.
+fn corpus() -> &'static [Gran] {
+    static CORPUS: OnceLock<Vec<Gran>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut grans: Vec<Gran> = Calendar::with_holidays(vec![4, 17, 200, 366])
+            .iter()
+            .cloned()
+            .collect();
+        for expr in DSL_CORPUS {
+            grans.push(Gran::from_expr(expr).unwrap());
+        }
+        grans
+    })
+}
+
+/// Every granularity of the default registry and the DSL corpus compiles —
+/// the mutex-cache path survives only as a fallback, and nothing falls
+/// back.
+#[test]
+fn every_standard_granularity_compiles() {
+    let _serial = TEST_LOCK.lock();
+    periodic::set_enabled(true);
+    periodic::reset_stats();
+    for g in Calendar::with_holidays(vec![4, 17, 200, 366]).iter() {
+        assert!(g.compiled().is_some(), "{} fell back to the cache path", g.name());
+    }
+    for expr in DSL_CORPUS {
+        let g = Gran::from_expr(expr).unwrap();
+        assert!(g.compiled().is_some(), "{expr} fell back to the cache path");
+    }
+    let stats = periodic::stats();
+    assert_eq!(stats.fallback, 0, "unexpected fallbacks: {stats:?}");
+    assert!(stats.compiled > 0);
+}
+
+proptest! {
+    /// covering_tick / tick_intervals / next_tick_at_or_after served by the
+    /// compiled table == the raw interval arithmetic, plus the two-view
+    /// round trip (the covering tick's interval set contains the instant).
+    #[test]
+    fn compiled_resolution_agrees_with_direct(
+        t in -400i64 * DAY..400 * DAY,
+        z in -3_000i64..3_000,
+    ) {
+        let _serial = TEST_LOCK.lock();
+        for g in corpus() {
+            periodic::set_enabled(true);
+            prop_assert!(g.compiled().is_some(), "{} did not compile", g.name());
+            let cov_fast = g.covering_tick(t);
+            let ints_fast = g.tick_intervals(z);
+            let next_fast = g.next_tick_at_or_after(t);
+            periodic::set_enabled(false);
+            cache::set_enabled(false);
+            let cov_direct = g.covering_tick(t);
+            let ints_direct = g.tick_intervals(z);
+            let next_direct = g.next_tick_at_or_after(t);
+            cache::set_enabled(true);
+            periodic::set_enabled(true);
+            prop_assert_eq!(cov_direct, cov_fast, "{}: covering_tick({t})", g.name());
+            prop_assert_eq!(&ints_direct, &ints_fast, "{}: tick_intervals({z})", g.name());
+            prop_assert_eq!(next_direct, next_fast, "{}: next_tick_at_or_after({t})", g.name());
+            if let Some(zc) = cov_fast {
+                let ints = g.tick_intervals(zc);
+                prop_assert!(
+                    ints.as_ref().is_some_and(|s| s.contains(t)),
+                    "{}: tick {zc} does not contain {t}", g.name()
+                );
+            }
+        }
+    }
+
+    /// Closed-form table-to-table conversion == the direct covering-tick
+    /// conversion, and the result satisfies the paper's `tick_covers`
+    /// two-view consistency.
+    #[test]
+    fn compiled_conversion_agrees_with_direct(
+        z in -2_000i64..2_000,
+        i in 0usize..64,
+        j in 0usize..64,
+    ) {
+        let _serial = TEST_LOCK.lock();
+        let grans = corpus();
+        let src = &grans[i % grans.len()];
+        let dst = &grans[j % grans.len()];
+        periodic::set_enabled(true);
+        prop_assert!(src.compiled().is_some() && dst.compiled().is_some());
+        let fast = src.convert_tick_to(z, dst);
+        periodic::set_enabled(false);
+        cache::set_enabled(false);
+        let direct = convert_tick(src, z, dst);
+        let covers_direct = fast.map(|zt| tick_covers(dst, zt, src, z));
+        cache::set_enabled(true);
+        periodic::set_enabled(true);
+        prop_assert_eq!(direct, fast, "{} -> {} at {z}", src.name(), dst.name());
+        if let Some(zt) = fast {
+            prop_assert_eq!(covers_direct, Some(true), "two-view direct");
+            prop_assert!(
+                tick_covers(dst, zt, src, z),
+                "{} tick {zt} must cover {} tick {z}", dst.name(), src.name()
+            );
+        }
+    }
+}
+
+/// Toggling the periodic fast path mid-stream never changes answers: warm
+/// tables left behind by one mode cannot leak wrong results into the other.
+#[test]
+fn disabling_mid_stream_keeps_results_identical() {
+    let _serial = TEST_LOCK.lock();
+    let g = Gran::from_expr("hours 9..17 of business-days except 2000-01-17").unwrap();
+    periodic::set_enabled(true);
+    assert!(g.compiled().is_some());
+    for t in (-40 * DAY..40 * DAY).step_by(7_919) {
+        periodic::set_enabled(true);
+        let fast = g.covering_tick(t);
+        periodic::set_enabled(false);
+        cache::set_enabled(false);
+        let direct = g.covering_tick(t);
+        cache::set_enabled(true);
+        periodic::set_enabled(true);
+        assert_eq!(fast, direct, "t = {t}");
+    }
+}

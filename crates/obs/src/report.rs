@@ -4,7 +4,7 @@
 
 use std::fmt::Write as _;
 
-use tgm_granularity::{cache, CacheStats};
+use tgm_granularity::{cache, periodic, CacheStats};
 
 use crate::metrics::{self, MetricsSnapshot};
 use crate::span::{self, SpanSnapshot, SpanStats};
@@ -97,6 +97,13 @@ pub trait Observable {
     }
 }
 
+impl Observable for periodic::CompileStats {
+    fn observe(&self, out: &mut Vec<(&'static str, ObsValue)>) {
+        out.push(("compiled", self.compiled.into()));
+        out.push(("fallback", self.fallback.into()));
+    }
+}
+
 impl Observable for CacheStats {
     fn observe(&self, out: &mut Vec<(&'static str, ObsValue)>) {
         out.push(("hits", self.hits.into()));
@@ -150,7 +157,8 @@ pub struct Report {
 impl Report {
     /// Snapshots the global registries. The granularity cache's
     /// process-wide counters are included automatically as a
-    /// `granularity.cache` section.
+    /// `granularity.cache` section, and the periodic compiler's
+    /// compiled/fallback outcomes as `granularity.compile`.
     pub fn capture() -> Report {
         let mut r = Report {
             spans: span::snapshot(),
@@ -159,6 +167,7 @@ impl Report {
             funnel: Vec::new(),
         };
         r.add_section("granularity.cache", &cache::global_stats());
+        r.add_section("granularity.compile", &periodic::stats());
         r
     }
 

@@ -1,5 +1,5 @@
-//! Custom calendars via the granularity spec DSL: a fiscal year starting in
-//! April, fiscal quarters, and discovery relative to "the beginning of a
+//! Custom calendars via the calendar expression DSL: a fiscal year starting
+//! in April, fiscal quarters, and discovery relative to "the beginning of a
 //! fiscal quarter" (the paper's §6 generalized-reference extension).
 //!
 //! Run with `cargo run --release --example fiscal_calendar`.
@@ -16,10 +16,15 @@ const HOUR: i64 = 3_600;
 fn main() {
     // A fiscal calendar: FY starts April 1st, quarters follow it.
     let mut cal = Calendar::standard();
-    let fy = parse_granularity("12 month @ 2000-04").expect("valid spec");
-    let fq = parse_granularity("3 month @ 2000-04").expect("valid spec");
+    let fy = Gran::from_expr("fiscal-years starting apr").expect("valid expression");
+    let fq = Gran::from_expr("quarters starting apr").expect("valid expression");
     cal.register(fy.clone()).unwrap();
     cal.register(fq.clone()).unwrap();
+    // The DSL expressions are sugar for the core spec grammar — same ticks.
+    let fq_spec = parse_granularity("3 month @ 2000-04").expect("valid spec");
+    for z in [-4, 1, 2, 9] {
+        assert_eq!(fq.tick_intervals(z), fq_spec.tick_intervals(z));
+    }
     println!(
         "fiscal year 1:    {} .. {}",
         format_instant(fy.tick_intervals(1).unwrap().min()),
@@ -75,7 +80,7 @@ fn main() {
     let (ref_ty, sols, stats) = mine_with_reference(
         s,
         0.7,
-        &Reference::TickStart(cal.get("3 month @ 2000-04").unwrap()),
+        &Reference::TickStart(cal.get("quarters starting apr").unwrap()),
         &seq,
         &mut reg,
         &tgm::mining::pipeline::PipelineOptions::default(),

@@ -29,8 +29,14 @@ fn holidays_change_business_day_semantics() {
 #[test]
 fn custom_semester_granularity_in_constraints() {
     let mut cal = Calendar::standard();
-    cal.register(Gran::new(builtin::n_month(6))).unwrap();
-    let semester = cal.get("6-month").unwrap();
+    let semester = Gran::from_expr("6 months").unwrap();
+    // Differential: the DSL expression matches the hand-rolled builtin.
+    let hand_rolled = Gran::new(builtin::n_month(6));
+    for z in [-3, 1, 2, 8] {
+        assert_eq!(semester.tick_intervals(z), hand_rolled.tick_intervals(z));
+    }
+    cal.register(semester.clone()).unwrap();
+    let semester = cal.get("6 months").unwrap();
     let tcg = Tcg::new(1, 1, semester.clone());
     // Jan 2000 -> Aug 2000: next semester.
     let jan = 10 * DAY;
@@ -55,9 +61,16 @@ fn custom_semester_granularity_in_constraints() {
 
 #[test]
 fn grouped_business_quarter_composes() {
+    let bq =
+        Gran::from_expr("business-days except 2000-01-04,2000-01-11 into quarters").unwrap();
+    // Differential: the DSL grouping matches the hand-rolled composition
+    // (holiday day-indices 3 and 10 are those dates).
     let bday: Arc<dyn Granularity> = Arc::new(builtin::business_day(vec![3, 10]));
     let quarter: Arc<dyn Granularity> = Arc::new(builtin::n_month(3));
-    let bq = Gran::new(GroupInto::new("business-quarter", bday, quarter));
+    let hand_rolled = Gran::new(GroupInto::new("business-quarter", bday, quarter));
+    for z in [-2, 1, 2, 5] {
+        assert_eq!(bq.tick_intervals(z), hand_rolled.tick_intervals(z));
+    }
     // Q1 2000 business days: 65 minus the two holidays.
     assert_eq!(
         bq.tick_intervals(1).unwrap().count(),
