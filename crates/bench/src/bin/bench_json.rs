@@ -436,6 +436,84 @@ fn main() {
     );
     assert_eq!(obs_sols, sweep_sols, "instrumentation changed mining solutions");
 
+    // Workload 7: live-telemetry overhead on the streaming session. A prefix
+    // of the same LCG stream replayed through `MatchSession` in three
+    // interleaved modes — obs disabled, a scoped metric domain attached
+    // (counters + spans routed to the scope), and the scope plus an
+    // `Exporter` rendering an NDJSON frame every 1024 events. Min-of-reps
+    // per round and the median round (by overhead ratio) reject scheduler
+    // noise, mirroring obs_report. The flight-recorder ring write is timed
+    // separately.
+    let obs_events = &stream[..stream_n.min(120_000)];
+    let obs_stream_n = obs_events.len();
+    let obs_export_every: u64 = 1024;
+    let run_obs_stream = |scope: Option<&tgm_obs::ObsScope>, export: bool| -> f64 {
+        let mut exporter =
+            if export { scope.map(|s| tgm_obs::Exporter::new(s.clone())) } else { None };
+        let mut session = MatchSession::new(&tag2).with_eviction();
+        if let Some(s) = scope {
+            session = session.with_scope(s.clone()).with_stats_every(obs_export_every);
+        }
+        let mut sink = 0usize;
+        let (_, ms) = timed(|| {
+            for chunk in obs_events.chunks(obs_export_every as usize) {
+                session.push_batch(chunk);
+                sink += session.completed().count();
+                if session.stats_due() {
+                    if let Some(ex) = exporter.as_mut() {
+                        let mut frame = ex.frame();
+                        frame.set_gauge("frontier", session.frontier_size() as f64);
+                        std::hint::black_box(frame.to_ndjson());
+                    }
+                }
+            }
+        });
+        std::hint::black_box(sink);
+        ms
+    };
+    let obs_scope = tgm_obs::ObsScope::with_recorder(256);
+    let obs_rounds = if quick { 3 } else { 5 };
+    let obs_reps = if quick { 3 } else { 5 };
+    let mut obs_round_est: Vec<(f64, f64, f64)> = Vec::new();
+    for _ in 0..obs_rounds {
+        let (mut off, mut scoped, mut exporting) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..obs_reps {
+            tgm_obs::set_enabled(false);
+            off = off.min(run_obs_stream(None, false));
+            tgm_obs::set_enabled(true);
+            scoped = scoped.min(run_obs_stream(Some(&obs_scope), false));
+            exporting = exporting.min(run_obs_stream(Some(&obs_scope), true));
+            tgm_obs::set_enabled(false);
+        }
+        obs_round_est.push((off, scoped, exporting));
+    }
+    let median_by_overhead = |mut pairs: Vec<(f64, f64)>| -> (f64, f64) {
+        pairs.sort_by(|a, b| (a.1 / a.0).partial_cmp(&(b.1 / b.0)).expect("finite"));
+        pairs[pairs.len() / 2]
+    };
+    let (off_ms, scoped_ms) =
+        median_by_overhead(obs_round_est.iter().map(|&(o, s, _)| (o, s)).collect());
+    let (off_ms_e, exporting_ms) =
+        median_by_overhead(obs_round_est.iter().map(|&(o, _, e)| (o, e)).collect());
+    let obs_stream_ns = 1e6 / obs_stream_n as f64; // ms -> ns/event
+    let scope_only_overhead_pct = (scoped_ms / off_ms.max(1e-9) - 1.0) * 100.0;
+    let exporting_overhead_pct = (exporting_ms / off_ms_e.max(1e-9) - 1.0) * 100.0;
+    // Recorder ring write cost: reserve-slot + seal on the hot path.
+    tgm_obs::set_enabled(true);
+    let rec_writes = 200_000u64;
+    let recorder_ms = median_ms(if quick { 3 } else { 7 }, || {
+        let _in = obs_scope.enter();
+        for i in 0..rec_writes {
+            tgm_obs::recorder::record(tgm_obs::RecEvent::Counter {
+                name: "bench.ring",
+                delta: i,
+            });
+        }
+    });
+    tgm_obs::set_enabled(false);
+    let recorder_write_ns = recorder_ms * 1e6 / rec_writes as f64;
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"schema\": \"bench_matcher/v2\",");
@@ -518,6 +596,30 @@ fn main() {
     let _ = writeln!(json, "    \"stream_evicted_rows\": {},", stream_stats.evicted_rows);
     let _ = writeln!(json, "    \"stream_evictions\": {},", stream_stats.evictions);
     let _ = writeln!(json, "    \"steady_state_rss_bytes\": {steady_state_rss}");
+    json.push_str("  },\n");
+    json.push_str("  \"obs_stream\": {\n");
+    let _ = writeln!(json, "    \"events\": {obs_stream_n},");
+    let _ = writeln!(json, "    \"export_every\": {obs_export_every},");
+    let _ = writeln!(json, "    \"off_ns_per_event\": {:.1},", off_ms * obs_stream_ns);
+    let _ = writeln!(
+        json,
+        "    \"scope_only_ns_per_event\": {:.1},",
+        scoped_ms * obs_stream_ns
+    );
+    let _ = writeln!(
+        json,
+        "    \"exporting_ns_per_event\": {:.1},",
+        exporting_ms * obs_stream_ns
+    );
+    let _ = writeln!(
+        json,
+        "    \"scope_only_overhead_pct\": {scope_only_overhead_pct:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"exporting_overhead_pct\": {exporting_overhead_pct:.2},"
+    );
+    let _ = writeln!(json, "    \"recorder_write_ns\": {recorder_write_ns:.1}");
     json.push_str("  },\n");
     json.push_str("  \"granularity_conversion\": {\n");
     let _ = writeln!(json, "    \"pair\": \"day -> business-month\",");
@@ -646,6 +748,19 @@ fn main() {
                  cache {tick_columns_cache_ms:.3} ms"
             ));
         }
+        // Gate 6: attaching a scoped metric domain to the streaming session
+        // stays within the observability overhead budget
+        // (`OBS_OVERHEAD_BUDGET_PCT`, default 3%).
+        let obs_budget_pct = std::env::var("OBS_OVERHEAD_BUDGET_PCT")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(3.0);
+        if scope_only_overhead_pct > obs_budget_pct {
+            failures.push(format!(
+                "scoped session telemetry costs {scope_only_overhead_pct:.2}% over the \
+                 disabled path, above the {obs_budget_pct}% budget"
+            ));
+        }
         for f in &failures {
             eprintln!("bench gate violated: {f}");
         }
@@ -654,7 +769,7 @@ fn main() {
         }
         eprintln!(
             "bench gates passed (multi-scan amortization, step5 regression, \
-             granularity conversion)"
+             granularity conversion, scoped-telemetry overhead)"
         );
     }
 }

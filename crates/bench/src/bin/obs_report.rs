@@ -8,9 +8,17 @@
 //!
 //! Run with `cargo run --release -p tgm-bench --bin obs_report [-- --test]`.
 //! `--test` additionally enforces the overhead budget (default 3%,
-//! override with `OBS_OVERHEAD_BUDGET_PCT`) and validates the emitted JSON
-//! against the `tgm_obs_report/v1` schema (parsed back with the
-//! workspace's own `minijson`), exiting nonzero on any violation.
+//! override with `OBS_OVERHEAD_BUDGET_PCT`) — on both the plain enabled
+//! path and the scoped path (obs on + a scope entered) — and validates
+//! the emitted JSON against the `tgm_obs_report/v1` schema (parsed back
+//! with the workspace's own `minijson`), exiting nonzero on any violation.
+//!
+//! `--validate-stream <file>` is a standalone mode: it checks that every
+//! JSON line in `file` is a well-formed `tgm_obs_stream/v1` frame
+//! (schema tag, strictly increasing `seq`, numeric gauges including
+//! `watermark_lag`, object-shaped counters/histograms/spans) and exits
+//! nonzero on any violation — the CI `obs-stream-smoke` job runs it over
+//! captured `tgm stream --stats-every` output.
 
 use tgm_bench::timed;
 use tgm_bench::workloads::{daily_stock_workload, planted_stock_workload};
@@ -175,8 +183,108 @@ fn validate_schema(json: &str) -> Vec<String> {
     errs
 }
 
+/// Whether a parsed value is a JSON number (int or float).
+fn is_number(v: &minijson::Value) -> bool {
+    matches!(v, minijson::Value::Int(_) | minijson::Value::Float(_))
+}
+
+/// Validates captured `tgm stream --stats-every` output: every line that
+/// looks like JSON must be a well-formed `tgm_obs_stream/v1` frame.
+/// Returns the violations (empty = valid, at least one frame seen).
+fn validate_stream(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut next_seq = 0u64;
+    let mut frames = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue; // the human summary after the frames
+        }
+        let n = i + 1;
+        let doc = match minijson::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errs.push(format!("line {n}: does not parse: {e}"));
+                continue;
+            }
+        };
+        frames += 1;
+        if doc.get("schema").and_then(|v| v.as_str()) != Some("tgm_obs_stream/v1") {
+            errs.push(format!("line {n}: schema is not \"tgm_obs_stream/v1\""));
+        }
+        match doc.get("seq").and_then(|v| v.as_u64()) {
+            Some(s) if s == next_seq => next_seq += 1,
+            Some(s) => {
+                errs.push(format!("line {n}: seq {s}, want {next_seq}"));
+                next_seq = s + 1;
+            }
+            None => errs.push(format!("line {n}: missing u64 seq")),
+        }
+        match doc.get("gauges") {
+            Some(minijson::Value::Object(gauges)) => {
+                for required in [
+                    "frontier",
+                    "events_total",
+                    "events_per_sec",
+                    "evicted_rows_total",
+                    "watermark_lag",
+                ] {
+                    let ok = gauges
+                        .iter()
+                        .find(|(k, _)| k == required)
+                        .is_some_and(|(_, v)| is_number(v));
+                    if !ok {
+                        errs.push(format!("line {n}: gauge {required} missing or non-numeric"));
+                    }
+                }
+            }
+            _ => errs.push(format!("line {n}: gauges is not an object")),
+        }
+        for section in ["counters", "histograms", "spans"] {
+            if !matches!(doc.get(section), Some(minijson::Value::Object(_))) {
+                errs.push(format!("line {n}: {section} is not an object"));
+            }
+        }
+        if let Some(minijson::Value::Object(counters)) = doc.get("counters") {
+            for (k, v) in counters {
+                if v.as_u64().is_none() {
+                    errs.push(format!("line {n}: counter {k} is not a u64"));
+                }
+            }
+        }
+    }
+    if frames == 0 {
+        errs.push("no tgm_obs_stream/v1 frames found".into());
+    }
+    errs
+}
+
 fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--validate-stream") {
+        let Some(path) = argv.get(i + 1) else {
+            eprintln!("--validate-stream needs a file path");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let errs = validate_stream(&text);
+        for e in &errs {
+            eprintln!("stream violation: {e}");
+        }
+        if !errs.is_empty() {
+            std::process::exit(1);
+        }
+        let frames = text.lines().filter(|l| l.trim_start().starts_with('{')).count();
+        eprintln!("validate-stream: {frames} valid tgm_obs_stream/v1 frame(s)");
+        return;
+    }
+    let test_mode = argv.iter().any(|a| a == "--test");
     let mut failures: Vec<String> = Vec::new();
 
     // Overhead: the Example 1 full scan (the hottest loop) with the obs
@@ -200,9 +308,12 @@ fn main() {
     // swing by ±10% while the median stays within ~1%.
     let rounds = if test_mode { 7 } else { 5 };
     let reps = 15;
-    let mut estimates: Vec<(f64, f64)> = Vec::with_capacity(rounds);
+    // Third interleaved mode: obs on *and* a scoped metric domain entered,
+    // so the scope-routing indirection pays the same budget as the toggle.
+    let scoped_domain = tgm_obs::ObsScope::new();
+    let mut estimates: Vec<(f64, f64, f64)> = Vec::with_capacity(rounds);
     for _ in 0..rounds {
-        let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+        let (mut off, mut on, mut scoped) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for _ in 0..reps {
             tgm_obs::set_enabled(false);
             let t = timed(|| std::hint::black_box(m.run_scratch(events, false, &mut scratch))).1;
@@ -210,25 +321,43 @@ fn main() {
             tgm_obs::set_enabled(true);
             let t = timed(|| std::hint::black_box(m.run_scratch(events, false, &mut scratch))).1;
             on = on.min(t);
+            let _in = scoped_domain.enter();
+            let t = timed(|| std::hint::black_box(m.run_scratch(events, false, &mut scratch))).1;
+            scoped = scoped.min(t);
         }
-        estimates.push((off, on));
+        estimates.push((off, on, scoped));
     }
-    estimates.sort_by(|a, b| {
-        let pa = (a.1 - a.0) / a.0.max(1e-9);
-        let pb = (b.1 - b.0) / b.0.max(1e-9);
-        pa.partial_cmp(&pb).expect("finite")
-    });
-    let (off_ms, on_ms) = estimates[estimates.len() / 2];
-    let overhead_pct = (on_ms - off_ms) / off_ms.max(1e-9) * 100.0;
+    let median_overhead = |pairs: &mut Vec<(f64, f64)>| -> (f64, f64, f64) {
+        pairs.sort_by(|a, b| {
+            let pa = (a.1 - a.0) / a.0.max(1e-9);
+            let pb = (b.1 - b.0) / b.0.max(1e-9);
+            pa.partial_cmp(&pb).expect("finite")
+        });
+        let (off, mode) = pairs[pairs.len() / 2];
+        (off, mode, (mode - off) / off.max(1e-9) * 100.0)
+    };
     let budget = overhead_budget_pct();
+    let mut on_pairs: Vec<(f64, f64)> = estimates.iter().map(|&(o, n, _)| (o, n)).collect();
+    let mut scoped_pairs: Vec<(f64, f64)> = estimates.iter().map(|&(o, _, s)| (o, s)).collect();
+    let (off_ms, on_ms, overhead_pct) = median_overhead(&mut on_pairs);
+    let (soff_ms, scoped_ms, scoped_pct) = median_overhead(&mut scoped_pairs);
     eprintln!(
         "obs overhead on example1 scan ({} events): off {off_ms:.3} ms, on {on_ms:.3} ms \
          => {overhead_pct:+.2}% (budget {budget}%)",
         events.len()
     );
+    eprintln!(
+        "scoped obs overhead: off {soff_ms:.3} ms, scoped {scoped_ms:.3} ms \
+         => {scoped_pct:+.2}% (budget {budget}%)"
+    );
     if test_mode && overhead_pct > budget {
         failures.push(format!(
             "overhead {overhead_pct:+.2}% exceeds the {budget}% budget"
+        ));
+    }
+    if test_mode && scoped_pct > budget {
+        failures.push(format!(
+            "scoped overhead {scoped_pct:+.2}% exceeds the {budget}% budget"
         ));
     }
 

@@ -272,12 +272,12 @@ impl Limits {
     pub fn check(&self) -> Result<(), Interrupt> {
         if let Some(t) = &self.cancel {
             if t.is_cancelled() {
-                return Err(Interrupt::Cancelled);
+                return Err(hook::observed(Interrupt::Cancelled));
             }
         }
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
-                return Err(Interrupt::DeadlineExceeded);
+                return Err(hook::observed(Interrupt::DeadlineExceeded));
             }
         }
         Ok(())
@@ -291,7 +291,7 @@ impl Limits {
         self.check()?;
         if let Some(b) = self.budget {
             if used > b {
-                return Err(Interrupt::BudgetExhausted);
+                return Err(hook::observed(Interrupt::BudgetExhausted));
             }
         }
         Ok(())
@@ -300,7 +300,42 @@ impl Limits {
     /// Whether `used` work units exceed the budget (ignores deadline and
     /// cancellation).
     pub fn budget_exceeded(&self, used: u64) -> bool {
-        matches!(self.budget, Some(b) if used > b)
+        let exceeded = matches!(self.budget, Some(b) if used > b);
+        if exceeded {
+            hook::observed(Interrupt::BudgetExhausted);
+        }
+        exceeded
+    }
+}
+
+/// Process-wide interrupt observer: a verdict→telemetry hook.
+///
+/// This crate stays zero-dependency, so it cannot talk to the
+/// observability layer itself; instead, a higher layer (the `tag` engine)
+/// installs a plain `fn` observer once, and every non-`Ok` verdict any
+/// [`Limits`] check produces is reported through it — which is how an
+/// `Interrupt` triggers a flight-recorder dump in the scope it happened
+/// in, no matter which engine's polling loop detected it.
+pub mod hook {
+    use super::Interrupt;
+    use std::sync::OnceLock;
+
+    static OBSERVER: OnceLock<fn(Interrupt)> = OnceLock::new();
+
+    /// Installs the process-wide interrupt observer. The first install
+    /// wins; later calls are ignored (installation is idempotent by
+    /// design — engines may race to install the same observer).
+    pub fn set_interrupt_observer(f: fn(Interrupt)) {
+        let _ = OBSERVER.set(f);
+    }
+
+    /// Reports `i` to the observer (if any) and passes it through —
+    /// called on every non-`Ok` verdict path.
+    pub(crate) fn observed(i: Interrupt) -> Interrupt {
+        if let Some(f) = OBSERVER.get() {
+            f(i);
+        }
+        i
     }
 }
 

@@ -63,6 +63,12 @@ pub(crate) fn contain<T>(
             if let Some(t) = token {
                 t.cancel();
             }
+            // The unwind stopped here, so this thread's span stack is the
+            // known-good depth again: flush the partial span tree (tagged
+            // via the `obs.spans.panicked_flushes` counter) instead of
+            // dropping it, and dump the flight ring with the panic site.
+            tgm_obs::span::flush_panicked(site);
+            tgm_obs::recorder::worker_panic(site);
             Err(WorkerPanic {
                 site,
                 message: panic_message(payload.as_ref()),

@@ -394,11 +394,17 @@ pub(crate) fn count_support_sweep(
         }
     };
     type ChunkResult = Result<Result<(usize, usize), Interrupt>, WorkerPanic>;
+    // Workers are fresh threads with an empty scope stack: hand them the
+    // caller's current scoped metric domain so their emissions (and any
+    // contained-panic flush) land where the caller's would.
+    let worker_scope = tgm_obs::scope::current();
     let joined: Vec<ChunkResult> = crossbeam::scope(|scope| {
             let handles: Vec<_> = refs
                 .chunks(refs.len().div_ceil(n_threads))
                 .map(|chunk| {
+                    let worker_scope = worker_scope.clone();
                     scope.spawn(move |_| {
+                        let _obs_scope = worker_scope.enter();
                         contain(SITE, token, || {
                             fail::point(SITE, limits);
                             // Per-chunk timing; the chunk-size histogram

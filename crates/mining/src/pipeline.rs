@@ -1001,11 +1001,18 @@ fn mine_inner(
             };
             type MultiWorkerResult =
                 Result<Result<(Vec<usize>, usize), Interrupt>, WorkerPanic>;
+            // Workers are fresh threads with an empty scope stack: hand
+            // them the caller's scoped metric domain so their emissions
+            // (and any contained-panic flush) land where the caller's
+            // would.
+            let worker_scope = tgm_obs::scope::current();
             let joined: Vec<MultiWorkerResult> = crossbeam::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
+                        let worker_scope = worker_scope.clone();
                         scope.spawn(move |_| {
+                            let _obs_scope = worker_scope.enter();
                             contain(SITE, token_ref, || {
                                 fail::point(SITE, limits);
                                 // Per-worker timing; flushed on span drop.
@@ -1164,11 +1171,17 @@ fn mine_inner(
             }
         };
         type WorkerResult = Result<(Vec<Solution>, usize, Option<Interrupt>), WorkerPanic>;
+        // Workers are fresh threads with an empty scope stack: hand them
+        // the caller's scoped metric domain so their emissions (and any
+        // contained-panic flush) land where the caller's would.
+        let worker_scope = tgm_obs::scope::current();
         let joined: Vec<WorkerResult> = crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|(offset, chunk)| {
+                    let worker_scope = worker_scope.clone();
                     scope.spawn(move |_| {
+                        let _obs_scope = worker_scope.enter();
                         contain(SITE, token_ref, || {
                             fail::point(SITE, limits);
                             // Per-worker timing; flushed when the span drops.

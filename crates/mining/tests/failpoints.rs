@@ -140,6 +140,100 @@ fn unbounded_entry_point_reraises_worker_panic() {
     );
 }
 
+/// Every non-`Ok` bounded verdict ships with a non-empty flight-recorder
+/// dump when the caller's scope carries a recorder: contained panics,
+/// injected cancellations, tripped deadlines and exhausted budgets all
+/// leave their last-N-events context behind (workers inherit the scope at
+/// spawn, so the dump works from inside parallel step 5 too).
+#[test]
+fn bounded_failures_carry_flight_recorder_dumps() {
+    let _armed = Armed::lock();
+    let (problem, seq) = fixture();
+    tgm_obs::set_enabled(true);
+    let opts = pipeline::PipelineOptions::builder().parallel(true).parallel_sweep(false).build();
+
+    // Contained worker panic: the dump carries both the panic marker and
+    // the tagged partial-span flush from the containment site.
+    fail::set(
+        "pipeline.step5.worker",
+        fail::Action::PanicOnce("injected".into()),
+    );
+    let scope = tgm_obs::ObsScope::with_recorder(64);
+    {
+        let _in = scope.enter();
+        let err = pipeline::mine_bounded(&problem, &seq, &opts, &Limits::none());
+        assert!(err.is_err());
+    }
+    let dump = scope.take_dump().expect("contained panic left no flight dump");
+    assert!(!dump.events.is_empty());
+    assert!(
+        dump.events.iter().any(|(_, e)| matches!(
+            e,
+            tgm_obs::RecEvent::WorkerPanic { site } if *site == "pipeline.step5.worker"
+        )),
+        "dump is missing the panic marker: {}",
+        dump.render()
+    );
+    assert!(
+        dump.events
+            .iter()
+            .any(|(_, e)| matches!(e, tgm_obs::RecEvent::PanickedFlush { .. })),
+        "the partial span flush was not tagged: {}",
+        dump.render()
+    );
+    fail::clear_all();
+
+    // Injected cancellation, tripped deadline, exhausted budget: each
+    // verdict must appear in its dump with the right interrupt class.
+    let cases: [(&str, Option<fail::Action>, Limits, Interrupt); 3] = [
+        (
+            "cancelled",
+            Some(fail::Action::Cancel),
+            Limits::none(),
+            Interrupt::Cancelled,
+        ),
+        (
+            "deadline",
+            Some(fail::Action::Delay(Duration::from_millis(30))),
+            Limits::none().with_timeout(Duration::from_millis(5)),
+            Interrupt::DeadlineExceeded,
+        ),
+        (
+            "budget",
+            None,
+            Limits::none().with_budget(1),
+            Interrupt::BudgetExhausted,
+        ),
+    ];
+    for (class, action, limits, expect) in cases {
+        fail::clear_all();
+        if let Some(a) = action {
+            fail::set("pipeline.step5.worker", a);
+        }
+        let scope = tgm_obs::ObsScope::with_recorder(64);
+        {
+            let _in = scope.enter();
+            let run = pipeline::mine_bounded(&problem, &seq, &opts, &limits).unwrap();
+            assert_eq!(run.verdict, Verdict::Interrupted(expect), "{class}");
+        }
+        let dump = scope
+            .take_dump()
+            .unwrap_or_else(|| panic!("{class} verdict left no flight dump"));
+        assert!(!dump.events.is_empty(), "{class}: empty dump");
+        assert!(
+            dump.events.iter().any(|(_, e)| matches!(
+                e,
+                tgm_obs::RecEvent::Verdict { interrupt, .. } if *interrupt == class
+            )),
+            "{class}: dump is missing its verdict event: {}",
+            dump.render()
+        );
+    }
+
+    tgm_obs::set_enabled(false);
+    tgm_obs::reset();
+}
+
 #[test]
 fn injected_delay_trips_the_deadline() {
     let _armed = Armed::lock();

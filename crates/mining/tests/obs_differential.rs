@@ -146,6 +146,47 @@ fn step5_paths_populate_stats_identically() {
     }
 }
 
+/// Every step-5 path run inside a recorder-equipped scoped metric domain
+/// (with an exporter pulling frames between paths) produces bit-identical
+/// solutions and stats; worker threads inherit the scope, so nothing
+/// leaks into the default registry.
+#[test]
+fn scoped_pipeline_results_identical_and_contained() {
+    let _guard = TEST_LOCK.lock();
+    tgm_obs::set_enabled(false);
+    let baseline = run_all(ObsOptions::default());
+
+    tgm_obs::set_enabled(true);
+    tgm_obs::reset();
+    let scope = tgm_obs::ObsScope::with_recorder(128);
+    let mut exporter = tgm_obs::Exporter::new(scope.clone());
+    let (observed, frame) = {
+        let _in = scope.enter();
+        let out = run_all(ObsOptions::default());
+        (out, exporter.frame())
+    };
+    let default_metrics = tgm_obs::metrics::snapshot();
+    let default_spans = tgm_obs::span::snapshot();
+    tgm_obs::set_enabled(false);
+
+    assert_eq!(baseline, observed, "scoped observability changed a result");
+    // The scope saw the whole funnel — including counters emitted from
+    // crossbeam workers, which enter the caller's scope at spawn.
+    assert_eq!(frame.delta.metrics.counter("mining.pipeline.runs"), 4);
+    assert!(frame.delta.metrics.counter("mining.pipeline.tag_runs") > 0);
+    assert!(frame.delta.metrics.counter("tag.multi.runs") > 0);
+    assert!(frame.delta.spans.get("pipeline").is_some());
+    assert!(
+        frame.delta.spans.get("pipeline.step5.worker").is_some(),
+        "worker spans did not land in the scope"
+    );
+    // …and none of it escaped to the default registry.
+    assert_eq!(default_metrics.counter("mining.pipeline.runs"), 0);
+    assert_eq!(default_metrics.counter("tag.multi.runs"), 0);
+    assert!(default_spans.get("pipeline").is_none());
+    tgm_obs::reset();
+}
+
 #[test]
 fn naive_results_identical_with_obs_on_and_off() {
     let _guard = TEST_LOCK.lock();

@@ -1,0 +1,294 @@
+//! Streaming snapshot exporter.
+//!
+//! An [`Exporter`] turns a scope's cumulative registries into **periodic
+//! delta frames**: each [`frame`](Exporter::frame) call captures a
+//! [`Snapshot`], diffs it against the previous capture
+//! ([`Snapshot::delta`]) and hands back a [`StreamFrame`] carrying the
+//! delta, the cumulative totals, and any caller-set gauges. Frames render
+//! to one-line NDJSON under the `tgm_obs_stream/v1` schema
+//! ([`StreamFrame::to_ndjson`]) or to Prometheus/OpenMetrics text
+//! ([`StreamFrame::to_openmetrics`]).
+//!
+//! The exporter is **pull-based and passive**: nothing runs between
+//! `frame()` calls, so the cadence belongs to the caller — the `tgm
+//! stream` CLI polls it on the `MatchSession` event-count cadence
+//! (`--stats-every N`), a service façade would poll it per scrape.
+//!
+//! # `tgm_obs_stream/v1` frame shape
+//!
+//! ```json
+//! {"schema":"tgm_obs_stream/v1","seq":3,
+//!  "gauges":{"frontier":12,"events_per_sec":48211.0,"watermark_lag":5},
+//!  "counters":{"tag.session.events":1000},
+//!  "histograms":{"tag.session.frontier":{"count":1000,"buckets":[[8,400],[16,600]]}},
+//!  "spans":{"session.push":{"count":4,"total_ns":91810}}}
+//! ```
+//!
+//! `counters`, `histograms` and `spans` hold the **delta** since the
+//! previous frame (all-zero entries omitted); `gauges` are instantaneous
+//! values set by the caller for exactly this frame.
+
+use crate::report::json_str;
+use crate::scope::{ObsScope, Snapshot};
+
+/// Polls one scope for periodic delta frames (see the module docs).
+pub struct Exporter {
+    scope: ObsScope,
+    prev: Snapshot,
+    seq: u64,
+}
+
+impl Exporter {
+    /// An exporter over `scope`, starting from an empty baseline: the
+    /// first [`frame`](Exporter::frame) reports everything the scope has
+    /// accumulated so far.
+    pub fn new(scope: ObsScope) -> Self {
+        Exporter {
+            scope,
+            prev: Snapshot::default(),
+            seq: 0,
+        }
+    }
+
+    /// An exporter over the calling thread's current scope.
+    pub fn for_current() -> Self {
+        Self::new(crate::scope::current())
+    }
+
+    /// Captures the scope now and returns the frame since the previous
+    /// capture. Frame sequence numbers start at 0 and increment per call.
+    pub fn frame(&mut self) -> StreamFrame {
+        let now = self.scope.snapshot();
+        let delta = now.delta(&self.prev);
+        let cumulative = now.clone();
+        self.prev = now;
+        let seq = self.seq;
+        self.seq += 1;
+        StreamFrame {
+            seq,
+            delta,
+            cumulative,
+            gauges: Vec::new(),
+        }
+    }
+
+    /// The scope this exporter polls.
+    pub fn scope(&self) -> &ObsScope {
+        &self.scope
+    }
+}
+
+/// One periodic frame: the delta since the previous frame, the cumulative
+/// totals, and caller-set instantaneous gauges.
+pub struct StreamFrame {
+    /// 0-based frame sequence number.
+    pub seq: u64,
+    /// Counters/histograms/spans accumulated since the previous frame.
+    pub delta: Snapshot,
+    /// Cumulative totals at capture time (used by the OpenMetrics
+    /// rendering, where counters are cumulative by convention).
+    pub cumulative: Snapshot,
+    gauges: Vec<(&'static str, f64)>,
+}
+
+impl StreamFrame {
+    /// Sets (or overwrites) an instantaneous gauge on this frame — e.g.
+    /// live frontier size, events/sec, the Theorem-4 watermark lag.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        if let Some((_, v)) = self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            *v = value;
+        } else {
+            self.gauges.push((name, value));
+        }
+    }
+
+    /// The named gauge, if set on this frame.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the frame as one `tgm_obs_stream/v1` NDJSON line
+    /// (newline-terminated).
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":\"tgm_obs_stream/v1\",\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(name, &mut out);
+            out.push(':');
+            push_f64(*v, &mut out);
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.delta.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(name, &mut out);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.delta.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(name, &mut out);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count().to_string());
+            out.push_str(",\"buckets\":[");
+            let mut first = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("[{},{}]", crate::metrics::bucket_lo(b), c));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (name, s)) in self.delta.spans.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(name, &mut out);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"total_ns\":{}}}",
+                s.count, s.total_ns
+            ));
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Renders the frame as Prometheus/OpenMetrics text: gauges as
+    /// `gauge` samples, cumulative counters as `counter` samples with the
+    /// conventional `_total` suffix, and histogram/span deltas reduced to
+    /// `_count` totals (log-scale buckets don't map onto `le` buckets
+    /// without lying about upper bounds). Metric names are sanitized
+    /// (`.` and `-` become `_`) and prefixed `tgm_`.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::with_capacity(256);
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE tgm_{n} gauge\ntgm_{n} "));
+            push_f64(*v, &mut out);
+            out.push('\n');
+        }
+        for (name, v) in &self.cumulative.metrics.counters {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE tgm_{n} counter\ntgm_{n}_total {v}\n"
+            ));
+        }
+        for (name, h) in &self.cumulative.metrics.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE tgm_{n}_count counter\ntgm_{n}_count_total {}\n",
+                h.count()
+            ));
+        }
+        for (name, s) in &self.cumulative.spans.spans {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE tgm_{n}_seconds counter\ntgm_{n}_seconds_total "
+            ));
+            push_f64(s.total_ns as f64 / 1e9, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a finite float in a JSON-safe way (NaN/inf become 0).
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::TEST_LOCK;
+
+    #[test]
+    fn frames_carry_deltas_and_gauges() {
+        let _guard = TEST_LOCK.lock();
+        crate::set_enabled(true);
+        let scope = ObsScope::new();
+        let mut ex = Exporter::new(scope.clone());
+        scope.counter_add("x.events", 10);
+        scope.histogram_record("x.sizes", 5);
+        let f0 = ex.frame();
+        assert_eq!(f0.seq, 0);
+        assert_eq!(f0.delta.metrics.counter("x.events"), 10);
+        scope.counter_add("x.events", 7);
+        let mut f1 = ex.frame();
+        crate::set_enabled(false);
+        assert_eq!(f1.seq, 1);
+        assert_eq!(f1.delta.metrics.counter("x.events"), 7, "delta, not total");
+        assert_eq!(f1.cumulative.metrics.counter("x.events"), 17);
+        assert!(f1.delta.metrics.histogram("x.sizes").is_none(), "unchanged");
+        f1.set_gauge("frontier", 3.0);
+        f1.set_gauge("frontier", 4.0);
+        assert_eq!(f1.gauge("frontier"), Some(4.0));
+    }
+
+    #[test]
+    fn ndjson_line_is_well_formed() {
+        let _guard = TEST_LOCK.lock();
+        crate::set_enabled(true);
+        let scope = ObsScope::new();
+        scope.counter_add("a.b", 2);
+        scope.histogram_record("h", 9);
+        let mut ex = Exporter::new(scope);
+        let mut f = ex.frame();
+        crate::set_enabled(false);
+        f.set_gauge("watermark_lag", 5.0);
+        let line = f.to_ndjson();
+        assert!(line.ends_with('\n'));
+        assert!(line.starts_with("{\"schema\":\"tgm_obs_stream/v1\",\"seq\":0,"));
+        assert!(line.contains("\"watermark_lag\":5"));
+        assert!(line.contains("\"a.b\":2"));
+        assert!(line.contains("\"h\":{\"count\":1,\"buckets\":[[8,1]]}"));
+    }
+
+    #[test]
+    fn openmetrics_renders_cumulative_counters() {
+        let _guard = TEST_LOCK.lock();
+        crate::set_enabled(true);
+        let scope = ObsScope::new();
+        scope.counter_add("tag.session.events", 100);
+        let mut ex = Exporter::new(scope.clone());
+        let _ = ex.frame();
+        scope.counter_add("tag.session.events", 50);
+        let mut f = ex.frame();
+        crate::set_enabled(false);
+        f.set_gauge("frontier", 2.0);
+        let text = f.to_openmetrics();
+        assert!(text.contains("tgm_frontier 2"), "{text}");
+        assert!(
+            text.contains("tgm_tag_session_events_total 150"),
+            "cumulative, not delta: {text}"
+        );
+    }
+}

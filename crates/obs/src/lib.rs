@@ -26,9 +26,22 @@
 //!   base-2 log-scale histograms behind sharded `parking_lot` mutexes.
 //!   [`MetricsSnapshot`] is `Add`-able across captures like
 //!   [`CacheStats`](tgm_granularity::CacheStats).
+//! - **Scoped domains** ([`scope`](mod@scope)) isolate full registries per
+//!   session, pipeline run or tenant: the global API routes to the calling
+//!   thread's *current* scope (the default scope when none is entered), so
+//!   existing call sites kept their semantics when scopes landed.
+//!   [`Snapshot`]s capture, diff ([`Snapshot::delta`]) and merge without
+//!   `reset()` races.
+//! - **Live export** ([`export`]) renders periodic delta snapshots as
+//!   one-line `tgm_obs_stream/v1` NDJSON frames or Prometheus/OpenMetrics
+//!   text — the `tgm stream --stats-every N` path.
+//! - **Flight recorder** ([`recorder`]) keeps a fixed-capacity ring of
+//!   recent structured events per scope, dumped automatically when a
+//!   bounded entry point is interrupted or a worker panic is contained.
 //! - **Never observable in results.** Instrumentation must not change
 //!   any mining or matching output; the workspace's differential tests
-//!   assert bit-identical results with the toggle on and off.
+//!   assert bit-identical results with the toggle on and off — and with
+//!   scopes, the exporter and the recorder active.
 //!
 //! # Quickstart
 //!
@@ -50,12 +63,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
+pub mod scope;
 pub mod span;
 
+pub use export::{Exporter, StreamFrame};
 pub use metrics::{Histogram, MetricsSnapshot};
+pub use recorder::{FlightDump, RecEvent};
 pub use report::{FunnelStage, Observable, ObsValue, Report};
+pub use scope::{ObsScope, Snapshot};
 pub use span::{SpanGuard, SpanSnapshot, SpanStats};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -78,7 +97,11 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clears all recorded spans and metrics (the enable flag is unchanged).
+/// Clears the current scope's recorded spans and metrics (the enable
+/// flag is unchanged). With no scope entered this clears the default
+/// scope — exactly the historical process-wide behavior; other scopes
+/// keep their data (see [`scope::ObsScope::reset`] for per-scope
+/// clearing).
 pub fn reset() {
     span::reset();
     metrics::reset();

@@ -6,14 +6,20 @@
 //! workspace uses a few dozen metric names; a linear probe beats hashing
 //! and `Vec::new` is `const`).
 //!
+//! Since the scoped-domain redesign every [`ObsScope`] owns its own shard
+//! set; the free functions here route to the calling thread's *current*
+//! scope (the process-wide default scope when none is entered), so the
+//! historical global API keeps its exact semantics for code that never
+//! enters a scope. See [`crate::scope`].
+//!
+//! [`ObsScope`]: crate::scope::ObsScope
+//!
 //! Hot loops should not emit per element: accumulate into a local
 //! [`Histogram`] (or plain integer) during the run and publish once at
 //! the end via [`histogram_merge`] / [`counter_add`] — the matcher's
 //! frontier-size histogram works this way.
 
 use std::collections::BTreeMap;
-
-use parking_lot::Mutex;
 
 /// Number of histogram buckets: one for zero plus one per power of two
 /// up to `2^63..=u64::MAX`.
@@ -77,12 +83,29 @@ impl Histogram {
     /// Lower bound of the bucket containing the `q`-quantile sample
     /// (`0.0 ..= 1.0`), or `None` when empty. Log-scale buckets make this
     /// a resolution-of-2x estimate, which is all the funnel reports need.
+    ///
+    /// # Lower-bound semantics and edge cases
+    ///
+    /// The returned value is the **inclusive lower bound** of the bucket
+    /// the ranked sample fell into ([`bucket_lo`]), never the sample
+    /// itself: the true sample lies in `[lo, 2·lo)` (or
+    /// `[2^63, u64::MAX]` for the top bucket). In particular, a histogram
+    /// whose samples all saturated into the top bucket answers
+    /// `Some(2^63)` for *every* quantile — including `q = 0.0` — because
+    /// bucket resolution is exhausted there.
+    ///
+    /// * An empty histogram returns `None` for every `q`.
+    /// * `q` outside `[0, 1]` is clamped; a NaN `q` behaves like `0.0`
+    ///   (the first non-empty bucket).
+    /// * `q = 0.0` ranks the smallest sample (rank is floored at 1), so
+    ///   it equals the first non-empty bucket's lower bound.
     pub fn quantile_lo(&self, q: f64) -> Option<u64> {
         let n = self.count();
         if n == 0 {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * n as f64).ceil() as u64).max(1).min(n);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -90,15 +113,37 @@ impl Histogram {
                 return Some(bucket_lo(i));
             }
         }
+        // Unreachable when the bucket counts are consistent (rank <= n);
+        // kept as a safe answer rather than a panic.
         Some(bucket_lo(BUCKETS - 1))
     }
 
     /// Lower bound of the highest non-empty bucket, or `None` when empty.
+    ///
+    /// Like [`quantile_lo`](Self::quantile_lo) this is a **bucket lower
+    /// bound**, not the maximum sample: a histogram holding one
+    /// `u64::MAX` sample answers `Some(2^63)` (the top bucket's lower
+    /// bound), the tightest answer 2x-resolution buckets can give.
     pub fn max_lo(&self) -> Option<u64> {
         self.buckets
             .iter()
             .rposition(|&c| c > 0)
             .map(bucket_lo)
+    }
+
+    /// Per-bucket saturating difference `self - earlier`: the samples
+    /// recorded between two cumulative captures of the same histogram.
+    /// The building block of [`Snapshot::delta`](crate::scope::Snapshot).
+    pub fn bucket_delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out
     }
 }
 
@@ -122,29 +167,70 @@ impl std::ops::Add for Histogram {
     }
 }
 
-struct Shard {
+/// One lock's worth of a scope's metric registry (see the module docs
+/// for the sharding rationale).
+pub(crate) struct Shard {
     counters: Vec<(&'static str, u64)>,
     histograms: Vec<(&'static str, Histogram)>,
 }
 
 impl Shard {
-    const fn new() -> Self {
+    pub(crate) const fn new() -> Self {
         Shard {
             counters: Vec::new(),
             histograms: Vec::new(),
         }
     }
+
+    pub(crate) fn counter_add(&mut self, name: &'static str, v: u64) {
+        if let Some((_, c)) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            *c += v;
+        } else {
+            self.counters.push((name, v));
+        }
+    }
+
+    pub(crate) fn histogram_record(&mut self, name: &'static str, v: u64) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            self.histograms.push((name, h));
+        }
+    }
+
+    pub(crate) fn histogram_merge(&mut self, name: &'static str, local: &Histogram) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            h.merge(local);
+        } else {
+            self.histograms.push((name, local.clone()));
+        }
+    }
+
+    pub(crate) fn accumulate_into(&self, snap: &mut MetricsSnapshot) {
+        for (n, v) in &self.counters {
+            *snap.counters.entry((*n).to_string()).or_insert(0) += v;
+        }
+        for (n, h) in &self.histograms {
+            snap.histograms
+                .entry((*n).to_string())
+                .or_default()
+                .merge(h);
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
 }
 
-const SHARDS: usize = 16;
-
-// An inline-const repeat operand may be repeated in an array even though
-// the type is not `Copy`; each element is a fresh shard.
-static REGISTRY: [Mutex<Shard>; SHARDS] = [const { Mutex::new(Shard::new()) }; SHARDS];
+pub(crate) const SHARDS: usize = 16;
 
 /// FNV-1a over the name bytes, reduced to a shard index. Names are short
 /// `'static` literals, so this is a handful of cycles.
-fn shard_of(name: &str) -> usize {
+pub(crate) fn shard_of(name: &str) -> usize {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in name.as_bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
@@ -152,47 +238,32 @@ fn shard_of(name: &str) -> usize {
     (h as usize) % SHARDS
 }
 
-/// Adds `v` to the named counter (no-op while observability is disabled).
+/// Adds `v` to the current scope's named counter (no-op while
+/// observability is disabled).
 pub fn counter_add(name: &'static str, v: u64) {
     if !crate::enabled() || v == 0 {
         return;
     }
-    let mut shard = REGISTRY[shard_of(name)].lock();
-    if let Some((_, c)) = shard.counters.iter_mut().find(|(n, _)| *n == name) {
-        *c += v;
-    } else {
-        shard.counters.push((name, v));
-    }
+    crate::scope::with_current_inner(|inner| inner.counter_add(name, v));
 }
 
-/// Records one sample into the named histogram (no-op while disabled).
+/// Records one sample into the current scope's named histogram (no-op
+/// while disabled).
 pub fn histogram_record(name: &'static str, v: u64) {
     if !crate::enabled() {
         return;
     }
-    let mut shard = REGISTRY[shard_of(name)].lock();
-    if let Some((_, h)) = shard.histograms.iter_mut().find(|(n, _)| *n == name) {
-        h.record(v);
-    } else {
-        let mut h = Histogram::new();
-        h.record(v);
-        shard.histograms.push((name, h));
-    }
+    crate::scope::with_current_inner(|inner| inner.histogram_record(name, v));
 }
 
-/// Merges a locally accumulated histogram into the named global one in a
-/// single lock acquisition — the batch path for hot loops (no-op while
-/// disabled).
+/// Merges a locally accumulated histogram into the current scope's named
+/// one in a single lock acquisition — the batch path for hot loops
+/// (no-op while disabled).
 pub fn histogram_merge(name: &'static str, local: &Histogram) {
     if !crate::enabled() || local.count() == 0 {
         return;
     }
-    let mut shard = REGISTRY[shard_of(name)].lock();
-    if let Some((_, h)) = shard.histograms.iter_mut().find(|(n, _)| *n == name) {
-        h.merge(local);
-    } else {
-        shard.histograms.push((name, local.clone()));
-    }
+    crate::scope::with_current_inner(|inner| inner.histogram_merge(name, local));
 }
 
 /// A point-in-time copy of every counter and histogram.
@@ -229,31 +300,15 @@ impl std::ops::Add for MetricsSnapshot {
     }
 }
 
-/// Captures every counter and histogram across all shards.
+/// Captures every counter and histogram of the current scope (the
+/// default scope when none is entered).
 pub fn snapshot() -> MetricsSnapshot {
-    let mut snap = MetricsSnapshot::default();
-    for shard in &REGISTRY {
-        let shard = shard.lock();
-        for (n, v) in &shard.counters {
-            *snap.counters.entry((*n).to_string()).or_insert(0) += v;
-        }
-        for (n, h) in &shard.histograms {
-            snap.histograms
-                .entry((*n).to_string())
-                .or_insert_with(Histogram::new)
-                .merge(h);
-        }
-    }
-    snap
+    crate::scope::with_current_inner(|inner| inner.metrics_snapshot())
 }
 
-/// Clears every counter and histogram.
+/// Clears every counter and histogram of the current scope.
 pub fn reset() {
-    for shard in &REGISTRY {
-        let mut shard = shard.lock();
-        shard.counters.clear();
-        shard.histograms.clear();
-    }
+    crate::scope::with_current_inner(|inner| inner.clear_metrics());
 }
 
 #[cfg(test)]
@@ -296,6 +351,56 @@ mod tests {
         assert_eq!(h.quantile_lo(1.0), Some(1 << 63));
         assert_eq!(Histogram::new().quantile_lo(0.5), None);
         assert_eq!(Histogram::new().max_lo(), None);
+    }
+
+    #[test]
+    fn quantile_and_max_edge_cases_are_pinned() {
+        // Empty histogram: every summary answers None, for any q.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile_lo(q), None);
+        }
+        assert_eq!(empty.max_lo(), None);
+
+        // Single sample saturated into the top bucket: every quantile —
+        // including q=0 — answers the top bucket's *lower bound* 2^63,
+        // never the sample itself (lower-bound semantics).
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        for q in [0.0, 0.25, 1.0] {
+            assert_eq!(top.quantile_lo(q), Some(1u64 << 63));
+        }
+        assert_eq!(top.max_lo(), Some(1u64 << 63));
+
+        // Out-of-range and NaN q clamp instead of panicking or skewing:
+        // q < 0 and NaN behave like 0.0, q > 1 like 1.0.
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.quantile_lo(-3.0), h.quantile_lo(0.0));
+        assert_eq!(h.quantile_lo(f64::NAN), h.quantile_lo(0.0));
+        assert_eq!(h.quantile_lo(7.5), h.quantile_lo(1.0));
+        assert_eq!(h.quantile_lo(0.0), Some(1));
+        assert_eq!(h.quantile_lo(1.0), Some(512));
+    }
+
+    #[test]
+    fn bucket_delta_subtracts_per_bucket() {
+        let mut a = Histogram::new();
+        a.record(4);
+        a.record(4);
+        a.record(100);
+        let mut b = a.clone();
+        b.record(4);
+        b.record(1 << 40);
+        let d = b.bucket_delta(&a);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.buckets[bucket_of(4)], 1);
+        assert_eq!(d.buckets[bucket_of(1 << 40)], 1);
+        assert_eq!(d.buckets[bucket_of(100)], 0);
+        // Saturating: an (impossible) shrink clamps to zero, not wraps.
+        let z = a.bucket_delta(&b);
+        assert_eq!(z.count(), 0);
     }
 
     #[test]

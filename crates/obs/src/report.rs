@@ -360,7 +360,7 @@ fn render_span_tree(snap: &SpanSnapshot, out: &mut String) {
 }
 
 /// Writes `s` as a JSON string literal with escaping.
-fn json_str(s: &str, out: &mut String) {
+pub(crate) fn json_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -2,11 +2,19 @@
 //!
 //! A [`span`] call returns an RAII [`SpanGuard`]; dropping it records the
 //! elapsed monotonic time into a thread-local aggregate keyed by the span
-//! name. The aggregate flushes into the global registry whenever the
-//! thread's span stack unwinds to depth zero, when it grows past a small
-//! bound, or when the thread exits — so nested spans on a hot path touch
-//! no shared state, and parallel sweep workers only contend once per
-//! top-level unit of work.
+//! name. The aggregate flushes into the current scope's registry (see
+//! [`crate::scope`]) whenever the thread's span stack unwinds to depth
+//! zero, when it grows past a small bound, when the thread enters or
+//! exits a scope, or when the thread exits — so nested spans on a hot
+//! path touch no shared state, and parallel sweep workers only contend
+//! once per top-level unit of work.
+//!
+//! A `catch_unwind`-contained worker panic is the one unwind that can
+//! strand a partial span tree (the containment keeps the thread alive
+//! with its depth counter out of sync); containment sites call
+//! [`flush_panicked`] to push the partial aggregates out, tagged
+//! `panicked=true` via the `obs.spans.panicked_flushes` counter and a
+//! flight-recorder event.
 //!
 //! Hierarchy is by naming convention: dot-separated components
 //! (`"pipeline.step5.scan"`), rendered as a tree by
@@ -16,7 +24,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use crate::recorder::RecEvent;
 
 /// Aggregate timing for one span name.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +57,11 @@ impl SpanStats {
         self.total_ns += other.total_ns;
         self.max_ns = self.max_ns.max(other.max_ns);
     }
+
+    /// Crate-internal merge hook for the scope registries.
+    pub(crate) fn merge_from(&mut self, other: SpanStats) {
+        self.merge(other);
+    }
 }
 
 impl std::ops::Add for SpanStats {
@@ -58,12 +71,6 @@ impl std::ops::Add for SpanStats {
         self
     }
 }
-
-/// Global registry of flushed span aggregates. A flat name-keyed vector:
-/// the workspace uses a few dozen distinct span names, so a linear scan
-/// on (rare) flushes beats hashing, and `Vec::new` is `const` where
-/// `HashMap::new` is not.
-static REGISTRY: Mutex<Vec<(&'static str, SpanStats)>> = Mutex::new(Vec::new());
 
 /// Flush the thread-local aggregate once it holds this many distinct
 /// names, even if the span stack has not unwound — a backstop for
@@ -105,14 +112,7 @@ impl Local {
         if self.agg.is_empty() {
             return;
         }
-        let mut reg = REGISTRY.lock();
-        for (name, s) in self.agg.drain(..) {
-            if let Some((_, g)) = reg.iter_mut().find(|(n, _)| *n == name) {
-                g.merge(s);
-            } else {
-                reg.push((name, s));
-            }
-        }
+        crate::scope::with_current_inner(|inner| inner.merge_spans(&mut self.agg));
     }
 }
 
@@ -149,6 +149,7 @@ pub fn span_if(want: bool, name: &'static str) -> SpanGuard {
         return SpanGuard { name, start: None };
     }
     LOCAL.with(|l| l.borrow_mut().depth += 1);
+    crate::recorder::record(RecEvent::SpanEnter(name));
     SpanGuard {
         name,
         start: Some(Instant::now()),
@@ -159,6 +160,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        crate::recorder::record(RecEvent::SpanExit { name: self.name, ns });
         // A TLS access can fail during thread teardown; losing the span
         // is preferable to aborting the process from a destructor.
         let _ = LOCAL.try_with(|l| {
@@ -167,6 +169,43 @@ impl Drop for SpanGuard {
             l.record(self.name, ns);
         });
     }
+}
+
+/// Flushes the calling thread's pending span aggregates into the current
+/// scope, regardless of span-stack depth. [`ObsScope::enter`] and scope
+/// exit call this so buffered spans land in the scope they ran under.
+///
+/// [`ObsScope::enter`]: crate::scope::ObsScope::enter
+pub fn flush_current_thread() {
+    let _ = LOCAL.try_with(|l| l.borrow_mut().flush());
+}
+
+/// Force-flushes the calling thread's span buffer after a
+/// `catch_unwind`-contained panic, tagging the flush `panicked=true`:
+/// the partial aggregates merge into the current scope as usual, the
+/// `obs.spans.panicked_flushes` counter increments, and a
+/// [`PanickedFlush`](crate::recorder::RecEvent::PanickedFlush) event
+/// lands in the scope's flight ring (if it has one).
+///
+/// Call this from the containment site, on the thread that panicked —
+/// containment keeps the worker thread alive with its span depth out of
+/// sync, which would otherwise strand the partial span tree in the
+/// thread-local buffer until thread exit (and, for pooled threads,
+/// possibly misattribute it to a later scope).
+pub fn flush_panicked(site: &'static str) {
+    if !crate::enabled() {
+        return;
+    }
+    let _ = LOCAL.try_with(|l| {
+        let mut l = l.borrow_mut();
+        // A guard leaked mid-unwind leaves the depth stranded above zero,
+        // deferring every later flush; containment is the thread's top
+        // frame, so zero is the known-good depth to re-arm at.
+        l.depth = 0;
+        l.flush();
+    });
+    crate::metrics::counter_add("obs.spans.panicked_flushes", 1);
+    crate::recorder::record(RecEvent::PanickedFlush { site });
 }
 
 /// A point-in-time copy of every flushed span aggregate.
@@ -193,23 +232,19 @@ impl std::ops::Add for SpanSnapshot {
     }
 }
 
-/// Captures the current span aggregates (flushing this thread's buffer
-/// first; other threads' buffers flush when their span stacks unwind).
+/// Captures the current scope's span aggregates (flushing this thread's
+/// buffer first; other threads' buffers flush when their span stacks
+/// unwind or when they leave the scope).
 pub fn snapshot() -> SpanSnapshot {
     LOCAL.with(|l| l.borrow_mut().flush());
-    let reg = REGISTRY.lock();
-    SpanSnapshot {
-        spans: reg
-            .iter()
-            .map(|(n, s)| ((*n).to_string(), *s))
-            .collect(),
-    }
+    crate::scope::with_current_inner(|inner| inner.span_snapshot())
 }
 
-/// Clears the global registry and this thread's pending buffer.
+/// Clears the current scope's span registry and this thread's pending
+/// buffer.
 pub fn reset() {
     LOCAL.with(|l| l.borrow_mut().agg.clear());
-    REGISTRY.lock().clear();
+    crate::scope::with_current_inner(|inner| inner.clear_spans());
 }
 
 #[cfg(test)]
@@ -264,6 +299,59 @@ mod tests {
         let snap = snapshot();
         crate::set_enabled(false);
         assert_eq!(snap.get("test.worker").expect("flushed").count, 4);
+        reset();
+    }
+
+    #[test]
+    fn contained_panic_flush_is_tagged_and_preserves_partial_spans() {
+        let _guard = TEST_LOCK.lock();
+        crate::set_enabled(true);
+        reset();
+        let scope = crate::scope::ObsScope::with_recorder(32);
+        crossbeam::scope(|s| {
+            let scope = &scope;
+            s.spawn(move |_| {
+                let _g = scope.enter();
+                // A live outer span keeps depth > 0, so the inner span
+                // recorded during the unwind stays buffered — exactly the
+                // partial tree a containment site must not drop.
+                let _outer = crate::span!("test.panic.outer");
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _inner = crate::span!("test.panic.inner");
+                    panic!("injected");
+                }));
+                assert!(r.is_err());
+                flush_panicked("test.containment");
+            });
+        })
+        .expect("crossbeam scope");
+        {
+            // Trigger a dump to inspect the ring for the panicked tag.
+            let _g = scope.enter();
+            crate::recorder::interrupt("test.containment", "test");
+        }
+        crate::set_enabled(false);
+        let snap = scope.snapshot();
+        assert!(
+            snap.spans.get("test.panic.inner").is_some(),
+            "partial span tree was dropped"
+        );
+        assert_eq!(
+            snap.metrics.counter("obs.spans.panicked_flushes"),
+            1,
+            "flush was not tagged panicked=true"
+        );
+        let dump = scope.take_dump().expect("dump triggered");
+        assert!(
+            dump.events.iter().any(|(_, e)| matches!(
+                e,
+                RecEvent::PanickedFlush {
+                    site: "test.containment"
+                }
+            )),
+            "flight ring lacks the PanickedFlush event: {dump:?}"
+        );
+        let _g = scope.enter();
         reset();
     }
 

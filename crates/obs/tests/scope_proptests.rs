@@ -1,0 +1,143 @@
+//! Property tests for scoped metric domains: concurrent scopes never
+//! bleed into each other, and snapshot deltas are associative.
+//!
+//! This test binary runs in its own process, so it owns the process-wide
+//! enable toggle; a file-local lock serializes the two properties (both
+//! flip the toggle and the shim may run them on different threads).
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use tgm_obs::scope::ObsScope;
+use tgm_obs::Snapshot;
+
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Per-scope-exclusive metric names: scope `i` only ever receives
+/// `COUNTERS[i]`/`SPANS[i]`/`HISTS[i]`, so any other name appearing in
+/// its snapshot is a bleed.
+const COUNTERS: [&str; 4] = ["iso.c.0", "iso.c.1", "iso.c.2", "iso.c.3"];
+const SPANS: [&str; 4] = ["iso.s.0", "iso.s.1", "iso.s.2", "iso.s.3"];
+const HISTS: [&str; 4] = ["iso.h.0", "iso.h.1", "iso.h.2", "iso.h.3"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads run interleaved scripts of "enter scope, emit, leave"
+    /// ops against M shared scopes, snapshotting scopes mid-run; at the
+    /// end every scope holds exactly the emissions addressed to it and
+    /// none of its neighbours'.
+    #[test]
+    fn concurrent_scopes_never_bleed(
+        n_scopes in 2usize..=4,
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((any::<prop::sample::Index>(), 1u64..50), 1..40),
+            2..5,
+        ),
+    ) {
+        let _serial = TOGGLE_LOCK.lock();
+        tgm_obs::set_enabled(true);
+        let scopes: Vec<ObsScope> = (0..n_scopes).map(|_| ObsScope::new()).collect();
+
+        // Expected per-scope counter totals, computed serially.
+        let mut expected = vec![0u64; n_scopes];
+        for script in &scripts {
+            for (which, amount) in script {
+                expected[which.index(n_scopes)] += amount;
+            }
+        }
+
+        crossbeam::scope(|cb| {
+            for script in &scripts {
+                let scopes = &scopes;
+                cb.spawn(move |_| {
+                    for (which, amount) in script {
+                        let i = which.index(scopes.len());
+                        let _g = scopes[i].enter();
+                        {
+                            let _span = tgm_obs::span::span(SPANS[i]);
+                            tgm_obs::metrics::counter_add(COUNTERS[i], *amount);
+                            tgm_obs::metrics::histogram_record(HISTS[i], *amount);
+                        }
+                        // Interleaved capture: a mid-run snapshot must
+                        // already be scope-pure and never overshoot.
+                        let snap = scopes[i].snapshot();
+                        assert!(snap.metrics.counter(COUNTERS[i]) >= *amount);
+                        for (j, other) in COUNTERS.iter().enumerate().take(scopes.len()) {
+                            if j != i {
+                                assert_eq!(snap.metrics.counter(other), 0);
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("crossbeam scope");
+
+        tgm_obs::set_enabled(false);
+        for (i, scope) in scopes.iter().enumerate() {
+            let snap = scope.snapshot();
+            prop_assert_eq!(
+                snap.metrics.counter(COUNTERS[i]), expected[i],
+                "scope {} lost or gained counts", i
+            );
+            for j in 0..n_scopes {
+                if j == i { continue; }
+                prop_assert_eq!(
+                    snap.metrics.counter(COUNTERS[j]), 0,
+                    "scope {}'s counter bled into scope {}", j, i
+                );
+                prop_assert!(
+                    snap.spans.get(SPANS[j]).is_none(),
+                    "scope {}'s span bled into scope {}", j, i
+                );
+                prop_assert!(
+                    snap.metrics.histogram(HISTS[j]).is_none(),
+                    "scope {}'s histogram bled into scope {}", j, i
+                );
+            }
+            let expected_samples = if expected[i] > 0 {
+                prop_assert!(snap.spans.get(SPANS[i]).is_some());
+                snap.metrics.histogram(HISTS[i]).map(|h| h.count()).unwrap_or(0)
+            } else { 0 };
+            let span_count = snap.spans.get(SPANS[i]).map(|s| s.count).unwrap_or(0);
+            prop_assert_eq!(span_count, expected_samples,
+                "scope {}: span count and sample count disagree", i);
+        }
+    }
+
+    /// `delta(a, c) == delta(a, b) + delta(b, c)` for counters and
+    /// histogram buckets, over three monotone captures of one scope.
+    #[test]
+    fn snapshot_delta_is_associative(
+        phase1 in proptest::collection::vec((any::<prop::sample::Index>(), 0u64..2000), 0..30),
+        phase2 in proptest::collection::vec((any::<prop::sample::Index>(), 0u64..2000), 0..30),
+    ) {
+        let _serial = TOGGLE_LOCK.lock();
+        tgm_obs::set_enabled(true);
+        let scope = ObsScope::new();
+        let emit = |ops: &[(prop::sample::Index, u64)]| {
+            for (which, v) in ops {
+                let i = which.index(COUNTERS.len());
+                scope.counter_add(COUNTERS[i], *v);
+                scope.histogram_record(HISTS[i], *v);
+            }
+        };
+        let a = scope.snapshot();
+        emit(&phase1);
+        let b = scope.snapshot();
+        emit(&phase2);
+        let c = scope.snapshot();
+        tgm_obs::set_enabled(false);
+
+        let whole: Snapshot = c.delta(&a);
+        let parts: Snapshot = b.delta(&a) + c.delta(&b);
+        prop_assert_eq!(
+            &whole.metrics.counters, &parts.metrics.counters,
+            "counter deltas are not associative"
+        );
+        prop_assert_eq!(
+            &whole.metrics.histograms, &parts.metrics.histograms,
+            "histogram bucket deltas are not associative"
+        );
+    }
+}

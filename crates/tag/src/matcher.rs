@@ -171,9 +171,21 @@ pub struct BoundedRun {
     pub verdict: Verdict,
 }
 
+/// Short class name of an interrupt, used to tag flight-recorder events.
+#[doc(hidden)]
+pub fn interrupt_class(i: Interrupt) -> &'static str {
+    match i {
+        Interrupt::DeadlineExceeded => "deadline",
+        Interrupt::BudgetExhausted => "budget",
+        Interrupt::Cancelled => "cancelled",
+    }
+}
+
 /// Emits the `limits.*` interruption counters for an engine that stopped
-/// early (shared by the matcher and the miner). Call only when metrics
-/// are enabled for the surrounding call-site.
+/// early (shared by the matcher and the miner), and dumps the current
+/// scope's flight-recorder ring (if it has one) so the interrupt ships
+/// with its last-N-events context. Call only when metrics are enabled
+/// for the surrounding call-site.
 #[doc(hidden)]
 pub fn count_interrupt(i: Interrupt) {
     match i {
@@ -181,6 +193,22 @@ pub fn count_interrupt(i: Interrupt) {
         Interrupt::BudgetExhausted => metrics::counter_add("limits.budget_hit", 1),
         Interrupt::Cancelled => metrics::counter_add("limits.cancelled", 1),
     }
+    tgm_obs::recorder::interrupt("bounded_run", interrupt_class(i));
+}
+
+/// The interrupt observer wired into [`tgm_limits::hook`]: every non-`Ok`
+/// limits verdict, detected by whichever engine polled it, lands in the
+/// current scope's flight ring and triggers a dump.
+fn obs_interrupt_observer(i: Interrupt) {
+    tgm_obs::recorder::interrupt("limits.check", interrupt_class(i));
+}
+
+/// Installs [`obs_interrupt_observer`] once per process; called from the
+/// engine constructors so any code path that builds a matcher or session
+/// gets verdict→recorder coverage without an explicit init step.
+pub(crate) fn ensure_interrupt_observer() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| tgm_limits::hook::set_interrupt_observer(obs_interrupt_observer));
 }
 
 /// Records the largest constant each clock is compared against.
@@ -426,6 +454,7 @@ impl<'a> Matcher<'a> {
 
     /// A matcher with explicit options.
     pub fn with_options(tag: &'a Tag, opts: MatchOptions) -> Self {
+        ensure_interrupt_observer();
         let mut max_consts = vec![0i64; tag.clocks.len()];
         for tr in tag.transitions() {
             collect_guard_consts(&tr.guard, &mut max_consts);

@@ -297,6 +297,7 @@ impl<'t> MultiMatcher<'t> {
     /// Compiles `tags` under explicit matching options (shared by every
     /// candidate).
     pub fn with_options(tags: Vec<&'t Tag>, opts: MatchOptions) -> Self {
+        crate::matcher::ensure_interrupt_observer();
         let mut lanes: Vec<Lane<'t>> = Vec::new();
         let mut by_key: HashMap<String, Vec<usize>> = HashMap::new();
         let mut start_acc = Vec::with_capacity(tags.len());

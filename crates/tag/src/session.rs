@@ -50,7 +50,7 @@ use tgm_events::{Event, TickColumns};
 use tgm_granularity::Second;
 use tgm_limits::{Interrupt, Limits, Verdict};
 use tgm_obs::metrics::{self, Histogram};
-use tgm_obs::{Observable, ObsValue};
+use tgm_obs::{Observable, ObsScope, ObsValue, RecEvent};
 
 use crate::automaton::Tag;
 use crate::constraint::ClockId;
@@ -298,6 +298,17 @@ pub struct MatchSession<'a> {
     /// the historical `tag.matcher.*` names; sessions finalize it under
     /// `tag.session.frontier`.
     hist: Option<Histogram>,
+    /// Scoped metric domain: when set, every emission block (the
+    /// `session.push` span, eviction counters and recorder events, the
+    /// finalize merge) runs with this scope entered, isolating the
+    /// session's telemetry from the default registry and from other
+    /// sessions on the same thread.
+    scope: Option<ObsScope>,
+    /// Emit a live-stats frame every this many events (see
+    /// [`stats_due`](Self::stats_due)).
+    stats_every: Option<u64>,
+    /// Events pushed when [`stats_due`](Self::stats_due) last fired.
+    last_stats_at: u64,
     /// Column binding for [`push_row`](Self::push_row): instance ids of
     /// the bound columns' granularities, and the clock → column mapping.
     col_ids: Vec<u64>,
@@ -355,6 +366,9 @@ impl<'a> MatchSession<'a> {
             evictions: 0,
             eviction: None,
             hist,
+            scope: None,
+            stats_every: None,
+            last_stats_at: 0,
             col_ids: Vec::new(),
             col_map: Vec::new(),
         }
@@ -383,6 +397,77 @@ impl<'a> MatchSession<'a> {
     pub fn with_eviction(mut self) -> Self {
         self.eviction = Some(EvictionPlan::new(self.matcher.tag));
         self
+    }
+
+    /// Attaches a scoped metric domain: the session's spans, counters and
+    /// flight-recorder events land in `scope` instead of the calling
+    /// thread's current scope, so concurrent sessions (or a session and
+    /// its host process) keep separate telemetry. The scope is entered
+    /// only around emission blocks — results are unchanged (differential
+    /// tests assert bit-identical runs with and without a scope).
+    pub fn with_scope(mut self, scope: ObsScope) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// The attached scoped metric domain, if any.
+    pub fn scope(&self) -> Option<&ObsScope> {
+        self.scope.as_ref()
+    }
+
+    /// Arms the live-stats cadence: [`stats_due`](Self::stats_due)
+    /// reports `true` once every `every` pushed events (`0` disarms).
+    /// Pair with [`tgm_obs::Exporter`] to emit periodic delta frames —
+    /// the `tgm stream --stats-every N` path.
+    pub fn with_stats_every(mut self, every: u64) -> Self {
+        self.stats_every = (every > 0).then_some(every);
+        self
+    }
+
+    /// Whether a live-stats frame is due: `true` at most once per
+    /// [`with_stats_every`](Self::with_stats_every) window, measured in
+    /// pushed events (deterministic in the stream, never wall-clock).
+    pub fn stats_due(&mut self) -> bool {
+        match self.stats_every {
+            Some(n) if self.events_pushed.saturating_sub(self.last_stats_at) >= n => {
+                self.last_stats_at = self.events_pushed;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The Theorem 4 watermark-lag gauge: over all live frontier rows and
+    /// defined clock readings, the largest number of ticks a reading
+    /// still has to age before it saturates at its clock's horizon
+    /// (`K + 1`, beyond which readings are indistinguishable — the
+    /// distance eviction waits out). `0` means the whole frontier is
+    /// saturated (the slowest row has reached its horizon); `None` when
+    /// the TAG has no clocks, the session is unseeded, or the frontier is
+    /// empty. Monitoring loops export this as `watermark_lag`.
+    pub fn watermark_lag(&self) -> Option<u64> {
+        let n = self.matcher.tag.clocks().len();
+        if n == 0 || !self.seeded || self.scratch.meta.is_empty() {
+            return None;
+        }
+        let mut consts = vec![0i64; n];
+        for tr in self.matcher.tag.transitions() {
+            collect_guard_consts(&tr.guard, &mut consts);
+        }
+        let mut lag = 0u64;
+        for ci in 0..self.scratch.meta.len() {
+            let row = &self.scratch.rows[ci * n..ci * n + n];
+            for (x, &reset) in row.iter().enumerate() {
+                let cur = self.scratch.ticks[x];
+                if reset == NONE_TICK || cur == NONE_TICK {
+                    continue;
+                }
+                let elapsed = cur.saturating_sub(reset).max(0);
+                let horizon = consts[x].saturating_add(1);
+                lag = lag.max(horizon.saturating_sub(elapsed).max(0) as u64);
+            }
+        }
+        Some(lag)
     }
 
     /// The Theorem 4 frontier bound `2·|V|·∏(Kₓ+3)` (states × started
@@ -427,6 +512,7 @@ impl<'a> MatchSession<'a> {
     /// `session.push` span per call (never per event) when span
     /// observability is on.
     pub fn push_batch(&mut self, events: &[Event]) -> usize {
+        let _scope = self.scope.as_ref().map(ObsScope::enter);
         let _span = tgm_obs::span::span_if(self.matcher.opts.obs.spans, "session.push");
         let before = self.stats.events;
         for &e in events {
@@ -601,6 +687,7 @@ impl<'a> MatchSession<'a> {
     /// accepting state, saturate each survivor against its state's
     /// residual guard constants, and merge the duplicates that creates.
     fn evict(&mut self, now: Second) {
+        let _scope = self.scope.as_ref().map(ObsScope::enter);
         let _span = tgm_obs::span::span_if(self.matcher.opts.obs.spans, "session.evict");
         let plan = match &self.eviction {
             Some(p) => p,
@@ -662,6 +749,10 @@ impl<'a> MatchSession<'a> {
         if self.matcher.opts.obs.metrics_on() {
             metrics::counter_add("tag.session.evictions", 1);
             metrics::counter_add("tag.session.evicted_rows", (before - after) as u64);
+            tgm_obs::recorder::record(RecEvent::Eviction {
+                before: before as u64,
+                after: after as u64,
+            });
         }
         let _ = now;
     }
@@ -717,6 +808,7 @@ impl<'a> MatchSession<'a> {
         self.total_completions = 0;
         self.evicted_rows = 0;
         self.evictions = 0;
+        self.last_stats_at = 0;
         if let Some(plan) = &mut self.eviction {
             plan.next_at = None;
             plan.watermark = EVICT_MIN_WATERMARK;
@@ -759,6 +851,7 @@ impl<'a> MatchSession<'a> {
             }
         };
         if self.matcher.opts.obs.metrics_on() {
+            let _scope = self.scope.as_ref().map(ObsScope::enter);
             metrics::counter_add("tag.session.finalized", 1);
             metrics::counter_add("tag.session.completions", self.total_completions);
             if let Some(hist) = self.hist.take() {

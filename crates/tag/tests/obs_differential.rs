@@ -103,6 +103,77 @@ fn results_identical_with_obs_on_and_off() {
 }
 
 #[test]
+fn scoped_exporting_and_recording_do_not_change_results() {
+    let _guard = TEST_LOCK.lock();
+    tgm_obs::reset();
+    let combos = all_option_combos();
+
+    tgm_obs::set_enabled(false);
+    let baseline = run_matrix(&combos);
+
+    // Same matrix inside a recorder-equipped scope, with an exporter
+    // pulling delta frames mid-run: results must stay bit-identical and
+    // every emission must land in the scope, not the default registry.
+    tgm_obs::set_enabled(true);
+    let scope = tgm_obs::ObsScope::with_recorder(64);
+    let mut exporter = tgm_obs::Exporter::new(scope.clone());
+    let observed = {
+        let _in = scope.enter();
+        let out = run_matrix(&combos);
+        let frame = exporter.frame();
+        assert!(frame.delta.metrics.counter("tag.matcher.runs") > 0);
+        assert!(!frame.to_ndjson().is_empty());
+        out
+    };
+    let default_snap = tgm_obs::metrics::snapshot();
+    tgm_obs::set_enabled(false);
+
+    assert_eq!(baseline, observed, "scoped observability changed a result");
+    assert_eq!(
+        default_snap.counter("tag.matcher.runs"),
+        0,
+        "scoped run leaked into the default registry"
+    );
+    tgm_obs::reset();
+}
+
+#[test]
+fn session_scope_and_stats_cadence_do_not_change_results() {
+    let _guard = TEST_LOCK.lock();
+    tgm_obs::reset();
+    let tag = chain_tag();
+    tgm_obs::set_enabled(true);
+    for events in &sequences() {
+        let mut plain = tgm_tag::MatchSession::new(&tag);
+        let scope = tgm_obs::ObsScope::with_recorder(32);
+        let mut exporter = tgm_obs::Exporter::new(scope.clone());
+        let mut scoped = tgm_tag::MatchSession::new(&tag)
+            .with_scope(scope.clone())
+            .with_stats_every(2);
+        let mut frames = 0usize;
+        for &e in events {
+            let a = plain.push(e);
+            let b = scoped.push(e);
+            assert_eq!(a, b, "scoped session diverged at {e:?}");
+            if scoped.stats_due() {
+                // The live-gauge reads a monitoring loop performs.
+                let _ = scoped.watermark_lag();
+                let _ = exporter.frame();
+                frames += 1;
+            }
+        }
+        let (ra, _) = plain.finish();
+        let (rb, _) = scoped.finish();
+        assert_eq!(ra, rb, "scoped finalize diverged");
+        if events.len() >= 2 {
+            assert!(frames > 0, "stats cadence never fired");
+        }
+    }
+    tgm_obs::set_enabled(false);
+    tgm_obs::reset();
+}
+
+#[test]
 fn per_call_site_knobs_do_not_change_results() {
     let _guard = TEST_LOCK.lock();
     let combos = all_option_combos();

@@ -15,7 +15,8 @@ pub(crate) const USAGE: &str = "usage:
   tgm convert <lo> <hi> <granularity> --to <granularity>
   tgm check <structure.json> [--horizon-days <n>]
   tgm match <structure.json> --types <t0,t1,...> <events.json>
-  tgm stream <structure.json> --types <t0,t1,...> <events.ndjson>
+  tgm stream <structure.json> --types <t0,t1,...> <events.ndjson> \\
+           [--stats-every <n>] [--stats-format ndjson|openmetrics]
   tgm mine <structure.json> <events.json> --reference <type> \\
            [--confidence <x>] [--pin <var>=<type>]...
 
@@ -285,12 +286,46 @@ fn cmd_stream(args: &[String]) -> Result<String, String> {
     let seq = tgm_events::io::from_ndjson_into(&text, &mut reg).map_err(|e| e.to_string())?;
     let events = seq.events();
     let tag = tag_from_args(args, spath, &cal, &mut reg)?;
+    // Live telemetry: --stats-every N attaches a recorder-equipped scoped
+    // metric domain to the session and emits one `tgm_obs_stream/v1`
+    // delta frame (or an OpenMetrics block) every N events, ahead of the
+    // final summary.
+    let stats_every: Option<u64> = match flag_value(args, "--stats-every") {
+        Some(v) => {
+            let n: u64 = v
+                .parse()
+                .map_err(|e| format!("bad --stats-every value: {e}"))?;
+            (n > 0).then_some(n)
+        }
+        None => None,
+    };
+    let stats_format = flag_value(args, "--stats-format").unwrap_or("ndjson");
+    if !matches!(stats_format, "ndjson" | "openmetrics") {
+        return Err(format!(
+            "bad --stats-format `{stats_format}` (expected ndjson or openmetrics)"
+        ));
+    }
+    let was_enabled = tgm_obs::enabled();
+    let scope = stats_every.map(|_| {
+        tgm_obs::set_enabled(true);
+        tgm_obs::ObsScope::with_recorder(256)
+    });
+    // Enter the scope for the whole stream so every emission on this
+    // thread lands in it rather than the default registry.
+    let _scope_guard = scope.as_ref().map(|s| s.enter());
+    let mut exporter = scope.as_ref().map(|s| tgm_obs::Exporter::new(s.clone()));
     // The streaming pipeline proper: resolve tick columns incrementally
     // per chunk, feed the session by row, drain completions as they fire.
     let grans: Vec<Gran> = tag.clocks().iter().map(|(_, g)| g.clone()).collect();
     let mut cols = TickColumns::with_granularities(&grans);
     let mut session = MatchSession::new(&tag).with_eviction();
+    if let (Some(n), Some(scope)) = (stats_every, scope.as_ref()) {
+        session = session.with_scope(scope.clone()).with_stats_every(n);
+    }
     let mut completions_at = Vec::new();
+    let mut frames = String::new();
+    let mut last_frame_at = std::time::Instant::now();
+    let mut last_frame_events = 0u64;
     'stream: for chunk in events.chunks(STREAM_CHUNK.max(1)) {
         let base = cols.len();
         cols.append(chunk);
@@ -299,17 +334,48 @@ fn cmd_stream(args: &[String]) -> Result<String, String> {
                 tgm_tag::Push::Advanced { .. } => {}
                 tgm_tag::Push::Dead | tgm_tag::Push::Interrupted(_) => break 'stream,
             }
+            if session.stats_due() {
+                if let Some(ex) = exporter.as_mut() {
+                    let lag = session.watermark_lag();
+                    let s = session.stats();
+                    let mut frame = ex.frame();
+                    let now = std::time::Instant::now();
+                    let dt = now.duration_since(last_frame_at).as_secs_f64();
+                    let delta_events = (s.events as u64).saturating_sub(last_frame_events);
+                    frame.set_gauge("frontier", s.frontier as f64);
+                    frame.set_gauge("events_total", s.events as f64);
+                    frame.set_gauge(
+                        "events_per_sec",
+                        if dt > 0.0 { delta_events as f64 / dt } else { 0.0 },
+                    );
+                    frame.set_gauge("evicted_rows_total", s.evicted_rows as f64);
+                    // Thm-4 watermark: ticks the slowest live frontier row
+                    // still has before its eviction horizon (-1 = no live
+                    // clocked rows).
+                    frame.set_gauge("watermark_lag", lag.map(|v| v as f64).unwrap_or(-1.0));
+                    last_frame_at = now;
+                    last_frame_events = s.events as u64;
+                    frames.push_str(&match stats_format {
+                        "openmetrics" => frame.to_openmetrics(),
+                        _ => frame.to_ndjson(),
+                    });
+                }
+            }
         }
         completions_at.extend(session.completed().map(|c| c.at));
     }
     completions_at.extend(session.completed().map(|c| c.at));
     let stats = session.stats();
-    let mut out = format!(
+    if scope.is_some() {
+        tgm_obs::set_enabled(was_enabled);
+    }
+    let mut out = frames;
+    out.push_str(&format!(
         "TAG: {} states, {} clocks; streamed {} events\n",
         tag.n_states(),
         tag.clocks().len(),
         stats.events
-    );
+    ));
     if completions_at.is_empty() {
         out.push_str("no occurrence found\n");
     } else {

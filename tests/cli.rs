@@ -149,6 +149,59 @@ fn stream_command() {
 }
 
 #[test]
+fn stream_command_with_live_stats() {
+    let spath = temp_file("structure_stats.json", STRUCTURE);
+    // A longer stream so several cadence windows elapse (2-hour spacing
+    // keeps timestamps strictly increasing).
+    let mut ndjson = String::new();
+    for i in 0..24i64 {
+        ndjson.push_str(&format!("{{\"ty\":\"rise\",\"time\":{}}}\n", 208_800 + i * 7_200));
+    }
+    let epath = temp_file("events_stats.ndjson", &ndjson);
+    let base = [
+        "stream",
+        spath.to_str().unwrap(),
+        "--types",
+        "rise,report,fall",
+        epath.to_str().unwrap(),
+    ];
+    let mut with_stats: Vec<&str> = base.to_vec();
+    with_stats.extend(["--stats-every", "4"]);
+    let out = run(&args(&with_stats)).unwrap();
+    let frames: Vec<&str> = out.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(frames.len() >= 2, "expected several stats frames:\n{out}");
+    for (i, f) in frames.iter().enumerate() {
+        assert!(
+            f.starts_with(&format!("{{\"schema\":\"tgm_obs_stream/v1\",\"seq\":{i},")),
+            "{f}"
+        );
+        assert!(f.contains("\"gauges\":{"), "{f}");
+        for gauge in [
+            "\"frontier\":",
+            "\"events_total\":",
+            "\"events_per_sec\":",
+            "\"evicted_rows_total\":",
+            "\"watermark_lag\":",
+        ] {
+            assert!(f.contains(gauge), "frame missing {gauge}: {f}");
+        }
+    }
+    // The human summary still follows the frames.
+    assert!(out.contains("streamed 24 events"), "{out}");
+    assert!(out.contains("frontier:"), "{out}");
+    // OpenMetrics rendering carries the sanitized, prefixed gauges.
+    let mut with_om: Vec<&str> = with_stats.clone();
+    with_om.extend(["--stats-format", "openmetrics"]);
+    let out = run(&args(&with_om)).unwrap();
+    assert!(out.contains("# TYPE tgm_watermark_lag gauge"), "{out}");
+    assert!(out.contains("tgm_frontier "), "{out}");
+    // Unknown format is a user error.
+    let mut with_bad: Vec<&str> = with_stats.clone();
+    with_bad.extend(["--stats-format", "xml"]);
+    assert!(run(&args(&with_bad)).is_err());
+}
+
+#[test]
 fn mine_command() {
     let spath = temp_file("structure3.json", STRUCTURE);
     let epath = temp_file("events2.json", EVENTS);
