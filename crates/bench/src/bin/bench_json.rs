@@ -23,11 +23,13 @@ use tgm_core::{ComplexEventType, StructureBuilder, Tcg, VarId};
 use tgm_events::TypeRegistry;
 use tgm_events::TickColumns;
 use tgm_granularity::{cache as gran_cache, periodic, Calendar, Gran};
-use tgm_limits::{CancelToken, Limits};
+use tgm_limits::{CancelToken, Limits, Quotas};
 use tgm_mining::naive::{self, NaiveOptions};
 use tgm_mining::pipeline::{mine_bounded, mine_with, PipelineOptions};
 use tgm_mining::DiscoveryProblem;
 use tgm_obs::Report;
+use tgm_serve::proto::{ErrorKind, Response};
+use tgm_serve::{ServerConfig, ServerCore};
 use tgm_events::Event;
 use tgm_tag::{
     build_tag, MatchOptions, MatchSession, Matcher, MatcherScratch, MultiMatcher, MultiScratch,
@@ -395,6 +397,106 @@ fn main() {
         );
     }
 
+    // Workload 8: the serve front end under saturation. Concurrent client
+    // threads at several times the admission capacity (tenants x inflight
+    // cap) hammer an in-process `ServerCore` with batch match requests.
+    // Every response must be well-formed `tgm_serve/v1`: a correct result
+    // or a *typed* shed (`Overloaded` with a retry hint) — the `--test`
+    // gate fails on any untyped or unexpected outcome.
+    let serve_threads: usize = if quick { 64 } else { 256 };
+    let serve_reqs_per_thread: usize = if quick { 2 } else { 4 };
+    let serve_tenants = 4usize;
+    let serve_inflight = 2u32; // capacity = 8 concurrent admissions
+    let serve_workers = host_cpus.clamp(2, 8);
+    let serve_core = ServerCore::start(ServerConfig {
+        workers: serve_workers,
+        queue_depth: 64,
+        default_quotas: Quotas::unlimited().with_max_inflight(serve_inflight),
+        tenant_quotas: Vec::new(),
+    });
+    let serve_payloads: Vec<String> = (0..serve_tenants)
+        .map(|t| {
+            format!(
+                r#"{{"op":"match","tenant":"tenant-{t}","structure":{{
+                  "variables": ["rise", "report", "fall"],
+                  "constraints": [
+                    {{"from": 0, "to": 1, "lo": 1, "hi": 1, "granularity": "business-day"}},
+                    {{"from": 1, "to": 2, "lo": 0, "hi": 1, "granularity": "week"}}
+                  ]}},"types":["rise","report","fall"],
+                  "events":[{{"ty":"rise","time":208800}},{{"ty":"noise","time":250000}},
+                            {{"ty":"report","time":291600}},{{"ty":"fall","time":500000}},
+                            {{"ty":"rise","time":813600}}]}}"#
+            )
+        })
+        .collect();
+    const SERVE_EVENTS_PER_REQ: f64 = 5.0;
+    let serve_barrier = std::sync::Barrier::new(serve_threads + 1);
+    // (ok latencies ms, ok, shed, other typed, untyped)
+    let (serve_tallies, serve_wall_ms) = {
+        let barrier = &serve_barrier;
+        let payloads = &serve_payloads;
+        let core = &serve_core;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..serve_threads)
+                .map(|i| {
+                    let client = core.client();
+                    scope.spawn(move || {
+                        let payload = &payloads[i % payloads.len()];
+                        let mut lat = Vec::with_capacity(serve_reqs_per_thread);
+                        let (mut ok, mut shed, mut typed, mut untyped) = (0u64, 0, 0, 0);
+                        barrier.wait();
+                        for _ in 0..serve_reqs_per_thread {
+                            let t0 = std::time::Instant::now();
+                            let resp = client.request_parsed(payload);
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            match resp {
+                                Ok(Response::Ok(_)) => {
+                                    ok += 1;
+                                    lat.push(ms);
+                                }
+                                Ok(Response::Err {
+                                    kind: ErrorKind::Overloaded,
+                                    retry_after_ms,
+                                    ..
+                                }) => {
+                                    shed += 1;
+                                    assert!(
+                                        retry_after_ms.is_some(),
+                                        "sheds must carry a retry hint"
+                                    );
+                                }
+                                Ok(Response::Err { .. }) => typed += 1,
+                                Err(_) => untyped += 1,
+                            }
+                        }
+                        (lat, ok, shed, typed, untyped)
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let t0 = std::time::Instant::now();
+            let tallies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (tallies, t0.elapsed().as_secs_f64() * 1e3)
+        })
+    };
+    let serve_requests = (serve_threads * serve_reqs_per_thread) as u64;
+    let serve_ok: u64 = serve_tallies.iter().map(|t| t.1).sum();
+    let serve_shed: u64 = serve_tallies.iter().map(|t| t.2).sum();
+    let serve_other_typed: u64 = serve_tallies.iter().map(|t| t.3).sum();
+    let serve_untyped: u64 = serve_tallies.iter().map(|t| t.4).sum();
+    let mut serve_lat: Vec<f64> = serve_tallies.iter().flat_map(|t| t.0.iter().copied()).collect();
+    serve_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let serve_pct = |p: f64| -> f64 {
+        if serve_lat.is_empty() {
+            return 0.0;
+        }
+        serve_lat[((serve_lat.len() - 1) as f64 * p) as usize]
+    };
+    let (serve_p50_ms, serve_p99_ms) = (serve_pct(0.50), serve_pct(0.99));
+    let serve_events_per_sec = serve_ok as f64 * SERVE_EVENTS_PER_REQ / (serve_wall_ms / 1e3);
+    let serve_server_sheds = serve_core.sheds();
+    serve_core.drain();
+
     // One instrumented pass over the same workloads: span-derived timings
     // recorded alongside the stopwatch medians (results asserted unchanged
     // against the uninstrumented runs above).
@@ -597,6 +699,21 @@ fn main() {
     let _ = writeln!(json, "    \"stream_evictions\": {},", stream_stats.evictions);
     let _ = writeln!(json, "    \"steady_state_rss_bytes\": {steady_state_rss}");
     json.push_str("  },\n");
+    json.push_str("  \"serve\": {\n");
+    let _ = writeln!(json, "    \"threads\": {serve_threads},");
+    let _ = writeln!(json, "    \"requests\": {serve_requests},");
+    let _ = writeln!(json, "    \"tenants\": {serve_tenants},");
+    let _ = writeln!(json, "    \"max_inflight_per_tenant\": {serve_inflight},");
+    let _ = writeln!(json, "    \"workers\": {serve_workers},");
+    let _ = writeln!(json, "    \"ok\": {serve_ok},");
+    let _ = writeln!(json, "    \"shed\": {serve_shed},");
+    let _ = writeln!(json, "    \"other_typed_errors\": {serve_other_typed},");
+    let _ = writeln!(json, "    \"untyped_errors\": {serve_untyped},");
+    let _ = writeln!(json, "    \"p50_ms\": {serve_p50_ms:.3},");
+    let _ = writeln!(json, "    \"p99_ms\": {serve_p99_ms:.3},");
+    let _ = writeln!(json, "    \"events_per_sec\": {serve_events_per_sec:.0},");
+    let _ = writeln!(json, "    \"server_sheds\": {serve_server_sheds}");
+    json.push_str("  },\n");
     json.push_str("  \"obs_stream\": {\n");
     let _ = writeln!(json, "    \"events\": {obs_stream_n},");
     let _ = writeln!(json, "    \"export_every\": {obs_export_every},");
@@ -761,6 +878,21 @@ fn main() {
                  disabled path, above the {obs_budget_pct}% budget"
             ));
         }
+        // Gate 7: saturating the serve front end yields only well-formed
+        // outcomes — correct results or typed sheds, never an untyped
+        // internal error, and at least one request is actually served.
+        if serve_untyped > 0 || serve_other_typed > 0 {
+            failures.push(format!(
+                "serve saturation produced {serve_untyped} untyped and \
+                 {serve_other_typed} unexpected typed error(s) across \
+                 {serve_requests} requests"
+            ));
+        }
+        if serve_ok == 0 {
+            failures.push(format!(
+                "serve saturation served none of its {serve_requests} requests"
+            ));
+        }
         for f in &failures {
             eprintln!("bench gate violated: {f}");
         }
@@ -769,7 +901,7 @@ fn main() {
         }
         eprintln!(
             "bench gates passed (multi-scan amortization, step5 regression, \
-             granularity conversion, scoped-telemetry overhead)"
+             granularity conversion, scoped-telemetry overhead, serve saturation)"
         );
     }
 }

@@ -193,7 +193,12 @@ fn is_number(v: &minijson::Value) -> bool {
 /// Returns the violations (empty = valid, at least one frame seen).
 fn validate_stream(text: &str) -> Vec<String> {
     let mut errs = Vec::new();
-    let mut next_seq = 0u64;
+    // Sequence numbers are per exporter; labeled (per-tenant) streams may
+    // interleave in one capture, so track one expected seq per label set.
+    // A capture may join a stream mid-flight (e.g. a server's drain frames
+    // after earlier scrapes went to clients), so the first frame of each
+    // label set anchors its sequence; later frames must increment by one.
+    let mut next_seqs: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     let mut frames = 0usize;
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -212,12 +217,30 @@ fn validate_stream(text: &str) -> Vec<String> {
         if doc.get("schema").and_then(|v| v.as_str()) != Some("tgm_obs_stream/v1") {
             errs.push(format!("line {n}: schema is not \"tgm_obs_stream/v1\""));
         }
-        match doc.get("seq").and_then(|v| v.as_u64()) {
-            Some(s) if s == next_seq => next_seq += 1,
-            Some(s) => {
-                errs.push(format!("line {n}: seq {s}, want {next_seq}"));
-                next_seq = s + 1;
+        let label_key = match doc.get("labels") {
+            None => String::new(),
+            Some(minijson::Value::Object(labels)) => labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v:?};"))
+                .collect(),
+            Some(_) => {
+                errs.push(format!("line {n}: labels is not an object"));
+                String::new()
             }
+        };
+        match doc.get("seq").and_then(|v| v.as_u64()) {
+            Some(s) => match next_seqs.entry(label_key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s + 1);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let next_seq = e.get_mut();
+                    if s != *next_seq {
+                        errs.push(format!("line {n}: seq {s}, want {next_seq}"));
+                    }
+                    *next_seq = s + 1;
+                }
+            },
             None => errs.push(format!("line {n}: missing u64 seq")),
         }
         match doc.get("gauges") {

@@ -1,0 +1,250 @@
+//! End-to-end smoke client for a running `tgm serve` instance: concurrent
+//! batch matchers, a long-lived streaming session, poison-frame chaos
+//! clients, and a per-tenant OpenMetrics scrape — every response must be a
+//! well-formed `tgm_serve/v1` frame with a correct result or a *typed*
+//! error, and the server must keep answering after every fault.
+//!
+//! Run with `cargo run --release -p tgm-bench --bin serve_smoke --
+//! --port-file <path>` (written by `tgm serve --port-file`) or `--port <p>`.
+//! Exits nonzero with a diagnostic on the first violation; CI pairs it
+//! with `obs_report --validate-stream` over the server's drained frames.
+
+use std::io::{BufReader, Write as _};
+use std::net::TcpStream;
+
+use tgm_events::minijson::Value;
+use tgm_serve::frame::{read_frame, write_frame};
+use tgm_serve::proto::{ErrorKind, Response};
+
+const STRUCTURE: &str = r#""structure":{
+  "variables": ["rise", "report", "fall"],
+  "constraints": [
+    {"from": 0, "to": 1, "lo": 1, "hi": 1, "granularity": "business-day"},
+    {"from": 1, "to": 2, "lo": 0, "hi": 1, "granularity": "week"}
+  ]}"#;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn connect(port: u16) -> TcpStream {
+    TcpStream::connect(("127.0.0.1", port))
+        .unwrap_or_else(|e| fail(&format!("cannot connect to 127.0.0.1:{port}: {e}")))
+}
+
+/// One framed request/response round trip; any unparseable response is an
+/// immediate failure (the whole point of the smoke run).
+fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, payload: &str) -> Response {
+    write_frame(conn, payload.as_bytes()).unwrap_or_else(|e| fail(&format!("write: {e}")));
+    let raw = read_frame(reader)
+        .unwrap_or_else(|e| fail(&format!("frame error on response: {e}")))
+        .unwrap_or_else(|| fail("server closed the connection mid-request"));
+    let text = String::from_utf8(raw).unwrap_or_else(|e| fail(&format!("non-UTF-8: {e}")));
+    Response::parse(&text).unwrap_or_else(|e| fail(&format!("untyped response: {e}: {text}")))
+}
+
+fn match_payload(tenant: &str) -> String {
+    format!(
+        r#"{{"op":"match","tenant":"{tenant}",{STRUCTURE},"types":["rise","report","fall"],
+        "events":[{{"ty":"rise","time":208800}},{{"ty":"noise","time":250000}},
+                  {{"ty":"report","time":291600}},{{"ty":"fall","time":500000}},
+                  {{"ty":"rise","time":813600}}]}}"#
+    )
+}
+
+fn completions_at(result: &Value) -> Vec<i64> {
+    result
+        .get("completions")
+        .and_then(Value::as_array)
+        .map(|cs| {
+            cs.iter()
+                .filter_map(|c| c.get("at").and_then(Value::as_i64))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let port: u16 = if let Some(p) = flag("--port") {
+        p.parse().unwrap_or_else(|e| fail(&format!("bad --port: {e}")))
+    } else if let Some(pf) = flag("--port-file") {
+        // `tgm serve` writes the file after binding; poll until non-empty.
+        let mut contents = String::new();
+        for _ in 0..400 {
+            contents = std::fs::read_to_string(&pf).unwrap_or_default();
+            if !contents.trim().is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        contents
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("no port in {pf} after 10s")))
+    } else {
+        fail("need --port <p> or --port-file <path>");
+    };
+    let threads: usize = flag("--threads").map_or(16, |v| v.parse().unwrap_or(16));
+    let reqs: usize = flag("--requests").map_or(4, |v| v.parse().unwrap_or(4));
+
+    // Phase 1: concurrent batch clients, one connection each, tenants
+    // round-robin. Correct results or typed sheds only.
+    let (mut ok, mut shed) = (0u64, 0u64);
+    let tallies: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        (0..threads)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut conn = connect(port);
+                    let mut reader = BufReader::new(conn.try_clone().unwrap());
+                    let payload = match_payload(&format!("batch-{}", i % 4));
+                    let (mut ok, mut shed) = (0u64, 0u64);
+                    for _ in 0..reqs {
+                        match roundtrip(&mut conn, &mut reader, &payload) {
+                            Response::Ok(result) => {
+                                if completions_at(&result) != [500000] {
+                                    fail("batch match returned wrong completions");
+                                }
+                                ok += 1;
+                            }
+                            Response::Err {
+                                kind: ErrorKind::Overloaded,
+                                retry_after_ms: Some(hint),
+                                ..
+                            } => {
+                                shed += 1;
+                                std::thread::sleep(std::time::Duration::from_millis(
+                                    hint.min(100),
+                                ));
+                            }
+                            other => fail(&format!("unexpected batch outcome: {other:?}")),
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (o, s) in tallies {
+        ok += o;
+        shed += s;
+    }
+    if ok == 0 {
+        fail("no batch request succeeded");
+    }
+
+    // Phase 2: a streaming session pushed in two frames; the completion
+    // lands in the second push and the close verdict is clean.
+    let mut conn = connect(port);
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let open = format!(
+        r#"{{"op":"session.open","tenant":"streamer",{STRUCTURE},"types":["rise","report","fall"]}}"#
+    );
+    let session = match roundtrip(&mut conn, &mut reader, &open) {
+        Response::Ok(r) => r
+            .get("session")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| fail("session.open result lacks an id")),
+        other => fail(&format!("session.open failed: {other:?}")),
+    };
+    let push = |conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, events: &str| {
+        let payload = format!(
+            r#"{{"op":"session.push","tenant":"streamer","session":{session},"events":[{events}]}}"#
+        );
+        match roundtrip(conn, reader, &payload) {
+            Response::Ok(r) => completions_at(&r),
+            other => fail(&format!("session.push failed: {other:?}")),
+        }
+    };
+    let first = push(
+        &mut conn,
+        &mut reader,
+        r#"{"ty":"rise","time":208800},{"ty":"report","time":291600}"#,
+    );
+    let second = push(
+        &mut conn,
+        &mut reader,
+        r#"{"ty":"fall","time":500000},{"ty":"rise","time":813600}"#,
+    );
+    if !first.is_empty() || second != [500000] {
+        fail(&format!("streaming completions wrong: {first:?} then {second:?}"));
+    }
+    let close = format!(r#"{{"op":"session.close","tenant":"streamer","session":{session}}}"#);
+    match roundtrip(&mut conn, &mut reader, &close) {
+        Response::Ok(r) => {
+            if r.get("verdict").and_then(Value::as_str) != Some("completed") {
+                fail("session.close verdict is not `completed`");
+            }
+        }
+        other => fail(&format!("session.close failed: {other:?}")),
+    }
+
+    // Phase 3: chaos clients. Each poison connection must get one typed
+    // BadRequest frame (oversize declared before any allocation) and the
+    // server must keep answering afterwards.
+    for poison in [
+        &b"tgm1 99999999999999999999\n"[..],
+        &b"GET / HTTP/1.1\r\n\r\n"[..],
+    ] {
+        let mut conn = connect(port);
+        conn.write_all(poison)
+            .unwrap_or_else(|e| fail(&format!("poison write: {e}")));
+        let mut reader = BufReader::new(conn);
+        match read_frame(&mut reader) {
+            Ok(Some(raw)) => {
+                let text = String::from_utf8(raw).unwrap_or_else(|_| fail("non-UTF-8 error"));
+                let resp = Response::parse(&text)
+                    .unwrap_or_else(|e| fail(&format!("untyped poison response: {e}")));
+                if resp.error_kind() != Some(ErrorKind::BadRequest) {
+                    fail(&format!("poison frame got {resp:?}, want BadRequest"));
+                }
+            }
+            other => fail(&format!("poison frame got {other:?}, want a typed error")),
+        }
+    }
+    // An abrupt disconnect mid-frame is not a fault the server should feel.
+    {
+        let mut conn = connect(port);
+        conn.write_all(b"tgm1 100\npartial")
+            .unwrap_or_else(|e| fail(&format!("partial write: {e}")));
+    }
+    let mut conn = connect(port);
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    match roundtrip(&mut conn, &mut reader, r#"{"op":"ping"}"#) {
+        Response::Ok(_) => {}
+        other => fail(&format!("ping after chaos failed: {other:?}")),
+    }
+
+    // Phase 4: the per-tenant OpenMetrics scrape carries labelled gauges.
+    let stats = r#"{"op":"stats","tenant":"batch-0","format":"openmetrics"}"#;
+    match roundtrip(&mut conn, &mut reader, stats) {
+        Response::Ok(r) => {
+            let frame = r
+                .get("frame")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail("stats result lacks a frame"));
+            if !frame.contains("{tenant=\"batch-0\"}") {
+                fail(&format!("OpenMetrics frame is not tenant-labelled:\n{frame}"));
+            }
+            if !frame.contains("tgm_events_total") {
+                fail(&format!("OpenMetrics frame lacks tgm_events_total:\n{frame}"));
+            }
+        }
+        other => fail(&format!("stats scrape failed: {other:?}")),
+    }
+
+    println!(
+        "serve_smoke: ok ({threads} clients x {reqs} requests: {ok} served, {shed} typed sheds; \
+         streaming session exact; poison frames typed; post-chaos ping ok; \
+         per-tenant OpenMetrics labelled)"
+    );
+}

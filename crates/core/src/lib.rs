@@ -38,6 +38,7 @@ pub mod convert;
 pub mod dot;
 pub mod exact;
 pub mod examples;
+pub mod json;
 pub mod propagate;
 pub mod reductions;
 pub mod repeat;

@@ -1,0 +1,212 @@
+//! Deterministic, seedable jittered exponential backoff.
+//!
+//! The serve layer sheds load with typed `Overloaded` / `QuotaExceeded`
+//! responses that carry a `retry_after` hint. If every shed client retried
+//! after the same fixed delay, the retries would arrive as a synchronized
+//! thundering herd and be shed again; classic "full jitter" backoff
+//! (AWS architecture blog) spreads retries uniformly over an
+//! exponentially growing window.
+//!
+//! Everything here is **deterministic**: the jitter comes from a
+//! [splitmix64](https://prng.di.unimi.it/splitmix64.c) stream derived from a
+//! caller-supplied seed, never from ambient entropy or the clock. The same
+//! seed and attempt sequence always produce the same delays, so shed/retry
+//! behaviour is replayable in tests and the chaos harness.
+
+use std::time::Duration;
+
+/// Advances a splitmix64 state and returns the next 64-bit output.
+///
+/// Splitmix64 is a tiny, statistically solid mixing function — the standard
+/// choice for seeding and for low-stakes deterministic jitter. Not for
+/// cryptography.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit random word to `0..bound` without modulo bias
+/// (Lemire's multiply-shift reduction). `bound == 0` yields 0.
+fn bounded(word: u64, bound: u64) -> u64 {
+    ((u128::from(word) * u128::from(bound)) >> 64) as u64
+}
+
+/// The full-jitter delay for a single attempt, as a pure function.
+///
+/// The exponential window for `attempt` `n` (0-based) is
+/// `min(cap, base << n)`; the returned delay is uniform in
+/// `[0, window]`, derived deterministically from `seed` and `attempt`.
+/// Saturates at `cap` for large `n`; `base == 0` always yields zero.
+pub fn delay_for(seed: u64, attempt: u32, base: Duration, cap: Duration) -> Duration {
+    let window = window_for(attempt, base, cap);
+    if window.is_zero() {
+        return Duration::ZERO;
+    }
+    // Derive the word from (seed, attempt) so the function is pure: the
+    // same pair always lands on the same point of the window.
+    let mut state = seed ^ (u64::from(attempt)).wrapping_mul(0xA24B_AED4_963E_E407);
+    let word = splitmix64(&mut state);
+    let nanos = bounded(word, saturating_nanos(window).saturating_add(1));
+    Duration::from_nanos(nanos)
+}
+
+/// The un-jittered exponential window for `attempt`: `min(cap, base << n)`.
+pub fn window_for(attempt: u32, base: Duration, cap: Duration) -> Duration {
+    let base_n = saturating_nanos(base);
+    let cap_n = saturating_nanos(cap);
+    let window = if attempt >= 63 {
+        cap_n
+    } else {
+        base_n.checked_shl(attempt).unwrap_or(u64::MAX).min(cap_n)
+    };
+    Duration::from_nanos(window)
+}
+
+fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A stateful full-jitter exponential backoff sequence.
+///
+/// Construction takes the seed; each [`next_delay`](Backoff::next_delay)
+/// advances the attempt counter and returns a delay uniform in
+/// `[0, min(cap, base * 2^attempt)]`. Two `Backoff`s built from the same
+/// `(seed, base, cap)` produce identical sequences.
+///
+/// ```
+/// use std::time::Duration;
+/// use tgm_limits::backoff::Backoff;
+///
+/// let base = Duration::from_millis(10);
+/// let cap = Duration::from_secs(5);
+/// let mut a = Backoff::new(42, base, cap);
+/// let mut b = Backoff::new(42, base, cap);
+/// assert_eq!(a.next_delay(), b.next_delay());
+/// assert_eq!(a.next_delay(), b.next_delay());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    seed: u64,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh sequence at attempt 0.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        Self {
+            seed,
+            base,
+            cap,
+            attempt: 0,
+        }
+    }
+
+    /// The delay for the current attempt; advances to the next attempt.
+    pub fn next_delay(&mut self) -> Duration {
+        let d = delay_for(self.seed, self.attempt, self.base, self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        d
+    }
+
+    /// The delay the next [`next_delay`](Backoff::next_delay) call would
+    /// return, without advancing.
+    pub fn peek(&self) -> Duration {
+        delay_for(self.seed, self.attempt, self.base, self.cap)
+    }
+
+    /// How many attempts have been consumed.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Resets to attempt 0 (e.g. after a successful request).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn pure_function_is_deterministic() {
+        for attempt in 0..20 {
+            assert_eq!(
+                delay_for(7, attempt, BASE, CAP),
+                delay_for(7, attempt, BASE, CAP)
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        // Different seeds should not produce the same full sequence.
+        let a: Vec<_> = (0..8).map(|n| delay_for(1, n, BASE, CAP)).collect();
+        let b: Vec<_> = (0..8).map(|n| delay_for(2, n, BASE, CAP)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn delay_within_window() {
+        for seed in 0..50_u64 {
+            for attempt in 0..16 {
+                let d = delay_for(seed, attempt, BASE, CAP);
+                assert!(d <= window_for(attempt, BASE, CAP));
+                assert!(d <= CAP);
+            }
+        }
+    }
+
+    #[test]
+    fn window_doubles_then_saturates() {
+        assert_eq!(window_for(0, BASE, CAP), BASE);
+        assert_eq!(window_for(1, BASE, CAP), BASE * 2);
+        assert_eq!(window_for(2, BASE, CAP), BASE * 4);
+        // 10ms << 9 = 5.12s > 5s cap.
+        assert_eq!(window_for(9, BASE, CAP), CAP);
+        assert_eq!(window_for(63, BASE, CAP), CAP);
+        assert_eq!(window_for(u32::MAX, BASE, CAP), CAP);
+    }
+
+    #[test]
+    fn zero_base_yields_zero() {
+        for attempt in 0..8 {
+            assert_eq!(
+                delay_for(3, attempt, Duration::ZERO, CAP),
+                Duration::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn stateful_matches_pure() {
+        let mut b = Backoff::new(99, BASE, CAP);
+        for attempt in 0..12 {
+            assert_eq!(b.peek(), delay_for(99, attempt, BASE, CAP));
+            assert_eq!(b.attempt(), attempt);
+            assert_eq!(b.next_delay(), delay_for(99, attempt, BASE, CAP));
+        }
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert_eq!(b.next_delay(), delay_for(99, 0, BASE, CAP));
+    }
+
+    #[test]
+    fn jitter_actually_spreads() {
+        // Across many seeds, attempt-5 delays should not collapse onto a
+        // few values: at least half the seeds land on distinct delays.
+        let mut delays: Vec<_> = (0..64_u64).map(|s| delay_for(s, 5, BASE, CAP)).collect();
+        delays.sort_unstable();
+        delays.dedup();
+        assert!(delays.len() >= 32, "only {} distinct delays", delays.len());
+    }
+}

@@ -29,6 +29,14 @@
 //!   poll points, so engines overshoot by at most one unit of work between
 //!   polls; they never abort mid-mutation.
 //!
+//! The serving layer adds two policy vocabularies on top:
+//!
+//! * [`Quotas`] — per-tenant admission quotas (inflight requests, open
+//!   sessions, per-request budget/deadline) that mint a [`Limits`] handle
+//!   for every admitted request.
+//! * [`backoff`] — deterministic, seedable full-jitter exponential backoff
+//!   used for `retry_after` hints on shed responses.
+//!
 //! The `failpoints` cargo feature adds the [`fail`] module: test-only
 //! fault injection (panics, delays, spurious cancellations) at named sites
 //! to prove recovery deterministically.
@@ -42,7 +50,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod backoff;
 pub mod fail;
+pub mod quota;
+
+pub use backoff::Backoff;
+pub use quota::Quotas;
 
 /// A cloneable cancellation flag shared across threads.
 ///

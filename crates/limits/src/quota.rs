@@ -1,0 +1,138 @@
+//! Per-tenant admission quotas.
+//!
+//! A [`Quotas`] value is the *policy* half of admission control: how many
+//! requests a tenant may have in flight, how many long-lived streaming
+//! sessions it may hold open, and what [`Limits`] every admitted request
+//! is assigned. The serve layer's admission controller owns the *mechanism*
+//! (live counters, typed sheds); this type keeps the policy expressible and
+//! testable without pulling the server in.
+
+use crate::Limits;
+use std::time::Duration;
+
+/// Admission quotas for one tenant.
+///
+/// `Default` is fully open: nothing is capped and admitted requests get
+/// [`Limits::none`]. Builder-style `with_*` methods tighten individual
+/// knobs.
+///
+/// ```
+/// use std::time::Duration;
+/// use tgm_limits::Quotas;
+///
+/// let q = Quotas::default()
+///     .with_max_inflight(8)
+///     .with_max_sessions(2)
+///     .with_budget(100_000)
+///     .with_timeout(Duration::from_millis(250));
+/// assert_eq!(q.max_inflight(), Some(8));
+/// assert_eq!(q.request_limits().budget(), Some(100_000));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Quotas {
+    max_inflight: Option<u32>,
+    max_sessions: Option<u32>,
+    budget: Option<u64>,
+    timeout: Option<Duration>,
+}
+
+impl Quotas {
+    /// Fully open quotas: nothing capped.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps concurrently admitted requests (queued + executing). Excess
+    /// requests are shed as `Overloaded`.
+    pub fn with_max_inflight(mut self, n: u32) -> Self {
+        self.max_inflight = Some(n);
+        self
+    }
+
+    /// Caps concurrently open streaming sessions. Excess `session.open`
+    /// requests are shed as `QuotaExceeded`.
+    pub fn with_max_sessions(mut self, n: u32) -> Self {
+        self.max_sessions = Some(n);
+        self
+    }
+
+    /// Deterministic work budget (frontier rows / search nodes) assigned to
+    /// every admitted request.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Wall-clock deadline assigned to every admitted request, measured
+    /// from admission.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The inflight-request cap, if any.
+    pub fn max_inflight(&self) -> Option<u32> {
+        self.max_inflight
+    }
+
+    /// The open-session cap, if any.
+    pub fn max_sessions(&self) -> Option<u32> {
+        self.max_sessions
+    }
+
+    /// The per-request work budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The per-request timeout, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// A fresh [`Limits`] handle for one admitted request: the quota
+    /// budget plus a deadline of `timeout` from now. Callers attach their
+    /// own [`CancelToken`](crate::CancelToken).
+    pub fn request_limits(&self) -> Limits {
+        let mut l = Limits::none();
+        if let Some(b) = self.budget {
+            l = l.with_budget(b);
+        }
+        if let Some(t) = self.timeout {
+            l = l.with_timeout(t);
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_open() {
+        let q = Quotas::default();
+        assert_eq!(q.max_inflight(), None);
+        assert_eq!(q.max_sessions(), None);
+        assert!(q.request_limits().is_none());
+    }
+
+    #[test]
+    fn request_limits_carry_budget_and_deadline() {
+        let q = Quotas::unlimited()
+            .with_budget(500)
+            .with_timeout(Duration::from_secs(60));
+        let l = q.request_limits();
+        assert_eq!(l.budget(), Some(500));
+        assert!(l.deadline().is_some());
+        assert!(l.check_with_used(500).is_ok());
+        assert!(l.check_with_used(501).is_err());
+    }
+
+    #[test]
+    fn budget_only_limits_have_no_deadline() {
+        let l = Quotas::unlimited().with_budget(1).request_limits();
+        assert!(l.deadline().is_none());
+        assert_eq!(l.budget(), Some(1));
+    }
+}

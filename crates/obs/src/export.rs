@@ -36,6 +36,7 @@ pub struct Exporter {
     scope: ObsScope,
     prev: Snapshot,
     seq: u64,
+    labels: Vec<(String, String)>,
 }
 
 impl Exporter {
@@ -47,7 +48,17 @@ impl Exporter {
             scope,
             prev: Snapshot::default(),
             seq: 0,
+            labels: Vec::new(),
         }
+    }
+
+    /// Attaches a label stamped onto every frame this exporter produces —
+    /// the per-tenant wiring: a multi-tenant server polls one exporter per
+    /// tenant scope with `with_label("tenant", name)`, and the rendered
+    /// NDJSON/OpenMetrics samples stay distinguishable after aggregation.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
     }
 
     /// An exporter over the calling thread's current scope.
@@ -69,6 +80,7 @@ impl Exporter {
             delta,
             cumulative,
             gauges: Vec::new(),
+            labels: self.labels.clone(),
         }
     }
 
@@ -89,6 +101,7 @@ pub struct StreamFrame {
     /// rendering, where counters are cumulative by convention).
     pub cumulative: Snapshot,
     gauges: Vec<(&'static str, f64)>,
+    labels: Vec<(String, String)>,
 }
 
 impl StreamFrame {
@@ -110,12 +123,40 @@ impl StreamFrame {
             .map(|(_, v)| *v)
     }
 
+    /// Sets (or overwrites) a label on this frame (see
+    /// [`Exporter::with_label`]).
+    pub fn set_label(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        if let Some((_, v)) = self.labels.iter_mut().find(|(k, _)| *k == key) {
+            *v = value.into();
+        } else {
+            self.labels.push((key, value.into()));
+        }
+    }
+
+    /// The frame's label set.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
     /// Renders the frame as one `tgm_obs_stream/v1` NDJSON line
     /// (newline-terminated).
     pub fn to_ndjson(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str("{\"schema\":\"tgm_obs_stream/v1\",\"seq\":");
         out.push_str(&self.seq.to_string());
+        if !self.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_str(k, &mut out);
+                out.push(':');
+                json_str(v, &mut out);
+            }
+            out.push('}');
+        }
         out.push_str(",\"gauges\":{");
         for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
@@ -178,36 +219,64 @@ impl StreamFrame {
     /// without lying about upper bounds). Metric names are sanitized
     /// (`.` and `-` become `_`) and prefixed `tgm_`.
     pub fn to_openmetrics(&self) -> String {
+        let labels = render_labels(&self.labels);
         let mut out = String::with_capacity(256);
         for (name, v) in &self.gauges {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE tgm_{n} gauge\ntgm_{n} "));
+            out.push_str(&format!("# TYPE tgm_{n} gauge\ntgm_{n}{labels} "));
             push_f64(*v, &mut out);
             out.push('\n');
         }
         for (name, v) in &self.cumulative.metrics.counters {
             let n = sanitize(name);
             out.push_str(&format!(
-                "# TYPE tgm_{n} counter\ntgm_{n}_total {v}\n"
+                "# TYPE tgm_{n} counter\ntgm_{n}_total{labels} {v}\n"
             ));
         }
         for (name, h) in &self.cumulative.metrics.histograms {
             let n = sanitize(name);
             out.push_str(&format!(
-                "# TYPE tgm_{n}_count counter\ntgm_{n}_count_total {}\n",
+                "# TYPE tgm_{n}_count counter\ntgm_{n}_count_total{labels} {}\n",
                 h.count()
             ));
         }
         for (name, s) in &self.cumulative.spans.spans {
             let n = sanitize(name);
             out.push_str(&format!(
-                "# TYPE tgm_{n}_seconds counter\ntgm_{n}_seconds_total "
+                "# TYPE tgm_{n}_seconds counter\ntgm_{n}_seconds_total{labels} "
             ));
             push_f64(s.total_ns as f64 / 1e9, &mut out);
             out.push('\n');
         }
         out
     }
+}
+
+/// Renders a label set as `{k="v",…}` with OpenMetrics escaping (empty
+/// string for no labels).
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize(k));
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 /// Writes a finite float in a JSON-safe way (NaN/inf become 0).
@@ -270,6 +339,36 @@ mod tests {
         assert!(line.contains("\"watermark_lag\":5"));
         assert!(line.contains("\"a.b\":2"));
         assert!(line.contains("\"h\":{\"count\":1,\"buckets\":[[8,1]]}"));
+    }
+
+    #[test]
+    fn labels_stamp_both_renderings() {
+        let _guard = TEST_LOCK.lock();
+        crate::set_enabled(true);
+        let scope = ObsScope::new();
+        scope.counter_add("serve.requests", 3);
+        let mut ex = Exporter::new(scope).with_label("tenant", "acme \"1\"");
+        let mut f = ex.frame();
+        crate::set_enabled(false);
+        f.set_gauge("inflight", 1.0);
+        let line = f.to_ndjson();
+        assert!(
+            line.contains("\"labels\":{\"tenant\":\"acme \\\"1\\\"\"}"),
+            "{line}"
+        );
+        let om = f.to_openmetrics();
+        assert!(
+            om.contains("tgm_inflight{tenant=\"acme \\\"1\\\"\"} 1"),
+            "{om}"
+        );
+        assert!(
+            om.contains("tgm_serve_requests_total{tenant=\"acme \\\"1\\\"\"} 3"),
+            "{om}"
+        );
+        // Unlabeled frames render exactly as before.
+        let mut plain = Exporter::new(ObsScope::new());
+        let pf = plain.frame();
+        assert!(!pf.to_ndjson().contains("labels"));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The `tgm_serve/v1` wire framing.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! tgm1 <len>\n<len bytes of JSON payload>
+//! ```
+//!
+//! The header is ASCII (`tgm1`, one space, the payload length in decimal,
+//! one `\n`), so a frame stream is inspectable with a pager, and the
+//! payload stays the workspace's existing JSON vocabulary. Framing exists
+//! because the protocol multiplexes *sessions* over long-lived
+//! connections: responses must be delimited without sniffing JSON
+//! boundaries.
+//!
+//! # Hostile-input posture
+//!
+//! The decoder is written to survive arbitrary bytes (proptested in
+//! `tests/frame_fuzz.rs`):
+//!
+//! * the length prefix is validated against [`MAX_FRAME_LEN`] **before any
+//!   payload allocation** — a `tgm1 99999999999…` header is rejected from
+//!   its digits alone, mirroring the minijson depth-limit fix (an attacker
+//!   must not pick our allocation sizes);
+//! * headers are capped at [`MAX_HEADER_LEN`] bytes, so an unterminated
+//!   header cannot buffer unboundedly;
+//! * every malformed shape is a typed [`FrameError`], never a panic.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload, checked before allocation (16 MiB:
+/// generous for event batches, far below anything that could distress the
+/// host).
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Magic + space + decimal u64 + newline can never legitimately exceed
+/// this many bytes.
+pub const MAX_HEADER_LEN: usize = 4 + 1 + 20 + 1;
+
+const MAGIC: &[u8] = b"tgm1 ";
+
+/// Why a frame could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header does not start with `tgm1 ` or its length is not a
+    /// plain decimal.
+    BadHeader(String),
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`]; detected
+    /// before allocating.
+    Oversize {
+        /// The declared length.
+        declared: u64,
+    },
+    /// The stream ended mid-frame (header or payload).
+    Truncated,
+    /// Reading from the transport failed.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadHeader(msg) => write!(f, "bad frame header: {msg}"),
+            FrameError::Oversize { declared } => write!(
+                f,
+                "frame length {declared} exceeds the {MAX_FRAME_LEN}-byte cap"
+            ),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+/// Writes one frame (header + payload) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    w.write_all(MAGIC)?;
+    w.write_all(payload.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Decodes one frame from the front of `buf` without consuming it.
+///
+/// Returns `Ok(None)` when `buf` holds a valid but incomplete prefix
+/// (read more bytes and retry); `Ok(Some((consumed, payload)))` when a
+/// whole frame is present. Never allocates for the payload — the returned
+/// slice borrows `buf` — and never inspects bytes past the first frame.
+pub fn decode(buf: &[u8]) -> Result<Option<(usize, &[u8])>, FrameError> {
+    // Header: magic first (also rejects partial non-magic prefixes early).
+    let probe = buf.len().min(MAGIC.len());
+    if buf[..probe] != MAGIC[..probe] {
+        return Err(FrameError::BadHeader(
+            "missing `tgm1 ` magic".to_string(),
+        ));
+    }
+    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+        if buf.len() > MAX_HEADER_LEN {
+            return Err(FrameError::BadHeader(
+                "unterminated header".to_string(),
+            ));
+        }
+        return Ok(None);
+    };
+    if nl > MAX_HEADER_LEN {
+        return Err(FrameError::BadHeader("header too long".to_string()));
+    }
+    if nl < MAGIC.len() {
+        return Err(FrameError::BadHeader("missing `tgm1 ` magic".to_string()));
+    }
+    let digits = &buf[MAGIC.len()..nl];
+    let len = parse_len(digits)?;
+    // The cap check happens here, on the parsed number — before the
+    // caller could possibly size a buffer from it.
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(FrameError::Oversize { declared: len });
+    }
+    let len = len as usize;
+    let start = nl + 1;
+    if buf.len() < start + len {
+        return Ok(None);
+    }
+    Ok(Some((start + len, &buf[start..start + len])))
+}
+
+fn parse_len(digits: &[u8]) -> Result<u64, FrameError> {
+    if digits.is_empty() || digits.len() > 20 {
+        return Err(FrameError::BadHeader("bad length field".to_string()));
+    }
+    let mut n: u64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return Err(FrameError::BadHeader("bad length field".to_string()));
+        }
+        n = n
+            .checked_mul(10)
+            .and_then(|n| n.checked_add(u64::from(b - b'0')))
+            .ok_or(FrameError::Oversize { declared: u64::MAX })?;
+    }
+    Ok(n)
+}
+
+/// Reads one frame from a blocking reader. `Ok(None)` on clean EOF at a
+/// frame boundary; [`FrameError::Truncated`] on EOF mid-frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    // Header, byte by byte (headers are tiny; the payload read below is
+    // the bulk transfer).
+    let mut header = Vec::with_capacity(MAX_HEADER_LEN);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                if header.is_empty() {
+                    return Ok(None);
+                }
+                return Err(FrameError::Truncated);
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if header.len() >= MAX_HEADER_LEN {
+                    return Err(FrameError::BadHeader("header too long".to_string()));
+                }
+                header.push(byte[0]);
+            }
+        }
+    }
+    if header.len() < MAGIC.len() || &header[..MAGIC.len()] != MAGIC {
+        return Err(FrameError::BadHeader("missing `tgm1 ` magic".to_string()));
+    }
+    let len = parse_len(&header[MAGIC.len()..])?;
+    if len > MAX_FRAME_LEN as u64 {
+        // Declared size rejected before the allocation below.
+        return Err(FrameError::Oversize { declared: len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e.to_string())
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let (used, p) = decode(&buf).unwrap().unwrap();
+        assert_eq!(p, b"{\"op\":\"ping\"}");
+        let (used2, p2) = decode(&buf[used..]).unwrap().unwrap();
+        assert_eq!(p2, b"");
+        assert_eq!(used + used2, buf.len());
+
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"op\":\"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn incomplete_prefixes_ask_for_more() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        for cut in 0..buf.len() {
+            assert_eq!(decode(&buf[..cut]).unwrap(), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn oversize_rejected_from_digits_alone() {
+        // No payload bytes present: the declared length alone must trip.
+        let hdr = format!("tgm1 {}\n", MAX_FRAME_LEN + 1);
+        assert!(matches!(
+            decode(hdr.as_bytes()),
+            Err(FrameError::Oversize { .. })
+        ));
+        // Absurd 20-digit length overflowing through checked math.
+        assert!(matches!(
+            decode(b"tgm1 99999999999999999999\n"),
+            Err(FrameError::Oversize { .. })
+        ));
+        let mut r = hdr.as_bytes();
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_headers_are_typed_errors() {
+        for bad in [
+            &b"tgmX 5\nhello"[..],
+            b"tgm1 5x\nhello",
+            b"tgm1 \nhello",
+            b"http/1.1 200 OK\n",
+            b"tgm1\n",
+        ] {
+            assert!(
+                matches!(decode(bad), Err(FrameError::BadHeader(_))),
+                "{bad:?}"
+            );
+            let mut r = bad;
+            assert!(matches!(read_frame(&mut r), Err(FrameError::BadHeader(_))));
+        }
+    }
+
+    #[test]
+    fn truncated_stream_reports_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        let mut r = &buf[..buf.len() - 3];
+        assert_eq!(read_frame(&mut r), Err(FrameError::Truncated));
+        let mut r = &b"tgm1 5"[..]; // EOF inside the header
+        assert_eq!(read_frame(&mut r), Err(FrameError::Truncated));
+    }
+}

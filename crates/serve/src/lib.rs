@@ -1,0 +1,57 @@
+//! Multi-tenant serving front end for the tgm engines.
+//!
+//! The paper's algorithms (TAG matching, bounded mining) are libraries;
+//! this crate is the *operational* layer that lets many tenants share one
+//! process safely:
+//!
+//! * **Protocol** ([`proto`]): `tgm_serve/v1` — JSON payloads carrying
+//!   batch match, bounded mine, and long-lived streaming-session
+//!   commands, with a closed set of typed error kinds.
+//! * **Framing** ([`frame`]): `tgm1 <len>\n<payload>` frames over any
+//!   byte stream, with oversize lengths rejected *before* allocation and
+//!   every malformed shape a typed error (proptested to never panic).
+//! * **Admission** ([`tenant`]): per-tenant quotas
+//!   ([`tgm_limits::Quotas`]) enforced as inflight tickets and session
+//!   caps; sheds are typed (`Overloaded` / `QuotaExceeded`) and carry a
+//!   deterministic jittered `retry_after_ms` hint.
+//! * **Execution** ([`server`]): a fixed worker pool; every request runs
+//!   under its tenant's [`tgm_limits::Limits`] inside `catch_unwind`, so
+//!   a panic answers one request with a typed `WorkerPanic` (plus the
+//!   tenant's flight-recorder dump) and the pool keeps serving.
+//! * **Drain** ([`shutdown`], [`server::ServerCore::drain`]): a
+//!   process-wide token flipped by `SIGINT`/`SIGTERM` or programmatically;
+//!   draining refuses new work, bounds in-flight work, and flushes one
+//!   final labelled telemetry frame per tenant.
+//!
+//! ```
+//! use tgm_serve::{ServerConfig, ServerCore};
+//! use tgm_limits::Quotas;
+//!
+//! let core = ServerCore::start(ServerConfig {
+//!     workers: 2,
+//!     queue_depth: 16,
+//!     default_quotas: Quotas::unlimited().with_max_inflight(8),
+//!     tenant_quotas: vec![],
+//! });
+//! let client = core.client();
+//! let resp = client.request(r#"{"op":"ping"}"#);
+//! assert!(resp.contains("\"pong\":true"));
+//! let frames = core.drain();
+//! assert!(frames.is_empty()); // no tenant ever spoke
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![deny(unsafe_code)] // one reviewed allow: the signal shim in `shutdown`
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod shutdown;
+pub mod tenant;
+
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use proto::{ErrorKind, Request, Response};
+pub use server::{Client, Server, ServerConfig, ServerCore, WORKER_SITE};
+pub use tenant::Tenant;

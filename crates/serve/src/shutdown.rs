@@ -1,0 +1,104 @@
+//! Process-wide graceful-shutdown token.
+//!
+//! One atomic flag, set by `Ctrl-C`/`SIGTERM` (when [`install`] has been
+//! called) or programmatically by [`trigger`] — the latter is what CLI and
+//! integration tests use, so drain behaviour is testable without
+//! delivering real signals. Long-running loops ([`crate::Server`], the
+//! CLI's `tgm stream` chunk loop) poll [`requested`] at their chunk
+//! boundaries and switch to their bounded finalize path when it flips.
+//!
+//! The handler itself only stores to the atomic (the one operation that
+//! is async-signal-safe); all draining work happens on the threads that
+//! observe the flag.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static TRIGGERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether shutdown has been requested (by signal or [`trigger`]).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Acquire)
+}
+
+/// Requests shutdown programmatically, exactly as a signal would.
+pub fn trigger() {
+    TRIGGERS.fetch_add(1, Ordering::AcqRel);
+    REQUESTED.store(true, Ordering::Release);
+}
+
+/// Re-arms the token (test support: the flag is process-global).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::Release);
+}
+
+/// How many times shutdown has been requested (a second `Ctrl-C` during a
+/// drain means "stop waiting, finish now").
+pub fn trigger_count() -> usize {
+    TRIGGERS.load(Ordering::Acquire)
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers that [`trigger`] the token.
+/// Idempotent; a no-op on non-Unix hosts (where only programmatic
+/// triggering is available).
+pub fn install() {
+    if INSTALLED.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    sys::install_handlers();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    //! The one unavoidable `unsafe` in the crate: registering a signal
+    //! handler via libc's `signal(2)`, declared here directly so the
+    //! workspace stays dependency-free. The handler body does nothing but
+    //! an atomic store, which is async-signal-safe.
+
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::TRIGGERS.fetch_add(1, Ordering::AcqRel);
+        super::REQUESTED.store(true, Ordering::Release);
+    }
+
+    pub(super) fn install_handlers() {
+        // SAFETY: `signal` is the C standard library's handler
+        // registration; the handler passed performs only atomic stores.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub(super) fn install_handlers() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_sets_and_reset_clears() {
+        reset();
+        assert!(!requested());
+        let before = trigger_count();
+        trigger();
+        assert!(requested());
+        assert_eq!(trigger_count(), before + 1);
+        reset();
+        assert!(!requested());
+    }
+}

@@ -1,0 +1,252 @@
+//! Chaos suite (run with `--features failpoints`): every injected fault —
+//! worker panic, injected delay past the deadline, spurious cancellation,
+//! poisoned frame — must surface as a *typed* per-tenant error (with the
+//! tenant's flight-recorder dump attached to faults), while the server
+//! keeps serving and concurrently healthy tenants get responses
+//! bit-identical to a fault-free run.
+//!
+//! The failpoint registry is process-global, so every test serializes on
+//! one mutex and clears the registry on entry and exit (the workspace's
+//! standard chaos idiom).
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tgm_events::minijson::Value;
+use tgm_limits::{fail, Quotas};
+use tgm_serve::proto::{ErrorKind, Response};
+use tgm_serve::{ServerConfig, ServerCore, WORKER_SITE};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// Holds the suite mutex and guarantees a clean registry on both sides.
+struct Armed(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+impl Armed {
+    fn lock() -> Self {
+        let g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        fail::clear_all();
+        Armed(g)
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        fail::clear_all();
+    }
+}
+
+const STRUCTURE: &str = r#""structure":{
+  "variables": ["rise", "report", "fall"],
+  "constraints": [
+    {"from": 0, "to": 1, "lo": 1, "hi": 1, "granularity": "business-day"},
+    {"from": 1, "to": 2, "lo": 0, "hi": 1, "granularity": "week"}
+  ]}"#;
+
+fn match_payload(tenant: &str) -> String {
+    format!(
+        r#"{{"op":"match","tenant":"{tenant}",{STRUCTURE},"types":["rise","report","fall"],
+        "events":[{{"ty":"rise","time":208800}},{{"ty":"noise","time":250000}},
+                  {{"ty":"report","time":291600}},{{"ty":"fall","time":500000}},
+                  {{"ty":"rise","time":813600}}]}}"#
+    )
+}
+
+fn config(tenant_quotas: Vec<(String, Quotas)>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_depth: 32,
+        default_quotas: Quotas::unlimited(),
+        tenant_quotas,
+    }
+}
+
+#[test]
+fn worker_panic_is_typed_dumped_and_contained() {
+    let _armed = Armed::lock();
+
+    // Fault-free baseline for the healthy tenant, on its own core.
+    let baseline_core = ServerCore::start(config(vec![]));
+    let baseline = baseline_core.client().request(&match_payload("healthy"));
+    baseline_core.drain();
+
+    let core = ServerCore::start(config(vec![]));
+    let client = core.client();
+    fail::set(WORKER_SITE, fail::Action::PanicOnce("injected chaos panic".into()));
+
+    // The victim's request absorbs the one-shot panic...
+    let victim = client.request_parsed(&match_payload("victim")).unwrap();
+    let Response::Err {
+        kind,
+        message,
+        dump,
+        ..
+    } = victim
+    else {
+        panic!("victim should observe the panic");
+    };
+    assert_eq!(kind, ErrorKind::WorkerPanic);
+    assert!(message.contains("injected chaos panic"), "{message}");
+    assert!(message.contains(WORKER_SITE), "{message}");
+    let dump = dump.expect("faults carry the tenant's flight dump");
+    assert!(dump.contains("flight recorder dump"), "{dump}");
+
+    // ...and the pool keeps serving: the healthy tenant's response is
+    // bit-identical to the fault-free run, and the victim can retry.
+    let healthy = client.request(&match_payload("healthy"));
+    assert_eq!(healthy, baseline);
+    let retry = client.request_parsed(&match_payload("victim")).unwrap();
+    assert!(matches!(retry, Response::Ok(_)), "victim retry succeeds");
+    core.drain();
+}
+
+#[test]
+fn injected_delay_trips_the_deadline_typed() {
+    let _armed = Armed::lock();
+    let core = ServerCore::start(config(vec![(
+        "slow".to_string(),
+        Quotas::unlimited().with_timeout(Duration::from_millis(20)),
+    )]));
+    let client = core.client();
+    fail::set(WORKER_SITE, fail::Action::Delay(Duration::from_millis(60)));
+
+    let resp = client.request_parsed(&match_payload("slow")).unwrap();
+    assert_eq!(resp.error_kind(), Some(ErrorKind::DeadlineExceeded));
+
+    // Disarm: the same tenant completes within a fresh deadline.
+    fail::clear_all();
+    let ok = client.request_parsed(&match_payload("slow")).unwrap();
+    assert!(matches!(ok, Response::Ok(_)), "{ok:?}");
+    core.drain();
+}
+
+#[test]
+fn injected_cancel_is_typed_cancelled() {
+    let _armed = Armed::lock();
+    let core = ServerCore::start(config(vec![]));
+    let client = core.client();
+    fail::set(WORKER_SITE, fail::Action::Cancel);
+
+    let resp = client.request_parsed(&match_payload("cancelled")).unwrap();
+    assert_eq!(resp.error_kind(), Some(ErrorKind::Cancelled));
+
+    fail::clear_all();
+    let ok = client.request_parsed(&match_payload("cancelled")).unwrap();
+    assert!(matches!(ok, Response::Ok(_)));
+    core.drain();
+}
+
+#[test]
+fn mining_worker_panic_propagates_as_typed_fault() {
+    let _armed = Armed::lock();
+    let core = ServerCore::start(config(vec![]));
+    let client = core.client();
+    // Arm the *mining* pipeline's own worker site: the serve layer must
+    // relay the engine's contained panic as its typed error.
+    fail::set(
+        "pipeline.step5.worker",
+        fail::Action::PanicOnce("engine-level chaos".into()),
+    );
+    let payload = format!(
+        r#"{{"op":"mine","tenant":"miner",{STRUCTURE},
+            "events":[{{"ty":"rise","time":208800}},{{"ty":"report","time":291600}},
+                      {{"ty":"fall","time":500000}},{{"ty":"rise","time":813600}},
+                      {{"ty":"report","time":900000}},{{"ty":"fall","time":1000000}}],
+            "reference":"rise","confidence":0.1}}"#
+    );
+    let resp = client.request_parsed(&payload).unwrap();
+    assert_eq!(resp.error_kind(), Some(ErrorKind::WorkerPanic), "{resp:?}");
+
+    fail::clear_all();
+    let ok = client.request_parsed(&payload).unwrap();
+    assert!(matches!(ok, Response::Ok(_)), "{ok:?}");
+    core.drain();
+}
+
+#[test]
+fn chaos_under_concurrency_leaves_exactly_one_victim() {
+    let _armed = Armed::lock();
+    let core = ServerCore::start(ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        default_quotas: Quotas::unlimited(),
+        tenant_quotas: vec![],
+    });
+    fail::set(WORKER_SITE, fail::Action::PanicOnce("one-shot chaos".into()));
+
+    let mut handles = Vec::new();
+    for i in 0..12 {
+        let client = core.client();
+        handles.push(std::thread::spawn(move || {
+            client
+                .request_parsed(&match_payload(&format!("tenant-{i}")))
+                .unwrap()
+        }));
+    }
+    let mut panics = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Response::Ok(result) => {
+                let at: Vec<i64> = result
+                    .get("completions")
+                    .and_then(Value::as_array)
+                    .unwrap()
+                    .iter()
+                    .filter_map(|c| c.get("at").and_then(Value::as_i64))
+                    .collect();
+                assert_eq!(at, [500000]);
+            }
+            Response::Err { kind, dump, .. } => {
+                assert_eq!(kind, ErrorKind::WorkerPanic);
+                assert!(dump.is_some());
+                panics += 1;
+            }
+        }
+    }
+    assert_eq!(panics, 1, "exactly one victim absorbs a one-shot panic");
+    core.drain();
+}
+
+#[test]
+fn mid_stream_cancel_leaves_session_closeable() {
+    let _armed = Armed::lock();
+    let core = ServerCore::start(config(vec![]));
+    let client = core.client();
+
+    let open = format!(
+        r#"{{"op":"session.open","tenant":"streamer",{STRUCTURE},"types":["rise","report","fall"]}}"#
+    );
+    let session = client
+        .request_parsed(&open)
+        .unwrap()
+        .result()
+        .and_then(|r| r.get("session").and_then(Value::as_u64))
+        .unwrap();
+
+    // First push is healthy.
+    let push = |events: &str| {
+        format!(
+            r#"{{"op":"session.push","tenant":"streamer","session":{session},"events":[{events}]}}"#
+        )
+    };
+    let r1 = client
+        .request_parsed(&push(r#"{"ty":"rise","time":208800}"#))
+        .unwrap();
+    assert!(matches!(r1, Response::Ok(_)));
+
+    // A cancel mid-stream is a typed per-request fault; the session slot
+    // survives (reinserted around the fault) and close still works.
+    fail::set(WORKER_SITE, fail::Action::Cancel);
+    let r2 = client
+        .request_parsed(&push(r#"{"ty":"report","time":291600}"#))
+        .unwrap();
+    assert_eq!(r2.error_kind(), Some(ErrorKind::Cancelled));
+    fail::clear_all();
+
+    let close = format!(r#"{{"op":"session.close","tenant":"streamer","session":{session}}}"#);
+    let closed = client.request_parsed(&close).unwrap();
+    assert!(closed.result().is_some(), "{closed:?}");
+    core.drain();
+}

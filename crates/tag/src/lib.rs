@@ -61,7 +61,7 @@ pub use matcher::{
     BoundedRun, MatchOptions, MatchOptionsBuilder, Matcher, MatcherScratch, RunStats,
 };
 pub use multi::{MultiMatcher, MultiRun, MultiScratch};
-pub use session::{Completion, MatchSession, Push, SessionStats};
+pub use session::{Completion, MatchSession, Push, SessionState, SessionStats};
 
 #[doc(hidden)]
 pub use matcher::count_interrupt;

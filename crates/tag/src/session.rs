@@ -251,6 +251,55 @@ impl EvictionPlan {
     }
 }
 
+/// A suspended [`MatchSession`]: every piece of session state except the
+/// borrow of the [`Tag`].
+///
+/// `MatchSession<'a>` borrows its automaton, which makes it impossible to
+/// store sessions next to the `Tag`s they run over (a self-referential
+/// struct) — exactly what a server holding thousands of tenant sessions
+/// needs to do. [`MatchSession::suspend`] tears a session into this owned,
+/// `Send` value; [`MatchSession::resume`] reattaches it to the same
+/// automaton and continues bit-identically (differentially tested against
+/// an uninterrupted session). Resuming against a *different* automaton is
+/// a contract violation; a cheap shape check (state/clock counts) panics
+/// on obvious mismatches.
+pub struct SessionState {
+    opts: MatchOptions,
+    scratch: MatcherScratch,
+    limits: Option<Limits>,
+    stats: RunStats,
+    interrupt: Option<Interrupt>,
+    seeded: bool,
+    dead: bool,
+    events_pushed: u64,
+    completions: Vec<Completion>,
+    total_completions: u64,
+    evicted_rows: u64,
+    evictions: u64,
+    eviction: Option<EvictionPlan>,
+    hist: Option<Histogram>,
+    scope: Option<ObsScope>,
+    stats_every: Option<u64>,
+    last_stats_at: u64,
+    col_ids: Vec<u64>,
+    col_map: Vec<Option<usize>>,
+    /// Shape fingerprint of the automaton the session was suspended from.
+    n_states: usize,
+    n_clocks: usize,
+}
+
+impl SessionState {
+    /// The options the suspended session was built with.
+    pub fn options(&self) -> MatchOptions {
+        self.opts
+    }
+
+    /// Events consumed before suspension.
+    pub fn events_pushed(&self) -> u64 {
+        self.events_pushed
+    }
+}
+
 /// A long-lived incremental matcher for one TAG: the engine behind every
 /// batch entry point, usable directly for streams. See the
 /// [module docs](self) for the lifecycle and eviction semantics.
@@ -815,6 +864,79 @@ impl<'a> MatchSession<'a> {
         }
     }
 
+    // -- suspend / resume ---------------------------------------------------
+
+    /// Tears the session into an owned [`SessionState`], releasing the
+    /// borrow of the automaton. The state is `Send`: it can be parked in a
+    /// session table, moved across worker threads, and picked back up with
+    /// [`resume`](Self::resume).
+    pub fn suspend(self) -> SessionState {
+        SessionState {
+            opts: self.matcher.opts,
+            n_states: self.matcher.tag.n_states(),
+            n_clocks: self.matcher.tag.clocks().len(),
+            scratch: self.scratch,
+            limits: self.limits,
+            stats: self.stats,
+            interrupt: self.interrupt,
+            seeded: self.seeded,
+            dead: self.dead,
+            events_pushed: self.events_pushed,
+            completions: self.completions,
+            total_completions: self.total_completions,
+            evicted_rows: self.evicted_rows,
+            evictions: self.evictions,
+            eviction: self.eviction,
+            hist: self.hist,
+            scope: self.scope,
+            stats_every: self.stats_every,
+            last_stats_at: self.last_stats_at,
+            col_ids: self.col_ids,
+            col_map: self.col_map,
+        }
+    }
+
+    /// Reattaches a suspended session to its automaton and continues
+    /// exactly where [`suspend`](Self::suspend) left off: frontier, stats,
+    /// buffered completions, sticky interrupt, eviction schedule and
+    /// limits all survive the round trip (the replayed stream stays
+    /// bit-identical to an uninterrupted session).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tag`'s state or clock count differs from the automaton
+    /// the state was suspended from — a cheap guard against resuming
+    /// against the wrong automaton (which would silently corrupt the
+    /// packed frontier).
+    pub fn resume(tag: &'a Tag, state: SessionState) -> Self {
+        assert_eq!(
+            (state.n_states, state.n_clocks),
+            (tag.n_states(), tag.clocks().len()),
+            "SessionState resumed against a different automaton shape"
+        );
+        MatchSession {
+            matcher: Matcher::with_options(tag, state.opts),
+            scratch: state.scratch,
+            limits: state.limits,
+            stats: state.stats,
+            interrupt: state.interrupt,
+            seeded: state.seeded,
+            dead: state.dead,
+            events_pushed: state.events_pushed,
+            completions: state.completions,
+            total_completions: state.total_completions,
+            evicted_rows: state.evicted_rows,
+            evictions: state.evictions,
+            eviction: state.eviction,
+            hist: state.hist,
+            scope: state.scope,
+            stats_every: state.stats_every,
+            last_stats_at: state.last_stats_at,
+            col_ids: state.col_ids,
+            col_map: state.col_map,
+        }
+    }
+
     // -- finalize -----------------------------------------------------------
 
     /// Finishes the session with the batch-compatible verdict: the
@@ -1070,6 +1192,63 @@ mod tests {
         }
         assert!(sat.stats().peak_frontier as u64 <= bound);
         assert_eq!(sat.stats().completions, p.completions);
+    }
+
+    #[test]
+    fn suspend_resume_is_bit_identical() {
+        let tag = next_day_tag();
+        let events: Vec<Event> = (0..40)
+            .flat_map(|i| [ev(0, (2 + 2 * i) * DAY), ev(1, (3 + 2 * i) * DAY)])
+            .collect();
+        let mut continuous = MatchSession::new(&tag);
+        let mut resumed = MatchSession::new(&tag);
+        for (i, &e) in events.iter().enumerate() {
+            let a = continuous.push(e);
+            // Suspend/resume around every third event.
+            if i % 3 == 0 {
+                let state = resumed.suspend();
+                assert_eq!(state.events_pushed(), i as u64);
+                resumed = MatchSession::resume(&tag, state);
+            }
+            let b = resumed.push(e);
+            assert_eq!(a, b, "event {i}");
+        }
+        assert_eq!(continuous.stats(), resumed.stats());
+        let fired_a: Vec<_> = continuous.completed().collect();
+        let fired_b: Vec<_> = resumed.completed().collect();
+        assert_eq!(fired_a, fired_b);
+        let (ra, _) = continuous.finish();
+        let (rb, _) = resumed.finish();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn suspend_preserves_interrupt_and_limits() {
+        let tag = next_day_tag();
+        let mut session =
+            MatchSession::new(&tag).with_limits(Limits::none().with_budget(0));
+        let _ = session.push(ev(0, 2 * DAY));
+        assert_eq!(session.interrupted(), Some(Interrupt::BudgetExhausted));
+        let mut session = MatchSession::resume(&tag, session.suspend());
+        assert_eq!(
+            session.push(ev(1, 3 * DAY)),
+            Push::Interrupted(Interrupt::BudgetExhausted)
+        );
+        assert_eq!(session.stats().events, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different automaton shape")]
+    fn resume_rejects_wrong_shape() {
+        let tag = next_day_tag();
+        let state = MatchSession::new(&tag).suspend();
+        // A shape-incompatible automaton: no clocks, one state.
+        let mut b = TagBuilder::new();
+        let s0 = b.state("s0");
+        b.start(s0).accepting(s0);
+        b.skip_loop(s0);
+        let other = b.build();
+        let _ = MatchSession::resume(&other, state);
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //! `{"ty": "...", "time": <seconds>}` records (see `tgm::events::io`).
 //! All logic lives in `tgm::cli` so it is testable.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match tgm::cli::run(&args) {
         Ok(output) => {
-            println!("{output}");
+            // A closed pipe (`tgm ... | head`) is a normal way for output
+            // to end, not a panic.
+            let _ = writeln!(std::io::stdout(), "{output}");
             ExitCode::SUCCESS
         }
         Err(msg) => {

@@ -16,9 +16,13 @@ pub(crate) const USAGE: &str = "usage:
   tgm check <structure.json> [--horizon-days <n>]
   tgm match <structure.json> --types <t0,t1,...> <events.json>
   tgm stream <structure.json> --types <t0,t1,...> <events.ndjson> \\
-           [--stats-every <n>] [--stats-format ndjson|openmetrics]
+           [--stats-every <n>] [--stats-format ndjson|openmetrics] \\
+           [--drain-after-chunks <n>]
   tgm mine <structure.json> <events.json> --reference <type> \\
            [--confidence <x>] [--pin <var>=<type>]...
+  tgm serve [--addr <host:port>] [--workers <n>] [--queue-depth <n>] \\
+           [--max-inflight <n>] [--max-sessions <n>] [--budget <rows>] \\
+           [--timeout-ms <n>] [--port-file <path>] [--max-requests <n>]
 
 global flags (all commands):
   --calendar <file>       load a calendar config (holiday/gran directives)
@@ -37,6 +41,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("match") => cmd_match(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("mine") => cmd_mine(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -273,6 +278,38 @@ fn cmd_match(args: &[String]) -> Result<String, String> {
 /// behave like a stream, large enough to amortize the column append.
 const STREAM_CHUNK: usize = 256;
 
+/// Emits one `tgm stream` telemetry frame (shared by the periodic
+/// `--stats-every` emissions and the final frame a drain flushes).
+fn emit_stream_frame(
+    ex: &mut tgm_obs::Exporter,
+    s: &tgm_tag::SessionStats,
+    lag: Option<f64>,
+    last_frame_at: &mut std::time::Instant,
+    last_frame_events: &mut u64,
+    stats_format: &str,
+) -> String {
+    let mut frame = ex.frame();
+    let now = std::time::Instant::now();
+    let dt = now.duration_since(*last_frame_at).as_secs_f64();
+    let delta_events = (s.events as u64).saturating_sub(*last_frame_events);
+    frame.set_gauge("frontier", s.frontier as f64);
+    frame.set_gauge("events_total", s.events as f64);
+    frame.set_gauge(
+        "events_per_sec",
+        if dt > 0.0 { delta_events as f64 / dt } else { 0.0 },
+    );
+    frame.set_gauge("evicted_rows_total", s.evicted_rows as f64);
+    // Thm-4 watermark: ticks the slowest live frontier row still has
+    // before its eviction horizon (-1 = no live clocked rows).
+    frame.set_gauge("watermark_lag", lag.unwrap_or(-1.0));
+    *last_frame_at = now;
+    *last_frame_events = s.events as u64;
+    match stats_format {
+        "openmetrics" => frame.to_openmetrics(),
+        _ => frame.to_ndjson(),
+    }
+}
+
 fn cmd_stream(args: &[String]) -> Result<String, String> {
     let cal = calendar_from(args)?;
     let pos = positionals(args);
@@ -326,7 +363,24 @@ fn cmd_stream(args: &[String]) -> Result<String, String> {
     let mut frames = String::new();
     let mut last_frame_at = std::time::Instant::now();
     let mut last_frame_events = 0u64;
-    'stream: for chunk in events.chunks(STREAM_CHUNK.max(1)) {
+    // A shutdown request (Ctrl-C/SIGTERM via the serve layer's token)
+    // observed at a chunk boundary switches to the bounded finalize path:
+    // stop consuming, flush one final frame, print the summary.
+    // `--drain-after-chunks <n>` forces the same path after n chunks, so
+    // the finalize behaviour is testable without delivering a signal.
+    tgm_serve::shutdown::install();
+    let shutdown_baseline = tgm_serve::shutdown::trigger_count();
+    let drain_after: Option<usize> = flag_value(args, "--drain-after-chunks")
+        .map(|v| v.parse().map_err(|e| format!("bad --drain-after-chunks: {e}")))
+        .transpose()?;
+    let mut drained = false;
+    'stream: for (ci, chunk) in events.chunks(STREAM_CHUNK.max(1)).enumerate() {
+        if tgm_serve::shutdown::trigger_count() > shutdown_baseline
+            || drain_after.is_some_and(|n| ci >= n)
+        {
+            drained = true;
+            break 'stream;
+        }
         let base = cols.len();
         cols.append(chunk);
         for (i, &e) in chunk.iter().enumerate() {
@@ -336,29 +390,16 @@ fn cmd_stream(args: &[String]) -> Result<String, String> {
             }
             if session.stats_due() {
                 if let Some(ex) = exporter.as_mut() {
-                    let lag = session.watermark_lag();
+                    let lag = session.watermark_lag().map(|v| v as f64);
                     let s = session.stats();
-                    let mut frame = ex.frame();
-                    let now = std::time::Instant::now();
-                    let dt = now.duration_since(last_frame_at).as_secs_f64();
-                    let delta_events = (s.events as u64).saturating_sub(last_frame_events);
-                    frame.set_gauge("frontier", s.frontier as f64);
-                    frame.set_gauge("events_total", s.events as f64);
-                    frame.set_gauge(
-                        "events_per_sec",
-                        if dt > 0.0 { delta_events as f64 / dt } else { 0.0 },
-                    );
-                    frame.set_gauge("evicted_rows_total", s.evicted_rows as f64);
-                    // Thm-4 watermark: ticks the slowest live frontier row
-                    // still has before its eviction horizon (-1 = no live
-                    // clocked rows).
-                    frame.set_gauge("watermark_lag", lag.map(|v| v as f64).unwrap_or(-1.0));
-                    last_frame_at = now;
-                    last_frame_events = s.events as u64;
-                    frames.push_str(&match stats_format {
-                        "openmetrics" => frame.to_openmetrics(),
-                        _ => frame.to_ndjson(),
-                    });
+                    frames.push_str(&emit_stream_frame(
+                        ex,
+                        &s,
+                        lag,
+                        &mut last_frame_at,
+                        &mut last_frame_events,
+                        stats_format,
+                    ));
                 }
             }
         }
@@ -366,10 +407,31 @@ fn cmd_stream(args: &[String]) -> Result<String, String> {
     }
     completions_at.extend(session.completed().map(|c| c.at));
     let stats = session.stats();
+    if drained {
+        // Final telemetry frame so an operator's last scrape is complete.
+        if let Some(ex) = exporter.as_mut() {
+            let lag = session.watermark_lag().map(|v| v as f64);
+            frames.push_str(&emit_stream_frame(
+                ex,
+                &stats,
+                lag,
+                &mut last_frame_at,
+                &mut last_frame_events,
+                stats_format,
+            ));
+        }
+    }
     if scope.is_some() {
         tgm_obs::set_enabled(was_enabled);
     }
     let mut out = frames;
+    if drained {
+        out.push_str(&format!(
+            "stream: drained ({} of {} events consumed)\n",
+            stats.events,
+            events.len()
+        ));
+    }
     out.push_str(&format!(
         "TAG: {} states, {} clocks; streamed {} events\n",
         tag.n_states(),
@@ -447,6 +509,67 @@ fn cmd_mine(args: &[String]) -> Result<String, String> {
             ));
         }
     }
+    Ok(out)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+        flag_value(args, name)
+            .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
+            .transpose()
+    };
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+    let mut quotas = tgm_limits::Quotas::unlimited();
+    if let Some(n) = parse_u64("--max-inflight")? {
+        quotas = quotas.with_max_inflight(n as u32);
+    }
+    if let Some(n) = parse_u64("--max-sessions")? {
+        quotas = quotas.with_max_sessions(n as u32);
+    }
+    if let Some(n) = parse_u64("--budget")? {
+        quotas = quotas.with_budget(n);
+    }
+    if let Some(n) = parse_u64("--timeout-ms")? {
+        quotas = quotas.with_timeout(std::time::Duration::from_millis(n));
+    }
+    let config = tgm_serve::ServerConfig {
+        workers: parse_u64("--workers")?.unwrap_or(2) as usize,
+        queue_depth: parse_u64("--queue-depth")?.unwrap_or(64) as usize,
+        default_quotas: quotas,
+        tenant_quotas: Vec::new(),
+    };
+    // Ctrl-C / SIGTERM flips the shared token; the loop below sees it and
+    // drains. `--max-requests` gives tests and scripted smoke runs a
+    // deterministic self-drain on the same path.
+    tgm_serve::shutdown::install();
+    let shutdown_baseline = tgm_serve::shutdown::trigger_count();
+    let server = tgm_serve::Server::bind(addr, config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if let Some(pf) = flag_value(args, "--port-file") {
+        std::fs::write(pf, format!("{}\n", server.local_addr().port()))
+            .map_err(|e| format!("cannot write {pf}: {e}"))?;
+    }
+    let max_requests = parse_u64("--max-requests")?;
+    loop {
+        if tgm_serve::shutdown::trigger_count() > shutdown_baseline {
+            break;
+        }
+        if max_requests.is_some_and(|n| server.core().requests_handled() >= n) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let handled = server.core().requests_handled();
+    let sheds = server.core().sheds();
+    let frames = server.drain();
+    let mut out = String::new();
+    for f in &frames {
+        out.push_str(f);
+    }
+    out.push_str(&format!(
+        "serve: drained after {handled} request(s), {sheds} shed, {} tenant(s)\n",
+        frames.len()
+    ));
     Ok(out)
 }
 

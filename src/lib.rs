@@ -20,6 +20,7 @@
 //! | [`core`] | `tgm-core` | TCGs, event structures, conversion, propagation, exact checking |
 //! | [`tag`] | `tgm-tag` | timed automata with granularities and matching |
 //! | [`mining`] | `tgm-mining` | naive + optimized discovery, WINEPI episode baseline |
+//! | [`serve`] | `tgm-serve` | multi-tenant session server: framed protocol, admission control, load shedding, graceful drain |
 //!
 //! # Quickstart
 //!
@@ -87,6 +88,7 @@ pub use tgm_granularity as granularity;
 pub use tgm_limits as limits;
 pub use tgm_mining as mining;
 pub use tgm_obs as obs;
+pub use tgm_serve as serve;
 pub use tgm_stp as stp;
 pub use tgm_tag as tag;
 

@@ -288,6 +288,129 @@ fn out_of_range_confidence_is_a_clean_error() {
 }
 
 #[test]
+fn stream_drain_finalizes_with_a_last_frame() {
+    let spath = temp_file("structure_drain.json", STRUCTURE);
+    // 600 events span three 256-row chunks; draining after one chunk
+    // consumes exactly 256 of them on the bounded finalize path (the same
+    // path a Ctrl-C/SIGTERM trigger takes at a chunk boundary).
+    let mut ndjson = String::new();
+    for i in 0..600i64 {
+        ndjson.push_str(&format!("{{\"ty\":\"rise\",\"time\":{}}}\n", 208_800 + i * 7_200));
+    }
+    let epath = temp_file("events_drain.ndjson", &ndjson);
+    let base = [
+        "stream",
+        spath.to_str().unwrap(),
+        "--types",
+        "rise,report,fall",
+        epath.to_str().unwrap(),
+    ];
+    let mut drained: Vec<&str> = base.to_vec();
+    drained.extend(["--stats-every", "100", "--drain-after-chunks", "1"]);
+    let out = run(&args(&drained)).unwrap();
+    assert!(
+        out.contains("stream: drained (256 of 600 events consumed)"),
+        "{out}"
+    );
+    assert!(out.contains("streamed 256 events"), "{out}");
+    // Beyond the two cadence emissions (at 100 and 200 events), the drain
+    // flushes one final frame carrying the full consumed count, so an
+    // operator's last scrape is complete.
+    let frames: Vec<&str> = out.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(frames.len() >= 3, "expected cadence + final frames:\n{out}");
+    assert!(
+        frames.last().unwrap().contains("\"events_total\":256"),
+        "{out}"
+    );
+    // Draining before the first chunk consumes nothing, cleanly.
+    let mut immediate: Vec<&str> = base.to_vec();
+    immediate.extend(["--drain-after-chunks", "0"]);
+    let out = run(&args(&immediate)).unwrap();
+    assert!(
+        out.contains("stream: drained (0 of 600 events consumed)"),
+        "{out}"
+    );
+    // A malformed count is a user error.
+    let mut bad: Vec<&str> = base.to_vec();
+    bad.extend(["--drain-after-chunks", "soon"]);
+    assert!(run(&args(&bad)).is_err());
+}
+
+#[test]
+fn serve_command_drains_after_max_requests() {
+    use std::io::BufReader;
+
+    use tgm::serve::frame::{read_frame, write_frame};
+    use tgm::serve::proto::Response;
+
+    let port_file = temp_file("serve.port", "");
+    let pf = port_file.to_str().unwrap().to_string();
+    // `--max-requests 3` makes the server self-drain on the same path a
+    // Ctrl-C/SIGTERM trigger takes, once the third request is handled.
+    let server = std::thread::spawn(move || {
+        run(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            &pf,
+            "--max-requests",
+            "3",
+        ]))
+    });
+    // The port file is written after bind; poll until it is non-empty.
+    let port: u16 = {
+        let mut contents = String::new();
+        for _ in 0..200 {
+            contents = std::fs::read_to_string(&port_file).unwrap_or_default();
+            if !contents.trim().is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        contents.trim().parse().expect("server never wrote its port")
+    };
+
+    let mut conn = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut roundtrip = |payload: String| -> Response {
+        write_frame(&mut conn, payload.as_bytes()).unwrap();
+        let raw = read_frame(&mut reader).unwrap().expect("connection closed");
+        Response::parse(&String::from_utf8(raw).unwrap()).unwrap()
+    };
+
+    let pong = roundtrip(r#"{"op":"ping"}"#.to_string());
+    assert!(matches!(pong, Response::Ok(_)), "{pong:?}");
+
+    let matched = roundtrip(format!(
+        r#"{{"op":"match","tenant":"acme","structure":{STRUCTURE},
+            "types":["rise","report","fall"],"events":{EVENTS}}}"#
+    ));
+    let result = matched.result().expect("match should succeed");
+    let at: Vec<i64> = result
+        .get("completions")
+        .and_then(tgm::events::minijson::Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|c| c.get("at").and_then(tgm::events::minijson::Value::as_i64))
+        .collect();
+    assert_eq!(at, [500000]);
+
+    let stats = roundtrip(r#"{"op":"stats","tenant":"acme"}"#.to_string());
+    assert!(matches!(stats, Response::Ok(_)), "{stats:?}");
+
+    // Third request handled: the server drains, flushing one labelled
+    // telemetry frame per tenant ahead of the human summary.
+    let out = server.join().unwrap().unwrap();
+    assert!(out.contains("serve: drained after 3 request(s)"), "{out}");
+    assert!(out.contains("\"labels\":{\"tenant\":\"acme\"}"), "{out}");
+
+    // Flag parse errors fail before binding anything.
+    assert!(run(&args(&["serve", "--max-requests", "soon"])).is_err());
+    assert!(run(&args(&["serve", "--timeout-ms", "never"])).is_err());
+}
+
+#[test]
 fn pinning_the_root_is_rejected() {
     let spath = temp_file("structure6.json", STRUCTURE);
     let epath = temp_file("events4.json", EVENTS);
